@@ -1,0 +1,21 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all test bench examples doc clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	@for e in quickstart protected_subsystem layered_supervisor debug_ring \
+	          multiprogramming dynamic_linking grading typewriter \
+	          argument_chain bare_metal; do \
+	  echo "==== $$e ===="; dune exec examples/$$e.exe; echo; done
+
+clean:
+	dune clean
