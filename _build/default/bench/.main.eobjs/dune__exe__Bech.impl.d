@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Bechamel Benchmark Float Hashtbl List Measure Printf Staged String Test Time Toolkit Trace

@@ -1,0 +1,1 @@
+bench/cost.ml: Bech Format Hw Isa List Option Os Printf Rings String Trace Workloads

@@ -1,0 +1,1 @@
+bench/figs.ml: Array Bech Format Hw Isa List Os Printf Result Rings String Trace Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Cost Figs List Printf String Sys

@@ -1,0 +1,1 @@
+bench/workloads.ml: Format Isa List Os Printf Rings Trace

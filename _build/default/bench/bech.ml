@@ -1,0 +1,42 @@
+(* Bechamel wrapper: run a list of named thunks, return ns/run. *)
+
+open Bechamel
+
+let measure ?(quota = 0.25) tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) tests
+  in
+  let grouped = Test.make_grouped ~name:"b" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  Hashtbl.fold
+    (fun name b acc ->
+      let o = Analyze.one ols instance b in
+      let ns =
+        match Analyze.OLS.estimates o with
+        | Some [ e ] -> e
+        | Some _ | None -> Float.nan
+      in
+      let name =
+        (* Strip the "b/" grouping prefix. *)
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      (name, ns) :: acc)
+    raw []
+
+let print_table ~title results =
+  let t =
+    Trace.Tablefmt.create
+      ~columns:[ ("operation", Trace.Tablefmt.Left); ("ns/run", Trace.Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Trace.Tablefmt.add_row t [ name; Printf.sprintf "%.1f" ns ])
+    (List.sort compare results);
+  Trace.Tablefmt.print ~title t

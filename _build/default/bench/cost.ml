@@ -1,0 +1,420 @@
+(* C1 and C2: the paper's qualitative cost claims, quantified on the
+   simulator.
+
+   C1 (Conclusions): hardware rings make a downward call and upward
+   return "no more complex than calls and returns in the same ring",
+   while the 645 software implementation traps to the supervisor on
+   every crossing.
+
+   C2 (Introduction / Use of Rings): with cheap crossings, a
+   user-provided protected subsystem — the audited data base — becomes
+   affordable per reference. *)
+
+let pc_row name (s : Workloads.per_crossing) =
+  [
+    name;
+    Printf.sprintf "%.1f" s.Workloads.cycles;
+    Printf.sprintf "%.1f" s.Workloads.instructions;
+    Printf.sprintf "%.2f" s.Workloads.traps;
+    Printf.sprintf "%.2f" s.Workloads.gatekeeper;
+    Printf.sprintf "%.2f" s.Workloads.descriptor_switches;
+  ]
+
+let columns =
+  [
+    ("workload", Trace.Tablefmt.Left);
+    ("cycles/iter", Trace.Tablefmt.Right);
+    ("instr/iter", Trace.Tablefmt.Right);
+    ("traps/iter", Trace.Tablefmt.Right);
+    ("gatekeeper/iter", Trace.Tablefmt.Right);
+    ("descseg switches/iter", Trace.Tablefmt.Right);
+  ]
+
+let c1 () =
+  let hw = Os.Scenario.default_config in
+  let sw = Os.Scenario.software_config in
+  let same_hw = Workloads.same_ring_cost ~config:hw ~ring:4 () in
+  let same_sw = Workloads.same_ring_cost ~config:sw ~ring:4 () in
+  let down_hw = Workloads.crossing_cost ~config:hw ~caller_ring:4 ~callee_ring:1 () in
+  let down_sw = Workloads.crossing_cost ~config:sw ~caller_ring:4 ~callee_ring:1 () in
+  let up_hw = Workloads.crossing_cost ~config:hw ~caller_ring:1 ~callee_ring:4 () in
+  let up_sw = Workloads.crossing_cost ~config:sw ~caller_ring:1 ~callee_ring:4 () in
+  let t = Trace.Tablefmt.create ~columns in
+  Trace.Tablefmt.add_row t (pc_row "same-ring call+return, hardware rings" same_hw);
+  Trace.Tablefmt.add_row t (pc_row "same-ring call+return, 645 software rings" same_sw);
+  Trace.Tablefmt.add_separator t;
+  Trace.Tablefmt.add_row t (pc_row "downward call + upward return, hardware" down_hw);
+  Trace.Tablefmt.add_row t (pc_row "downward call + upward return, 645 software" down_sw);
+  Trace.Tablefmt.add_separator t;
+  Trace.Tablefmt.add_row t (pc_row "upward call + downward return, hardware" up_hw);
+  Trace.Tablefmt.add_row t (pc_row "upward call + downward return, 645 software" up_sw);
+  Trace.Tablefmt.print
+    ~title:
+      "C1 - cost of one call+return iteration (marginal simulated cycles)" t;
+  print_newline ();
+  let t2 =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("claim", Trace.Tablefmt.Left);
+          ("value", Trace.Tablefmt.Right);
+        ]
+  in
+  let crossing_overhead_hw = down_hw.Workloads.cycles -. same_hw.Workloads.cycles in
+  let crossing_overhead_sw = down_sw.Workloads.cycles -. same_sw.Workloads.cycles in
+  Trace.Tablefmt.add_row t2
+    [
+      "hardware: downward crossing overhead vs same-ring (cycles)";
+      Printf.sprintf "%.1f" crossing_overhead_hw;
+    ];
+  Trace.Tablefmt.add_row t2
+    [
+      "645 software: downward crossing overhead vs same-ring (cycles)";
+      Printf.sprintf "%.1f" crossing_overhead_sw;
+    ];
+  Trace.Tablefmt.add_row t2
+    [
+      "software/hardware crossing cost ratio (downward+return)";
+      Printf.sprintf "%.1fx" (down_sw.Workloads.cycles /. down_hw.Workloads.cycles);
+    ];
+  Trace.Tablefmt.add_row t2
+    [
+      "hardware downward/same-ring cost ratio";
+      Printf.sprintf "%.2fx" (down_hw.Workloads.cycles /. same_hw.Workloads.cycles);
+    ];
+  Trace.Tablefmt.add_row t2
+    [
+      "supervisor interventions per crossing, hardware";
+      Printf.sprintf "%.0f" down_hw.Workloads.gatekeeper;
+    ];
+  Trace.Tablefmt.add_row t2
+    [
+      "supervisor interventions per crossing, 645 software";
+      Printf.sprintf "%.0f" down_sw.Workloads.gatekeeper;
+    ];
+  Trace.Tablefmt.print ~title:"C1 - headline ratios" t2;
+  print_newline ();
+  (* Host wall-clock of the two simulators on the same workload, for
+     completeness (the simulated-cycle model is the primary metric). *)
+  let run config () =
+    match
+      Os.Scenario.crossing ~config ~caller_ring:4 ~callee_ring:1
+        ~iterations:16 ()
+    with
+    | Ok p -> ignore (Os.Kernel.run ~max_instructions:100_000 p)
+    | Error _ -> ()
+  in
+  Bech.print_table ~title:"C1 - host wall-clock (16 crossings incl. setup)"
+    (Bech.measure ~quota:0.5
+       [
+         ("hardware rings", run Os.Scenario.default_config);
+         ("645 software rings", run Os.Scenario.software_config);
+       ]);
+  print_newline ()
+
+let c2 () =
+  let hw = Os.Scenario.default_config in
+  let sw = Os.Scenario.software_config in
+  let audited_hw = Workloads.audited_cost ~config:hw () in
+  let audited_sw = Workloads.audited_cost ~config:sw () in
+  let raw = Workloads.raw_cost () in
+  let t = Trace.Tablefmt.create ~columns in
+  Trace.Tablefmt.add_row t (pc_row "raw read (no protection)" raw);
+  Trace.Tablefmt.add_row t (pc_row "audited read, hardware rings" audited_hw);
+  Trace.Tablefmt.add_row t (pc_row "audited read, 645 software rings" audited_sw);
+  Trace.Tablefmt.print
+    ~title:
+      "C2 - audited data-base subsystem: cost per reference (user B via user A's ring-2 auditor)"
+    t;
+  let t2 =
+    Trace.Tablefmt.create
+      ~columns:[ ("ratio", Trace.Tablefmt.Left); ("value", Trace.Tablefmt.Right) ]
+  in
+  Trace.Tablefmt.add_row t2
+    [
+      "audited/raw, hardware rings";
+      Printf.sprintf "%.1fx" (audited_hw.Workloads.cycles /. raw.Workloads.cycles);
+    ];
+  Trace.Tablefmt.add_row t2
+    [
+      "audited/raw, 645 software rings";
+      Printf.sprintf "%.1fx" (audited_sw.Workloads.cycles /. raw.Workloads.cycles);
+    ];
+  Trace.Tablefmt.add_row t2
+    [
+      "software/hardware audited-reference cost";
+      Printf.sprintf "%.1fx"
+        (audited_sw.Workloads.cycles /. audited_hw.Workloads.cycles);
+    ];
+  Trace.Tablefmt.print ~title:"C2 - protected-subsystem viability ratios" t2;
+  print_newline ()
+
+(* Ablation: the same-ring gate discipline and the stack rules. *)
+let ablations () =
+  (* Gate-on-same-ring: run the accidental-call workload with the rule
+     on (fault caught at the CALL) and off (the call lands mid-
+     procedure). *)
+  let accidental gate_on_same_ring =
+    let store = Os.Store.create () in
+    Os.Store.add_source store ~name:"caller"
+      ~acl:
+        [
+          {
+            Os.Acl.user = Os.Acl.wildcard;
+            access =
+              Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ();
+          };
+        ]
+      "start:  call lnk,*\n        mme =2\nlnk:    .its 0, victim$middle\n";
+    Os.Store.add_source store ~name:"victim"
+      ~acl:
+        [
+          {
+            Os.Acl.user = Os.Acl.wildcard;
+            access =
+              Rings.Access.procedure_segment ~gates:1 ~execute_in:4
+                ~callable_from:4 ();
+          };
+        ]
+      "entry:  .gate impl\nimpl:   lda =1\nmiddle: mme =2\n";
+    let p =
+      Os.Process.create ~gate_on_same_ring ~store ~user:"alice" ()
+    in
+    (match Os.Process.add_segments p [ "caller"; "victim" ] with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    (match Os.Process.start p ~segment:"caller" ~entry:"start" ~ring:4 with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    Os.Kernel.run ~max_instructions:10_000 p
+  in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [ ("configuration", Trace.Tablefmt.Left); ("outcome", Trace.Tablefmt.Left) ]
+  in
+  (let describe = function
+     | Os.Kernel.Terminated (Rings.Fault.Gate_violation _) ->
+         "accidental mid-procedure CALL caught (gate violation)"
+     | Os.Kernel.Exited -> "accidental CALL landed mid-procedure, ran to exit"
+     | e -> Format.asprintf "%a" Os.Kernel.pp_exit e
+   in
+   Trace.Tablefmt.add_row t
+     [ "same-ring gate check ON (paper)"; describe (accidental true) ];
+   Trace.Tablefmt.add_row t
+     [ "same-ring gate check OFF (ablated)"; describe (accidental false) ]);
+  Trace.Tablefmt.print ~title:"Ablation - gate check on same-ring CALL" t;
+  print_newline ();
+  (* Stack rules: identical behaviour with standard stacks; the
+     DBR-relative rule additionally supports nonstandard same-ring
+     stacks. *)
+  let t2 =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("stack rule", Trace.Tablefmt.Left);
+          ("crossing cycles/iter", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun (name, rule) ->
+      let config = { Os.Scenario.default_config with Os.Scenario.stack_rule = rule } in
+      let s = Workloads.crossing_cost ~config ~caller_ring:4 ~callee_ring:1 () in
+      Trace.Tablefmt.add_row t2 [ name; Printf.sprintf "%.1f" s.Workloads.cycles ])
+    [
+      ("segno = ring (Fig. 8)", Rings.Stack_rule.Segno_equals_ring);
+      ("DBR.STACK + ring (footnote)", Rings.Stack_rule.Dbr_stack_relative);
+    ];
+  Trace.Tablefmt.print ~title:"Ablation - stack segment selection rules" t2;
+  print_newline ()
+
+(* Paging: the paper sets paging aside because "appropriately
+   implemented, [it] need not affect access control".  This experiment
+   shows the implementation is appropriate: crossings behave and
+   classify identically, and the only differences are PTW fetches and
+   page traffic. *)
+let paging () =
+  let unpaged = Os.Scenario.default_config in
+  let paged =
+    { Os.Scenario.default_config with Os.Scenario.paged = true }
+  in
+  let tight =
+    { paged with Os.Scenario.frame_pool = 2 }
+  in
+  let measure config =
+    match Os.Scenario.crossing ~config ~iterations:8 ~with_argument:true () with
+    | Error e -> failwith e
+    | Ok p -> (
+        match Os.Kernel.run ~max_instructions:500_000 p with
+        | Os.Kernel.Exited ->
+            ( Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters,
+              p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a )
+        | e -> failwith (Format.asprintf "%a" Os.Kernel.pp_exit e))
+  in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("configuration", Trace.Tablefmt.Left);
+          ("result (A)", Trace.Tablefmt.Right);
+          ("downward calls", Trace.Tablefmt.Right);
+          ("cycles", Trace.Tablefmt.Right);
+          ("PTW fetches", Trace.Tablefmt.Right);
+          ("page faults", Trace.Tablefmt.Right);
+          ("evictions", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun (name, config) ->
+      let s, a = measure config in
+      Trace.Tablefmt.add_row t
+        [
+          name;
+          string_of_int a;
+          string_of_int s.Trace.Counters.calls_downward;
+          string_of_int s.Trace.Counters.cycles;
+          string_of_int s.Trace.Counters.ptw_fetches;
+          string_of_int s.Trace.Counters.page_faults;
+          string_of_int s.Trace.Counters.page_evictions;
+        ])
+    [
+      ("unpaged", unpaged);
+      ("paged, ample frames", paged);
+      ("paged, 2-frame pool", tight);
+    ];
+  Trace.Tablefmt.print
+    ~title:
+      "Paging - the crossing workload under demand paging (same results, same crossings)"
+    t;
+  print_newline ()
+
+(* C1 supplement: per-argument validation cost.  The new hardware
+   validates cross-ring argument references as a side effect of the
+   effective-ring machinery; the 645 gatekeeper must check each
+   argument pointer in software on every crossing. *)
+let c1_args () =
+  let cost config arg_count =
+    let s =
+      Workloads.marginal (fun n ->
+          Os.Scenario.crossing_with_args ~config ~caller_ring:4
+            ~callee_ring:1 ~arg_count ~iterations:n ())
+    in
+    s.Workloads.cycles
+  in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("arguments", Trace.Tablefmt.Right);
+          ("hardware cycles/crossing", Trace.Tablefmt.Right);
+          ("645 software cycles/crossing", Trace.Tablefmt.Right);
+          ("software - hardware", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun n ->
+      let hw = cost Os.Scenario.default_config n in
+      let sw = cost Os.Scenario.software_config n in
+      Trace.Tablefmt.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" hw;
+          Printf.sprintf "%.1f" sw;
+          Printf.sprintf "%.1f" (sw -. hw);
+        ])
+    [ 0; 1; 2; 4; 8; 16 ];
+  Trace.Tablefmt.print
+    ~title:
+      "C1 supplement - crossing cost vs argument count (downward call + upward return)"
+    t;
+  print_newline ()
+
+(* The trap round trip itself, measured on the fully simulated path:
+   hardware trap entry, a ring-0 handler that patches the stored
+   conditions, and the privileged restore. *)
+let traps () =
+  let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ] in
+  let build n =
+    let supervisor =
+      let slot code =
+        Printf.sprintf "%s tra %s"
+          (if code = 0 then "vtable:" else "       ")
+          (match code with 19 -> "div0h" | 20 -> "svch" | _ -> "dead")
+      in
+      String.concat "\n" (List.init 23 slot)
+      ^ "\n\
+         div0h:  lda mcipr,*\n\
+        \        ada =1\n\
+        \        sta mcipr,*\n\
+        \        rtrap\n\
+         svch:   halt\n\
+         dead:   halt\n\
+         mcipr:  .its 0, mc$ipr\n"
+    in
+    let user =
+      Printf.sprintf
+        "start:  lda =%d\n\
+        \        sta pr6|5\n\
+         loop:   dva =0\n\
+        \        lda pr6|5\n\
+        \        sba =1\n\
+        \        sta pr6|5\n\
+        \        tnz loop\n\
+        \        mme =2\n"
+        n
+    in
+    let store = Os.Store.create () in
+    Os.Store.add_source store ~name:"sup"
+      ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:0 ~callable_from:0 ()))
+      supervisor;
+    Os.Store.add_source store ~name:"mc"
+      ~acl:(wildcard (Rings.Access.data_segment ~writable_to:0 ~readable_to:0 ()))
+      "area:   .zero 2\nipr:    .zero 21\n";
+    Os.Store.add_source store ~name:"user"
+      ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+      user;
+    let p = Os.Process.create ~store ~user:"alice" () in
+    (match Os.Process.add_segments p [ "sup"; "mc"; "user" ] with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    (match Os.Process.start p ~segment:"user" ~entry:"start" ~ring:4 with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    p.Os.Process.machine.Isa.Machine.trap_config <-
+      Some
+        {
+          Isa.Machine.vector_base =
+            Option.get (Os.Process.address_of p ~segment:"sup" ~symbol:"vtable");
+          conditions_base =
+            Option.get (Os.Process.address_of p ~segment:"mc" ~symbol:"area");
+        };
+    p
+  in
+  let cycles n =
+    let p = build n in
+    match Isa.Cpu.run ~max_instructions:1_000_000 p.Os.Process.machine with
+    | Isa.Cpu.Halted ->
+        Trace.Counters.cycles p.Os.Process.machine.Isa.Machine.counters
+    | _ -> failwith "trap bench did not halt"
+  in
+  let small = 16 and large = 144 in
+  let per_fault =
+    float_of_int (cycles large - cycles small)
+    /. float_of_int (large - small)
+  in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [ ("quantity", Trace.Tablefmt.Left); ("cycles", Trace.Tablefmt.Right) ]
+  in
+  Trace.Tablefmt.add_row t
+    [
+      "fault service round trip (trap + handler + RTRAP), incl. loop";
+      Printf.sprintf "%.1f" per_fault;
+    ];
+  Trace.Tablefmt.add_row t
+    [ "  of which trap entry + restore (hardware constants)";
+      string_of_int (Hw.Costs.trap_entry + Hw.Costs.trap_restore) ];
+  Trace.Tablefmt.print
+    ~title:"Traps - the simulated supervisor's fault service cost" t;
+  print_newline ()

@@ -1,0 +1,40 @@
+(* Benchmark harness: regenerates every figure of the paper and the
+   C1/C2 cost claims.  Run with no arguments for everything, or name
+   experiments: fig1 .. fig9, c1, c2, ablations. *)
+
+let experiments =
+  [
+    ("fig1", Figs.fig1);
+    ("fig2", Figs.fig2);
+    ("fig3", Figs.fig3);
+    ("fig4", Figs.fig4);
+    ("fig5", Figs.fig5);
+    ("fig6", Figs.fig6);
+    ("fig7", Figs.fig7);
+    ("fig8", Figs.fig8);
+    ("fig9", Figs.fig9);
+    ("c1", Cost.c1);
+    ("c1args", Cost.c1_args);
+    ("c2", Cost.c2);
+    ("ablations", Cost.ablations);
+    ("paging", Cost.paging);
+    ("traps", Cost.traps);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          Printf.printf "### %s\n\n" name;
+          f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,187 @@
+(* Shared workload runners: deterministic simulated-cycle costs,
+   measured as marginal cost per iteration between two run lengths so
+   process-setup constants cancel. *)
+
+type per_crossing = {
+  cycles : float;
+  instructions : float;
+  traps : float;
+  gatekeeper : float;
+  descriptor_switches : float;
+  memory_refs : float;
+}
+
+let n_small = 16
+let n_large = 144
+
+let run_scenario build n =
+  match build n with
+  | Error e -> failwith ("scenario build failed: " ^ e)
+  | Ok p -> (
+      match Os.Kernel.run ~max_instructions:2_000_000 p with
+      | Os.Kernel.Exited ->
+          Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters
+      | exit ->
+          failwith
+            (Format.asprintf "scenario did not exit cleanly: %a"
+               Os.Kernel.pp_exit exit))
+
+let marginal build =
+  let s1 = run_scenario build n_small in
+  let s2 = run_scenario build n_large in
+  let d = float_of_int (n_large - n_small) in
+  let per f = float_of_int (f s2 - f s1) /. d in
+  {
+    cycles = per (fun (s : Trace.Counters.snapshot) -> s.cycles);
+    instructions = per (fun s -> s.instructions);
+    traps = per (fun s -> s.traps);
+    gatekeeper = per (fun s -> s.gatekeeper_entries);
+    descriptor_switches = per (fun s -> s.descriptor_switches);
+    memory_refs = per (fun s -> s.memory_reads + s.memory_writes);
+  }
+
+(* The three crossing flavours of C1, parameterized by ring mode. *)
+let crossing_cost ~config ~caller_ring ~callee_ring ?(with_argument = false)
+    () =
+  marginal (fun n ->
+      Os.Scenario.crossing ~config ~caller_ring ~callee_ring
+        ~callable_from:(max caller_ring callee_ring)
+        ~iterations:n ~with_argument ())
+
+let same_ring_cost ~config ~ring () =
+  marginal (fun n -> Os.Scenario.same_ring_pair ~config ~ring ~iterations:n ())
+
+(* C2: the audited data-base subsystem from the paper's introduction.
+   User A allows user B to access a sensitive segment only through an
+   audit procedure in ring 2 that counts each reference.  The
+   comparison point is a raw (unaudited) read of an ordinary
+   segment. *)
+let audited_sources ~iterations =
+  [
+    ( "consumer",
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access =
+            Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ();
+        };
+      ],
+      Printf.sprintf
+        "start:  lda =%d\n\
+        \        sta pr6|5\n\
+         loop:   eap pr1, ret\n\
+        \        spr pr1, pr6|1\n\
+        \        lda =0\n\
+        \        sta pr6|2\n\
+        \        eap pr2, pr6|2\n\
+        \        call lnk,*\n\
+         ret:    lda pr6|5\n\
+        \        sba =1\n\
+        \        sta pr6|5\n\
+        \        tnz loop\n\
+        \        mme =2\n\
+         lnk:    .its 0, audit$entry\n"
+        iterations );
+    ( "audit",
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access =
+            Rings.Access.procedure_segment ~gates:1 ~execute_in:2
+              ~callable_from:5 ();
+        };
+      ],
+      (* Count the reference in the log, then read the sensitive
+         datum and return it in A. *)
+      "entry:  .gate impl\n\
+       impl:   eap pr5, pr0|0,*\n\
+      \        spr pr6, pr5|0\n\
+      \        eap pr6, pr5|0\n\
+      \        eap pr1, pr6|8\n\
+      \        spr pr1, pr0|0\n\
+      \        aos log,*\n\
+      \        lda datum,*\n\
+      \        spr pr6, pr0|0\n\
+      \        eap pr6, pr6|0,*\n\
+      \        retn pr6|1,*\n\
+       log:    .its 0, auditlog$count\n\
+       datum:  .its 0, sensitive$cell\n" );
+    ( "sensitive",
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access = Rings.Access.data_segment ~writable_to:2 ~readable_to:2 ();
+        };
+      ],
+      "cell:   .word 1234\n" );
+    ( "auditlog",
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access = Rings.Access.data_segment ~writable_to:2 ~readable_to:2 ();
+        };
+      ],
+      "count:  .word 0\n" );
+  ]
+
+let build_audited ~config n =
+  let sources = audited_sources ~iterations:n in
+  let store = Os.Store.create () in
+  List.iter
+    (fun (name, acl, src) -> Os.Store.add_source store ~name ~acl src)
+    sources;
+  let p =
+    Os.Process.create ~mode:config.Os.Scenario.mode
+      ~stack_rule:config.Os.Scenario.stack_rule ~store ~user:"bob" ()
+  in
+  match Os.Process.add_segments p (List.map (fun (n, _, _) -> n) sources) with
+  | Error e -> Error e
+  | Ok () -> (
+      match Os.Process.start p ~segment:"consumer" ~entry:"start" ~ring:4 with
+      | Error e -> Error e
+      | Ok () -> Ok p)
+
+let audited_cost ~config () = marginal (build_audited ~config)
+
+(* Raw reference baseline: the same loop reading an ordinary ring-4
+   readable segment directly. *)
+let build_raw n =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"consumer"
+    ~acl:
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access =
+            Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ();
+        };
+      ]
+    (Printf.sprintf
+       "start:  lda =%d\n\
+       \        sta pr6|5\n\
+        loop:   lda datum,*\n\
+       \        lda pr6|5\n\
+       \        sba =1\n\
+       \        sta pr6|5\n\
+       \        tnz loop\n\
+       \        mme =2\n\
+        datum:  .its 0, plain$cell\n"
+       n);
+  Os.Store.add_source store ~name:"plain"
+    ~acl:
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access = Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ();
+        };
+      ]
+    "cell:   .word 1234\n";
+  let p = Os.Process.create ~store ~user:"bob" () in
+  match Os.Process.add_segments p [ "consumer"; "plain" ] with
+  | Error e -> Error e
+  | Ok () -> (
+      match Os.Process.start p ~segment:"consumer" ~entry:"start" ~ring:4 with
+      | Error e -> Error e
+      | Ok () -> Ok p)
+
+let raw_cost () = marginal build_raw

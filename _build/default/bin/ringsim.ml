@@ -1,0 +1,356 @@
+(* ringsim: assemble and run a multi-segment program under either ring
+   implementation.
+
+   A program file contains one or more segments, each introduced by a
+   header line:
+
+     %segment NAME proc execute=N callable=M [readable=no]
+     %segment NAME data write=N read=M
+
+   followed by assembly source (see lib/asm).  Example:
+
+     %segment main proc execute=4 callable=4
+     start: mme =2
+
+   Run with:
+     dune exec bin/ringsim.exe -- run prog.rng --start main --ring 4
+*)
+
+type header = {
+  h_name : string;
+  h_access : Rings.Access.t;
+}
+
+(* %process NAME user=U start=seg$entry ring=N [quantum-shared segments:
+   shared=seg:owner[,seg:owner...]] [paged] *)
+type process_decl = {
+  d_name : string;
+  d_user : string;
+  d_start : string;
+  d_ring : int;
+  d_shared : (string * string) list;
+  d_paged : bool;
+}
+
+let parse_process_decl line lineno =
+  let parts =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | "%process" :: name :: rest ->
+      let find key default =
+        let prefix = key ^ "=" in
+        List.fold_left
+          (fun acc p ->
+            if
+              String.length p > String.length prefix
+              && String.sub p 0 (String.length prefix) = prefix
+            then
+              String.sub p (String.length prefix)
+                (String.length p - String.length prefix)
+            else acc)
+          default rest
+      in
+      let shared =
+        match find "shared" "" with
+        | "" -> []
+        | spec ->
+            String.split_on_char ',' spec
+            |> List.filter_map (fun pair ->
+                   match String.split_on_char ':' pair with
+                   | [ seg; owner ] -> Some (seg, owner)
+                   | _ -> None)
+      in
+      Ok
+        {
+          d_name = name;
+          d_user = find "user" "operator";
+          d_start = find "start" "main$start";
+          d_ring = int_of_string_opt (find "ring" "4") |> Option.value ~default:4;
+          d_shared = shared;
+          d_paged = List.mem "paged" rest;
+        }
+  | _ -> Error (Printf.sprintf "line %d: bad %%process header" lineno)
+
+let parse_header line lineno =
+  let parts =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+  in
+  let kv key default =
+    let prefix = key ^ "=" in
+    List.fold_left
+      (fun acc p ->
+        if String.length p > String.length prefix
+           && String.sub p 0 (String.length prefix) = prefix
+        then
+          int_of_string_opt
+            (String.sub p (String.length prefix)
+               (String.length p - String.length prefix))
+        else acc)
+      default parts
+  in
+  let flag key =
+    List.mem (key ^ "=no") parts |> not
+  in
+  match parts with
+  | "%segment" :: name :: kind :: _ -> (
+      match kind with
+      | "proc" ->
+          let execute = Option.value ~default:4 (kv "execute" None) in
+          let callable = Option.value ~default:execute (kv "callable" None) in
+          Ok
+            {
+              h_name = name;
+              h_access =
+                Rings.Access.procedure_segment ~readable:(flag "readable")
+                  ~execute_in:execute ~callable_from:callable ();
+            }
+      | "data" ->
+          let write = Option.value ~default:4 (kv "write" None) in
+          let read = Option.value ~default:write (kv "read" None) in
+          Ok
+            {
+              h_name = name;
+              h_access =
+                Rings.Access.data_segment ~writable_to:write
+                  ~readable_to:read ();
+            }
+      | k -> Error (Printf.sprintf "line %d: unknown segment kind %s" lineno k))
+  | _ -> Error (Printf.sprintf "line %d: bad %%segment header" lineno)
+
+let parse_program text =
+  let lines = String.split_on_char '\n' text in
+  let rec go current acc procs lineno = function
+    | [] -> (
+        match current with
+        | None -> Ok (List.rev acc, List.rev procs)
+        | Some (h, body) ->
+            Ok
+              ( List.rev ((h, String.concat "\n" (List.rev body)) :: acc),
+                List.rev procs ))
+    | line :: rest ->
+        if String.length line >= 8 && String.sub line 0 8 = "%segment" then
+          match parse_header line lineno with
+          | Error e -> Error e
+          | Ok h ->
+              let acc =
+                match current with
+                | None -> acc
+                | Some (h', body) ->
+                    (h', String.concat "\n" (List.rev body)) :: acc
+              in
+              go (Some (h, [])) acc procs (lineno + 1) rest
+        else if String.length line >= 8 && String.sub line 0 8 = "%process"
+        then
+          match parse_process_decl line lineno with
+          | Error e -> Error e
+          | Ok d ->
+              let acc =
+                match current with
+                | None -> acc
+                | Some (h', body) ->
+                    (h', String.concat "\n" (List.rev body)) :: acc
+              in
+              go None acc (d :: procs) (lineno + 1) rest
+        else (
+          match current with
+          | None ->
+              let t = String.trim line in
+              if t = "" || t.[0] = ';' then go current acc procs (lineno + 1) rest
+              else
+                Error
+                  (Printf.sprintf "line %d: text before first %%segment"
+                     lineno)
+          | Some (h, body) ->
+              go (Some (h, line :: body)) acc procs (lineno + 1) rest)
+  in
+  go None [] [] 1 lines
+
+let run_program file mode start ring trace listing dump show_map typed
+    max_instructions =
+  let text =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match parse_program text with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 1
+  | Ok (segments, procs) ->
+      let store = Os.Store.create () in
+      List.iter
+        (fun (h, src) ->
+          Os.Store.add_source store ~name:h.h_name
+            ~acl:[ { Os.Acl.user = Os.Acl.wildcard; access = h.h_access } ]
+            src)
+        segments;
+      if procs <> [] then begin
+        (* Multi-process mode: spawn each declaration and multiplex. *)
+        let t = Os.System.create ~store () in
+        let seg_names = List.map (fun (h, _) -> h.h_name) segments in
+        let first = ref true in
+        List.iter
+          (fun d ->
+            let start_segment, start_entry =
+              match String.index_opt d.d_start '$' with
+              | Some i ->
+                  ( String.sub d.d_start 0 i,
+                    String.sub d.d_start (i + 1)
+                      (String.length d.d_start - i - 1) )
+              | None -> (d.d_start, "start")
+            in
+            let own =
+              List.filter
+                (fun n -> not (List.mem_assoc n d.d_shared))
+                seg_names
+            in
+            match
+              Os.System.spawn ~shared:d.d_shared ~paged:d.d_paged t
+                ~pname:d.d_name ~user:d.d_user ~segments:own
+                ~start:(start_segment, start_entry) ~ring:d.d_ring
+            with
+            | Ok e ->
+                (* --type feeds the first declared process. *)
+                (match typed with
+                | Some text when !first ->
+                    Os.Device.feed e.Os.System.process.Os.Process.typewriter
+                      text
+                | _ -> ());
+                first := false
+            | Error e ->
+                Printf.eprintf "spawn %s: %s\n" d.d_name e;
+                exit 1)
+          procs;
+        let exits = Os.System.run t in
+        List.iter
+          (fun (name, exit) ->
+            Format.printf "%-10s %a@." name Os.Kernel.pp_exit exit)
+          exits;
+        Format.printf "%a@." Trace.Counters.pp_snapshot
+          (Trace.Counters.snapshot (Os.System.machine t).Isa.Machine.counters);
+        exit 0
+      end;
+      if listing then
+        List.iter
+          (fun (h, src) ->
+            match Asm.Assemble.assemble src with
+            | Ok prog ->
+                Printf.printf "--- %s ---\n%s\n" h.h_name
+                  (Asm.Assemble.listing src prog)
+            | Error _ ->
+                (* Cross-segment externals resolve only at load time;
+                   the full assembly below will report real errors. *)
+                Printf.printf "--- %s (externals unresolved) ---\n" h.h_name)
+          segments;
+      let mode =
+        match mode with
+        | "hw" -> Isa.Machine.Ring_hardware
+        | "645" | "sw" -> Isa.Machine.Ring_software_645
+        | m ->
+            Printf.eprintf "unknown mode %s (use hw or 645)\n" m;
+            exit 1
+      in
+      let p = Os.Process.create ~mode ~store ~user:"operator" () in
+      (match
+         Os.Process.add_segments p (List.map (fun (h, _) -> h.h_name) segments)
+       with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "load: %s\n" e;
+          exit 1);
+      let start_segment, start_entry =
+        match String.index_opt start '$' with
+        | Some i ->
+            ( String.sub start 0 i,
+              String.sub start (i + 1) (String.length start - i - 1) )
+        | None -> (start, "start")
+      in
+      (match Os.Process.start p ~segment:start_segment ~entry:start_entry ~ring with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "start: %s\n" e;
+          exit 1);
+      if show_map then Format.printf "%a@." Os.Process.pp_layout p;
+      if trace then Trace.Event.set_enabled p.Os.Process.machine.Isa.Machine.log true;
+      (match typed with
+      | Some text -> Os.Device.feed p.Os.Process.typewriter text
+      | None -> ());
+      let exit_state = Os.Kernel.run ~max_instructions p in
+      if trace then
+        Format.printf "%a@." Trace.Event.pp_log p.Os.Process.machine.Isa.Machine.log;
+      Format.printf "exit: %a@." Os.Kernel.pp_exit exit_state;
+      Format.printf "A = %d, Q = %d@."
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.q;
+      (let printed = Os.Device.output_text p.Os.Process.typewriter in
+       if printed <> "" then Format.printf "typewriter output: %S@." printed);
+      Format.printf "%a@." Trace.Counters.pp_snapshot
+        (Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters);
+      if dump then
+        List.iter
+          (fun (l : Os.Process.loaded) ->
+            let words =
+              Array.init l.Os.Process.bound (fun wordno ->
+                  match
+                    Os.Process.kread p
+                      (Hw.Addr.v ~segno:l.Os.Process.segno ~wordno)
+                  with
+                  | Ok w -> w
+                  | Error _ -> 0)
+            in
+            print_string
+              (Asm.Disasm.segment ~symbols:l.Os.Process.symbols
+                 ~base_label:l.Os.Process.name words))
+          (List.rev p.Os.Process.loaded)
+
+open Cmdliner
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let mode =
+  Arg.(value & opt string "hw" & info [ "m"; "mode" ] ~docv:"MODE"
+         ~doc:"Ring implementation: hw (hardware) or 645 (software baseline).")
+
+let start =
+  Arg.(value & opt string "main" & info [ "start" ] ~docv:"SEG[$ENTRY]"
+         ~doc:"Start location; entry defaults to 'start'.")
+
+let ring =
+  Arg.(value & opt int 4 & info [ "ring" ] ~docv:"N"
+         ~doc:"Ring of execution to start in.")
+
+let trace =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution trace.")
+
+let listing =
+  Arg.(value & flag & info [ "listing" ]
+         ~doc:"Print each segment's assembly listing before running.")
+
+let dump =
+  Arg.(value & flag & info [ "dump" ]
+         ~doc:"Disassemble each loaded segment after the run.")
+
+let typed =
+  Arg.(value & opt (some string) None & info [ "type" ] ~docv:"TEXT"
+         ~doc:"Feed TEXT to the process's typewriter before running.")
+
+let show_map =
+  Arg.(value & flag & info [ "map" ]
+         ~doc:"Print the virtual memory map before running.")
+
+let budget =
+  Arg.(value & opt int 1_000_000 & info [ "budget" ] ~docv:"N"
+         ~doc:"Instruction budget.")
+
+let cmd =
+  let doc = "simulate the Schroeder-Saltzer protection-ring processor" in
+  Cmd.v (Cmd.info "ringsim" ~doc)
+    Term.(
+      const run_program $ file $ mode $ start $ ring $ trace $ listing
+      $ dump $ show_map $ typed $ budget)
+
+let () = exit (Cmd.eval cmd)

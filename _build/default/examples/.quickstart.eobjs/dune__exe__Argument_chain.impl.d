@@ -1,0 +1,1 @@
+examples/argument_chain.ml: Format Os Printf Rings

@@ -1,0 +1,1 @@
+examples/bare_metal.ml: Format Hw Isa List Option Os Printf Rings String Trace

@@ -1,0 +1,1 @@
+examples/debug_ring.ml: Format List Os Rings

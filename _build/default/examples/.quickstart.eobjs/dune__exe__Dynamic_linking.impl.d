@@ -1,0 +1,1 @@
+examples/dynamic_linking.ml: Format Hw Isa Option Os Printf Rings

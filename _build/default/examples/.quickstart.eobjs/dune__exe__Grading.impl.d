@@ -1,0 +1,1 @@
+examples/grading.ml: Format Hw Os Printf Rings

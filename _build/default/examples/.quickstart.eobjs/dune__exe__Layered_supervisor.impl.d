@@ -1,0 +1,1 @@
+examples/layered_supervisor.ml: Format Hw Isa Os Rings Trace

@@ -1,0 +1,1 @@
+examples/multiprogramming.ml: Format List Os Printf Rings

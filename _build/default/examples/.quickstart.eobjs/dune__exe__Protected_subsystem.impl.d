@@ -1,0 +1,1 @@
+examples/protected_subsystem.ml: Format Hw Isa Os Rings Trace

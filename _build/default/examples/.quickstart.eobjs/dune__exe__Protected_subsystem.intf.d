@@ -1,0 +1,1 @@
+examples/protected_subsystem.mli:

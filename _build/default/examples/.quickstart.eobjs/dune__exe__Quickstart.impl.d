@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hw Isa Os Rings Trace

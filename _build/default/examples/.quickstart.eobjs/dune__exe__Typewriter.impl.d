@@ -1,0 +1,1 @@
+examples/typewriter.ml: Format Isa List Os Rings Trace

@@ -1,0 +1,130 @@
+(* "Call and Return Revisited", footnote: correct argument validation
+   occurs naturally when an argument is passed along a chain of
+   downward calls - the RING field of an argument-list indirect word
+   specifies the ring which originally provided the argument.
+
+   A ring-4 client passes a by-reference argument to a ring-2 service,
+   which forwards the same argument to a ring-1 service that
+   increments it.  Every reference the ring-1 code makes through the
+   argument list is validated as ring 4, the originating ring:
+
+   - when the argument lives in a ring-4-writable segment, the chain
+     works end to end;
+   - when the client names a segment writable only in ring 1, the
+     ring-1 service - although it could write that segment on its own
+     authority - is prevented from writing it on the client's behalf.
+
+   Run with: dune exec examples/argument_chain.exe *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let client ~target =
+  Printf.sprintf
+    "start:  eap pr1, ret\n\
+    \        spr pr1, pr6|1\n\
+    \        lda =1\n\
+    \        sta pr6|2          ; one argument\n\
+    \        eap pr1, arg,*\n\
+    \        spr pr1, pr6|3     ; its ITS carries ring 4\n\
+    \        eap pr2, pr6|2\n\
+    \        call mid,*\n\
+     ret:    mme =2\n\
+     mid:    .its 0, middle$entry\n\
+     arg:    .its 0, %s\n"
+    target
+
+let middle =
+  "; ring-2 service: forward the argument down to ring 1\n\
+   entry:  .gate impl\n\
+   impl:   eap pr5, pr0|0,*\n\
+  \        spr pr6, pr5|0\n\
+  \        eap pr6, pr5|0\n\
+  \        spr pr0, pr6|2     ; I call, so save my stack base\n\
+  \        eap pr1, pr6|8\n\
+  \        spr pr1, pr0|0\n\
+  \        lda =1             ; rebuild the list in my frame (slots 3,4)\n\
+  \        sta pr6|3\n\
+  \        eap pr1, pr2|1,*   ; re-derive the argument address:\n\
+  \        spr pr1, pr6|4     ; the stored ITS still carries ring 4\n\
+  \        eap pr1, ret1\n\
+  \        spr pr1, pr6|1\n\
+  \        eap pr2, pr6|3\n\
+  \        call low,*\n\
+   ret1:   eap pr0, pr6|2,*\n\
+  \        spr pr6, pr0|0\n\
+  \        eap pr6, pr6|0,*\n\
+  \        retn pr6|1,*\n\
+   low:    .its 0, bottom$entry\n"
+
+let bottom =
+  "; ring-1 service: increment the argument through the list\n\
+   entry:  .gate impl\n\
+   impl:   eap pr5, pr0|0,*\n\
+  \        spr pr6, pr5|0\n\
+  \        eap pr6, pr5|0\n\
+  \        eap pr1, pr6|8\n\
+  \        spr pr1, pr0|0\n\
+  \        lda pr2|1,*        ; validated as the ORIGINATING ring\n\
+  \        ada =1\n\
+  \        sta pr2|1,*\n\
+  \        spr pr6, pr0|0\n\
+  \        eap pr6, pr6|0,*\n\
+  \        retn pr6|1,*\n"
+
+let run ~target =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"client"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    (client ~target);
+  Os.Store.add_source store ~name:"middle"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~gates:1 ~execute_in:2 ~callable_from:5 ()))
+    middle;
+  Os.Store.add_source store ~name:"bottom"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~gates:1 ~execute_in:1 ~callable_from:3 ()))
+    bottom;
+  Os.Store.add_source store ~name:"data4"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "cell:   .word 7\n";
+  Os.Store.add_source store ~name:"data1"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ()))
+    "cell:   .word 7\n";
+  let p = Os.Process.create ~store ~user:"erin" () in
+  (match
+     Os.Process.add_segments p
+       [ "client"; "middle"; "bottom"; "data4"; "data1" ]
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Process.start p ~segment:"client" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let exit = Os.Kernel.run p in
+  let value seg =
+    match Os.Process.address_of p ~segment:seg ~symbol:"cell" with
+    | Some addr -> (
+        match Os.Process.kread p addr with Ok v -> v | Error _ -> -1)
+    | None -> -1
+  in
+  (exit, value "data4", value "data1")
+
+let () =
+  print_endline "== an argument along a chain of downward calls ==";
+  print_endline "";
+  print_endline
+    "1. client (r4) -> middle (r2) -> bottom (r1), argument in a\n\
+    \   ring-4-writable segment:";
+  let exit, v4, _ = run ~target:"data4$cell" in
+  Format.printf "   exit: %a; data4$cell = %d (7 + 1)@." Os.Kernel.pp_exit
+    exit v4;
+  print_endline "";
+  print_endline
+    "2. the client instead names a segment writable only in ring 1:";
+  let exit, _, v1 = run ~target:"data1$cell" in
+  Format.printf "   exit: %a; data1$cell = %d (untouched)@."
+    Os.Kernel.pp_exit exit v1;
+  print_endline "";
+  print_endline
+    "Ring 1 could write that segment on its own authority, but through\n\
+     the argument list every reference is validated as ring 4 - the\n\
+     ring which originally provided the argument.  The deputy cannot\n\
+     be confused."

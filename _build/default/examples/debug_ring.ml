@@ -1,0 +1,75 @@
+(* User self-protection with rings 5-7 ("Use of Rings"): the same
+   buggy program is run twice.  In ring 4 its wild store corrupts a
+   data segment the user cares about; run in ring 5 - the debugging
+   ring, where only the segments it is meant to touch are accessible -
+   the ring mechanisms catch the addressing error before any damage.
+
+   Run with: dune exec examples/debug_ring.exe *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* The program computes into its scratch segment but, through a stale
+   pointer, also scribbles over a record segment. *)
+let buggy ~execute_in =
+  ( "buggy",
+    wildcard
+      (Rings.Access.procedure_segment ~execute_in
+         ~callable_from:execute_in ()),
+    "start:  lda =7\n\
+    \        sta scratch,*      ; intended store\n\
+    \        lda =999\n\
+    \        sta stale,*        ; the bug: a stale pointer\n\
+    \        mme =2\n\
+     scratch: .its 0, work$cell\n\
+     stale:   .its 0, records$balance\n" )
+
+let segments =
+  [
+    ( "work",
+      wildcard (Rings.Access.data_segment ~writable_to:5 ~readable_to:5 ()),
+      "cell:    .word 0\n" );
+    ( "records",
+      (* Precious data: writable only up to ring 4. *)
+      wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()),
+      "balance: .word 100\n" );
+  ]
+
+let run ~ring =
+  let store = Os.Store.create () in
+  List.iter
+    (fun (name, acl, src) -> Os.Store.add_source store ~name ~acl src)
+    (buggy ~execute_in:ring :: segments);
+  let p = Os.Process.create ~store ~user:"dave" () in
+  (match Os.Process.add_segments p [ "buggy"; "work"; "records" ] with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Process.start p ~segment:"buggy" ~entry:"start" ~ring with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let exit = Os.Kernel.run p in
+  let balance =
+    match Os.Process.address_of p ~segment:"records" ~symbol:"balance" with
+    | Some addr -> (
+        match Os.Process.kread p addr with Ok v -> v | Error _ -> -1)
+    | None -> -1
+  in
+  (exit, balance)
+
+let () =
+  print_endline "== the debugging ring ==";
+  print_endline "";
+  print_endline "1. the buggy program run normally, in ring 4:";
+  let exit, balance = run ~ring:4 in
+  Format.printf "   exit: %a@." Os.Kernel.pp_exit exit;
+  Format.printf "   records$balance afterwards: %d  (was 100 - corrupted!)@."
+    balance;
+  print_endline "";
+  print_endline "2. the same program run in ring 5 for debugging:";
+  let exit, balance = run ~ring:5 in
+  Format.printf "   exit: %a@." Os.Kernel.pp_exit exit;
+  Format.printf "   records$balance afterwards: %d  (protected)@." balance;
+  print_endline "";
+  print_endline
+    "In ring 5 the store faulted at the offending instruction, with the\n\
+     wild address identified - the rings caught the bug and protected\n\
+     the segments accessible from ring 4."

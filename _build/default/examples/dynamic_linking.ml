@@ -1,0 +1,84 @@
+(* Dynamic linking through a supervisor service: the program asks the
+   supervisor (MME add-segment) to add a named segment to its virtual
+   memory at run time, receives the segment number in A, builds an ITS
+   pointer to the new segment's gate with plain arithmetic, and calls
+   it - the "file system search direction" style of explicit
+   supervisor invocation, plus the paper's observation that programs
+   address segments by number while names live in the supervisor.
+
+   Run with: dune exec examples/dynamic_linking.exe *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let requester ~execute_in =
+  (* The name "plugin" as one character code per word, then the MME;
+     the returned segment number is shifted into the ITS SEGNO field
+     (bits 18..31) by multiplying with 2^18. *)
+  Printf.sprintf
+    "start:  eap pr2, name\n\
+    \        mme =3             ; supervisor: add segment by name\n\
+    \        cmpa minus1\n\
+    \        tze denied\n\
+    \        mpa shift          ; segno -> ITS SEGNO field\n\
+    \        sta pr6|3          ; a pointer to plugin$0, in my frame\n\
+    \        eap pr1, ret\n\
+    \        spr pr1, pr6|1\n\
+    \        lda =0\n\
+    \        sta pr6|2\n\
+    \        eap pr2, pr6|2\n\
+    \        call pr6|3,*       ; call the freshly linked segment\n\
+     ret:    mme =2\n\
+     denied: lda =0\n\
+    \        mme =2\n\
+     name:   .word 6, 112, 108, 117, 103, 105, 110   ; \"plugin\"\n\
+     minus1: .word -1\n\
+     shift:  .word 262144\n"
+  |> fun s -> ignore execute_in; s
+
+let () =
+  print_endline "== dynamic linking via a supervisor service ==";
+  print_endline "";
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"main"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    (requester ~execute_in:4);
+  Os.Store.add_source store ~name:"main6"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:6 ~callable_from:6 ()))
+    (requester ~execute_in:6);
+  Os.Store.add_source store ~name:"plugin"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~gates:1 ~execute_in:1 ~callable_from:5 ()))
+    (Os.Scenario.callee_source ());
+  print_endline "1. a ring-4 program links and calls \"plugin\" at run time:";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "main" with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Process.start p ~segment:"main" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Kernel.run p with
+  | Os.Kernel.Exited ->
+      Format.printf "   exit with A = %d (the plugin's result)@."
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+      Format.printf "   plugin now resident as segment %d@."
+        (Option.value ~default:(-1) (Os.Process.segno_of p "plugin"))
+  | e -> Format.printf "   UNEXPECTED: %a@." Os.Kernel.pp_exit e);
+  print_endline "";
+  print_endline "2. the same request from ring 6 (no supervisor access):";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "main6" with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Process.start p ~segment:"main6" ~entry:"start" ~ring:6 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Kernel.run p with
+  | Os.Kernel.Exited ->
+      Format.printf
+        "   service refused; program exited with A = %d and no plugin linked@."
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+  | e -> Format.printf "   UNEXPECTED: %a@." Os.Kernel.pp_exit e);
+  print_endline "";
+  print_endline
+    "Rings 6 and 7 hold no capability to invoke supervisor services -\n\
+     exactly the isolation the paper assigns to the outermost rings."

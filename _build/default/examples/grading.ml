@@ -1,0 +1,115 @@
+(* "Ring 6 of a process might be used, for example, to provide a
+   suitably isolated environment for student programs being evaluated
+   by a grading program executing in ring 4."
+
+   The grader (ring 4) calls the student's program (ring 6) through
+   the upward-call path, passing the exercise input by reference; the
+   student's answer comes back in A.  The student program:
+   - cannot reach supervisor services (rings 6-7 hold no capability);
+   - cannot touch the grade book, which has brackets ending at ring 4;
+   - is free to compute - and to be wrong - in isolation.
+
+   Run with: dune exec examples/grading.exe *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let grader =
+  "; ring-4 grader: ask the student to double the input, check it\n\
+   start:  eap pr1, ret\n\
+  \        spr pr1, pr6|1\n\
+  \        lda =1\n\
+  \        sta pr6|2          ; one argument: the exercise input\n\
+  \        eap pr1, input,*\n\
+  \        spr pr1, pr6|3\n\
+  \        eap pr2, pr6|2\n\
+  \        call student,*     ; an upward call, r4 -> r6\n\
+   ret:    cmpa expect,*      ; grade the answer\n\
+  \        tze pass\n\
+  \        lda =0\n\
+  \        sta grade,*\n\
+  \        mme =2\n\
+   pass:   lda =100\n\
+  \        sta grade,*\n\
+  \        mme =2\n\
+   student: .its 0, submission$entry\n\
+   input:  .its 0, exercise$given\n\
+   expect: .its 0, exercise$wanted\n\
+   grade:  .its 0, gradebook$score\n"
+
+(* An honest submission; the dishonest variants fail in the isolated
+   ring instead of corrupting anything. *)
+let submission ~body =
+  Printf.sprintf
+    "entry:  .gate impl\n\
+     impl:   eap pr5, pr0|0,*\n\
+    \        spr pr6, pr5|0\n\
+    \        eap pr6, pr5|0\n\
+    \        eap pr1, pr6|8\n\
+    \        spr pr1, pr0|0\n\
+     %s\n\
+    \        spr pr6, pr0|0\n\
+    \        eap pr6, pr6|0,*\n\
+    \        retn pr6|1,*\n"
+    body
+
+let honest = "        lda pr2|1,*\n        ada pr2|1,*   ; double the input"
+
+let cheating =
+  "        lda =100\n        sta grade,*   ; write the grade book directly\n\
+   grade:  .its 0, gradebook$score"
+
+let run ~body =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"grader"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    grader;
+  Os.Store.add_source store ~name:"submission"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~gates:1 ~execute_in:6
+            ~callable_from:6 ()))
+    (submission ~body);
+  Os.Store.add_source store ~name:"exercise"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:6 ()))
+    "given:  .word 21\nwanted: .word 42\n";
+  Os.Store.add_source store ~name:"gradebook"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "score:  .word -1\n";
+  let p = Os.Process.create ~store ~user:"prof" () in
+  (match
+     Os.Process.add_segments p
+       [ "grader"; "submission"; "exercise"; "gradebook" ]
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Process.start p ~segment:"grader" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let exit = Os.Kernel.run p in
+  let score =
+    match Os.Process.address_of p ~segment:"gradebook" ~symbol:"score" with
+    | Some a -> (
+        match Os.Process.kread p a with
+        | Ok v -> Hw.Word.to_signed v
+        | Error _ -> -99)
+    | None -> -99
+  in
+  (exit, score)
+
+let () =
+  print_endline "== grading student programs in ring 6 ==";
+  print_endline "";
+  print_endline "1. an honest submission (doubles its input):";
+  let exit, score = run ~body:honest in
+  Format.printf "   exit: %a; grade book records %d@." Os.Kernel.pp_exit exit
+    score;
+  print_endline "";
+  print_endline "2. a submission that writes the grade book directly:";
+  let exit, score = run ~body:cheating in
+  Format.printf "   exit: %a; grade book records %d@." Os.Kernel.pp_exit exit
+    score;
+  print_endline "";
+  print_endline
+    "The cheating submission faulted inside ring 6: the grade book's\n\
+     write bracket ends at ring 4, and nothing the student's code does\n\
+     can raise its own privilege."

@@ -1,0 +1,134 @@
+(* The layered supervisor from "Use of Rings": the lowest-level
+   supervisor (ring 0) owns the privileged operations; the remaining
+   supervisor procedures run in ring 1.  A user program in ring 4
+   calls a ring-1 accounting service through its gate; that service in
+   turn calls a ring-0 gate which issues the privileged SIOC (start
+   I/O) instruction.  The ring-0 gate is callable only from ring 1:
+   user rings cannot reach it directly.
+
+   Run with: dune exec examples/layered_supervisor.exe *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* The ring-1 service makes a call of its own, so it uses the extended
+   prologue/epilogue that saves its stack base pointer (frame slot 2)
+   across the inner CALL, and keeps its argument list in slots 3+. *)
+let middle_layer =
+  "; ring-1 supervisor layer: account for the request, then ask ring 0\n\
+   ; to start the I/O\n\
+   entry:  .gate impl\n\
+   impl:   eap pr5, pr0|0,*\n\
+  \        spr pr6, pr5|0     ; save caller PR6\n\
+  \        eap pr6, pr5|0\n\
+  \        spr pr0, pr6|2     ; save my stack base (I call, too)\n\
+  \        eap pr1, pr6|8\n\
+  \        spr pr1, pr0|0\n\
+  \        aos acct,*         ; accounting: one more I/O request\n\
+  \        eap pr1, ret1      ; inner call to the ring-0 gate\n\
+  \        spr pr1, pr6|1\n\
+  \        lda =0\n\
+  \        sta pr6|3\n\
+  \        eap pr2, pr6|3\n\
+  \        call core,*\n\
+   ret1:   eap pr0, pr6|2,*   ; restore my stack base\n\
+  \        spr pr6, pr0|0     ; pop my frame\n\
+  \        eap pr6, pr6|0,*\n\
+  \        retn pr6|1,*\n\
+   acct:   .its 0, acctdata$io_count\n\
+   core:   .its 0, iocore$entry\n"
+
+let core_layer =
+  "; ring-0 supervisor core: the only code allowed to start I/O\n\
+   entry:  .gate impl\n\
+   impl:   eap pr5, pr0|0,*\n\
+  \        spr pr6, pr5|0\n\
+  \        eap pr6, pr5|0\n\
+  \        eap pr1, pr6|8\n\
+  \        spr pr1, pr0|0\n\
+  \        sioc               ; privileged: executes only in ring 0\n\
+  \        lda =1             ; report success\n\
+  \        spr pr6, pr0|0\n\
+  \        eap pr6, pr6|0,*\n\
+  \        retn pr6|1,*\n"
+
+let user_program =
+  "; ring-4 user program: request an I/O through the supervisor\n\
+   start:  eap pr1, ret\n\
+  \        spr pr1, pr6|1\n\
+  \        lda =0\n\
+  \        sta pr6|2\n\
+  \        eap pr2, pr6|2\n\
+  \        call svc,*\n\
+   ret:    mme =2\n\
+   svc:    .its 0, iosvc$entry\n"
+
+let rogue_program =
+  "; ring-4 program calling the ring-0 gate directly\n\
+   start:  call core,*\n\
+  \        mme =2\n\
+   core:   .its 0, iocore$entry\n"
+
+let build_store () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"user"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    user_program;
+  Os.Store.add_source store ~name:"rogue"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    rogue_program;
+  (* The accounting gate: executes in ring 1, callable from rings 2-5. *)
+  Os.Store.add_source store ~name:"iosvc"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~gates:1 ~execute_in:1 ~callable_from:5 ()))
+    middle_layer;
+  (* The core gate: executes in ring 0, callable only from ring 1. *)
+  Os.Store.add_source store ~name:"iocore"
+    ~acl:(wildcard (Rings.Access.procedure_segment ~gates:1 ~execute_in:0 ~callable_from:1 ()))
+    core_layer;
+  Os.Store.add_source store ~name:"acctdata"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ()))
+    "io_count: .word 0\n";
+  store
+
+let boot segments start =
+  let store = build_store () in
+  let p = Os.Process.create ~store ~user:"carol" () in
+  (match Os.Process.add_segments p segments with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Os.Process.start p ~segment:start ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  p
+
+let () =
+  print_endline "== layered supervisor: rings 0 and 1 ==";
+  print_endline "";
+  print_endline "1. user -> ring-1 accounting gate -> ring-0 I/O core:";
+  let p = boot [ "user"; "iosvc"; "iocore"; "acctdata" ] "user" in
+  (match Os.Kernel.run p with
+  | Os.Kernel.Exited ->
+      Format.printf "   clean exit, result %d (I/O started)@."
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+  | exit -> Format.printf "   UNEXPECTED: %a@." Os.Kernel.pp_exit exit);
+  (match Os.Process.address_of p ~segment:"acctdata" ~symbol:"io_count" with
+  | Some addr -> (
+      match Os.Process.kread p addr with
+      | Ok n -> Format.printf "   ring-1 accounting recorded %d request(s)@." n
+      | Error e -> print_endline e)
+  | None -> ());
+  let s = Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters in
+  Format.printf
+    "   %d downward calls, %d upward returns, 0 supervisor traps for the crossings@."
+    s.Trace.Counters.calls_downward s.Trace.Counters.returns_upward;
+  print_endline "";
+  print_endline "2. a user program calls the ring-0 gate directly:";
+  let p = boot [ "rogue"; "iocore" ] "rogue" in
+  (match Os.Kernel.run p with
+  | Os.Kernel.Terminated f ->
+      Format.printf "   refused: %a@." Rings.Fault.pp f
+  | exit -> Format.printf "   UNEXPECTED: %a@." Os.Kernel.pp_exit exit);
+  print_endline "";
+  print_endline
+    "The supervisor is enforced in layers: ring 1 can be changed without\n\
+     recertifying ring 0, and only ring 1 holds the capability to enter\n\
+     the ring-0 core."

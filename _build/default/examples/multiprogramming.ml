@@ -1,0 +1,87 @@
+(* Processor multiplexing and sharing: two users' processes time-share
+   one processor and increment a single shared counter segment, while
+   a third user holds only read capability for the same segment.
+
+   "A single segment may be part of several virtual memories at the
+   same time, allowing straightforward sharing of segments among
+   users."
+
+   Run with: dune exec examples/multiprogramming.exe *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let bump n =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5\n\
+     loop:   aos cell,*         ; one increment of the shared counter\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n"
+    n
+
+let () =
+  print_endline "== processor multiplexing and segment sharing ==";
+  print_endline "";
+  let store = Os.Store.create () in
+  let proc4 =
+    Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()
+  in
+  Os.Store.add_source store ~name:"alice_prog" ~acl:(wildcard proc4) (bump 25);
+  Os.Store.add_source store ~name:"bob_prog" ~acl:(wildcard proc4) (bump 17);
+  Os.Store.add_source store ~name:"carol_prog" ~acl:(wildcard proc4)
+    "start:  lda cell,*         ; read is fine...\n\
+    \        aos cell,*         ; ...but carol may not write\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n";
+  Os.Store.add_source store ~name:"counter"
+    ~acl:
+      [
+        { Os.Acl.user = "alice";
+          access = Rings.Access.data_segment ~writable_to:4 ~readable_to:4 () };
+        { Os.Acl.user = "bob";
+          access = Rings.Access.data_segment ~writable_to:4 ~readable_to:4 () };
+        { Os.Acl.user = "carol";
+          access =
+            Rings.Access.data_segment ~write:false ~writable_to:0
+              ~readable_to:4 () };
+      ]
+    "value:  .word 0\n";
+  let t = Os.System.create ~store () in
+  let spawn ?shared pname user segments =
+    match
+      Os.System.spawn ?shared t ~pname ~user ~segments
+        ~start:(List.hd segments, "start") ~ring:4
+    with
+    | Ok e -> e
+    | Error e -> failwith e
+  in
+  let a = spawn "alice" "alice" [ "alice_prog"; "counter" ] in
+  let _b = spawn ~shared:[ ("counter", "alice") ] "bob" "bob" [ "bob_prog" ] in
+  let _c =
+    spawn ~shared:[ ("counter", "alice") ] "carol" "carol" [ "carol_prog" ]
+  in
+  print_endline "running three processes, round robin, quantum = 6:";
+  let exits = Os.System.run ~quantum:6 t in
+  List.iter
+    (fun (name, exit) ->
+      Format.printf "  %-6s %a@." name Os.Kernel.pp_exit exit)
+    exits;
+  (match
+     Os.Process.address_of a.Os.System.process ~segment:"counter"
+       ~symbol:"value"
+   with
+  | Some addr -> (
+      match Os.Process.kread a.Os.System.process addr with
+      | Ok v ->
+          Format.printf "shared counter after the run: %d (25 + 17)@." v
+      | Error e -> print_endline e)
+  | None -> ());
+  print_endline "";
+  print_endline
+    "Alice and Bob interleaved on one processor and both wrote the same\n\
+     resident segment; Carol's process mapped it too, but her ACL entry\n\
+     grants no write capability, so her store was refused."

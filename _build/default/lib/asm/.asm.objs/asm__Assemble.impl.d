@@ -1,0 +1,1 @@
+lib/asm/assemble.ml: Array Buffer Format Hashtbl Hw Isa List Parser Printf Result Statement String

@@ -1,0 +1,1 @@
+lib/asm/assemble.mli: Format Hw

@@ -1,0 +1,1 @@
+lib/asm/disasm.ml: Array Buffer Hw Isa List Option Printf Rings String

@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Char Format Isa List Printf Result Statement String

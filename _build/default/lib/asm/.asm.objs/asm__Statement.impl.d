@@ -1,0 +1,1 @@
+lib/asm/statement.ml: Format Isa

@@ -1,0 +1,1 @@
+lib/asm/statement.mli: Format Isa

@@ -1,0 +1,33 @@
+(** Disassembly: instruction words back to assembly-like text.
+
+    The inverse direction of {!Assemble}, used by the tracer, the
+    [ringsim] CLI and debugging sessions.  With a symbol table,
+    segment-local addresses render as labels; indirect words render in
+    [.its] form when a word decodes more plausibly as one (data is
+    ambiguous — the heuristics are documented on {!word}). *)
+
+val instruction : ?symbols:(string * int) list -> Isa.Instr.t -> string
+(** Render one instruction; IPR-relative offsets are shown as
+    [label+n] when a symbol table is supplied. *)
+
+type rendering =
+  | Instruction of Isa.Instr.t
+  | Indirect_word of Isa.Indword.t
+  | Data of int
+
+val classify : int -> rendering
+(** Best-effort classification of a word: a word whose opcode field is
+    assigned decodes as an instruction; otherwise, a word that
+    round-trips through the indirect-word codec with a plausible ring
+    field renders as [.its]; anything else is data.  Classification is
+    heuristic — the hardware itself never needs it (context decides) —
+    and exists purely for human consumption. *)
+
+val word : ?symbols:(string * int) list -> int -> string
+(** Render one word per {!classify}. *)
+
+val segment :
+  ?symbols:(string * int) list -> ?base_label:string -> int array -> string
+(** A full segment dump: one line per word with address, octal
+    contents and rendering; label lines interleaved from the symbol
+    table. *)

@@ -1,0 +1,27 @@
+(** Line-oriented parser for the assembly language.
+
+    Syntax, one statement per line:
+
+    {v
+    label:  opcode  [xN|prN,] [operand][,*][,xN]   ; comment
+    v}
+
+    Operands: [=expr] immediate, [expr] segment-local (a number or a
+    label), [prN|expr] pointer-register relative.  The [,*] suffix
+    requests indirection; [,xN] indexes by an index register.  The
+    register-selecting instructions (EAP, SPR, LDX, STX, TSX) take the
+    selected register as a first operand: [eap pr1, arglist],
+    [tsx x1, subr].
+
+    Directives: [.org n], [.word e,...], [.zero n],
+    [.its ring, target[,*]] (target a local expression or external
+    [seg$sym]), [.gate label].  Numbers are decimal or [0o] octal. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_line : int -> string -> (Statement.line, error) result
+
+val parse : string -> (Statement.line list, error list) result
+(** Parse a whole source; collects all line errors. *)

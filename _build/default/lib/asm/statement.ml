@@ -1,0 +1,41 @@
+type expr = Num of int | Sym of string | Sym_offset of string * int
+
+type target =
+  | Local of expr
+  | External of { segment : string; symbol : string }
+  | Absolute of { segno : expr; wordno : expr }
+
+type operand =
+  | Immediate of expr
+  | Ipr_rel of expr
+  | Pr_rel of { pr : int; offset : expr }
+
+type instruction = {
+  opcode : Isa.Opcode.t;
+  xr : int;
+  operand : operand option;
+  indirect : bool;
+  indexed : bool;
+}
+
+type directive =
+  | Org of expr
+  | Word of expr list
+  | Zero of expr
+  | Its of { ring : expr; target : target; indirect : bool }
+  | Gate of string
+
+type stmt = Instruction of instruction | Directive of directive
+
+type line = { number : int; label : string option; stmt : stmt option }
+
+let pp_expr ppf = function
+  | Num n -> Format.fprintf ppf "%d" n
+  | Sym s -> Format.pp_print_string ppf s
+  | Sym_offset (s, n) ->
+      Format.fprintf ppf "%s%s%d" s (if n >= 0 then "+" else "") n
+
+let pp_operand ppf = function
+  | Immediate e -> Format.fprintf ppf "=%a" pp_expr e
+  | Ipr_rel e -> pp_expr ppf e
+  | Pr_rel { pr; offset } -> Format.fprintf ppf "pr%d|%a" pr pp_expr offset

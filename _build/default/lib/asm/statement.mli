@@ -1,0 +1,56 @@
+(** Abstract syntax of the assembly language.
+
+    One source line holds at most one statement, optionally preceded
+    by a label.  The language is deliberately close to the machine:
+    instructions can only address their own segment (IPR-relative), a
+    pointer register, or an immediate — exactly the reach of the
+    hardware instruction word.  References to {e other} segments are
+    expressed with [.its] indirect words naming an external symbol
+    [seg$entry], resolved at load time, in the style of Multics
+    linkage sections. *)
+
+type expr =
+  | Num of int
+  | Sym of string  (** Local label; value is its word number. *)
+  | Sym_offset of string * int  (** [label+n] or [label-n]. *)
+
+type target =
+  | Local of expr  (** Within this segment. *)
+  | External of { segment : string; symbol : string }
+      (** [seg$sym], resolved by the loader-supplied environment. *)
+  | Absolute of { segno : expr; wordno : expr }
+      (** A literal (segno, wordno) pair: [.its ring, segno, wordno]. *)
+
+type operand =
+  | Immediate of expr
+  | Ipr_rel of expr  (** Offset within the current segment. *)
+  | Pr_rel of { pr : int; offset : expr }
+
+type instruction = {
+  opcode : Isa.Opcode.t;
+  xr : int;  (** Register selector or index register; 0 if unused. *)
+  operand : operand option;
+  indirect : bool;
+  indexed : bool;
+}
+
+type directive =
+  | Org of expr
+  | Word of expr list
+  | Zero of expr  (** Reserve n zero words. *)
+  | Its of { ring : expr; target : target; indirect : bool }
+      (** Assemble an indirect word. *)
+  | Gate of string
+      (** Declare a gate: emits [TRA label] in the transfer vector
+          that must occupy the first words of the segment, and counts
+          toward the segment's SDW.GATE value. *)
+
+type stmt = Instruction of instruction | Directive of directive
+
+type line = {
+  number : int;  (** 1-based source line number. *)
+  label : string option;
+  stmt : stmt option;
+}
+
+val pp_operand : Format.formatter -> operand -> unit

@@ -1,0 +1,1 @@
+lib/core/brackets.ml: Format Printf Ring

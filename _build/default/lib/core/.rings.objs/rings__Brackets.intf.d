@@ -1,0 +1,1 @@
+lib/core/brackets.mli: Format Ring

@@ -1,0 +1,1 @@
+lib/core/call.ml: Access Brackets Effective_ring Fault Ring

@@ -1,0 +1,1 @@
+lib/core/call.mli: Access Effective_ring Fault Ring

@@ -1,0 +1,1 @@
+lib/core/effective_ring.ml: Ring

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Access Brackets Effective_ring Fault Result Ring

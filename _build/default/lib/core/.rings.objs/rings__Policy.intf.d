@@ -1,0 +1,1 @@
+lib/core/policy.mli: Access Effective_ring Fault Ring

@@ -1,0 +1,1 @@
+lib/core/return_op.ml: Access Effective_ring Fault Policy Ring

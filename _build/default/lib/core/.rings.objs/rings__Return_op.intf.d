@@ -1,0 +1,1 @@
+lib/core/return_op.mli: Access Effective_ring Fault Ring

@@ -1,0 +1,1 @@
+lib/core/ring.ml: Format Fun Int List Printf Stdlib

@@ -1,0 +1,37 @@
+type t = {
+  read : bool;
+  write : bool;
+  execute : bool;
+  brackets : Brackets.t;
+  gates : int;
+}
+
+let v ?(read = false) ?(write = false) ?(execute = false) ?(gates = 0)
+    brackets =
+  if gates < 0 then invalid_arg "Access.v: negative gate count";
+  { read; write; execute; brackets; gates }
+
+let data_segment ?(write = true) ~writable_to ~readable_to () =
+  v ~read:true ~write
+    (Brackets.data ~writable_to:(Ring.v writable_to)
+       ~readable_to:(Ring.v readable_to))
+
+let procedure_segment ?(readable = true) ?(gates = 0) ~execute_in
+    ~callable_from () =
+  v ~read:readable ~execute:true ~gates
+    (Brackets.gated ~execute_in:(Ring.v execute_in)
+       ~callable_from:(Ring.v callable_from))
+
+let no_access = v (Brackets.single_ring Ring.r0)
+
+let equal a b =
+  a.read = b.read && a.write = b.write && a.execute = b.execute
+  && Brackets.equal a.brackets b.brackets
+  && a.gates = b.gates
+
+let pp ppf t =
+  Format.fprintf ppf "%c%c%c %a gates=%d"
+    (if t.read then 'R' else '-')
+    (if t.write then 'W' else '-')
+    (if t.execute then 'E' else '-')
+    Brackets.pp t.brackets t.gates

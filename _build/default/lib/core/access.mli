@@ -1,0 +1,53 @@
+(** The access-control portion of a segment descriptor word.
+
+    These are the fields of Fig. 3 that govern protection: the
+    single-bit read, write and execute flags; the three ring numbers
+    delimiting the brackets; and the gate count.  The gate list of a
+    segment is compressed to a single length field by requiring all
+    gate locations to be gathered together beginning at word 0 — GATE
+    is the number of gate locations present.
+
+    The values of all these fields come from the access control list
+    entry which permitted the process to include the segment in its
+    virtual memory (see {!module:Os} for that derivation). *)
+
+type t = {
+  read : bool;
+  write : bool;
+  execute : bool;
+  brackets : Brackets.t;
+  gates : int;  (** Number of gate words, packed from word 0. *)
+}
+
+val v :
+  ?read:bool ->
+  ?write:bool ->
+  ?execute:bool ->
+  ?gates:int ->
+  Brackets.t ->
+  t
+(** All flags default to off and [gates] to 0.  Raises
+    [Invalid_argument] on a negative gate count. *)
+
+val data_segment :
+  ?write:bool -> writable_to:int -> readable_to:int -> unit -> t
+(** A data segment in the style of Fig. 1: read flag on, write flag on
+    unless [~write:false], execute flag off. *)
+
+val procedure_segment :
+  ?readable:bool ->
+  ?gates:int ->
+  execute_in:int ->
+  callable_from:int ->
+  unit ->
+  t
+(** A pure procedure segment in the style of Fig. 2: execute flag on,
+    write flag off, read flag on unless [~readable:false]; brackets
+    [execute_in, execute_in, callable_from]. *)
+
+val no_access : t
+(** All flags off — the segment is in the virtual memory but no ring
+    includes any capability for it. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = { r1 : Ring.t; r2 : Ring.t; r3 : Ring.t }
+
+let v ~r1 ~r2 ~r3 =
+  if Ring.compare r1 r2 > 0 || Ring.compare r2 r3 > 0 then
+    invalid_arg
+      (Printf.sprintf "Brackets.v: need R1 <= R2 <= R3, got %d %d %d"
+         (Ring.to_int r1) (Ring.to_int r2) (Ring.to_int r3))
+  else { r1; r2; r3 }
+
+let of_ints r1 r2 r3 = v ~r1:(Ring.v r1) ~r2:(Ring.v r2) ~r3:(Ring.v r3)
+
+let of_ints_opt r1 r2 r3 =
+  match (Ring.of_int_opt r1, Ring.of_int_opt r2, Ring.of_int_opt r3) with
+  | Some r1, Some r2, Some r3 when r1 <= r2 && r2 <= r3 ->
+      Some { r1; r2; r3 }
+  | _ -> None
+
+let in_write_bracket t ring = Ring.compare ring t.r1 <= 0
+let in_read_bracket t ring = Ring.compare ring t.r2 <= 0
+
+let in_execute_bracket t ring =
+  Ring.compare t.r1 ring <= 0 && Ring.compare ring t.r2 <= 0
+
+let in_gate_extension t ring =
+  Ring.compare t.r2 ring < 0 && Ring.compare ring t.r3 <= 0
+
+let write_bracket_top t = t.r1
+let execute_bracket_bottom t = t.r1
+let execute_bracket_top t = t.r2
+let read_bracket_top t = t.r2
+let gate_extension_top t = t.r3
+let single_ring r = { r1 = r; r2 = r; r3 = r }
+
+let gated ~execute_in ~callable_from =
+  if Ring.compare callable_from execute_in < 0 then
+    invalid_arg "Brackets.gated: callable_from must not be below execute_in";
+  { r1 = execute_in; r2 = execute_in; r3 = callable_from }
+
+let data ~writable_to ~readable_to =
+  if Ring.compare readable_to writable_to < 0 then
+    invalid_arg "Brackets.data: readable_to must not be below writable_to";
+  { r1 = writable_to; r2 = readable_to; r3 = readable_to }
+
+let equal a b =
+  Ring.equal a.r1 b.r1 && Ring.equal a.r2 b.r2 && Ring.equal a.r3 b.r3
+
+let pp ppf t =
+  Format.fprintf ppf "(%d,%d,%d)" (Ring.to_int t.r1) (Ring.to_int t.r2)
+    (Ring.to_int t.r3)

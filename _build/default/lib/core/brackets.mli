@@ -1,0 +1,71 @@
+(** Access brackets: the per-segment ring ranges of Fig. 3.
+
+    An SDW carries three ring numbers R1 ≤ R2 ≤ R3 which delimit, for
+    the segment it describes:
+
+    - the {b write bracket}: rings [0 .. R1];
+    - the {b execute bracket}: rings [R1 .. R2] — reusing R1 as the
+      bottom of the execute bracket is the paper's deliberate double
+      use of the field, which "eliminates an unwanted degree of
+      freedom" such as a segment both writable and executable in more
+      than one ring;
+    - the {b read bracket}: rings [0 .. R2] — R2 is reused as the top
+      of the read bracket, saving a fourth field;
+    - the {b gate extension}: rings [R2+1 .. R3], the rings above the
+      execute bracket that hold the "transfer to a gate and change
+      ring" capability.
+
+    Supervisor code constructing SDWs must guarantee R1 ≤ R2 ≤ R3; the
+    [v] constructor enforces exactly that invariant. *)
+
+type t = private { r1 : Ring.t; r2 : Ring.t; r3 : Ring.t }
+
+val v : r1:Ring.t -> r2:Ring.t -> r3:Ring.t -> t
+(** Raises [Invalid_argument] unless R1 ≤ R2 ≤ R3. *)
+
+val of_ints : int -> int -> int -> t
+(** [of_ints r1 r2 r3] validates both the ring ranges and the
+    ordering. *)
+
+val of_ints_opt : int -> int -> int -> t option
+
+val in_write_bracket : t -> Ring.t -> bool
+(** Ring within [0 .. R1]. *)
+
+val in_read_bracket : t -> Ring.t -> bool
+(** Ring within [0 .. R2]. *)
+
+val in_execute_bracket : t -> Ring.t -> bool
+(** Ring within [R1 .. R2]. *)
+
+val in_gate_extension : t -> Ring.t -> bool
+(** Ring within [R2+1 .. R3].  Empty whenever R3 = R2. *)
+
+val write_bracket_top : t -> Ring.t
+(** R1: the highest-numbered ring from which the segment could have
+    been written — the term folded into the effective ring each time
+    an indirect word is fetched from the segment (Fig. 5). *)
+
+val execute_bracket_bottom : t -> Ring.t
+val execute_bracket_top : t -> Ring.t
+val read_bracket_top : t -> Ring.t
+val gate_extension_top : t -> Ring.t
+
+val single_ring : Ring.t -> t
+(** [single_ring r] is the common case of a procedure intended to
+    execute in exactly one ring: R1 = R2 = R3 = r, no gate
+    extension. *)
+
+val gated : execute_in:Ring.t -> callable_from:Ring.t -> t
+(** [gated ~execute_in ~callable_from] builds brackets for a gate
+    segment executing in ring [execute_in] whose gates are reachable
+    from rings up to [callable_from].  Raises [Invalid_argument] if
+    [callable_from] < [execute_in]. *)
+
+val data : writable_to:Ring.t -> readable_to:Ring.t -> t
+(** Brackets for a data segment: write bracket top [writable_to], read
+    bracket top [readable_to], empty gate extension.  Raises
+    [Invalid_argument] if [readable_to] < [writable_to]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type crossing = Same_ring | Downward
+
+type decision = {
+  new_ring : Ring.t;
+  crossing : crossing;
+  via_gate : bool;
+}
+
+let check_gate (a : Access.t) ~wordno =
+  if wordno < a.gates then Ok ()
+  else Error (Fault.Gate_violation { wordno; gates = a.gates })
+
+let validate ?(gate_on_same_ring = true) (a : Access.t) ~exec ~effective
+    ~segno ~wordno ~same_segment =
+  let eff = Effective_ring.ring effective in
+  let b = a.brackets in
+  if not a.execute then Error Fault.No_execute_permission
+  else if Ring.compare eff (Brackets.gate_extension_top b) > 0 then
+    Error
+      (Fault.Outside_gate_extension
+         { effective = eff; top = Brackets.gate_extension_top b })
+  else if Ring.compare eff (Brackets.execute_bracket_top b) > 0 then
+    (* Effective ring in the gate extension: downward call through a
+       gate, landing at the top of the execute bracket. *)
+    match check_gate a ~wordno with
+    | Error _ as e -> e
+    | Ok () ->
+        let new_ring = Brackets.execute_bracket_top b in
+        if Ring.compare new_ring exec > 0 then
+          (* Only the effective ring, not the actual ring of
+             execution, was in the gate extension: an upward call in
+             disguise. *)
+          Error (Fault.Effective_ring_raised { exec; effective = eff })
+        else
+          Ok
+            {
+              new_ring;
+              crossing =
+                (if Ring.equal new_ring exec then Same_ring else Downward);
+              via_gate = true;
+            }
+  else if Ring.compare eff (Brackets.execute_bracket_bottom b) >= 0 then
+    (* Effective ring within the execute bracket. *)
+    if Ring.compare eff exec > 0 then
+      Error (Fault.Effective_ring_raised { exec; effective = eff })
+    else
+      let gate_check =
+        if same_segment || not gate_on_same_ring then Ok ()
+        else check_gate a ~wordno
+      in
+      match gate_check with
+      | Error _ as e -> e
+      | Ok () ->
+          Ok
+            {
+              new_ring = eff;
+              crossing = Same_ring;
+              via_gate = (not same_segment) && gate_on_same_ring;
+            }
+  else
+    (* Effective ring below the execute bracket: the call would raise
+       the ring of execution — software intervention required. *)
+    Error
+      (Fault.Upward_call
+         {
+           from_ring = exec;
+           to_ring = Brackets.execute_bracket_bottom b;
+           segno;
+           wordno;
+         })

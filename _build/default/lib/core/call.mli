@@ -1,0 +1,57 @@
+(** The CALL instruction's access validation (Fig. 8).
+
+    CALL is one of the two instructions permitted to change the ring
+    of execution; it switches the ring {e downward} (or leaves it
+    unchanged) when the occasion requires, without trapping.  The
+    decision procedure below is evaluated against the effective
+    address (TPR) after Fig. 5 address formation:
+
+    - The target segment must have its execute flag on.
+    - If the effective ring lies in the gate extension (R2 < eff ≤ R3)
+      the target word must be one of the first SDW.GATE words, and the
+      new ring is R2 — a downward call through a gate.
+    - An effective ring above the gate extension (eff > R3) is an
+      access violation.
+    - Within the execute bracket (R1 ≤ eff ≤ R2) the call stays in the
+      effective ring.  Even then the target must be a gate — the
+      rationale is protection against accidental calls to locations
+      that are not entry points — except when the operand lies in the
+      same segment as the CALL instruction itself (internal
+      procedures).
+    - Because validation is relative to TPR.RING, a call that appears
+      same-ring or downward with respect to the effective ring can be
+      an upward call with respect to the actual ring of execution
+      (PR-relative addressing or indirection raised the effective
+      ring).  The paper deems this an error and generates an access
+      violation.
+    - An effective ring below the execute bracket (eff < R1) is an
+      upward call: legal, but performed by software after a trap.
+
+    The [gate_on_same_ring] flag exists only for the ablation bench:
+    turning it off removes the paper's same-ring gate discipline so
+    the bench can count the accidental-entry faults it would have
+    caught. *)
+
+type crossing = Same_ring | Downward
+
+type decision = {
+  new_ring : Ring.t;  (** Ring in which the called procedure runs. *)
+  crossing : crossing;
+  via_gate : bool;  (** The gate list was consulted. *)
+}
+
+val validate :
+  ?gate_on_same_ring:bool ->
+  Access.t ->
+  exec:Ring.t ->
+  effective:Effective_ring.t ->
+  segno:int ->
+  wordno:int ->
+  same_segment:bool ->
+  (decision, Fault.t) result
+(** [validate access ~exec ~effective ~segno ~wordno ~same_segment]
+    decides a CALL whose instruction executes in ring [exec] and whose
+    effective address is word [wordno] of segment [segno] with
+    effective ring [effective].  [same_segment] is true when the
+    operand is in the segment containing the CALL instruction.
+    [segno] only labels the [Upward_call] fault for the gatekeeper. *)

@@ -1,0 +1,12 @@
+type t = Ring.t
+
+let start ring = ring
+let via_pointer_register t ~pr_ring = Ring.max t pr_ring
+
+let via_indirect_word t ~ind_ring ~container_write_top =
+  Ring.max (Ring.max t ind_ring) container_write_top
+
+let weaken_to t r = Ring.max t r
+let ring t = t
+let to_int = Ring.to_int
+let pp = Ring.pp

@@ -1,0 +1,44 @@
+(** The effective ring number of an operand reference (Fig. 5).
+
+    The effective ring provides a procedure with the means of
+    voluntarily assuming the access capabilities of a higher-numbered
+    ring, and simultaneously records the highest-numbered ring from
+    which a procedure in the same process could possibly have
+    influenced the effective address calculation.
+
+    TPR.RING starts at the current ring of execution and is only ever
+    {e raised}:
+
+    - when the instruction addresses relative to a pointer register,
+      with PRn.RING;
+    - on each indirect-word fetch, with both the RING field of the
+      indirect word and the top of the write bracket (SDW.R1) of the
+      segment containing the indirect word — the latter being the
+      highest ring that could have altered the indirect word.
+
+    The type is a thin wrapper over {!Ring.t} so that the monotone
+    discipline is visible in the signatures of the address-formation
+    code. *)
+
+type t = private Ring.t
+
+val start : Ring.t -> t
+(** Effective ring at the start of an address calculation: the ring of
+    execution. *)
+
+val via_pointer_register : t -> pr_ring:Ring.t -> t
+(** Fold in PRn.RING when the address is an offset relative to PRn. *)
+
+val via_indirect_word :
+  t -> ind_ring:Ring.t -> container_write_top:Ring.t -> t
+(** Fold in an indirect word's RING field together with SDW.R1 of the
+    segment the word was fetched from. *)
+
+val weaken_to : t -> Ring.t -> t
+(** [weaken_to t r] folds an arbitrary ring into the effective ring.
+    Used by RETURN, where the effective ring of the operand determines
+    the ring returned to. *)
+
+val ring : t -> Ring.t
+val to_int : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+type t =
+  | No_read_permission
+  | No_write_permission
+  | No_execute_permission
+  | Read_bracket_violation of { effective : Ring.t; top : Ring.t }
+  | Write_bracket_violation of { effective : Ring.t; top : Ring.t }
+  | Execute_bracket_violation of {
+      ring : Ring.t;
+      bottom : Ring.t;
+      top : Ring.t;
+    }
+  | Gate_violation of { wordno : int; gates : int }
+  | Outside_gate_extension of { effective : Ring.t; top : Ring.t }
+  | Upward_call of {
+      from_ring : Ring.t;
+      to_ring : Ring.t;
+      segno : int;
+      wordno : int;
+    }
+  | Effective_ring_raised of { exec : Ring.t; effective : Ring.t }
+  | Downward_return of { from_ring : Ring.t; to_ring : Ring.t }
+  | Transfer_ring_change of { exec : Ring.t; effective : Ring.t }
+  | Privileged_instruction of { ring : Ring.t }
+  | Missing_segment of { segno : int }
+  | Missing_page of { segno : int; pageno : int }
+  | Bound_violation of { segno : int; wordno : int; bound : int }
+  | Illegal_opcode of { word : int }
+  | Cross_ring_transfer of { segno : int; wordno : int }
+  | Halt_in_slave_ring of { ring : Ring.t }
+  | Divide_by_zero
+  | Service_call of { code : int }
+  | Timer_runout
+  | Io_completion
+
+let code = function
+  | No_read_permission -> 0
+  | No_write_permission -> 1
+  | No_execute_permission -> 2
+  | Read_bracket_violation _ -> 3
+  | Write_bracket_violation _ -> 4
+  | Execute_bracket_violation _ -> 5
+  | Gate_violation _ -> 6
+  | Outside_gate_extension _ -> 7
+  | Upward_call _ -> 8
+  | Effective_ring_raised _ -> 9
+  | Downward_return _ -> 10
+  | Transfer_ring_change _ -> 11
+  | Privileged_instruction _ -> 12
+  | Missing_segment _ -> 13
+  | Missing_page _ -> 14
+  | Bound_violation _ -> 15
+  | Illegal_opcode _ -> 16
+  | Cross_ring_transfer _ -> 17
+  | Halt_in_slave_ring _ -> 18
+  | Divide_by_zero -> 19
+  | Service_call _ -> 20
+  | Timer_runout -> 21
+  | Io_completion -> 22
+
+let is_access_violation = function
+  | Upward_call _ | Downward_return _ | Missing_segment _ | Missing_page _
+  | Cross_ring_transfer _ | Service_call _ | Timer_runout | Io_completion ->
+      false
+  | No_read_permission | No_write_permission | No_execute_permission
+  | Read_bracket_violation _ | Write_bracket_violation _
+  | Execute_bracket_violation _ | Gate_violation _
+  | Outside_gate_extension _ | Effective_ring_raised _
+  | Transfer_ring_change _ | Privileged_instruction _ | Bound_violation _
+  | Illegal_opcode _ | Halt_in_slave_ring _ | Divide_by_zero ->
+      true
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | No_read_permission -> Format.fprintf ppf "no read permission"
+  | No_write_permission -> Format.fprintf ppf "no write permission"
+  | No_execute_permission -> Format.fprintf ppf "no execute permission"
+  | Read_bracket_violation { effective; top } ->
+      Format.fprintf ppf "read bracket violation: %a above top %a" Ring.pp
+        effective Ring.pp top
+  | Write_bracket_violation { effective; top } ->
+      Format.fprintf ppf "write bracket violation: %a above top %a" Ring.pp
+        effective Ring.pp top
+  | Execute_bracket_violation { ring; bottom; top } ->
+      Format.fprintf ppf
+        "execute bracket violation: %a outside [%a, %a]" Ring.pp ring Ring.pp
+        bottom Ring.pp top
+  | Gate_violation { wordno; gates } ->
+      Format.fprintf ppf "gate violation: word %d not among %d gates" wordno
+        gates
+  | Outside_gate_extension { effective; top } ->
+      Format.fprintf ppf "outside gate extension: %a above top %a" Ring.pp
+        effective Ring.pp top
+  | Upward_call { from_ring; to_ring; segno; wordno } ->
+      Format.fprintf ppf
+        "upward call %a -> %a at %d|%06o (software intervention)" Ring.pp
+        from_ring Ring.pp to_ring segno wordno
+  | Effective_ring_raised { exec; effective } ->
+      Format.fprintf ppf
+        "call with effective ring %a above ring of execution %a" Ring.pp
+        effective Ring.pp exec
+  | Downward_return { from_ring; to_ring } ->
+      Format.fprintf ppf "downward return %a -> %a (software intervention)"
+        Ring.pp from_ring Ring.pp to_ring
+  | Transfer_ring_change { exec; effective } ->
+      Format.fprintf ppf
+        "transfer would change ring: executing %a, effective %a" Ring.pp exec
+        Ring.pp effective
+  | Privileged_instruction { ring } ->
+      Format.fprintf ppf "privileged instruction in %a" Ring.pp ring
+  | Missing_segment { segno } ->
+      Format.fprintf ppf "missing segment %d" segno
+  | Missing_page { segno; pageno } ->
+      Format.fprintf ppf "missing page %d of segment %d" pageno segno
+  | Bound_violation { segno; wordno; bound } ->
+      Format.fprintf ppf "bound violation: %d|%06o beyond bound %d" segno
+        wordno bound
+  | Illegal_opcode { word } ->
+      Format.fprintf ppf "illegal opcode in word %012o" word
+  | Cross_ring_transfer { segno; wordno } ->
+      Format.fprintf ppf "cross-ring transfer to %d|%06o (645 gatekeeper)"
+        segno wordno
+  | Halt_in_slave_ring { ring } ->
+      Format.fprintf ppf "HALT attempted in %a" Ring.pp ring
+  | Divide_by_zero -> Format.fprintf ppf "divide by zero"
+  | Service_call { code } -> Format.fprintf ppf "service call %d" code
+  | Timer_runout -> Format.fprintf ppf "timer runout"
+  | Io_completion -> Format.fprintf ppf "I/O completion"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,94 @@
+(** Fault taxonomy.
+
+    Every condition in Figs. 4–9 that "generates a trap, derailing the
+    instruction cycle" is one constructor here, together with the
+    substrate conditions (missing segment, bound violation) that the
+    paper mentions in passing.  A fault either denotes an {e access
+    violation} — the reference is illegal and the program is in error —
+    or a condition requiring {e software intervention} on behalf of a
+    legal program (upward call, downward return, missing segment). *)
+
+type t =
+  (* Flag off in the SDW: the capability is in no ring of the process. *)
+  | No_read_permission
+  | No_write_permission
+  | No_execute_permission
+  (* Effective ring outside the corresponding bracket. *)
+  | Read_bracket_violation of { effective : Ring.t; top : Ring.t }
+  | Write_bracket_violation of { effective : Ring.t; top : Ring.t }
+  | Execute_bracket_violation of {
+      ring : Ring.t;
+      bottom : Ring.t;
+      top : Ring.t;
+    }
+  (* CALL-specific conditions (Fig. 8). *)
+  | Gate_violation of { wordno : int; gates : int }
+      (** CALL target is not one of the first [gates] words. *)
+  | Outside_gate_extension of { effective : Ring.t; top : Ring.t }
+      (** Caller's effective ring is above the gate extension. *)
+  | Upward_call of {
+      from_ring : Ring.t;
+      to_ring : Ring.t;
+      segno : int;
+      wordno : int;
+    }
+      (** Legal but requires software intervention: the target's
+          execute bracket lies wholly above the caller's ring.  The
+          target's two-part address is carried for the gatekeeper. *)
+  | Effective_ring_raised of { exec : Ring.t; effective : Ring.t }
+      (** A call that appears same-ring or downward with respect to
+          TPR.RING but upward with respect to IPR.RING — the paper
+          deems this an error and generates an access violation. *)
+  (* RETURN-specific (Fig. 9). *)
+  | Downward_return of { from_ring : Ring.t; to_ring : Ring.t }
+  (* Ordinary transfers (Fig. 7). *)
+  | Transfer_ring_change of { exec : Ring.t; effective : Ring.t }
+      (** All transfer instructions except CALL and RETURN are
+          constrained from changing the ring of execution. *)
+  (* Privileged instructions execute only in ring 0. *)
+  | Privileged_instruction of { ring : Ring.t }
+  (* Substrate conditions. *)
+  | Missing_segment of { segno : int }
+  | Missing_page of { segno : int; pageno : int }
+      (** Demand paging: the page table word is not present; the
+          supervisor brings the page in and resumes the instruction. *)
+  | Bound_violation of { segno : int; wordno : int; bound : int }
+  | Illegal_opcode of { word : int }
+  | Cross_ring_transfer of { segno : int; wordno : int }
+      (** 645-mode only: a CALL or RETURN whose target is not
+          executable under the current ring's descriptor segment;
+          serviced by the software gatekeeper. *)
+  | Halt_in_slave_ring of { ring : Ring.t }
+      (** Reserved: HALT outside ring 0 currently reports the general
+          [Privileged_instruction]; this keeps vector slot 18 for a
+          processor that distinguishes the two. *)
+  | Divide_by_zero
+  | Service_call of { code : int }
+      (** The MME (master mode entry) instruction: a deliberate trap
+          into the supervisor, used by the software ring
+          implementations for their trampolines. *)
+  | Timer_runout
+      (** The interval timer reached zero between instructions — the
+          trap that drives processor multiplexing.  The saved state
+          addresses the next instruction, so restoring it resumes the
+          preempted computation. *)
+  | Io_completion
+      (** An I/O channel operation started by SIOC has completed —
+          another of the paper's trap sources; serviced transparently
+          by the supervisor. *)
+
+val code : t -> int
+(** A stable small integer per constructor — the trap vector slot the
+    processor transfers to when a simulated supervisor is configured
+    ({!Isa.Machine.trap_config}).  Payloads are not encoded; handlers
+    read the machine conditions for detail. *)
+
+val is_access_violation : t -> bool
+(** True for conditions that denote an illegal reference, false for
+    those that merely require software intervention (upward call,
+    downward return, missing segment or page, 645 cross-ring
+    transfer). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+let validate_fetch (a : Access.t) ~ring =
+  if not a.execute then Error Fault.No_execute_permission
+  else if Brackets.in_execute_bracket a.brackets ring then Ok ()
+  else
+    Error
+      (Fault.Execute_bracket_violation
+         {
+           ring;
+           bottom = Brackets.execute_bracket_bottom a.brackets;
+           top = Brackets.execute_bracket_top a.brackets;
+         })
+
+let validate_read (a : Access.t) ~effective =
+  let ring = Effective_ring.ring effective in
+  if not a.read then Error Fault.No_read_permission
+  else if Brackets.in_read_bracket a.brackets ring then Ok ()
+  else
+    Error
+      (Fault.Read_bracket_violation
+         { effective = ring; top = Brackets.read_bracket_top a.brackets })
+
+let validate_write (a : Access.t) ~effective =
+  let ring = Effective_ring.ring effective in
+  if not a.write then Error Fault.No_write_permission
+  else if Brackets.in_write_bracket a.brackets ring then Ok ()
+  else
+    Error
+      (Fault.Write_bracket_violation
+         { effective = ring; top = Brackets.write_bracket_top a.brackets })
+
+let validate_indirect_fetch = validate_read
+
+let validate_transfer (a : Access.t) ~exec ~effective =
+  let eff = Effective_ring.ring effective in
+  if not (Ring.equal eff exec) then
+    Error (Fault.Transfer_ring_change { exec; effective = eff })
+  else validate_fetch a ~ring:exec
+
+let validate_privileged ~ring =
+  if Ring.equal ring Ring.r0 then Ok ()
+  else Error (Fault.Privileged_instruction { ring })
+
+type capability = Read | Write | Execute | Call_gate
+
+let permitted (a : Access.t) ~ring = function
+  | Read ->
+      Result.is_ok (validate_read a ~effective:(Effective_ring.start ring))
+  | Write ->
+      Result.is_ok (validate_write a ~effective:(Effective_ring.start ring))
+  | Execute -> Result.is_ok (validate_fetch a ~ring)
+  | Call_gate ->
+      a.execute && a.gates > 0
+      && (Brackets.in_execute_bracket a.brackets ring
+         || Brackets.in_gate_extension a.brackets ring)

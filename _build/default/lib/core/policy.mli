@@ -1,0 +1,63 @@
+(** Reference validation: the checks of Figs. 4, 6 and 7.
+
+    Each function is the pure decision procedure the processor applies
+    at the corresponding point of the instruction cycle.  [Ok ()]
+    means the reference proceeds; [Error f] means the cycle derails
+    into a trap with fault [f]. *)
+
+val validate_fetch : Access.t -> ring:Ring.t -> (unit, Fault.t) result
+(** Fig. 4: retrieving the next instruction.  Requires the execute
+    flag on and the ring of execution within the execute bracket
+    [R1 .. R2]. *)
+
+val validate_read :
+  Access.t -> effective:Effective_ring.t -> (unit, Fault.t) result
+(** Fig. 6: an instruction that reads its operand.  Requires the read
+    flag on and the effective ring within the read bracket
+    [0 .. R2]. *)
+
+val validate_write :
+  Access.t -> effective:Effective_ring.t -> (unit, Fault.t) result
+(** Fig. 6: an instruction that writes its operand.  Requires the
+    write flag on and the effective ring within the write bracket
+    [0 .. R1]. *)
+
+val validate_indirect_fetch :
+  Access.t -> effective:Effective_ring.t -> (unit, Fault.t) result
+(** Fig. 5: the capability to read an indirect word during effective
+    address formation must be validated before the word is retrieved,
+    with respect to the value of TPR.RING at the time it is
+    encountered.  Same rule as {!validate_read}. *)
+
+val validate_transfer :
+  Access.t ->
+  exec:Ring.t ->
+  effective:Effective_ring.t ->
+  (unit, Fault.t) result
+(** Fig. 7: advance check for transfer instructions other than CALL
+    and RETURN.  Ordinary transfers are constrained from changing the
+    ring of execution, so the effective ring must equal the ring of
+    execution, and the target must satisfy the Fig. 4 fetch check in
+    the current ring.  The check is advisory from the hardware's point
+    of view — the reference itself is not performed — but it catches
+    the violation while the offending transfer instruction can still
+    be identified. *)
+
+val validate_privileged : ring:Ring.t -> (unit, Fault.t) result
+(** Privileged instructions (load DBR, start I/O, restore processor
+    state) execute only in ring 0. *)
+
+(** {1 Capability summaries}
+
+    Convenience predicates used by the figure-regeneration benches to
+    print allow/deny matrices over all rings. *)
+
+type capability = Read | Write | Execute | Call_gate
+
+val permitted : Access.t -> ring:Ring.t -> capability -> bool
+(** [permitted access ~ring cap] says whether a process executing in
+    [ring] holds [cap] for the segment: reads and writes use the
+    bracket rules with effective ring = [ring]; [Execute] uses the
+    fetch rule; [Call_gate] holds when the ring is inside the execute
+    bracket or gate extension and the segment has at least one
+    gate. *)

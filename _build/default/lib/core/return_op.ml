@@ -1,0 +1,20 @@
+type crossing = Same_ring | Upward
+
+type decision = {
+  new_ring : Ring.t;
+  crossing : crossing;
+  maximize_pr_rings : bool;
+}
+
+let validate (a : Access.t) ~exec ~effective =
+  let new_ring = Effective_ring.ring effective in
+  if Ring.compare new_ring exec < 0 then
+    Error (Fault.Downward_return { from_ring = exec; to_ring = new_ring })
+  else
+    match Policy.validate_fetch a ~ring:new_ring with
+    | Error _ as e -> e
+    | Ok () ->
+        if Ring.compare new_ring exec > 0 then
+          Ok { new_ring; crossing = Upward; maximize_pr_rings = true }
+        else
+          Ok { new_ring; crossing = Same_ring; maximize_pr_rings = false }

@@ -1,0 +1,41 @@
+(** The RETURN instruction's access validation (Fig. 9).
+
+    RETURN is the second instruction permitted to change the ring of
+    execution; it switches the ring {e upward} (or leaves it
+    unchanged).  The ring returned to is the effective ring of the
+    RETURN operand.  Because the effective ring starts at the ring of
+    execution and is only ever raised during address formation, the
+    hardware cannot express a downward return at all — which is
+    precisely the guarantee that a called procedure cannot be tricked
+    into returning control to a ring lower than its caller's.  The
+    [Downward_return] fault is kept as a defensive branch and for the
+    software path that emulates upward calls.
+
+    On an upward return the RING fields of {e all} pointer registers
+    are replaced with the larger of their current values and the new
+    ring of execution.  Together with the fact that PRs can only be
+    loaded by EAP-type instructions, this guarantees PRn.RING ≥
+    IPR.RING at all times. *)
+
+type crossing = Same_ring | Upward
+
+type decision = {
+  new_ring : Ring.t;
+  crossing : crossing;
+  maximize_pr_rings : bool;
+      (** True on an upward return: every PRn.RING must be raised to
+          at least [new_ring]. *)
+}
+
+val validate :
+  Access.t ->
+  exec:Ring.t ->
+  effective:Effective_ring.t ->
+  (decision, Fault.t) result
+(** [validate access ~exec ~effective] decides a RETURN executing in
+    ring [exec] whose operand's effective address names a word of the
+    target segment with effective ring [effective].  The target must
+    satisfy the Fig. 4 fetch check in the {e new} ring (the advance
+    check shared with other transfer instructions): the instruction
+    executed immediately after an upward ring switch must come from a
+    segment executable in the new, higher-numbered ring. *)

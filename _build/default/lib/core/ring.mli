@@ -1,0 +1,60 @@
+(** Protection ring numbers.
+
+    A process has a fixed number of nested domains called protection
+    rings, named 0 through [count - 1].  Ring 0 carries the greatest
+    access privilege and ring [count - 1] the least: the capabilities
+    of ring m are a subset of those of ring n whenever m > n.
+
+    The paper chose eight rings for Multics; the hardware description
+    (Fig. 3) encodes ring numbers in 3-bit fields, which fixes
+    [count = 8] for this implementation just as it did for the
+    Honeywell 6180. *)
+
+type t = private int
+(** A validated ring number in [0, count). *)
+
+val count : int
+(** Number of rings: 8, as fixed by the 3-bit SDW ring fields. *)
+
+val v : int -> t
+(** [v n] validates [n].  Raises [Invalid_argument] outside
+    [0, count). *)
+
+val of_int_opt : int -> t option
+
+val to_int : t -> int
+
+val r0 : t
+(** Ring 0, the most privileged ring: supervisor core, and the only
+    ring in which privileged instructions execute. *)
+
+val lowest_privilege : t
+(** Ring [count - 1], the least privileged ring. *)
+
+val all : t list
+(** All rings in increasing numeric order (decreasing privilege). *)
+
+val compare : t -> t -> int
+(** Numeric comparison.  Note that numerically smaller means {e more}
+    privileged. *)
+
+val equal : t -> t -> bool
+
+val max : t -> t -> t
+(** The numerically larger ring, i.e. the {e less} privileged of the
+    two.  This is the operation the hardware applies when it folds
+    pointer-register and indirect-word ring numbers into the effective
+    ring (Fig. 5). *)
+
+val min : t -> t -> t
+
+val more_privileged : t -> than:t -> bool
+(** [more_privileged a ~than:b] is [a < b] numerically. *)
+
+val succ : t -> t option
+(** Next higher-numbered (less privileged) ring, if any. *)
+
+val pred : t -> t option
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [r4]. *)

@@ -1,0 +1,13 @@
+type t = Segno_equals_ring | Dbr_stack_relative
+
+let stack_segno rule ~dbr_stack_base ~current_stack_segno ~ring_changed
+    ~new_ring =
+  match rule with
+  | Segno_equals_ring -> Ring.to_int new_ring
+  | Dbr_stack_relative ->
+      if ring_changed then dbr_stack_base + Ring.to_int new_ring
+      else current_stack_segno
+
+let pp ppf = function
+  | Segno_equals_ring -> Format.fprintf ppf "segno = ring"
+  | Dbr_stack_relative -> Format.fprintf ppf "DBR.STACK + ring"

@@ -1,0 +1,37 @@
+(** Stack-segment selection on CALL (Fig. 8 and its footnote).
+
+    The key to letting a called procedure find a new stack area
+    without depending on its caller is a fixed rule relating the stack
+    segment number to the ring number, applied by the processor when
+    it generates the stack base pointer in PR0.
+
+    Two rules are implemented:
+
+    - {!Segno_equals_ring}: the rule illustrated in Fig. 8 — the stack
+      segment number for ring r is simply r.
+    - {!Dbr_stack_relative}: the footnote's more sophisticated rule.
+      If the CALL does not change the ring, the segment number is
+      taken from the current stack pointer register, allowing
+      continued use of a nonstandard stack segment; if it does change
+      the ring, the new stack segment number is the new ring number
+      added to a DBR field that names the eight consecutively numbered
+      standard stack segments of the process.  This flexibility
+      facilitates preserving stack history after an error and forked
+      stacks. *)
+
+type t = Segno_equals_ring | Dbr_stack_relative
+
+val stack_segno :
+  t ->
+  dbr_stack_base:int ->
+  current_stack_segno:int ->
+  ring_changed:bool ->
+  new_ring:Ring.t ->
+  int
+(** [stack_segno rule ~dbr_stack_base ~current_stack_segno
+    ~ring_changed ~new_ring] is the segment number the processor
+    places in PR0.SEGNO.  [current_stack_segno] is the SEGNO field of
+    the stack pointer register at the time of the CALL;
+    [dbr_stack_base] is the DBR.STACK field. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hw/conditions.ml: Addr Array Registers Rings Word

@@ -1,0 +1,1 @@
+lib/hw/conditions.mli: Registers Word

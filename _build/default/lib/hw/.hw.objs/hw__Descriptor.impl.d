@@ -1,0 +1,1 @@
+lib/hw/descriptor.ml: Addr Costs Memory Paging Printf Registers Rings Sdw Trace

@@ -1,0 +1,1 @@
+lib/hw/descriptor.mli: Addr Memory Registers Rings Sdw

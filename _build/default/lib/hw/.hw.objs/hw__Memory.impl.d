@@ -1,0 +1,1 @@
+lib/hw/memory.ml: Array Costs Printf Trace Word

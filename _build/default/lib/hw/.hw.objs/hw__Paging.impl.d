@@ -1,0 +1,1 @@
+lib/hw/paging.ml: Word

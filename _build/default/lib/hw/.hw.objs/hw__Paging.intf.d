@@ -1,0 +1,1 @@
+lib/hw/paging.mli: Word

@@ -1,0 +1,1 @@
+lib/hw/registers.ml: Addr Array Format Rings Word

@@ -1,0 +1,1 @@
+lib/hw/registers.mli: Addr Format Rings Word

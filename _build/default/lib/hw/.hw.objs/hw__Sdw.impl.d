@@ -1,0 +1,1 @@
+lib/hw/sdw.ml: Format Printf Rings Word

@@ -1,0 +1,1 @@
+lib/hw/sdw.mli: Format Rings Word

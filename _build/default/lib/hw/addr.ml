@@ -1,0 +1,24 @@
+type t = { segno : int; wordno : int }
+
+let segno_bits = 14
+let wordno_bits = 18
+let max_segno = (1 lsl segno_bits) - 1
+let max_wordno = (1 lsl wordno_bits) - 1
+
+let v ~segno ~wordno =
+  if segno < 0 || segno > max_segno then
+    invalid_arg (Printf.sprintf "Addr.v: segno %d out of range" segno);
+  if wordno < 0 || wordno > max_wordno then
+    invalid_arg (Printf.sprintf "Addr.v: wordno %d out of range" wordno);
+  { segno; wordno }
+
+let with_wordno t wordno = v ~segno:t.segno ~wordno
+let offset t n = { t with wordno = (t.wordno + n) land max_wordno }
+let equal a b = a.segno = b.segno && a.wordno = b.wordno
+
+let compare a b =
+  match Int.compare a.segno b.segno with
+  | 0 -> Int.compare a.wordno b.wordno
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "%d|%06o" t.segno t.wordno

@@ -1,0 +1,29 @@
+(** Two-part virtual addresses.
+
+    A machine-language program for a segmented environment references
+    memory with a two-part address (s, w): word [w] of the segment
+    numbered [s].  Segment numbers are 14 bits (the width of the SEGNO
+    fields in our Fig. 3 storage formats) and word numbers 18 bits
+    (segments of up to 262,144 words). *)
+
+type t = { segno : int; wordno : int }
+
+val segno_bits : int
+val wordno_bits : int
+val max_segno : int
+val max_wordno : int
+
+val v : segno:int -> wordno:int -> t
+(** Raises [Invalid_argument] when either part is out of range. *)
+
+val with_wordno : t -> int -> t
+(** Same segment, different word (word number validated). *)
+
+val offset : t -> int -> t
+(** [offset a n] adds [n] to the word number, wrapping modulo 2^18 as
+    the hardware adder does. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints as [s|wwwwww] with the word number in octal. *)

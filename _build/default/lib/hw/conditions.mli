@@ -1,0 +1,28 @@
+(** Machine conditions: the processor state, as stored in memory.
+
+    When a simulated supervisor is configured, a trap stores the
+    complete processor state — "the state of the processor at the time
+    of the trap" — into a fixed memory area where ring-0 software can
+    examine and patch it, and the privileged restore instruction
+    reloads it from there to resume the disrupted instruction.
+
+    Layout (one 36-bit word each unless noted):
+
+    {v
+    [0..1]  DBR (base/bound; stack base)
+    [2]     IPR           (ring/segno/wordno, pointer format)
+    [3..10] PR0..PR7      (pointer format)
+    [11]    A    [12] Q
+    [13..20] X0..X7
+    [21]    indicators    (bit 0 zero, bit 1 negative)
+    [22]    fault code    ({!Rings.Fault.code})
+    v} *)
+
+val words : int
+(** 23. *)
+
+val store : Registers.t -> fault_code:int -> Word.t array
+
+val load : Registers.t -> Word.t array -> int
+(** Overwrites the register file from the stored conditions; returns
+    the fault code. *)

@@ -1,0 +1,6 @@
+let memory_access = 1
+let sdw_fetch = 0
+let instruction_overhead = 1
+let ring_check = 0
+let trap_entry = 10
+let trap_restore = 10

@@ -1,0 +1,33 @@
+(** Cycle-cost model of the simulated processor.
+
+    The paper quotes no absolute timings, so the model is deliberately
+    coarse and uniform; what the benches compare are counts and
+    ratios, which are insensitive to the constants chosen here as long
+    as they are applied identically to both ring implementations.
+    Each constant states what it charges for. *)
+
+val memory_access : int
+(** One word read or written in absolute memory: 1. *)
+
+val sdw_fetch : int
+(** Retrieving an SDW from the associative memory: 0 cycles on a hit.
+    The cache itself lives in {!Isa.Machine}; a miss reads the two SDW
+    words from the descriptor segment and is charged as ordinary
+    memory traffic.  SDW fetches are counted separately so the benches
+    can report them. *)
+
+val instruction_overhead : int
+(** Fixed decode-and-execute overhead per instruction beyond its
+    memory traffic: 1. *)
+
+val ring_check : int
+(** A bracket comparison wired into the address-translation data path:
+    0 — the paper's point is that validation happens "with little
+    effort added" while the SDW is examined anyway. *)
+
+val trap_entry : int
+(** Processor state save and forced transfer to the supervisor's fixed
+    trap location: 10. *)
+
+val trap_restore : int
+(** The privileged instruction restoring saved processor state: 10. *)

@@ -1,0 +1,58 @@
+let words_per_sdw = 2
+
+let fetch_sdw mem (dbr : Registers.dbr) ~segno =
+  Trace.Counters.bump_sdw_fetches (Memory.counters mem);
+  Trace.Counters.charge (Memory.counters mem) Costs.sdw_fetch;
+  if segno < 0 || segno >= dbr.bound then
+    Error (Rings.Fault.Missing_segment { segno })
+  else
+    let w0 = Memory.read_silent mem (dbr.base + (words_per_sdw * segno)) in
+    let w1 =
+      Memory.read_silent mem (dbr.base + (words_per_sdw * segno) + 1)
+    in
+    match Sdw.decode (w0, w1) with
+    | Error _ -> Error (Rings.Fault.Missing_segment { segno })
+    | Ok sdw ->
+        if sdw.Sdw.present then Ok sdw
+        else Error (Rings.Fault.Missing_segment { segno })
+
+let store_sdw mem (dbr : Registers.dbr) ~segno sdw =
+  if segno < 0 || segno >= dbr.bound then
+    invalid_arg
+      (Printf.sprintf "Descriptor.store_sdw: segno %d outside DBR bound %d"
+         segno dbr.bound);
+  let w0, w1 = Sdw.encode sdw in
+  Memory.write_silent mem (dbr.base + (words_per_sdw * segno)) w0;
+  Memory.write_silent mem (dbr.base + (words_per_sdw * segno) + 1) w1
+
+let translate (sdw : Sdw.t) ~segno ~wordno =
+  if Sdw.contains sdw ~wordno then Ok (sdw.base + wordno)
+  else
+    Error (Rings.Fault.Bound_violation { segno; wordno; bound = sdw.bound })
+
+(* Paged translation: an extra PTW retrieval, counted and charged as a
+   memory access, then the frame base plus the in-page offset. *)
+let translate_paged mem (sdw : Sdw.t) ~segno ~wordno =
+  if not (Sdw.contains sdw ~wordno) then
+    Error (Rings.Fault.Bound_violation { segno; wordno; bound = sdw.bound })
+  else begin
+    let pageno = Paging.page_of_wordno wordno in
+    Trace.Counters.bump_ptw_fetches (Memory.counters mem);
+    let ptw = Paging.decode_ptw (Memory.read mem (sdw.base + pageno)) in
+    if ptw.Paging.present then
+      Ok (ptw.Paging.frame_base + Paging.offset_in_page wordno)
+    else Error (Rings.Fault.Missing_page { segno; pageno })
+  end
+
+let resolve mem dbr (addr : Addr.t) =
+  match fetch_sdw mem dbr ~segno:addr.segno with
+  | Error _ as e -> e
+  | Ok sdw -> (
+      let translated =
+        if sdw.Sdw.paged then
+          translate_paged mem sdw ~segno:addr.segno ~wordno:addr.wordno
+        else translate sdw ~segno:addr.segno ~wordno:addr.wordno
+      in
+      match translated with
+      | Error _ as e -> e
+      | Ok abs -> Ok (sdw, abs))

@@ -1,0 +1,47 @@
+(** Descriptor-segment access and address translation.
+
+    The collection of segments in a virtual memory is defined by the
+    descriptor segment, an array of SDWs in absolute memory whose
+    origin is held in the DBR.  The segment number of a segment is the
+    index of its SDW.  Address translation — performed on {e every}
+    reference an executing program makes — is an indexed retrieval of
+    the SDW followed by a bound check and base addition.
+
+    Changing the DBR contents makes the processor interpret two-part
+    addresses relative to a different descriptor segment; this is how
+    each process gets its own virtual memory, and how the 645-style
+    software-ring baseline switches between per-ring descriptor
+    segments. *)
+
+val words_per_sdw : int
+(** 2 — see {!Sdw}. *)
+
+val fetch_sdw :
+  Memory.t -> Registers.dbr -> segno:int -> (Sdw.t, Rings.Fault.t) result
+(** Retrieve and decode the SDW for [segno].  Out-of-bound segment
+    numbers, absent segments and malformed SDWs all surface as
+    [Missing_segment] — from the program's point of view there simply
+    is no such segment.  Bumps the SDW-fetch counter; per the cost
+    model the fetch itself is free (associative memory). *)
+
+val store_sdw : Memory.t -> Registers.dbr -> segno:int -> Sdw.t -> unit
+(** Encode and store an SDW.  Used by supervisor-level code and the
+    loader; accesses are silent.  Raises [Invalid_argument] if [segno]
+    is outside the DBR bound. *)
+
+val translate :
+  Sdw.t -> segno:int -> wordno:int -> (int, Rings.Fault.t) result
+(** Absolute address of (segno, wordno) under an {e unpaged} SDW, or a
+    bound-violation fault. *)
+
+val translate_paged :
+  Memory.t -> Sdw.t -> segno:int -> wordno:int -> (int, Rings.Fault.t) result
+(** Translation through the page table of a paged SDW: bound check,
+    PTW retrieval (one memory access), then frame base plus in-page
+    offset; a not-present PTW is a missing-page fault. *)
+
+val resolve :
+  Memory.t -> Registers.dbr -> Addr.t -> (Sdw.t * int, Rings.Fault.t) result
+(** [fetch_sdw] then [translate]: the full translation step, returning
+    the SDW (whose access fields the caller validates against) and the
+    absolute address. *)

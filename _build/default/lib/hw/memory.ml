@@ -1,0 +1,34 @@
+type t = { words : int array; counters : Trace.Counters.t }
+
+let default_size = 1 lsl 21
+
+let create ?(size = default_size) counters =
+  { words = Array.make size 0; counters }
+
+let size t = Array.length t.words
+let counters t = t.counters
+
+let check t addr =
+  if addr < 0 || addr >= Array.length t.words then
+    invalid_arg (Printf.sprintf "Memory: absolute address %d out of range" addr)
+
+let read_silent t addr =
+  check t addr;
+  t.words.(addr)
+
+let write_silent t addr w =
+  check t addr;
+  t.words.(addr) <- Word.of_int w
+
+let read t addr =
+  Trace.Counters.bump_memory_reads t.counters;
+  Trace.Counters.charge t.counters Costs.memory_access;
+  read_silent t addr
+
+let write t addr w =
+  Trace.Counters.bump_memory_writes t.counters;
+  Trace.Counters.charge t.counters Costs.memory_access;
+  write_silent t addr w
+
+let blit_silent t addr words =
+  Array.iteri (fun i w -> write_silent t (addr + i) w) words

@@ -1,0 +1,30 @@
+(** Absolute (physical) memory.
+
+    A flat array of 36-bit words addressed by absolute address.
+    Accesses made on behalf of the simulated processor go through
+    {!read} and {!write}, which charge one cycle each and bump the
+    memory counters; the loader and the inspection tools use the
+    [_silent] variants, which model no hardware activity.
+
+    Addressing outside physical memory raises [Invalid_argument]: it
+    indicates a simulator configuration error, not a condition the
+    simulated hardware can reach (segment bounds are checked during
+    address translation before any absolute access). *)
+
+type t
+
+val create : ?size:int -> Trace.Counters.t -> t
+(** [size] defaults to 2^21 words. *)
+
+val size : t -> int
+val counters : t -> Trace.Counters.t
+
+val read : t -> int -> Word.t
+val write : t -> int -> Word.t -> unit
+
+val read_silent : t -> int -> Word.t
+val write_silent : t -> int -> Word.t -> unit
+
+val blit_silent : t -> int -> Word.t array -> unit
+(** [blit_silent mem addr words] copies [words] to consecutive
+    absolute addresses starting at [addr]. *)

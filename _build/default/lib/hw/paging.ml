@@ -1,0 +1,19 @@
+let page_size = 1024
+let pages_of_bound bound = (bound + page_size - 1) / page_size
+let page_of_wordno wordno = wordno / page_size
+let offset_in_page wordno = wordno mod page_size
+
+type ptw = { present : bool; frame_base : int }
+
+let encode_ptw t =
+  0
+  |> Word.set_field ~pos:35 ~width:1 (if t.present then 1 else 0)
+  |> Word.set_field ~pos:14 ~width:21 t.frame_base
+
+let decode_ptw w =
+  {
+    present = Word.field ~pos:35 ~width:1 w = 1;
+    frame_base = Word.field ~pos:14 ~width:21 w;
+  }
+
+let absent_ptw = { present = false; frame_base = 0 }

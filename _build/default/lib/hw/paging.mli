@@ -1,0 +1,36 @@
+(** Page tables.
+
+    "Storage for segments is usually allocated with a paging scheme in
+    scattered fixed-length blocks.  If used, paging is also taken into
+    account by the address translation logic, but is totally
+    transparent to an executing machine language program."  The paper
+    then ignores paging because, appropriately implemented, it need
+    not affect access control; this module is the appropriate
+    implementation, and the test suite checks both properties.
+
+    A paged segment's SDW names a page table: one page table word
+    (PTW) per {!page_size}-word page.
+
+    {v
+    PTW:  [35] present | [14..34] frame base/21 | [0..13] unused
+    v}
+
+    The frame base is the absolute address of the page's first word.
+    A reference through a not-present PTW raises the missing-page
+    fault for the supervisor to service ({!Os.Process} implements
+    demand paging with FIFO eviction over a fixed frame pool). *)
+
+val page_size : int
+(** 1024 words, as on Multics. *)
+
+val pages_of_bound : int -> int
+(** Number of pages (and PTWs) covering a bound in words. *)
+
+val page_of_wordno : int -> int
+val offset_in_page : int -> int
+
+type ptw = { present : bool; frame_base : int }
+
+val encode_ptw : ptw -> Word.t
+val decode_ptw : Word.t -> ptw
+val absent_ptw : ptw

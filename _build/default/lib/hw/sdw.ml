@@ -1,0 +1,99 @@
+type t = {
+  present : bool;
+  base : int;
+  bound : int;
+  paged : bool;
+  access : Rings.Access.t;
+}
+
+let base_bits = 21
+let max_base = (1 lsl base_bits) - 1
+let max_bound = 1 lsl 18
+
+let round_bound n = (n + 15) / 16 * 16
+
+let v ?(present = true) ?(paged = false) ~base ~bound access =
+  if base < 0 || base > max_base then
+    invalid_arg (Printf.sprintf "Sdw.v: base %d out of range" base);
+  if bound < 0 || bound > max_bound then
+    invalid_arg (Printf.sprintf "Sdw.v: bound %d out of range" bound);
+  if bound mod 16 <> 0 then
+    invalid_arg (Printf.sprintf "Sdw.v: bound %d not a multiple of 16" bound);
+  { present; base; bound; paged; access }
+
+let absent =
+  {
+    present = false;
+    base = 0;
+    bound = 0;
+    paged = false;
+    access = Rings.Access.no_access;
+  }
+
+let encode t =
+  let a = t.access in
+  let w0 =
+    0
+    |> Word.set_field ~pos:35 ~width:1 (if t.present then 1 else 0)
+    |> Word.set_field ~pos:14 ~width:base_bits t.base
+    |> Word.set_field ~pos:0 ~width:14 (t.bound / 16)
+  in
+  let b = a.Rings.Access.brackets in
+  let w1 =
+    0
+    |> Word.set_field ~pos:33 ~width:3
+         (Rings.Ring.to_int (Rings.Brackets.write_bracket_top b))
+    |> Word.set_field ~pos:30 ~width:3
+         (Rings.Ring.to_int (Rings.Brackets.execute_bracket_top b))
+    |> Word.set_field ~pos:27 ~width:3
+         (Rings.Ring.to_int (Rings.Brackets.gate_extension_top b))
+    |> Word.set_field ~pos:26 ~width:1 (if a.read then 1 else 0)
+    |> Word.set_field ~pos:25 ~width:1 (if a.write then 1 else 0)
+    |> Word.set_field ~pos:24 ~width:1 (if a.execute then 1 else 0)
+    |> Word.set_field ~pos:10 ~width:14 a.gates
+    |> Word.set_field ~pos:0 ~width:1 (if t.paged then 1 else 0)
+  in
+  (w0, w1)
+
+let decode (w0, w1) =
+  let present = Word.field ~pos:35 ~width:1 w0 = 1 in
+  let base = Word.field ~pos:14 ~width:base_bits w0 in
+  let bound = Word.field ~pos:0 ~width:14 w0 * 16 in
+  let r1 = Word.field ~pos:33 ~width:3 w1 in
+  let r2 = Word.field ~pos:30 ~width:3 w1 in
+  let r3 = Word.field ~pos:27 ~width:3 w1 in
+  match Rings.Brackets.of_ints_opt r1 r2 r3 with
+  | None ->
+      Error
+        (Printf.sprintf "malformed SDW: ring fields %d %d %d violate ordering"
+           r1 r2 r3)
+  | Some brackets ->
+      let access =
+        Rings.Access.v
+          ~read:(Word.field ~pos:26 ~width:1 w1 = 1)
+          ~write:(Word.field ~pos:25 ~width:1 w1 = 1)
+          ~execute:(Word.field ~pos:24 ~width:1 w1 = 1)
+          ~gates:(Word.field ~pos:10 ~width:14 w1)
+          brackets
+      in
+      Ok
+        {
+          present;
+          base;
+          bound;
+          paged = Word.field ~pos:0 ~width:1 w1 = 1;
+          access;
+        }
+
+let contains t ~wordno = wordno >= 0 && wordno < t.bound
+
+let equal a b =
+  a.present = b.present && a.base = b.base && a.bound = b.bound
+  && a.paged = b.paged
+  && Rings.Access.equal a.access b.access
+
+let pp ppf t =
+  Format.fprintf ppf "{%s%s base=%06o bound=%d %a}"
+    (if t.present then "present" else "absent")
+    (if t.paged then " paged" else "")
+    t.base t.bound Rings.Access.pp t.access

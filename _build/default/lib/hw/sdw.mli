@@ -1,0 +1,54 @@
+(** Segment descriptor words and their Fig. 3 storage format.
+
+    Each SDW describes one segment of the virtual memory: where it
+    lives in absolute memory, how long it is, and the access fields of
+    {!Rings.Access}.  An SDW occupies two 36-bit words in the
+    descriptor segment:
+
+    {v
+    word 0:  [35] present  [14..34] base/21  [0..13] bound/14
+    word 1:  [33..35] R1  [30..32] R2  [27..29] R3
+             [26] R  [25] W  [24] E  [10..23] gates/14  [0..9] unused
+    v}
+
+    [base] is the absolute address of word 0 of the segment.  [bound]
+    is stored in 16-word blocks, as on the Honeywell machines, so a
+    segment's length in words is always a multiple of 16; the record
+    carries it in words. *)
+
+type t = {
+  present : bool;
+  base : int;
+      (** Unpaged: absolute address of the segment's word 0.  Paged:
+          absolute address of the segment's page table.  21 bits. *)
+  bound : int;
+      (** Length in words; a multiple of 16, at most 2^18. Words with
+          [wordno >= bound] are outside the segment. *)
+  paged : bool;
+      (** When set, [base] names a page table of one word per
+          {!Paging.page_size} words of the segment, and address
+          translation goes through it (word 1, bit 0). *)
+  access : Rings.Access.t;
+}
+
+val v :
+  ?present:bool -> ?paged:bool -> base:int -> bound:int -> Rings.Access.t -> t
+(** Raises [Invalid_argument] if [base] exceeds 21 bits, or [bound] is
+    negative, not a multiple of 16, or exceeds 2^18. *)
+
+val absent : t
+(** A not-present SDW: referencing the segment causes a
+    missing-segment trap. *)
+
+val round_bound : int -> int
+(** Round a length in words up to the next multiple of 16. *)
+
+val encode : t -> Word.t * Word.t
+val decode : Word.t * Word.t -> (t, string) result
+(** [decode] rejects encodings whose ring fields violate R1 ≤ R2 ≤ R3
+    — the invariant supervisor code constructing SDWs must
+    guarantee. *)
+
+val contains : t -> wordno:int -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

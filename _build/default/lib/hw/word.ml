@@ -1,0 +1,29 @@
+type t = int
+
+let bits = 36
+let mask = (1 lsl bits) - 1
+let of_int v = v land mask
+let sign_bit = 1 lsl (bits - 1)
+let to_signed w = if w land sign_bit <> 0 then w - (1 lsl bits) else w
+let of_signed v = v land mask
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = of_signed (to_signed a * to_signed b)
+
+let div a b =
+  if b = 0 then None else Some (of_signed (to_signed a / to_signed b))
+
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = lnot a land mask
+let is_zero w = w = 0
+let is_negative w = w land sign_bit <> 0
+
+let field ~pos ~width w = (w lsr pos) land ((1 lsl width) - 1)
+
+let set_field ~pos ~width v w =
+  let m = ((1 lsl width) - 1) lsl pos in
+  w land lnot m lor ((v lsl pos) land m)
+
+let pp_octal ppf w = Format.fprintf ppf "%012o" w

@@ -1,0 +1,53 @@
+(** 36-bit machine words.
+
+    The simulated processor is a 36-bit machine in the Honeywell
+    6000-series tradition the paper's hardware was built with.  Words
+    are carried in OCaml [int]s (63-bit on every supported platform)
+    and masked to 36 bits at the boundaries.  Arithmetic is 36-bit
+    two's complement. *)
+
+type t = int
+(** Always within [0, 2^36). *)
+
+val bits : int
+(** 36. *)
+
+val mask : int
+(** [2^36 - 1]. *)
+
+val of_int : int -> t
+(** Truncate to 36 bits (two's complement wrap). *)
+
+val to_signed : t -> int
+(** Interpret as a signed 36-bit value. *)
+
+val of_signed : int -> t
+(** Encode a signed value, wrapping modulo 2^36. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t option
+(** Signed division; [None] on division by zero. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val is_zero : t -> bool
+val is_negative : t -> bool
+(** Sign bit (bit 35) set. *)
+
+val field : pos:int -> width:int -> t -> int
+(** [field ~pos ~width w] extracts [width] bits starting at bit [pos]
+    (bit 0 = least significant). *)
+
+val set_field : pos:int -> width:int -> int -> t -> t
+(** [set_field ~pos ~width v w] returns [w] with the field replaced by
+    the low [width] bits of [v]. *)
+
+val pp_octal : Format.formatter -> t -> unit
+(** Twelve octal digits, the conventional rendering for this word
+    size. *)

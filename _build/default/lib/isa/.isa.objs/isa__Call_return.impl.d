@@ -1,0 +1,1 @@
+lib/isa/call_return.ml: Hw Machine Rings Trace

@@ -1,0 +1,1 @@
+lib/isa/call_return.mli: Hw Machine Rings

@@ -1,0 +1,1 @@
+lib/isa/cpu.ml: Eff_addr Exec Format Hw Instr Machine Result Rings Trace

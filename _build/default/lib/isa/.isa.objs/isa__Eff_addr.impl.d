@@ -1,0 +1,1 @@
+lib/isa/eff_addr.ml: Array Hw Indword Instr Machine Opcode Rings Trace

@@ -1,0 +1,1 @@
+lib/isa/eff_addr.mli: Hw Instr Machine Rings

@@ -1,0 +1,1 @@
+lib/isa/exec.ml: Array Call_return Eff_addr Hw Indword Instr Machine Opcode Result Rings

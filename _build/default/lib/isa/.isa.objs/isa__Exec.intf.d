@@ -1,0 +1,1 @@
+lib/isa/exec.mli: Eff_addr Instr Machine Rings

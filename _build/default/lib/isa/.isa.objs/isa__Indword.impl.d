@@ -1,0 +1,1 @@
+lib/isa/indword.ml: Format Hw Rings

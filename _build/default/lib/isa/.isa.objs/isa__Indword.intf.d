@@ -1,0 +1,1 @@
+lib/isa/indword.mli: Format Hw Rings

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Hashtbl Hw List Rings Trace

@@ -1,0 +1,157 @@
+let set_stack_base_pr m ~new_ring ~stack_segno =
+  Hw.Registers.set_pr m.Machine.regs 0
+    {
+      Hw.Registers.ring = new_ring;
+      addr = Hw.Addr.v ~segno:stack_segno ~wordno:0;
+    }
+
+let record_call m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
+  Trace.Event.record m.Machine.log
+    (Trace.Event.Call
+       {
+         crossing;
+         from_ring = Rings.Ring.to_int from_ring;
+         to_ring = Rings.Ring.to_int to_ring;
+         segno = addr.Hw.Addr.segno;
+         wordno = addr.Hw.Addr.wordno;
+       })
+
+let record_return m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
+  Trace.Event.record m.Machine.log
+    (Trace.Event.Return
+       {
+         crossing;
+         from_ring = Rings.Ring.to_int from_ring;
+         to_ring = Rings.Ring.to_int to_ring;
+         segno = addr.Hw.Addr.segno;
+         wordno = addr.Hw.Addr.wordno;
+       })
+
+let hardware_call m ~effective ~(addr : Hw.Addr.t) =
+  let regs = m.Machine.regs in
+  let ipr = regs.Hw.Registers.ipr in
+  let exec = ipr.Hw.Registers.ring in
+  match Machine.fetch_sdw m ~segno:addr.Hw.Addr.segno with
+  | Error _ as e -> e
+  | Ok sdw -> (
+      let same_segment =
+        addr.Hw.Addr.segno = ipr.Hw.Registers.addr.Hw.Addr.segno
+      in
+      match
+        Rings.Call.validate ~gate_on_same_ring:m.Machine.gate_on_same_ring
+          sdw.Hw.Sdw.access ~exec ~effective ~segno:addr.Hw.Addr.segno
+          ~wordno:addr.Hw.Addr.wordno ~same_segment
+      with
+      | Error (Rings.Fault.Upward_call _ as f) ->
+          Trace.Counters.bump_calls_upward m.Machine.counters;
+          Error f
+      | Error _ as e -> e
+      | Ok { Rings.Call.new_ring; crossing; via_gate = _ } -> (
+          match Hw.Descriptor.translate sdw ~segno:addr.Hw.Addr.segno
+                  ~wordno:addr.Hw.Addr.wordno
+          with
+          | Error _ as e -> e
+          | Ok _abs ->
+              let ring_changed = not (Rings.Ring.equal new_ring exec) in
+              let stack_segno =
+                Rings.Stack_rule.stack_segno m.Machine.stack_rule
+                  ~dbr_stack_base:
+                    regs.Hw.Registers.dbr.Hw.Registers.stack_base
+                  ~current_stack_segno:
+                    (Hw.Registers.get_pr regs Hw.Registers.pr_stack)
+                      .Hw.Registers.addr
+                      .Hw.Addr.segno
+                  ~ring_changed ~new_ring
+              in
+              set_stack_base_pr m ~new_ring ~stack_segno;
+              (match crossing with
+              | Rings.Call.Same_ring ->
+                  Trace.Counters.bump_calls_same_ring m.Machine.counters;
+                  record_call m ~crossing:Trace.Event.Same_ring
+                    ~from_ring:exec ~to_ring:new_ring addr
+              | Rings.Call.Downward ->
+                  Trace.Counters.bump_calls_downward m.Machine.counters;
+                  record_call m ~crossing:Trace.Event.Downward
+                    ~from_ring:exec ~to_ring:new_ring addr);
+              regs.Hw.Registers.ipr <- { Hw.Registers.ring = new_ring; addr };
+              Ok ()))
+
+let hardware_retn m ~effective ~(addr : Hw.Addr.t) =
+  let regs = m.Machine.regs in
+  let exec = regs.Hw.Registers.ipr.Hw.Registers.ring in
+  match Machine.fetch_sdw m ~segno:addr.Hw.Addr.segno with
+  | Error _ as e -> e
+  | Ok sdw -> (
+      match Rings.Return_op.validate sdw.Hw.Sdw.access ~exec ~effective with
+      | Error _ as e -> e
+      | Ok { Rings.Return_op.new_ring; crossing; maximize_pr_rings } -> (
+          match Hw.Descriptor.translate sdw ~segno:addr.Hw.Addr.segno
+                  ~wordno:addr.Hw.Addr.wordno
+          with
+          | Error _ as e -> e
+          | Ok _abs ->
+              if maximize_pr_rings then
+                Hw.Registers.maximize_pr_rings regs new_ring;
+              (match crossing with
+              | Rings.Return_op.Same_ring ->
+                  Trace.Counters.bump_returns_same_ring m.Machine.counters;
+                  record_return m ~crossing:Trace.Event.Same_ring
+                    ~from_ring:exec ~to_ring:new_ring addr
+              | Rings.Return_op.Upward ->
+                  Trace.Counters.bump_returns_upward m.Machine.counters;
+                  record_return m ~crossing:Trace.Event.Upward
+                    ~from_ring:exec ~to_ring:new_ring addr);
+              regs.Hw.Registers.ipr <- { Hw.Registers.ring = new_ring; addr };
+              Ok ()))
+
+(* 645 mode: CALL/RETURN are plain transfers; a target that is not
+   executable under the current descriptor segment faults to the
+   software gatekeeper, which implements the ring switch. *)
+let software_transfer m ~is_call ~(addr : Hw.Addr.t) =
+  let regs = m.Machine.regs in
+  let ring = regs.Hw.Registers.ipr.Hw.Registers.ring in
+  match Machine.resolve m addr with
+  | Error (Rings.Fault.Missing_segment _) | Error (Rings.Fault.Bound_violation _)
+    ->
+      (* In the 645 baseline a call out of the virtual memory visible
+         to this ring is indistinguishable from a gate reference: the
+         gatekeeper sorts it out. *)
+      Error
+        (Rings.Fault.Cross_ring_transfer
+           { segno = addr.Hw.Addr.segno; wordno = addr.Hw.Addr.wordno })
+  | Error _ as e -> e
+  | Ok (sdw, _abs) -> (
+      match Machine.validate_fetch m sdw ~ring with
+      | Error _ ->
+          Error
+            (Rings.Fault.Cross_ring_transfer
+               { segno = addr.Hw.Addr.segno; wordno = addr.Hw.Addr.wordno })
+      | Ok () ->
+          if is_call then begin
+            Trace.Counters.bump_calls_same_ring m.Machine.counters;
+            let stack_segno =
+              (Hw.Registers.get_pr regs Hw.Registers.pr_stack)
+                .Hw.Registers.addr
+                .Hw.Addr.segno
+            in
+            set_stack_base_pr m ~new_ring:ring ~stack_segno;
+            record_call m ~crossing:Trace.Event.Same_ring ~from_ring:ring
+              ~to_ring:ring addr
+          end
+          else begin
+            Trace.Counters.bump_returns_same_ring m.Machine.counters;
+            record_return m ~crossing:Trace.Event.Same_ring ~from_ring:ring
+              ~to_ring:ring addr
+          end;
+          regs.Hw.Registers.ipr <- { Hw.Registers.ring = ring; addr };
+          Ok ())
+
+let call m ~effective ~addr =
+  match m.Machine.mode with
+  | Machine.Ring_hardware -> hardware_call m ~effective ~addr
+  | Machine.Ring_software_645 -> software_transfer m ~is_call:true ~addr
+
+let retn m ~effective ~addr =
+  match m.Machine.mode with
+  | Machine.Ring_hardware -> hardware_retn m ~effective ~addr
+  | Machine.Ring_software_645 -> software_transfer m ~is_call:false ~addr

@@ -1,0 +1,91 @@
+type outcome = Running | Halted | Faulted of Rings.Fault.t
+
+let ( let* ) = Result.bind
+
+(* Fig. 4: retrieve the next instruction, validating the execute
+   bracket as the SDW becomes available during address translation. *)
+let fetch m =
+  let regs = m.Machine.regs in
+  let ipr = regs.Hw.Registers.ipr in
+  let* sdw, abs = Machine.resolve m ipr.Hw.Registers.addr in
+  let* () = Machine.validate_fetch m sdw ~ring:ipr.Hw.Registers.ring in
+  let word = Hw.Memory.read m.Machine.mem abs in
+  Instr.decode word
+
+let step m =
+  if m.Machine.halted then Halted
+  else begin
+    let regs = m.Machine.regs in
+    let at = regs.Hw.Registers.ipr in
+    let result =
+      let* instr = fetch m in
+      Trace.Counters.bump_instructions m.Machine.counters;
+      Trace.Counters.charge m.Machine.counters Hw.Costs.instruction_overhead;
+      if Trace.Event.enabled m.Machine.log then
+        Trace.Event.record m.Machine.log
+          (Trace.Event.Instruction
+             {
+               ring = Rings.Ring.to_int at.Hw.Registers.ring;
+               segno = at.Hw.Registers.addr.Hw.Addr.segno;
+               wordno = at.Hw.Registers.addr.Hw.Addr.wordno;
+               text = Format.asprintf "%a" Instr.pp instr;
+             });
+      (* Advance IPR before executing so transfers and TSX see the
+         address of the next sequential instruction. *)
+      regs.Hw.Registers.ipr <-
+        {
+          at with
+          Hw.Registers.addr = Hw.Addr.offset at.Hw.Registers.addr 1;
+        };
+      let* operand = Eff_addr.compute m instr in
+      Exec.perform m instr operand
+    in
+    match result with
+    | Ok Exec.Continue when m.Machine.inhibit ->
+        (* Interrupts are inhibited between a trap and its RTRAP: the
+           timer and channel completions wait. *)
+        Running
+    | Ok Exec.Continue -> (
+        (* Channel I/O completes between instructions. *)
+        (match m.Machine.io_countdown with
+        | Some n when n > 1 -> m.Machine.io_countdown <- Some (n - 1)
+        | _ -> ());
+        match m.Machine.io_countdown with
+        | Some 1 ->
+            m.Machine.io_countdown <- None;
+            let fault = Rings.Fault.Io_completion in
+            Machine.take_fault m ~at:regs.Hw.Registers.ipr fault;
+            if m.Machine.trap_config = None then Faulted fault else Running
+        | _ -> (
+        (* The interval timer ticks once per retired instruction and
+           fires between instructions, so the saved state addresses
+           the next one. *)
+        match m.Machine.timer with
+        | Some n when n <= 1 ->
+            m.Machine.timer <- None;
+            let fault = Rings.Fault.Timer_runout in
+            Machine.take_fault m ~at:regs.Hw.Registers.ipr fault;
+            if m.Machine.trap_config = None then Faulted fault else Running
+        | Some n ->
+            m.Machine.timer <- Some (n - 1);
+            Running
+        | None -> Running))
+    | Ok Exec.Halt ->
+        m.Machine.halted <- true;
+        Halted
+    | Error fault ->
+        Machine.take_fault m ~at fault;
+        if m.Machine.trap_config = None then Faulted fault
+        else
+          (* The processor transferred to the simulated supervisor's
+             vector; execution continues there. *)
+          Running
+  end
+
+let run ?(max_instructions = 1_000_000) m =
+  let rec loop n =
+    if n = 0 then Running
+    else
+      match step m with Running -> loop (n - 1) | other -> other
+  in
+  loop max_instructions

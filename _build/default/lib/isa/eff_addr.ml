@@ -1,0 +1,82 @@
+type operand =
+  | Memory of { effective : Rings.Effective_ring.t; addr : Hw.Addr.t }
+  | Immediate of Hw.Word.t
+  | Absent
+
+exception Runaway_indirection of Hw.Addr.t
+
+let max_indirections = 64
+
+let sign_extend_18 v =
+  if v land 0o400000 <> 0 then Hw.Word.of_signed (v - (1 lsl 18)) else v
+
+let wordno_mask = (1 lsl 18) - 1
+
+(* Follow the indirection chain, updating the effective ring per
+   Fig. 5 in hardware mode. *)
+let rec indirect m ~depth ~effective (addr : Hw.Addr.t) =
+  if depth > max_indirections then raise (Runaway_indirection addr);
+  match Machine.resolve m addr with
+  | Error _ as e -> e
+  | Ok (sdw, abs) -> (
+      match Machine.validate_read m sdw ~effective with
+      | Error _ as e -> e
+      | Ok () ->
+          Trace.Counters.bump_indirections m.Machine.counters;
+          let ind = Indword.decode (Hw.Memory.read m.Machine.mem abs) in
+          let effective =
+            match m.Machine.mode with
+            | Machine.Ring_software_645 -> effective
+            | Machine.Ring_hardware ->
+                let container_write_top =
+                  if m.Machine.use_r1_in_indirection then
+                    Rings.Brackets.write_bracket_top
+                      sdw.Hw.Sdw.access.Rings.Access.brackets
+                  else Rings.Ring.r0
+                in
+                Rings.Effective_ring.via_indirect_word effective
+                  ~ind_ring:ind.Indword.ring ~container_write_top
+          in
+          if ind.Indword.indirect then
+            indirect m ~depth:(depth + 1) ~effective ind.Indword.addr
+          else Ok (Memory { effective; addr = ind.Indword.addr }))
+
+let compute m (instr : Instr.t) =
+  match Opcode.operand_class instr.opcode with
+  | Opcode.No_operand -> Ok Absent
+  | _ -> (
+      match instr.base with
+      | Instr.Immediate -> Ok (Immediate (sign_extend_18 instr.offset))
+      | Instr.Ipr_relative | Instr.Pr _ ->
+          let regs = m.Machine.regs in
+          let ipr = regs.Hw.Registers.ipr in
+          let effective =
+            Rings.Effective_ring.start ipr.Hw.Registers.ring
+          in
+          let segno, wordno, effective =
+            match instr.base with
+            | Instr.Ipr_relative ->
+                (ipr.Hw.Registers.addr.Hw.Addr.segno, instr.offset, effective)
+            | Instr.Pr n ->
+                let p = Hw.Registers.get_pr regs n in
+                let effective =
+                  match m.Machine.mode with
+                  | Machine.Ring_software_645 -> effective
+                  | Machine.Ring_hardware ->
+                      Rings.Effective_ring.via_pointer_register effective
+                        ~pr_ring:p.Hw.Registers.ring
+                in
+                ( p.Hw.Registers.addr.Hw.Addr.segno,
+                  (p.Hw.Registers.addr.Hw.Addr.wordno + instr.offset)
+                  land wordno_mask,
+                  effective )
+            | Instr.Immediate -> assert false
+          in
+          let wordno =
+            if instr.indexed then
+              (wordno + regs.Hw.Registers.xs.(instr.xr)) land wordno_mask
+            else wordno
+          in
+          let addr = Hw.Addr.v ~segno ~wordno in
+          if instr.indirect then indirect m ~depth:1 ~effective addr
+          else Ok (Memory { effective; addr }))

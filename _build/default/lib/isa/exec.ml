@@ -1,0 +1,237 @@
+type action = Continue | Halt
+
+let ( let* ) = Result.bind
+
+let illegal (instr : Instr.t) =
+  Error (Rings.Fault.Illegal_opcode { word = Instr.encode instr })
+
+(* Fig. 6, left side: validate then read the operand. *)
+let read_operand m instr operand =
+  match operand with
+  | Eff_addr.Immediate w -> Ok w
+  | Eff_addr.Absent -> illegal instr
+  | Eff_addr.Memory { effective; addr } ->
+      let* sdw, abs = Machine.resolve m addr in
+      let* () = Machine.validate_read m sdw ~effective in
+      Ok (Hw.Memory.read m.Machine.mem abs)
+
+(* Fig. 6, right side: validate then write the operand. *)
+let write_operand m instr operand w =
+  match operand with
+  | Eff_addr.Immediate _ | Eff_addr.Absent -> illegal instr
+  | Eff_addr.Memory { effective; addr } ->
+      let* sdw, abs = Machine.resolve m addr in
+      let* () = Machine.validate_write m sdw ~effective in
+      Hw.Memory.write m.Machine.mem abs w;
+      Ok ()
+
+let memory_operand instr operand =
+  match operand with
+  | Eff_addr.Memory { effective; addr } -> Ok (effective, addr)
+  | Eff_addr.Immediate _ | Eff_addr.Absent -> illegal instr
+
+let set_a m w =
+  let regs = m.Machine.regs in
+  regs.Hw.Registers.a <- w;
+  Hw.Registers.set_indicators regs w
+
+let set_q m w =
+  let regs = m.Machine.regs in
+  regs.Hw.Registers.q <- w;
+  Hw.Registers.set_indicators regs w
+
+(* Fig. 7: advance check and performance of ordinary transfers. *)
+let transfer m instr operand =
+  let* effective, addr = memory_operand instr operand in
+  let regs = m.Machine.regs in
+  let exec = regs.Hw.Registers.ipr.Hw.Registers.ring in
+  let* sdw, _abs = Machine.resolve m addr in
+  let* () =
+    match m.Machine.mode with
+    | Machine.Ring_hardware ->
+        Rings.Policy.validate_transfer sdw.Hw.Sdw.access ~exec ~effective
+    | Machine.Ring_software_645 -> Machine.validate_fetch m sdw ~ring:exec
+  in
+  regs.Hw.Registers.ipr <- { Hw.Registers.ring = exec; addr };
+  Ok Continue
+
+let conditional_transfer m instr operand condition =
+  if condition then transfer m instr operand else Ok Continue
+
+let binop_a m instr operand f =
+  let* w = read_operand m instr operand in
+  set_a m (f m.Machine.regs.Hw.Registers.a w);
+  Ok Continue
+
+let binop_q m instr operand f =
+  let* w = read_operand m instr operand in
+  set_q m (f m.Machine.regs.Hw.Registers.q w);
+  Ok Continue
+
+let perform m (instr : Instr.t) operand =
+  let regs = m.Machine.regs in
+  let* () =
+    if Opcode.privileged instr.opcode then
+      Rings.Policy.validate_privileged
+        ~ring:regs.Hw.Registers.ipr.Hw.Registers.ring
+    else Ok ()
+  in
+  match instr.opcode with
+  | Opcode.NOP -> Ok Continue
+  | Opcode.HALT -> Ok Halt
+  | Opcode.LDA ->
+      let* w = read_operand m instr operand in
+      set_a m w;
+      Ok Continue
+  | Opcode.STA ->
+      let* () = write_operand m instr operand regs.Hw.Registers.a in
+      Ok Continue
+  | Opcode.LDQ ->
+      let* w = read_operand m instr operand in
+      set_q m w;
+      Ok Continue
+  | Opcode.STQ ->
+      let* () = write_operand m instr operand regs.Hw.Registers.q in
+      Ok Continue
+  | Opcode.LDX ->
+      let* w = read_operand m instr operand in
+      regs.Hw.Registers.xs.(instr.xr) <- w land ((1 lsl 18) - 1);
+      Ok Continue
+  | Opcode.STX ->
+      let* () =
+        write_operand m instr operand regs.Hw.Registers.xs.(instr.xr)
+      in
+      Ok Continue
+  | Opcode.ADA -> binop_a m instr operand Hw.Word.add
+  | Opcode.SBA -> binop_a m instr operand Hw.Word.sub
+  | Opcode.MPA -> binop_a m instr operand Hw.Word.mul
+  | Opcode.DVA ->
+      let* w = read_operand m instr operand in
+      (match Hw.Word.div regs.Hw.Registers.a w with
+      | None -> Error Rings.Fault.Divide_by_zero
+      | Some q ->
+          set_a m q;
+          Ok Continue)
+  | Opcode.ADQ -> binop_q m instr operand Hw.Word.add
+  | Opcode.SBQ -> binop_q m instr operand Hw.Word.sub
+  | Opcode.ANA -> binop_a m instr operand Hw.Word.logand
+  | Opcode.ORA -> binop_a m instr operand Hw.Word.logor
+  | Opcode.XRA -> binop_a m instr operand Hw.Word.logxor
+  | Opcode.CMPA ->
+      let* w = read_operand m instr operand in
+      Hw.Registers.set_indicators regs
+        (Hw.Word.sub regs.Hw.Registers.a w);
+      Ok Continue
+  | Opcode.AOS -> (
+      (* Read-modify-write: both Fig. 6 checks apply. *)
+      match operand with
+      | Eff_addr.Immediate _ | Eff_addr.Absent -> illegal instr
+      | Eff_addr.Memory { effective; addr } ->
+          let* sdw, abs = Machine.resolve m addr in
+          let* () = Machine.validate_read m sdw ~effective in
+          let* () = Machine.validate_write m sdw ~effective in
+          let w = Hw.Word.add (Hw.Memory.read m.Machine.mem abs) 1 in
+          Hw.Memory.write m.Machine.mem abs w;
+          Hw.Registers.set_indicators regs w;
+          Ok Continue)
+  | Opcode.STZ ->
+      let* () = write_operand m instr operand 0 in
+      Ok Continue
+  | Opcode.ALS ->
+      let* _effective, addr = memory_operand instr operand in
+      set_a m
+        (Hw.Word.of_int
+           (regs.Hw.Registers.a lsl min addr.Hw.Addr.wordno Hw.Word.bits));
+      Ok Continue
+  | Opcode.ARS ->
+      let* _effective, addr = memory_operand instr operand in
+      set_a m
+        (Hw.Word.of_signed
+           (Hw.Word.to_signed regs.Hw.Registers.a
+           asr min addr.Hw.Addr.wordno Hw.Word.bits));
+      Ok Continue
+  | Opcode.TRA -> transfer m instr operand
+  | Opcode.TZE ->
+      conditional_transfer m instr operand regs.Hw.Registers.ind_zero
+  | Opcode.TNZ ->
+      conditional_transfer m instr operand
+        (not regs.Hw.Registers.ind_zero)
+  | Opcode.TMI ->
+      conditional_transfer m instr operand regs.Hw.Registers.ind_negative
+  | Opcode.TPL ->
+      conditional_transfer m instr operand
+        (not regs.Hw.Registers.ind_negative)
+  | Opcode.TSX ->
+      (* IPR is already advanced: it holds the return address. *)
+      regs.Hw.Registers.xs.(instr.xr) <-
+        regs.Hw.Registers.ipr.Hw.Registers.addr.Hw.Addr.wordno;
+      transfer m instr operand
+  | Opcode.EAP ->
+      (* Fig. 7: loads PRn from TPR; the operand is not referenced and
+         no access validation is required. *)
+      let* effective, addr = memory_operand instr operand in
+      Hw.Registers.set_pr regs instr.xr
+        { Hw.Registers.ring = Rings.Effective_ring.ring effective; addr };
+      Ok Continue
+  | Opcode.SPR ->
+      let p = Hw.Registers.get_pr regs instr.xr in
+      let* () =
+        write_operand m instr operand (Indword.encode (Indword.of_ptr p))
+      in
+      Ok Continue
+  | Opcode.EAA ->
+      let* _effective, addr = memory_operand instr operand in
+      set_a m addr.Hw.Addr.wordno;
+      Ok Continue
+  | Opcode.CALL ->
+      let* effective, addr = memory_operand instr operand in
+      let* () = Call_return.call m ~effective ~addr in
+      Ok Continue
+  | Opcode.RETN ->
+      let* effective, addr = memory_operand instr operand in
+      let* () = Call_return.retn m ~effective ~addr in
+      Ok Continue
+  | Opcode.LDBR ->
+      regs.Hw.Registers.dbr <-
+        {
+          Hw.Registers.base = Hw.Word.field ~pos:14 ~width:21 regs.Hw.Registers.a;
+          bound = Hw.Word.field ~pos:0 ~width:14 regs.Hw.Registers.a;
+          stack_base = Hw.Word.field ~pos:0 ~width:14 regs.Hw.Registers.q;
+        };
+      Ok Continue
+  | Opcode.SIOC ->
+      (* Start an I/O channel operation: the channel runs for a fixed
+         number of instruction times and then raises the completion
+         trap.  What matters for the reproduction is that SIOC is
+         ring-0-only and that completions are one of the trap
+         sources. *)
+      m.Machine.io_countdown <- Some 20;
+      Ok Continue
+  | Opcode.SIOT ->
+      (* Read the channel control word pair and arm the channel; the
+         supervisor performs the transfer at completion time. *)
+      let* _effective, addr = memory_operand instr operand in
+      let* _, abs0 = Machine.resolve m addr in
+      let w0 = Hw.Memory.read m.Machine.mem abs0 in
+      let* _, abs1 = Machine.resolve m (Hw.Addr.offset addr 1) in
+      let w1 = Hw.Memory.read m.Machine.mem abs1 in
+      let buffer = (Indword.decode w0).Indword.addr in
+      let direction =
+        if Hw.Word.field ~pos:17 ~width:1 w1 = 0 then `Read else `Write
+      in
+      let count = Hw.Word.field ~pos:0 ~width:17 w1 in
+      m.Machine.io_request <- Some { Machine.ccw = addr; buffer; direction; count };
+      m.Machine.io_countdown <- Some (20 + (2 * count));
+      Ok Continue
+  | Opcode.RTRAP ->
+      (* Restoring with nothing saved is a program error, not a
+         simulator crash. *)
+      if m.Machine.saved = None && m.Machine.trap_config = None then
+        illegal instr
+      else begin
+        Machine.restore_saved m;
+        Ok Continue
+      end
+  | Opcode.MME ->
+      (* A deliberate trap: the supervisor dispatches on the code. *)
+      Error (Rings.Fault.Service_call { code = instr.offset })

@@ -1,0 +1,32 @@
+type t = { ring : Rings.Ring.t; indirect : bool; addr : Hw.Addr.t }
+
+let v ?(indirect = false) ~ring ~segno ~wordno () =
+  { ring = Rings.Ring.v ring; indirect; addr = Hw.Addr.v ~segno ~wordno }
+
+let of_ptr ?(indirect = false) (p : Hw.Registers.ptr) =
+  { ring = p.ring; indirect; addr = p.addr }
+
+let to_ptr t : Hw.Registers.ptr = { ring = t.ring; addr = t.addr }
+
+let encode t =
+  0
+  |> Hw.Word.set_field ~pos:33 ~width:3 (Rings.Ring.to_int t.ring)
+  |> Hw.Word.set_field ~pos:32 ~width:1 (if t.indirect then 1 else 0)
+  |> Hw.Word.set_field ~pos:18 ~width:14 t.addr.Hw.Addr.segno
+  |> Hw.Word.set_field ~pos:0 ~width:18 t.addr.Hw.Addr.wordno
+
+let decode w =
+  {
+    ring = Rings.Ring.v (Hw.Word.field ~pos:33 ~width:3 w);
+    indirect = Hw.Word.field ~pos:32 ~width:1 w = 1;
+    addr =
+      Hw.Addr.v
+        ~segno:(Hw.Word.field ~pos:18 ~width:14 w)
+        ~wordno:(Hw.Word.field ~pos:0 ~width:18 w);
+  }
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "IND{%a %a%s}" Rings.Ring.pp t.ring Hw.Addr.pp t.addr
+    (if t.indirect then ",*" else "")

@@ -1,0 +1,72 @@
+type base = Ipr_relative | Pr of int | Immediate
+
+type t = {
+  opcode : Opcode.t;
+  base : base;
+  indirect : bool;
+  indexed : bool;
+  xr : int;
+  offset : int;
+}
+
+let max_offset = (1 lsl 18) - 1
+
+let v ?(base = Ipr_relative) ?(indirect = false) ?(indexed = false) ?(xr = 0)
+    ?(offset = 0) opcode =
+  (match base with
+  | Pr n when n < 0 || n >= Hw.Registers.pr_count ->
+      invalid_arg (Printf.sprintf "Instr.v: PR%d does not exist" n)
+  | Ipr_relative | Pr _ | Immediate -> ());
+  if xr < 0 || xr > 7 then invalid_arg "Instr.v: xr out of range";
+  if offset < 0 || offset > max_offset then
+    invalid_arg (Printf.sprintf "Instr.v: offset %d out of range" offset);
+  { opcode; base; indirect; indexed; xr; offset }
+
+let base_code = function
+  | Ipr_relative -> 0
+  | Pr n -> 1 + n
+  | Immediate -> 9
+
+let base_of_code = function
+  | 0 -> Some Ipr_relative
+  | n when n >= 1 && n <= 8 -> Some (Pr (n - 1))
+  | 9 -> Some Immediate
+  | _ -> None
+
+let encode t =
+  0
+  |> Hw.Word.set_field ~pos:27 ~width:9 (Opcode.code t.opcode)
+  |> Hw.Word.set_field ~pos:23 ~width:4 (base_code t.base)
+  |> Hw.Word.set_field ~pos:22 ~width:1 (if t.indirect then 1 else 0)
+  |> Hw.Word.set_field ~pos:21 ~width:1 (if t.indexed then 1 else 0)
+  |> Hw.Word.set_field ~pos:18 ~width:3 t.xr
+  |> Hw.Word.set_field ~pos:0 ~width:18 t.offset
+
+let decode w =
+  match Opcode.of_code (Hw.Word.field ~pos:27 ~width:9 w) with
+  | None -> Error (Rings.Fault.Illegal_opcode { word = w })
+  | Some opcode -> (
+      match base_of_code (Hw.Word.field ~pos:23 ~width:4 w) with
+      | None -> Error (Rings.Fault.Illegal_opcode { word = w })
+      | Some base ->
+          Ok
+            {
+              opcode;
+              base;
+              indirect = Hw.Word.field ~pos:22 ~width:1 w = 1;
+              indexed = Hw.Word.field ~pos:21 ~width:1 w = 1;
+              xr = Hw.Word.field ~pos:18 ~width:3 w;
+              offset = Hw.Word.field ~pos:0 ~width:18 w;
+            })
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%a " Opcode.pp t.opcode;
+  (match t.base with
+  | Ipr_relative -> Format.fprintf ppf "%o" t.offset
+  | Pr n -> Format.fprintf ppf "pr%d|%o" n t.offset
+  | Immediate -> Format.fprintf ppf "=%o" t.offset);
+  if t.indirect then Format.fprintf ppf ",*";
+  if t.indexed then Format.fprintf ppf " x%d" t.xr
+  else if Opcode.uses_xr t.opcode then Format.fprintf ppf " %d" t.xr

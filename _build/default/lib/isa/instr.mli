@@ -1,0 +1,51 @@
+(** Instruction words (INS in Fig. 3).
+
+    Machine instructions specify two-part operand addresses by giving
+    an 18-bit offset relative to one of the pointer registers
+    (INST.PRNUM) or to the IPR's segment, because segment numbers are
+    not generally known when a segment is compiled.  Indirect
+    addressing is requested with the indirect flag (INST.I).
+
+    Layout of the 36-bit instruction word:
+
+    {v
+    [27..35] opcode/9   [23..26] base/4   [22] indirect
+    [21] indexed        [18..20] xr/3     [0..17] offset/18
+    v}
+
+    [base] encodes the addressing base: 0 = IPR-relative, 1..8 =
+    PR0..PR7-relative, 9 = immediate (the operand is the sign-extended
+    offset field itself; no memory reference, no validation).  [xr]
+    selects an index register for indexed addressing, or names the
+    PR/X register for the instructions of {!Opcode.uses_xr}. *)
+
+type base = Ipr_relative | Pr of int | Immediate
+
+type t = {
+  opcode : Opcode.t;
+  base : base;
+  indirect : bool;
+  indexed : bool;
+  xr : int;
+  offset : int;  (** 18 bits. *)
+}
+
+val v :
+  ?base:base ->
+  ?indirect:bool ->
+  ?indexed:bool ->
+  ?xr:int ->
+  ?offset:int ->
+  Opcode.t ->
+  t
+(** Defaults: IPR-relative, direct, not indexed, xr 0, offset 0.
+    Raises [Invalid_argument] on out-of-range fields. *)
+
+val encode : t -> Hw.Word.t
+
+val decode : Hw.Word.t -> (t, Rings.Fault.t) result
+(** [Error (Illegal_opcode _)] on an unassigned opcode or base code. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Assembly-like rendering, e.g. [LDA pr2|5,* x3]. *)

@@ -1,0 +1,183 @@
+type mode = Ring_hardware | Ring_software_645
+
+type saved_state = { regs : Hw.Registers.t; fault : Rings.Fault.t }
+
+type trap_config = {
+  vector_base : Hw.Addr.t;
+  conditions_base : Hw.Addr.t;
+}
+
+type io_request = {
+  ccw : Hw.Addr.t;
+  buffer : Hw.Addr.t;
+  direction : [ `Read | `Write ];
+  count : int;
+}
+
+type t = {
+  mem : Hw.Memory.t;
+  regs : Hw.Registers.t;
+  counters : Trace.Counters.t;
+  log : Trace.Event.log;
+  mode : mode;
+  stack_rule : Rings.Stack_rule.t;
+  gate_on_same_ring : bool;
+  use_r1_in_indirection : bool;
+  mutable halted : bool;
+  mutable saved : saved_state option;
+  mutable timer : int option;
+  mutable io_countdown : int option;
+  mutable io_request : io_request option;
+  mutable inhibit : bool;
+  mutable trap_config : trap_config option;
+  sdw_cache : (int * int, Hw.Sdw.t) Hashtbl.t;
+}
+
+let create ?(mode = Ring_hardware)
+    ?(stack_rule = Rings.Stack_rule.Segno_equals_ring)
+    ?(gate_on_same_ring = true) ?(use_r1_in_indirection = true) ?mem_size ()
+    =
+  let counters = Trace.Counters.create () in
+  {
+    mem = Hw.Memory.create ?size:mem_size counters;
+    regs = Hw.Registers.create ();
+    counters;
+    log = Trace.Event.create_log ();
+    mode;
+    stack_rule;
+    gate_on_same_ring;
+    use_r1_in_indirection;
+    halted = false;
+    saved = None;
+    timer = None;
+    io_countdown = None;
+    io_request = None;
+    inhibit = false;
+    trap_config = None;
+    sdw_cache = Hashtbl.create 64;
+  }
+
+let ring t = t.regs.Hw.Registers.ipr.Hw.Registers.ring
+
+let cache_capacity = 64
+
+let fetch_sdw t ~segno =
+  let dbr = t.regs.Hw.Registers.dbr in
+  let key = (dbr.Hw.Registers.base, segno) in
+  match Hashtbl.find_opt t.sdw_cache key with
+  | Some sdw ->
+      Trace.Counters.bump_sdw_fetches t.counters;
+      Ok sdw
+  | None -> (
+      match Hw.Descriptor.fetch_sdw t.mem dbr ~segno with
+      | Error _ as e -> e
+      | Ok sdw ->
+          (* Associative-memory miss: the two SDW words were read from
+             core; charge them as memory traffic. *)
+          Trace.Counters.charge t.counters (2 * Hw.Costs.memory_access);
+          if Hashtbl.length t.sdw_cache >= cache_capacity then
+            Hashtbl.clear t.sdw_cache;
+          Hashtbl.replace t.sdw_cache key sdw;
+          Ok sdw)
+
+let invalidate_sdw t ~segno =
+  let stale =
+    Hashtbl.fold
+      (fun ((_, s) as key) _ acc -> if s = segno then key :: acc else acc)
+      t.sdw_cache []
+  in
+  List.iter (Hashtbl.remove t.sdw_cache) stale
+
+let resolve t (addr : Hw.Addr.t) =
+  match fetch_sdw t ~segno:addr.Hw.Addr.segno with
+  | Error _ as e -> e
+  | Ok sdw -> (
+      let translated =
+        if sdw.Hw.Sdw.paged then
+          Hw.Descriptor.translate_paged t.mem sdw ~segno:addr.Hw.Addr.segno
+            ~wordno:addr.Hw.Addr.wordno
+        else
+          Hw.Descriptor.translate sdw ~segno:addr.Hw.Addr.segno
+            ~wordno:addr.Hw.Addr.wordno
+      in
+      match translated with Error _ as e -> e | Ok abs -> Ok (sdw, abs))
+
+let validate_fetch t (sdw : Hw.Sdw.t) ~ring =
+  match t.mode with
+  | Ring_hardware -> Rings.Policy.validate_fetch sdw.access ~ring
+  | Ring_software_645 ->
+      if sdw.access.Rings.Access.execute then Ok ()
+      else Error Rings.Fault.No_execute_permission
+
+let validate_read t (sdw : Hw.Sdw.t) ~effective =
+  match t.mode with
+  | Ring_hardware -> Rings.Policy.validate_read sdw.access ~effective
+  | Ring_software_645 ->
+      if sdw.access.Rings.Access.read then Ok ()
+      else Error Rings.Fault.No_read_permission
+
+let validate_write t (sdw : Hw.Sdw.t) ~effective =
+  match t.mode with
+  | Ring_hardware -> Rings.Policy.validate_write sdw.access ~effective
+  | Ring_software_645 ->
+      if sdw.access.Rings.Access.write then Ok ()
+      else Error Rings.Fault.No_write_permission
+
+let take_fault t ~at fault =
+  Trace.Counters.bump_traps t.counters;
+  if Rings.Fault.is_access_violation fault then
+    Trace.Counters.bump_access_violations t.counters;
+  Trace.Counters.charge t.counters Hw.Costs.trap_entry;
+  Trace.Event.record t.log
+    (Trace.Event.Trap
+       {
+         ring = Rings.Ring.to_int (ring t);
+         cause = Rings.Fault.to_string fault;
+       });
+  let regs = Hw.Registers.copy t.regs in
+  regs.Hw.Registers.ipr <- at;
+  t.saved <- Some { regs; fault };
+  t.inhibit <- true;
+  (* With a simulated supervisor configured, complete the trap in
+     hardware: conditions to memory, ring 0, fixed location. *)
+  match t.trap_config with
+  | None -> ()
+  | Some { vector_base; conditions_base } -> (
+      match Hw.Descriptor.resolve t.mem t.regs.Hw.Registers.dbr conditions_base with
+      | Error _ -> () (* misconfigured: leave the fault to the host *)
+      | Ok (_, abs) ->
+          let words =
+            Hw.Conditions.store regs ~fault_code:(Rings.Fault.code fault)
+          in
+          Array.iteri
+            (fun i w -> Hw.Memory.write_silent t.mem (abs + i) w)
+            words;
+          t.regs.Hw.Registers.ipr <-
+            {
+              Hw.Registers.ring = Rings.Ring.r0;
+              addr = Hw.Addr.offset vector_base (Rings.Fault.code fault);
+            })
+
+let restore_saved t =
+  t.inhibit <- false;
+  match t.trap_config with
+  | Some { conditions_base; _ } -> (
+      (* Reload the conditions from memory, where the supervisor may
+         have patched them. *)
+      Trace.Counters.charge t.counters Hw.Costs.trap_restore;
+      match Hw.Descriptor.resolve t.mem t.regs.Hw.Registers.dbr conditions_base with
+      | Error _ -> invalid_arg "Machine.restore_saved: conditions unreachable"
+      | Ok (_, abs) ->
+          let words =
+            Array.init Hw.Conditions.words (fun i ->
+                Hw.Memory.read_silent t.mem (abs + i))
+          in
+          ignore (Hw.Conditions.load t.regs words);
+          t.saved <- None)
+  | None -> (
+      match t.saved with
+      | None -> invalid_arg "Machine.restore_saved: no saved state"
+      | Some { regs; _ } ->
+          Trace.Counters.charge t.counters Hw.Costs.trap_restore;
+          Hw.Registers.restore t.regs ~from:regs;
+          t.saved <- None)

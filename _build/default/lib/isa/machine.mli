@@ -1,0 +1,150 @@
+(** A simulated processor plus its memory: the unit the CPU steps.
+
+    A machine runs in one of two ring modes:
+
+    - {!Ring_hardware}: the paper's proposal.  The bracket and gate
+      fields of each SDW are honoured on every reference, the
+      effective ring is maintained through address formation, and CALL
+      and RETURN switch rings without software intervention.
+
+    - {!Ring_software_645}: the baseline — the initial Multics on the
+      Honeywell 645, which had only read/write/execute flags per SDW.
+      The ring fields in SDWs, indirect words and pointer registers
+      are ignored by the hardware; references are validated against
+      the flags of whatever descriptor segment the DBR currently names
+      (one per ring per process, maintained by software); CALL and
+      RETURN never switch rings, and any cross-ring transfer surfaces
+      as a fault for the software gatekeeper.
+
+    The two ablation switches exist only for the benches and tests
+    that demonstrate why the corresponding rule is in the paper. *)
+
+type mode = Ring_hardware | Ring_software_645
+
+type saved_state = {
+  regs : Hw.Registers.t;  (** Deep copy; IPR at the faulting instruction. *)
+  fault : Rings.Fault.t;
+}
+
+(** The simulated-supervisor trap path.  On any trap the processor
+    stores the machine conditions ({!Hw.Conditions}) at
+    [conditions_base] and transfers, in ring 0, to
+    [vector_base + Fault.code] — a one-word-per-cause transfer vector.
+    The privileged RTRAP instruction reloads the conditions from
+    memory. *)
+type trap_config = {
+  vector_base : Hw.Addr.t;
+  conditions_base : Hw.Addr.t;
+}
+
+(** A channel program started by SIOT, performed by the supervisor at
+    completion time. *)
+type io_request = {
+  ccw : Hw.Addr.t;  (** The channel control word pair's address. *)
+  buffer : Hw.Addr.t;  (** Transfer area (from CCW word 0). *)
+  direction : [ `Read | `Write ];
+  count : int;
+}
+
+type t = {
+  mem : Hw.Memory.t;
+  regs : Hw.Registers.t;
+  counters : Trace.Counters.t;
+  log : Trace.Event.log;
+  mode : mode;
+  stack_rule : Rings.Stack_rule.t;
+  gate_on_same_ring : bool;
+      (** Ablation: when false, same-ring CALLs skip the gate check. *)
+  use_r1_in_indirection : bool;
+      (** Ablation: when false, effective-ring formation omits the
+          SDW.R1 term for segments containing indirect words. *)
+  mutable halted : bool;
+  mutable saved : saved_state option;
+      (** Processor state captured by the last trap, for RTRAP. *)
+  mutable timer : int option;
+      (** Interval timer: decremented once per retired instruction;
+          reaching zero raises [Timer_runout] between instructions.
+          [None] disables it. *)
+  mutable io_countdown : int option;
+      (** Pending I/O operation started by SIOC/SIOT: counts down per
+          instruction like the timer and raises the I/O-completion
+          trap when it reaches zero. *)
+  mutable io_request : io_request option;
+      (** The transfer the supervisor performs at completion (SIOT);
+          [None] for a bare SIOC. *)
+  mutable inhibit : bool;
+      (** Interrupt inhibit: set by the hardware on every trap entry
+          and cleared by RTRAP, so the timer and I/O completions
+          cannot preempt a supervisor handler before it has consumed
+          the machine conditions.  (Synchronous faults still trap —
+          a buggy handler is not protected from itself.) *)
+  mutable trap_config : trap_config option;
+      (** When set, the processor itself completes the trap sequence:
+          it stores the machine conditions, forces ring 0, and
+          transfers to the vector — the "bare-metal" mode where a
+          {e simulated} supervisor handles traps.  When unset (the
+          default), faults surface to the host-level kernel. *)
+  sdw_cache : (int * int, Hw.Sdw.t) Hashtbl.t;
+      (** The SDW associative memory, keyed by (descriptor segment
+          base, segment number): a hit costs nothing, a miss reads the
+          two SDW words from the descriptor segment.  Keying by the
+          DBR base means loading a different descriptor segment
+          naturally misses — the 645 baseline pays the refill after
+          every ring switch, as the paper's cost discussion notes. *)
+}
+
+val create :
+  ?mode:mode ->
+  ?stack_rule:Rings.Stack_rule.t ->
+  ?gate_on_same_ring:bool ->
+  ?use_r1_in_indirection:bool ->
+  ?mem_size:int ->
+  unit ->
+  t
+(** Defaults: hardware rings, [Segno_equals_ring], both ablation
+    switches on (the paper's rules). *)
+
+val ring : t -> Rings.Ring.t
+(** Current ring of execution (IPR.RING). *)
+
+val fetch_sdw : t -> segno:int -> (Hw.Sdw.t, Rings.Fault.t) result
+
+val resolve : t -> Hw.Addr.t -> (Hw.Sdw.t * int, Rings.Fault.t) result
+
+(** {1 Mode-dependent validation}
+
+    In hardware mode these apply the {!Rings.Policy} bracket rules; in
+    645 mode only the flags are consulted (the per-ring descriptor
+    segment is what makes the flags ring-specific). *)
+
+val validate_fetch :
+  t -> Hw.Sdw.t -> ring:Rings.Ring.t -> (unit, Rings.Fault.t) result
+
+val validate_read :
+  t ->
+  Hw.Sdw.t ->
+  effective:Rings.Effective_ring.t ->
+  (unit, Rings.Fault.t) result
+
+val validate_write :
+  t ->
+  Hw.Sdw.t ->
+  effective:Rings.Effective_ring.t ->
+  (unit, Rings.Fault.t) result
+
+val invalidate_sdw : t -> segno:int -> unit
+(** Drop any associative-memory entries for [segno] (under every
+    descriptor segment).  Supervisor code that rewrites an SDW — e.g.
+    to change a segment's access fields at run time — must call this
+    for the change to be "immediately effective" as the paper
+    requires. *)
+
+val take_fault : t -> at:Hw.Registers.ptr -> Rings.Fault.t -> unit
+(** Trap bookkeeping: charge the trap-entry cost, bump the trap (and,
+    when appropriate, access-violation) counters, record the event,
+    and capture the processor state with IPR pointing at the
+    instruction that faulted so RTRAP can resume it. *)
+
+val restore_saved : t -> unit
+(** The RTRAP action: restore the captured state and clear it.
+    Raises [Invalid_argument] when no state is saved. *)

@@ -1,0 +1,101 @@
+(** The instruction set of the simulated processor.
+
+    A compact 36-bit ISA in the Honeywell 6000 style, with exactly the
+    instruction classes the paper's Figs. 6–9 distinguish:
+
+    - instructions which {b read} their operands (loads, arithmetic,
+      logic, comparisons);
+    - instructions which {b write} their operands (stores), and the
+      read-modify-write [AOS];
+    - instructions which {b do not reference} their operands: the
+      EAP-type instructions — the only way to load a pointer register
+      — and the transfer instructions;
+    - the two instructions that may change the ring of execution:
+      [CALL] and [RETN];
+    - privileged instructions, executable only in ring 0: [LDBR],
+      [SIOC], [RTRAP] and [HALT]. *)
+
+type t =
+  | NOP
+  | HALT  (** Stop the processor; privileged. *)
+  (* Data movement. *)
+  | LDA  (** A := operand. *)
+  | STA  (** operand := A. *)
+  | LDQ
+  | STQ
+  | LDX  (** X\[xr\] := low 18 bits of operand. *)
+  | STX  (** operand := X\[xr\]. *)
+  (* Arithmetic and logic; all set the indicators. *)
+  | ADA
+  | SBA
+  | MPA
+  | DVA
+  | ADQ
+  | SBQ
+  | ANA
+  | ORA
+  | XRA
+  | CMPA  (** Set indicators from A - operand without storing. *)
+  | AOS  (** operand := operand + 1: reads and writes its operand. *)
+  | STZ  (** operand := 0: a write. *)
+  | ALS  (** A := A shifted left by the effective word number. *)
+  | ARS  (** A := A shifted right (arithmetic) by the effective word
+             number.  Like EAA, the shifts use the address itself and
+             reference no operand. *)
+  (* Transfers (Fig. 7): constrained from changing the ring. *)
+  | TRA
+  | TZE  (** Transfer if zero indicator on. *)
+  | TNZ
+  | TMI  (** Transfer if negative indicator on. *)
+  | TPL
+  | TSX  (** X\[xr\] := return wordno; transfer. Same-segment calls. *)
+  (* EAP-type (Fig. 7): operand not referenced. *)
+  | EAP  (** PR\[xr\] := (TPR.RING, TPR.SEGNO, TPR.WORDNO). *)
+  | SPR  (** operand := PR\[xr\] encoded as an indirect word: a write. *)
+  | EAA  (** A := TPR.WORDNO (address arithmetic). *)
+  (* Ring-changing instructions (Figs. 8 and 9). *)
+  | CALL
+  | RETN
+  | MME
+      (** Master mode entry: a deliberate trap into the supervisor
+          with a service code in the offset field, as on the 645.
+          Used by the software ring-crossing trampolines. *)
+  (* Privileged. *)
+  | LDBR  (** DBR := (A, Q). *)
+  | SIOC
+      (** Start a bare I/O channel operation: a completion trap
+          arrives some instructions later, with no data transfer. *)
+  | SIOT
+      (** Start an I/O channel transfer.  The operand addresses a
+          channel control word pair: word 0 an ITS naming the buffer,
+          word 1 the direction (bit 17; 0 = read from the device into
+          the buffer, 1 = write) and word count (bits 0–16).  At
+          completion the supervisor moves the data and rewrites CCW
+          word 1 with the done flag (bit 35) and the transferred
+          count. *)
+  | RTRAP  (** Restore the processor state saved at the last trap. *)
+
+type operand_class =
+  | Reads  (** Validated by the Fig. 6 read check. *)
+  | Writes  (** Validated by the Fig. 6 write check. *)
+  | Reads_and_writes  (** Both checks (AOS). *)
+  | Address_only  (** EAP-type: no reference, no validation. *)
+  | Transfer  (** Fig. 7 advance check. *)
+  | Ring_call  (** Fig. 8. *)
+  | Ring_return  (** Fig. 9. *)
+  | No_operand
+
+val operand_class : t -> operand_class
+val privileged : t -> bool
+val uses_xr : t -> bool
+(** Instructions that consume the [xr] field as a register selector
+    (LDX, STX, TSX, EAP, SPR) rather than as an index modifier. *)
+
+val code : t -> int
+val of_code : int -> t option
+val mnemonic : t -> string
+val of_mnemonic : string -> t option
+(** Case-insensitive. *)
+
+val all : t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/os/acl.ml: Format List Printf Rings String

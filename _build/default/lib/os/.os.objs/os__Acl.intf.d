@@ -1,0 +1,1 @@
+lib/os/acl.mli: Format Rings

@@ -1,0 +1,1 @@
+lib/os/device.ml: Char List Queue String

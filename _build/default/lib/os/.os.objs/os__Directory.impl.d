@@ -1,0 +1,1 @@
+lib/os/directory.ml: Acl Hashtbl List Printf Result Rings String

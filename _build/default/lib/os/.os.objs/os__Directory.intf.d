@@ -1,0 +1,1 @@
+lib/os/directory.mli: Acl

@@ -1,0 +1,1 @@
+lib/os/io.ml: Device Hw Isa List Printf Process Result Trace

@@ -1,0 +1,1 @@
+lib/os/io.mli: Isa Process

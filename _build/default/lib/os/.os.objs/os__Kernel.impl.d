@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Calling Format Io Isa Outward Process Rings Services Softrings Trace

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Format Process Rings

@@ -1,0 +1,1 @@
+lib/os/outward.ml: Array Costs Format Hashtbl Hw Isa List Process Result Rings Trace

@@ -1,0 +1,1 @@
+lib/os/outward.mli: Hw Process Rings

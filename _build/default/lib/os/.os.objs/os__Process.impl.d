@@ -1,0 +1,1 @@
+lib/os/process.ml: Acl Array Asm Calling Costs Device Directory Format Hashtbl Hw Isa List Option Printf Result Rings Store String Trace

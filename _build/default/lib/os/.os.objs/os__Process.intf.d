@@ -1,0 +1,1 @@
+lib/os/process.mli: Device Directory Format Hashtbl Hw Isa Rings Store

@@ -1,0 +1,1 @@
+lib/os/scenario.ml: Acl Buffer Calling Isa List Printf Process Result Rings Store

@@ -1,0 +1,1 @@
+lib/os/scenario.mli: Isa Process Rings

@@ -1,0 +1,1 @@
+lib/os/services.ml: Buffer Calling Char Costs Directory Hw Isa Printf Process Result Rings Trace

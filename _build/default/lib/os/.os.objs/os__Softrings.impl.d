@@ -1,0 +1,1 @@
+lib/os/softrings.ml: Costs Format Hashtbl Hw Isa Outward Printf Process Result Rings Trace

@@ -1,0 +1,1 @@
+lib/os/store.ml: Acl Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/os/supervisor.ml: Acl Process Rings Store

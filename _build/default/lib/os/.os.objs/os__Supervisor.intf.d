@@ -1,0 +1,1 @@
+lib/os/supervisor.mli: Isa Process Store

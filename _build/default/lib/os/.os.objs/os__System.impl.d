@@ -1,0 +1,1 @@
+lib/os/system.ml: Acl Hashtbl Hw Io Isa Kernel List Printf Process Result Rings Store String Trace

@@ -1,0 +1,1 @@
+lib/os/system.mli: Hw Isa Kernel Process Rings Store

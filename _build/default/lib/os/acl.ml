@@ -1,0 +1,36 @@
+type entry = { user : string; access : Rings.Access.t }
+
+type t = entry list (* most recent first *)
+
+let of_entries entries = List.rev entries
+let empty = []
+let entries t = List.rev t
+let wildcard = "*"
+
+let check t ~user =
+  match List.find_opt (fun e -> String.equal e.user user) t with
+  | Some e -> Some e.access
+  | None -> (
+      match List.find_opt (fun e -> String.equal e.user wildcard) t with
+      | Some e -> Some e.access
+      | None -> None)
+
+let set_entry t ~acting_ring entry =
+  let b = entry.access.Rings.Access.brackets in
+  let n = Rings.Ring.to_int acting_ring in
+  let violates r = Rings.Ring.to_int r < n in
+  if
+    violates (Rings.Brackets.write_bracket_top b)
+    || violates (Rings.Brackets.execute_bracket_top b)
+    || violates (Rings.Brackets.gate_extension_top b)
+  then
+    Error
+      (Printf.sprintf
+         "a program in ring %d cannot specify bracket values below %d" n n)
+  else Ok (entry :: t)
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-12s %a@." e.user Rings.Access.pp e.access)
+    (entries t)

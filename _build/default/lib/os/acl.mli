@@ -1,0 +1,43 @@
+(** Access control lists.
+
+    The users permitted to access each segment of on-line storage are
+    named by an access control list associated with the segment.  The
+    entry matching the user of a process supplies {e all} the access
+    fields that go into the SDW when the segment is added to the
+    process's virtual memory: the read/write/execute flags, the
+    bracket ring numbers and the gate count come from the matched
+    entry (the gate count is a property of the segment body and is
+    merged in by the loader).
+
+    A fundamental constraint of the Multics software facility is also
+    enforced here: a program executing in ring n cannot specify R1, R2
+    or R3 values of less than n in an ACL entry of any segment (see
+    {!set_entry}). *)
+
+type entry = { user : string; access : Rings.Access.t }
+
+type t
+
+val of_entries : entry list -> t
+(** Later entries shadow earlier ones for the same user name. *)
+
+val empty : t
+
+val entries : t -> entry list
+
+val wildcard : string
+(** ["*"] — matches every user. *)
+
+val check : t -> user:string -> Rings.Access.t option
+(** The access fields for [user]: an exact entry if present, else the
+    wildcard entry, else [None] (no access: the supervisor will refuse
+    to add the segment to the process's virtual memory). *)
+
+val set_entry :
+  t -> acting_ring:Rings.Ring.t -> entry -> (t, string) result
+(** Add or replace an entry on behalf of a program executing in
+    [acting_ring].  Refused when any bracket ring number of the new
+    entry is numerically smaller than [acting_ring] — the constraint
+    that lets the "sole occupant" property of rings be enforced. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+let frame_size = 8
+let slot_saved_pr6 = 0
+let slot_return_point = 1
+let slot_saved_stack_base = 2
+let first_frame_wordno = 8
+let stack_words = 1024
+let svc_outward_return = 1
+let svc_exit = 2
+let svc_add_segment = 3
+let svc_cycle_count = 4
+let svc_yield = 5
+let svc_block = 6
+let highest_service_ring = 5
+
+let stack_header ~ring ~segno ~free_wordno =
+  Isa.Indword.encode (Isa.Indword.v ~ring ~segno ~wordno:free_wordno ())

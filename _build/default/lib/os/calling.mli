@@ -1,0 +1,101 @@
+(** The software calling convention ("Call and Return Revisited").
+
+    The paper's hardware fixes only two things: CALL generates the new
+    ring's stack base pointer in PR0, and the caller's PR rings are
+    trustworthy (always ≥ the caller's ring).  Everything else is
+    software convention, standardized here and used by every example
+    and by the gatekeepers:
+
+    - Each stack segment's word 0 holds an ITS (indirect) word
+      addressing the next free frame — so a called procedure can build
+      its own stack pointer from PR0 alone, as the paper requires.
+    - PR6 is the frame pointer; PR2 ("PRa") addresses the argument
+      list; PR0/PR1/PR5 are scratch.
+    - Frame slot 0: the caller's PR6, saved by the callee prologue.
+    - Frame slot 1: the return point, an ITS word stored by the {e
+      caller} in its own frame before the CALL — "the return point
+      must have been saved by the caller at a standard position in its
+      stack area".
+    - An argument list is: word 0 = argument count N, words 1..N = ITS
+      words addressing the arguments.
+
+    Canonical code sequences (identical for same-ring, downward and —
+    via the trap path — upward calls, which is the paper's point):
+
+    {v
+    ; caller                          ; callee entry (a gate target)
+    eap  pr1, ret                     entry: eap pr5, pr0|0,*
+    spr  pr1, pr6|1                          spr pr6, pr5|0
+    eap  pr2, arglist                        eap pr6, pr5|0
+    call target,*        ; ITS link          eap pr1, pr6|8
+    ret: ...                                 spr pr1, pr0|0
+                                             ... body ...
+                                             spr pr6, pr0|0   ; pop
+                                             eap pr6, pr6|0,* ; caller PR6
+                                             retn pr6|1,*     ; via slot 1
+    v}
+
+    The epilogue's [eap pr6, pr6|0,*] raises PR6.RING to the caller's
+    ring (the indirect word's RING field and the stack segment's write
+    bracket are folded in by the hardware), so the final
+    [retn pr6|1,*] cannot return below the caller's ring.
+
+    A procedure that itself performs calls must additionally save its
+    own stack base pointer, because CALL rewrites PR0 with the {e
+    callee's} stack base and RETURN does not restore it: the prologue
+    adds [spr pr0, pr6|2] and the epilogue begins with
+    [eap pr0, pr6|2,*] (frame slot 2 = {!slot_saved_stack_base}). *)
+
+val frame_size : int
+(** 8 words. *)
+
+val slot_saved_pr6 : int
+(** 0. *)
+
+val slot_return_point : int
+(** 1. *)
+
+val slot_saved_stack_base : int
+(** 2; used only by procedures that make calls themselves. *)
+
+val first_frame_wordno : int
+(** 8: frames start after the stack header. *)
+
+val stack_words : int
+(** 1024: default stack segment length. *)
+
+val svc_outward_return : int
+(** MME service code used by the return-gate trampoline that unwinds
+    an emulated upward call. *)
+
+val svc_exit : int
+(** MME service code requesting clean process termination — the way a
+    program in a ring above 0 ends a run (HALT is privileged). *)
+
+val svc_add_segment : int
+(** MME service: add a named store segment to the virtual memory — the
+    explicit supervisor invocation of the paper's "file system search
+    direction" kind.  The argument list (PR2) holds the name, one
+    character per word after the count.  Returns the new segment
+    number in A, or all-ones on failure.  Refused from rings 6–7,
+    which "are not given access to supervisor gates". *)
+
+val svc_cycle_count : int
+(** MME service: read the machine's cycle counter into A (the
+    accounting clock). *)
+
+val svc_yield : int
+(** MME service: voluntarily give up the processor — the dispatcher
+    resumes the process on its next turn.  Available from every ring
+    (giving the processor away needs no privilege). *)
+
+val svc_block : int
+(** MME service: block until the pending channel operation completes —
+    the traffic-controller alternative to polling the CCW status.
+    With no operation pending it degenerates to a yield. *)
+
+val highest_service_ring : int
+(** 5: supervisor services are refused to rings 6 and 7. *)
+
+val stack_header : ring:int -> segno:int -> free_wordno:int -> int
+(** The encoded ITS word a stack header holds. *)

@@ -1,0 +1,7 @@
+let gatekeeper_dispatch = 50
+let gate_validation = 60
+let descriptor_segment_switch = 40
+let per_argument_validation = 25
+let outward_setup = 80
+let outward_return = 60
+let page_transfer = 300

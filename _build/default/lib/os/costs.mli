@@ -1,0 +1,45 @@
+(** Cycle costs of the software ring-crossing machinery.
+
+    The paper's baseline — the initial Multics on the Honeywell 645 —
+    "implements rings by trapping to a supervisor procedure when
+    downward calls and upward returns are performed".  Contemporary
+    accounts put that software path at several hundred instructions
+    per crossing (gate lookup, argument validation, descriptor-segment
+    switching, state restore).  The constants here are set at the
+    {e low} end of that range, i.e. they are conservative in the
+    baseline's favour; the C1/C2 benches only rely on the crossing
+    being software-mediated at all, not on these exact values.  Every
+    constant is charged in addition to the hardware trap entry/restore
+    costs of {!Hw.Costs}. *)
+
+val gatekeeper_dispatch : int
+(** Fault analysis and dispatch inside the supervisor: deciding that
+    the trap is a ring crossing and which kind: 50. *)
+
+val gate_validation : int
+(** Software check of the gate: target segment's ring data looked up
+    in supervisor tables, gate list consulted, caller's right to use
+    the gate verified: 60. *)
+
+val descriptor_segment_switch : int
+(** Switching the DBR to another ring's descriptor segment, including
+    clearing the address-translation associative memory: 40. *)
+
+val per_argument_validation : int
+(** Software validation of one argument pointer on a cross-ring call
+    — the work the new hardware's effective-ring mechanism makes
+    unnecessary: 25 per argument. *)
+
+val outward_setup : int
+(** Extra bookkeeping for an upward (outward) call: allocating the
+    communication area, building the return gate record: 80. *)
+
+val outward_return : int
+(** Validating and unwinding a downward return through the dynamic
+    return-gate stack: 60. *)
+
+val page_transfer : int
+(** Moving one page between the backing store and a core frame: 300 —
+    a token drum-transfer latency; real secondary storage of the era
+    was orders of magnitude slower than core, but the tests and
+    benches only need page movement to be visible and deterministic. *)

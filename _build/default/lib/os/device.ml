@@ -1,0 +1,22 @@
+type t = { input : int Queue.t; mutable output : int list (* reversed *) }
+
+let create () = { input = Queue.create (); output = [] }
+
+let feed t s = String.iter (fun c -> Queue.add (Char.code c) t.input) s
+
+let read_available t ~max =
+  let rec take n acc =
+    if n = 0 || Queue.is_empty t.input then List.rev acc
+    else take (n - 1) (Queue.pop t.input :: acc)
+  in
+  take max []
+
+let write t codes = t.output <- List.rev_append codes t.output
+
+let output_text t =
+  let codes = List.rev t.output in
+  String.init (List.length codes) (fun i ->
+      let c = List.nth codes i in
+      if c >= 32 && c <= 126 then Char.chr c else '?')
+
+let pending_input t = Queue.length t.input

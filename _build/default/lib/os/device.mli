@@ -1,0 +1,30 @@
+(** A typewriter: the device of the paper's closing example.
+
+    "In the Multics typewriter I/O package, only the functions of
+    copying data in and out of shared buffer areas and of executing
+    the privileged instruction to initiate I/O channel operation need
+    to be protected" — the rest of the typewriter strategy and code
+    conversion can live in a user ring.  This module is the device end
+    of that example: a queue of input characters (what the user typed)
+    and an accumulating output (what the system printed), moved by the
+    I/O channel at completion time ({!Io}).
+
+    Characters travel one per 36-bit word, as character codes. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> string -> unit
+(** Append characters to the input queue (the user typing). *)
+
+val read_available : t -> max:int -> int list
+(** Take up to [max] character codes from the input queue. *)
+
+val write : t -> int list -> unit
+(** Append character codes to the printed output. *)
+
+val output_text : t -> string
+(** Everything printed so far (non-printable codes shown as [?]). *)
+
+val pending_input : t -> int

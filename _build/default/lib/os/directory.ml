@@ -1,0 +1,106 @@
+type node = Dir of dir | Link of string
+
+and dir = { acl : Acl.t; entries : (string, node) Hashtbl.t }
+
+type t = dir
+
+let everyone =
+  Acl.of_entries
+    [
+      {
+        Acl.user = Acl.wildcard;
+        access =
+          Rings.Access.v ~read:true
+            (Rings.Brackets.data ~writable_to:Rings.Ring.r0
+               ~readable_to:Rings.Ring.lowest_privilege);
+      };
+    ]
+
+let create ?(acl = everyone) () = { acl; entries = Hashtbl.create 8 }
+
+let split_path path =
+  String.split_on_char '>' path |> List.filter (fun c -> c <> "")
+
+(* The list capability: the user's ACL entry must carry the read
+   flag. *)
+let may_list dir ~user =
+  match Acl.check dir.acl ~user with
+  | Some access -> access.Rings.Access.read
+  | None -> false
+
+let rec walk dir ~user = function
+  | [] -> Ok dir
+  | component :: rest -> (
+      if not (may_list dir ~user) then
+        Error (Printf.sprintf "user %s may not list this directory" user)
+      else
+        match Hashtbl.find_opt dir.entries component with
+        | Some (Dir d) -> walk d ~user rest
+        | Some (Link _) ->
+            Error (Printf.sprintf "%s is a segment, not a directory" component)
+        | None -> Error (Printf.sprintf "no entry %s" component))
+
+(* Split a path into (parent components, final component). *)
+let parent_and_leaf path =
+  match List.rev (split_path path) with
+  | [] -> Error "empty path"
+  | leaf :: rev_parents -> Ok (List.rev rev_parents, leaf)
+
+let ( let* ) = Result.bind
+
+(* Creation walks without ACL checks: building the hierarchy is the
+   owner's (host-level) act; ACLs govern resolution by users. *)
+let rec walk_unchecked dir = function
+  | [] -> Ok dir
+  | component :: rest -> (
+      match Hashtbl.find_opt dir.entries component with
+      | Some (Dir d) -> walk_unchecked d rest
+      | Some (Link _) ->
+          Error (Printf.sprintf "%s is a segment, not a directory" component)
+      | None -> Error (Printf.sprintf "no entry %s" component))
+
+let enter t ~path node =
+  let* parents, leaf = parent_and_leaf path in
+  let* dir = walk_unchecked t parents in
+  if Hashtbl.mem dir.entries leaf then
+    Error (Printf.sprintf "duplicate entry %s" leaf)
+  else begin
+    Hashtbl.add dir.entries leaf node;
+    Ok ()
+  end
+
+let mkdir t ~path ~acl =
+  enter t ~path (Dir { acl; entries = Hashtbl.create 8 })
+
+let link t ~path ~store_name = enter t ~path (Link store_name)
+
+let resolve t ~user ~path =
+  let* parents, leaf = parent_and_leaf path in
+  let* dir = walk t ~user parents in
+  if not (may_list dir ~user) then
+    Error (Printf.sprintf "user %s may not list this directory" user)
+  else
+    match Hashtbl.find_opt dir.entries leaf with
+    | Some (Link name) -> Ok name
+    | Some (Dir _) -> Error (Printf.sprintf "%s is a directory" leaf)
+    | None -> Error (Printf.sprintf "no entry %s" leaf)
+
+let search t ~user ~rules ~name =
+  let rec try_rules = function
+    | [] -> Error (Printf.sprintf "%s not found on the search rules" name)
+    | rule :: rest -> (
+        let path = if rule = "" then name else rule ^ ">" ^ name in
+        match resolve t ~user ~path with
+        | Ok found -> Ok found
+        | Error _ -> try_rules rest)
+  in
+  try_rules rules
+
+let list_entries t ~user ~path =
+  let* dir = walk t ~user (split_path path) in
+  if not (may_list dir ~user) then
+    Error (Printf.sprintf "user %s may not list this directory" user)
+  else
+    Ok
+      (Hashtbl.fold (fun name _ acc -> name :: acc) dir.entries []
+      |> List.sort compare)

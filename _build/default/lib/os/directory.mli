@@ -1,0 +1,56 @@
+(** Hierarchical naming over the segment store.
+
+    The paper lists "file system search direction" among the ring-1
+    supervisor procedures: turning names into segments is supervisor
+    work, performed before a segment can be added to a virtual memory.
+    This module supplies that substrate in the Multics idiom:
+
+    - a tree of directories, path components separated by [>]
+      (["udd>alice>prog"]);
+    - each directory has its own ACL; a user resolves a path only if
+      every directory on the way grants the {e read} (list)
+      capability — so a whole subtree can be closed to a user
+      independent of the segment ACLs inside it;
+    - directory entries {e link} to segments of a flat {!Store} (the
+      store remains the single owner of segment bodies and ACLs);
+    - {b search rules}: an ordered list of directory paths tried in
+      turn to resolve a bare segment name — how Multics found library
+      procedures without absolute paths.
+
+    Resolution returns the flat store name, which then goes through
+    the ordinary ACL-checked loader ({!Process.add_segments}). *)
+
+type t
+
+val create : ?acl:Acl.t -> unit -> t
+(** An empty root.  The default ACL grants every user the list
+    capability. *)
+
+val split_path : string -> string list
+(** ["a>b>c"] to [["a"; "b"; "c"]].  Leading [>] is tolerated. *)
+
+val mkdir : t -> path:string -> acl:Acl.t -> (unit, string) result
+(** Create the final component of [path] (parents must exist) with the
+    given ACL.  Fails on duplicates or a missing parent. *)
+
+val link : t -> path:string -> store_name:string -> (unit, string) result
+(** Enter a segment link as the final component of [path]. *)
+
+val resolve : t -> user:string -> path:string -> (string, string) result
+(** Walk [path], checking the user's list capability on every
+    directory traversed; returns the linked store name. *)
+
+val search :
+  t ->
+  user:string ->
+  rules:string list ->
+  name:string ->
+  (string, string) result
+(** Try [dir ^ ">" ^ name] for each directory in [rules], in order;
+    first resolvable link wins.  Directories the user cannot list are
+    skipped, as are rules naming missing directories. *)
+
+val list_entries :
+  t -> user:string -> path:string -> (string list, string) result
+(** Names in a directory (requires the list capability on it and on
+    the way there).  [path = ""] lists the root. *)

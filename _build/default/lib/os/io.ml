@@ -1,0 +1,53 @@
+let done_flag = 1 lsl 35
+
+let ( let* ) = Result.bind
+
+let complete p (r : Isa.Machine.io_request) =
+  let device = p.Process.typewriter in
+  let* transferred =
+    match r.Isa.Machine.direction with
+    | `Read ->
+        let codes =
+          Device.read_available device ~max:r.Isa.Machine.count
+        in
+        let* () =
+          List.fold_left
+            (fun acc (i, code) ->
+              let* () = acc in
+              Process.kwrite p
+                (Hw.Addr.offset r.Isa.Machine.buffer i)
+                code)
+            (Ok ())
+            (List.mapi (fun i c -> (i, c)) codes)
+        in
+        Ok (List.length codes)
+    | `Write ->
+        let rec collect i acc =
+          if i = r.Isa.Machine.count then Ok (List.rev acc)
+          else
+            let* w =
+              Process.kread p (Hw.Addr.offset r.Isa.Machine.buffer i)
+            in
+            collect (i + 1) (w :: acc)
+        in
+        let* codes = collect 0 [] in
+        Device.write device codes;
+        Ok r.Isa.Machine.count
+  in
+  (* Status: done flag plus the transferred count, where the driver's
+     polling loop watches. *)
+  let* () =
+    Process.kwrite p
+      (Hw.Addr.offset r.Isa.Machine.ccw 1)
+      (done_flag lor transferred)
+  in
+  Trace.Event.record p.Process.machine.Isa.Machine.log
+    (Trace.Event.Gatekeeper
+       {
+         action =
+           Printf.sprintf "I/O completion: %d word(s) %s" transferred
+             (match r.Isa.Machine.direction with
+             | `Read -> "read"
+             | `Write -> "written");
+       });
+  Ok ()

@@ -1,0 +1,15 @@
+(** The I/O-completion side of channel transfers.
+
+    When the channel armed by SIOT completes, the supervisor moves the
+    data between the process's typewriter and the buffer named in the
+    channel control words, then rewrites CCW word 1 with the done flag
+    (bit 35) and the number of words actually transferred — the status
+    a polling driver watches for.  Reads transfer at most the device's
+    pending input; writes always transfer the full count. *)
+
+val done_flag : int
+(** Bit 35, set in CCW word 1 at completion.  A driver polls with TPL
+    (the word stays "positive" until completion). *)
+
+val complete :
+  Process.t -> Isa.Machine.io_request -> (unit, string) result

@@ -1,0 +1,110 @@
+type exit =
+  | Halted
+  | Exited
+  | Preempted
+  | Blocked
+  | Terminated of Rings.Fault.t
+  | Gatekeeper_error of string
+  | Out_of_budget
+
+let handle_fault p fault : (unit, exit) result =
+  (* The host-level supervisor has consumed the trap: release the
+     hardware interrupt inhibit (the simulated-supervisor path instead
+     holds it until RTRAP). *)
+  p.Process.machine.Isa.Machine.inhibit <- false;
+  let gatekeeper r =
+    match r with
+    | Ok () -> Ok ()
+    | Error message -> Error (Gatekeeper_error message)
+  in
+  match fault with
+  | Rings.Fault.Upward_call _ -> (
+      match p.Process.machine.Isa.Machine.mode with
+      | Isa.Machine.Ring_hardware ->
+          gatekeeper (Outward.handle_upward_call p fault)
+      | Isa.Machine.Ring_software_645 ->
+          Error
+            (Gatekeeper_error
+               "upward-call fault in 645 mode (hardware rings leaked)"))
+  | Rings.Fault.Service_call { code } when code = Calling.svc_outward_return
+    ->
+      gatekeeper (Outward.handle_outward_return p)
+  | Rings.Fault.Service_call { code } when code = Calling.svc_exit ->
+      p.Process.machine.Isa.Machine.saved <- None;
+      Error Exited
+  | Rings.Fault.Service_call { code } when code = Calling.svc_add_segment ->
+      gatekeeper (Services.add_segment p)
+  | Rings.Fault.Service_call { code } when code = Calling.svc_cycle_count ->
+      gatekeeper (Services.cycle_count p)
+  | Rings.Fault.Service_call { code } when code = Calling.svc_yield ->
+      (* The live registers already stand at the instruction after the
+         MME: exactly the resume point. *)
+      p.Process.machine.Isa.Machine.saved <- None;
+      Error Preempted
+  | Rings.Fault.Service_call { code } when code = Calling.svc_block ->
+      p.Process.machine.Isa.Machine.saved <- None;
+      if p.Process.machine.Isa.Machine.io_countdown = None then
+        (* Nothing to wait for: a plain yield. *)
+        Error Preempted
+      else Error Blocked
+  | Rings.Fault.Io_completion -> (
+      (* The supervisor performs any pending channel transfer, then
+         resumes the disrupted computation. *)
+      let m = p.Process.machine in
+      let request = m.Isa.Machine.io_request in
+      m.Isa.Machine.io_request <- None;
+      match request with
+      | None ->
+          Trace.Event.record m.Isa.Machine.log
+            (Trace.Event.Gatekeeper { action = "I/O completion serviced" });
+          Isa.Machine.restore_saved m;
+          Ok ()
+      | Some r -> (
+          match Io.complete p r with
+          | Ok () ->
+              Isa.Machine.restore_saved m;
+              Ok ()
+          | Error message -> Error (Gatekeeper_error message)))
+  | Rings.Fault.Timer_runout ->
+      (* The saved state already addresses the next instruction; keep
+         the live registers (identical) and report the preemption. *)
+      p.Process.machine.Isa.Machine.saved <- None;
+      Error Preempted
+  | Rings.Fault.Cross_ring_transfer { segno; wordno } ->
+      gatekeeper (Softrings.handle p ~segno ~wordno)
+  | Rings.Fault.Missing_page { segno; pageno } ->
+      gatekeeper
+        (match Process.handle_page_fault p ~segno ~pageno with
+        | Ok () ->
+            (* Resume the disrupted instruction. *)
+            Isa.Machine.restore_saved p.Process.machine;
+            Ok ()
+        | Error _ as e -> e)
+  | _ -> Error (Terminated fault)
+
+let run ?(max_instructions = 1_000_000) p =
+  let m = p.Process.machine in
+  let counters = m.Isa.Machine.counters in
+  let start = Trace.Counters.instructions counters in
+  let rec loop () =
+    if Trace.Counters.instructions counters - start >= max_instructions then
+      Out_of_budget
+    else
+      match Isa.Cpu.step m with
+      | Isa.Cpu.Running -> loop ()
+      | Isa.Cpu.Halted -> Halted
+      | Isa.Cpu.Faulted fault -> (
+          match handle_fault p fault with
+          | Ok () -> loop ()
+          | Error exit -> exit)
+  in
+  loop ()
+
+let pp_exit ppf = function
+  | Halted -> Format.fprintf ppf "halted"
+  | Exited -> Format.fprintf ppf "exited"
+  | Preempted -> Format.fprintf ppf "preempted"
+  | Blocked -> Format.fprintf ppf "blocked on I/O"
+  | Terminated f -> Format.fprintf ppf "terminated: %a" Rings.Fault.pp f
+  | Gatekeeper_error m -> Format.fprintf ppf "gatekeeper error: %s" m
+  | Out_of_budget -> Format.fprintf ppf "out of budget"

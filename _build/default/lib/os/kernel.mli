@@ -1,0 +1,36 @@
+(** The supervisor's trap-dispatch loop.
+
+    Runs a process's machine, servicing the traps that the paper
+    assigns to software:
+
+    - [Upward_call] (hardware mode) — {!Outward.handle_upward_call};
+    - the return-gate service call — {!Outward.handle_outward_return};
+    - [Cross_ring_transfer] (645 mode) — {!Softrings.handle}.
+
+    Every other fault terminates the run: access violations mean the
+    program broke the rules (which is often precisely what a test or
+    example wants to observe). *)
+
+type exit =
+  | Halted  (** The program executed HALT in ring 0. *)
+  | Exited  (** The program requested termination (MME exit). *)
+  | Preempted
+      (** The interval timer fired; the machine's registers stand at
+          the resume point ({!System} uses this for preemptive
+          processor multiplexing). *)
+  | Blocked
+      (** The process asked to sleep until its channel operation
+          completes; only meaningful under a dispatcher ({!System}),
+          which performs the completion and reawakens it. *)
+  | Terminated of Rings.Fault.t
+      (** An unserviceable fault: access violation, missing segment,
+          unknown service code. *)
+  | Gatekeeper_error of string
+      (** A crossing the gatekeeper judged illegal, or a damaged
+          crossing stack. *)
+  | Out_of_budget  (** The instruction budget was exhausted. *)
+
+val run : ?max_instructions:int -> Process.t -> exit
+(** Default budget: 1,000,000 instructions. *)
+
+val pp_exit : Format.formatter -> exit -> unit

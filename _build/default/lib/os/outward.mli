@@ -1,0 +1,46 @@
+(** Software emulation of upward calls and downward returns.
+
+    The hardware deliberately does not implement upward calls and
+    downward returns (the paper: dynamic, stacked return gates and
+    argument accessibility "do not lend themselves to a
+    straightforward hardware implementation"); it responds to an
+    attempted upward call with a trap, and this module is the
+    supervisor procedure that performs the necessary environment
+    adjustments:
+
+    - the caller's processor state is pushed on a per-process stack of
+      {!Process.crossing} records — the dynamic return-gate stack;
+    - argument {e values} are copied into the communication segment,
+      which is accessible in the called (higher) ring, and a fresh
+      argument list there is handed to the callee in PR2 — the paper's
+      third solution, trading argument-sharing for generality;
+    - the callee's PR6 is pointed at a pseudo-frame whose saved-PR6
+      and return-point slots route the callee's ordinary epilogue to
+      the return-gate trampoline, whose MME instruction traps back
+      here;
+    - on that trap the record is popped, argument values are copied
+      back to their original locations, and the caller's saved state
+      is restored just past its CALL instruction — the downward
+      return. *)
+
+val enter_upward :
+  Process.t ->
+  caller_state:Hw.Registers.t ->
+  to_ring:Rings.Ring.t ->
+  target:Hw.Addr.t ->
+  (unit, string) result
+(** Perform the upward call given the caller's saved state (IPR at the
+    CALL).  Shared by the hardware-mode trap handler and the 645
+    gatekeeper (which additionally switches descriptor segments before
+    calling this). *)
+
+val handle_upward_call :
+  Process.t -> Rings.Fault.t -> (unit, string) result
+(** Hardware-mode entry point for an [Upward_call] fault. *)
+
+val handle_outward_return : Process.t -> (unit, string) result
+(** Entry point for the return-gate service call. *)
+
+val comm_arg_base : int
+(** Word number in the communication segment where the per-call
+    argument area begins. *)

@@ -1,0 +1,23 @@
+(** Supervisor services reached by deliberate traps (MME).
+
+    The paper's supervisor offers its functions through gates; the
+    simulator's host-level kernel additionally offers a few services
+    that need the loader itself (which lives outside the simulated
+    machine): adding a segment to the virtual memory by name — dynamic
+    linking — and reading the accounting clock.  Per "Use of Rings",
+    procedures executing in rings 6 and 7 are not given access to
+    supervisor services; their requests are refused with an all-ones
+    result.
+
+    Each handler consumes the trap (clears the saved state) and
+    resumes execution at the instruction after the MME, with the
+    result in A. *)
+
+val add_segment : Process.t -> (unit, string) result
+(** Argument list (PR2 convention): word 0 = name length, words 1..N =
+    one character code per word.  On success A receives the new
+    segment number (its gate, if any, is at word 0); on refusal or
+    failure A receives all-ones. *)
+
+val cycle_count : Process.t -> (unit, string) result
+(** A := the machine's cycle counter (low 36 bits). *)

@@ -1,0 +1,30 @@
+(** The 645-style software ring implementation — the paper's baseline.
+
+    "Because the Honeywell 645 was designed around the usual
+    supervisor/user protection method, the version of Multics for this
+    machine implements rings by trapping to a supervisor procedure
+    when downward calls and upward returns are performed."
+
+    In [Ring_software_645] machines every cross-ring CALL or RETURN
+    surfaces as a [Cross_ring_transfer] fault (the target is not
+    executable under the current ring's descriptor segment), and this
+    gatekeeper performs in software everything the new hardware does
+    in the instruction cycle:
+
+    - it looks up the target segment's ring data in supervisor tables
+      and applies the Fig. 8 gate and bracket rules;
+    - it validates each argument pointer of the caller's list (the
+      work the effective-ring hardware otherwise does per reference);
+    - it switches the DBR to the target ring's descriptor segment;
+    - it generates the new ring's stack base pointer in PR0;
+    - it records the crossing on the dynamic return-gate stack, and on
+      the matching return it verifies the restored stack pointer and
+      the return target before switching back.
+
+    The per-crossing cycle charges are in {!Costs}. *)
+
+val handle :
+  Process.t -> segno:int -> wordno:int -> (unit, string) result
+(** Service a [Cross_ring_transfer] fault whose target was
+    (segno, wordno).  [Error] means the crossing was illegal and the
+    process should be terminated. *)

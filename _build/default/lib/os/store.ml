@@ -1,0 +1,38 @@
+type body =
+  | Words of { words : int array; gates : int; length : int }
+  | Source of string
+
+type segment = { name : string; acl : Acl.t; body : body }
+
+type t = (string, segment) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let add t seg =
+  if Hashtbl.mem t seg.name then
+    invalid_arg (Printf.sprintf "Store.add: duplicate segment %s" seg.name);
+  Hashtbl.add t seg.name seg
+
+let add_data ?(gates = 0) ?length t ~name ~acl ~words =
+  let length =
+    match length with
+    | Some l -> max l (Array.length words)
+    | None -> Array.length words
+  in
+  add t
+    { name; acl = Acl.of_entries acl; body = Words { words; gates; length } }
+
+let add_source t ~name ~acl source =
+  add t { name; acl = Acl.of_entries acl; body = Source source }
+
+let find t name = Hashtbl.find_opt t name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort compare
+
+let set_acl t ~name acl =
+  match Hashtbl.find_opt t name with
+  | None -> Error (Printf.sprintf "no segment %s" name)
+  | Some seg ->
+      Hashtbl.replace t name { seg with acl };
+      Ok ()

@@ -1,0 +1,46 @@
+(** On-line segment storage.
+
+    The second Multics assumption: on-line storage is organized as a
+    collection of segments of information, each with an access control
+    list.  A process can reference a segment only after the supervisor
+    adds it to the process's virtual memory, which it will do only if
+    the user of the process matches an entry on the segment's ACL
+    ({!Process.add_segment}).
+
+    A segment body is either raw data words or assembly source, which
+    the loader assembles at add time (resolving [seg$sym] externals
+    against the other segments of the same virtual memory). *)
+
+type body =
+  | Words of { words : int array; gates : int; length : int }
+      (** Raw contents; [length >= Array.length words] reserves
+          capacity beyond the initialized words. *)
+  | Source of string  (** Assembled by the loader. *)
+
+type segment = { name : string; acl : Acl.t; body : body }
+
+type t
+
+val create : unit -> t
+
+val add : t -> segment -> unit
+(** Raises [Invalid_argument] on a duplicate name. *)
+
+val add_data :
+  ?gates:int ->
+  ?length:int ->
+  t ->
+  name:string ->
+  acl:Acl.entry list ->
+  words:int array ->
+  unit
+(** [gates] defaults to 0 and [length] to the word count. *)
+
+val add_source : t -> name:string -> acl:Acl.entry list -> string -> unit
+
+val find : t -> string -> segment option
+val names : t -> string list
+
+val set_acl : t -> name:string -> Acl.t -> (unit, string) result
+(** Replace a segment's ACL (the supervisor "change the access control
+    list of a segment" service). *)

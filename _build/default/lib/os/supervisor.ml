@@ -1,0 +1,85 @@
+let segment_names = [ "sup_core"; "sup_services"; "sup_acct" ]
+
+let wildcard access = [ { Acl.user = Acl.wildcard; access } ]
+
+(* Ring 0 core: one gate, reachable only from ring 1. *)
+let core_source =
+  "; supervisor core (ring 0)\n\
+   start_io: .gate io_impl\n\
+   io_impl: eap pr5, pr0|0,*\n\
+  \        spr pr6, pr5|0\n\
+  \        eap pr6, pr5|0\n\
+  \        eap pr1, pr6|8\n\
+  \        spr pr1, pr0|0\n\
+  \        sioc               ; the privileged operation\n\
+  \        lda =1\n\
+  \        spr pr6, pr0|0\n\
+  \        eap pr6, pr6|0,*\n\
+  \        retn pr6|1,*\n"
+
+(* Ring 1 services: two gates for rings 2-5.  request_io itself makes
+   a call, so it saves its stack base (frame slot 2) and keeps its
+   argument list at slots 3+. *)
+let services_source =
+  "; supervisor services (ring 1)\n\
+   request_io: .gate rq_impl\n\
+   read_accounting: .gate rd_impl\n\
+   rq_impl: eap pr5, pr0|0,*\n\
+  \        spr pr6, pr5|0\n\
+  \        eap pr6, pr5|0\n\
+  \        spr pr0, pr6|2\n\
+  \        eap pr1, pr6|8\n\
+  \        spr pr1, pr0|0\n\
+  \        aos acct,*         ; account for the request\n\
+  \        eap pr1, rq_ret\n\
+  \        spr pr1, pr6|1\n\
+  \        lda =0\n\
+  \        sta pr6|3\n\
+  \        eap pr2, pr6|3\n\
+  \        call core,*        ; internal interface: ring 1 -> ring 0\n\
+   rq_ret: eap pr0, pr6|2,*\n\
+  \        spr pr6, pr0|0\n\
+  \        eap pr6, pr6|0,*\n\
+  \        retn pr6|1,*\n\
+   rd_impl: eap pr5, pr0|0,*\n\
+  \        spr pr6, pr5|0\n\
+  \        eap pr6, pr5|0\n\
+  \        eap pr1, pr6|8\n\
+  \        spr pr1, pr0|0\n\
+  \        lda acct,*         ; the running count\n\
+  \        spr pr6, pr0|0\n\
+  \        eap pr6, pr6|0,*\n\
+  \        retn pr6|1,*\n\
+   acct:   .its 0, sup_acct$io_count\n\
+   core:   .its 0, sup_core$start_io\n"
+
+let acct_source = "io_count: .word 0\n"
+
+let install store =
+  Store.add_source store ~name:"sup_core"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~gates:1 ~execute_in:0
+            ~callable_from:1 ()))
+    core_source;
+  Store.add_source store ~name:"sup_services"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~gates:2 ~execute_in:1
+            ~callable_from:5 ()))
+    services_source;
+  Store.add_source store ~name:"sup_acct"
+    ~acl:
+      (wildcard (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ()))
+    acct_source
+
+let boot ?mode ~store ~user () =
+  let p = Process.create ?mode ~store ~user () in
+  match Process.add_segments p segment_names with
+  | Ok () -> Ok p
+  | Error e -> Error e
+
+let accounting_count p =
+  match Process.address_of p ~segment:"sup_acct" ~symbol:"io_count" with
+  | None -> Error "supervisor accounting segment not in this virtual memory"
+  | Some addr -> Process.kread p addr

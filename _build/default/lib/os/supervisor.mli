@@ -1,0 +1,40 @@
+(** The canonical layered supervisor ("Use of Rings").
+
+    A reusable instance of the paper's supervisor organization:
+
+    - {b ring 0} — [sup_core]: the lowest-level procedures owning the
+      privileged operations (here: starting an I/O channel).  Its gate
+      is callable {e only from ring 1}: "some gates into ring 0 …
+      only to procedures executing in ring 1.  Such gates provide the
+      internal interfaces between the two layers of the supervisor."
+    - {b ring 1} — [sup_services]: the remaining supervisor layer.
+      Gates callable from rings 2–5 (not 6–7): [request_io] accounts
+      for the request in [sup_acct] and calls down to the core;
+      [read_accounting] returns the running count.
+    - [sup_acct]: supervisor data, brackets ending at ring 1.
+
+    Install the segments into a store with {!install}, add
+    {!segment_names} to any process, and call the gates with the
+    standard calling sequence.  Entry points (as [seg$symbol]):
+    [sup_services$request_io], [sup_services$read_accounting],
+    [sup_core$start_io]. *)
+
+val segment_names : string list
+(** [sup_core; sup_services; sup_acct], in load order. *)
+
+val install : Store.t -> unit
+(** Add the supervisor segments to the store with wildcard ACLs (every
+    user's process may map them; the brackets do the protecting).
+    Raises [Invalid_argument] if names collide. *)
+
+val boot :
+  ?mode:Isa.Machine.mode ->
+  store:Store.t ->
+  user:string ->
+  unit ->
+  (Process.t, string) result
+(** Create a process and add the supervisor segments to its virtual
+    memory ({!install} must have run on the store). *)
+
+val accounting_count : Process.t -> (int, string) result
+(** Kernel-side read of the I/O accounting counter. *)

@@ -1,0 +1,219 @@
+type status = Ready | Blocked | Done of Kernel.exit
+
+type entry = {
+  pname : string;
+  process : Process.t;
+  mutable saved_regs : Hw.Registers.t;
+  mutable status : status;
+  mutable saved_io : int option * Isa.Machine.io_request option;
+      (** The entry's virtual channel: its countdown and pending
+          transfer, stashed across slices so each process owns its own
+          channel state. *)
+}
+
+type t = {
+  store : Store.t;
+  machine : Isa.Machine.t;
+  region_words : int;
+  mutable entries : entry list; (* in spawn order *)
+  mutable next_region : int;
+}
+
+let region_words_default = 1 lsl 18
+
+let create ?mode ?stack_rule ?(mem_size = 1 lsl 21) ~store () =
+  let machine = Isa.Machine.create ?mode ?stack_rule ~mem_size () in
+  {
+    store;
+    machine;
+    region_words = region_words_default;
+    entries = [];
+    next_region = 0;
+  }
+
+let machine t = t.machine
+
+let find t pname =
+  List.find_opt (fun e -> String.equal e.pname pname) t.entries
+
+let ( let* ) = Result.bind
+
+let share_into t ~segment ~owner ~(into_p : Process.t) =
+  let* owner_e =
+    match find t owner with
+    | Some e -> Ok e
+    | None -> Error (Printf.sprintf "no process %s" owner)
+  in
+  let* loaded =
+    match
+      List.find_opt
+        (fun (l : Process.loaded) -> String.equal l.Process.name segment)
+        owner_e.process.Process.loaded
+    with
+    | Some l -> Ok l
+    | None ->
+        Error (Printf.sprintf "%s not in %s's virtual memory" segment owner)
+  in
+  (* A paged segment's contents live partly in the owner's backing
+     store, which no other process can reach: only direct segments are
+     shareable. *)
+  let* () =
+    match Hashtbl.find_opt owner_e.process.Process.placement loaded.Process.segno with
+    | Some (Process.Direct _) -> Ok ()
+    | Some (Process.Paged_at _) ->
+        Error (Printf.sprintf "%s is demand-paged and cannot be shared" segment)
+    | None -> Error (Printf.sprintf "%s has no placement" segment)
+  in
+  let* acl =
+    match Store.find t.store segment with
+    | Some s -> Ok s.Store.acl
+    | None -> Error (Printf.sprintf "%s not in on-line storage" segment)
+  in
+  let* access =
+    match Acl.check acl ~user:into_p.Process.user with
+    | Some a ->
+        Ok { a with Rings.Access.gates = loaded.Process.access.Rings.Access.gates }
+    | None ->
+        Error
+          (Printf.sprintf "user %s not on the ACL of %s"
+             into_p.Process.user segment)
+  in
+  let* _segno =
+    Process.map_segment into_p ~name:segment ~base:loaded.Process.base
+      ~bound:loaded.Process.bound ~access ~symbols:loaded.Process.symbols
+  in
+  Ok ()
+
+let spawn ?(shared = []) ?(paged = false) t ~pname ~user ~segments
+    ~start:(seg, entry_sym) ~ring =
+  let* () =
+    if find t pname <> None then
+      Error (Printf.sprintf "process %s already exists" pname)
+    else Ok ()
+  in
+  let region_base = t.next_region * t.region_words in
+  let* () =
+    if region_base + t.region_words > Hw.Memory.size t.machine.Isa.Machine.mem
+    then Error "no free memory region for another process"
+    else Ok ()
+  in
+  t.next_region <- t.next_region + 1;
+  let process =
+    Process.create ~machine:t.machine ~region_base ~paged ~store:t.store
+      ~user ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc (segment, owner) ->
+        let* () = acc in
+        share_into t ~segment ~owner ~into_p:process)
+      (Ok ()) shared
+  in
+  let* () = Process.add_segments process segments in
+  let* () = Process.start process ~segment:seg ~entry:entry_sym ~ring in
+  let e =
+    {
+      pname;
+      process;
+      saved_regs = Hw.Registers.copy t.machine.Isa.Machine.regs;
+      status = Ready;
+      saved_io = (None, None);
+    }
+  in
+  t.entries <- t.entries @ [ e ];
+  Ok e
+
+let share t ~segment ~owner ~into =
+  let* into_e =
+    match find t into with
+    | Some e -> Ok e
+    | None -> Error (Printf.sprintf "no process %s" into)
+  in
+  share_into t ~segment ~owner ~into_p:into_e.process
+
+let run ?(quantum = 50) ?(max_slices = 10_000) t =
+  let finished = ref [] in
+  let regs = t.machine.Isa.Machine.regs in
+  let finish e exit =
+    (* Keep the process's final register file inspectable after other
+       processes have used the machine. *)
+    e.saved_regs <- Hw.Registers.copy regs;
+    e.status <- Done exit;
+    finished := (e.pname, exit) :: !finished
+  in
+  let counters = t.machine.Isa.Machine.counters in
+  let slices = ref 0 in
+  let ready () = List.filter (fun e -> e.status = Ready) t.entries in
+  let blocked () = List.filter (fun e -> e.status = Blocked) t.entries in
+  (* Channel time passes while other processes run: age a sleeping
+     entry's countdown and perform its completion when due. *)
+  let age_blocked elapsed =
+    List.iter
+      (fun e ->
+        match e.saved_io with
+        | Some n, request when n <= elapsed ->
+            (match request with
+            | Some r -> (
+                match Io.complete e.process r with
+                | Ok () -> ()
+                | Error _ -> ())
+            | None -> ());
+            e.saved_io <- (None, None);
+            e.status <- Ready
+        | Some n, request -> e.saved_io <- (Some (n - elapsed), request)
+        | None, _ ->
+            (* Nothing pending after all: just wake it. *)
+            e.status <- Ready)
+      (blocked ())
+  in
+  let rec loop = function
+    | [] -> (
+        match (ready (), blocked ()) with
+        | [], [] -> ()
+        | [], _ :: _ when !slices < max_slices ->
+            (* Everyone is asleep: idle the processor for a quantum of
+               channel time. *)
+            incr slices;
+            age_blocked quantum;
+            loop []
+        | again, _ -> loop again)
+    | e :: rest ->
+        if !slices >= max_slices then
+          List.iter
+            (fun e -> finish e Kernel.Out_of_budget)
+            (ready () @ blocked ())
+        else begin
+          incr slices;
+          Hw.Registers.restore regs ~from:e.saved_regs;
+          let io_countdown, io_request = e.saved_io in
+          t.machine.Isa.Machine.io_countdown <- io_countdown;
+          t.machine.Isa.Machine.io_request <- io_request;
+          (* Arm the interval timer: preemption is a hardware trap,
+             not a courtesy of the dispatched program. *)
+          t.machine.Isa.Machine.timer <- Some quantum;
+          let before = Trace.Counters.instructions counters in
+          (match Kernel.run ~max_instructions:(quantum * 4) e.process with
+          | Kernel.Preempted | Kernel.Out_of_budget ->
+              (* Slice expired: the process stays ready. *)
+              e.saved_regs <- Hw.Registers.copy regs
+          | Kernel.Blocked ->
+              e.saved_regs <- Hw.Registers.copy regs;
+              e.status <- Blocked
+          | Kernel.Halted as exit ->
+              (* HALT stops the processor; the dispatcher restarts it
+                 for the remaining processes. *)
+              t.machine.Isa.Machine.halted <- false;
+              finish e exit
+          | exit -> finish e exit);
+          e.saved_io <-
+            ( t.machine.Isa.Machine.io_countdown,
+              t.machine.Isa.Machine.io_request );
+          t.machine.Isa.Machine.io_countdown <- None;
+          t.machine.Isa.Machine.io_request <- None;
+          t.machine.Isa.Machine.timer <- None;
+          age_blocked (Trace.Counters.instructions counters - before);
+          loop rest
+        end
+  in
+  loop (ready ());
+  List.rev !finished

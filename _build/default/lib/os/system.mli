@@ -1,0 +1,90 @@
+(** Processor multiplexing and inter-user sharing.
+
+    The paper places processor multiplexing among the ring-0
+    primitives and makes segment sharing a founding goal: "a single
+    segment may be part of several virtual memories at the same time,
+    allowing straightforward sharing of segments among users".  This
+    module is that substrate: one simulated machine whose memory holds
+    several processes (each with its own descriptor segment(s), stacks
+    and private segments), a way to map one resident segment into
+    several virtual memories with per-user access fields, and a
+    round-robin dispatcher that multiplexes the processor by swapping
+    the register file at quantum boundaries.
+
+    Ring protection is per-process: each process's descriptor segments
+    carry the brackets its user's ACL entries grant, so two processes
+    can hold different capabilities for the same shared segment. *)
+
+type status =
+  | Ready
+  | Blocked  (** Asleep until its channel operation completes. *)
+  | Done of Kernel.exit
+
+type entry = {
+  pname : string;
+  process : Process.t;
+  mutable saved_regs : Hw.Registers.t;
+      (** The register file as of the entry's last slice — after
+          completion, its final state. *)
+  mutable status : status;
+  mutable saved_io : int option * Isa.Machine.io_request option;
+      (** The entry's virtual channel, stashed across slices. *)
+}
+
+type t
+
+val create :
+  ?mode:Isa.Machine.mode ->
+  ?stack_rule:Rings.Stack_rule.t ->
+  ?mem_size:int ->
+  store:Store.t ->
+  unit ->
+  t
+(** One machine; default memory 2^21 words, giving eight process
+    regions of 2^18 words each. *)
+
+val machine : t -> Isa.Machine.t
+
+val spawn :
+  ?shared:(string * string) list ->
+  ?paged:bool ->
+  t ->
+  pname:string ->
+  user:string ->
+  segments:string list ->
+  start:string * string ->
+  ring:int ->
+  (entry, string) result
+(** Create a process named [pname] for [user] in the next free memory
+    region; map each [(segment, owner_pname)] of [shared] from the
+    owning process's virtual memory ({!share}); then add [segments]
+    from the store — their [seg$sym] externals may reference the
+    shared segments; finally point the process at
+    [start = (segment, entry)] in [ring] and record its initial
+    register file.  With [paged] the process's own segments are
+    demand-paged; segments mapped from other processes stay direct
+    (the paging state, like the backing store, is per-process). *)
+
+val share :
+  t -> segment:string -> owner:string -> into:string -> (unit, string) result
+(** Map [segment], already loaded in process [owner]'s virtual memory,
+    into process [into]'s virtual memory without copying — both
+    processes then address the same words.  The access fields for
+    [into] are derived from the segment's ACL and [into]'s user; the
+    ACL may deny, or grant different brackets than the owner has. *)
+
+val find : t -> string -> entry option
+
+val run :
+  ?quantum:int -> ?max_slices:int -> t -> (string * Kernel.exit) list
+(** Round-robin dispatch: the interval timer is armed with [quantum]
+    (default 50) before each slice, so preemption is a hardware
+    timer-runout trap; the register file is then swapped to the next
+    ready process.  Traps are serviced by {!Kernel} within the slice.
+    A process that blocks on channel I/O (MME {!Calling.svc_block})
+    sleeps while others run; its channel advances with the
+    instructions they retire (or with idle quanta when everyone
+    sleeps) and the dispatcher performs the completion and reawakens
+    it — the traffic controller.  Returns each process's exit, in
+    completion order.  Processes still unfinished after [max_slices]
+    (default 10,000) are reported as [Out_of_budget]. *)

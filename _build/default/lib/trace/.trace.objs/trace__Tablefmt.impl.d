@@ -1,0 +1,1 @@
+lib/trace/tablefmt.ml: Buffer List String

@@ -1,0 +1,209 @@
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable memory_reads : int;
+  mutable memory_writes : int;
+  mutable sdw_fetches : int;
+  mutable indirections : int;
+  mutable traps : int;
+  mutable calls_same_ring : int;
+  mutable calls_downward : int;
+  mutable calls_upward : int;
+  mutable returns_same_ring : int;
+  mutable returns_upward : int;
+  mutable returns_downward : int;
+  mutable gatekeeper_entries : int;
+  mutable descriptor_switches : int;
+  mutable access_violations : int;
+  mutable ptw_fetches : int;
+  mutable page_faults : int;
+  mutable page_evictions : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    instructions = 0;
+    memory_reads = 0;
+    memory_writes = 0;
+    sdw_fetches = 0;
+    indirections = 0;
+    traps = 0;
+    calls_same_ring = 0;
+    calls_downward = 0;
+    calls_upward = 0;
+    returns_same_ring = 0;
+    returns_upward = 0;
+    returns_downward = 0;
+    gatekeeper_entries = 0;
+    descriptor_switches = 0;
+    access_violations = 0;
+    ptw_fetches = 0;
+    page_faults = 0;
+    page_evictions = 0;
+  }
+
+let reset t =
+  t.cycles <- 0;
+  t.instructions <- 0;
+  t.memory_reads <- 0;
+  t.memory_writes <- 0;
+  t.sdw_fetches <- 0;
+  t.indirections <- 0;
+  t.traps <- 0;
+  t.calls_same_ring <- 0;
+  t.calls_downward <- 0;
+  t.calls_upward <- 0;
+  t.returns_same_ring <- 0;
+  t.returns_upward <- 0;
+  t.returns_downward <- 0;
+  t.gatekeeper_entries <- 0;
+  t.descriptor_switches <- 0;
+  t.access_violations <- 0;
+  t.ptw_fetches <- 0;
+  t.page_faults <- 0;
+  t.page_evictions <- 0
+
+let charge t n = t.cycles <- t.cycles + n
+let cycles t = t.cycles
+let bump_instructions t = t.instructions <- t.instructions + 1
+let instructions t = t.instructions
+let bump_memory_reads t = t.memory_reads <- t.memory_reads + 1
+let memory_reads t = t.memory_reads
+let bump_memory_writes t = t.memory_writes <- t.memory_writes + 1
+let memory_writes t = t.memory_writes
+let bump_sdw_fetches t = t.sdw_fetches <- t.sdw_fetches + 1
+let sdw_fetches t = t.sdw_fetches
+let bump_indirections t = t.indirections <- t.indirections + 1
+let indirections t = t.indirections
+let bump_traps t = t.traps <- t.traps + 1
+let traps t = t.traps
+let bump_calls_same_ring t = t.calls_same_ring <- t.calls_same_ring + 1
+let calls_same_ring t = t.calls_same_ring
+let bump_calls_downward t = t.calls_downward <- t.calls_downward + 1
+let calls_downward t = t.calls_downward
+let bump_calls_upward t = t.calls_upward <- t.calls_upward + 1
+let calls_upward t = t.calls_upward
+let bump_returns_same_ring t = t.returns_same_ring <- t.returns_same_ring + 1
+let returns_same_ring t = t.returns_same_ring
+let bump_returns_upward t = t.returns_upward <- t.returns_upward + 1
+let returns_upward t = t.returns_upward
+let bump_returns_downward t = t.returns_downward <- t.returns_downward + 1
+let returns_downward t = t.returns_downward
+
+let bump_gatekeeper_entries t =
+  t.gatekeeper_entries <- t.gatekeeper_entries + 1
+
+let gatekeeper_entries t = t.gatekeeper_entries
+
+let bump_descriptor_switches t =
+  t.descriptor_switches <- t.descriptor_switches + 1
+
+let descriptor_switches t = t.descriptor_switches
+
+let bump_access_violations t =
+  t.access_violations <- t.access_violations + 1
+
+let access_violations t = t.access_violations
+let bump_ptw_fetches t = t.ptw_fetches <- t.ptw_fetches + 1
+let ptw_fetches t = t.ptw_fetches
+let bump_page_faults t = t.page_faults <- t.page_faults + 1
+let page_faults t = t.page_faults
+let bump_page_evictions t = t.page_evictions <- t.page_evictions + 1
+let page_evictions t = t.page_evictions
+
+type snapshot = {
+  cycles : int;
+  instructions : int;
+  memory_reads : int;
+  memory_writes : int;
+  sdw_fetches : int;
+  indirections : int;
+  traps : int;
+  calls_same_ring : int;
+  calls_downward : int;
+  calls_upward : int;
+  returns_same_ring : int;
+  returns_upward : int;
+  returns_downward : int;
+  gatekeeper_entries : int;
+  descriptor_switches : int;
+  access_violations : int;
+  ptw_fetches : int;
+  page_faults : int;
+  page_evictions : int;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    cycles = t.cycles;
+    instructions = t.instructions;
+    memory_reads = t.memory_reads;
+    memory_writes = t.memory_writes;
+    sdw_fetches = t.sdw_fetches;
+    indirections = t.indirections;
+    traps = t.traps;
+    calls_same_ring = t.calls_same_ring;
+    calls_downward = t.calls_downward;
+    calls_upward = t.calls_upward;
+    returns_same_ring = t.returns_same_ring;
+    returns_upward = t.returns_upward;
+    returns_downward = t.returns_downward;
+    gatekeeper_entries = t.gatekeeper_entries;
+    descriptor_switches = t.descriptor_switches;
+    access_violations = t.access_violations;
+    ptw_fetches = t.ptw_fetches;
+    page_faults = t.page_faults;
+    page_evictions = t.page_evictions;
+  }
+
+let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
+  {
+    cycles = after.cycles - before.cycles;
+    instructions = after.instructions - before.instructions;
+    memory_reads = after.memory_reads - before.memory_reads;
+    memory_writes = after.memory_writes - before.memory_writes;
+    sdw_fetches = after.sdw_fetches - before.sdw_fetches;
+    indirections = after.indirections - before.indirections;
+    traps = after.traps - before.traps;
+    calls_same_ring = after.calls_same_ring - before.calls_same_ring;
+    calls_downward = after.calls_downward - before.calls_downward;
+    calls_upward = after.calls_upward - before.calls_upward;
+    returns_same_ring = after.returns_same_ring - before.returns_same_ring;
+    returns_upward = after.returns_upward - before.returns_upward;
+    returns_downward = after.returns_downward - before.returns_downward;
+    gatekeeper_entries = after.gatekeeper_entries - before.gatekeeper_entries;
+    descriptor_switches =
+      after.descriptor_switches - before.descriptor_switches;
+    access_violations = after.access_violations - before.access_violations;
+    ptw_fetches = after.ptw_fetches - before.ptw_fetches;
+    page_faults = after.page_faults - before.page_faults;
+    page_evictions = after.page_evictions - before.page_evictions;
+  }
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf
+    "@[<v>cycles              %8d@,\
+     instructions        %8d@,\
+     memory reads        %8d@,\
+     memory writes       %8d@,\
+     SDW fetches         %8d@,\
+     indirections        %8d@,\
+     traps               %8d@,\
+     calls same-ring     %8d@,\
+     calls downward      %8d@,\
+     calls upward        %8d@,\
+     returns same-ring   %8d@,\
+     returns upward      %8d@,\
+     returns downward    %8d@,\
+     gatekeeper entries  %8d@,\
+     descriptor switches %8d@,\
+     access violations   %8d@,\
+     PTW fetches         %8d@,\
+     page faults         %8d@,\
+     page evictions      %8d@]"
+    s.cycles s.instructions s.memory_reads s.memory_writes s.sdw_fetches
+    s.indirections s.traps s.calls_same_ring s.calls_downward s.calls_upward
+    s.returns_same_ring s.returns_upward s.returns_downward
+    s.gatekeeper_entries s.descriptor_switches s.access_violations
+    s.ptw_fetches s.page_faults s.page_evictions

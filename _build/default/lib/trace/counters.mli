@@ -1,0 +1,112 @@
+(** Cycle and event accounting for the simulated processor.
+
+    The paper reports no absolute performance numbers; what matters for
+    reproducing its claims is the {e relative} cost of the different
+    reference and control-transfer kinds, and in particular how many
+    supervisor interventions (traps) each ring-crossing flavour incurs.
+    Every simulated machine carries one [t]; the CPU and the operating
+    system substrate charge cycles and bump event counters through this
+    interface, and the benches read them back out. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** {1 Cycle charging} *)
+
+val charge : t -> int -> unit
+(** [charge c n] adds [n] cycles to the running total. *)
+
+val cycles : t -> int
+
+(** {1 Event counters}
+
+    Each [bump_*] increments one event counter; [*_count] reads it. *)
+
+val bump_instructions : t -> unit
+val instructions : t -> int
+
+val bump_memory_reads : t -> unit
+val memory_reads : t -> int
+
+val bump_memory_writes : t -> unit
+val memory_writes : t -> int
+
+val bump_sdw_fetches : t -> unit
+val sdw_fetches : t -> int
+
+val bump_indirections : t -> unit
+val indirections : t -> int
+
+val bump_traps : t -> unit
+val traps : t -> int
+
+val bump_calls_same_ring : t -> unit
+val calls_same_ring : t -> int
+
+val bump_calls_downward : t -> unit
+val calls_downward : t -> int
+
+val bump_calls_upward : t -> unit
+val calls_upward : t -> int
+
+val bump_returns_same_ring : t -> unit
+val returns_same_ring : t -> int
+
+val bump_returns_upward : t -> unit
+val returns_upward : t -> int
+
+val bump_returns_downward : t -> unit
+val returns_downward : t -> int
+
+val bump_gatekeeper_entries : t -> unit
+val gatekeeper_entries : t -> int
+
+val bump_descriptor_switches : t -> unit
+val descriptor_switches : t -> int
+
+val bump_access_violations : t -> unit
+val access_violations : t -> int
+
+val bump_ptw_fetches : t -> unit
+val ptw_fetches : t -> int
+
+val bump_page_faults : t -> unit
+val page_faults : t -> int
+
+val bump_page_evictions : t -> unit
+val page_evictions : t -> int
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  cycles : int;
+  instructions : int;
+  memory_reads : int;
+  memory_writes : int;
+  sdw_fetches : int;
+  indirections : int;
+  traps : int;
+  calls_same_ring : int;
+  calls_downward : int;
+  calls_upward : int;
+  returns_same_ring : int;
+  returns_upward : int;
+  returns_downward : int;
+  gatekeeper_entries : int;
+  descriptor_switches : int;
+  access_violations : int;
+  ptw_fetches : int;
+  page_faults : int;
+  page_evictions : int;
+}
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** [diff ~before ~after] is the per-field difference, for measuring a
+    region of execution. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,56 @@
+type crossing = Same_ring | Downward | Upward
+
+type t =
+  | Instruction of { ring : int; segno : int; wordno : int; text : string }
+  | Call of {
+      crossing : crossing;
+      from_ring : int;
+      to_ring : int;
+      segno : int;
+      wordno : int;
+    }
+  | Return of {
+      crossing : crossing;
+      from_ring : int;
+      to_ring : int;
+      segno : int;
+      wordno : int;
+    }
+  | Trap of { ring : int; cause : string }
+  | Gatekeeper of { action : string }
+  | Descriptor_switch of { from_ring : int; to_ring : int }
+  | Note of string
+
+type log = { mutable enabled : bool; mutable events : t list }
+
+let create_log () = { enabled = false; events = [] }
+let enabled log = log.enabled
+let set_enabled log b = log.enabled <- b
+let record log e = if log.enabled then log.events <- e :: log.events
+let events log = List.rev log.events
+let clear log = log.events <- []
+
+let crossing_to_string = function
+  | Same_ring -> "same-ring"
+  | Downward -> "downward"
+  | Upward -> "upward"
+
+let pp ppf = function
+  | Instruction { ring; segno; wordno; text } ->
+      Format.fprintf ppf "[r%d] %d|%06o  %s" ring segno wordno text
+  | Call { crossing; from_ring; to_ring; segno; wordno } ->
+      Format.fprintf ppf "CALL %s r%d->r%d target %d|%06o"
+        (crossing_to_string crossing)
+        from_ring to_ring segno wordno
+  | Return { crossing; from_ring; to_ring; segno; wordno } ->
+      Format.fprintf ppf "RETURN %s r%d->r%d target %d|%06o"
+        (crossing_to_string crossing)
+        from_ring to_ring segno wordno
+  | Trap { ring; cause } -> Format.fprintf ppf "TRAP in r%d: %s" ring cause
+  | Gatekeeper { action } -> Format.fprintf ppf "GATEKEEPER: %s" action
+  | Descriptor_switch { from_ring; to_ring } ->
+      Format.fprintf ppf "DESCRIPTOR SWITCH r%d->r%d" from_ring to_ring
+  | Note s -> Format.fprintf ppf "-- %s" s
+
+let pp_log ppf log =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp e) (events log)

@@ -1,0 +1,52 @@
+(** Structured execution-trace events.
+
+    When tracing is enabled the CPU and the operating-system substrate
+    append one event per noteworthy action.  Examples and the [ringsim]
+    binary render these for human consumption; tests assert on the
+    event sequence to pin down behaviour such as "exactly one trap was
+    taken, and it was an upward-call trap". *)
+
+type crossing = Same_ring | Downward | Upward
+
+type t =
+  | Instruction of { ring : int; segno : int; wordno : int; text : string }
+      (** One instruction retired, with its disassembly. *)
+  | Call of {
+      crossing : crossing;
+      from_ring : int;
+      to_ring : int;
+      segno : int;
+      wordno : int;
+    }
+  | Return of {
+      crossing : crossing;
+      from_ring : int;
+      to_ring : int;
+      segno : int;
+      wordno : int;
+    }
+  | Trap of { ring : int; cause : string }
+  | Gatekeeper of { action : string }
+  | Descriptor_switch of { from_ring : int; to_ring : int }
+  | Note of string
+
+type log
+
+val create_log : unit -> log
+
+val enabled : log -> bool
+
+val set_enabled : log -> bool -> unit
+(** Logs are created disabled so that the common benchmarking path
+    pays nothing for tracing. *)
+
+val record : log -> t -> unit
+
+val events : log -> t list
+(** Events in the order they were recorded. *)
+
+val clear : log -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val pp_log : Format.formatter -> log -> unit

@@ -1,0 +1,76 @@
+type align = Left | Right
+type row = Cells of string list | Separator
+
+type t = {
+  columns : (string * align) list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = List.map snd t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        let cell_width = function
+          | Cells cells -> String.length (List.nth cells i)
+          | Separator -> 0
+        in
+        List.fold_left
+          (fun acc r -> max acc (cell_width r))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf
+          (pad (List.nth aligns i) (List.nth widths i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_rule () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_rule ();
+  emit_cells headers;
+  emit_rule ();
+  List.iter
+    (function Cells cells -> emit_cells cells | Separator -> emit_rule ())
+    rows;
+  emit_rule ();
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)

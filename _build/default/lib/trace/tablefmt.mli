@@ -1,0 +1,26 @@
+(** Plain-text table rendering for benches, examples and EXPERIMENTS.md.
+
+    The benches regenerate the paper's figures as allow/deny matrices
+    and cost tables; this module gives them one consistent, dependency
+    free renderer. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] if the
+    number of cells differs from the number of columns. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the table to stdout, preceded by [title]
+    underlined when given. *)

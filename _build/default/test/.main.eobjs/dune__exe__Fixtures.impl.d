@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Array Hw Isa List Rings

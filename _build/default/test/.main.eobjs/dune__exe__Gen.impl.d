@@ -1,0 +1,1 @@
+test/gen.ml: Hw Isa List QCheck Rings

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Format Gen Hw Isa List Printf QCheck QCheck_alcotest Rings String

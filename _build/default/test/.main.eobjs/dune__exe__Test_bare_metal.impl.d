@@ -1,0 +1,1 @@
+test/test_bare_metal.ml: Alcotest Array Hw Isa List Option Os Printf Rings String

@@ -1,0 +1,1 @@
+test/test_brackets.ml: Alcotest List Option Printf QCheck QCheck_alcotest Rings

@@ -1,0 +1,1 @@
+test/test_call.ml: Alcotest Gen QCheck QCheck_alcotest Rings

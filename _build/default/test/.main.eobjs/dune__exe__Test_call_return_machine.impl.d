@@ -1,0 +1,1 @@
+test/test_call_return_machine.ml: Alcotest Array Fixtures Hw Isa List QCheck QCheck_alcotest Rings Trace

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Fixtures Hw Isa Rings String Trace

@@ -1,0 +1,1 @@
+test/test_directory.ml: Alcotest List Os Rings

@@ -1,0 +1,1 @@
+test/test_disasm.ml: Alcotest Array Asm Format Gen Hw Isa QCheck QCheck_alcotest String

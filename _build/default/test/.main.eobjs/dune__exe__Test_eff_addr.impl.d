@@ -1,0 +1,1 @@
+test/test_eff_addr.ml: Alcotest Array Fixtures Hw Isa Rings Trace

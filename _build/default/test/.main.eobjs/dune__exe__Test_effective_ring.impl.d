@@ -1,0 +1,1 @@
+test/test_effective_ring.ml: Alcotest Gen List QCheck QCheck_alcotest Rings

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Hw Isa List Os Printf Trace

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Fixtures Hw Isa Result Rings

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Fixtures Hw Isa List Os QCheck QCheck_alcotest Rings

@@ -1,0 +1,1 @@
+test/test_hw_misc.ml: Alcotest Array Hw Rings Trace

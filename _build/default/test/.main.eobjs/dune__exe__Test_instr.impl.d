@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Gen Hw Isa List QCheck QCheck_alcotest Rings

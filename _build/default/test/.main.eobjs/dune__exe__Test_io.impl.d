@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Char Hw Isa List Option Os Rings String

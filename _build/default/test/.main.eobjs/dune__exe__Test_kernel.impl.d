@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Hw Isa List Os Rings Trace

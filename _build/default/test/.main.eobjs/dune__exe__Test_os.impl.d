@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Asm Fixtures Format Hashtbl Hw List Option Os Printf Rings String

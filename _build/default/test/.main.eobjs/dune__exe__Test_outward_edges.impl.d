@@ -1,0 +1,1 @@
+test/test_outward_edges.ml: Alcotest Hw Isa Os Rings Trace

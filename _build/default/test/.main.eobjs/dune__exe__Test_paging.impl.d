@@ -1,0 +1,1 @@
+test/test_paging.ml: Alcotest Hw Isa Option Os Rings Trace

@@ -1,0 +1,1 @@
+test/test_parity.ml: Alcotest Isa List Option Os Printf Rings Trace

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Result Rings

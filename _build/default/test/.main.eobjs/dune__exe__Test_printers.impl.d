@@ -1,0 +1,1 @@
+test/test_printers.ml: Alcotest Format Hw Isa List Rings String Trace

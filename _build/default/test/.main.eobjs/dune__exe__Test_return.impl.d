@@ -1,0 +1,1 @@
+test/test_return.ml: Alcotest Gen QCheck QCheck_alcotest Result Rings

@@ -1,0 +1,1 @@
+test/test_revocation.ml: Alcotest Hashtbl Hw Isa Option Os Rings

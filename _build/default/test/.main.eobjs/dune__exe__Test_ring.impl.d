@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest List QCheck QCheck_alcotest Rings

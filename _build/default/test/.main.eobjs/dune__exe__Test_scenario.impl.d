@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Asm Hw Isa List Os Printf Rings Trace

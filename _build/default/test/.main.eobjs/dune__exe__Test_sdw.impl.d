@@ -1,0 +1,1 @@
+test/test_sdw.ml: Alcotest Gen Hw QCheck QCheck_alcotest Rings

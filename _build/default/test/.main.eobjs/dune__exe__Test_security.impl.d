@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Fixtures Hw Isa List Os Rings String Trace

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Fixtures Hw Isa Option Os Rings

@@ -1,0 +1,1 @@
+test/test_supervisor.ml: Alcotest Hw Isa List Os Printf Rings

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Isa List Os Printf Rings String Trace

@@ -1,0 +1,1 @@
+test/test_timer.ml: Alcotest Fixtures Hw Isa Os Rings Trace

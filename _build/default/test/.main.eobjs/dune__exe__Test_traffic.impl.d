@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Format Hw Isa List Os Printf Rings String Trace

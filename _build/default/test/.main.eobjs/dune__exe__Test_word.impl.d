@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Gen Hw QCheck QCheck_alcotest

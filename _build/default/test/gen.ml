@@ -1,0 +1,57 @@
+(* Shared QCheck generators. *)
+
+let ring_int = QCheck.int_range 0 7
+let ring = QCheck.map Rings.Ring.v ring_int
+
+let brackets =
+  QCheck.map
+    (fun (a, b, c) ->
+      match List.sort compare [ a; b; c ] with
+      | [ r1; r2; r3 ] -> Rings.Brackets.of_ints r1 r2 r3
+      | _ -> assert false)
+    (QCheck.triple ring_int ring_int ring_int)
+
+let access =
+  QCheck.map
+    (fun (b, (read, write, execute), gates) ->
+      Rings.Access.v ~read ~write ~execute ~gates b)
+    (QCheck.triple brackets
+       (QCheck.triple QCheck.bool QCheck.bool QCheck.bool)
+       (QCheck.int_range 0 5))
+
+let word36 =
+  QCheck.map
+    (fun i -> i land Hw.Word.mask)
+    (QCheck.int_range 0 max_int)
+
+let segno = QCheck.int_range 0 Hw.Addr.max_segno
+let wordno = QCheck.int_range 0 Hw.Addr.max_wordno
+
+let addr =
+  QCheck.map (fun (s, w) -> Hw.Addr.v ~segno:s ~wordno:w)
+    (QCheck.pair segno wordno)
+
+let indword =
+  QCheck.map
+    (fun ((r, i), a) -> { Isa.Indword.ring = r; indirect = i; addr = a })
+    (QCheck.pair (QCheck.pair ring QCheck.bool) addr)
+
+let opcode = QCheck.oneofl Isa.Opcode.all
+
+let instr_base =
+  QCheck.oneof
+    [
+      QCheck.always Isa.Instr.Ipr_relative;
+      QCheck.map (fun n -> Isa.Instr.Pr n) (QCheck.int_range 0 7);
+      QCheck.always Isa.Instr.Immediate;
+    ]
+
+let instr =
+  QCheck.map
+    (fun ((opcode, base), ((indirect, indexed), (xr, offset))) ->
+      Isa.Instr.v ~base ~indirect ~indexed ~xr ~offset opcode)
+    (QCheck.pair (QCheck.pair opcode instr_base)
+       (QCheck.pair
+          (QCheck.pair QCheck.bool QCheck.bool)
+          (QCheck.pair (QCheck.int_range 0 7)
+             (QCheck.int_range 0 ((1 lsl 18) - 1)))))

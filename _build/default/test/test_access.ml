@@ -1,0 +1,83 @@
+(* The Access record: constructors and their defaults. *)
+
+let test_v_defaults () =
+  let a = Rings.Access.v (Rings.Brackets.of_ints 1 2 3) in
+  Alcotest.(check bool) "no read" false a.Rings.Access.read;
+  Alcotest.(check bool) "no write" false a.Rings.Access.write;
+  Alcotest.(check bool) "no execute" false a.Rings.Access.execute;
+  Alcotest.(check int) "no gates" 0 a.Rings.Access.gates
+
+let test_negative_gates_rejected () =
+  try
+    ignore (Rings.Access.v ~gates:(-1) (Rings.Brackets.of_ints 0 0 0));
+    Alcotest.fail "negative gate count accepted"
+  with Invalid_argument _ -> ()
+
+let test_data_segment () =
+  let a = Rings.Access.data_segment ~writable_to:3 ~readable_to:5 () in
+  Alcotest.(check bool) "read on" true a.Rings.Access.read;
+  Alcotest.(check bool) "write on" true a.Rings.Access.write;
+  Alcotest.(check bool) "execute off" false a.Rings.Access.execute;
+  Alcotest.(check int) "write top" 3
+    (Rings.Ring.to_int
+       (Rings.Brackets.write_bracket_top a.Rings.Access.brackets));
+  Alcotest.(check int) "read top" 5
+    (Rings.Ring.to_int
+       (Rings.Brackets.read_bracket_top a.Rings.Access.brackets));
+  let ro = Rings.Access.data_segment ~write:false ~writable_to:0 ~readable_to:7 () in
+  Alcotest.(check bool) "read-only variant" false ro.Rings.Access.write
+
+let test_procedure_segment () =
+  let a =
+    Rings.Access.procedure_segment ~gates:2 ~execute_in:1 ~callable_from:5 ()
+  in
+  Alcotest.(check bool) "execute on" true a.Rings.Access.execute;
+  Alcotest.(check bool) "readable by default" true a.Rings.Access.read;
+  Alcotest.(check bool) "never writable" false a.Rings.Access.write;
+  Alcotest.(check int) "gates" 2 a.Rings.Access.gates;
+  Alcotest.(check int) "execute bottom" 1
+    (Rings.Ring.to_int
+       (Rings.Brackets.execute_bracket_bottom a.Rings.Access.brackets));
+  Alcotest.(check int) "gate extension top" 5
+    (Rings.Ring.to_int
+       (Rings.Brackets.gate_extension_top a.Rings.Access.brackets));
+  let hidden =
+    Rings.Access.procedure_segment ~readable:false ~execute_in:4
+      ~callable_from:4 ()
+  in
+  Alcotest.(check bool) "execute-only variant" false hidden.Rings.Access.read
+
+let test_no_access () =
+  let a = Rings.Access.no_access in
+  List.iter
+    (fun ring ->
+      List.iter
+        (fun cap ->
+          Alcotest.(check bool) "nothing permitted" false
+            (Rings.Policy.permitted a ~ring cap))
+        [ Rings.Policy.Read; Rings.Policy.Write; Rings.Policy.Execute;
+          Rings.Policy.Call_gate ])
+    Rings.Ring.all
+
+let test_equal_and_pp () =
+  let a = Rings.Access.data_segment ~writable_to:3 ~readable_to:5 () in
+  let b = Rings.Access.data_segment ~writable_to:3 ~readable_to:5 () in
+  Alcotest.(check bool) "equal" true (Rings.Access.equal a b);
+  Alcotest.(check bool) "differs on flags" false
+    (Rings.Access.equal a { a with Rings.Access.write = false });
+  Alcotest.(check string) "rendering" "RW- (3,5,5) gates=0"
+    (Format.asprintf "%a" Rings.Access.pp a)
+
+let suite =
+  [
+    ( "access",
+      [
+        Alcotest.test_case "v defaults" `Quick test_v_defaults;
+        Alcotest.test_case "negative gates rejected" `Quick
+          test_negative_gates_rejected;
+        Alcotest.test_case "data segment" `Quick test_data_segment;
+        Alcotest.test_case "procedure segment" `Quick test_procedure_segment;
+        Alcotest.test_case "no access" `Quick test_no_access;
+        Alcotest.test_case "equal and pp" `Quick test_equal_and_pp;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+(* Unit and property tests for Rings.Brackets: the R1 <= R2 <= R3
+   invariant and the bracket membership rules of Fig. 3. *)
+
+let r = Rings.Ring.v
+
+let test_ordering_enforced () =
+  (try
+     ignore (Rings.Brackets.of_ints 4 2 6);
+     Alcotest.fail "R1 > R2 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Rings.Brackets.of_ints 1 5 3);
+    Alcotest.fail "R2 > R3 accepted"
+  with Invalid_argument _ -> ()
+
+let test_of_ints_opt () =
+  Alcotest.(check bool)
+    "valid accepted" true
+    (Option.is_some (Rings.Brackets.of_ints_opt 1 4 6));
+  Alcotest.(check bool)
+    "misordered rejected" true
+    (Option.is_none (Rings.Brackets.of_ints_opt 4 1 6));
+  Alcotest.(check bool)
+    "out of range rejected" true
+    (Option.is_none (Rings.Brackets.of_ints_opt 1 4 9))
+
+(* Fig. 1's example: a writable data segment with write bracket 0-4
+   and read bracket 0-5. *)
+let fig1 = Rings.Brackets.of_ints 4 5 5
+
+let test_write_bracket () =
+  List.iter
+    (fun (ring, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "write from ring %d" ring)
+        expected
+        (Rings.Brackets.in_write_bracket fig1 (r ring)))
+    [ (0, true); (3, true); (4, true); (5, false); (7, false) ]
+
+let test_read_bracket () =
+  List.iter
+    (fun (ring, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "read from ring %d" ring)
+        expected
+        (Rings.Brackets.in_read_bracket fig1 (r ring)))
+    [ (0, true); (4, true); (5, true); (6, false); (7, false) ]
+
+(* Fig. 2's example: a pure procedure with gates, execute bracket 3-4,
+   gate extension 5-6. *)
+let fig2 = Rings.Brackets.of_ints 3 4 6
+
+let test_execute_bracket () =
+  List.iter
+    (fun (ring, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "execute in ring %d" ring)
+        expected
+        (Rings.Brackets.in_execute_bracket fig2 (r ring)))
+    [ (0, false); (2, false); (3, true); (4, true); (5, false); (7, false) ]
+
+let test_gate_extension () =
+  List.iter
+    (fun (ring, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "gate extension ring %d" ring)
+        expected
+        (Rings.Brackets.in_gate_extension fig2 (r ring)))
+    [ (3, false); (4, false); (5, true); (6, true); (7, false) ]
+
+let test_empty_gate_extension () =
+  let b = Rings.Brackets.single_ring (r 4) in
+  Alcotest.(check bool)
+    "single-ring has empty gate extension" false
+    (List.exists
+       (fun ring -> Rings.Brackets.in_gate_extension b ring)
+       Rings.Ring.all)
+
+let test_accessors () =
+  Alcotest.(check int) "write top" 3
+    (Rings.Ring.to_int (Rings.Brackets.write_bracket_top fig2));
+  Alcotest.(check int) "execute bottom" 3
+    (Rings.Ring.to_int (Rings.Brackets.execute_bracket_bottom fig2));
+  Alcotest.(check int) "execute top" 4
+    (Rings.Ring.to_int (Rings.Brackets.execute_bracket_top fig2));
+  Alcotest.(check int) "read top" 4
+    (Rings.Ring.to_int (Rings.Brackets.read_bracket_top fig2));
+  Alcotest.(check int) "gate extension top" 6
+    (Rings.Ring.to_int (Rings.Brackets.gate_extension_top fig2))
+
+let test_builders () =
+  let g = Rings.Brackets.gated ~execute_in:(r 1) ~callable_from:(r 5) in
+  Alcotest.(check bool)
+    "gated: executable in 1" true
+    (Rings.Brackets.in_execute_bracket g (r 1));
+  Alcotest.(check bool)
+    "gated: gate from 5" true
+    (Rings.Brackets.in_gate_extension g (r 5));
+  (try
+     ignore (Rings.Brackets.gated ~execute_in:(r 5) ~callable_from:(r 1));
+     Alcotest.fail "callable_from below execute_in accepted"
+   with Invalid_argument _ -> ());
+  let d = Rings.Brackets.data ~writable_to:(r 2) ~readable_to:(r 6) in
+  Alcotest.(check bool)
+    "data: writable at 2" true
+    (Rings.Brackets.in_write_bracket d (r 2));
+  Alcotest.(check bool)
+    "data: not writable at 3" false
+    (Rings.Brackets.in_write_bracket d (r 3));
+  Alcotest.(check bool)
+    "data: readable at 6" true
+    (Rings.Brackets.in_read_bracket d (r 6));
+  try
+    ignore (Rings.Brackets.data ~writable_to:(r 6) ~readable_to:(r 2));
+    Alcotest.fail "readable_to below writable_to accepted"
+  with Invalid_argument _ -> ()
+
+let arb_brackets =
+  QCheck.map
+    (fun (a, b, c) ->
+      let l = List.sort compare [ a; b; c ] in
+      match l with
+      | [ r1; r2; r3 ] -> Rings.Brackets.of_ints r1 r2 r3
+      | _ -> assert false)
+    (QCheck.triple (QCheck.int_range 0 7) (QCheck.int_range 0 7)
+       (QCheck.int_range 0 7))
+
+(* The nested-subset property of rings: any capability available in
+   ring m is available in every ring n <= m. *)
+let prop_nested_write =
+  QCheck.Test.make ~name:"write bracket downward closed" ~count:300
+    (QCheck.pair arb_brackets (QCheck.int_range 1 7)) (fun (b, m) ->
+      (not (Rings.Brackets.in_write_bracket b (r m)))
+      || Rings.Brackets.in_write_bracket b (r (m - 1)))
+
+let prop_nested_read =
+  QCheck.Test.make ~name:"read bracket downward closed" ~count:300
+    (QCheck.pair arb_brackets (QCheck.int_range 1 7)) (fun (b, m) ->
+      (not (Rings.Brackets.in_read_bracket b (r m)))
+      || Rings.Brackets.in_read_bracket b (r (m - 1)))
+
+(* The three regions execute bracket / gate extension / outside are
+   disjoint and the brackets partition correctly. *)
+let prop_regions_disjoint =
+  QCheck.Test.make ~name:"execute bracket and gate extension disjoint"
+    ~count:300
+    (QCheck.pair arb_brackets (QCheck.int_range 0 7)) (fun (b, m) ->
+      not
+        (Rings.Brackets.in_execute_bracket b (r m)
+        && Rings.Brackets.in_gate_extension b (r m)))
+
+(* Write implies read: the write bracket is contained in the read
+   bracket because R1 <= R2. *)
+let prop_write_implies_read =
+  QCheck.Test.make ~name:"write bracket inside read bracket" ~count:300
+    (QCheck.pair arb_brackets (QCheck.int_range 0 7)) (fun (b, m) ->
+      (not (Rings.Brackets.in_write_bracket b (r m)))
+      || Rings.Brackets.in_read_bracket b (r m))
+
+let suite =
+  [
+    ( "brackets",
+      [
+        Alcotest.test_case "ordering enforced" `Quick test_ordering_enforced;
+        Alcotest.test_case "of_ints_opt" `Quick test_of_ints_opt;
+        Alcotest.test_case "write bracket (fig 1)" `Quick test_write_bracket;
+        Alcotest.test_case "read bracket (fig 1)" `Quick test_read_bracket;
+        Alcotest.test_case "execute bracket (fig 2)" `Quick
+          test_execute_bracket;
+        Alcotest.test_case "gate extension (fig 2)" `Quick
+          test_gate_extension;
+        Alcotest.test_case "empty gate extension" `Quick
+          test_empty_gate_extension;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "builders" `Quick test_builders;
+        QCheck_alcotest.to_alcotest prop_nested_write;
+        QCheck_alcotest.to_alcotest prop_nested_read;
+        QCheck_alcotest.to_alcotest prop_regions_disjoint;
+        QCheck_alcotest.to_alcotest prop_write_implies_read;
+      ] );
+  ]

@@ -1,0 +1,220 @@
+(* Every branch of the Fig. 8 CALL decision procedure. *)
+
+let r = Rings.Ring.v
+let eff ring = Rings.Effective_ring.start (r ring)
+
+(* A gate segment in the style of the layered supervisor: executes in
+   ring 1, gates callable from rings 2-5, two gates. *)
+let gate_seg =
+  Rings.Access.procedure_segment ~gates:2 ~execute_in:1 ~callable_from:5 ()
+
+(* A plain user procedure: single-ring execute bracket at 4, one gate
+   (its sole external entry point). *)
+let user_seg =
+  Rings.Access.procedure_segment ~gates:1 ~execute_in:4 ~callable_from:4 ()
+
+let validate ?gate_on_same_ring ?(same_segment = false) ?(wordno = 0) access
+    ~exec ~effective =
+  Rings.Call.validate ?gate_on_same_ring access ~exec:(r exec)
+    ~effective:(eff effective) ~segno:42 ~wordno ~same_segment
+
+let check_proceed name expected_ring expected_crossing = function
+  | Ok { Rings.Call.new_ring; crossing; _ } ->
+      Alcotest.(check int) (name ^ ": new ring") expected_ring
+        (Rings.Ring.to_int new_ring);
+      Alcotest.(check bool)
+        (name ^ ": crossing")
+        true
+        (crossing = expected_crossing)
+  | Error f -> Alcotest.failf "%s: unexpected fault %a" name Rings.Fault.pp f
+
+let test_downward_through_gate () =
+  validate gate_seg ~exec:4 ~effective:4
+  |> check_proceed "downward r4->r1" 1 Rings.Call.Downward
+
+let test_downward_lands_at_bracket_top () =
+  (* Execute bracket 1-2: a call from ring 5 lands at ring 2 (the
+     bracket top), not ring 1. *)
+  let a =
+    Rings.Access.v ~execute:true ~gates:1 (Rings.Brackets.of_ints 1 2 6)
+  in
+  validate a ~exec:5 ~effective:5
+  |> check_proceed "downward to bracket top" 2 Rings.Call.Downward
+
+let test_gate_violation () =
+  match validate gate_seg ~exec:4 ~effective:4 ~wordno:2 with
+  | Error (Rings.Fault.Gate_violation { wordno; gates }) ->
+      Alcotest.(check int) "wordno" 2 wordno;
+      Alcotest.(check int) "gates" 2 gates
+  | _ -> Alcotest.fail "expected Gate_violation"
+
+let test_outside_gate_extension () =
+  match validate gate_seg ~exec:6 ~effective:6 with
+  | Error (Rings.Fault.Outside_gate_extension { effective; top }) ->
+      Alcotest.(check int) "effective" 6 (Rings.Ring.to_int effective);
+      Alcotest.(check int) "top" 5 (Rings.Ring.to_int top)
+  | _ -> Alcotest.fail "expected Outside_gate_extension"
+
+let test_no_execute () =
+  let a = Rings.Access.data_segment ~writable_to:4 ~readable_to:4 () in
+  match validate a ~exec:4 ~effective:4 with
+  | Error Rings.Fault.No_execute_permission -> ()
+  | _ -> Alcotest.fail "expected No_execute_permission"
+
+let test_same_ring_via_gate () =
+  validate user_seg ~exec:4 ~effective:4
+  |> check_proceed "same-ring through gate" 4 Rings.Call.Same_ring
+
+let test_same_ring_gate_respected () =
+  (* Same-ring CALL to a non-gate word of another segment: refused —
+     the accidental-entry protection. *)
+  match validate user_seg ~exec:4 ~effective:4 ~wordno:3 with
+  | Error (Rings.Fault.Gate_violation _) -> ()
+  | _ -> Alcotest.fail "expected Gate_violation on same-ring call"
+
+let test_same_segment_bypasses_gate () =
+  (* Internal procedure: a CALL whose operand is in the same segment
+     ignores the gate list. *)
+  validate user_seg ~exec:4 ~effective:4 ~wordno:3 ~same_segment:true
+  |> check_proceed "internal call" 4 Rings.Call.Same_ring
+
+let test_ablation_no_same_ring_gate () =
+  (* With the paper's same-ring gate discipline ablated, the
+     accidental call is not caught. *)
+  validate user_seg ~gate_on_same_ring:false ~exec:4 ~effective:4 ~wordno:3
+  |> check_proceed "ablated gate check" 4 Rings.Call.Same_ring
+
+let test_upward_call_traps () =
+  (* Caller in ring 6, target executes in ring... user_seg has bracket
+     4-4 and gate extension top 4, so ring 6 is outside the gate
+     extension.  A genuine upward call: caller below the execute
+     bracket bottom. *)
+  match validate gate_seg ~exec:0 ~effective:0 with
+  | Error (Rings.Fault.Upward_call { from_ring; to_ring; segno; wordno }) ->
+      Alcotest.(check int) "from" 0 (Rings.Ring.to_int from_ring);
+      Alcotest.(check int) "to" 1 (Rings.Ring.to_int to_ring);
+      Alcotest.(check int) "segno" 42 segno;
+      Alcotest.(check int) "wordno" 0 wordno
+  | _ -> Alcotest.fail "expected Upward_call"
+
+let test_effective_ring_raised_in_bracket () =
+  (* Executing in ring 3 with the execute bracket containing both 3
+     and 4: indirection raised the effective ring to 4.  What looks
+     same-ring w.r.t. TPR.RING would be upward w.r.t. IPR.RING. *)
+  let a =
+    Rings.Access.v ~execute:true ~gates:1 (Rings.Brackets.of_ints 3 4 4)
+  in
+  match validate a ~exec:3 ~effective:4 with
+  | Error (Rings.Fault.Effective_ring_raised { exec; effective }) ->
+      Alcotest.(check int) "exec" 3 (Rings.Ring.to_int exec);
+      Alcotest.(check int) "effective" 4 (Rings.Ring.to_int effective)
+  | _ -> Alcotest.fail "expected Effective_ring_raised"
+
+let test_effective_ring_raised_in_extension () =
+  (* Executing in ring 1 (inside the bracket) but the effective ring
+     was raised into the gate extension: landing at the bracket top
+     would still raise the ring of execution. *)
+  let a =
+    Rings.Access.v ~execute:true ~gates:1 (Rings.Brackets.of_ints 2 3 6)
+  in
+  match validate a ~exec:1 ~effective:5 with
+  | Error (Rings.Fault.Effective_ring_raised { exec; effective }) ->
+      Alcotest.(check int) "exec" 1 (Rings.Ring.to_int exec);
+      Alcotest.(check int) "effective" 5 (Rings.Ring.to_int effective)
+  | _ -> Alcotest.fail "expected Effective_ring_raised"
+
+let test_gate_call_from_extension_same_ring () =
+  (* exec = effective = bracket top reached through the gate extension
+     path is impossible (eff > R2 means eff > exec contradiction), but
+     exec exactly at R2 calling with eff = exec stays in ring. *)
+  let a =
+    Rings.Access.v ~execute:true ~gates:1 (Rings.Brackets.of_ints 1 3 6)
+  in
+  validate a ~exec:3 ~effective:3
+  |> check_proceed "call at bracket top" 3 Rings.Call.Same_ring
+
+(* Properties: the decision never raises the ring of execution, and
+   any downward decision passed through a gate. *)
+let arb_case =
+  QCheck.pair Gen.access
+    (QCheck.pair (QCheck.pair Gen.ring Gen.ring)
+       (QCheck.pair (QCheck.int_range 0 6) QCheck.bool))
+
+let prop_never_raises_ring =
+  QCheck.Test.make ~name:"CALL never raises the ring of execution"
+    ~count:1000 arb_case
+    (fun (a, ((exec, effraw), (wordno, same_segment))) ->
+      let effective =
+        Rings.Effective_ring.via_pointer_register
+          (Rings.Effective_ring.start exec) ~pr_ring:effraw
+      in
+      match
+        Rings.Call.validate a ~exec ~effective ~segno:1 ~wordno ~same_segment
+      with
+      | Ok { Rings.Call.new_ring; _ } ->
+          Rings.Ring.compare new_ring exec <= 0
+      | Error _ -> true)
+
+let prop_downward_implies_gate =
+  QCheck.Test.make ~name:"downward CALL always via a gate" ~count:1000
+    arb_case (fun (a, ((exec, effraw), (wordno, same_segment))) ->
+      let effective =
+        Rings.Effective_ring.via_pointer_register
+          (Rings.Effective_ring.start exec) ~pr_ring:effraw
+      in
+      match
+        Rings.Call.validate a ~exec ~effective ~segno:1 ~wordno ~same_segment
+      with
+      | Ok { Rings.Call.crossing = Rings.Call.Downward; via_gate; new_ring }
+        ->
+          via_gate && wordno < a.Rings.Access.gates
+          && Rings.Ring.equal new_ring
+               (Rings.Brackets.execute_bracket_top a.Rings.Access.brackets)
+      | Ok _ | Error _ -> true)
+
+let prop_flag_off_never_proceeds =
+  QCheck.Test.make ~name:"CALL with execute flag off never proceeds"
+    ~count:500 arb_case
+    (fun (a, ((exec, _), (wordno, same_segment))) ->
+      let a = { a with Rings.Access.execute = false } in
+      match
+        Rings.Call.validate a ~exec
+          ~effective:(Rings.Effective_ring.start exec) ~segno:1 ~wordno
+          ~same_segment
+      with
+      | Ok _ -> false
+      | Error Rings.Fault.No_execute_permission -> true
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "call",
+      [
+        Alcotest.test_case "downward through gate" `Quick
+          test_downward_through_gate;
+        Alcotest.test_case "downward lands at bracket top" `Quick
+          test_downward_lands_at_bracket_top;
+        Alcotest.test_case "gate violation" `Quick test_gate_violation;
+        Alcotest.test_case "outside gate extension" `Quick
+          test_outside_gate_extension;
+        Alcotest.test_case "execute flag off" `Quick test_no_execute;
+        Alcotest.test_case "same-ring via gate" `Quick
+          test_same_ring_via_gate;
+        Alcotest.test_case "same-ring gate respected" `Quick
+          test_same_ring_gate_respected;
+        Alcotest.test_case "same segment bypasses gate" `Quick
+          test_same_segment_bypasses_gate;
+        Alcotest.test_case "ablation: no same-ring gate" `Quick
+          test_ablation_no_same_ring_gate;
+        Alcotest.test_case "upward call traps" `Quick test_upward_call_traps;
+        Alcotest.test_case "effective ring raised (bracket)" `Quick
+          test_effective_ring_raised_in_bracket;
+        Alcotest.test_case "effective ring raised (extension)" `Quick
+          test_effective_ring_raised_in_extension;
+        Alcotest.test_case "call at bracket top" `Quick
+          test_gate_call_from_extension_same_ring;
+        QCheck_alcotest.to_alcotest prop_never_raises_ring;
+        QCheck_alcotest.to_alcotest prop_downward_implies_gate;
+        QCheck_alcotest.to_alcotest prop_flag_off_never_proceeds;
+      ] );
+  ]

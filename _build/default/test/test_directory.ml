@@ -1,0 +1,161 @@
+(* The directory hierarchy and search rules ("file system search
+   direction"). *)
+
+let list_acl users =
+  Os.Acl.of_entries
+    (List.map
+       (fun user ->
+         {
+           Os.Acl.user;
+           access =
+             Rings.Access.v ~read:true
+               (Rings.Brackets.data ~writable_to:Rings.Ring.r0
+                  ~readable_to:Rings.Ring.lowest_privilege);
+         })
+       users)
+
+let expect_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* A small tree:
+     udd > alice > prog      (alice only)
+     udd > bob   > prog      (everyone)
+     lib > mathlib           (everyone)                         *)
+let tree () =
+  let t = Os.Directory.create () in
+  expect_ok (Os.Directory.mkdir t ~path:"udd" ~acl:(list_acl [ "*" ]));
+  expect_ok
+    (Os.Directory.mkdir t ~path:"udd>alice" ~acl:(list_acl [ "alice" ]));
+  expect_ok (Os.Directory.mkdir t ~path:"udd>bob" ~acl:(list_acl [ "*" ]));
+  expect_ok (Os.Directory.mkdir t ~path:"lib" ~acl:(list_acl [ "*" ]));
+  expect_ok
+    (Os.Directory.link t ~path:"udd>alice>prog" ~store_name:"alice_prog");
+  expect_ok (Os.Directory.link t ~path:"udd>bob>prog" ~store_name:"bob_prog");
+  expect_ok (Os.Directory.link t ~path:"lib>mathlib" ~store_name:"mathlib_v2");
+  t
+
+let test_split_path () =
+  Alcotest.(check (list string))
+    "splits" [ "a"; "b"; "c" ]
+    (Os.Directory.split_path "a>b>c");
+  Alcotest.(check (list string))
+    "leading separator" [ "a" ] (Os.Directory.split_path ">a");
+  Alcotest.(check (list string)) "empty" [] (Os.Directory.split_path "")
+
+let test_resolution () =
+  let t = tree () in
+  Alcotest.(check string)
+    "alice resolves her program" "alice_prog"
+    (expect_ok (Os.Directory.resolve t ~user:"alice" ~path:"udd>alice>prog"));
+  Alcotest.(check string)
+    "bob resolves the library" "mathlib_v2"
+    (expect_ok (Os.Directory.resolve t ~user:"bob" ~path:"lib>mathlib"))
+
+let test_directory_acl_closes_subtree () =
+  let t = tree () in
+  (match Os.Directory.resolve t ~user:"bob" ~path:"udd>alice>prog" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bob listed alice's directory");
+  (* The segment ACL never came into it: the directory wall is
+     independent protection. *)
+  match Os.Directory.list_entries t ~user:"bob" ~path:"udd>alice" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bob listed alice's directory entries"
+
+let test_errors () =
+  let t = tree () in
+  (match Os.Directory.resolve t ~user:"alice" ~path:"udd>ghost>x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing directory resolved");
+  (match Os.Directory.resolve t ~user:"alice" ~path:"udd>alice" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a directory resolved as a segment");
+  (match Os.Directory.mkdir t ~path:"udd" ~acl:(list_acl [ "*" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate mkdir accepted");
+  match Os.Directory.link t ~path:"nowhere>x" ~store_name:"x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "link under missing parent accepted"
+
+let test_search_rules () =
+  let t = tree () in
+  (* Alice's rules look in her own directory first, then the library. *)
+  Alcotest.(check string)
+    "her own prog wins" "alice_prog"
+    (expect_ok
+       (Os.Directory.search t ~user:"alice"
+          ~rules:[ "udd>alice"; "lib" ]
+          ~name:"prog"));
+  Alcotest.(check string)
+    "falls through to the library" "mathlib_v2"
+    (expect_ok
+       (Os.Directory.search t ~user:"alice"
+          ~rules:[ "udd>alice"; "lib" ]
+          ~name:"mathlib"));
+  (* Bob's rules include alice's directory, but his lack of list
+     capability just skips it. *)
+  Alcotest.(check string)
+    "unlistable rule skipped" "bob_prog"
+    (expect_ok
+       (Os.Directory.search t ~user:"bob"
+          ~rules:[ "udd>alice"; "udd>bob" ]
+          ~name:"prog"));
+  match
+    Os.Directory.search t ~user:"bob" ~rules:[ "lib" ] ~name:"prog"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "search found a segment off the rules"
+
+let test_list_entries () =
+  let t = tree () in
+  Alcotest.(check (list string))
+    "root" [ "lib"; "udd" ]
+    (expect_ok (Os.Directory.list_entries t ~user:"bob" ~path:""));
+  Alcotest.(check (list string))
+    "alice's home" [ "prog" ]
+    (expect_ok (Os.Directory.list_entries t ~user:"alice" ~path:"udd>alice"))
+
+(* End to end: resolve through the hierarchy, then load through the
+   ordinary ACL-checked loader. *)
+let test_resolve_then_load () =
+  let t = tree () in
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"bob_prog"
+    ~acl:
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access =
+            Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ();
+        };
+      ]
+    "start:  mme =2\n";
+  let p = Os.Process.create ~store ~user:"bob" () in
+  let name =
+    expect_ok (Os.Directory.resolve t ~user:"bob" ~path:"udd>bob>prog")
+  in
+  (match Os.Process.add_segment p name with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:name ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Kernel.run ~max_instructions:100 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e
+
+let suite =
+  [
+    ( "directory",
+      [
+        Alcotest.test_case "split path" `Quick test_split_path;
+        Alcotest.test_case "resolution" `Quick test_resolution;
+        Alcotest.test_case "directory ACL closes subtree" `Quick
+          test_directory_acl_closes_subtree;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "search rules" `Quick test_search_rules;
+        Alcotest.test_case "list entries" `Quick test_list_entries;
+        Alcotest.test_case "resolve then load" `Quick test_resolve_then_load;
+      ] );
+  ]

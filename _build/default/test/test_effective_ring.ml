@@ -1,0 +1,87 @@
+(* The Fig. 5 effective-ring discipline: monotone, and folding in
+   exactly the rings that could have influenced the address. *)
+
+let r = Rings.Ring.v
+
+let test_start () =
+  Alcotest.(check int)
+    "starts at the ring of execution" 3
+    (Rings.Effective_ring.to_int (Rings.Effective_ring.start (r 3)))
+
+let test_pr_fold () =
+  let e = Rings.Effective_ring.start (r 2) in
+  Alcotest.(check int)
+    "PR ring raises" 5
+    (Rings.Effective_ring.to_int
+       (Rings.Effective_ring.via_pointer_register e ~pr_ring:(r 5)));
+  Alcotest.(check int)
+    "lower PR ring does not lower" 2
+    (Rings.Effective_ring.to_int
+       (Rings.Effective_ring.via_pointer_register e ~pr_ring:(r 0)))
+
+let test_indirect_fold () =
+  let e = Rings.Effective_ring.start (r 1) in
+  (* The indirect word's ring and the write-bracket top of its
+     container both count. *)
+  Alcotest.(check int)
+    "indirect word ring raises" 4
+    (Rings.Effective_ring.to_int
+       (Rings.Effective_ring.via_indirect_word e ~ind_ring:(r 4)
+          ~container_write_top:(r 0)));
+  Alcotest.(check int)
+    "container write top raises" 6
+    (Rings.Effective_ring.to_int
+       (Rings.Effective_ring.via_indirect_word e ~ind_ring:(r 0)
+          ~container_write_top:(r 6)));
+  Alcotest.(check int)
+    "max of all three" 5
+    (Rings.Effective_ring.to_int
+       (Rings.Effective_ring.via_indirect_word e ~ind_ring:(r 5)
+          ~container_write_top:(r 3)))
+
+let prop_monotone =
+  QCheck.Test.make ~name:"effective ring never decreases" ~count:1000
+    (QCheck.pair Gen.ring
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 8)
+          (QCheck.pair Gen.ring Gen.ring)))
+    (fun (start, steps) ->
+      let rec walk e last = function
+        | [] -> true
+        | (ind, top) :: rest ->
+            let e' =
+              Rings.Effective_ring.via_indirect_word e ~ind_ring:ind
+                ~container_write_top:top
+            in
+            Rings.Effective_ring.to_int e' >= last
+            && walk e' (Rings.Effective_ring.to_int e') rest
+      in
+      let e = Rings.Effective_ring.start start in
+      walk e (Rings.Effective_ring.to_int e) steps)
+
+let prop_at_least_exec =
+  QCheck.Test.make ~name:"effective ring >= ring of execution" ~count:1000
+    (QCheck.pair Gen.ring
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 8)
+          (QCheck.pair Gen.ring Gen.ring)))
+    (fun (start, steps) ->
+      let e =
+        List.fold_left
+          (fun e (ind, top) ->
+            Rings.Effective_ring.via_indirect_word e ~ind_ring:ind
+              ~container_write_top:top)
+          (Rings.Effective_ring.start start)
+          steps
+      in
+      Rings.Effective_ring.to_int e >= Rings.Ring.to_int start)
+
+let suite =
+  [
+    ( "effective-ring",
+      [
+        Alcotest.test_case "start" `Quick test_start;
+        Alcotest.test_case "PR fold" `Quick test_pr_fold;
+        Alcotest.test_case "indirect fold" `Quick test_indirect_fold;
+        QCheck_alcotest.to_alcotest prop_monotone;
+        QCheck_alcotest.to_alcotest prop_at_least_exec;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+(* Robustness: executing arbitrary bit patterns must never escape the
+   simulated world.  Whatever a program does, the CPU either keeps
+   running, halts, or faults — the only sanctioned exception is the
+   runaway-indirection guard.  (On the real hardware this is the claim
+   that no instruction sequence can bypass the access checks; here it
+   also guards the simulator against crashes on malformed input.) *)
+
+let xorshift seed =
+  let s = ref (if seed = 0 then 0x2545F4914F6CDD1D else seed) in
+  fun () ->
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x;
+    x land Hw.Word.mask
+
+let build_fuzz_machine seed =
+  let next = xorshift seed in
+  let code = Array.init 64 (fun _ -> next ()) in
+  let data = Array.init 64 (fun _ -> next ()) in
+  let m =
+    Fixtures.build
+      ~segments:
+        ([ (1, code, Rings.Access.v ~read:true ~execute:true (Rings.Brackets.of_ints 0 7 7));
+           (9, data, Fixtures.data_ring 5);
+         ]
+        @ List.init 8 (fun r -> (r + 20, [||], Fixtures.data_ring r)))
+      ()
+  in
+  Fixtures.set_ipr m ~ring:(seed land 7) ~segno:1 ~wordno:0;
+  (* Random pointer registers, including ones aimed at nothing. *)
+  for n = 0 to 7 do
+    Hw.Registers.set_pr m.Isa.Machine.regs n
+      (Hw.Registers.ptr
+         ~ring:(next () land 7)
+         ~segno:(next () land 31)
+         ~wordno:(next () land 63))
+  done;
+  m
+
+let prop_cpu_never_escapes =
+  QCheck.Test.make ~name:"CPU never raises on arbitrary programs" ~count:300
+    (QCheck.int_range 1 1_000_000) (fun seed ->
+      let m = build_fuzz_machine seed in
+      let rec run n =
+        if n = 0 then true
+        else
+          match Isa.Cpu.step m with
+          | Isa.Cpu.Running -> run (n - 1)
+          | Isa.Cpu.Halted -> true
+          | Isa.Cpu.Faulted _ ->
+              (* A trap would enter the supervisor; for the fuzz we
+                 simply resume at the next word. *)
+              let regs = m.Isa.Machine.regs in
+              m.Isa.Machine.saved <- None;
+              regs.Hw.Registers.ipr <-
+                {
+                  regs.Hw.Registers.ipr with
+                  Hw.Registers.ring = Rings.Ring.v (n land 7);
+                };
+              run (n - 1)
+          | exception Isa.Eff_addr.Runaway_indirection _ -> true
+      in
+      run 100)
+
+(* The same property under the kernel with a full process environment:
+   random code in a user segment, kernel servicing traps. *)
+let prop_kernel_never_escapes =
+  QCheck.Test.make ~name:"kernel never raises on arbitrary programs"
+    ~count:150 (QCheck.int_range 1 1_000_000) (fun seed ->
+      let next = xorshift seed in
+      let words = Array.init 48 (fun _ -> next ()) in
+      let store = Os.Store.create () in
+      Os.Store.add_data store ~name:"junk"
+        ~acl:
+          [
+            {
+              Os.Acl.user = Os.Acl.wildcard;
+              access =
+                Rings.Access.v ~read:true ~execute:true
+                  (Rings.Brackets.of_ints 4 4 7);
+            };
+          ]
+        ~words;
+      let p = Os.Process.create ~store ~user:"fuzz" () in
+      (match Os.Process.add_segment p "junk" with
+      | Ok () -> ()
+      | Error _ -> ());
+      let regs = p.Os.Process.machine.Isa.Machine.regs in
+      regs.Hw.Registers.ipr <-
+        {
+          Hw.Registers.ring = Rings.Ring.v 4;
+          addr = Hw.Addr.v ~segno:10 ~wordno:0;
+        };
+      match Os.Kernel.run ~max_instructions:200 p with
+      | _ -> true
+      | exception Isa.Eff_addr.Runaway_indirection _ -> true)
+
+(* The same kernel-level robustness, with demand paging enabled: page
+   faults interleave with whatever the random program does. *)
+let prop_kernel_never_escapes_paged =
+  QCheck.Test.make ~name:"kernel never raises with paging on" ~count:100
+    (QCheck.int_range 1 1_000_000) (fun seed ->
+      let next = xorshift seed in
+      let words = Array.init 48 (fun _ -> next ()) in
+      let store = Os.Store.create () in
+      Os.Store.add_data store ~name:"junk"
+        ~acl:
+          [
+            {
+              Os.Acl.user = Os.Acl.wildcard;
+              access =
+                Rings.Access.v ~read:true ~execute:true
+                  (Rings.Brackets.of_ints 4 4 7);
+            };
+          ]
+        ~words;
+      let p =
+        Os.Process.create ~paged:true ~frame_pool:2 ~store ~user:"fuzz" ()
+      in
+      (match Os.Process.add_segment p "junk" with
+      | Ok () -> ()
+      | Error _ -> ());
+      let regs = p.Os.Process.machine.Isa.Machine.regs in
+      regs.Hw.Registers.ipr <-
+        {
+          Hw.Registers.ring = Rings.Ring.v 4;
+          addr = Hw.Addr.v ~segno:10 ~wordno:0;
+        };
+      match Os.Kernel.run ~max_instructions:200 p with
+      | _ -> true
+      | exception Isa.Eff_addr.Runaway_indirection _ -> true)
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest prop_cpu_never_escapes;
+        QCheck_alcotest.to_alcotest prop_kernel_never_escapes;
+        QCheck_alcotest.to_alcotest prop_kernel_never_escapes_paged;
+      ] );
+  ]
+

@@ -1,0 +1,140 @@
+(* Instruction and indirect-word storage formats. *)
+
+let test_instr_validation () =
+  (try
+     ignore (Isa.Instr.v ~base:(Isa.Instr.Pr 8) Isa.Opcode.LDA);
+     Alcotest.fail "PR8 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Isa.Instr.v ~xr:8 Isa.Opcode.LDA);
+     Alcotest.fail "xr 8 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Isa.Instr.v ~offset:(1 lsl 18) Isa.Opcode.LDA);
+    Alcotest.fail "19-bit offset accepted"
+  with Invalid_argument _ -> ()
+
+let test_instr_roundtrip_example () =
+  let instr =
+    Isa.Instr.v ~base:(Isa.Instr.Pr 2) ~indirect:true ~offset:5
+      Isa.Opcode.LDA
+  in
+  match Isa.Instr.decode (Isa.Instr.encode instr) with
+  | Ok instr' ->
+      Alcotest.(check bool) "round trip" true (Isa.Instr.equal instr instr')
+  | Error _ -> Alcotest.fail "decode failed"
+
+let test_illegal_opcode () =
+  let w = Hw.Word.set_field ~pos:27 ~width:9 511 0 in
+  match Isa.Instr.decode w with
+  | Error (Rings.Fault.Illegal_opcode _) -> ()
+  | _ -> Alcotest.fail "expected Illegal_opcode"
+
+let test_illegal_base () =
+  let w =
+    0
+    |> Hw.Word.set_field ~pos:27 ~width:9 (Isa.Opcode.code Isa.Opcode.LDA)
+    |> Hw.Word.set_field ~pos:23 ~width:4 15
+  in
+  match Isa.Instr.decode w with
+  | Error (Rings.Fault.Illegal_opcode _) -> ()
+  | _ -> Alcotest.fail "expected Illegal_opcode for bad base"
+
+let test_opcode_codes_distinct () =
+  let codes = List.map Isa.Opcode.code Isa.Opcode.all in
+  let sorted = List.sort_uniq compare codes in
+  Alcotest.(check int) "codes distinct" (List.length codes)
+    (List.length sorted)
+
+let test_opcode_mnemonics () =
+  List.iter
+    (fun op ->
+      match Isa.Opcode.of_mnemonic (Isa.Opcode.mnemonic op) with
+      | Some op' ->
+          Alcotest.(check bool)
+            (Isa.Opcode.mnemonic op ^ " round trip")
+            true (op = op')
+      | None -> Alcotest.failf "mnemonic %s lost" (Isa.Opcode.mnemonic op))
+    Isa.Opcode.all;
+  Alcotest.(check bool)
+    "case insensitive" true
+    (Isa.Opcode.of_mnemonic "lda" = Some Isa.Opcode.LDA);
+  Alcotest.(check bool) "unknown" true (Isa.Opcode.of_mnemonic "FROB" = None)
+
+let prop_instr_roundtrip =
+  QCheck.Test.make ~name:"instruction encode/decode identity" ~count:1000
+    Gen.instr (fun instr ->
+      match Isa.Instr.decode (Isa.Instr.encode instr) with
+      | Ok instr' -> Isa.Instr.equal instr instr'
+      | Error _ -> false)
+
+let test_indword_roundtrip_example () =
+  let ind = Isa.Indword.v ~indirect:true ~ring:5 ~segno:100 ~wordno:0o777 () in
+  Alcotest.(check bool)
+    "round trip" true
+    (Isa.Indword.equal ind (Isa.Indword.decode (Isa.Indword.encode ind)))
+
+let test_indword_ptr_conversion () =
+  let p = Hw.Registers.ptr ~ring:3 ~segno:7 ~wordno:9 in
+  let ind = Isa.Indword.of_ptr p in
+  Alcotest.(check bool) "to_ptr inverse" true (Isa.Indword.to_ptr ind = p);
+  Alcotest.(check bool) "not indirect by default" false ind.Isa.Indword.indirect
+
+let prop_indword_roundtrip =
+  QCheck.Test.make ~name:"indirect word encode/decode identity" ~count:1000
+    Gen.indword (fun ind ->
+      Isa.Indword.equal ind (Isa.Indword.decode (Isa.Indword.encode ind)))
+
+(* Decoding is total over all 36-bit words for indirect words. *)
+let prop_indword_total =
+  QCheck.Test.make ~name:"indirect word decode total" ~count:500 Gen.word36
+    (fun w ->
+      let ind = Isa.Indword.decode w in
+      Isa.Indword.encode ind land Hw.Word.mask = Isa.Indword.encode ind)
+
+(* Opcode assignments are part of the machine's storage format:
+   assembled programs must keep meaning the same thing.  This golden
+   table pins every code; extending the ISA must append, not
+   reorder. *)
+let test_opcode_codes_pinned () =
+  List.iter
+    (fun (mnemonic, code) ->
+      match Isa.Opcode.of_mnemonic mnemonic with
+      | Some op ->
+          Alcotest.(check int) (mnemonic ^ " code") code (Isa.Opcode.code op)
+      | None -> Alcotest.failf "opcode %s missing" mnemonic)
+    [
+      ("NOP", 0); ("HALT", 1); ("LDA", 2); ("STA", 3); ("LDQ", 4);
+      ("STQ", 5); ("LDX", 6); ("STX", 7); ("ADA", 8); ("SBA", 9);
+      ("MPA", 10); ("DVA", 11); ("ADQ", 12); ("SBQ", 13); ("ANA", 14);
+      ("ORA", 15); ("XRA", 16); ("CMPA", 17); ("AOS", 18); ("TRA", 19);
+      ("TZE", 20); ("TNZ", 21); ("TMI", 22); ("TPL", 23); ("TSX", 24);
+      ("EAP", 25); ("SPR", 26); ("EAA", 27); ("CALL", 28); ("RETN", 29);
+      ("MME", 30); ("LDBR", 31); ("SIOC", 32); ("RTRAP", 33); ("STZ", 34);
+      ("ALS", 35); ("ARS", 36); ("SIOT", 37);
+    ]
+
+let suite =
+  [
+    ( "instr",
+      [
+        Alcotest.test_case "validation" `Quick test_instr_validation;
+        Alcotest.test_case "round trip example" `Quick
+          test_instr_roundtrip_example;
+        Alcotest.test_case "illegal opcode" `Quick test_illegal_opcode;
+        Alcotest.test_case "illegal base" `Quick test_illegal_base;
+        Alcotest.test_case "opcode codes distinct" `Quick
+          test_opcode_codes_distinct;
+        Alcotest.test_case "opcode mnemonics" `Quick test_opcode_mnemonics;
+        Alcotest.test_case "opcode codes pinned" `Quick
+          test_opcode_codes_pinned;
+        Alcotest.test_case "indword round trip" `Quick
+          test_indword_roundtrip_example;
+        Alcotest.test_case "indword/ptr conversion" `Quick
+          test_indword_ptr_conversion;
+        QCheck_alcotest.to_alcotest prop_instr_roundtrip;
+        QCheck_alcotest.to_alcotest prop_indword_roundtrip;
+        QCheck_alcotest.to_alcotest prop_indword_total;
+      ] );
+  ]
+

@@ -1,0 +1,153 @@
+(* End-to-end tests: assembled programs crossing rings under the
+   kernel, in hardware mode and under the 645 software baseline. *)
+
+let exit_testable = Alcotest.testable Os.Kernel.pp_exit ( = )
+
+let run_to_exit ?(max_instructions = 100_000) p =
+  Os.Kernel.run ~max_instructions p
+
+let check_exited p =
+  Alcotest.check exit_testable "clean exit" Os.Kernel.Exited
+    (run_to_exit p)
+
+let get_process = function
+  | Ok p -> p
+  | Error e -> Alcotest.failf "scenario build failed: %s" e
+
+let snapshot p =
+  Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters
+
+let a_register p =
+  p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+
+(* Hardware mode: a downward call through a gate and the upward return
+   happen entirely in hardware — no traps, no gatekeeper. *)
+let test_hw_downward_call () =
+  let p = get_process (Os.Scenario.crossing ()) in
+  check_exited p;
+  Alcotest.(check int) "A holds the service result" 42 (a_register p);
+  let s = snapshot p in
+  Alcotest.(check int) "one downward call" 1 s.Trace.Counters.calls_downward;
+  Alcotest.(check int) "one upward return" 1 s.Trace.Counters.returns_upward;
+  (* The only trap is the final exit service call. *)
+  Alcotest.(check int) "no crossing traps" 1 s.Trace.Counters.traps;
+  Alcotest.(check int) "no gatekeeper" 0 s.Trace.Counters.gatekeeper_entries
+
+(* 645 mode, same object code: both the call and the return trap to
+   the gatekeeper, which switches descriptor segments. *)
+let test_sw_downward_call () =
+  let p =
+    get_process (Os.Scenario.crossing ~config:Os.Scenario.software_config ())
+  in
+  check_exited p;
+  Alcotest.(check int) "A holds the service result" 42 (a_register p);
+  let s = snapshot p in
+  Alcotest.(check int) "one downward call" 1 s.Trace.Counters.calls_downward;
+  Alcotest.(check int) "one upward return" 1 s.Trace.Counters.returns_upward;
+  Alcotest.(check int)
+    "two gatekeeper entries" 2 s.Trace.Counters.gatekeeper_entries;
+  Alcotest.(check int)
+    "two descriptor switches" 2 s.Trace.Counters.descriptor_switches;
+  Alcotest.(check int) "three traps (call, return, exit)" 3
+    s.Trace.Counters.traps
+
+(* Same-ring call through a gate: cheap in both modes; in 645 mode it
+   must not enter the gatekeeper at all. *)
+let test_same_ring_both_modes () =
+  List.iter
+    (fun config ->
+      let p = get_process (Os.Scenario.same_ring_pair ~config ()) in
+      check_exited p;
+      Alcotest.(check int) "A holds the service result" 42 (a_register p);
+      let s = snapshot p in
+      Alcotest.(check int) "one same-ring call" 1
+        s.Trace.Counters.calls_same_ring;
+      Alcotest.(check int) "no gatekeeper" 0
+        s.Trace.Counters.gatekeeper_entries)
+    [ Os.Scenario.default_config; Os.Scenario.software_config ]
+
+(* Upward call: requires software intervention in both modes. *)
+let test_upward_call_both_modes () =
+  List.iter
+    (fun config ->
+      let p =
+        get_process
+          (Os.Scenario.crossing ~config ~caller_ring:1 ~callee_ring:4 ())
+      in
+      check_exited p;
+      Alcotest.(check int) "A holds the service result" 42 (a_register p);
+      let s = snapshot p in
+      Alcotest.(check int) "one upward call" 1 s.Trace.Counters.calls_upward;
+      Alcotest.(check int) "one downward return" 1
+        s.Trace.Counters.returns_downward;
+      Alcotest.(check bool) "gatekeeper involved" true
+        (s.Trace.Counters.gatekeeper_entries >= 1))
+    [ Os.Scenario.default_config; Os.Scenario.software_config ]
+
+(* A by-reference argument passed on a downward call: the callee
+   increments it through the argument list, validated as the caller. *)
+let test_downward_argument () =
+  List.iter
+    (fun config ->
+      let p =
+        get_process (Os.Scenario.crossing ~config ~with_argument:true ())
+      in
+      check_exited p;
+      let addr =
+        match Os.Process.address_of p ~segment:"data" ~symbol:"word0" with
+        | Some a -> a
+        | None -> Alcotest.fail "data$word0 missing"
+      in
+      match Os.Process.kread p addr with
+      | Ok v -> Alcotest.(check int) "argument incremented" 8 v
+      | Error e -> Alcotest.fail e)
+    [ Os.Scenario.default_config; Os.Scenario.software_config ]
+
+(* An argument passed on an upward call is copied out and back by the
+   supervisor (the paper's third solution). *)
+let test_upward_argument () =
+  List.iter
+    (fun config ->
+      let p =
+        get_process
+          (Os.Scenario.crossing ~config ~caller_ring:1 ~callee_ring:4
+             ~with_argument:true ())
+      in
+      check_exited p;
+      let addr =
+        match Os.Process.address_of p ~segment:"data" ~symbol:"word0" with
+        | Some a -> a
+        | None -> Alcotest.fail "data$word0 missing"
+      in
+      match Os.Process.kread p addr with
+      | Ok v -> Alcotest.(check int) "argument incremented via copy" 8 v
+      | Error e -> Alcotest.fail e)
+    [ Os.Scenario.default_config; Os.Scenario.software_config ]
+
+(* Repeated crossings drive the cost comparison benches; make sure the
+   loop machinery is sound. *)
+let test_repeated_crossings () =
+  let p = get_process (Os.Scenario.crossing ~iterations:10 ()) in
+  check_exited p;
+  let s = snapshot p in
+  Alcotest.(check int) "ten downward calls" 10
+    s.Trace.Counters.calls_downward;
+  Alcotest.(check int) "ten upward returns" 10
+    s.Trace.Counters.returns_upward
+
+let suite =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "hw downward call" `Quick test_hw_downward_call;
+        Alcotest.test_case "sw downward call" `Quick test_sw_downward_call;
+        Alcotest.test_case "same-ring both modes" `Quick
+          test_same_ring_both_modes;
+        Alcotest.test_case "upward call both modes" `Quick
+          test_upward_call_both_modes;
+        Alcotest.test_case "downward argument" `Quick test_downward_argument;
+        Alcotest.test_case "upward argument" `Quick test_upward_argument;
+        Alcotest.test_case "repeated crossings" `Quick
+          test_repeated_crossings;
+      ] );
+  ]

@@ -1,0 +1,190 @@
+(* Channel I/O: SIOT transfers between the typewriter and a buffer
+   segment, with completion status for a polling driver. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* Ring-0 program: SIOT the read CCW, poll for completion, exit with
+   the transferred count in A. *)
+let read_program =
+  "start:  siot ccw,*\n\
+   poll:   lda st,*\n\
+  \        tpl poll\n\
+  \        ana mask\n\
+  \        mme =2\n\
+   ccw:    .its 0, buf$rdccw\n\
+   st:     .its 0, buf$rdst\n\
+   mask:   .word 131071\n"
+
+let buf_source =
+  "rdccw:  .its 0, data\n\
+   rdst:   .word 8            ; direction read, count 8\n\
+   wrccw:  .its 0, data\n\
+   wrst:   .word 131080       ; direction write (bit 17), count 8\n\
+   data:   .zero 8\n"
+
+let build ~program =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"prog"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:0 ~callable_from:0 ()))
+    program;
+  Os.Store.add_source store ~name:"buf"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:0 ~readable_to:4 ()))
+    buf_source;
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p [ "prog"; "buf" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  (match Os.Process.start p ~segment:"prog" ~entry:"start" ~ring:0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start: %s" e);
+  p
+
+let test_read_transfer () =
+  let p = build ~program:read_program in
+  Os.Device.feed p.Os.Process.typewriter "hi!";
+  (match Os.Kernel.run ~max_instructions:10_000 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e);
+  Alcotest.(check int) "transferred count in A" 3
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+  let read i =
+    match
+      Os.Process.address_of p ~segment:"buf" ~symbol:"data"
+      |> Option.map (fun a -> Hw.Addr.offset a i)
+    with
+    | Some addr -> (
+        match Os.Process.kread p addr with Ok v -> v | Error _ -> -1)
+    | None -> -1
+  in
+  Alcotest.(check int) "first char" (Char.code 'h') (read 0);
+  Alcotest.(check int) "third char" (Char.code '!') (read 2)
+
+let test_write_transfer () =
+  let program =
+    "start:  siot ccw,*\n\
+     poll:   lda st,*\n\
+    \        tpl poll\n\
+    \        mme =2\n\
+     ccw:    .its 0, buf$wrccw\n\
+     st:     .its 0, buf$wrst\n"
+  in
+  let p = build ~program in
+  (* Pre-fill the buffer with "SOS     " via the kernel. *)
+  let data = Option.get (Os.Process.address_of p ~segment:"buf" ~symbol:"data") in
+  List.iteri
+    (fun i c ->
+      match Os.Process.kwrite p (Hw.Addr.offset data i) (Char.code c) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ 'S'; 'O'; 'S'; ' '; ' '; ' '; ' '; ' ' ];
+  (match Os.Kernel.run ~max_instructions:10_000 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e);
+  Alcotest.(check string) "device printed" "SOS     "
+    (Os.Device.output_text p.Os.Process.typewriter)
+
+let test_siot_privileged () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"prog"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  siot 0\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "prog" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"prog" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Kernel.run ~max_instructions:100 p with
+  | Os.Kernel.Terminated (Rings.Fault.Privileged_instruction _) -> ()
+  | e -> Alcotest.failf "expected privileged fault, got %a" Os.Kernel.pp_exit e
+
+let test_device_basics () =
+  let d = Os.Device.create () in
+  Os.Device.feed d "ab";
+  Alcotest.(check int) "pending" 2 (Os.Device.pending_input d);
+  Alcotest.(check (list int))
+    "read available clamps" [ 97; 98 ]
+    (Os.Device.read_available d ~max:5);
+  Alcotest.(check int) "drained" 0 (Os.Device.pending_input d);
+  Os.Device.write d [ 72; 73; 7 ];
+  Alcotest.(check string) "output with non-printable" "HI?"
+    (Os.Device.output_text d)
+
+(* Channel error path: a CCW whose buffer runs off the end of its
+   segment is a kernel-reported error, not silent corruption. *)
+let test_transfer_beyond_bound () =
+  let program =
+    "start:  siot ccw,*\n\
+     spin:   tra spin\n\
+     ccw:    .its 0, buf$badccw\n"
+  in
+  let buf =
+    "badccw: .its 0, 11, 30    ; 2 words from the end...\n\
+     badst:  .word 131080      ; ...but write 8\n"
+  in
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"prog"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:0 ~callable_from:0 ()))
+    program;
+  Os.Store.add_source store ~name:"buf"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:0 ~readable_to:4 ()))
+    (buf ^ ".org 31\n.word 0\n");
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p [ "prog"; "buf" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"prog" ~entry:"start" ~ring:0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Kernel.run ~max_instructions:10_000 p with
+  | Os.Kernel.Gatekeeper_error _ -> ()
+  | e -> Alcotest.failf "expected kernel error, got %a" Os.Kernel.pp_exit e
+
+(* Two successive transfers through the same channel. *)
+let test_back_to_back_transfers () =
+  let program =
+    "start:  siot ccw,*\n\
+     p1:     lda st,*\n\
+    \        tpl p1\n\
+    \        siot ccw2,*\n\
+     p2:     lda st2,*\n\
+    \        tpl p2\n\
+    \        mme =2\n\
+     ccw:    .its 0, buf$rdccw\n\
+     st:     .its 0, buf$rdst\n\
+     ccw2:   .its 0, buf$wrccw\n\
+     st2:    .its 0, buf$wrst\n"
+  in
+  let p = build ~program in
+  Os.Device.feed p.Os.Process.typewriter "ok";
+  (match Os.Kernel.run ~max_instructions:10_000 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e);
+  (* The write echoed the buffer, whose first two words now hold the
+     read characters. *)
+  let out = Os.Device.output_text p.Os.Process.typewriter in
+  Alcotest.(check int) "eight words written" 8 (String.length out);
+  Alcotest.(check string) "echo" "ok" (String.sub out 0 2)
+
+let suite =
+  [
+    ( "io",
+      [
+        Alcotest.test_case "read transfer" `Quick test_read_transfer;
+        Alcotest.test_case "write transfer" `Quick test_write_transfer;
+        Alcotest.test_case "siot privileged" `Quick test_siot_privileged;
+        Alcotest.test_case "device basics" `Quick test_device_basics;
+        Alcotest.test_case "transfer beyond bound" `Quick
+          test_transfer_beyond_bound;
+        Alcotest.test_case "back-to-back transfers" `Quick
+          test_back_to_back_transfers;
+      ] );
+  ]
+

@@ -1,0 +1,312 @@
+(* ACLs, the segment store, and the process loader. *)
+
+let access_rw =
+  Rings.Access.data_segment ~writable_to:4 ~readable_to:5 ()
+
+let access_ro = Rings.Access.data_segment ~write:false ~writable_to:0 ~readable_to:7 ()
+
+(* Acl *)
+
+let test_acl_exact_and_wildcard () =
+  let acl =
+    Os.Acl.of_entries
+      [
+        { Os.Acl.user = "alice"; access = access_rw };
+        { Os.Acl.user = Os.Acl.wildcard; access = access_ro };
+      ]
+  in
+  (match Os.Acl.check acl ~user:"alice" with
+  | Some a -> Alcotest.(check bool) "alice gets rw" true a.Rings.Access.write
+  | None -> Alcotest.fail "alice denied");
+  (match Os.Acl.check acl ~user:"bob" with
+  | Some a ->
+      Alcotest.(check bool) "bob falls to wildcard" false
+        a.Rings.Access.write
+  | None -> Alcotest.fail "bob denied");
+  let closed = Os.Acl.of_entries [ { Os.Acl.user = "alice"; access = access_rw } ] in
+  Alcotest.(check bool)
+    "no wildcard: bob denied" true
+    (Os.Acl.check closed ~user:"bob" = None)
+
+let test_acl_later_entries_shadow () =
+  let acl =
+    Os.Acl.of_entries
+      [
+        { Os.Acl.user = "alice"; access = access_ro };
+        { Os.Acl.user = "alice"; access = access_rw };
+      ]
+  in
+  match Os.Acl.check acl ~user:"alice" with
+  | Some a -> Alcotest.(check bool) "latest wins" true a.Rings.Access.write
+  | None -> Alcotest.fail "alice denied"
+
+let test_acl_ring_constraint () =
+  (* A program in ring 4 cannot grant brackets below ring 4. *)
+  let entry =
+    {
+      Os.Acl.user = "bob";
+      access = Rings.Access.data_segment ~writable_to:2 ~readable_to:5 ();
+    }
+  in
+  (match Os.Acl.set_entry Os.Acl.empty ~acting_ring:(Rings.Ring.v 4) entry with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bracket below acting ring accepted");
+  match Os.Acl.set_entry Os.Acl.empty ~acting_ring:(Rings.Ring.v 2) entry with
+  | Ok acl ->
+      Alcotest.(check bool)
+        "entry landed" true
+        (Os.Acl.check acl ~user:"bob" <> None)
+  | Error e -> Alcotest.fail e
+
+(* Store *)
+
+let test_store_basics () =
+  let store = Os.Store.create () in
+  Os.Store.add_data store ~name:"d" ~acl:[] ~words:[| 1; 2 |];
+  Os.Store.add_source store ~name:"s" ~acl:[] "start: nop\n";
+  Alcotest.(check (list string)) "names" [ "d"; "s" ] (Os.Store.names store);
+  Alcotest.(check bool) "find" true (Os.Store.find store "d" <> None);
+  Alcotest.(check bool) "missing" true (Os.Store.find store "x" = None);
+  try
+    Os.Store.add_data store ~name:"d" ~acl:[] ~words:[||];
+    Alcotest.fail "duplicate accepted"
+  with Invalid_argument _ -> ()
+
+let test_store_set_acl () =
+  let store = Os.Store.create () in
+  Os.Store.add_data store ~name:"d" ~acl:[] ~words:[||];
+  (match
+     Os.Store.set_acl store ~name:"d"
+       (Os.Acl.of_entries [ { Os.Acl.user = "eve"; access = access_ro } ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Store.find store "d" with
+  | Some seg ->
+      Alcotest.(check bool)
+        "eve now listed" true
+        (Os.Acl.check seg.Os.Store.acl ~user:"eve" <> None)
+  | None -> Alcotest.fail "segment lost"
+
+(* Process *)
+
+let wildcard_acl access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let make_process ?(user = "alice") segs =
+  let store = Os.Store.create () in
+  List.iter
+    (fun (name, acl, body) ->
+      match body with
+      | `Source src -> Os.Store.add_source store ~name ~acl src
+      | `Data words -> Os.Store.add_data store ~name ~acl ~words)
+    segs;
+  Os.Process.create ~store ~user ()
+
+let test_process_layout () =
+  let p = make_process [] in
+  (* Stacks 0-7, comm at 8, return gate at 9, users from 10. *)
+  Alcotest.(check int) "comm segno" 8 p.Os.Process.comm_segno;
+  Alcotest.(check int) "retgate segno" 9 p.Os.Process.retgate_segno;
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt p.Os.Process.ring_data r with
+      | Some a ->
+          Alcotest.(check int)
+            (Printf.sprintf "stack %d write top" r)
+            r
+            (Rings.Ring.to_int
+               (Rings.Brackets.write_bracket_top a.Rings.Access.brackets))
+      | None -> Alcotest.failf "stack %d missing" r)
+    [ 0; 3; 7 ]
+
+let test_acl_denies_load () =
+  let p =
+    make_process
+      [
+        ( "secret",
+          [ { Os.Acl.user = "root"; access = access_rw } ],
+          `Data [| 1 |] );
+      ]
+  in
+  match Os.Process.add_segment p "secret" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions the user" true
+        (String.length msg > 0)
+  | Ok () -> Alcotest.fail "ACL did not deny"
+
+let test_unknown_segment () =
+  let p = make_process [] in
+  match Os.Process.add_segment p "ghost" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown segment loaded"
+
+let test_cross_references () =
+  (* Two sources referencing each other both ways. *)
+  let p =
+    make_process
+      [
+        ( "a",
+          wildcard_acl (Fixtures.code_ring 4),
+          `Source "start: tra lnk,*\nlnk: .its 0, b$tgt\n" );
+        ( "b",
+          wildcard_acl (Fixtures.code_ring 4),
+          `Source "tgt: tra back,*\nback: .its 0, a$start\n" );
+      ]
+  in
+  (match Os.Process.add_segments p [ "a"; "b" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    ( Os.Process.address_of p ~segment:"a" ~symbol:"start",
+      Os.Process.address_of p ~segment:"b" ~symbol:"tgt" )
+  with
+  | Some a, Some b ->
+      Alcotest.(check bool) "distinct segments" true
+        (a.Hw.Addr.segno <> b.Hw.Addr.segno)
+  | _ -> Alcotest.fail "symbols missing"
+
+let test_assembly_error_reported () =
+  let p =
+    make_process
+      [ ("bad", wildcard_acl (Fixtures.code_ring 4), `Source "zap zap\n") ]
+  in
+  match Os.Process.add_segment p "bad" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad source loaded"
+
+let test_gates_from_body () =
+  let p =
+    make_process
+      [
+        ( "g",
+          wildcard_acl
+            (Rings.Access.procedure_segment ~execute_in:1 ~callable_from:5
+               ()),
+          `Source "e: .gate impl\nimpl: nop\n" );
+      ]
+  in
+  (match Os.Process.add_segment p "g" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let segno = Option.get (Os.Process.segno_of p "g") in
+  match Hashtbl.find_opt p.Os.Process.ring_data segno with
+  | Some a -> Alcotest.(check int) "gate count merged" 1 a.Rings.Access.gates
+  | None -> Alcotest.fail "ring data missing"
+
+let test_kread_kwrite () =
+  let p =
+    make_process
+      [ ("d", wildcard_acl access_rw, `Data [| 5; 6 |]) ]
+  in
+  (match Os.Process.add_segment p "d" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let segno = Option.get (Os.Process.segno_of p "d") in
+  let addr = Hw.Addr.v ~segno ~wordno:1 in
+  (match Os.Process.kread p addr with
+  | Ok v -> Alcotest.(check int) "read" 6 v
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.kwrite p addr 99 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.kread p addr with
+  | Ok v -> Alcotest.(check int) "wrote" 99 v
+  | Error e -> Alcotest.fail e);
+  match Os.Process.kread p (Hw.Addr.v ~segno:200 ~wordno:0) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "read of unknown segment"
+
+let test_crossing_stack () =
+  let p = make_process [] in
+  Alcotest.(check bool) "empty pop" true (Os.Process.pop_crossing p = None);
+  let c =
+    {
+      Os.Process.kind = Os.Process.Inward;
+      saved = Hw.Registers.create ();
+      caller_ring = Rings.Ring.v 4;
+      callee_ring = Rings.Ring.v 1;
+      copy_back = [];
+    }
+  in
+  Os.Process.push_crossing p c;
+  Alcotest.(check bool) "popped" true (Os.Process.pop_crossing p = Some c);
+  Alcotest.(check bool) "empty again" true (Os.Process.pop_crossing p = None)
+
+let test_map_segment_duplicate_refused () =
+  let p =
+    make_process [ ("d", wildcard_acl access_rw, `Data [| 1 |]) ]
+  in
+  (match Os.Process.add_segment p "d" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Os.Process.map_segment p ~name:"d" ~base:4096 ~bound:16
+      ~access:access_rw ~symbols:[]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate mapping accepted"
+
+let test_pp_layout () =
+  let p =
+    make_process [ ("d", wildcard_acl access_rw, `Data [| 1 |]) ]
+  in
+  (match Os.Process.add_segment p "d" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let s = Format.asprintf "%a" Os.Process.pp_layout p in
+  let has needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names the user segment" true (has "d");
+  Alcotest.(check bool) "names the stacks" true (has "stack ring 0");
+  Alcotest.(check bool) "names the return gate" true (has "return gate")
+
+let test_assemble_listing_renders () =
+  let src = "start:  lda =1\n        mme =2\n" in
+  match Asm.Assemble.assemble src with
+  | Error _ -> Alcotest.fail "assembly failed"
+  | Ok prog ->
+      let l = Asm.Assemble.listing src prog in
+      Alcotest.(check bool) "mentions symbols" true
+        (String.length l > 0
+        &&
+        let has needle =
+          let n = String.length needle and h = String.length l in
+          let rec go i =
+            i + n <= h && (String.sub l i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        has "start" && has "words")
+
+let suite =
+  [
+    ( "os",
+      [
+        Alcotest.test_case "acl exact and wildcard" `Quick
+          test_acl_exact_and_wildcard;
+        Alcotest.test_case "acl shadowing" `Quick
+          test_acl_later_entries_shadow;
+        Alcotest.test_case "acl ring constraint" `Quick
+          test_acl_ring_constraint;
+        Alcotest.test_case "store basics" `Quick test_store_basics;
+        Alcotest.test_case "store set_acl" `Quick test_store_set_acl;
+        Alcotest.test_case "process layout" `Quick test_process_layout;
+        Alcotest.test_case "acl denies load" `Quick test_acl_denies_load;
+        Alcotest.test_case "unknown segment" `Quick test_unknown_segment;
+        Alcotest.test_case "cross references" `Quick test_cross_references;
+        Alcotest.test_case "assembly error reported" `Quick
+          test_assembly_error_reported;
+        Alcotest.test_case "gates from body" `Quick test_gates_from_body;
+        Alcotest.test_case "kread/kwrite" `Quick test_kread_kwrite;
+        Alcotest.test_case "crossing stack" `Quick test_crossing_stack;
+        Alcotest.test_case "map_segment duplicate refused" `Quick
+          test_map_segment_duplicate_refused;
+        Alcotest.test_case "pp_layout" `Quick test_pp_layout;
+        Alcotest.test_case "assemble listing renders" `Quick
+          test_assemble_listing_renders;
+      ] );
+  ]
+

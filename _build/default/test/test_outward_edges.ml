@@ -1,0 +1,132 @@
+(* Edge behaviour of the outward-call emulation: nesting limits,
+   argument-count clamping, and recursion through the upward path. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* A ring-1 program that upward-calls a ring-4 procedure which in turn
+   upward-calls a ring-6 procedure: two nested outward records. *)
+let test_nested_upward_calls () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"bottom"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:1 ~callable_from:1 ()))
+    "start:  eap pr1, ret\n\
+    \        spr pr1, pr6|1\n\
+    \        lda =0\n\
+    \        sta pr6|2\n\
+    \        eap pr2, pr6|2\n\
+    \        call up1,*\n\
+     ret:    mme =2\n\
+     up1:    .its 0, mid$entry\n";
+  Os.Store.add_source store ~name:"mid"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~gates:1 ~execute_in:4
+            ~callable_from:4 ()))
+    (* Standard prologue; itself upward-calls the top layer. *)
+    "entry:  .gate impl\n\
+     impl:   eap pr5, pr0|0,*\n\
+    \        spr pr6, pr5|0\n\
+    \        eap pr6, pr5|0\n\
+    \        spr pr0, pr6|2\n\
+    \        eap pr1, pr6|8\n\
+    \        spr pr1, pr0|0\n\
+    \        eap pr1, ret1\n\
+    \        spr pr1, pr6|1\n\
+    \        lda =0\n\
+    \        sta pr6|3\n\
+    \        eap pr2, pr6|3\n\
+    \        call up2,*\n\
+     ret1:   ada =100\n\
+    \        eap pr0, pr6|2,*\n\
+    \        spr pr6, pr0|0\n\
+    \        eap pr6, pr6|0,*\n\
+    \        retn pr6|1,*\n\
+     up2:    .its 0, top$entry\n";
+  Os.Store.add_source store ~name:"top"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~gates:1 ~execute_in:6
+            ~callable_from:6 ()))
+    "entry:  .gate impl\n\
+     impl:   eap pr5, pr0|0,*\n\
+    \        spr pr6, pr5|0\n\
+    \        eap pr6, pr5|0\n\
+    \        eap pr1, pr6|8\n\
+    \        spr pr1, pr0|0\n\
+    \        lda =7\n\
+    \        spr pr6, pr0|0\n\
+    \        eap pr6, pr6|0,*\n\
+    \        retn pr6|1,*\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p [ "bottom"; "mid"; "top" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  (match Os.Process.start p ~segment:"bottom" ~entry:"start" ~ring:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start: %s" e);
+  (match Os.Kernel.run ~max_instructions:100_000 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e);
+  Alcotest.(check int) "value accumulated through both layers" 107
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+  let s =
+    Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters
+  in
+  Alcotest.(check int) "two upward calls" 2 s.Trace.Counters.calls_upward;
+  Alcotest.(check int) "two downward returns" 2
+    s.Trace.Counters.returns_downward;
+  Alcotest.(check bool) "crossing stack fully unwound" true
+    (p.Os.Process.crossings = [])
+
+(* A bogus argument count (huge word) is clamped to an empty list
+   rather than driving the gatekeeper into the weeds. *)
+let test_bogus_argument_count () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"caller"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:1 ~callable_from:1 ()))
+    (* PR2 points at a word holding a giant value. *)
+    "start:  eap pr1, ret\n\
+    \        spr pr1, pr6|1\n\
+    \        lda huge,*\n\
+    \        sta pr6|2\n\
+    \        eap pr2, pr6|2\n\
+    \        call up,*\n\
+     ret:    mme =2\n\
+     up:     .its 0, svc$entry\n\
+     huge:   .its 0, junk$big\n";
+  Os.Store.add_source store ~name:"junk"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ()))
+    "big:    .word 99999\n";
+  Os.Store.add_source store ~name:"svc"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~gates:1 ~execute_in:4
+            ~callable_from:4 ()))
+    (Os.Scenario.callee_source ());
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p [ "caller"; "junk"; "svc" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"caller" ~entry:"start" ~ring:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Kernel.run ~max_instructions:100_000 p with
+  | Os.Kernel.Exited ->
+      Alcotest.(check int) "service still ran" 42
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+  | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e
+
+let suite =
+  [
+    ( "outward-edges",
+      [
+        Alcotest.test_case "nested upward calls" `Quick
+          test_nested_upward_calls;
+        Alcotest.test_case "bogus argument count" `Quick
+          test_bogus_argument_count;
+      ] );
+  ]

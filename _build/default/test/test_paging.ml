@@ -1,0 +1,213 @@
+(* Demand paging: "totally transparent to an executing machine
+   language program" and "need not affect access control". *)
+
+let paged_config ?(frame_pool = 64) () =
+  { Os.Scenario.default_config with Os.Scenario.paged = true; frame_pool }
+
+let exit_testable = Alcotest.testable Os.Kernel.pp_exit ( = )
+
+let snapshot p =
+  Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters
+
+(* PTW codec. *)
+let test_ptw_codec () =
+  let ptw = { Hw.Paging.present = true; frame_base = 0o1234560 } in
+  Alcotest.(check bool)
+    "round trip" true
+    (Hw.Paging.decode_ptw (Hw.Paging.encode_ptw ptw) = ptw);
+  Alcotest.(check bool)
+    "absent round trip" true
+    (Hw.Paging.decode_ptw (Hw.Paging.encode_ptw Hw.Paging.absent_ptw)
+    = Hw.Paging.absent_ptw);
+  Alcotest.(check bool)
+    "zero word is absent" true
+    (not (Hw.Paging.decode_ptw 0).Hw.Paging.present)
+
+let test_page_arithmetic () =
+  Alcotest.(check int) "page size" 1024 Hw.Paging.page_size;
+  Alcotest.(check int) "page of 1023" 0 (Hw.Paging.page_of_wordno 1023);
+  Alcotest.(check int) "page of 1024" 1 (Hw.Paging.page_of_wordno 1024);
+  Alcotest.(check int) "offset" 5 (Hw.Paging.offset_in_page 1029);
+  Alcotest.(check int) "pages of 16" 1 (Hw.Paging.pages_of_bound 16);
+  Alcotest.(check int) "pages of 1025" 2 (Hw.Paging.pages_of_bound 1025)
+
+(* Transparency: the crossing scenario produces identical results and
+   crossing classification with and without paging; only page faults
+   and cycles differ. *)
+let test_transparency () =
+  let run config =
+    match
+      Os.Scenario.crossing ~config ~iterations:3 ~with_argument:true ()
+    with
+    | Error e -> Alcotest.failf "build: %s" e
+    | Ok p ->
+        let exit = Os.Kernel.run ~max_instructions:200_000 p in
+        let arg =
+          match Os.Process.address_of p ~segment:"data" ~symbol:"word0" with
+          | Some addr -> (
+              match Os.Process.kread p addr with Ok v -> v | Error _ -> -1)
+          | None -> -1
+        in
+        (exit, p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a, arg,
+         snapshot p)
+  in
+  let e1, a1, arg1, s1 = run Os.Scenario.default_config in
+  let e2, a2, arg2, s2 = run (paged_config ()) in
+  Alcotest.check exit_testable "exit agrees" e1 e2;
+  Alcotest.(check int) "A agrees" a1 a2;
+  Alcotest.(check int) "argument effect agrees" arg1 arg2;
+  Alcotest.(check int) "crossings agree"
+    s1.Trace.Counters.calls_downward s2.Trace.Counters.calls_downward;
+  Alcotest.(check int) "unpaged run: no page faults" 0
+    s1.Trace.Counters.page_faults;
+  Alcotest.(check bool) "paged run: page faults happened" true
+    (s2.Trace.Counters.page_faults > 0);
+  Alcotest.(check bool) "paged run: PTW fetches happened" true
+    (s2.Trace.Counters.ptw_fetches > 0)
+
+(* Access control under paging: the direct-read attack is refused
+   identically. *)
+let test_access_control_unchanged () =
+  let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ] in
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"snoop"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  lda cell,*\n        mme =2\ncell:   .its 0, secret$word\n";
+  Os.Store.add_source store ~name:"secret"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ()))
+    "word:   .word 5\n";
+  let p = Os.Process.create ~paged:true ~store ~user:"mallory" () in
+  (match Os.Process.add_segments p [ "snoop"; "secret" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"snoop" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Kernel.run ~max_instructions:10_000 p with
+  | Os.Kernel.Terminated (Rings.Fault.Read_bracket_violation _) -> ()
+  | e -> Alcotest.failf "expected violation, got %a" Os.Kernel.pp_exit e
+
+(* A tiny frame pool forces eviction; results stay correct and
+   evictions are counted.  The program walks a 4-page data segment
+   twice, adding all words. *)
+let test_eviction () =
+  let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ] in
+  let store = Os.Store.create () in
+  (* data: 4 pages; word p*1024 holds p+1.  Written via .org. *)
+  let data =
+    "page0:  .word 1\n.org 1024\n.word 2\n.org 2048\n.word 3\n\
+     .org 3072\n.word 4\n.org 4095\n.word 0\n"
+  in
+  Os.Store.add_source store ~name:"data"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    data;
+  (* Sum the four page-leading words, twice; expect 2*(1+2+3+4)=20.
+     Also increment word 0 each pass so write-back is exercised. *)
+  Os.Store.add_source store ~name:"walker"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  lda =0\n\
+    \        sta pr6|3          ; sum\n\
+    \        lda =2\n\
+    \        sta pr6|5          ; passes\n\
+     pass:   lda pr6|3\n\
+    \        ada p0,*\n\
+    \        ada p1,*\n\
+    \        ada p2,*\n\
+    \        ada p3,*\n\
+    \        sta pr6|3\n\
+    \        aos p0,*           ; dirty page 0\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz pass\n\
+    \        lda pr6|3\n\
+    \        mme =2\n\
+     p0:     .its 0, data$page0\n\
+     p1:     .its 0, 11, 1024\n\
+     p2:     .its 0, 11, 2048\n\
+     p3:     .its 0, 11, 3072\n";
+  (* data is segno 11 (walker is 10), used by the absolute ITS words. *)
+  let p =
+    Os.Process.create ~paged:true ~frame_pool:2 ~store ~user:"alice" ()
+  in
+  match Os.Process.add_segments p [ "walker"; "data" ] with
+  | Error e -> Alcotest.fail e
+  | Ok () -> (
+      (match Os.Process.start p ~segment:"walker" ~entry:"start" ~ring:4 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      match Os.Kernel.run ~max_instructions:100_000 p with
+      | Os.Kernel.Exited ->
+          (* First pass: 1+2+3+4; second pass: word0 became 2, so
+             2+2+3+4.  Total 21. *)
+          Alcotest.(check int) "sum across evictions" 21
+            p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+          let s = snapshot p in
+          Alcotest.(check bool) "evictions happened" true
+            (s.Trace.Counters.page_evictions > 0);
+          Alcotest.(check bool) "more faults than pages" true
+            (s.Trace.Counters.page_faults > 5)
+      | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e)
+
+(* Kernel access (kread/kwrite) reaches paged segments whether or not
+   the page is resident. *)
+let test_kernel_access_paged () =
+  let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ] in
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"data"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "w:      .word 9\n";
+  let p = Os.Process.create ~paged:true ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "data" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let addr = Option.get (Os.Process.address_of p ~segment:"data" ~symbol:"w") in
+  (* Not resident yet: served from the backing image. *)
+  (match Os.Process.kread p addr with
+  | Ok v -> Alcotest.(check int) "backing read" 9 v
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.kwrite p addr 11 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Fault the page in, then read through the frame. *)
+  let segno = Option.get (Os.Process.segno_of p "data") in
+  (match Os.Process.handle_page_fault p ~segno ~pageno:0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Process.kread p addr with
+  | Ok v -> Alcotest.(check int) "frame read sees the write" 11 v
+  | Error e -> Alcotest.fail e
+
+let test_page_fault_counted_not_violation () =
+  match Os.Scenario.crossing ~config:(paged_config ()) () with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      match Os.Kernel.run ~max_instructions:100_000 p with
+      | Os.Kernel.Exited ->
+          let s = snapshot p in
+          Alcotest.(check int) "no access violations" 0
+            s.Trace.Counters.access_violations;
+          Alcotest.(check bool) "page faults happened" true
+            (s.Trace.Counters.page_faults > 0)
+      | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e)
+
+let suite =
+  [
+    ( "paging",
+      [
+        Alcotest.test_case "PTW codec" `Quick test_ptw_codec;
+        Alcotest.test_case "page arithmetic" `Quick test_page_arithmetic;
+        Alcotest.test_case "transparency" `Quick test_transparency;
+        Alcotest.test_case "access control unchanged" `Quick
+          test_access_control_unchanged;
+        Alcotest.test_case "eviction" `Quick test_eviction;
+        Alcotest.test_case "kernel access to paged segments" `Quick
+          test_kernel_access_paged;
+        Alcotest.test_case "page faults are not violations" `Quick
+          test_page_fault_counted_not_violation;
+      ] );
+  ]

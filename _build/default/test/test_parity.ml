@@ -1,0 +1,185 @@
+(* Protection parity: the key attacks are refused under the 645
+   software baseline too - by the per-ring descriptor segments and the
+   gatekeeper instead of bracket hardware - and the simulator's cycle
+   accounting is deterministic run to run. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let run_sw segs ~start ~ring =
+  let store = Os.Store.create () in
+  List.iter
+    (fun (name, acl, src) -> Os.Store.add_source store ~name ~acl src)
+    segs;
+  let p =
+    Os.Process.create ~mode:Isa.Machine.Ring_software_645 ~store
+      ~user:"mallory" ()
+  in
+  (match Os.Process.add_segments p (List.map (fun (n, _, _) -> n) segs) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  (match Os.Process.start p ~segment:start ~entry:"start" ~ring with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start: %s" e);
+  Os.Kernel.run ~max_instructions:10_000 p
+
+(* The forged-pointer read of supervisor data: under the 645 the
+   per-ring descriptor segment simply carries no read flag for the
+   secret at ring 4. *)
+let test_645_forged_pointer_refused () =
+  match
+    run_sw
+      [
+        ( "attacker",
+          wildcard
+            (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()),
+          "start:  lda forged,*\n\
+          \        mme =2\n\
+           forged: .its 0, secret$cell\n" );
+        ( "secret",
+          wildcard (Rings.Access.data_segment ~writable_to:0 ~readable_to:0 ()),
+          "cell:  .word 777\n" );
+      ]
+      ~start:"attacker" ~ring:4
+  with
+  | Os.Kernel.Terminated Rings.Fault.No_read_permission -> ()
+  | e -> Alcotest.failf "expected refusal, got %a" Os.Kernel.pp_exit e
+
+(* Gate bypass under the 645: the gatekeeper applies the Fig. 8 rules
+   from its tables. *)
+let test_645_gate_bypass_refused () =
+  match
+    run_sw
+      [
+        ( "caller",
+          wildcard
+            (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()),
+          "start:  call lnk,*\n\
+          \        mme =2\n\
+           lnk:    .its 0, service$impl\n" );
+        ( "service",
+          wildcard
+            (Rings.Access.procedure_segment ~gates:1 ~execute_in:1
+               ~callable_from:5 ()),
+          Os.Scenario.callee_source () );
+      ]
+      ~start:"caller" ~ring:4
+  with
+  | Os.Kernel.Gatekeeper_error _ -> ()
+  | e -> Alcotest.failf "expected gatekeeper refusal, got %a"
+           Os.Kernel.pp_exit e
+
+(* Ring 6 cannot reach the supervisor gates under the 645 either. *)
+let test_645_ring6_sealed () =
+  match
+    run_sw
+      [
+        ( "caller",
+          wildcard
+            (Rings.Access.procedure_segment ~execute_in:6 ~callable_from:6 ()),
+          "start:  call lnk,*\n\
+          \        mme =2\n\
+           lnk:    .its 0, service$entry\n" );
+        ( "service",
+          wildcard
+            (Rings.Access.procedure_segment ~gates:1 ~execute_in:1
+               ~callable_from:5 ()),
+          Os.Scenario.callee_source () );
+      ]
+      ~start:"caller" ~ring:6
+  with
+  | Os.Kernel.Gatekeeper_error _ -> ()
+  | e -> Alcotest.failf "expected refusal, got %a" Os.Kernel.pp_exit e
+
+(* Determinism: identical runs yield identical counters - the property
+   that makes the cycle model a reproducible experiment substrate. *)
+let test_deterministic_accounting () =
+  let snapshot () =
+    match
+      Os.Scenario.crossing ~iterations:7 ~with_argument:true ()
+    with
+    | Error e -> Alcotest.failf "build: %s" e
+    | Ok p -> (
+        match Os.Kernel.run ~max_instructions:200_000 p with
+        | Os.Kernel.Exited ->
+            Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters
+        | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e)
+  in
+  let a = snapshot () and b = snapshot () in
+  Alcotest.(check bool) "identical counters" true (a = b)
+
+(* Loading many segments: the virtual memory scales to the descriptor
+   segment bound. *)
+let test_many_segments () =
+  let store = Os.Store.create () in
+  let names =
+    List.init 120 (fun i ->
+        let name = Printf.sprintf "seg%03d" i in
+        Os.Store.add_source store ~name
+          ~acl:
+            (wildcard
+               (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+          (Printf.sprintf "w: .word %d\n" i);
+        name)
+  in
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p names with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  List.iteri
+    (fun i name ->
+      let addr =
+        Option.get (Os.Process.address_of p ~segment:name ~symbol:"w")
+      in
+      match Os.Process.kread p addr with
+      | Ok v -> Alcotest.(check int) name i v
+      | Error e -> Alcotest.fail e)
+    names
+
+(* System-level determinism: multiplexed runs are reproducible too. *)
+let test_system_deterministic () =
+  let run () =
+    let store = Os.Store.create () in
+    Os.Store.add_source store ~name:"a" ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+      "start: lda =9\n       sta pr6|5\nloop: aos c,*\n      lda pr6|5\n      sba =1\n      sta pr6|5\n      tnz loop\n      mme =2\nc: .its 0, shared$v\n";
+    Os.Store.add_source store ~name:"b" ~acl:(wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+      "start: mme =5\n       mme =5\n       mme =2\n";
+    Os.Store.add_source store ~name:"shared"
+      ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+      "v: .word 0\n";
+    let t = Os.System.create ~store () in
+    (match
+       Os.System.spawn t ~pname:"a" ~user:"u" ~segments:[ "a"; "shared" ]
+         ~start:("a", "start") ~ring:4
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    (match
+       Os.System.spawn t ~pname:"b" ~user:"u" ~segments:[ "b" ]
+         ~start:("b", "start") ~ring:4
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    let exits = Os.System.run ~quantum:7 t in
+    ( exits,
+      Trace.Counters.snapshot (Os.System.machine t).Isa.Machine.counters )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical" true (a = b)
+
+let suite =
+  [
+    ( "parity",
+      [
+        Alcotest.test_case "645 forged pointer refused" `Quick
+          test_645_forged_pointer_refused;
+        Alcotest.test_case "645 gate bypass refused" `Quick
+          test_645_gate_bypass_refused;
+        Alcotest.test_case "645 ring 6 sealed" `Quick test_645_ring6_sealed;
+        Alcotest.test_case "deterministic accounting" `Quick
+          test_deterministic_accounting;
+        Alcotest.test_case "many segments" `Quick test_many_segments;
+        Alcotest.test_case "system determinism" `Quick
+          test_system_deterministic;
+      ] );
+  ]
+

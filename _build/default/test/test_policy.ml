@@ -1,0 +1,192 @@
+(* The validation rules of Figs. 4, 6 and 7, including regenerating
+   the paper's Fig. 1 and Fig. 2 access matrices as unit tests. *)
+
+let eff ring = Rings.Effective_ring.start (Rings.Ring.v ring)
+let r = Rings.Ring.v
+let ok = Result.is_ok
+
+(* Fig. 1: writable data segment, R flag on, W flag on, E flag off,
+   write bracket 0-4, read bracket 0-5. *)
+let fig1 =
+  Rings.Access.data_segment ~writable_to:4 ~readable_to:5 ()
+
+(* Fig. 2: pure procedure with gates: R on, W off, E on, brackets
+   (3,4,6), two gates. *)
+let fig2 =
+  Rings.Access.procedure_segment ~gates:2 ~execute_in:3 ~callable_from:6 ()
+  |> fun a ->
+  {
+    a with
+    Rings.Access.brackets = Rings.Brackets.of_ints 3 4 6;
+  }
+
+let test_fig1_matrix () =
+  List.iter
+    (fun ring ->
+      let can_read = ok (Rings.Policy.validate_read fig1 ~effective:(eff ring)) in
+      let can_write =
+        ok (Rings.Policy.validate_write fig1 ~effective:(eff ring))
+      in
+      let can_exec = ok (Rings.Policy.validate_fetch fig1 ~ring:(r ring)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "read ring %d" ring)
+        (ring <= 5) can_read;
+      Alcotest.(check bool)
+        (Printf.sprintf "write ring %d" ring)
+        (ring <= 4) can_write;
+      Alcotest.(check bool)
+        (Printf.sprintf "execute ring %d" ring)
+        false can_exec)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_fig2_matrix () =
+  List.iter
+    (fun ring ->
+      let can_read = ok (Rings.Policy.validate_read fig2 ~effective:(eff ring)) in
+      let can_write =
+        ok (Rings.Policy.validate_write fig2 ~effective:(eff ring))
+      in
+      let can_exec = ok (Rings.Policy.validate_fetch fig2 ~ring:(r ring)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "read ring %d" ring)
+        (ring <= 4) can_read;
+      Alcotest.(check bool)
+        (Printf.sprintf "write ring %d" ring)
+        false can_write;
+      Alcotest.(check bool)
+        (Printf.sprintf "execute ring %d" ring)
+        (ring >= 3 && ring <= 4)
+        can_exec)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_flag_off_faults () =
+  let none = Rings.Access.v (Rings.Brackets.of_ints 7 7 7) in
+  (match Rings.Policy.validate_read none ~effective:(eff 0) with
+  | Error Rings.Fault.No_read_permission -> ()
+  | _ -> Alcotest.fail "expected No_read_permission");
+  (match Rings.Policy.validate_write none ~effective:(eff 0) with
+  | Error Rings.Fault.No_write_permission -> ()
+  | _ -> Alcotest.fail "expected No_write_permission");
+  match Rings.Policy.validate_fetch none ~ring:(r 0) with
+  | Error Rings.Fault.No_execute_permission -> ()
+  | _ -> Alcotest.fail "expected No_execute_permission"
+
+let test_bracket_faults_carry_details () =
+  (match Rings.Policy.validate_read fig1 ~effective:(eff 6) with
+  | Error (Rings.Fault.Read_bracket_violation { effective; top }) ->
+      Alcotest.(check int) "effective" 6 (Rings.Ring.to_int effective);
+      Alcotest.(check int) "top" 5 (Rings.Ring.to_int top)
+  | _ -> Alcotest.fail "expected Read_bracket_violation");
+  match Rings.Policy.validate_fetch fig2 ~ring:(r 2) with
+  | Error (Rings.Fault.Execute_bracket_violation { ring; bottom; top }) ->
+      Alcotest.(check int) "ring" 2 (Rings.Ring.to_int ring);
+      Alcotest.(check int) "bottom" 3 (Rings.Ring.to_int bottom);
+      Alcotest.(check int) "top" 4 (Rings.Ring.to_int top)
+  | _ -> Alcotest.fail "expected Execute_bracket_violation"
+
+(* Fig. 7: ordinary transfers cannot change the ring. *)
+let test_transfer_ring_change () =
+  let effective =
+    Rings.Effective_ring.via_pointer_register (eff 3) ~pr_ring:(r 5)
+  in
+  match Rings.Policy.validate_transfer fig2 ~exec:(r 3) ~effective with
+  | Error (Rings.Fault.Transfer_ring_change { exec; effective }) ->
+      Alcotest.(check int) "exec" 3 (Rings.Ring.to_int exec);
+      Alcotest.(check int) "effective" 5 (Rings.Ring.to_int effective)
+  | _ -> Alcotest.fail "expected Transfer_ring_change"
+
+let test_transfer_ok_within_bracket () =
+  Alcotest.(check bool)
+    "transfer in bracket allowed" true
+    (ok (Rings.Policy.validate_transfer fig2 ~exec:(r 4) ~effective:(eff 4)))
+
+let test_transfer_fetch_check () =
+  match Rings.Policy.validate_transfer fig2 ~exec:(r 6) ~effective:(eff 6) with
+  | Error (Rings.Fault.Execute_bracket_violation _) -> ()
+  | _ -> Alcotest.fail "expected fetch check failure at ring 6"
+
+let test_privileged () =
+  Alcotest.(check bool)
+    "ring 0 may use privileged instructions" true
+    (ok (Rings.Policy.validate_privileged ~ring:Rings.Ring.r0));
+  match Rings.Policy.validate_privileged ~ring:(r 1) with
+  | Error (Rings.Fault.Privileged_instruction { ring }) ->
+      Alcotest.(check int) "faulting ring" 1 (Rings.Ring.to_int ring)
+  | _ -> Alcotest.fail "expected Privileged_instruction"
+
+let test_permitted_call_gate () =
+  List.iter
+    (fun (ring, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "call gate from ring %d" ring)
+        expected
+        (Rings.Policy.permitted fig2 ~ring:(r ring) Rings.Policy.Call_gate))
+    [ (0, false); (2, false); (3, true); (5, true); (6, true); (7, false) ]
+
+(* Nested subsets, via the policy itself: whatever a ring can do, all
+   more privileged rings can also do (given the same flags). *)
+let prop_nested_policy =
+  QCheck.Test.make ~name:"policy respects nested subsets" ~count:500
+    (QCheck.pair Gen.access (QCheck.int_range 1 7)) (fun (a, m) ->
+      let can cap ring = Rings.Policy.permitted a ~ring:(r ring) cap in
+      ((not (can Rings.Policy.Read m)) || can Rings.Policy.Read (m - 1))
+      && ((not (can Rings.Policy.Write m)) || can Rings.Policy.Write (m - 1)))
+
+(* The effective-ring monotonicity means weakening can only deny more:
+   if a read is denied at ring n it stays denied at any n' >= n. *)
+let prop_weakening_monotone =
+  QCheck.Test.make ~name:"weaker effective ring never gains access"
+    ~count:500
+    (QCheck.pair Gen.access (QCheck.pair Gen.ring Gen.ring))
+    (fun (a, (r1, r2)) ->
+      let lo = Rings.Ring.min r1 r2 and hi = Rings.Ring.max r1 r2 in
+      let okr ring =
+        Result.is_ok
+          (Rings.Policy.validate_read a
+             ~effective:(Rings.Effective_ring.start ring))
+      in
+      (not (okr hi)) || okr lo)
+
+let suite =
+  [
+    ( "policy",
+      [
+        Alcotest.test_case "fig 1 matrix" `Quick test_fig1_matrix;
+        Alcotest.test_case "fig 2 matrix" `Quick test_fig2_matrix;
+        Alcotest.test_case "flags off" `Quick test_flag_off_faults;
+        Alcotest.test_case "bracket fault details" `Quick
+          test_bracket_faults_carry_details;
+        Alcotest.test_case "transfer ring change" `Quick
+          test_transfer_ring_change;
+        Alcotest.test_case "transfer within bracket" `Quick
+          test_transfer_ok_within_bracket;
+        Alcotest.test_case "transfer fetch check" `Quick
+          test_transfer_fetch_check;
+        Alcotest.test_case "privileged" `Quick test_privileged;
+        Alcotest.test_case "call-gate capability" `Quick
+          test_permitted_call_gate;
+        QCheck_alcotest.to_alcotest prop_nested_policy;
+        QCheck_alcotest.to_alcotest prop_weakening_monotone;
+      ] );
+  ]
+
+(* [permitted] must agree with the validators it summarizes. *)
+let prop_permitted_consistent =
+  QCheck.Test.make ~name:"permitted agrees with the validators" ~count:500
+    (QCheck.pair Gen.access Gen.ring) (fun (a, ring) ->
+      Rings.Policy.permitted a ~ring Rings.Policy.Read
+      = Result.is_ok
+          (Rings.Policy.validate_read a
+             ~effective:(Rings.Effective_ring.start ring))
+      && Rings.Policy.permitted a ~ring Rings.Policy.Write
+         = Result.is_ok
+             (Rings.Policy.validate_write a
+                ~effective:(Rings.Effective_ring.start ring))
+      && Rings.Policy.permitted a ~ring Rings.Policy.Execute
+         = Result.is_ok (Rings.Policy.validate_fetch a ~ring))
+
+let suite =
+  match suite with
+  | [ (name, cases) ] ->
+      [ (name, cases @ [ QCheck_alcotest.to_alcotest prop_permitted_consistent ]) ]
+  | other -> other

@@ -1,0 +1,123 @@
+(* Smoke tests for every pretty-printer: rendering must not raise and
+   must produce non-empty text (format-string bugs surface here). *)
+
+let renders pp v =
+  let s = Format.asprintf "%a" pp v in
+  String.length s > 0
+
+let r = Rings.Ring.v
+
+let test_fault_printers () =
+  let faults =
+    [
+      Rings.Fault.No_read_permission;
+      Rings.Fault.No_write_permission;
+      Rings.Fault.No_execute_permission;
+      Rings.Fault.Read_bracket_violation { effective = r 5; top = r 2 };
+      Rings.Fault.Write_bracket_violation { effective = r 5; top = r 2 };
+      Rings.Fault.Execute_bracket_violation
+        { ring = r 5; bottom = r 1; top = r 2 };
+      Rings.Fault.Gate_violation { wordno = 3; gates = 1 };
+      Rings.Fault.Outside_gate_extension { effective = r 7; top = r 5 };
+      Rings.Fault.Upward_call
+        { from_ring = r 1; to_ring = r 4; segno = 10; wordno = 0 };
+      Rings.Fault.Effective_ring_raised { exec = r 1; effective = r 3 };
+      Rings.Fault.Downward_return { from_ring = r 4; to_ring = r 1 };
+      Rings.Fault.Transfer_ring_change { exec = r 1; effective = r 3 };
+      Rings.Fault.Privileged_instruction { ring = r 4 };
+      Rings.Fault.Missing_segment { segno = 9 };
+      Rings.Fault.Missing_page { segno = 9; pageno = 2 };
+      Rings.Fault.Bound_violation { segno = 9; wordno = 100; bound = 64 };
+      Rings.Fault.Illegal_opcode { word = 0o777 };
+      Rings.Fault.Cross_ring_transfer { segno = 9; wordno = 0 };
+      Rings.Fault.Halt_in_slave_ring { ring = r 4 };
+      Rings.Fault.Divide_by_zero;
+      Rings.Fault.Service_call { code = 2 };
+      Rings.Fault.Timer_runout;
+      Rings.Fault.Io_completion;
+    ]
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Rings.Fault.to_string f) true (renders Rings.Fault.pp f))
+    faults;
+  Alcotest.(check int) "all constructors covered" 23 (List.length faults)
+
+let test_structure_printers () =
+  Alcotest.(check bool) "ring" true (renders Rings.Ring.pp (r 3));
+  Alcotest.(check bool)
+    "brackets" true
+    (renders Rings.Brackets.pp (Rings.Brackets.of_ints 1 2 3));
+  Alcotest.(check bool)
+    "access" true
+    (renders Rings.Access.pp
+       (Rings.Access.data_segment ~writable_to:1 ~readable_to:2 ()));
+  Alcotest.(check bool)
+    "stack rule" true
+    (renders Rings.Stack_rule.pp Rings.Stack_rule.Dbr_stack_relative);
+  Alcotest.(check bool)
+    "addr" true
+    (renders Hw.Addr.pp (Hw.Addr.v ~segno:3 ~wordno:5));
+  Alcotest.(check bool) "word" true (renders Hw.Word.pp_octal 0o777);
+  Alcotest.(check bool)
+    "sdw" true
+    (renders Hw.Sdw.pp
+       (Hw.Sdw.v ~base:0 ~bound:16
+          (Rings.Access.data_segment ~writable_to:1 ~readable_to:2 ())));
+  Alcotest.(check bool)
+    "registers" true
+    (renders Hw.Registers.pp (Hw.Registers.create ()));
+  Alcotest.(check bool)
+    "effective ring" true
+    (renders Rings.Effective_ring.pp (Rings.Effective_ring.start (r 2)));
+  Alcotest.(check bool)
+    "indword" true
+    (renders Isa.Indword.pp (Isa.Indword.v ~ring:2 ~segno:3 ~wordno:4 ()))
+
+let test_instruction_printer_all_opcodes () =
+  List.iter
+    (fun op ->
+      let i = Isa.Instr.v ~base:(Isa.Instr.Pr 3) ~offset:5 ~xr:2 op in
+      Alcotest.(check bool) (Isa.Opcode.mnemonic op) true
+        (renders Isa.Instr.pp i))
+    Isa.Opcode.all
+
+let test_counter_printer () =
+  let c = Trace.Counters.create () in
+  Trace.Counters.charge c 3;
+  Alcotest.(check bool) "snapshot renders" true
+    (renders Trace.Counters.pp_snapshot (Trace.Counters.snapshot c))
+
+(* Fault codes are vector slots in the simulated-supervisor storage
+   format: pin them like opcodes. *)
+let test_fault_codes_pinned () =
+  let r = Rings.Ring.v in
+  List.iter
+    (fun (fault, code) ->
+      Alcotest.(check int) (Rings.Fault.to_string fault) code
+        (Rings.Fault.code fault))
+    [
+      (Rings.Fault.No_read_permission, 0);
+      (Rings.Fault.Privileged_instruction { ring = r 4 }, 12);
+      (Rings.Fault.Missing_page { segno = 1; pageno = 0 }, 14);
+      (Rings.Fault.Divide_by_zero, 19);
+      (Rings.Fault.Service_call { code = 2 }, 20);
+      (Rings.Fault.Timer_runout, 21);
+      (Rings.Fault.Io_completion, 22);
+    ]
+
+let suite =
+  [
+    ( "printers",
+      [
+        Alcotest.test_case "faults" `Quick test_fault_printers;
+        Alcotest.test_case "structures" `Quick test_structure_printers;
+        Alcotest.test_case "instructions, all opcodes" `Quick
+          test_instruction_printer_all_opcodes;
+        Alcotest.test_case "counters" `Quick test_counter_printer;
+        Alcotest.test_case "fault codes pinned" `Quick
+          test_fault_codes_pinned;
+      ] );
+  ]
+

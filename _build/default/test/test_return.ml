@@ -1,0 +1,94 @@
+(* The Fig. 9 RETURN decision procedure. *)
+
+let r = Rings.Ring.v
+let eff ring = Rings.Effective_ring.start (r ring)
+
+(* Caller code: a user procedure executing in ring 4. *)
+let user_seg =
+  Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()
+
+(* A library certified for rings 2-6. *)
+let wide_seg =
+  Rings.Access.v ~execute:true (Rings.Brackets.of_ints 2 6 6)
+
+let test_upward_return () =
+  match Rings.Return_op.validate user_seg ~exec:(r 1) ~effective:(eff 4) with
+  | Ok { Rings.Return_op.new_ring; crossing; maximize_pr_rings } ->
+      Alcotest.(check int) "new ring" 4 (Rings.Ring.to_int new_ring);
+      Alcotest.(check bool) "upward" true (crossing = Rings.Return_op.Upward);
+      Alcotest.(check bool) "maximize PR rings" true maximize_pr_rings
+  | Error f -> Alcotest.failf "unexpected fault %a" Rings.Fault.pp f
+
+let test_same_ring_return () =
+  match Rings.Return_op.validate user_seg ~exec:(r 4) ~effective:(eff 4) with
+  | Ok { Rings.Return_op.new_ring; crossing; maximize_pr_rings } ->
+      Alcotest.(check int) "new ring" 4 (Rings.Ring.to_int new_ring);
+      Alcotest.(check bool)
+        "same ring" true
+        (crossing = Rings.Return_op.Same_ring);
+      Alcotest.(check bool) "no maximize" false maximize_pr_rings
+  | Error f -> Alcotest.failf "unexpected fault %a" Rings.Fault.pp f
+
+let test_downward_return_fault () =
+  match Rings.Return_op.validate wide_seg ~exec:(r 6) ~effective:(eff 3) with
+  | Error (Rings.Fault.Downward_return { from_ring; to_ring }) ->
+      Alcotest.(check int) "from" 6 (Rings.Ring.to_int from_ring);
+      Alcotest.(check int) "to" 3 (Rings.Ring.to_int to_ring)
+  | _ -> Alcotest.fail "expected Downward_return"
+
+let test_target_not_executable_in_new_ring () =
+  (* Returning upward to ring 6 through a segment whose execute
+     bracket ends at 4: the advance check fires. *)
+  match Rings.Return_op.validate user_seg ~exec:(r 1) ~effective:(eff 6) with
+  | Error (Rings.Fault.Execute_bracket_violation { ring; _ }) ->
+      Alcotest.(check int) "checked in new ring" 6 (Rings.Ring.to_int ring)
+  | _ -> Alcotest.fail "expected Execute_bracket_violation"
+
+let test_execute_flag_off () =
+  let a = Rings.Access.data_segment ~writable_to:4 ~readable_to:4 () in
+  match Rings.Return_op.validate a ~exec:(r 4) ~effective:(eff 4) with
+  | Error Rings.Fault.No_execute_permission -> ()
+  | _ -> Alcotest.fail "expected No_execute_permission"
+
+(* Property: RETURN never lowers the ring, and the fetch check is
+   always applied in the ring returned to. *)
+let prop_never_lowers =
+  QCheck.Test.make ~name:"RETURN never lowers the ring" ~count:1000
+    (QCheck.triple Gen.access Gen.ring Gen.ring) (fun (a, exec, target) ->
+      let effective =
+        Rings.Effective_ring.weaken_to (Rings.Effective_ring.start exec)
+          target
+      in
+      match Rings.Return_op.validate a ~exec ~effective with
+      | Ok { Rings.Return_op.new_ring; _ } ->
+          Rings.Ring.compare new_ring exec >= 0
+      | Error _ -> true)
+
+let prop_proceed_means_executable =
+  QCheck.Test.make ~name:"RETURN target executable in the new ring"
+    ~count:1000 (QCheck.triple Gen.access Gen.ring Gen.ring)
+    (fun (a, exec, target) ->
+      let effective =
+        Rings.Effective_ring.weaken_to (Rings.Effective_ring.start exec)
+          target
+      in
+      match Rings.Return_op.validate a ~exec ~effective with
+      | Ok { Rings.Return_op.new_ring; _ } ->
+          Result.is_ok (Rings.Policy.validate_fetch a ~ring:new_ring)
+      | Error _ -> true)
+
+let suite =
+  [
+    ( "return",
+      [
+        Alcotest.test_case "upward return" `Quick test_upward_return;
+        Alcotest.test_case "same-ring return" `Quick test_same_ring_return;
+        Alcotest.test_case "downward return fault" `Quick
+          test_downward_return_fault;
+        Alcotest.test_case "target not executable in new ring" `Quick
+          test_target_not_executable_in_new_ring;
+        Alcotest.test_case "execute flag off" `Quick test_execute_flag_off;
+        QCheck_alcotest.to_alcotest prop_never_lowers;
+        QCheck_alcotest.to_alcotest prop_proceed_means_executable;
+      ] );
+  ]

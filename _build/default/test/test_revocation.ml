@@ -1,0 +1,137 @@
+(* Dynamic access changes: "it is also possible to change the allowed
+   access to a segment by changing the finer constraints recorded in
+   the SDW, and to expect the change to be immediately effective."
+   Immediately effective means: through the SDW associative memory. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* An endless loop reading a data word. *)
+let reader_source =
+  "start:  lda cell,*\n        tra start\ncell:   .its 0, data$w\n"
+
+let build () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"reader"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    reader_source;
+  Os.Store.add_source store ~name:"data"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "w:      .word 1\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p [ "reader"; "data" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  (match Os.Process.start p ~segment:"reader" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start: %s" e);
+  p
+
+let test_revocation_immediate () =
+  let p = build () in
+  (* Run a while: reads succeed, and the data SDW is hot in the
+     associative memory. *)
+  (match Os.Kernel.run ~max_instructions:100 p with
+  | Os.Kernel.Out_of_budget -> ()
+  | e -> Alcotest.failf "warm-up: %a" Os.Kernel.pp_exit e);
+  Alcotest.(check int) "reads succeeded so far" 1
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+  (* Supervisor revokes: read bracket now ends at ring 1. *)
+  (match
+     Os.Process.set_access p ~name:"data"
+       (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* The very next reference is refused. *)
+  match Os.Kernel.run ~max_instructions:10 p with
+  | Os.Kernel.Terminated (Rings.Fault.Read_bracket_violation _) -> ()
+  | e -> Alcotest.failf "expected immediate refusal, got %a"
+           Os.Kernel.pp_exit e
+
+let test_grant_immediate () =
+  (* The reverse direction: start with no read access, grant mid-run.
+     The loop faults first; after the grant a fresh run succeeds. *)
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"reader"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  lda cell,*\n        mme =2\ncell:   .its 0, data$w\n";
+  Os.Store.add_source store ~name:"data"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ()))
+    "w:      .word 9\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p [ "reader"; "data" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"reader" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Kernel.run ~max_instructions:10 p with
+  | Os.Kernel.Terminated (Rings.Fault.Read_bracket_violation _) -> ()
+  | e -> Alcotest.failf "expected refusal, got %a" Os.Kernel.pp_exit e);
+  (match
+     Os.Process.set_access p ~name:"data"
+       (Rings.Access.data_segment ~writable_to:1 ~readable_to:4 ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"reader" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Kernel.run ~max_instructions:100 p with
+  | Os.Kernel.Exited ->
+      Alcotest.(check int) "read succeeded after grant" 9
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+  | e -> Alcotest.failf "expected success, got %a" Os.Kernel.pp_exit e
+
+let test_gate_count_preserved () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"svc"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~gates:1 ~execute_in:1
+            ~callable_from:5 ()))
+    (Os.Scenario.callee_source ());
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "svc" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Os.Process.set_access p ~name:"svc"
+       (Rings.Access.procedure_segment ~execute_in:1 ~callable_from:3 ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let segno = Option.get (Os.Process.segno_of p "svc") in
+  match Hashtbl.find_opt p.Os.Process.ring_data segno with
+  | Some a ->
+      Alcotest.(check int) "gate count kept" 1 a.Rings.Access.gates;
+      Alcotest.(check int) "new gate extension top" 3
+        (Rings.Ring.to_int
+           (Rings.Brackets.gate_extension_top a.Rings.Access.brackets))
+  | None -> Alcotest.fail "ring data missing"
+
+let test_unknown_segment () =
+  let p = build () in
+  match
+    Os.Process.set_access p ~name:"ghost"
+      (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ())
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown segment accepted"
+
+let suite =
+  [
+    ( "revocation",
+      [
+        Alcotest.test_case "revocation immediate" `Quick
+          test_revocation_immediate;
+        Alcotest.test_case "grant immediate" `Quick test_grant_immediate;
+        Alcotest.test_case "gate count preserved" `Quick
+          test_gate_count_preserved;
+        Alcotest.test_case "unknown segment" `Quick test_unknown_segment;
+      ] );
+  ]

@@ -1,0 +1,94 @@
+(* Unit and property tests for Rings.Ring. *)
+
+let ring = Alcotest.testable Rings.Ring.pp Rings.Ring.equal
+
+let test_count () = Alcotest.(check int) "eight rings" 8 Rings.Ring.count
+
+let test_bounds () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Ring.v: -1 not in [0, 8)") (fun () ->
+      ignore (Rings.Ring.v (-1)));
+  Alcotest.check_raises "eight rejected"
+    (Invalid_argument "Ring.v: 8 not in [0, 8)") (fun () ->
+      ignore (Rings.Ring.v 8));
+  Alcotest.(check (option ring))
+    "of_int_opt accepts 7"
+    (Some (Rings.Ring.v 7))
+    (Rings.Ring.of_int_opt 7);
+  Alcotest.(check (option ring)) "of_int_opt rejects 8" None
+    (Rings.Ring.of_int_opt 8)
+
+let test_extremes () =
+  Alcotest.(check int) "ring 0" 0 (Rings.Ring.to_int Rings.Ring.r0);
+  Alcotest.(check int) "lowest privilege is 7" 7
+    (Rings.Ring.to_int Rings.Ring.lowest_privilege)
+
+let test_all () =
+  Alcotest.(check (list int))
+    "all rings in order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map Rings.Ring.to_int Rings.Ring.all)
+
+let test_privilege_order () =
+  let r2 = Rings.Ring.v 2 and r5 = Rings.Ring.v 5 in
+  Alcotest.(check bool)
+    "2 more privileged than 5" true
+    (Rings.Ring.more_privileged r2 ~than:r5);
+  Alcotest.(check bool)
+    "5 not more privileged than 2" false
+    (Rings.Ring.more_privileged r5 ~than:r2);
+  Alcotest.(check bool)
+    "not more privileged than itself" false
+    (Rings.Ring.more_privileged r2 ~than:r2)
+
+let test_max_min () =
+  let r1 = Rings.Ring.v 1 and r6 = Rings.Ring.v 6 in
+  Alcotest.check ring "max is less privileged" r6 (Rings.Ring.max r1 r6);
+  Alcotest.check ring "min is more privileged" r1 (Rings.Ring.min r1 r6)
+
+let test_succ_pred () =
+  Alcotest.(check (option ring))
+    "succ 6 = 7"
+    (Some (Rings.Ring.v 7))
+    (Rings.Ring.succ (Rings.Ring.v 6));
+  Alcotest.(check (option ring)) "succ 7 = None" None
+    (Rings.Ring.succ (Rings.Ring.v 7));
+  Alcotest.(check (option ring)) "pred 0 = None" None
+    (Rings.Ring.pred Rings.Ring.r0);
+  Alcotest.(check (option ring))
+    "pred 1 = 0" (Some Rings.Ring.r0)
+    (Rings.Ring.pred (Rings.Ring.v 1))
+
+let arb_ring = QCheck.map Rings.Ring.v (QCheck.int_range 0 7)
+
+let prop_max_commutative =
+  QCheck.Test.make ~name:"Ring.max commutative" ~count:200
+    (QCheck.pair arb_ring arb_ring) (fun (a, b) ->
+      Rings.Ring.equal (Rings.Ring.max a b) (Rings.Ring.max b a))
+
+let prop_max_idempotent =
+  QCheck.Test.make ~name:"Ring.max idempotent" ~count:100 arb_ring (fun a ->
+      Rings.Ring.equal (Rings.Ring.max a a) a)
+
+let prop_max_upper_bound =
+  QCheck.Test.make ~name:"Ring.max is an upper bound" ~count:200
+    (QCheck.pair arb_ring arb_ring) (fun (a, b) ->
+      let m = Rings.Ring.max a b in
+      Rings.Ring.compare a m <= 0 && Rings.Ring.compare b m <= 0)
+
+let suite =
+  [
+    ( "ring",
+      [
+        Alcotest.test_case "count" `Quick test_count;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "extremes" `Quick test_extremes;
+        Alcotest.test_case "all" `Quick test_all;
+        Alcotest.test_case "privilege order" `Quick test_privilege_order;
+        Alcotest.test_case "max/min" `Quick test_max_min;
+        Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+        QCheck_alcotest.to_alcotest prop_max_commutative;
+        QCheck_alcotest.to_alcotest prop_max_idempotent;
+        QCheck_alcotest.to_alcotest prop_max_upper_bound;
+      ] );
+  ]

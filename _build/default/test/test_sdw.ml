@@ -1,0 +1,90 @@
+(* SDW construction and the Fig. 3 storage format. *)
+
+let access_fig2 =
+  Rings.Access.v ~read:true ~execute:true ~gates:2
+    (Rings.Brackets.of_ints 3 4 6)
+
+let test_validation () =
+  (try
+     ignore (Hw.Sdw.v ~base:(1 lsl 21) ~bound:16 access_fig2);
+     Alcotest.fail "oversized base accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Hw.Sdw.v ~base:0 ~bound:17 access_fig2);
+     Alcotest.fail "unaligned bound accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Hw.Sdw.v ~base:0 ~bound:((1 lsl 18) + 16) access_fig2);
+    Alcotest.fail "oversized bound accepted"
+  with Invalid_argument _ -> ()
+
+let test_round_bound () =
+  Alcotest.(check int) "0 stays" 0 (Hw.Sdw.round_bound 0);
+  Alcotest.(check int) "1 -> 16" 16 (Hw.Sdw.round_bound 1);
+  Alcotest.(check int) "16 stays" 16 (Hw.Sdw.round_bound 16);
+  Alcotest.(check int) "17 -> 32" 32 (Hw.Sdw.round_bound 17)
+
+let test_encode_decode () =
+  let sdw = Hw.Sdw.v ~base:0o1234560 ~bound:2048 access_fig2 in
+  match Hw.Sdw.decode (Hw.Sdw.encode sdw) with
+  | Ok sdw' -> Alcotest.(check bool) "round trip" true (Hw.Sdw.equal sdw sdw')
+  | Error e -> Alcotest.fail e
+
+let test_absent () =
+  Alcotest.(check bool) "absent not present" false Hw.Sdw.absent.Hw.Sdw.present;
+  match Hw.Sdw.decode (Hw.Sdw.encode Hw.Sdw.absent) with
+  | Ok sdw' -> Alcotest.(check bool) "still absent" false sdw'.Hw.Sdw.present
+  | Error e -> Alcotest.fail e
+
+let test_malformed_rejected () =
+  (* Hand-craft word 1 with R1 > R2. *)
+  let w1 =
+    0
+    |> Hw.Word.set_field ~pos:33 ~width:3 5
+    |> Hw.Word.set_field ~pos:30 ~width:3 2
+    |> Hw.Word.set_field ~pos:27 ~width:3 7
+  in
+  match Hw.Sdw.decode (0, w1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed ring fields accepted"
+
+let test_contains () =
+  let sdw = Hw.Sdw.v ~base:0 ~bound:32 access_fig2 in
+  Alcotest.(check bool) "word 0 inside" true (Hw.Sdw.contains sdw ~wordno:0);
+  Alcotest.(check bool) "word 31 inside" true (Hw.Sdw.contains sdw ~wordno:31);
+  Alcotest.(check bool) "word 32 outside" false
+    (Hw.Sdw.contains sdw ~wordno:32);
+  Alcotest.(check bool) "negative outside" false
+    (Hw.Sdw.contains sdw ~wordno:(-1))
+
+let arb_sdw =
+  QCheck.map
+    (fun ((base, bound), (present, access)) ->
+      Hw.Sdw.v ~present ~base ~bound:(Hw.Sdw.round_bound bound) access)
+    (QCheck.pair
+       (QCheck.pair
+          (QCheck.int_range 0 ((1 lsl 21) - 1))
+          (QCheck.int_range 0 ((1 lsl 18) - 16)))
+       (QCheck.pair QCheck.bool Gen.access))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"SDW encode/decode identity" ~count:500 arb_sdw
+    (fun sdw ->
+      match Hw.Sdw.decode (Hw.Sdw.encode sdw) with
+      | Ok sdw' -> Hw.Sdw.equal sdw sdw'
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "sdw",
+      [
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "round_bound" `Quick test_round_bound;
+        Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+        Alcotest.test_case "absent" `Quick test_absent;
+        Alcotest.test_case "malformed rejected" `Quick
+          test_malformed_rejected;
+        Alcotest.test_case "contains" `Quick test_contains;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* The MME supervisor services: dynamic segment addition and the
+   accounting clock, with the ring 6-7 exclusion. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* Request "extra" by name from the given ring, leaving the returned
+   segment number (or all-ones) in A. *)
+let requester_source =
+  "start:  eap pr2, name\n\
+  \        mme =3\n\
+  \        mme =2\n\
+   name:   .word 5, 101, 120, 116, 114, 97   ; \"extra\"\n"
+
+let build ~ring ?(acl_extra = wildcard (Fixtures.data_ring 4)) () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"req"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:ring
+            ~callable_from:ring ()))
+    requester_source;
+  Os.Store.add_source store ~name:"extra" ~acl:acl_extra "w: .word 3\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "req" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  (match Os.Process.start p ~segment:"req" ~entry:"start" ~ring with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start: %s" e);
+  p
+
+let run_expect_exit p =
+  match Os.Kernel.run ~max_instructions:10_000 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e
+
+let test_add_segment () =
+  let p = build ~ring:4 () in
+  run_expect_exit p;
+  let segno = Option.get (Os.Process.segno_of p "extra") in
+  Alcotest.(check int) "A holds the new segno" segno
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+  (* The new segment is genuinely usable. *)
+  match
+    Os.Process.kread p (Option.get (Os.Process.address_of p ~segment:"extra" ~symbol:"w"))
+  with
+  | Ok v -> Alcotest.(check int) "contents" 3 v
+  | Error e -> Alcotest.fail e
+
+let test_refused_from_ring6 () =
+  let p = build ~ring:6 () in
+  run_expect_exit p;
+  Alcotest.(check int) "all-ones result" Hw.Word.mask
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+  Alcotest.(check bool) "nothing linked" true
+    (Os.Process.segno_of p "extra" = None)
+
+let test_acl_still_applies () =
+  (* The service is available from ring 4, but the segment's ACL does
+     not list alice: the supervisor refuses the addition. *)
+  let p =
+    build ~ring:4
+      ~acl_extra:[ { Os.Acl.user = "root"; access = Fixtures.data_ring 4 } ]
+      ()
+  in
+  run_expect_exit p;
+  Alcotest.(check int) "all-ones result" Hw.Word.mask
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+
+let test_unknown_name () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"req"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    requester_source;
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "req" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"req" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  run_expect_exit p;
+  Alcotest.(check int) "all-ones result" Hw.Word.mask
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+
+let test_cycle_count () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"clock"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  mme =4\n\
+    \        sta pr6|3\n\
+    \        mme =4\n\
+    \        sba pr6|3          ; elapsed cycles between the two reads\n\
+    \        mme =2\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "clock" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"clock" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  run_expect_exit p;
+  Alcotest.(check bool) "clock advanced" true
+    (Hw.Word.to_signed p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+    > 0)
+
+(* With per-process search rules the requested name is a bare segment
+   name resolved through the directory hierarchy - "file system search
+   direction" as a supervisor function. *)
+let test_add_segment_via_search_rules () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"req"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    requester_source;
+  (* The store entry has a versioned name; the directory maps the bare
+     name "extra" onto it. *)
+  Os.Store.add_source store ~name:"extra_v2"
+    ~acl:(wildcard (Fixtures.data_ring 4))
+    "w: .word 5\n";
+  let dir = Os.Directory.create () in
+  let acl_all =
+    Os.Acl.of_entries
+      [
+        {
+          Os.Acl.user = Os.Acl.wildcard;
+          access =
+            Rings.Access.v ~read:true
+              (Rings.Brackets.data ~writable_to:Rings.Ring.r0
+                 ~readable_to:Rings.Ring.lowest_privilege);
+        };
+      ]
+  in
+  (match Os.Directory.mkdir dir ~path:"lib" ~acl:acl_all with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Directory.link dir ~path:"lib>extra" ~store_name:"extra_v2" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let p = Os.Process.create ~store ~user:"alice" () in
+  p.Os.Process.search_rules <- Some (dir, [ "lib" ]);
+  (match Os.Process.add_segment p "req" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"req" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  run_expect_exit p;
+  let segno = Option.get (Os.Process.segno_of p "extra_v2") in
+  Alcotest.(check int) "A holds the resolved segment" segno
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+
+let test_search_rules_miss_is_refused () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"req"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    requester_source;
+  Os.Store.add_source store ~name:"extra"
+    ~acl:(wildcard (Fixtures.data_ring 4))
+    "w: .word 5\n";
+  let dir = Os.Directory.create () in
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (* Rules are set but nothing on them links "extra": even though the
+     store has an entry of that exact name, the supervisor goes by the
+     rules. *)
+  p.Os.Process.search_rules <- Some (dir, [ "lib" ]);
+  (match Os.Process.add_segment p "req" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"req" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  run_expect_exit p;
+  Alcotest.(check int) "refused: all-ones" Hw.Word.mask
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+
+(* The name-reading path is held to the caller's capabilities too: a
+   request whose PR2 points at memory the caller cannot read is
+   refused. *)
+let test_name_must_be_caller_readable () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"req"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  eap pr2, probe,*\n\
+    \        mme =3\n\
+    \        mme =2\n\
+     probe:  .its 0, hidden$w\n";
+  Os.Store.add_source store ~name:"hidden"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:0 ~readable_to:0 ()))
+    "w: .word 5, 101, 120, 116, 114, 97\n";
+  Os.Store.add_source store ~name:"extra"
+    ~acl:(wildcard (Fixtures.data_ring 4))
+    "w: .word 3\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segments p [ "req"; "hidden"; "extra" ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"req" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  run_expect_exit p;
+  Alcotest.(check int) "probe refused" Hw.Word.mask
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+
+let suite =
+  [
+    ( "services",
+      [
+        Alcotest.test_case "add segment" `Quick test_add_segment;
+        Alcotest.test_case "refused from ring 6" `Quick
+          test_refused_from_ring6;
+        Alcotest.test_case "ACL still applies" `Quick test_acl_still_applies;
+        Alcotest.test_case "unknown name" `Quick test_unknown_name;
+        Alcotest.test_case "cycle count" `Quick test_cycle_count;
+        Alcotest.test_case "add segment via search rules" `Quick
+          test_add_segment_via_search_rules;
+        Alcotest.test_case "search-rules miss refused" `Quick
+          test_search_rules_miss_is_refused;
+        Alcotest.test_case "name must be caller-readable" `Quick
+          test_name_must_be_caller_readable;
+      ] );
+  ]
+
+

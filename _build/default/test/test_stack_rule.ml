@@ -1,0 +1,64 @@
+(* Stack-segment selection (Fig. 8 and footnote). *)
+
+let r = Rings.Ring.v
+
+let test_segno_equals_ring () =
+  List.iter
+    (fun ring ->
+      Alcotest.(check int)
+        (Printf.sprintf "ring %d" ring)
+        ring
+        (Rings.Stack_rule.stack_segno Rings.Stack_rule.Segno_equals_ring
+           ~dbr_stack_base:100 ~current_stack_segno:55 ~ring_changed:true
+           ~new_ring:(r ring)))
+    [ 0; 1; 4; 7 ]
+
+let test_dbr_relative_crossing () =
+  Alcotest.(check int)
+    "crossing: base + ring" 103
+    (Rings.Stack_rule.stack_segno Rings.Stack_rule.Dbr_stack_relative
+       ~dbr_stack_base:100 ~current_stack_segno:55 ~ring_changed:true
+       ~new_ring:(r 3))
+
+let test_dbr_relative_same_ring () =
+  (* Same-ring call: the nonstandard stack is preserved. *)
+  Alcotest.(check int)
+    "same ring: current stack" 55
+    (Rings.Stack_rule.stack_segno Rings.Stack_rule.Dbr_stack_relative
+       ~dbr_stack_base:100 ~current_stack_segno:55 ~ring_changed:false
+       ~new_ring:(r 3))
+
+(* Integration: under the DBR-relative rule a downward call selects
+   DBR.STACK + ring, and a same-ring call keeps the caller's stack.
+   Our processes set DBR.STACK = 0, so the observable stack segment
+   numbers coincide with the simple rule; what differs is the
+   same-ring case with a nonstandard stack, exercised here via the
+   pure function only (the simulator's stacks are standard). *)
+let test_rules_agree_with_standard_stacks () =
+  List.iter
+    (fun ring ->
+      let a =
+        Rings.Stack_rule.stack_segno Rings.Stack_rule.Segno_equals_ring
+          ~dbr_stack_base:0 ~current_stack_segno:ring ~ring_changed:true
+          ~new_ring:(r ring)
+      and b =
+        Rings.Stack_rule.stack_segno Rings.Stack_rule.Dbr_stack_relative
+          ~dbr_stack_base:0 ~current_stack_segno:ring ~ring_changed:true
+          ~new_ring:(r ring)
+      in
+      Alcotest.(check int) (Printf.sprintf "ring %d" ring) a b)
+    [ 0; 3; 7 ]
+
+let suite =
+  [
+    ( "stack-rule",
+      [
+        Alcotest.test_case "segno = ring" `Quick test_segno_equals_ring;
+        Alcotest.test_case "DBR-relative crossing" `Quick
+          test_dbr_relative_crossing;
+        Alcotest.test_case "DBR-relative same ring" `Quick
+          test_dbr_relative_same_ring;
+        Alcotest.test_case "rules agree with standard stacks" `Quick
+          test_rules_agree_with_standard_stacks;
+      ] );
+  ]

@@ -1,0 +1,127 @@
+(* The canonical layered supervisor component. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let user_source ~target =
+  Printf.sprintf
+    "start:  eap pr1, ret\n\
+    \        spr pr1, pr6|1\n\
+    \        lda =0\n\
+    \        sta pr6|2\n\
+    \        eap pr2, pr6|2\n\
+    \        call svc,*\n\
+     ret:    mme =2\n\
+     svc:    .its 0, %s\n"
+    target
+
+let boot ?mode ~target ~ring () =
+  let store = Os.Store.create () in
+  Os.Supervisor.install store;
+  Os.Store.add_source store ~name:"user"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:ring
+            ~callable_from:ring ()))
+    (user_source ~target);
+  match Os.Supervisor.boot ?mode ~store ~user:"alice" () with
+  | Error e -> Alcotest.failf "boot: %s" e
+  | Ok p ->
+      (match Os.Process.add_segment p "user" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "load: %s" e);
+      (match Os.Process.start p ~segment:"user" ~entry:"start" ~ring with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "start: %s" e);
+      p
+
+let test_request_io_both_modes () =
+  List.iter
+    (fun mode ->
+      let p = boot ~mode ~target:"sup_services$request_io" ~ring:4 () in
+      (match Os.Kernel.run ~max_instructions:100_000 p with
+      | Os.Kernel.Exited -> ()
+      | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e);
+      Alcotest.(check int) "core reported success" 1
+        p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+      match Os.Supervisor.accounting_count p with
+      | Ok n -> Alcotest.(check int) "one request accounted" 1 n
+      | Error e -> Alcotest.fail e)
+    [ Isa.Machine.Ring_hardware; Isa.Machine.Ring_software_645 ]
+
+let test_read_accounting () =
+  let p = boot ~target:"sup_services$request_io" ~ring:4 () in
+  (match Os.Kernel.run ~max_instructions:100_000 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "first run: %a" Os.Kernel.pp_exit e);
+  (* A second program in the same process reads the count back
+     through the ring-1 gate. *)
+  let store = p.Os.Process.store in
+  Os.Store.add_source store ~name:"reader"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    (user_source ~target:"sup_services$read_accounting");
+  (match Os.Process.add_segment p "reader" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"reader" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Kernel.run ~max_instructions:100_000 p with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "second run: %a" Os.Kernel.pp_exit e);
+  Alcotest.(check int) "gate returned the count" 1
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a
+
+let test_core_sealed_from_users () =
+  let p = boot ~target:"sup_core$start_io" ~ring:4 () in
+  match Os.Kernel.run ~max_instructions:100_000 p with
+  | Os.Kernel.Terminated (Rings.Fault.Outside_gate_extension _) -> ()
+  | e -> Alcotest.failf "expected refusal, got %a" Os.Kernel.pp_exit e
+
+let test_services_sealed_from_ring6 () =
+  let p = boot ~target:"sup_services$request_io" ~ring:6 () in
+  match Os.Kernel.run ~max_instructions:100_000 p with
+  | Os.Kernel.Terminated (Rings.Fault.Outside_gate_extension _) -> ()
+  | e -> Alcotest.failf "expected refusal, got %a" Os.Kernel.pp_exit e
+
+let test_acct_data_sealed () =
+  (* Reading the accounting segment directly from ring 4 is refused —
+     only the ring-1 gate may serve it. *)
+  let store = Os.Store.create () in
+  Os.Supervisor.install store;
+  Os.Store.add_source store ~name:"snoop"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  lda acct,*\n        mme =2\nacct:   .its 0, sup_acct$io_count\n";
+  let p =
+    match Os.Supervisor.boot ~store ~user:"alice" () with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "boot: %s" e
+  in
+  (match Os.Process.add_segment p "snoop" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"snoop" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Os.Kernel.run ~max_instructions:10_000 p with
+  | Os.Kernel.Terminated (Rings.Fault.Read_bracket_violation _) -> ()
+  | e -> Alcotest.failf "expected refusal, got %a" Os.Kernel.pp_exit e
+
+let suite =
+  [
+    ( "supervisor",
+      [
+        Alcotest.test_case "request_io, both modes" `Quick
+          test_request_io_both_modes;
+        Alcotest.test_case "read accounting" `Quick test_read_accounting;
+        Alcotest.test_case "core sealed from users" `Quick
+          test_core_sealed_from_users;
+        Alcotest.test_case "services sealed from ring 6" `Quick
+          test_services_sealed_from_ring6;
+        Alcotest.test_case "accounting data sealed" `Quick
+          test_acct_data_sealed;
+      ] );
+  ]

@@ -1,0 +1,333 @@
+(* Processor multiplexing and inter-user segment sharing. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* A program that adds [n] to a shared counter, one AOS per loop
+   iteration, then exits. *)
+let bump_source ~n =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5\n\
+     loop:   aos cell,*\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n"
+    n
+
+let proc4 = Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()
+
+let counter_acl =
+  [
+    {
+      Os.Acl.user = "alice";
+      access = Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ();
+    };
+    {
+      Os.Acl.user = "bob";
+      access = Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ();
+    };
+    (* Carol may look but not touch. *)
+    {
+      Os.Acl.user = "carol";
+      access =
+        Rings.Access.data_segment ~write:false ~writable_to:0 ~readable_to:4
+          ();
+    };
+  ]
+
+let build_store () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"bump_a" ~acl:(wildcard proc4)
+    (bump_source ~n:30);
+  Os.Store.add_source store ~name:"bump_b" ~acl:(wildcard proc4)
+    (bump_source ~n:12);
+  Os.Store.add_source store ~name:"counter" ~acl:counter_acl
+    "value:  .word 0\n";
+  store
+
+let spawn_ok t ~pname ~user ~segments ~start ~ring =
+  match Os.System.spawn t ~pname ~user ~segments ~start ~ring with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "spawn %s: %s" pname e
+
+let test_two_processes_share_counter () =
+  let store = build_store () in
+  let t = Os.System.create ~store () in
+  let _a =
+    spawn_ok t ~pname:"pa" ~user:"alice"
+      ~segments:[ "bump_a"; "counter" ]
+      ~start:("bump_a", "start") ~ring:4
+  in
+  (* Bob maps Alice's counter rather than loading a private copy. *)
+  let b =
+    match
+      Os.System.spawn t
+        ~shared:[ ("counter", "pa") ]
+        ~pname:"pb" ~user:"bob" ~segments:[ "bump_b" ]
+        ~start:("bump_b", "start") ~ring:4
+    with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "spawn pb: %s" e
+  in
+  let exits = Os.System.run ~quantum:7 t in
+  List.iter
+    (fun (name, exit) ->
+      Alcotest.check
+        (Alcotest.testable Os.Kernel.pp_exit ( = ))
+        (name ^ " exited") Os.Kernel.Exited exit)
+    exits;
+  Alcotest.(check int) "both processes finished" 2 (List.length exits);
+  (* Both increments landed in the single shared segment. *)
+  match Os.Process.address_of b.Os.System.process ~segment:"counter" ~symbol:"value" with
+  | None -> Alcotest.fail "counter not mapped"
+  | Some addr -> (
+      match Os.Process.kread b.Os.System.process addr with
+      | Ok v -> Alcotest.(check int) "42 total increments" 42 v
+      | Error e -> Alcotest.fail e)
+
+let test_interleaving_happened () =
+  (* With a tiny quantum both processes must have progressed before
+     either finished: check by completion order with asymmetric work -
+     the longer job (spawned first) finishes last. *)
+  let store = build_store () in
+  let t = Os.System.create ~store () in
+  let _ =
+    spawn_ok t ~pname:"long" ~user:"alice"
+      ~segments:[ "bump_a"; "counter" ]
+      ~start:("bump_a", "start") ~ring:4
+  in
+  (match
+     Os.System.spawn t
+       ~shared:[ ("counter", "long") ]
+       ~pname:"short" ~user:"bob" ~segments:[ "bump_b" ]
+       ~start:("bump_b", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn short: %s" e);
+  match List.map fst (Os.System.run ~quantum:5 t) with
+  | [ "short"; "long" ] -> ()
+  | order ->
+      Alcotest.failf "expected short to finish first, got %s"
+        (String.concat ", " order)
+
+let test_acl_differs_per_user () =
+  (* Carol shares the same resident segment read-only: her write
+     faults while Alice's writes succeeded. *)
+  let store = build_store () in
+  Os.Store.add_source store ~name:"bump_c" ~acl:(wildcard proc4)
+    (bump_source ~n:1);
+  let t = Os.System.create ~store () in
+  let _ =
+    spawn_ok t ~pname:"pa" ~user:"alice"
+      ~segments:[ "bump_a"; "counter" ]
+      ~start:("bump_a", "start") ~ring:4
+  in
+  (match
+     Os.System.spawn t
+       ~shared:[ ("counter", "pa") ]
+       ~pname:"pc" ~user:"carol" ~segments:[ "bump_c" ]
+       ~start:("bump_c", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn pc: %s" e);
+  let exits = Os.System.run ~quantum:9 t in
+  (match List.assoc "pa" exits with
+  | Os.Kernel.Exited -> ()
+  | e -> Alcotest.failf "alice failed: %a" Os.Kernel.pp_exit e);
+  match List.assoc "pc" exits with
+  | Os.Kernel.Terminated Rings.Fault.No_write_permission -> ()
+  | e -> Alcotest.failf "carol's write not refused: %a" Os.Kernel.pp_exit e
+
+let test_share_denied_by_acl () =
+  let store = build_store () in
+  Os.Store.add_source store ~name:"bump_m" ~acl:(wildcard proc4)
+    (bump_source ~n:1);
+  let t = Os.System.create ~store () in
+  let _ =
+    spawn_ok t ~pname:"pa" ~user:"alice"
+      ~segments:[ "bump_a"; "counter" ]
+      ~start:("bump_a", "start") ~ring:4
+  in
+  match
+    Os.System.spawn t
+      ~shared:[ ("counter", "pa") ]
+      ~pname:"pm" ~user:"mallory" ~segments:[ "bump_m" ]
+      ~start:("bump_m", "start") ~ring:4
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mallory mapped a segment her ACL denies"
+
+let test_region_exhaustion () =
+  let store = build_store () in
+  let t = Os.System.create ~store ~mem_size:(1 lsl 19) () in
+  (* Two regions fit in 2^19. *)
+  let _ =
+    spawn_ok t ~pname:"p1" ~user:"alice"
+      ~segments:[ "bump_a"; "counter" ]
+      ~start:("bump_a", "start") ~ring:4
+  in
+  (match
+     Os.System.spawn t
+       ~shared:[ ("counter", "p1") ]
+       ~pname:"p2" ~user:"bob" ~segments:[ "bump_b" ]
+       ~start:("bump_b", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn p2: %s" e);
+  match
+    Os.System.spawn t ~pname:"p3" ~user:"bob" ~segments:[]
+      ~start:("x", "start") ~ring:4
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "third region should not fit"
+
+(* Cooperative multiplexing: two processes strictly alternate over a
+   shared cell using the yield service (MME 5), never burning their
+   quanta in spin waits. *)
+let test_yield_alternation () =
+  let parity_waiter ~want_even ~rounds =
+    Printf.sprintf
+      "start:  lda =%d\n\
+      \        sta pr6|5\n\
+       loop:   lda cell,*\n\
+      \        ana =1\n\
+      \        %s doit\n\
+      \        mme =5             ; not my turn: yield\n\
+      \        tra loop\n\
+       doit:   aos cell,*\n\
+      \        lda pr6|5\n\
+      \        sba =1\n\
+      \        sta pr6|5\n\
+      \        tnz loop\n\
+      \        mme =2\n\
+       cell:   .its 0, shared$value\n"
+      rounds
+      (if want_even then "tze" else "tnz")
+  in
+  let store = build_store () in
+  Os.Store.add_source store ~name:"even" ~acl:(wildcard proc4)
+    (parity_waiter ~want_even:true ~rounds:5);
+  Os.Store.add_source store ~name:"odd" ~acl:(wildcard proc4)
+    (parity_waiter ~want_even:false ~rounds:5);
+  Os.Store.add_source store ~name:"shared"
+    ~acl:
+      (wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "value:  .word 0\n";
+  let t = Os.System.create ~store () in
+  let a =
+    spawn_ok t ~pname:"even" ~user:"alice" ~segments:[ "even"; "shared" ]
+      ~start:("even", "start") ~ring:4
+  in
+  (match
+     Os.System.spawn t
+       ~shared:[ ("shared", "even") ]
+       ~pname:"odd" ~user:"bob" ~segments:[ "odd" ]
+       ~start:("odd", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn odd: %s" e);
+  let exits = Os.System.run ~quantum:5000 ~max_slices:200 t in
+  List.iter
+    (fun (name, exit) ->
+      Alcotest.check
+        (Alcotest.testable Os.Kernel.pp_exit ( = ))
+        (name ^ " exited") Os.Kernel.Exited exit)
+    exits;
+  (match
+     Os.Process.address_of a.Os.System.process ~segment:"shared"
+       ~symbol:"value"
+   with
+  | Some addr -> (
+      match Os.Process.kread a.Os.System.process addr with
+      | Ok v -> Alcotest.(check int) "ten alternating increments" 10 v
+      | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "shared cell missing");
+  (* Yields, not quantum burn, drove the scheduling: with a 5000-
+     instruction quantum the whole exchange retired far fewer
+     instructions than a single spin-filled slice. *)
+  let s =
+    Trace.Counters.snapshot
+      (Os.System.machine t).Isa.Machine.counters
+  in
+  Alcotest.(check bool) "cooperative, not spinning" true
+    (s.Trace.Counters.instructions < 2000)
+
+(* Paged processes under the dispatcher: each has its own frame pool
+   and backing store in its memory region. *)
+let test_paged_processes_coexist () =
+  let store = build_store () in
+  let t = Os.System.create ~store () in
+  (match
+     Os.System.spawn ~paged:true t ~pname:"pa" ~user:"alice"
+       ~segments:[ "bump_a"; "counter" ]
+       ~start:("bump_a", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn pa: %s" e);
+  (* pb loads its own (paged) copy of the counter: the point here is
+     the coexistence of two fully paged processes, each with a private
+     frame pool and backing store. *)
+  (match
+     Os.System.spawn ~paged:true t ~pname:"pb" ~user:"bob"
+       ~segments:[ "bump_b"; "counter" ]
+       ~start:("bump_b", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn pb: %s" e);
+  match Os.System.run ~quantum:20 t with
+  | exits ->
+      List.iter
+        (fun (name, exit) ->
+          match exit with
+          | Os.Kernel.Exited -> ()
+          | e -> Alcotest.failf "%s: %a" name Os.Kernel.pp_exit e)
+        exits;
+      Alcotest.(check int) "both ran" 2 (List.length exits)
+
+(* A demand-paged segment's contents live partly in the owner's
+   backing store: sharing one must be refused, not silently mapped. *)
+let test_paged_segment_not_shareable () =
+  let store = build_store () in
+  let t = Os.System.create ~store () in
+  (match
+     Os.System.spawn ~paged:true t ~pname:"pa" ~user:"alice"
+       ~segments:[ "bump_a"; "counter" ]
+       ~start:("bump_a", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn pa: %s" e);
+  match
+    Os.System.spawn t
+      ~shared:[ ("counter", "pa") ]
+      ~pname:"pb" ~user:"bob" ~segments:[ "bump_b" ]
+      ~start:("bump_b", "start") ~ring:4
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "paged segment was shared"
+
+let suite =
+  [
+    ( "system",
+      [
+        Alcotest.test_case "two processes share a counter" `Quick
+          test_two_processes_share_counter;
+        Alcotest.test_case "interleaving happened" `Quick
+          test_interleaving_happened;
+        Alcotest.test_case "per-user ACL on a shared segment" `Quick
+          test_acl_differs_per_user;
+        Alcotest.test_case "share denied by ACL" `Quick
+          test_share_denied_by_acl;
+        Alcotest.test_case "region exhaustion" `Quick test_region_exhaustion;
+        Alcotest.test_case "yield alternation" `Quick test_yield_alternation;
+        Alcotest.test_case "paged processes coexist" `Quick
+          test_paged_processes_coexist;
+        Alcotest.test_case "paged segment not shareable" `Quick
+          test_paged_segment_not_shareable;
+      ] );
+  ]
+
+
+

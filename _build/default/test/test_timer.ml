@@ -1,0 +1,95 @@
+(* The interval timer and preemption. *)
+
+let spin_machine () =
+  let m =
+    Fixtures.build
+      ~segments:
+        [ (1, [| Fixtures.enc (Fixtures.i ~offset:0 Isa.Opcode.TRA) |],
+           Fixtures.code_ring 4) ]
+      ()
+  in
+  Fixtures.set_ipr m ~ring:4 ~segno:1 ~wordno:0;
+  m
+
+let test_timer_fires () =
+  let m = spin_machine () in
+  m.Isa.Machine.timer <- Some 5;
+  let rec run n =
+    match Isa.Cpu.step m with
+    | Isa.Cpu.Running -> run (n + 1)
+    | Isa.Cpu.Faulted Rings.Fault.Timer_runout -> n + 1
+    | _ -> Alcotest.fail "unexpected outcome"
+  in
+  Alcotest.(check int) "fired after five instructions" 5 (run 0);
+  Alcotest.(check bool) "timer disarmed" true (m.Isa.Machine.timer = None)
+
+let test_timer_saved_state_resumes () =
+  let m = spin_machine () in
+  m.Isa.Machine.timer <- Some 1;
+  (match Isa.Cpu.step m with
+  | Isa.Cpu.Faulted Rings.Fault.Timer_runout -> ()
+  | _ -> Alcotest.fail "expected timer runout");
+  (* The saved state addresses the next instruction: restoring it and
+     stepping continues the loop seamlessly. *)
+  Isa.Machine.restore_saved m;
+  Fixtures.expect_running "resumed" (Isa.Cpu.step m);
+  Alcotest.(check int) "still in the loop" 0
+    m.Isa.Machine.regs.Hw.Registers.ipr.Hw.Registers.addr.Hw.Addr.wordno
+
+let test_timer_not_counted_as_violation () =
+  let m = spin_machine () in
+  m.Isa.Machine.timer <- Some 3;
+  let rec run () =
+    match Isa.Cpu.step m with
+    | Isa.Cpu.Running -> run ()
+    | _ -> ()
+  in
+  run ();
+  Alcotest.(check int) "no access violation" 0
+    (Trace.Counters.access_violations m.Isa.Machine.counters);
+  Alcotest.(check int) "one trap" 1
+    (Trace.Counters.traps m.Isa.Machine.counters)
+
+let test_disabled_timer_never_fires () =
+  let m = spin_machine () in
+  (match Isa.Cpu.run ~max_instructions:500 m with
+  | Isa.Cpu.Running -> ()
+  | _ -> Alcotest.fail "loop should still run");
+  Alcotest.(check int) "500 instructions retired" 500
+    (Trace.Counters.instructions m.Isa.Machine.counters)
+
+let test_kernel_reports_preemption () =
+  let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ] in
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"spin"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start: tra start\n";
+  let p = Os.Process.create ~store ~user:"alice" () in
+  (match Os.Process.add_segment p "spin" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Os.Process.start p ~segment:"spin" ~entry:"start" ~ring:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  p.Os.Process.machine.Isa.Machine.timer <- Some 10;
+  match Os.Kernel.run ~max_instructions:1000 p with
+  | Os.Kernel.Preempted -> ()
+  | e -> Alcotest.failf "expected preemption, got %a" Os.Kernel.pp_exit e
+
+let suite =
+  [
+    ( "timer",
+      [
+        Alcotest.test_case "fires after quantum" `Quick test_timer_fires;
+        Alcotest.test_case "saved state resumes" `Quick
+          test_timer_saved_state_resumes;
+        Alcotest.test_case "not an access violation" `Quick
+          test_timer_not_counted_as_violation;
+        Alcotest.test_case "disabled timer" `Quick
+          test_disabled_timer_never_fires;
+        Alcotest.test_case "kernel reports preemption" `Quick
+          test_kernel_reports_preemption;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+(* The trace library: counters, event log, table rendering. *)
+
+let test_counters_snapshot_diff () =
+  let c = Trace.Counters.create () in
+  Trace.Counters.charge c 10;
+  Trace.Counters.bump_instructions c;
+  let before = Trace.Counters.snapshot c in
+  Trace.Counters.charge c 5;
+  Trace.Counters.bump_instructions c;
+  Trace.Counters.bump_traps c;
+  let after = Trace.Counters.snapshot c in
+  let d = Trace.Counters.diff ~before ~after in
+  Alcotest.(check int) "cycles diff" 5 d.Trace.Counters.cycles;
+  Alcotest.(check int) "instructions diff" 1 d.Trace.Counters.instructions;
+  Alcotest.(check int) "traps diff" 1 d.Trace.Counters.traps;
+  Alcotest.(check int) "untouched diff" 0 d.Trace.Counters.calls_downward
+
+let test_counters_reset () =
+  let c = Trace.Counters.create () in
+  Trace.Counters.charge c 10;
+  Trace.Counters.bump_calls_downward c;
+  Trace.Counters.reset c;
+  Alcotest.(check int) "cycles zero" 0 (Trace.Counters.cycles c);
+  Alcotest.(check int) "calls zero" 0 (Trace.Counters.calls_downward c)
+
+let test_event_log_disabled_by_default () =
+  let log = Trace.Event.create_log () in
+  Trace.Event.record log (Trace.Event.Note "hello");
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Trace.Event.events log));
+  Trace.Event.set_enabled log true;
+  Trace.Event.record log (Trace.Event.Note "one");
+  Trace.Event.record log (Trace.Event.Note "two");
+  Alcotest.(check int) "two recorded" 2
+    (List.length (Trace.Event.events log));
+  (match Trace.Event.events log with
+  | [ Trace.Event.Note "one"; Trace.Event.Note "two" ] -> ()
+  | _ -> Alcotest.fail "order wrong");
+  Trace.Event.clear log;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.Event.events log))
+
+let test_event_rendering () =
+  let render e = Format.asprintf "%a" Trace.Event.pp e in
+  Alcotest.(check string)
+    "call event"
+    "CALL downward r4->r1 target 11|000003"
+    (render
+       (Trace.Event.Call
+          {
+            crossing = Trace.Event.Downward;
+            from_ring = 4;
+            to_ring = 1;
+            segno = 11;
+            wordno = 3;
+          }));
+  Alcotest.(check string)
+    "trap event" "TRAP in r4: boom"
+    (render (Trace.Event.Trap { ring = 4; cause = "boom" }))
+
+let test_table_rendering () =
+  let t =
+    Trace.Tablefmt.create
+      ~columns:[ ("name", Trace.Tablefmt.Left); ("n", Trace.Tablefmt.Right) ]
+  in
+  Trace.Tablefmt.add_row t [ "alpha"; "1" ];
+  Trace.Tablefmt.add_row t [ "b"; "22" ];
+  let s = Trace.Tablefmt.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check string) "header" "| name  |  n |" (List.nth lines 1);
+  Alcotest.(check string) "left align" "| alpha |  1 |" (List.nth lines 3);
+  Alcotest.(check string) "right align" "| b     | 22 |" (List.nth lines 4)
+
+let test_table_cell_count_checked () =
+  let t =
+    Trace.Tablefmt.create ~columns:[ ("a", Trace.Tablefmt.Left) ]
+  in
+  try
+    Trace.Tablefmt.add_row t [ "x"; "y" ];
+    Alcotest.fail "wrong cell count accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "counters snapshot/diff" `Quick
+          test_counters_snapshot_diff;
+        Alcotest.test_case "counters reset" `Quick test_counters_reset;
+        Alcotest.test_case "event log gating" `Quick
+          test_event_log_disabled_by_default;
+        Alcotest.test_case "event rendering" `Quick test_event_rendering;
+        Alcotest.test_case "table rendering" `Quick test_table_rendering;
+        Alcotest.test_case "table cell count" `Quick
+          test_table_cell_count_checked;
+      ] );
+  ]

@@ -1,0 +1,243 @@
+(* The traffic controller: blocking on channel I/O instead of polling,
+   with the dispatcher performing completions and reawakening
+   sleepers. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* Ring-0 reader: start the channel read, block, then pick up the
+   transferred count from the status word (no polling loop). *)
+let reader_source =
+  "start:  siot ccw,*\n\
+  \        mme =6             ; sleep until completion\n\
+  \        lda st,*\n\
+  \        tmi done           ; the done flag must already be set\n\
+  \        lda =0\n\
+  \        mme =2             ; completion missing: report 0\n\
+   done:   ana mask\n\
+  \        mme =2\n\
+   ccw:    .its 0, buf$rdccw\n\
+   st:     .its 0, buf$rdst\n\
+   mask:   .word 131071\n"
+
+let buf_source =
+  "rdccw:  .its 0, data\n\
+   rdst:   .word 8\n\
+   data:   .zero 8\n"
+
+let worker_source ~n =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5\n\
+     loop:   lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n"
+    n
+
+let build_system () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"reader"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:0 ~callable_from:0 ()))
+    reader_source;
+  Os.Store.add_source store ~name:"buf"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:0 ~readable_to:4 ()))
+    buf_source;
+  Os.Store.add_source store ~name:"worker"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    (worker_source ~n:3);
+  Os.System.create ~store ()
+
+let test_block_and_wake () =
+  let t = build_system () in
+  let reader =
+    match
+      Os.System.spawn t ~pname:"reader" ~user:"alice"
+        ~segments:[ "reader"; "buf" ]
+        ~start:("reader", "start") ~ring:0
+    with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "spawn reader: %s" e
+  in
+  (match
+     Os.System.spawn t ~pname:"worker" ~user:"bob" ~segments:[ "worker" ]
+       ~start:("worker", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn worker: %s" e);
+  Os.Device.feed reader.Os.System.process.Os.Process.typewriter "abc";
+  let exits = Os.System.run ~quantum:10 t in
+  (* The reader slept through the channel wait: the worker (pure
+     computation) finished first even though the reader was spawned
+     first. *)
+  (match List.map fst exits with
+  | [ "worker"; "reader" ] -> ()
+  | order ->
+      Alcotest.failf "expected worker first, got %s"
+        (String.concat ", " order));
+  List.iter
+    (fun (name, exit) ->
+      Alcotest.check
+        (Alcotest.testable Os.Kernel.pp_exit ( = ))
+        (name ^ " exited") Os.Kernel.Exited exit)
+    exits;
+  Alcotest.(check int) "reader saw three characters" 3
+    reader.Os.System.process.Os.Process.machine.Isa.Machine.regs
+      .Hw.Registers.a
+
+let test_block_with_nothing_pending_is_yield () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"sleepy"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  mme =6\n        mme =2\n";
+  let t = Os.System.create ~store () in
+  (match
+     Os.System.spawn t ~pname:"sleepy" ~user:"alice" ~segments:[ "sleepy" ]
+       ~start:("sleepy", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn: %s" e);
+  match Os.System.run ~quantum:10 t with
+  | [ ("sleepy", Os.Kernel.Exited) ] -> ()
+  | exits ->
+      Alcotest.failf "unexpected exits: %s"
+        (String.concat ", " (List.map fst exits))
+
+let test_all_blocked_idles_forward () =
+  (* A lone reader that blocks: the dispatcher must idle channel time
+     forward rather than spin or deadlock. *)
+  let t = build_system () in
+  let reader =
+    match
+      Os.System.spawn t ~pname:"reader" ~user:"alice"
+        ~segments:[ "reader"; "buf" ]
+        ~start:("reader", "start") ~ring:0
+    with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "spawn reader: %s" e
+  in
+  Os.Device.feed reader.Os.System.process.Os.Process.typewriter "xy";
+  match Os.System.run ~quantum:10 ~max_slices:100 t with
+  | [ ("reader", Os.Kernel.Exited) ] ->
+      Alcotest.(check int) "two characters" 2
+        reader.Os.System.process.Os.Process.machine.Isa.Machine.regs
+          .Hw.Registers.a
+  | exits ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ", "
+           (List.map
+              (fun (n, e) ->
+                Format.asprintf "%s=%a" n Os.Kernel.pp_exit e)
+              exits))
+
+(* Everything at once: three processes under one dispatcher — a paged
+   worker, a blocked-I/O reader, and a yielding process — sharing a
+   counter segment owned by the first. *)
+let test_kitchen_sink_system () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"counter"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "value:  .word 0\n";
+  Os.Store.add_source store ~name:"worker"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  lda =20\n\
+    \        sta pr6|5\n\
+     loop:   aos cell,*\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n";
+  Os.Store.add_source store ~name:"reader"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:0 ~callable_from:0 ()))
+    reader_source;
+  Os.Store.add_source store ~name:"buf"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:0 ~readable_to:4 ()))
+    buf_source;
+  Os.Store.add_source store ~name:"polite"
+    ~acl:
+      (wildcard
+         (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()))
+    "start:  lda =6\n\
+    \        sta pr6|5\n\
+     loop:   aos cell,*\n\
+    \        mme =5             ; yield each round\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n";
+  let t = Os.System.create ~store () in
+  let spawn ?shared ?paged pname user segments start ring =
+    match
+      Os.System.spawn ?shared ?paged t ~pname ~user ~segments ~start ~ring
+    with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "spawn %s: %s" pname e
+  in
+  let w =
+    spawn "worker" "alice" [ "worker"; "counter" ] ("worker", "start") 4
+  in
+  (* The reader is demand-paged: page faults interleave with its
+     channel I/O. *)
+  let r =
+    spawn ~paged:true "reader" "root" [ "reader"; "buf" ]
+      ("reader", "start") 0
+  in
+  let _ =
+    spawn
+      ~shared:[ ("counter", "worker") ]
+      "polite" "bob" [ "polite" ] ("polite", "start") 4
+  in
+  Os.Device.feed r.Os.System.process.Os.Process.typewriter "42";
+  let exits = Os.System.run ~quantum:15 t in
+  List.iter
+    (fun (name, exit) ->
+      Alcotest.check
+        (Alcotest.testable Os.Kernel.pp_exit ( = ))
+        (name ^ " exited") Os.Kernel.Exited exit)
+    exits;
+  Alcotest.(check int) "three processes" 3 (List.length exits);
+  Alcotest.(check int) "reader transferred two characters" 2
+    r.Os.System.saved_regs.Hw.Registers.a;
+  (match
+     Os.Process.address_of w.Os.System.process ~segment:"counter"
+       ~symbol:"value"
+   with
+  | Some addr -> (
+      match Os.Process.kread w.Os.System.process addr with
+      | Ok v -> Alcotest.(check int) "26 shared increments" 26 v
+      | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "counter missing");
+  let s =
+    Trace.Counters.snapshot (Os.System.machine t).Isa.Machine.counters
+  in
+  Alcotest.(check bool) "paging happened" true
+    (s.Trace.Counters.page_faults > 0)
+
+let suite =
+  [
+    ( "traffic",
+      [
+        Alcotest.test_case "block and wake" `Quick test_block_and_wake;
+        Alcotest.test_case "block without pending I/O" `Quick
+          test_block_with_nothing_pending_is_yield;
+        Alcotest.test_case "all blocked idles forward" `Quick
+          test_all_blocked_idles_forward;
+        Alcotest.test_case "kitchen sink system" `Quick
+          test_kitchen_sink_system;
+      ] );
+  ]
+

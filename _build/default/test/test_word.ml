@@ -1,0 +1,68 @@
+(* 36-bit word arithmetic and field manipulation. *)
+
+let test_mask () =
+  Alcotest.(check int) "mask" ((1 lsl 36) - 1) Hw.Word.mask;
+  Alcotest.(check int) "wraps" 0 (Hw.Word.of_int (1 lsl 36));
+  Alcotest.(check int) "wraps high bits" 5 (Hw.Word.of_int ((1 lsl 36) + 5))
+
+let test_signed () =
+  Alcotest.(check int) "minus one encodes" Hw.Word.mask (Hw.Word.of_signed (-1));
+  Alcotest.(check int) "minus one decodes" (-1)
+    (Hw.Word.to_signed (Hw.Word.of_signed (-1)));
+  Alcotest.(check int) "positive round trip" 12345
+    (Hw.Word.to_signed (Hw.Word.of_signed 12345));
+  Alcotest.(check bool) "negative flag" true
+    (Hw.Word.is_negative (Hw.Word.of_signed (-7)));
+  Alcotest.(check bool) "zero flag" true (Hw.Word.is_zero 0)
+
+let test_arithmetic () =
+  Alcotest.(check int) "add wraps" 0 (Hw.Word.add Hw.Word.mask 1);
+  Alcotest.(check int) "sub wraps" Hw.Word.mask (Hw.Word.sub 0 1);
+  Alcotest.(check int) "mul" (Hw.Word.of_signed (-30))
+    (Hw.Word.mul (Hw.Word.of_signed 5) (Hw.Word.of_signed (-6)));
+  Alcotest.(check (option int))
+    "div" (Some (Hw.Word.of_signed (-3)))
+    (Hw.Word.div (Hw.Word.of_signed (-15)) (Hw.Word.of_signed 5));
+  Alcotest.(check (option int)) "div by zero" None (Hw.Word.div 5 0)
+
+let test_fields () =
+  let w = Hw.Word.set_field ~pos:14 ~width:21 0o1234567 0 in
+  Alcotest.(check int) "field round trip" 0o1234567
+    (Hw.Word.field ~pos:14 ~width:21 w);
+  Alcotest.(check int) "other bits clear" 0 (Hw.Word.field ~pos:0 ~width:14 w);
+  let w2 = Hw.Word.set_field ~pos:0 ~width:14 0o777 w in
+  Alcotest.(check int) "first field preserved" 0o1234567
+    (Hw.Word.field ~pos:14 ~width:21 w2);
+  Alcotest.(check int) "second field set" 0o777
+    (Hw.Word.field ~pos:0 ~width:14 w2)
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"add/sub inverse" ~count:500
+    (QCheck.pair Gen.word36 Gen.word36) (fun (a, b) ->
+      Hw.Word.sub (Hw.Word.add a b) b = a)
+
+let prop_signed_roundtrip =
+  QCheck.Test.make ~name:"signed round trip" ~count:500
+    (QCheck.int_range (-(1 lsl 35)) ((1 lsl 35) - 1)) (fun v ->
+      Hw.Word.to_signed (Hw.Word.of_signed v) = v)
+
+let prop_field_roundtrip =
+  QCheck.Test.make ~name:"set_field/field round trip" ~count:500
+    (QCheck.triple (QCheck.int_range 0 30) (QCheck.int_range 1 6) Gen.word36)
+    (fun (pos, width, w) ->
+      let v = w land ((1 lsl width) - 1) in
+      Hw.Word.field ~pos ~width (Hw.Word.set_field ~pos ~width v 0) = v)
+
+let suite =
+  [
+    ( "word",
+      [
+        Alcotest.test_case "mask" `Quick test_mask;
+        Alcotest.test_case "signed" `Quick test_signed;
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "fields" `Quick test_fields;
+        QCheck_alcotest.to_alcotest prop_add_sub_inverse;
+        QCheck_alcotest.to_alcotest prop_signed_roundtrip;
+        QCheck_alcotest.to_alcotest prop_field_roundtrip;
+      ] );
+  ]
