@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench examples doc clean
+.PHONY: all test bench bench-smoke examples doc clean
 
 all:
 	dune build @all
@@ -10,6 +10,23 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Fast sanity pass: fig1 and c1 plus the throughput experiment, with a
+# determinism check — the modeled-cycle output must be byte-identical
+# across runs.  The host-time tables (bechamel ns/run, wall-clock) are
+# stripped first: they measure the host and are expected to wobble.
+BENCH_NOISE_FILTER = sed -e '/micro-benchmark/,/^$$/d' \
+                         -e '/host wall-clock/,/^$$/d' \
+                         -e '/host time/,/^$$/d'
+
+bench-smoke:
+	dune build bench/main.exe
+	_build/default/bench/main.exe fig1 c1 | $(BENCH_NOISE_FILTER) > /tmp/bench_smoke_a.out
+	_build/default/bench/main.exe fig1 c1 | $(BENCH_NOISE_FILTER) > /tmp/bench_smoke_b.out
+	@diff /tmp/bench_smoke_a.out /tmp/bench_smoke_b.out \
+	  && echo "bench-smoke: modeled-cycle output deterministic" \
+	  || { echo "bench-smoke: modeled-cycle output DIFFERS between runs"; exit 1; }
+	_build/default/bench/main.exe throughput
 
 examples:
 	@for e in quickstart protected_subsystem layered_supervisor debug_ring \

@@ -104,8 +104,8 @@ let c1 () =
     | Ok p -> ignore (Os.Kernel.run ~max_instructions:100_000 p)
     | Error _ -> ()
   in
-  Bech.print_table ~title:"C1 - host wall-clock (16 crossings incl. setup)"
-    (Bech.measure ~quota:0.5
+  Bench_util.print_table ~title:"C1 - host wall-clock (16 crossings incl. setup)"
+    (Bench_util.measure ~quota:0.5
        [
          ("hardware rings", run Os.Scenario.default_config);
          ("645 software rings", run Os.Scenario.software_config);

@@ -74,8 +74,8 @@ let fig1 () =
   access_matrix
     ~title:"Fig. 1 - writable data segment (R,W on; W bracket 0-4, R bracket 0-5)"
     access;
-  Bech.print_table ~title:"Fig. 1 - validation micro-benchmark"
-    (Bech.measure
+  Bench_util.print_table ~title:"Fig. 1 - validation micro-benchmark"
+    (Bench_util.measure
        [
          ( "validate_read (allowed)",
            fun () ->
@@ -182,8 +182,8 @@ let fig3 () =
   Printf.printf
     "indirect-word decode/encode identity on %d random words: %d (total codec)\n"
     trials !ind_ok;
-  Bech.print_table ~title:"Fig. 3 - codec micro-benchmark"
-    (Bech.measure
+  Bench_util.print_table ~title:"Fig. 3 - codec micro-benchmark"
+    (Bench_util.measure
        [
          ("SDW encode+decode", fun () -> ignore (Hw.Sdw.decode (Hw.Sdw.encode sdw)));
          ( "instruction encode+decode",
@@ -242,8 +242,8 @@ let fig4 () =
     (Isa.Instr.encode (Isa.Instr.v ~offset:0 Isa.Opcode.TRA));
   m.Isa.Machine.regs.Hw.Registers.ipr <-
     { Hw.Registers.ring = r 4; addr = Hw.Addr.v ~segno:1 ~wordno:0 };
-  Bech.print_table ~title:"Fig. 4 - simulated instruction cycle (host time)"
-    (Bech.measure
+  Bench_util.print_table ~title:"Fig. 4 - simulated instruction cycle (host time)"
+    (Bench_util.measure
        [ ("fetch+validate+execute (TRA loop)", fun () -> ignore (Isa.Cpu.step m)) ]);
   print_newline ()
 
@@ -344,8 +344,8 @@ let fig5 () =
           fun () -> ignore (Isa.Eff_addr.compute m instr) ))
       [ 0; 2; 4; 6 ]
   in
-  Bech.print_table ~title:"Fig. 5 - address formation (host time)"
-    (Bech.measure benches);
+  Bench_util.print_table ~title:"Fig. 5 - address formation (host time)"
+    (Bench_util.measure benches);
   print_newline ()
 
 (* Fig. 6: read/write operand validation across every bracket

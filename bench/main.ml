@@ -19,6 +19,7 @@ let experiments =
     ("ablations", Cost.ablations);
     ("paging", Cost.paging);
     ("traps", Cost.traps);
+    ("throughput", Throughput.throughput);
   ]
 
 let () =

@@ -1,0 +1,144 @@
+(* Host-side simulator throughput: how many simulated instructions per
+   host second the interpreter sustains on the standard scenario
+   workloads.  This is the benchmark the associative-memory subsystem
+   is meant to move; the modeled-cycle figures (fig1..fig9, c1, c2)
+   must not move at all.
+
+   Emits BENCH_throughput.json in the current directory so the
+   trajectory is tracked across PRs. *)
+
+type sample = {
+  name : string;
+  instructions : int;
+  seconds : float;
+  ips : float;
+  cycles : int;
+  snapshot : Trace.Counters.snapshot;
+}
+
+let run_workload ~name ~max_instructions build =
+  match build () with
+  | Error e -> failwith (Printf.sprintf "%s: build failed: %s" name e)
+  | Ok p ->
+      let m = p.Os.Process.machine in
+      let c = m.Isa.Machine.counters in
+      let i0 = Trace.Counters.instructions c in
+      let t0 = Unix.gettimeofday () in
+      let exit = Os.Kernel.run ~max_instructions p in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match exit with
+      | Os.Kernel.Exited -> ()
+      | e ->
+          failwith
+            (Format.asprintf "%s: did not exit cleanly: %a" name
+               Os.Kernel.pp_exit e));
+      let instructions = Trace.Counters.instructions c - i0 in
+      {
+        name;
+        instructions;
+        seconds = dt;
+        ips = float_of_int instructions /. dt;
+        cycles = Trace.Counters.cycles c;
+        snapshot = Trace.Counters.snapshot c;
+      }
+
+(* The standard workloads, scaled up far enough that per-run setup is
+   noise and steady-state cache behaviour dominates. *)
+let workloads =
+  [
+    ( "crossing-hw",
+      4_000_000,
+      fun () ->
+        Os.Scenario.crossing ~config:Os.Scenario.default_config
+          ~caller_ring:4 ~callee_ring:1 ~iterations:40_000 () );
+    ( "crossing-645",
+      4_000_000,
+      fun () ->
+        Os.Scenario.crossing ~config:Os.Scenario.software_config
+          ~caller_ring:4 ~callee_ring:1 ~iterations:20_000 () );
+    ( "same-ring",
+      4_000_000,
+      fun () ->
+        Os.Scenario.same_ring_pair ~config:Os.Scenario.default_config
+          ~ring:4 ~iterations:40_000 () );
+    ( "audited",
+      8_000_000,
+      fun () -> Workloads.build_audited ~config:Os.Scenario.default_config
+          40_000 );
+    ( "paged-crossing",
+      4_000_000,
+      fun () ->
+        Os.Scenario.crossing
+          ~config:{ Os.Scenario.default_config with Os.Scenario.paged = true }
+          ~caller_ring:4 ~callee_ring:1 ~with_argument:true
+          ~iterations:20_000 () );
+  ]
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let json_of_samples samples =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"workloads\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let (hits, misses) = Throughput_stats.sdw_cache s.snapshot in
+      let (phits, pmisses) = Throughput_stats.ptw_cache s.snapshot in
+      let (ihits, imisses) = Throughput_stats.icache s.snapshot in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"instructions\": %d, \"seconds\": %.6f, \
+            \"instructions_per_sec\": %.0f, \"modeled_cycles\": %d, \
+            \"sdw_cache_hit_pct\": %.2f, \"ptw_cache_hit_pct\": %.2f, \
+            \"icache_hit_pct\": %.2f}"
+           s.name s.instructions s.seconds s.ips s.cycles
+           (pct hits (hits + misses))
+           (pct phits (phits + pmisses))
+           (pct ihits (ihits + imisses))))
+    samples;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let throughput () =
+  let samples =
+    List.map
+      (fun (name, max_instructions, build) ->
+        run_workload ~name ~max_instructions build)
+      workloads
+  in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("workload", Trace.Tablefmt.Left);
+          ("instructions", Trace.Tablefmt.Right);
+          ("host seconds", Trace.Tablefmt.Right);
+          ("instr/sec", Trace.Tablefmt.Right);
+          ("SDW cache hit%", Trace.Tablefmt.Right);
+          ("PTW cache hit%", Trace.Tablefmt.Right);
+          ("icache hit%", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun s ->
+      let (hits, misses) = Throughput_stats.sdw_cache s.snapshot in
+      let (phits, pmisses) = Throughput_stats.ptw_cache s.snapshot in
+      let (ihits, imisses) = Throughput_stats.icache s.snapshot in
+      Trace.Tablefmt.add_row t
+        [
+          s.name;
+          string_of_int s.instructions;
+          Printf.sprintf "%.3f" s.seconds;
+          Printf.sprintf "%.0f" s.ips;
+          Printf.sprintf "%.1f" (pct hits (hits + misses));
+          Printf.sprintf "%.1f" (pct phits (phits + pmisses));
+          Printf.sprintf "%.1f" (pct ihits (ihits + imisses));
+        ])
+    samples;
+  Trace.Tablefmt.print
+    ~title:"Throughput - host instructions/sec on the scenario workloads" t;
+  print_newline ();
+  let oc = open_out "BENCH_throughput.json" in
+  output_string oc (json_of_samples samples);
+  close_out oc;
+  Printf.printf "wrote BENCH_throughput.json\n"

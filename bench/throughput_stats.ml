@@ -1,0 +1,10 @@
+(* Cache hit/miss extraction for the throughput bench, isolated so the
+   bench itself is independent of which counters exist. *)
+
+let sdw_cache (s : Trace.Counters.snapshot) =
+  (s.sdw_cache_hits, s.sdw_cache_misses)
+
+let ptw_cache (s : Trace.Counters.snapshot) =
+  (s.ptw_tlb_hits, s.ptw_tlb_misses)
+
+let icache (s : Trace.Counters.snapshot) = (s.icache_hits, s.icache_misses)

@@ -1,8 +1,10 @@
 let words_per_sdw = 2
 
-let fetch_sdw mem (dbr : Registers.dbr) ~segno =
-  Trace.Counters.bump_sdw_fetches (Memory.counters mem);
-  Trace.Counters.charge (Memory.counters mem) Costs.sdw_fetch;
+(* The counter-free fetch: what the hardware reads from the descriptor
+   segment, without modeling any activity.  The machine's host-side
+   SDW cache refills through this so cache residency never perturbs
+   the modeled cycle accounting. *)
+let fetch_sdw_silent mem (dbr : Registers.dbr) ~segno =
   if segno < 0 || segno >= dbr.bound then
     Error (Rings.Fault.Missing_segment { segno })
   else
@@ -15,6 +17,11 @@ let fetch_sdw mem (dbr : Registers.dbr) ~segno =
     | Ok sdw ->
         if sdw.Sdw.present then Ok sdw
         else Error (Rings.Fault.Missing_segment { segno })
+
+let fetch_sdw mem (dbr : Registers.dbr) ~segno =
+  Trace.Counters.bump_sdw_fetches (Memory.counters mem);
+  Trace.Counters.charge (Memory.counters mem) Costs.sdw_fetch;
+  fetch_sdw_silent mem dbr ~segno
 
 let store_sdw mem (dbr : Registers.dbr) ~segno sdw =
   if segno < 0 || segno >= dbr.bound then

@@ -24,6 +24,11 @@ val fetch_sdw :
     is no such segment.  Bumps the SDW-fetch counter; per the cost
     model the fetch itself is free (associative memory). *)
 
+val fetch_sdw_silent :
+  Memory.t -> Registers.dbr -> segno:int -> (Sdw.t, Rings.Fault.t) result
+(** [fetch_sdw] without any counter or cycle activity, for host-side
+    cache refills that must not perturb the modeled cost accounting. *)
+
 val store_sdw : Memory.t -> Registers.dbr -> segno:int -> Sdw.t -> unit
 (** Encode and store an SDW.  Used by supervisor-level code and the
     loader; accesses are silent.  Raises [Invalid_argument] if [segno]

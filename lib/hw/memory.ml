@@ -1,12 +1,19 @@
-type t = { words : int array; counters : Trace.Counters.t }
+type t = {
+  words : int array;
+  counters : Trace.Counters.t;
+  mutable on_write : int -> unit;
+}
 
 let default_size = 1 lsl 21
 
+let ignore_write (_ : int) = ()
+
 let create ?(size = default_size) counters =
-  { words = Array.make size 0; counters }
+  { words = Array.make size 0; counters; on_write = ignore_write }
 
 let size t = Array.length t.words
 let counters t = t.counters
+let set_write_observer t f = t.on_write <- f
 
 let check t addr =
   if addr < 0 || addr >= Array.length t.words then
@@ -18,7 +25,8 @@ let read_silent t addr =
 
 let write_silent t addr w =
   check t addr;
-  t.words.(addr) <- Word.of_int w
+  t.words.(addr) <- Word.of_int w;
+  t.on_write addr
 
 let read t addr =
   Trace.Counters.bump_memory_reads t.counters;

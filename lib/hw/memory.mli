@@ -19,6 +19,14 @@ val create : ?size:int -> Trace.Counters.t -> t
 val size : t -> int
 val counters : t -> Trace.Counters.t
 
+val set_write_observer : t -> (int -> unit) -> unit
+(** [set_write_observer t f] arranges for [f addr] to run after every
+    store into [t] — {!write} and {!write_silent} alike — so caches
+    layered above memory (SDW, page-table and decoded-instruction
+    associative memories) can invalidate entries that depend on the
+    written word.  One observer at a time; the machine that owns the
+    memory installs it.  The observer must not write to [t]. *)
+
 val read : t -> int -> Word.t
 val write : t -> int -> Word.t -> unit
 

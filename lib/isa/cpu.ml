@@ -3,14 +3,10 @@ type outcome = Running | Halted | Faulted of Rings.Fault.t
 let ( let* ) = Result.bind
 
 (* Fig. 4: retrieve the next instruction, validating the execute
-   bracket as the SDW becomes available during address translation. *)
-let fetch m =
-  let regs = m.Machine.regs in
-  let ipr = regs.Hw.Registers.ipr in
-  let* sdw, abs = Machine.resolve m ipr.Hw.Registers.addr in
-  let* () = Machine.validate_fetch m sdw ~ring:ipr.Hw.Registers.ring in
-  let word = Hw.Memory.read m.Machine.mem abs in
-  Instr.decode word
+   bracket as the SDW becomes available during address translation.
+   The whole sequence — translation, validation, word read, decode —
+   is memoized by the machine's fetch cache. *)
+let fetch m = Machine.fetch_instr m
 
 let step m =
   if m.Machine.halted then Halted

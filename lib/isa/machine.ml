@@ -14,6 +14,106 @@ type io_request = {
   count : int;
 }
 
+(* Associative-memory keys are packed into a single immediate int so
+   the hot path never allocates a tuple or runs the polymorphic hash
+   over one.
+
+   SDW entries are identified by (descriptor segment base, segno):
+   base is at most 21 bits, segno at most {!Hw.Addr.segno_bits}.
+
+   PTW entries are identified by (descriptor segment base, segno,
+   pageno): wordno is under 2^18 and pages are 1024 words, so pageno
+   fits 8 bits, and the whole key fits 43 bits.  Including the base
+   keeps entries from a 645-style per-ring descriptor segment alive
+   across the DBR flips of every ring crossing, exactly like the
+   modeled associative memory.
+
+   A PTW value packs (page-table word address, frame base), both under
+   22 bits, so a TLB hit allocates nothing and eviction can still find
+   the watch entry. *)
+let segno_mask = (1 lsl Hw.Addr.segno_bits) - 1
+let sdw_key ~base ~segno = (base lsl Hw.Addr.segno_bits) lor segno
+let pageno_bits = 8
+let ptw_key ~base ~segno ~pageno =
+  (base lsl (Hw.Addr.segno_bits + pageno_bits))
+  lor (segno lsl pageno_bits)
+  lor pageno
+
+let ptw_value ~waddr ~frame_base = (waddr lsl 22) lor frame_base
+let ptw_value_frame v = v land ((1 lsl 22) - 1)
+
+(* A fetch-cache key identifies everything a cached instruction fetch
+   was computed from that can vary per fetch: descriptor segment base,
+   segment, ring of execution and word number — 21+14+3+18 = 56
+   bits. *)
+let fetch_key ~base ~ring ~segno ~wordno =
+  (((base lsl Hw.Addr.segno_bits) lor segno) lsl 21)
+  lor (ring lsl 18) lor wordno
+
+(* An instruction cached with the generation current at fill time;
+   stale generations (descriptor writes, page-table writes,
+   invalidations, modeled-cache flushes) make every older entry miss
+   without a scan.  [f_paged] records which modeled walk to replay.
+   The prebuilt result is stored so a hit allocates nothing. *)
+type fetch_entry = {
+  f_res : (Instr.t, Rings.Fault.t) result;
+  f_gen : int;
+  f_paged : bool;
+}
+
+(* Same idea for whole address translations: a generation-current hit
+   returns the prebuilt [Ok (sdw, abs)] and replays the modeled
+   activity of the walk that filled it.  Keyed by packed (DBR base,
+   segno, wordno) — faults are never cached. *)
+type resolve_entry = {
+  r_res : (Hw.Sdw.t * int, Rings.Fault.t) result;
+  r_gen : int;
+  r_paged : bool;
+}
+
+let resolve_key ~base ~segno ~wordno =
+  (((base lsl Hw.Addr.segno_bits) lor segno) lsl 18) lor wordno
+
+(* Both memo tables are direct-mapped: a power-of-two slot array
+   indexed by the low key bits, the full key stored alongside for the
+   match check.  One masked array probe per lookup — no hashing — and
+   a colliding fill simply overwrites.  Slot [-1] is empty (keys are
+   non-negative), and the dummy entries carry a never-current
+   generation so an uninitialized slot can never hit. *)
+let fetch_cache_slots = 8192
+let resolve_cache_slots = 8192
+
+(* Fibonacci hashing for the slot index: the packed keys carry the
+   wordno in their low bits, so masking those alone would collide
+   caller and callee code at equal word numbers in different segments.
+   One multiply spreads base, segno and ring into the top bits. *)
+let slot_index key = (key * 0x2545F4914F6CDD1D) lsr 50
+
+let fetch_index key = slot_index key
+let resolve_index key = slot_index key
+
+let dummy_fetch_entry =
+  {
+    f_res = Error Rings.Fault.No_execute_permission;
+    f_gen = min_int;
+    f_paged = false;
+  }
+
+let dummy_resolve_entry =
+  {
+    r_res = Error Rings.Fault.No_read_permission;
+    r_gen = min_int;
+    r_paged = false;
+  }
+
+(* Which host caches watch an absolute address, one byte per memory
+   word, so the write observer is a single byte test on the (vastly
+   common) unwatched store. *)
+let bit_sdw = 1
+let bit_ptw = 2
+let bit_icache = 4
+let bit_fetch = 8
+
 type t = {
   mem : Hw.Memory.t;
   regs : Hw.Registers.t;
@@ -30,71 +130,322 @@ type t = {
   mutable io_request : io_request option;
   mutable inhibit : bool;
   mutable trap_config : trap_config option;
-  sdw_cache : (int * int, Hw.Sdw.t) Hashtbl.t;
+  sdw_tags : (int, Hw.Sdw.t) Hashtbl.t;
+  sdw_cache : (int, Hw.Sdw.t) Hw.Assoc.t;
+  ptw_tlb : (int, int) Hw.Assoc.t;
+  icache : (int, Instr.t) Hw.Assoc.t;
+  sdw_watch : (int, int) Hashtbl.t;
+  ptw_watch : (int, int) Hashtbl.t;
+  fetch_slots : int array;
+  fetch_entries : fetch_entry array;
+  fetch_watch : (int, int) Hashtbl.t;
+  resolve_slots : int array;
+  resolve_entries : resolve_entry array;
+  mutable fetch_gen : int;
+  watched : Bytes.t;
+  mutable sdw_cache_base : int;
+  mutable resident_bases : int list;
 }
+
+let cache_capacity = 64
+let sdw_cache_entries = 512
+let ptw_tlb_entries = 256
+let icache_entries = 4096
+
+(* Watch tables use Hashtbl.add multi-bindings: distinct descriptor
+   segments can interleave in absolute memory, and per-ring descriptor
+   segments of a 645-style process share page tables, so one written
+   word can back several cached entries. *)
+let watch t ~bit table addr key =
+  if not (List.mem key (Hashtbl.find_all table addr)) then
+    Hashtbl.add table addr key;
+  Bytes.unsafe_set t.watched addr
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.watched addr) lor bit))
+
+let unwatch_all table addr =
+  while Hashtbl.mem table addr do
+    Hashtbl.remove table addr
+  done
+
+let drop_ptw_where t pred =
+  ignore
+    (Hw.Assoc.drop_where t.ptw_tlb (fun key v ->
+         if pred key then begin
+           unwatch_all t.ptw_watch (v lsr 22);
+           true
+         end
+         else false))
+
+(* Memory-write coherence, slow half: the written word is (or once
+   was) backing host-cached state.  An overwritten SDW invalidates its
+   cached decode, every TLB entry translated through it, and — via the
+   generation counter — every cached instruction fetch, since those
+   froze its translation and access check.  An overwritten PTW
+   invalidates its TLB entries.  Any store invalidates decoded
+   instructions at that absolute address, so self-modifying code
+   refetches.  The modeled tag store's population is deliberately
+   untouched: the modeled hardware requires an explicit
+   [invalidate_sdw], and its hit/miss pattern (hence the cycle
+   accounting) must not depend on host cache residency. *)
+let on_watched_write t addr b =
+  if b land bit_sdw <> 0 then begin
+    List.iter
+      (fun key ->
+        (* The modeled tag must survive, but its host-side decode is
+           now stale: mark it with the [absent] sentinel so the next
+           hit refetches silently. *)
+        if Hashtbl.mem t.sdw_tags key then
+          Hashtbl.replace t.sdw_tags key Hw.Sdw.absent;
+        ignore (Hw.Assoc.remove t.sdw_cache key);
+        drop_ptw_where t (fun k -> k lsr pageno_bits = key))
+      (Hashtbl.find_all t.sdw_watch addr);
+    unwatch_all t.sdw_watch addr;
+    t.fetch_gen <- t.fetch_gen + 1
+  end;
+  if b land bit_ptw <> 0 then begin
+    List.iter
+      (fun key -> ignore (Hw.Assoc.remove t.ptw_tlb key))
+      (Hashtbl.find_all t.ptw_watch addr);
+    unwatch_all t.ptw_watch addr;
+    (* Cached fetches from paged segments froze a translation through
+       some PTW; a rewritten page table must fault or retranslate. *)
+    t.fetch_gen <- t.fetch_gen + 1
+  end;
+  if b land bit_icache <> 0 then ignore (Hw.Assoc.remove t.icache addr);
+  if b land bit_fetch <> 0 then begin
+    List.iter
+      (fun key ->
+        let i = fetch_index key in
+        if Array.unsafe_get t.fetch_slots i = key then
+          Array.unsafe_set t.fetch_slots i (-1))
+      (Hashtbl.find_all t.fetch_watch addr);
+    unwatch_all t.fetch_watch addr
+  end;
+  Bytes.unsafe_set t.watched addr '\000'
+
+(* Fast half: one byte test per store. *)
+let on_memory_write t addr =
+  let b = Char.code (Bytes.unsafe_get t.watched addr) in
+  if b <> 0 then on_watched_write t addr b
 
 let create ?(mode = Ring_hardware)
     ?(stack_rule = Rings.Stack_rule.Segno_equals_ring)
     ?(gate_on_same_ring = true) ?(use_r1_in_indirection = true) ?mem_size ()
     =
   let counters = Trace.Counters.create () in
-  {
-    mem = Hw.Memory.create ?size:mem_size counters;
-    regs = Hw.Registers.create ();
-    counters;
-    log = Trace.Event.create_log ();
-    mode;
-    stack_rule;
-    gate_on_same_ring;
-    use_r1_in_indirection;
-    halted = false;
-    saved = None;
-    timer = None;
-    io_countdown = None;
-    io_request = None;
-    inhibit = false;
-    trap_config = None;
-    sdw_cache = Hashtbl.create 64;
-  }
+  let mem = Hw.Memory.create ?size:mem_size counters in
+  let t =
+    {
+      mem;
+      regs = Hw.Registers.create ();
+      counters;
+      log = Trace.Event.create_log ();
+      mode;
+      stack_rule;
+      gate_on_same_ring;
+      use_r1_in_indirection;
+      halted = false;
+      saved = None;
+      timer = None;
+      io_countdown = None;
+      io_request = None;
+      inhibit = false;
+      trap_config = None;
+      sdw_tags = Hashtbl.create cache_capacity;
+      sdw_cache = Hw.Assoc.create ~capacity:sdw_cache_entries ();
+      ptw_tlb = Hw.Assoc.create ~capacity:ptw_tlb_entries ();
+      icache = Hw.Assoc.create ~capacity:icache_entries ();
+      sdw_watch = Hashtbl.create 64;
+      ptw_watch = Hashtbl.create 64;
+      fetch_slots = Array.make fetch_cache_slots (-1);
+      fetch_entries = Array.make fetch_cache_slots dummy_fetch_entry;
+      fetch_watch = Hashtbl.create 256;
+      resolve_slots = Array.make resolve_cache_slots (-1);
+      resolve_entries = Array.make resolve_cache_slots dummy_resolve_entry;
+      fetch_gen = 0;
+      watched = Bytes.make (Hw.Memory.size mem) '\000';
+      sdw_cache_base = -1;
+      resident_bases = [];
+    }
+  in
+  Hw.Memory.set_write_observer t.mem (on_memory_write t);
+  t
 
 let ring t = t.regs.Hw.Registers.ipr.Hw.Registers.ring
 
-let cache_capacity = 64
+(* The modeled associative memory: same replacement behaviour as the
+   original simulated hardware — [cache_capacity] entries, flushed
+   wholesale when full — so the cycle accounting is reproduced
+   bit-for-bit.  Each tag carries the host's decoded SDW so the common
+   case (modeled hit, coherent value) is a single int-keyed lookup;
+   {!Hw.Sdw.absent} never enters through an insert (only present SDWs
+   are cached), so it doubles as the "host value stale" sentinel. *)
+let tag_insert t key sdw =
+  if Hashtbl.length t.sdw_tags >= cache_capacity then begin
+    Hashtbl.clear t.sdw_tags;
+    (* Cached fetches replay a modeled tag hit; a flushed tag store
+       makes every one of them a modeled miss again. *)
+    t.fetch_gen <- t.fetch_gen + 1
+  end;
+  Hashtbl.replace t.sdw_tags key sdw
 
-let fetch_sdw t ~segno =
-  let dbr = t.regs.Hw.Registers.dbr in
-  let key = (dbr.Hw.Registers.base, segno) in
-  match Hashtbl.find_opt t.sdw_cache key with
-  | Some sdw ->
-      Trace.Counters.bump_sdw_fetches t.counters;
+let host_insert_sdw t ~base ~segno key sdw =
+  (match Hw.Assoc.insert t.sdw_cache key sdw with
+  | None -> ()
+  | Some _ -> Trace.Counters.bump_sdw_cache_evictions t.counters);
+  let a = base + (Hw.Descriptor.words_per_sdw * segno) in
+  watch t ~bit:bit_sdw t.sdw_watch a key;
+  watch t ~bit:bit_sdw t.sdw_watch (a + 1) key
+
+(* A reloaded DBR names a different descriptor segment.  A 645
+   process keeps one descriptor segment per ring (at most
+   {!Rings.Ring.count}), and switching rings flips the DBR between
+   them on every crossing, so bases inside that working set stay
+   resident — write-coherence is the observer's job, not the purge's.
+   A reload to a base {e outside} the working set is a process switch
+   (or a genuinely new descriptor segment): entries cached under the
+   old bases are dropped rather than left to squat until capacity
+   eviction.  Lazy detection — the DBR is written directly by LDBR,
+   the kernel and the 645 descriptor-segment switch, so [fetch_sdw]
+   notices the base change on the next translation. *)
+let sync_dbr_base t base =
+  if not (List.memq base t.resident_bases) then begin
+    if List.length t.resident_bases >= Rings.Ring.count then begin
+      ignore
+        (Hw.Assoc.drop_where t.sdw_cache (fun key _ ->
+             key lsr Hw.Addr.segno_bits <> base));
+      t.resident_bases <- [ base ]
+    end
+    else t.resident_bases <- base :: t.resident_bases
+  end;
+  t.sdw_cache_base <- base
+
+(* Modeled hit whose host-side decode was invalidated by a write:
+   refetch silently and heal the tag.  The modeled activity is the hit
+   already bumped by the caller — nothing further is charged. *)
+let refill_tag t dbr ~base ~segno key =
+  Trace.Counters.bump_sdw_cache_misses t.counters;
+  match Hw.Descriptor.fetch_sdw_silent t.mem dbr ~segno with
+  | Error _ as e -> e
+  | Ok sdw ->
+      Hashtbl.replace t.sdw_tags key sdw;
+      host_insert_sdw t ~base ~segno key sdw;
       Ok sdw
-  | None -> (
+
+(* Modeled miss: the two SDW words are read from core — charged as
+   memory traffic exactly as before the host cache split.  The host
+   LRU spares the walk when it can. *)
+let fetch_sdw_miss t dbr ~base ~segno key =
+  match Hw.Assoc.find t.sdw_cache key with
+  | Some sdw when segno < dbr.Hw.Registers.bound ->
+      (* Replays the uncached walk's accounting exactly: the SDW-fetch
+         bump and charge, then the two SDW words from core.  (The
+         bound guard mirrors the walk's own check — a shrunk DBR bound
+         must still fault.) *)
+      Trace.Counters.bump_sdw_cache_hits t.counters;
+      Trace.Counters.bump_sdw_fetches t.counters;
+      Trace.Counters.charge t.counters Hw.Costs.sdw_fetch;
+      Trace.Counters.charge t.counters (2 * Hw.Costs.memory_access);
+      tag_insert t key sdw;
+      (* Refreshes recency and re-arms the descriptor-word watches the
+         observer may have dropped while only the LRU entry lived. *)
+      host_insert_sdw t ~base ~segno key sdw;
+      Ok sdw
+  | Some _ | None -> (
+      Trace.Counters.bump_sdw_cache_misses t.counters;
       match Hw.Descriptor.fetch_sdw t.mem dbr ~segno with
       | Error _ as e -> e
       | Ok sdw ->
-          (* Associative-memory miss: the two SDW words were read from
-             core; charge them as memory traffic. *)
           Trace.Counters.charge t.counters (2 * Hw.Costs.memory_access);
-          if Hashtbl.length t.sdw_cache >= cache_capacity then
-            Hashtbl.clear t.sdw_cache;
-          Hashtbl.replace t.sdw_cache key sdw;
+          tag_insert t key sdw;
+          host_insert_sdw t ~base ~segno key sdw;
           Ok sdw)
+
+let fetch_sdw t ~segno =
+  let dbr = t.regs.Hw.Registers.dbr in
+  let base = dbr.Hw.Registers.base in
+  if base <> t.sdw_cache_base then sync_dbr_base t base;
+  let key = sdw_key ~base ~segno in
+  match Hashtbl.find t.sdw_tags key with
+  | sdw when sdw != Hw.Sdw.absent ->
+      (* Modeled hit with a coherent host decode — the hot path. *)
+      Trace.Counters.bump_sdw_fetches t.counters;
+      Trace.Counters.bump_sdw_cache_hits t.counters;
+      Ok sdw
+  | _ ->
+      Trace.Counters.bump_sdw_fetches t.counters;
+      refill_tag t dbr ~base ~segno key
+  | exception Not_found -> fetch_sdw_miss t dbr ~base ~segno key
 
 let invalidate_sdw t ~segno =
   let stale =
     Hashtbl.fold
-      (fun ((_, s) as key) _ acc -> if s = segno then key :: acc else acc)
-      t.sdw_cache []
+      (fun key _ acc -> if key land segno_mask = segno then key :: acc else acc)
+      t.sdw_tags []
   in
-  List.iter (Hashtbl.remove t.sdw_cache) stale
+  List.iter (Hashtbl.remove t.sdw_tags) stale;
+  ignore
+    (Hw.Assoc.drop_where t.sdw_cache (fun key _ ->
+         key land segno_mask = segno));
+  drop_ptw_where t (fun key ->
+      (key lsr pageno_bits) land segno_mask = segno);
+  (* Conservatively drop decoded instructions too: revoking a segment
+     must leave nothing derived from it behind. *)
+  Hw.Assoc.clear t.icache;
+  Array.fill t.fetch_slots 0 fetch_cache_slots (-1);
+  Hashtbl.reset t.fetch_watch;
+  Array.fill t.resolve_slots 0 resolve_cache_slots (-1);
+  t.fetch_gen <- t.fetch_gen + 1
 
-let resolve t (addr : Hw.Addr.t) =
+(* Paged translation with a host-side TLB.  The modeled activity is
+   identical on hit and miss — one PTW retrieval counted and charged
+   as a memory access, exactly {!Hw.Descriptor.translate_paged} — the
+   TLB only spares the host the read-decode on a hit.  Not-present
+   PTWs are never cached, so a missing page faults afresh each time,
+   as the uncached walk does. *)
+let translate_paged_cached t (sdw : Hw.Sdw.t) ~segno ~wordno =
+  if not (Hw.Sdw.contains sdw ~wordno) then
+    Error (Rings.Fault.Bound_violation { segno; wordno; bound = sdw.Hw.Sdw.bound })
+  else begin
+    let pageno = Hw.Paging.page_of_wordno wordno in
+    Trace.Counters.bump_ptw_fetches t.counters;
+    Trace.Counters.bump_memory_reads t.counters;
+    Trace.Counters.charge t.counters Hw.Costs.memory_access;
+    let key =
+      ptw_key ~base:t.regs.Hw.Registers.dbr.Hw.Registers.base ~segno ~pageno
+    in
+    match Hw.Assoc.find t.ptw_tlb key with
+    | Some v ->
+        Trace.Counters.bump_ptw_tlb_hits t.counters;
+        Ok (ptw_value_frame v + Hw.Paging.offset_in_page wordno)
+    | None ->
+        Trace.Counters.bump_ptw_tlb_misses t.counters;
+        let waddr = sdw.Hw.Sdw.base + pageno in
+        let ptw = Hw.Paging.decode_ptw (Hw.Memory.read_silent t.mem waddr) in
+        if ptw.Hw.Paging.present then begin
+          let frame = ptw.Hw.Paging.frame_base in
+          (match
+             Hw.Assoc.insert t.ptw_tlb key (ptw_value ~waddr ~frame_base:frame)
+           with
+          | None -> ()
+          | Some _ ->
+              (* The evicted entry's page-table word stays watched:
+                 cached fetches may still depend on it, and a stale
+                 watch costs one harmless observer firing. *)
+              Trace.Counters.bump_ptw_tlb_evictions t.counters);
+          watch t ~bit:bit_ptw t.ptw_watch waddr key;
+          Ok (frame + Hw.Paging.offset_in_page wordno)
+        end
+        else Error (Rings.Fault.Missing_page { segno; pageno })
+  end
+
+let resolve_uncached t (addr : Hw.Addr.t) =
   match fetch_sdw t ~segno:addr.Hw.Addr.segno with
   | Error _ as e -> e
   | Ok sdw -> (
       let translated =
         if sdw.Hw.Sdw.paged then
-          Hw.Descriptor.translate_paged t.mem sdw ~segno:addr.Hw.Addr.segno
+          translate_paged_cached t sdw ~segno:addr.Hw.Addr.segno
             ~wordno:addr.Hw.Addr.wordno
         else
           Hw.Descriptor.translate sdw ~segno:addr.Hw.Addr.segno
@@ -102,12 +453,150 @@ let resolve t (addr : Hw.Addr.t) =
       in
       match translated with Error _ as e -> e | Ok abs -> Ok (sdw, abs))
 
+let resolve_slow t (addr : Hw.Addr.t) key =
+  let res = resolve_uncached t addr in
+  (match res with
+  | Ok (sdw, _) ->
+      let i = resolve_index key in
+      t.resolve_slots.(i) <- key;
+      t.resolve_entries.(i) <-
+        { r_res = res; r_gen = t.fetch_gen; r_paged = sdw.Hw.Sdw.paged }
+  | Error _ -> ());
+  res
+
+(* Replay the filling walk's modeled activity: a free SDW fetch from
+   the modeled associative memory, plus — through a page table — the
+   PTW retrieval's counted, charged core read. *)
+let resolve t (addr : Hw.Addr.t) =
+  let base = t.regs.Hw.Registers.dbr.Hw.Registers.base in
+  if base <> t.sdw_cache_base then sync_dbr_base t base;
+  let key =
+    resolve_key ~base ~segno:addr.Hw.Addr.segno ~wordno:addr.Hw.Addr.wordno
+  in
+  let i = resolve_index key in
+  if Array.unsafe_get t.resolve_slots i = key then begin
+    let e = Array.unsafe_get t.resolve_entries i in
+    if e.r_gen = t.fetch_gen then begin
+      let c = t.counters in
+      Trace.Counters.bump_sdw_fetches c;
+      Trace.Counters.bump_sdw_cache_hits c;
+      if e.r_paged then begin
+        Trace.Counters.bump_ptw_fetches c;
+        Trace.Counters.bump_memory_reads c;
+        Trace.Counters.charge c Hw.Costs.memory_access;
+        Trace.Counters.bump_ptw_tlb_hits c
+      end;
+      e.r_res
+    end
+    else resolve_slow t addr key
+  end
+  else resolve_slow t addr key
+
+(* Instruction retrieval with a decoded-instruction cache keyed by
+   absolute address.  The modeled activity on either path is the one
+   memory read the uncached fetch performed; the cache spares the host
+   the word read and re-decode.  The write observer drops entries for
+   stored-to addresses, so self-modifying code decodes the new word. *)
+let fetch_decoded t abs =
+  Trace.Counters.bump_memory_reads t.counters;
+  Trace.Counters.charge t.counters Hw.Costs.memory_access;
+  match Hw.Assoc.find t.icache abs with
+  | Some instr ->
+      Trace.Counters.bump_icache_hits t.counters;
+      Ok instr
+  | None -> (
+      Trace.Counters.bump_icache_misses t.counters;
+      match Instr.decode (Hw.Memory.read_silent t.mem abs) with
+      | Error _ as e -> e
+      | Ok instr ->
+          (match Hw.Assoc.insert t.icache abs instr with
+          | None -> ()
+          | Some _ -> Trace.Counters.bump_icache_evictions t.counters);
+          Bytes.unsafe_set t.watched abs
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get t.watched abs) lor bit_icache));
+          Ok instr)
+
 let validate_fetch t (sdw : Hw.Sdw.t) ~ring =
   match t.mode with
   | Ring_hardware -> Rings.Policy.validate_fetch sdw.access ~ring
   | Ring_software_645 ->
       if sdw.access.Rings.Access.execute then Ok ()
       else Error Rings.Fault.No_execute_permission
+
+(* Whole-fetch memoization: translation, execute validation, word
+   read and decode collapsed into one lookup.  An entry is filled
+   only from a successful uncached fetch of an unpaged segment whose
+   SDW tag is (now) resident, so a generation-current hit replays
+   precisely the modeled activity of that walk: one free SDW fetch
+   from the modeled associative memory and one core read of the
+   instruction word.  Anything that could change any ingredient —
+   a store into a descriptor segment, an SDW invalidation, a flush
+   of the modeled tag store — advances [fetch_gen]; a store over the
+   cached word drops the entry itself via [fetch_watch]. *)
+let fetch_instr_slow t (ipr : Hw.Registers.ptr) key =
+  let addr = ipr.Hw.Registers.addr in
+  match resolve t addr with
+  | Error _ as e -> e
+  | Ok (sdw, abs) -> (
+      match validate_fetch t sdw ~ring:ipr.Hw.Registers.ring with
+      | Error _ as e -> e
+      | Ok () -> (
+          match fetch_decoded t abs with
+          | Error _ as e -> e
+          | Ok _ as res ->
+              (* The watch table accumulates a binding per distinct
+                 (word, key) pair; slot overwrites leave old bindings
+                 harmlessly stale, so bound its growth by starting the
+                 memo over when it gets far larger than the slots. *)
+              if Hashtbl.length t.fetch_watch > 4 * fetch_cache_slots
+              then begin
+                Array.fill t.fetch_slots 0 fetch_cache_slots (-1);
+                Hashtbl.reset t.fetch_watch
+              end;
+              let i = fetch_index key in
+              t.fetch_slots.(i) <- key;
+              t.fetch_entries.(i) <-
+                {
+                  f_res = res;
+                  f_gen = t.fetch_gen;
+                  f_paged = sdw.Hw.Sdw.paged;
+                };
+              watch t ~bit:bit_fetch t.fetch_watch abs key;
+              res))
+
+let fetch_instr t =
+  let ipr = t.regs.Hw.Registers.ipr in
+  let base = t.regs.Hw.Registers.dbr.Hw.Registers.base in
+  if base <> t.sdw_cache_base then sync_dbr_base t base;
+  let addr = ipr.Hw.Registers.addr in
+  let key =
+    fetch_key ~base
+      ~ring:(Rings.Ring.to_int ipr.Hw.Registers.ring)
+      ~segno:addr.Hw.Addr.segno ~wordno:addr.Hw.Addr.wordno
+  in
+  let i = fetch_index key in
+  if Array.unsafe_get t.fetch_slots i = key then begin
+    let e = Array.unsafe_get t.fetch_entries i in
+    if e.f_gen = t.fetch_gen then begin
+      let c = t.counters in
+      Trace.Counters.bump_sdw_fetches c;
+      Trace.Counters.bump_sdw_cache_hits c;
+      if e.f_paged then begin
+        (* The walk's PTW retrieval: one counted, charged core read. *)
+        Trace.Counters.bump_ptw_fetches c;
+        Trace.Counters.bump_memory_reads c;
+        Trace.Counters.charge c Hw.Costs.memory_access;
+        Trace.Counters.bump_ptw_tlb_hits c
+      end;
+      Trace.Counters.bump_memory_reads c;
+      Trace.Counters.charge c Hw.Costs.memory_access;
+      Trace.Counters.bump_icache_hits c;
+      e.f_res
+    end
+    else fetch_instr_slow t ipr key
+  end
+  else fetch_instr_slow t ipr key
 
 let validate_read t (sdw : Hw.Sdw.t) ~effective =
   match t.mode with
@@ -128,12 +617,13 @@ let take_fault t ~at fault =
   if Rings.Fault.is_access_violation fault then
     Trace.Counters.bump_access_violations t.counters;
   Trace.Counters.charge t.counters Hw.Costs.trap_entry;
-  Trace.Event.record t.log
-    (Trace.Event.Trap
-       {
-         ring = Rings.Ring.to_int (ring t);
-         cause = Rings.Fault.to_string fault;
-       });
+  if Trace.Event.enabled t.log then
+    Trace.Event.record t.log
+      (Trace.Event.Trap
+         {
+           ring = Rings.Ring.to_int (ring t);
+           cause = Rings.Fault.to_string fault;
+         });
   let regs = Hw.Registers.copy t.regs in
   regs.Hw.Registers.ipr <- at;
   t.saved <- Some { regs; fault };

@@ -46,6 +46,24 @@ type io_request = {
   count : int;
 }
 
+type fetch_entry = {
+  f_res : (Instr.t, Rings.Fault.t) result;
+  f_gen : int;
+  f_paged : bool;
+}
+(** A memoized instruction fetch: valid while [f_gen] matches the
+    machine's current fetch generation.  [f_paged] selects which
+    modeled walk a hit replays (unpaged, or through a page table).
+    The prebuilt result makes a hit allocation-free. *)
+
+type resolve_entry = {
+  r_res : (Hw.Sdw.t * int, Rings.Fault.t) result;
+  r_gen : int;
+  r_paged : bool;
+}
+(** A memoized address translation, same generation discipline;
+    faults are never cached. *)
+
 type t = {
   mem : Hw.Memory.t;
   regs : Hw.Registers.t;
@@ -84,13 +102,73 @@ type t = {
           transfers to the vector — the "bare-metal" mode where a
           {e simulated} supervisor handles traps.  When unset (the
           default), faults surface to the host-level kernel. *)
-  sdw_cache : (int * int, Hw.Sdw.t) Hashtbl.t;
-      (** The SDW associative memory, keyed by (descriptor segment
-          base, segment number): a hit costs nothing, a miss reads the
-          two SDW words from the descriptor segment.  Keying by the
-          DBR base means loading a different descriptor segment
-          naturally misses — the 645 baseline pays the refill after
-          every ring switch, as the paper's cost discussion notes. *)
+  sdw_tags : (int, Hw.Sdw.t) Hashtbl.t;
+      (** The {e modeled} SDW associative memory, keyed by packed
+          (descriptor segment base, segment number): a hit costs
+          nothing, a miss reads the two SDW words from the descriptor
+          segment.  Keying by the DBR base means loading a different
+          descriptor segment naturally misses — the 645 baseline pays
+          the refill after every ring switch, as the paper's cost
+          discussion notes.  The key population alone determines the
+          cycle accounting; the value is the host's decoded SDW, with
+          {!Hw.Sdw.absent} (physical equality) marking a tag whose
+          decode was invalidated by a store into the descriptor
+          segment and must be silently refetched. *)
+  sdw_cache : (int, Hw.Sdw.t) Hw.Assoc.t;
+      (** Host-side LRU cache of decoded SDWs, same packed key as
+          [sdw_tags].  Kept coherent by the memory write observer and
+          purged of stale bases on DBR reload; never affects modeled
+          cycles. *)
+  ptw_tlb : (int, int) Hw.Assoc.t;
+      (** Host-side TLB over {!Hw.Descriptor.translate_paged}, keyed
+          by packed (DBR base, segno, pageno); the value packs the
+          watched page-table word address with the frame base. *)
+  icache : (int, Instr.t) Hw.Assoc.t;
+      (** Host-side decoded-instruction cache keyed by absolute
+          address; any store to a cached address drops the entry, so
+          self-modifying code refetches and redecodes. *)
+  sdw_watch : (int, int) Hashtbl.t;
+      (** Descriptor-word address -> packed SDW keys (multi-binding)
+          for write-coherence of [sdw_cache] and [ptw_tlb]. *)
+  ptw_watch : (int, int) Hashtbl.t;
+      (** Page-table word address -> packed PTW keys (multi-binding)
+          for write-coherence of [ptw_tlb]. *)
+  fetch_slots : int array;
+      (** Whole-fetch memo, direct-mapped: slot [key land mask] holds
+          the packed (DBR base, ring, segno, wordno) key, [-1] when
+          empty.  A generation-current entry replays the modeled
+          activity of the uncached fetch (one free SDW fetch, one core
+          read — plus the PTW retrieval for paged segments) and skips
+          translation, validation, read and decode on the host. *)
+  fetch_entries : fetch_entry array;
+      (** The entry filled alongside each [fetch_slots] key. *)
+  fetch_watch : (int, int) Hashtbl.t;
+      (** Absolute instruction-word address -> fetch-cache keys
+          (multi-binding), so stores over cached words — self-modifying
+          code — drop exactly the affected entries. *)
+  resolve_slots : int array;
+      (** Memoized successful translations, direct-mapped like
+          [fetch_slots], keyed by packed (DBR base, segno, wordno). *)
+  resolve_entries : resolve_entry array;
+      (** The entry filled alongside each [resolve_slots] key. *)
+  mutable fetch_gen : int;
+      (** Generation stamp for [fetch_cache]; advanced by descriptor
+          writes, SDW invalidation and modeled tag-store flushes, each
+          of which could change what a cached fetch froze. *)
+  watched : Bytes.t;
+      (** One byte per memory word: which host caches have state
+          keyed off this absolute address (bit 1 SDW, 2 PTW, 4
+          decoded-instruction, 8 fetch memo).  Makes the common
+          unwatched store a single byte test in the write observer. *)
+  mutable sdw_cache_base : int;
+      (** DBR base the host caches were last synchronized against;
+          [fetch_sdw] lazily detects DBR reloads through it. *)
+  mutable resident_bases : int list;
+      (** Descriptor-segment bases currently resident in the host
+          caches — at most {!Rings.Ring.count}, one per ring of a 645
+          process.  Flipping the DBR among resident bases (every 645
+          ring crossing) costs nothing; reloading to a base outside
+          the set purges entries cached under the old bases. *)
 }
 
 val create :
@@ -110,6 +188,16 @@ val ring : t -> Rings.Ring.t
 val fetch_sdw : t -> segno:int -> (Hw.Sdw.t, Rings.Fault.t) result
 
 val resolve : t -> Hw.Addr.t -> (Hw.Sdw.t * int, Rings.Fault.t) result
+
+val fetch_decoded : t -> int -> (Instr.t, Rings.Fault.t) result
+(** The instruction word at absolute address [abs], through the
+    decoded-instruction cache.  Models exactly one memory read whether
+    the decode was cached or not. *)
+
+val fetch_instr : t -> (Instr.t, Rings.Fault.t) result
+(** The full instruction fetch at the current IPR: resolve, validate
+    the execute bracket, read and decode — memoized whole through the
+    fetch cache.  Modeled activity is identical cached or not. *)
 
 (** {1 Mode-dependent validation}
 
@@ -134,7 +222,9 @@ val validate_write :
 
 val invalidate_sdw : t -> segno:int -> unit
 (** Drop any associative-memory entries for [segno] (under every
-    descriptor segment).  Supervisor code that rewrites an SDW — e.g.
+    descriptor segment) — the modeled tags, the host SDW cache, every
+    TLB entry translated through the segment's SDWs, and the decoded
+    instruction cache.  Supervisor code that rewrites an SDW — e.g.
     to change a segment's access fields at run time — must call this
     for the change to be "immediately effective" as the paper
     requires. *)

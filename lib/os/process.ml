@@ -386,13 +386,14 @@ let switch_descriptor_segment t ring =
         Trace.Counters.bump_descriptor_switches t.machine.Isa.Machine.counters;
         Trace.Counters.charge t.machine.Isa.Machine.counters
           Costs.descriptor_segment_switch;
-        Trace.Event.record t.machine.Isa.Machine.log
-          (Trace.Event.Descriptor_switch
-             {
-               from_ring =
-                 Rings.Ring.to_int regs.Hw.Registers.ipr.Hw.Registers.ring;
-               to_ring = Rings.Ring.to_int ring;
-             });
+        if Trace.Event.enabled t.machine.Isa.Machine.log then
+          Trace.Event.record t.machine.Isa.Machine.log
+            (Trace.Event.Descriptor_switch
+               {
+                 from_ring =
+                   Rings.Ring.to_int regs.Hw.Registers.ipr.Hw.Registers.ring;
+                 to_ring = Rings.Ring.to_int ring;
+               });
         regs.Hw.Registers.dbr <- target
       end
 

@@ -1,10 +1,13 @@
 let ( let* ) = Result.bind
 
+(* [action] is a thunk so the formatted string is only built when the
+   event log is enabled — crossings are the 645 hot path. *)
 let gatekeeper_event p action =
   Trace.Counters.bump_gatekeeper_entries
     p.Process.machine.Isa.Machine.counters;
-  Trace.Event.record p.Process.machine.Isa.Machine.log
-    (Trace.Event.Gatekeeper { action })
+  let log = p.Process.machine.Isa.Machine.log in
+  if Trace.Event.enabled log then
+    Trace.Event.record log (Trace.Event.Gatekeeper { action = action () })
 
 (* Count the caller's arguments and charge the software validation of
    each pointer — on the 645 the called ring cannot trust the hardware
@@ -49,9 +52,9 @@ let downward_call p ~(saved : Hw.Registers.t) ~new_ring ~target ~crossing =
   | Rings.Call.Same_ring ->
       Trace.Counters.bump_calls_same_ring m.Isa.Machine.counters);
   m.Isa.Machine.saved <- None;
-  gatekeeper_event p
-    (Format.asprintf "downward call to %a in %a" Hw.Addr.pp target
-       Rings.Ring.pp new_ring);
+  gatekeeper_event p (fun () ->
+      Format.asprintf "downward call to %a in %a" Hw.Addr.pp target
+        Rings.Ring.pp new_ring);
   Ok ()
 
 let upward_return p ~(saved : Hw.Registers.t) ~target =
@@ -97,9 +100,9 @@ let upward_return p ~(saved : Hw.Registers.t) ~target =
       Hw.Registers.maximize_pr_rings regs caller_ring;
       Trace.Counters.bump_returns_upward m.Isa.Machine.counters;
       m.Isa.Machine.saved <- None;
-      gatekeeper_event p
-        (Format.asprintf "upward return to %a in %a" Hw.Addr.pp target
-           Rings.Ring.pp caller_ring);
+      gatekeeper_event p (fun () ->
+          Format.asprintf "upward return to %a in %a" Hw.Addr.pp target
+            Rings.Ring.pp caller_ring);
       Ok ()
 
 let handle p ~segno ~wordno =

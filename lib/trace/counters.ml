@@ -18,6 +18,18 @@ type t = {
   mutable ptw_fetches : int;
   mutable page_faults : int;
   mutable page_evictions : int;
+  (* Host-side associative-memory effectiveness.  These describe the
+     simulator's caches, not the modeled hardware: they move freely
+     without affecting the cycle accounting above. *)
+  mutable sdw_cache_hits : int;
+  mutable sdw_cache_misses : int;
+  mutable sdw_cache_evictions : int;
+  mutable ptw_tlb_hits : int;
+  mutable ptw_tlb_misses : int;
+  mutable ptw_tlb_evictions : int;
+  mutable icache_hits : int;
+  mutable icache_misses : int;
+  mutable icache_evictions : int;
 }
 
 let create () =
@@ -41,6 +53,15 @@ let create () =
     ptw_fetches = 0;
     page_faults = 0;
     page_evictions = 0;
+    sdw_cache_hits = 0;
+    sdw_cache_misses = 0;
+    sdw_cache_evictions = 0;
+    ptw_tlb_hits = 0;
+    ptw_tlb_misses = 0;
+    ptw_tlb_evictions = 0;
+    icache_hits = 0;
+    icache_misses = 0;
+    icache_evictions = 0;
   }
 
 let reset t =
@@ -62,7 +83,16 @@ let reset t =
   t.access_violations <- 0;
   t.ptw_fetches <- 0;
   t.page_faults <- 0;
-  t.page_evictions <- 0
+  t.page_evictions <- 0;
+  t.sdw_cache_hits <- 0;
+  t.sdw_cache_misses <- 0;
+  t.sdw_cache_evictions <- 0;
+  t.ptw_tlb_hits <- 0;
+  t.ptw_tlb_misses <- 0;
+  t.ptw_tlb_evictions <- 0;
+  t.icache_hits <- 0;
+  t.icache_misses <- 0;
+  t.icache_evictions <- 0
 
 let charge t n = t.cycles <- t.cycles + n
 let cycles t = t.cycles
@@ -112,6 +142,31 @@ let page_faults t = t.page_faults
 let bump_page_evictions t = t.page_evictions <- t.page_evictions + 1
 let page_evictions t = t.page_evictions
 
+let bump_sdw_cache_hits t = t.sdw_cache_hits <- t.sdw_cache_hits + 1
+let sdw_cache_hits t = t.sdw_cache_hits
+let bump_sdw_cache_misses t = t.sdw_cache_misses <- t.sdw_cache_misses + 1
+let sdw_cache_misses t = t.sdw_cache_misses
+
+let bump_sdw_cache_evictions t =
+  t.sdw_cache_evictions <- t.sdw_cache_evictions + 1
+
+let sdw_cache_evictions t = t.sdw_cache_evictions
+let bump_ptw_tlb_hits t = t.ptw_tlb_hits <- t.ptw_tlb_hits + 1
+let ptw_tlb_hits t = t.ptw_tlb_hits
+let bump_ptw_tlb_misses t = t.ptw_tlb_misses <- t.ptw_tlb_misses + 1
+let ptw_tlb_misses t = t.ptw_tlb_misses
+
+let bump_ptw_tlb_evictions t =
+  t.ptw_tlb_evictions <- t.ptw_tlb_evictions + 1
+
+let ptw_tlb_evictions t = t.ptw_tlb_evictions
+let bump_icache_hits t = t.icache_hits <- t.icache_hits + 1
+let icache_hits t = t.icache_hits
+let bump_icache_misses t = t.icache_misses <- t.icache_misses + 1
+let icache_misses t = t.icache_misses
+let bump_icache_evictions t = t.icache_evictions <- t.icache_evictions + 1
+let icache_evictions t = t.icache_evictions
+
 type snapshot = {
   cycles : int;
   instructions : int;
@@ -132,6 +187,15 @@ type snapshot = {
   ptw_fetches : int;
   page_faults : int;
   page_evictions : int;
+  sdw_cache_hits : int;
+  sdw_cache_misses : int;
+  sdw_cache_evictions : int;
+  ptw_tlb_hits : int;
+  ptw_tlb_misses : int;
+  ptw_tlb_evictions : int;
+  icache_hits : int;
+  icache_misses : int;
+  icache_evictions : int;
 }
 
 let snapshot (t : t) : snapshot =
@@ -155,6 +219,15 @@ let snapshot (t : t) : snapshot =
     ptw_fetches = t.ptw_fetches;
     page_faults = t.page_faults;
     page_evictions = t.page_evictions;
+    sdw_cache_hits = t.sdw_cache_hits;
+    sdw_cache_misses = t.sdw_cache_misses;
+    sdw_cache_evictions = t.sdw_cache_evictions;
+    ptw_tlb_hits = t.ptw_tlb_hits;
+    ptw_tlb_misses = t.ptw_tlb_misses;
+    ptw_tlb_evictions = t.ptw_tlb_evictions;
+    icache_hits = t.icache_hits;
+    icache_misses = t.icache_misses;
+    icache_evictions = t.icache_evictions;
   }
 
 let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
@@ -179,6 +252,16 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     ptw_fetches = after.ptw_fetches - before.ptw_fetches;
     page_faults = after.page_faults - before.page_faults;
     page_evictions = after.page_evictions - before.page_evictions;
+    sdw_cache_hits = after.sdw_cache_hits - before.sdw_cache_hits;
+    sdw_cache_misses = after.sdw_cache_misses - before.sdw_cache_misses;
+    sdw_cache_evictions =
+      after.sdw_cache_evictions - before.sdw_cache_evictions;
+    ptw_tlb_hits = after.ptw_tlb_hits - before.ptw_tlb_hits;
+    ptw_tlb_misses = after.ptw_tlb_misses - before.ptw_tlb_misses;
+    ptw_tlb_evictions = after.ptw_tlb_evictions - before.ptw_tlb_evictions;
+    icache_hits = after.icache_hits - before.icache_hits;
+    icache_misses = after.icache_misses - before.icache_misses;
+    icache_evictions = after.icache_evictions - before.icache_evictions;
   }
 
 let pp_snapshot ppf (s : snapshot) =
@@ -201,9 +284,14 @@ let pp_snapshot ppf (s : snapshot) =
      access violations   %8d@,\
      PTW fetches         %8d@,\
      page faults         %8d@,\
-     page evictions      %8d@]"
+     page evictions      %8d@,\
+     SDW cache h/m/e     %8d %8d %8d@,\
+     PTW TLB h/m/e       %8d %8d %8d@,\
+     icache h/m/e        %8d %8d %8d@]"
     s.cycles s.instructions s.memory_reads s.memory_writes s.sdw_fetches
     s.indirections s.traps s.calls_same_ring s.calls_downward s.calls_upward
     s.returns_same_ring s.returns_upward s.returns_downward
     s.gatekeeper_entries s.descriptor_switches s.access_violations
-    s.ptw_fetches s.page_faults s.page_evictions
+    s.ptw_fetches s.page_faults s.page_evictions s.sdw_cache_hits
+    s.sdw_cache_misses s.sdw_cache_evictions s.ptw_tlb_hits s.ptw_tlb_misses
+    s.ptw_tlb_evictions s.icache_hits s.icache_misses s.icache_evictions

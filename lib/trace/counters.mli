@@ -79,6 +79,40 @@ val page_faults : t -> int
 val bump_page_evictions : t -> unit
 val page_evictions : t -> int
 
+(** {2 Host-side associative memories}
+
+    Hit/miss/eviction rates of the simulator's caches (SDW cache, PTW
+    TLB, decoded-instruction cache).  These observe the host-side
+    memoization layer only: they move freely without affecting the
+    modeled cycle accounting above. *)
+
+val bump_sdw_cache_hits : t -> unit
+val sdw_cache_hits : t -> int
+
+val bump_sdw_cache_misses : t -> unit
+val sdw_cache_misses : t -> int
+
+val bump_sdw_cache_evictions : t -> unit
+val sdw_cache_evictions : t -> int
+
+val bump_ptw_tlb_hits : t -> unit
+val ptw_tlb_hits : t -> int
+
+val bump_ptw_tlb_misses : t -> unit
+val ptw_tlb_misses : t -> int
+
+val bump_ptw_tlb_evictions : t -> unit
+val ptw_tlb_evictions : t -> int
+
+val bump_icache_hits : t -> unit
+val icache_hits : t -> int
+
+val bump_icache_misses : t -> unit
+val icache_misses : t -> int
+
+val bump_icache_evictions : t -> unit
+val icache_evictions : t -> int
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -101,6 +135,15 @@ type snapshot = {
   ptw_fetches : int;
   page_faults : int;
   page_evictions : int;
+  sdw_cache_hits : int;
+  sdw_cache_misses : int;
+  sdw_cache_evictions : int;
+  ptw_tlb_hits : int;
+  ptw_tlb_misses : int;
+  ptw_tlb_evictions : int;
+  icache_hits : int;
+  icache_misses : int;
+  icache_evictions : int;
 }
 
 val snapshot : t -> snapshot

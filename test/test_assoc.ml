@@ -1,0 +1,143 @@
+(* The generic bounded LRU associative memory underneath the host-side
+   SDW cache, PTW TLB and decoded-instruction cache. *)
+
+let find_exn c k =
+  match Hw.Assoc.find c k with
+  | Some v -> v
+  | None -> Alcotest.failf "key %d unexpectedly absent" k
+
+let keys c = List.sort compare (Hw.Assoc.fold (fun k _ acc -> k :: acc) c [])
+
+let test_create () =
+  let c : (int, string) Hw.Assoc.t = Hw.Assoc.create ~capacity:4 () in
+  Alcotest.(check int) "capacity" 4 (Hw.Assoc.capacity c);
+  Alcotest.(check int) "empty" 0 (Hw.Assoc.length c);
+  Alcotest.(check bool) "bad capacity rejected" true
+    (try
+       ignore (Hw.Assoc.create ~capacity:0 () : (int, int) Hw.Assoc.t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_find_insert () =
+  let c = Hw.Assoc.create ~capacity:4 () in
+  Alcotest.(check (option string)) "miss on empty" None (Hw.Assoc.find c 1);
+  Alcotest.(check (option (pair int string)))
+    "insert under capacity evicts nothing" None
+    (Hw.Assoc.insert c 1 "one");
+  Alcotest.(check string) "hit" "one" (find_exn c 1);
+  ignore (Hw.Assoc.insert c 1 "uno");
+  Alcotest.(check string) "insert replaces" "uno" (find_exn c 1);
+  Alcotest.(check int) "replacement keeps one entry" 1 (Hw.Assoc.length c)
+
+let test_eviction_order () =
+  let c = Hw.Assoc.create ~capacity:3 () in
+  ignore (Hw.Assoc.insert c 1 "a");
+  ignore (Hw.Assoc.insert c 2 "b");
+  ignore (Hw.Assoc.insert c 3 "c");
+  Alcotest.(check (option (pair int string)))
+    "oldest entry evicted at capacity"
+    (Some (1, "a"))
+    (Hw.Assoc.insert c 4 "d");
+  Alcotest.(check int) "still at capacity" 3 (Hw.Assoc.length c);
+  Alcotest.(check (list int)) "survivors" [ 2; 3; 4 ] (keys c)
+
+let test_find_refreshes_recency () =
+  let c = Hw.Assoc.create ~capacity:3 () in
+  ignore (Hw.Assoc.insert c 1 "a");
+  ignore (Hw.Assoc.insert c 2 "b");
+  ignore (Hw.Assoc.insert c 3 "c");
+  (* Touch the oldest: the eviction victim must now be key 2. *)
+  ignore (Hw.Assoc.find c 1);
+  Alcotest.(check (option (pair int string)))
+    "LRU after touch" (Some (2, "b"))
+    (Hw.Assoc.insert c 4 "d");
+  (* [mem] must not refresh: key 3 is now oldest despite the probe. *)
+  Alcotest.(check bool) "mem sees 3" true (Hw.Assoc.mem c 3);
+  Alcotest.(check (option (pair int string)))
+    "mem does not touch recency" (Some (3, "c"))
+    (Hw.Assoc.insert c 5 "e")
+
+let test_remove_drop_clear () =
+  let c = Hw.Assoc.create ~capacity:8 () in
+  List.iter (fun k -> ignore (Hw.Assoc.insert c k (string_of_int k)))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "remove present" true (Hw.Assoc.remove c 3);
+  Alcotest.(check bool) "remove absent" false (Hw.Assoc.remove c 3);
+  Alcotest.(check int) "drop evens" 2
+    (Hw.Assoc.drop_where c (fun k _ -> k mod 2 = 0));
+  Alcotest.(check (list int)) "odds survive" [ 1; 5 ] (keys c);
+  Hw.Assoc.clear c;
+  Alcotest.(check int) "cleared" 0 (Hw.Assoc.length c);
+  (* A removed key's node must not leak back through recency links. *)
+  ignore (Hw.Assoc.insert c 9 "nine");
+  Alcotest.(check string) "usable after clear" "nine" (find_exn c 9)
+
+let test_stats () =
+  let c = Hw.Assoc.create ~capacity:2 () in
+  ignore (Hw.Assoc.find c 1);
+  ignore (Hw.Assoc.insert c 1 "a");
+  ignore (Hw.Assoc.find c 1);
+  ignore (Hw.Assoc.insert c 2 "b");
+  ignore (Hw.Assoc.insert c 3 "c");
+  ignore (Hw.Assoc.remove c 2);
+  let s = Hw.Assoc.stats c in
+  Alcotest.(check int) "hits" 1 s.Hw.Assoc.hits;
+  Alcotest.(check int) "misses" 1 s.Hw.Assoc.misses;
+  Alcotest.(check int) "evictions" 1 s.Hw.Assoc.evictions;
+  Alcotest.(check int) "invalidations" 1 s.Hw.Assoc.invalidations;
+  Hw.Assoc.reset_stats c;
+  let s = Hw.Assoc.stats c in
+  Alcotest.(check int) "reset hits" 0 s.Hw.Assoc.hits;
+  Alcotest.(check int) "reset misses" 0 s.Hw.Assoc.misses
+
+(* Exercise the intrusive list against a reference model under random
+   operations: contents must match an LRU simulated with plain
+   lists. *)
+let prop_matches_reference_model =
+  QCheck.Test.make ~name:"assoc matches reference LRU model" ~count:200
+    QCheck.(list (pair (int_bound 15) (int_bound 3)))
+    (fun ops ->
+      let capacity = 4 in
+      let c = Hw.Assoc.create ~capacity () in
+      (* Reference: association list, most recent first. *)
+      let model = ref [] in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | 0 ->
+              ignore (Hw.Assoc.insert c k k);
+              model := (k, k) :: List.remove_assoc k !model;
+              if List.length !model > capacity then
+                model :=
+                  List.filteri (fun i _ -> i < capacity) !model
+          | 1 ->
+              let expected = List.assoc_opt k !model in
+              if Hw.Assoc.find c k <> expected then
+                QCheck.Test.fail_report "find disagrees with model";
+              if expected <> None then
+                model := (k, k) :: List.remove_assoc k !model
+          | 2 ->
+              ignore (Hw.Assoc.remove c k);
+              model := List.remove_assoc k !model
+          | _ ->
+              if Hw.Assoc.mem c k <> List.mem_assoc k !model then
+                QCheck.Test.fail_report "mem disagrees with model")
+        ops;
+      List.length !model = Hw.Assoc.length c
+      && List.for_all (fun (k, v) -> Hw.Assoc.find c k = Some v) !model)
+
+let suite =
+  [
+    ( "assoc",
+      [
+        Alcotest.test_case "create" `Quick test_create;
+        Alcotest.test_case "find/insert" `Quick test_find_insert;
+        Alcotest.test_case "eviction order" `Quick test_eviction_order;
+        Alcotest.test_case "find refreshes recency" `Quick
+          test_find_refreshes_recency;
+        Alcotest.test_case "remove/drop_where/clear" `Quick
+          test_remove_drop_clear;
+        Alcotest.test_case "stats" `Quick test_stats;
+        QCheck_alcotest.to_alcotest prop_matches_reference_model;
+      ] );
+  ]

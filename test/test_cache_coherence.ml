@@ -1,0 +1,242 @@
+(* Coherence of the host-side associative memories (SDW cache, PTW
+   TLB, decoded-instruction cache, fetch/translation memos): they must
+   be invisible — every cached shortcut has to produce exactly what
+   the uncached walk would, even across stores into code, descriptor
+   segments and page tables, DBR reloads and SDW invalidation. *)
+
+let ok_exn name = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%s: unexpected fault %a" name Rings.Fault.pp f
+
+let opcode_of name res = (ok_exn name res).Isa.Instr.opcode
+
+let code_machine () =
+  let m =
+    Fixtures.build
+      ~segments:
+        [
+          ( 1,
+            [| Fixtures.enc (Fixtures.i Isa.Opcode.NOP) |],
+            Fixtures.code_ring 4 );
+        ]
+      ()
+  in
+  Fixtures.set_ipr m ~ring:4 ~segno:1 ~wordno:0;
+  m
+
+let test_self_modifying_code () =
+  let m = code_machine () in
+  Alcotest.(check bool)
+    "first fetch decodes NOP" true
+    (opcode_of "first fetch" (Isa.Machine.fetch_instr m) = Isa.Opcode.NOP);
+  (* Warm the memo: a second fetch is a pure cache hit. *)
+  ignore (Isa.Machine.fetch_instr m);
+  let _, abs =
+    ok_exn "resolve" (Isa.Machine.resolve m (Hw.Addr.v ~segno:1 ~wordno:0))
+  in
+  (* The program stores over its own next instruction. *)
+  Hw.Memory.write m.Isa.Machine.mem abs
+    (Fixtures.enc (Fixtures.i Isa.Opcode.HALT));
+  Alcotest.(check bool)
+    "fetch after store decodes the new word" true
+    (opcode_of "refetch" (Isa.Machine.fetch_instr m) = Isa.Opcode.HALT);
+  Alcotest.(check bool)
+    "decoded-instruction cache dropped the stale entry" true
+    (opcode_of "fetch_decoded" (Isa.Machine.fetch_decoded m abs)
+    = Isa.Opcode.HALT)
+
+let test_descriptor_rewrite_retargets () =
+  let m =
+    Fixtures.build
+      ~segments:
+        [ (1, [| 11 |], Fixtures.data_ring 4); (2, [| 22 |], Fixtures.data_ring 4) ]
+      ()
+  in
+  let addr = Hw.Addr.v ~segno:1 ~wordno:0 in
+  let _, abs1 = ok_exn "warm" (Isa.Machine.resolve m addr) in
+  ignore (Isa.Machine.resolve m addr);
+  Alcotest.(check int) "warm translation" 11
+    (Hw.Memory.read_silent m.Isa.Machine.mem abs1);
+  (* The supervisor rewrites segment 1's SDW to alias segment 2's
+     frame: the change must be visible on the very next reference,
+     with no invalidate call — the write observer heals the caches. *)
+  let sdw2, abs2 =
+    ok_exn "seg 2" (Isa.Machine.resolve m (Hw.Addr.v ~segno:2 ~wordno:0))
+  in
+  Hw.Descriptor.store_sdw m.Isa.Machine.mem m.Isa.Machine.regs.Hw.Registers.dbr
+    ~segno:1
+    (Hw.Sdw.v ~base:sdw2.Hw.Sdw.base ~bound:sdw2.Hw.Sdw.bound
+       (Fixtures.data_ring 4));
+  let _, abs1' = ok_exn "retarget" (Isa.Machine.resolve m addr) in
+  Alcotest.(check int) "translates through the rewritten SDW" abs2 abs1';
+  Alcotest.(check int) "reads the aliased word" 22
+    (Hw.Memory.read_silent m.Isa.Machine.mem abs1')
+
+let paged_machine () =
+  let m = Isa.Machine.create ~mem_size:(1 lsl 16) () in
+  let dbr = { Hw.Registers.base = 0; bound = 64; stack_base = 0 } in
+  m.Isa.Machine.regs.Hw.Registers.dbr <- dbr;
+  let page_table = 2048 and frame = 4096 in
+  Hw.Memory.write_silent m.Isa.Machine.mem page_table
+    (Hw.Paging.encode_ptw { Hw.Paging.present = true; frame_base = frame });
+  Hw.Descriptor.store_sdw m.Isa.Machine.mem dbr ~segno:1
+    (Hw.Sdw.v ~paged:true ~base:page_table ~bound:Hw.Paging.page_size
+       (Fixtures.data_ring 4));
+  (m, page_table, frame)
+
+let test_page_table_rewrite () =
+  let m, page_table, frame = paged_machine () in
+  let addr = Hw.Addr.v ~segno:1 ~wordno:5 in
+  let _, abs = ok_exn "paged warm" (Isa.Machine.resolve m addr) in
+  Alcotest.(check int) "first translation" (frame + 5) abs;
+  (* Warm the TLB, then move the page to a different frame. *)
+  ignore (Isa.Machine.resolve m addr);
+  let frame' = 8192 in
+  Hw.Memory.write_silent m.Isa.Machine.mem page_table
+    (Hw.Paging.encode_ptw { Hw.Paging.present = true; frame_base = frame' });
+  let _, abs' = ok_exn "after move" (Isa.Machine.resolve m addr) in
+  Alcotest.(check int) "retranslates through the new PTW" (frame' + 5) abs';
+  (* Page out: the next reference must fault, not hit a stale TLB. *)
+  Hw.Memory.write_silent m.Isa.Machine.mem page_table
+    (Hw.Paging.encode_ptw Hw.Paging.absent_ptw);
+  match Isa.Machine.resolve m addr with
+  | Error (Rings.Fault.Missing_page { segno = 1; pageno = 0 }) -> ()
+  | Error f -> Alcotest.failf "wrong fault %a" Rings.Fault.pp f
+  | Ok _ -> Alcotest.fail "stale TLB entry survived a page-out"
+
+(* Two descriptor segments mapping segment 1 to different frames: the
+   DBR reload must retranslate, in both directions, with the host
+   caches keeping both working sets live across the flips. *)
+let test_dbr_reload_retranslates () =
+  let m = Isa.Machine.create ~mem_size:(1 lsl 16) () in
+  let dbr_a = { Hw.Registers.base = 0; bound = 64; stack_base = 0 } in
+  let dbr_b = { Hw.Registers.base = 256; bound = 64; stack_base = 0 } in
+  Hw.Memory.write_silent m.Isa.Machine.mem 4096 11;
+  Hw.Memory.write_silent m.Isa.Machine.mem 5120 22;
+  Hw.Descriptor.store_sdw m.Isa.Machine.mem dbr_a ~segno:1
+    (Hw.Sdw.v ~base:4096 ~bound:16 (Fixtures.data_ring 4));
+  Hw.Descriptor.store_sdw m.Isa.Machine.mem dbr_b ~segno:1
+    (Hw.Sdw.v ~base:5120 ~bound:16 (Fixtures.data_ring 4));
+  let addr = Hw.Addr.v ~segno:1 ~wordno:0 in
+  let under dbr =
+    m.Isa.Machine.regs.Hw.Registers.dbr <- dbr;
+    let _, abs = ok_exn "resolve" (Isa.Machine.resolve m addr) in
+    Hw.Memory.read_silent m.Isa.Machine.mem abs
+  in
+  Alcotest.(check int) "under A" 11 (under dbr_a);
+  Alcotest.(check int) "under B" 22 (under dbr_b);
+  Alcotest.(check int) "back under A (cached)" 11 (under dbr_a);
+  Alcotest.(check int) "back under B (cached)" 22 (under dbr_b)
+
+(* Reloading the DBR to a base outside the per-process working set
+   (more distinct descriptor segments than rings) purges host SDW
+   entries cached under the old bases. *)
+let test_dbr_reload_purges_stale_bases () =
+  let m = Isa.Machine.create ~mem_size:(1 lsl 18) () in
+  let bases = List.init (Rings.Ring.count + 1) (fun i -> i * 256) in
+  List.iter
+    (fun base ->
+      let dbr = { Hw.Registers.base; bound = 64; stack_base = 0 } in
+      Hw.Descriptor.store_sdw m.Isa.Machine.mem dbr ~segno:1
+        (Hw.Sdw.v ~base:(16384 + base) ~bound:16 (Fixtures.data_ring 4));
+      m.Isa.Machine.regs.Hw.Registers.dbr <- dbr;
+      ignore (ok_exn "resolve" (Isa.Machine.resolve m (Hw.Addr.v ~segno:1 ~wordno:0))))
+    bases;
+  let last = List.nth bases (List.length bases - 1) in
+  let stale =
+    Hw.Assoc.fold
+      (fun key _ acc ->
+        if key lsr Hw.Addr.segno_bits <> last then key :: acc else acc)
+      m.Isa.Machine.sdw_cache []
+  in
+  Alcotest.(check (list int)) "no old-base entries squat in the SDW cache" []
+    stale
+
+let test_invalidate_sdw_drops_dependents () =
+  let m = code_machine () in
+  ignore (Isa.Machine.fetch_instr m);
+  ignore (Isa.Machine.fetch_instr m);
+  Alcotest.(check bool) "icache warmed" true
+    (Hw.Assoc.length m.Isa.Machine.icache > 0);
+  Isa.Machine.invalidate_sdw m ~segno:1;
+  Alcotest.(check int) "decoded instructions dropped" 0
+    (Hw.Assoc.length m.Isa.Machine.icache);
+  Alcotest.(check bool) "host SDW entries for the segment dropped" false
+    (Hw.Assoc.fold
+       (fun key _ acc ->
+         acc || key land ((1 lsl Hw.Addr.segno_bits) - 1) = 1)
+       m.Isa.Machine.sdw_cache false);
+  (* And the machine still runs: the next fetch refills everything. *)
+  Alcotest.(check bool) "refetch succeeds" true
+    (opcode_of "refetch" (Isa.Machine.fetch_instr m) = Isa.Opcode.NOP)
+
+let test_cache_counters_move () =
+  let m = code_machine () in
+  let before = Trace.Counters.snapshot m.Isa.Machine.counters in
+  ignore (Isa.Machine.fetch_instr m);
+  ignore (Isa.Machine.fetch_instr m);
+  ignore (Isa.Machine.fetch_instr m);
+  let d =
+    Trace.Counters.diff ~before
+      ~after:(Trace.Counters.snapshot m.Isa.Machine.counters)
+  in
+  Alcotest.(check int) "one cold decode" 1 d.Trace.Counters.icache_misses;
+  Alcotest.(check bool) "icache hits counted" true
+    (d.Trace.Counters.icache_hits >= 2);
+  Alcotest.(check int) "one SDW cache miss" 1 d.Trace.Counters.sdw_cache_misses;
+  Alcotest.(check bool) "SDW cache hits counted" true
+    (d.Trace.Counters.sdw_cache_hits >= 2);
+  (* The printed table carries the new rows. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let table = Format.asprintf "%a" Trace.Counters.pp_snapshot d in
+  List.iter
+    (fun needle ->
+      if not (contains table needle) then
+        Alcotest.failf "snapshot table lacks %S:\n%s" needle table)
+    [ "SDW cache"; "PTW TLB"; "icache" ]
+
+let test_ptw_tlb_counters_move () =
+  let m, _, _ = paged_machine () in
+  let addr = Hw.Addr.v ~segno:1 ~wordno:5 in
+  let before = Trace.Counters.snapshot m.Isa.Machine.counters in
+  ignore (ok_exn "1" (Isa.Machine.resolve m addr));
+  ignore (ok_exn "2" (Isa.Machine.resolve m addr));
+  ignore (ok_exn "3" (Isa.Machine.resolve m addr));
+  let d =
+    Trace.Counters.diff ~before
+      ~after:(Trace.Counters.snapshot m.Isa.Machine.counters)
+  in
+  Alcotest.(check int) "one TLB fill" 1 d.Trace.Counters.ptw_tlb_misses;
+  Alcotest.(check bool) "TLB hits counted" true
+    (d.Trace.Counters.ptw_tlb_hits >= 2);
+  (* Modeled accounting is unchanged by the TLB: every paged reference
+     still retrieves one PTW and pays one core read for it. *)
+  Alcotest.(check int) "every resolve models a PTW retrieval" 3
+    d.Trace.Counters.ptw_fetches
+
+let suite =
+  [
+    ( "cache coherence",
+      [
+        Alcotest.test_case "self-modifying code refetches" `Quick
+          test_self_modifying_code;
+        Alcotest.test_case "descriptor rewrite retargets" `Quick
+          test_descriptor_rewrite_retargets;
+        Alcotest.test_case "page-table rewrite retranslates" `Quick
+          test_page_table_rewrite;
+        Alcotest.test_case "DBR reload retranslates" `Quick
+          test_dbr_reload_retranslates;
+        Alcotest.test_case "DBR reload purges stale bases" `Quick
+          test_dbr_reload_purges_stale_bases;
+        Alcotest.test_case "invalidate_sdw drops dependents" `Quick
+          test_invalidate_sdw_drops_dependents;
+        Alcotest.test_case "cache counters move" `Quick
+          test_cache_counters_move;
+        Alcotest.test_case "PTW TLB counters move" `Quick
+          test_ptw_tlb_counters_move;
+      ] );
+  ]
