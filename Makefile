@@ -1,12 +1,17 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench bench-smoke examples doc clean
+.PHONY: all test bench bench-smoke trace-smoke examples doc clean
 
 all:
 	dune build @all
 
+# The full gate: unit/property tests, then the two smoke passes that
+# check what the unit tests cannot — byte-determinism of the modeled
+# benches and of the trace exporters.
 test:
 	dune runtest
+	$(MAKE) trace-smoke
+	$(MAKE) bench-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -27,6 +32,27 @@ bench-smoke:
 	  && echo "bench-smoke: modeled-cycle output deterministic" \
 	  || { echo "bench-smoke: modeled-cycle output DIFFERS between runs"; exit 1; }
 	_build/default/bench/main.exe throughput
+
+# Run the demo program with every exporter on, twice: each output must
+# be well-formed JSON and byte-identical across runs (the exporters
+# read modeled state only, never the host clock).
+trace-smoke:
+	dune build bin/ringsim.exe bin/jsoncheck.exe
+	@for run in a b; do \
+	  _build/default/bin/ringsim.exe examples/programs/demo.rng \
+	    --trace-out /tmp/trace_smoke_$$run.json \
+	    --events-out /tmp/trace_smoke_$$run.jsonl \
+	    --metrics-out /tmp/trace_smoke_$$run.metrics.json \
+	    --metrics-prom /tmp/trace_smoke_$$run.prom \
+	    --profile > /tmp/trace_smoke_$$run.out || exit 1; \
+	done
+	_build/default/bin/jsoncheck.exe /tmp/trace_smoke_a.json \
+	  /tmp/trace_smoke_a.jsonl /tmp/trace_smoke_a.metrics.json
+	@for f in json jsonl metrics.json prom out; do \
+	  diff /tmp/trace_smoke_a.$$f /tmp/trace_smoke_b.$$f \
+	    || { echo "trace-smoke: $$f output DIFFERS between runs"; exit 1; }; \
+	done
+	@echo "trace-smoke: exporter output well-formed and deterministic"
 
 examples:
 	@for e in quickstart protected_subsystem layered_supervisor debug_ring \

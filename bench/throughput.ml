@@ -74,9 +74,108 @@ let workloads =
           ~iterations:20_000 () );
   ]
 
-let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+(* A cache that saw zero lookups has no hit rate, not a 0% one — emit
+   null/- rather than a misleading 0.00. *)
+let pct num den =
+  if den = 0 then None
+  else Some (100.0 *. float_of_int num /. float_of_int den)
 
-let json_of_samples samples =
+let pct_json = function None -> "null" | Some p -> Printf.sprintf "%.2f" p
+let pct_cell = function None -> "-" | Some p -> Printf.sprintf "%.1f" p
+
+(* Span latency distributions per crossing kind.  These are modeled-
+   cycle figures — fully deterministic — so unlike the instr/sec
+   numbers they are comparable across hosts and PRs. *)
+type span_sample = {
+  sw_name : string;
+  (* kind, count, p50, p90, p99, max — in modeled cycles. *)
+  sw_kinds : (string * int * int * int * int * int) list;
+}
+
+let span_workloads =
+  [
+    ( "crossing-hw",
+      fun () ->
+        Os.Scenario.crossing ~config:Os.Scenario.default_config
+          ~caller_ring:4 ~callee_ring:1 ~iterations:2_000 () );
+    ( "crossing-645",
+      fun () ->
+        Os.Scenario.crossing ~config:Os.Scenario.software_config
+          ~caller_ring:4 ~callee_ring:1 ~iterations:1_000 () );
+    ( "same-ring",
+      fun () ->
+        Os.Scenario.same_ring_pair ~config:Os.Scenario.default_config
+          ~ring:4 ~iterations:2_000 () );
+    ( "outward-hw",
+      fun () ->
+        Os.Scenario.crossing ~config:Os.Scenario.default_config
+          ~caller_ring:1 ~callee_ring:3 ~iterations:1_000 () );
+  ]
+
+let run_span_workload ~name build =
+  match build () with
+  | Error e -> failwith (Printf.sprintf "%s: build failed: %s" name e)
+  | Ok p ->
+      let m = p.Os.Process.machine in
+      Trace.Span.set_enabled m.Isa.Machine.spans true;
+      (match Os.Kernel.run ~max_instructions:4_000_000 p with
+      | Os.Kernel.Exited -> ()
+      | e ->
+          failwith
+            (Format.asprintf "%s: did not exit cleanly: %a" name
+               Os.Kernel.pp_exit e));
+      Trace.Span.drain m.Isa.Machine.spans
+        ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
+      let kinds =
+        List.filter_map
+          (fun kind ->
+            let h = Trace.Span.histogram m.Isa.Machine.spans kind in
+            if Trace.Histogram.count h = 0 then None
+            else
+              Some
+                ( Trace.Event.crossing_to_string kind,
+                  Trace.Histogram.count h,
+                  Trace.Histogram.percentile h 50.0,
+                  Trace.Histogram.percentile h 90.0,
+                  Trace.Histogram.percentile h 99.0,
+                  Trace.Histogram.max_value h ))
+          [ Trace.Event.Same_ring; Trace.Event.Downward; Trace.Event.Upward ]
+      in
+      { sw_name = name; sw_kinds = kinds }
+
+(* The same workload with the full observability stack on: event log,
+   spans and profile.  Modeled cycles must not move; host instr/sec
+   pays the instrumentation cost, and the ratio is what we track. *)
+let run_traced ~name ~max_instructions build =
+  match build () with
+  | Error e -> failwith (Printf.sprintf "%s: build failed: %s" name e)
+  | Ok p ->
+      let m = p.Os.Process.machine in
+      Trace.Event.set_enabled m.Isa.Machine.log true;
+      Trace.Span.set_enabled m.Isa.Machine.spans true;
+      Trace.Profile.set_enabled m.Isa.Machine.profile true;
+      let c = m.Isa.Machine.counters in
+      let i0 = Trace.Counters.instructions c in
+      let t0 = Unix.gettimeofday () in
+      let exit = Os.Kernel.run ~max_instructions p in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match exit with
+      | Os.Kernel.Exited -> ()
+      | e ->
+          failwith
+            (Format.asprintf "%s: did not exit cleanly: %a" name
+               Os.Kernel.pp_exit e));
+      let instructions = Trace.Counters.instructions c - i0 in
+      {
+        name;
+        instructions;
+        seconds = dt;
+        ips = float_of_int instructions /. dt;
+        cycles = Trace.Counters.cycles c;
+        snapshot = Trace.Counters.snapshot c;
+      }
+
+let json_of_samples samples span_samples ~traced ~untraced =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"workloads\": [\n";
   List.iteri
@@ -89,14 +188,37 @@ let json_of_samples samples =
         (Printf.sprintf
            "    {\"name\": %S, \"instructions\": %d, \"seconds\": %.6f, \
             \"instructions_per_sec\": %.0f, \"modeled_cycles\": %d, \
-            \"sdw_cache_hit_pct\": %.2f, \"ptw_cache_hit_pct\": %.2f, \
-            \"icache_hit_pct\": %.2f}"
+            \"sdw_cache_hit_pct\": %s, \"ptw_cache_hit_pct\": %s, \
+            \"icache_hit_pct\": %s}"
            s.name s.instructions s.seconds s.ips s.cycles
-           (pct hits (hits + misses))
-           (pct phits (phits + pmisses))
-           (pct ihits (ihits + imisses))))
+           (pct_json (pct hits (hits + misses)))
+           (pct_json (pct phits (phits + pmisses)))
+           (pct_json (pct ihits (ihits + imisses)))))
     samples;
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ],\n  \"spans\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %S, \"latency_cycles\": {" s.sw_name);
+      List.iteri
+        (fun j (kind, count, p50, p90, p99, max) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%S: {\"count\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d, \
+                \"max\": %d}"
+               kind count p50 p90 p99 max))
+        s.sw_kinds;
+      Buffer.add_string buf "}}")
+    span_samples;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"trace_overhead\": {\"workload\": %S, \
+        \"instructions_per_sec_untraced\": %.0f, \
+        \"instructions_per_sec_traced\": %.0f, \"overhead_ratio\": %.3f}\n"
+       untraced.name untraced.ips traced.ips (untraced.ips /. traced.ips));
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let throughput () =
@@ -130,15 +252,68 @@ let throughput () =
           string_of_int s.instructions;
           Printf.sprintf "%.3f" s.seconds;
           Printf.sprintf "%.0f" s.ips;
-          Printf.sprintf "%.1f" (pct hits (hits + misses));
-          Printf.sprintf "%.1f" (pct phits (phits + pmisses));
-          Printf.sprintf "%.1f" (pct ihits (ihits + imisses));
+          pct_cell (pct hits (hits + misses));
+          pct_cell (pct phits (phits + pmisses));
+          pct_cell (pct ihits (ihits + imisses));
         ])
     samples;
   Trace.Tablefmt.print
     ~title:"Throughput - host instructions/sec on the scenario workloads" t;
   print_newline ();
+  let span_samples =
+    List.map
+      (fun (name, build) -> run_span_workload ~name build)
+      span_workloads
+  in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("workload", Trace.Tablefmt.Left);
+          ("crossing", Trace.Tablefmt.Left);
+          ("count", Trace.Tablefmt.Right);
+          ("p50", Trace.Tablefmt.Right);
+          ("p90", Trace.Tablefmt.Right);
+          ("p99", Trace.Tablefmt.Right);
+          ("max", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (kind, count, p50, p90, p99, max) ->
+          Trace.Tablefmt.add_row t
+            [
+              s.sw_name;
+              kind;
+              string_of_int count;
+              string_of_int p50;
+              string_of_int p90;
+              string_of_int p99;
+              string_of_int max;
+            ])
+        s.sw_kinds)
+    span_samples;
+  Trace.Tablefmt.print
+    ~title:"Spans - crossing latency percentiles (modeled cycles)" t;
+  print_newline ();
+  let untraced =
+    List.find (fun s -> s.name = "crossing-hw") samples
+  in
+  let traced =
+    let (name, max_instructions, build) = List.hd workloads in
+    run_traced ~name ~max_instructions build
+  in
+  if traced.cycles <> untraced.cycles then
+    failwith
+      (Printf.sprintf
+         "tracing changed modeled cycles on %s: %d traced vs %d untraced"
+         traced.name traced.cycles untraced.cycles);
+  Printf.printf
+    "host time - trace overhead on %s: %.0f instr/sec untraced, %.0f \
+     traced (ratio %.2fx)\n\n"
+    untraced.name untraced.ips traced.ips (untraced.ips /. traced.ips);
   let oc = open_out "BENCH_throughput.json" in
-  output_string oc (json_of_samples samples);
+  output_string oc (json_of_samples samples span_samples ~traced ~untraced);
   close_out oc;
   Printf.printf "wrote BENCH_throughput.json\n"

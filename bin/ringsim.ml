@@ -167,8 +167,155 @@ let parse_program text =
   in
   go None [] [] 1 lines
 
+(* Observability outputs: which exporters to run after the program
+   finishes, and whether to print the profile tables. *)
+type obs = {
+  trace_out : string option;  (** Chrome trace-event JSON. *)
+  events_out : string option;  (** JSONL raw event dump. *)
+  metrics_out : string option;  (** JSON metrics snapshot. *)
+  metrics_prom : string option;  (** Prometheus text metrics. *)
+  profile : bool;  (** Print per-ring/per-segment tables. *)
+}
+
+let obs_active o =
+  o.trace_out <> None || o.events_out <> None || o.metrics_out <> None
+  || o.metrics_prom <> None || o.profile
+
+(* Spans and the profile are cheap (no per-instruction event
+   formatting), so any observability request turns them on; the full
+   event log only when an event-consuming exporter asked for it. *)
+let enable_obs o (m : Isa.Machine.t) =
+  if o.trace_out <> None || o.events_out <> None then
+    Trace.Event.set_enabled m.Isa.Machine.log true;
+  if obs_active o then begin
+    Trace.Span.set_enabled m.Isa.Machine.spans true;
+    Trace.Profile.set_enabled m.Isa.Machine.profile true
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let print_profile (m : Isa.Machine.t) ~segment_names =
+  let profile = m.Isa.Machine.profile in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("ring", Trace.Tablefmt.Left);
+          ("cycles", Trace.Tablefmt.Right);
+          ("instructions", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun (ring, cycles, instructions) ->
+      Trace.Tablefmt.add_row t
+        [
+          Printf.sprintf "r%d" ring;
+          string_of_int cycles;
+          string_of_int instructions;
+        ])
+    (Trace.Profile.per_ring profile);
+  Trace.Tablefmt.add_row t
+    [
+      "gatekeeper";
+      string_of_int (Trace.Profile.kernel_cycles profile);
+      "-";
+    ];
+  Trace.Tablefmt.print ~title:"Profile - modeled cycles by ring" t;
+  print_newline ();
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("segment", Trace.Tablefmt.Left);
+          ("cycles", Trace.Tablefmt.Right);
+          ("instructions", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun (segno, cycles, instructions) ->
+      let name =
+        match List.assoc_opt segno segment_names with
+        | Some n -> Printf.sprintf "%d (%s)" segno n
+        | None -> string_of_int segno
+      in
+      Trace.Tablefmt.add_row t
+        [ name; string_of_int cycles; string_of_int instructions ])
+    (Trace.Profile.per_segment profile);
+  Trace.Tablefmt.print ~title:"Profile - modeled cycles by segment" t;
+  print_newline ();
+  let spans = m.Isa.Machine.spans in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("crossing", Trace.Tablefmt.Left);
+          ("count", Trace.Tablefmt.Right);
+          ("p50", Trace.Tablefmt.Right);
+          ("p90", Trace.Tablefmt.Right);
+          ("p99", Trace.Tablefmt.Right);
+          ("max", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun kind ->
+      let h = Trace.Span.histogram spans kind in
+      Trace.Tablefmt.add_row t
+        [
+          Trace.Event.crossing_to_string kind;
+          string_of_int (Trace.Histogram.count h);
+          string_of_int (Trace.Histogram.percentile h 50.0);
+          string_of_int (Trace.Histogram.percentile h 90.0);
+          string_of_int (Trace.Histogram.percentile h 99.0);
+          string_of_int (Trace.Histogram.max_value h);
+        ])
+    [ Trace.Event.Same_ring; Trace.Event.Downward; Trace.Event.Upward ];
+  Trace.Tablefmt.print
+    ~title:"Profile - span latency percentiles (modeled cycles)" t;
+  print_newline ()
+
+let finish_obs o (m : Isa.Machine.t) ~segment_names =
+  if obs_active o then begin
+    (* Close anything a fault or budget exhaustion left open so every
+       exported span has an end. *)
+    Trace.Span.drain m.Isa.Machine.spans
+      ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
+    let counters = Trace.Counters.snapshot m.Isa.Machine.counters in
+    (match o.trace_out with
+    | Some path ->
+        write_file path
+          (Trace.Export.chrome_trace
+             ~events:(Trace.Event.stamped_events m.Isa.Machine.log)
+             ~spans:(Trace.Span.completed m.Isa.Machine.spans)
+             ())
+    | None -> ());
+    (match o.events_out with
+    | Some path ->
+        write_file path
+          (Trace.Export.events_jsonl
+             (Trace.Event.stamped_events m.Isa.Machine.log))
+    | None -> ());
+    (match o.metrics_out with
+    | Some path ->
+        write_file path
+          (Trace.Export.metrics_json ~counters ~events:m.Isa.Machine.log
+             ~spans:m.Isa.Machine.spans ~profile:m.Isa.Machine.profile
+             ~segment_names ())
+    | None -> ());
+    (match o.metrics_prom with
+    | Some path ->
+        write_file path
+          (Trace.Export.metrics_prometheus ~counters
+             ~events:m.Isa.Machine.log ~spans:m.Isa.Machine.spans
+             ~profile:m.Isa.Machine.profile ~segment_names ())
+    | None -> ());
+    if o.profile then print_profile m ~segment_names
+  end
+
 let run_program file mode start ring trace listing dump show_map typed
-    max_instructions =
+    max_instructions obs =
   let text =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -191,6 +338,7 @@ let run_program file mode start ring trace listing dump show_map typed
       if procs <> [] then begin
         (* Multi-process mode: spawn each declaration and multiplex. *)
         let t = Os.System.create ~store () in
+        enable_obs obs (Os.System.machine t);
         let seg_names = List.map (fun (h, _) -> h.h_name) segments in
         let first = ref true in
         List.iter
@@ -232,6 +380,9 @@ let run_program file mode start ring trace listing dump show_map typed
           exits;
         Format.printf "%a@." Trace.Counters.pp_snapshot
           (Trace.Counters.snapshot (Os.System.machine t).Isa.Machine.counters);
+        (* Segment numbering is per process in multi-process mode, so
+           the shared exports use bare segment numbers. *)
+        finish_obs obs (Os.System.machine t) ~segment_names:[];
         exit 0
       end;
       if listing then
@@ -276,6 +427,7 @@ let run_program file mode start ring trace listing dump show_map typed
           exit 1);
       if show_map then Format.printf "%a@." Os.Process.pp_layout p;
       if trace then Trace.Event.set_enabled p.Os.Process.machine.Isa.Machine.log true;
+      enable_obs obs p.Os.Process.machine;
       (match typed with
       | Some text -> Os.Device.feed p.Os.Process.typewriter text
       | None -> ());
@@ -290,6 +442,12 @@ let run_program file mode start ring trace listing dump show_map typed
        if printed <> "" then Format.printf "typewriter output: %S@." printed);
       Format.printf "%a@." Trace.Counters.pp_snapshot
         (Trace.Counters.snapshot p.Os.Process.machine.Isa.Machine.counters);
+      finish_obs obs p.Os.Process.machine
+        ~segment_names:
+          (List.map
+             (fun (l : Os.Process.loaded) ->
+               (l.Os.Process.segno, l.Os.Process.name))
+             p.Os.Process.loaded);
       if dump then
         List.iter
           (fun (l : Os.Process.loaded) ->
@@ -346,11 +504,42 @@ let budget =
   Arg.(value & opt int 1_000_000 & info [ "budget" ] ~docv:"N"
          ~doc:"Instruction budget.")
 
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON file (load in Perfetto \
+               or chrome://tracing; 1us = 1 modeled cycle).")
+
+let events_out =
+  Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"FILE"
+         ~doc:"Write the raw event log as JSON Lines, one stamped event \
+               per line.")
+
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write a JSON metrics snapshot: every counter, span latency \
+               histograms, and the cycle profile.")
+
+let metrics_prom =
+  Arg.(value & opt (some string) None & info [ "metrics-prom" ] ~docv:"FILE"
+         ~doc:"Write the same metrics in Prometheus text exposition format.")
+
+let profile =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Print per-ring and per-segment modeled-cycle tables and \
+               span latency percentiles after the run.")
+
+let obs =
+  let mk trace_out events_out metrics_out metrics_prom profile =
+    { trace_out; events_out; metrics_out; metrics_prom; profile }
+  in
+  Term.(
+    const mk $ trace_out $ events_out $ metrics_out $ metrics_prom $ profile)
+
 let cmd =
   let doc = "simulate the Schroeder-Saltzer protection-ring processor" in
   Cmd.v (Cmd.info "ringsim" ~doc)
     Term.(
       const run_program $ file $ mode $ start $ ring $ trace $ listing
-      $ dump $ show_map $ typed $ budget)
+      $ dump $ show_map $ typed $ budget $ obs)
 
 let () = exit (Cmd.eval cmd)

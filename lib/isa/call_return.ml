@@ -5,27 +5,49 @@ let set_stack_base_pr m ~new_ring ~stack_segno =
       addr = Hw.Addr.v ~segno:stack_segno ~wordno:0;
     }
 
+(* Event construction is gated so the disabled path allocates
+   nothing — CALL/RETURN are the crossing workloads' hot path. *)
 let record_call m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
-  Trace.Event.record m.Machine.log
-    (Trace.Event.Call
-       {
-         crossing;
-         from_ring = Rings.Ring.to_int from_ring;
-         to_ring = Rings.Ring.to_int to_ring;
-         segno = addr.Hw.Addr.segno;
-         wordno = addr.Hw.Addr.wordno;
-       })
+  if Trace.Event.enabled m.Machine.log then
+    Trace.Event.record m.Machine.log
+      (Trace.Event.Call
+         {
+           crossing;
+           from_ring = Rings.Ring.to_int from_ring;
+           to_ring = Rings.Ring.to_int to_ring;
+           segno = addr.Hw.Addr.segno;
+           wordno = addr.Hw.Addr.wordno;
+         });
+  if Trace.Span.enabled m.Machine.spans then
+    Trace.Span.open_span m.Machine.spans ~kind:crossing
+      ~from_ring:(Rings.Ring.to_int from_ring)
+      ~to_ring:(Rings.Ring.to_int to_ring)
+      ~segno:addr.Hw.Addr.segno ~wordno:addr.Hw.Addr.wordno
+      ~cycles:(Trace.Counters.cycles m.Machine.counters)
 
 let record_return m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
-  Trace.Event.record m.Machine.log
-    (Trace.Event.Return
-       {
-         crossing;
-         from_ring = Rings.Ring.to_int from_ring;
-         to_ring = Rings.Ring.to_int to_ring;
-         segno = addr.Hw.Addr.segno;
-         wordno = addr.Hw.Addr.wordno;
-       })
+  if Trace.Event.enabled m.Machine.log then
+    Trace.Event.record m.Machine.log
+      (Trace.Event.Return
+         {
+           crossing;
+           from_ring = Rings.Ring.to_int from_ring;
+           to_ring = Rings.Ring.to_int to_ring;
+           segno = addr.Hw.Addr.segno;
+           wordno = addr.Hw.Addr.wordno;
+         });
+  if Trace.Span.enabled m.Machine.spans then
+    (* A same-ring return undoes a same-ring call; an upward return
+       undoes a downward call.  Closing by expected kind keeps the
+       intermediate upward return of the outward-return mechanism from
+       ending the enclosing outward span. *)
+    let expected =
+      match crossing with
+      | Trace.Event.Same_ring -> Trace.Event.Same_ring
+      | Trace.Event.Upward | Trace.Event.Downward -> Trace.Event.Downward
+    in
+    Trace.Span.close_span ~kind:expected m.Machine.spans
+      ~cycles:(Trace.Counters.cycles m.Machine.counters)
 
 let hardware_call m ~effective ~(addr : Hw.Addr.t) =
   let regs = m.Machine.regs in

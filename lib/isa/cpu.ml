@@ -8,7 +8,7 @@ let ( let* ) = Result.bind
    is memoized by the machine's fetch cache. *)
 let fetch m = Machine.fetch_instr m
 
-let step m =
+let step_unprofiled m =
   if m.Machine.halted then Halted
   else begin
     let regs = m.Machine.regs in
@@ -76,6 +76,27 @@ let step m =
           (* The processor transferred to the simulated supervisor's
              vector; execution continues there. *)
           Running
+  end
+
+(* Profile attribution wraps the whole step so the cycle delta covers
+   everything the instruction caused — address formation, execution,
+   and any trap-entry cost — attributed to the ring and segment the
+   instruction was fetched from.  Disabled, the wrapper is one bool
+   test. *)
+let step m =
+  if not (Trace.Profile.enabled m.Machine.profile) then step_unprofiled m
+  else begin
+    let at = m.Machine.regs.Hw.Registers.ipr in
+    let c0 = Trace.Counters.cycles m.Machine.counters in
+    let i0 = Trace.Counters.instructions m.Machine.counters in
+    let outcome = step_unprofiled m in
+    let dc = Trace.Counters.cycles m.Machine.counters - c0 in
+    let di = Trace.Counters.instructions m.Machine.counters - i0 in
+    if dc <> 0 || di <> 0 then
+      Trace.Profile.attribute m.Machine.profile
+        ~ring:(Rings.Ring.to_int at.Hw.Registers.ring)
+        ~segno:at.Hw.Registers.addr.Hw.Addr.segno ~cycles:dc ~instructions:di;
+    outcome
   end
 
 let run ?(max_instructions = 1_000_000) m =

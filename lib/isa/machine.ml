@@ -119,6 +119,8 @@ type t = {
   regs : Hw.Registers.t;
   counters : Trace.Counters.t;
   log : Trace.Event.log;
+  spans : Trace.Span.tracker;
+  profile : Trace.Profile.t;
   mode : mode;
   stack_rule : Rings.Stack_rule.t;
   gate_on_same_ring : bool;
@@ -234,12 +236,17 @@ let create ?(mode = Ring_hardware)
     =
   let counters = Trace.Counters.create () in
   let mem = Hw.Memory.create ?size:mem_size counters in
+  let log = Trace.Event.create_log () in
+  (* Events are stamped with the modeled cycle count at record time. *)
+  Trace.Event.set_clock log (fun () -> Trace.Counters.cycles counters);
   let t =
     {
       mem;
       regs = Hw.Registers.create ();
       counters;
-      log = Trace.Event.create_log ();
+      log;
+      spans = Trace.Span.create ();
+      profile = Trace.Profile.create ~rings:Rings.Ring.count ();
       mode;
       stack_rule;
       gate_on_same_ring;

@@ -69,6 +69,15 @@ type t = {
   regs : Hw.Registers.t;
   counters : Trace.Counters.t;
   log : Trace.Event.log;
+      (** Bounded ring-buffer event log; its clock is wired to
+          [counters] so recorded events carry modeled-cycle stamps. *)
+  spans : Trace.Span.tracker;
+      (** Call/return span tracker — one span per CALL that transfers
+          control, closed by its matching RETURN.  Disabled by
+          default; enabling it never changes the modeled counters. *)
+  profile : Trace.Profile.t;
+      (** Per-ring / per-segment cycle and instruction attribution,
+          filled by {!Cpu.step} when enabled. *)
   mode : mode;
   stack_rule : Rings.Stack_rule.t;
   gate_on_same_ring : bool;

@@ -7,7 +7,7 @@ type exit =
   | Gatekeeper_error of string
   | Out_of_budget
 
-let handle_fault p fault : (unit, exit) result =
+let handle_fault_inner p fault : (unit, exit) result =
   (* The host-level supervisor has consumed the trap: release the
      hardware interrupt inhibit (the simulated-supervisor path instead
      holds it until RTRAP). *)
@@ -81,6 +81,22 @@ let handle_fault p fault : (unit, exit) result =
             Ok ()
         | Error _ as e -> e)
   | _ -> Error (Terminated fault)
+
+(* Cycles the gatekeeper charges while servicing a fault happen
+   outside any simulated instruction; with profiling on they are
+   attributed to the kernel bucket rather than smeared over the
+   faulting segment. *)
+let handle_fault p fault : (unit, exit) result =
+  let m = p.Process.machine in
+  if not (Trace.Profile.enabled m.Isa.Machine.profile) then
+    handle_fault_inner p fault
+  else begin
+    let c0 = Trace.Counters.cycles m.Isa.Machine.counters in
+    let result = handle_fault_inner p fault in
+    Trace.Profile.attribute_kernel m.Isa.Machine.profile
+      ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters - c0);
+    result
+  end
 
 let run ?(max_instructions = 1_000_000) p =
   let m = p.Process.machine in

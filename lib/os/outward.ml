@@ -90,6 +90,17 @@ let enter_upward p ~caller_state ~to_ring ~target =
   let caller_ring =
     caller_state.Hw.Registers.ipr.Hw.Registers.ring
   in
+  (* An upward (outward) call never completes as a single CALL
+     instruction: the hardware faults and the gatekeeper performs the
+     transfer here.  Its span opens at gatekeeper entry and is closed
+     by the outward-return gate, so the measured latency covers the
+     whole supervised crossing. *)
+  if Trace.Span.enabled m.Isa.Machine.spans then
+    Trace.Span.open_span m.Isa.Machine.spans ~kind:Trace.Event.Upward
+      ~from_ring:(Rings.Ring.to_int caller_ring)
+      ~to_ring:(Rings.Ring.to_int to_ring)
+      ~segno:target.Hw.Addr.segno ~wordno:target.Hw.Addr.wordno
+      ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
   let depth = List.length p.Process.crossings in
   let area = comm_arg_base + (depth * area_words) in
   let* () =
@@ -186,4 +197,7 @@ let handle_outward_return p =
           addr = Hw.Addr.offset caller.Hw.Registers.ipr.Hw.Registers.addr 1;
         };
       Trace.Counters.bump_returns_downward m.Isa.Machine.counters;
+      if Trace.Span.enabled m.Isa.Machine.spans then
+        Trace.Span.close_span ~kind:Trace.Event.Upward m.Isa.Machine.spans
+          ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
       Ok ()

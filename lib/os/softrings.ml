@@ -51,6 +51,17 @@ let downward_call p ~(saved : Hw.Registers.t) ~new_ring ~target ~crossing =
       Trace.Counters.bump_calls_downward m.Isa.Machine.counters
   | Rings.Call.Same_ring ->
       Trace.Counters.bump_calls_same_ring m.Isa.Machine.counters);
+  if Trace.Span.enabled m.Isa.Machine.spans then
+    Trace.Span.open_span m.Isa.Machine.spans
+      ~kind:
+        (match crossing with
+        | Rings.Call.Downward -> Trace.Event.Downward
+        | Rings.Call.Same_ring -> Trace.Event.Same_ring)
+      ~from_ring:
+        (Rings.Ring.to_int (saved.Hw.Registers.ipr.Hw.Registers.ring))
+      ~to_ring:(Rings.Ring.to_int new_ring)
+      ~segno:target.Hw.Addr.segno ~wordno:target.Hw.Addr.wordno
+      ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
   m.Isa.Machine.saved <- None;
   gatekeeper_event p (fun () ->
       Format.asprintf "downward call to %a in %a" Hw.Addr.pp target
@@ -65,7 +76,13 @@ let upward_return p ~(saved : Hw.Registers.t) ~target =
   | Some { Process.kind = Process.Outward; _ } ->
       Error "cross-ring return while an outward crossing was open"
   | Some
-      { Process.kind = Process.Inward; saved = at_call; caller_ring; _ } ->
+      {
+        Process.kind = Process.Inward;
+        saved = at_call;
+        caller_ring;
+        callee_ring;
+        _;
+      } ->
       let* access =
         match Hashtbl.find_opt p.Process.ring_data target.Hw.Addr.segno with
         | Some a -> Ok a
@@ -99,6 +116,16 @@ let upward_return p ~(saved : Hw.Registers.t) ~target =
         { Hw.Registers.ring = caller_ring; addr = target };
       Hw.Registers.maximize_pr_rings regs caller_ring;
       Trace.Counters.bump_returns_upward m.Isa.Machine.counters;
+      if Trace.Span.enabled m.Isa.Machine.spans then
+        (* The popped crossing tells us which kind of span the
+           matching downward_call opened. *)
+        Trace.Span.close_span
+          ~kind:
+            (if Rings.Ring.equal caller_ring callee_ring then
+               Trace.Event.Same_ring
+             else Trace.Event.Downward)
+          m.Isa.Machine.spans
+          ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
       m.Isa.Machine.saved <- None;
       gatekeeper_event p (fun () ->
           Format.asprintf "upward return to %a in %a" Hw.Addr.pp target

@@ -264,6 +264,42 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     icache_evictions = after.icache_evictions - before.icache_evictions;
   }
 
+(* Every snapshot field by name, in declaration order.  The metrics
+   exporters iterate this so a counter added to the record shows up in
+   every export format (and in the coverage test) by extending this
+   one list. *)
+let fields (s : snapshot) : (string * int) list =
+  [
+    ("cycles", s.cycles);
+    ("instructions", s.instructions);
+    ("memory_reads", s.memory_reads);
+    ("memory_writes", s.memory_writes);
+    ("sdw_fetches", s.sdw_fetches);
+    ("indirections", s.indirections);
+    ("traps", s.traps);
+    ("calls_same_ring", s.calls_same_ring);
+    ("calls_downward", s.calls_downward);
+    ("calls_upward", s.calls_upward);
+    ("returns_same_ring", s.returns_same_ring);
+    ("returns_upward", s.returns_upward);
+    ("returns_downward", s.returns_downward);
+    ("gatekeeper_entries", s.gatekeeper_entries);
+    ("descriptor_switches", s.descriptor_switches);
+    ("access_violations", s.access_violations);
+    ("ptw_fetches", s.ptw_fetches);
+    ("page_faults", s.page_faults);
+    ("page_evictions", s.page_evictions);
+    ("sdw_cache_hits", s.sdw_cache_hits);
+    ("sdw_cache_misses", s.sdw_cache_misses);
+    ("sdw_cache_evictions", s.sdw_cache_evictions);
+    ("ptw_tlb_hits", s.ptw_tlb_hits);
+    ("ptw_tlb_misses", s.ptw_tlb_misses);
+    ("ptw_tlb_evictions", s.ptw_tlb_evictions);
+    ("icache_hits", s.icache_hits);
+    ("icache_misses", s.icache_misses);
+    ("icache_evictions", s.icache_evictions);
+  ]
+
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf
     "@[<v>cycles              %8d@,\

@@ -152,4 +152,9 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 (** [diff ~before ~after] is the per-field difference, for measuring a
     region of execution. *)
 
+val fields : snapshot -> (string * int) list
+(** Every snapshot field as [(name, value)], in declaration order.
+    The metrics exporters and their coverage test iterate this, so a
+    new counter is exported everywhere by extending the one list. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

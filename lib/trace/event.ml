@@ -21,14 +21,96 @@ type t =
   | Descriptor_switch of { from_ring : int; to_ring : int }
   | Note of string
 
-type log = { mutable enabled : bool; mutable events : t list }
+type stamped = { seq : int; cycles : int; event : t }
 
-let create_log () = { enabled = false; events = [] }
+let default_capacity = 65536
+let dummy = { seq = -1; cycles = 0; event = Note "" }
+
+(* A bounded circular buffer of stamped events.  [buf] is allocated
+   lazily on the first record so a disabled log — every machine the
+   benches create — costs one empty array and a bool test.  [head] is
+   the oldest retained entry, [len] the retained count; once [len]
+   reaches [capacity] each record overwrites the oldest and bumps
+   [dropped].  [seq] keeps counting across drops, so exported events
+   reveal gaps. *)
+type log = {
+  mutable enabled : bool;
+  mutable clock : unit -> int;
+  mutable capacity : int;
+  mutable buf : stamped array;
+  mutable head : int;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable dropped : int;
+}
+
+let create_log ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Event.create_log: capacity < 1";
+  {
+    enabled = false;
+    clock = (fun () -> 0);
+    capacity;
+    buf = [||];
+    head = 0;
+    len = 0;
+    next_seq = 0;
+    dropped = 0;
+  }
+
 let enabled log = log.enabled
 let set_enabled log b = log.enabled <- b
-let record log e = if log.enabled then log.events <- e :: log.events
-let events log = List.rev log.events
-let clear log = log.events <- []
+let set_clock log f = log.clock <- f
+let capacity log = log.capacity
+let dropped log = log.dropped
+let recorded log = log.next_seq
+
+let clear log =
+  log.head <- 0;
+  log.len <- 0;
+  log.next_seq <- 0;
+  log.dropped <- 0
+
+let set_capacity log capacity =
+  if capacity < 1 then invalid_arg "Event.set_capacity: capacity < 1";
+  log.capacity <- capacity;
+  log.buf <- [||];
+  clear log
+
+let record log e =
+  if log.enabled then begin
+    if Array.length log.buf = 0 then log.buf <- Array.make log.capacity dummy;
+    let slot =
+      if log.len < log.capacity then begin
+        let i = log.head + log.len in
+        let i = if i >= log.capacity then i - log.capacity else i in
+        log.len <- log.len + 1;
+        i
+      end
+      else begin
+        let i = log.head in
+        log.head <- (if i + 1 >= log.capacity then 0 else i + 1);
+        log.dropped <- log.dropped + 1;
+        i
+      end
+    in
+    log.buf.(slot) <- { seq = log.next_seq; cycles = log.clock (); event = e };
+    log.next_seq <- log.next_seq + 1
+  end
+
+let fold_stamped log ~init ~f =
+  let acc = ref init in
+  for i = 0 to log.len - 1 do
+    let j = log.head + i in
+    let j = if j >= log.capacity then j - log.capacity else j in
+    acc := f !acc log.buf.(j)
+  done;
+  !acc
+
+let stamped_events log =
+  List.rev (fold_stamped log ~init:[] ~f:(fun acc s -> s :: acc))
+
+let events log =
+  List.rev (fold_stamped log ~init:[] ~f:(fun acc s -> s.event :: acc))
 
 let crossing_to_string = function
   | Same_ring -> "same-ring"

@@ -4,7 +4,13 @@
     append one event per noteworthy action.  Examples and the [ringsim]
     binary render these for human consumption; tests assert on the
     event sequence to pin down behaviour such as "exactly one trap was
-    taken, and it was an upward-call trap". *)
+    taken, and it was an upward-call trap".
+
+    The log is a {e bounded ring buffer}: each recorded event is
+    stamped with the modeled cycle count (via the log's clock) and a
+    monotonically increasing sequence number.  Once the buffer is full
+    the oldest events are overwritten and counted in {!dropped} —
+    long traffic runs can keep tracing on without unbounded growth. *)
 
 type crossing = Same_ring | Downward | Upward
 
@@ -30,9 +36,20 @@ type t =
   | Descriptor_switch of { from_ring : int; to_ring : int }
   | Note of string
 
+type stamped = { seq : int; cycles : int; event : t }
+(** An event as retained in the log: [seq] is its position in the
+    record order (monotonic, never reused, gaps reveal drops) and
+    [cycles] the modeled cycle count at record time. *)
+
 type log
 
-val create_log : unit -> log
+val default_capacity : int
+(** 65536 events. *)
+
+val create_log : ?capacity:int -> unit -> log
+(** Logs are created disabled, with an unallocated buffer: a log that
+    is never enabled costs nothing beyond the record.  Raises
+    [Invalid_argument] if [capacity < 1]. *)
 
 val enabled : log -> bool
 
@@ -40,12 +57,38 @@ val set_enabled : log -> bool -> unit
 (** Logs are created disabled so that the common benchmarking path
     pays nothing for tracing. *)
 
+val set_clock : log -> (unit -> int) -> unit
+(** The timestamp source, sampled at each record.  The machine points
+    this at its modeled cycle counter; the default clock returns 0. *)
+
+val set_capacity : log -> int -> unit
+(** Resize the ring buffer.  Clears the log. *)
+
+val capacity : log -> int
+
 val record : log -> t -> unit
 
 val events : log -> t list
-(** Events in the order they were recorded. *)
+(** Retained events in the order they were recorded (oldest first; up
+    to [capacity], earlier ones having been dropped). *)
+
+val stamped_events : log -> stamped list
+(** Like {!events} but with stamps. *)
+
+val fold_stamped : log -> init:'a -> f:('a -> stamped -> 'a) -> 'a
+(** Fold over retained events oldest-first without building a list. *)
+
+val dropped : log -> int
+(** Events overwritten because the buffer was full. *)
+
+val recorded : log -> int
+(** Total events ever recorded ([dropped log + retained]).  Also the
+    next sequence number. *)
 
 val clear : log -> unit
+(** Drop all events and reset the sequence and dropped counters. *)
+
+val crossing_to_string : crossing -> string
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,47 @@
+(** Exporters: Chrome trace-event JSON, JSONL raw events, and
+    Prometheus-style / JSON metrics snapshots.
+
+    Every exporter reads modeled state only — cycles, counters, spans
+    — never the host clock, so output is byte-deterministic for a
+    given run ([make trace-smoke] relies on this).
+
+    In the Chrome trace, each ring is rendered as a "thread" of one
+    process, the gatekeeper as a separate thread; spans become ["X"]
+    complete events and stamped log events become instants.  Load the
+    file in {{:https://ui.perfetto.dev}Perfetto} or [chrome://tracing];
+    1 µs of trace time = 1 modeled cycle. *)
+
+val chrome_trace :
+  ?events:Event.stamped list -> ?spans:Span.completed list -> unit -> string
+(** A complete Chrome trace-event document ([{"traceEvents": [...]}]). *)
+
+val events_jsonl : Event.stamped list -> string
+(** One JSON object per line per stamped event: [seq], [cycles],
+    [type], and the event's own fields. *)
+
+val metrics_json :
+  counters:Counters.snapshot ->
+  ?events:Event.log ->
+  ?spans:Span.tracker ->
+  ?profile:Profile.t ->
+  ?segment_names:(int * string) list ->
+  unit ->
+  string
+(** A JSON metrics snapshot: every {!Counters.fields} entry, plus —
+    when given — event-log occupancy, span-latency histograms with
+    deterministic p50/p90/p99 per crossing kind, and the
+    per-ring/per-segment cycle attribution ([segment_names] decorates
+    segment numbers). *)
+
+val metrics_prometheus :
+  counters:Counters.snapshot ->
+  ?events:Event.log ->
+  ?spans:Span.tracker ->
+  ?profile:Profile.t ->
+  ?segment_names:(int * string) list ->
+  unit ->
+  string
+(** The same snapshot as a Prometheus text-format page
+    ([rings_<counter>], [rings_profile_*{ring=..}],
+    [rings_span_latency_cycles_bucket{kind=..,le=..}] cumulative
+    histograms). *)

@@ -1,0 +1,47 @@
+(** Log2-bucketed histograms of non-negative integer samples (modeled
+    cycle latencies).
+
+    Bucket 0 holds values [<= 0]; bucket [i >= 1] holds values with
+    exactly [i] significant bits, i.e. the range [2^(i-1) .. 2^i - 1].
+    Percentiles are computed from the bucket counts, so they are
+    deterministic: the same multiset of observations yields the same
+    p50/p90/p99 regardless of order, host, or timing. *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val observe : t -> int -> unit
+
+val count : t -> int
+
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** 0 when empty. *)
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0..100]: the upper bound of the
+    bucket containing the rank-⌈p/100·count⌉ observation, clamped to
+    the observed maximum.  Deterministic; overestimates the exact
+    order statistic by less than 2x.  0 when empty. *)
+
+val bucket_of : int -> int
+(** The bucket index a value falls in. *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of bucket [i]. *)
+
+val bucket_lower : int -> int
+(** Inclusive lower bound of bucket [i] ([min_int] for bucket 0). *)
+
+val nonempty_buckets : t -> (int * int * int) list
+(** [(lower, upper, count)] for each occupied bucket, ascending. *)

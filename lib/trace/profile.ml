@@ -1,0 +1,69 @@
+(* Per-ring and per-segment attribution of modeled cycles and retired
+   instructions.  The CPU attributes each instruction's cycle delta to
+   the (ring, segment) it was fetched from; the OS substrate
+   attributes gatekeeper/supervisor work done outside any instruction
+   (fault handling on the host side) to the kernel bucket.  All
+   figures are modeled cycles — deterministic, host-independent. *)
+
+type cell = { mutable cycles : int; mutable instructions : int }
+
+type t = {
+  mutable enabled : bool;
+  ring_cycles : int array;
+  ring_instructions : int array;
+  segments : (int, cell) Hashtbl.t;
+  mutable kernel_cycles : int;
+}
+
+let create ~rings () =
+  if rings < 1 then invalid_arg "Profile.create: rings < 1";
+  {
+    enabled = false;
+    ring_cycles = Array.make rings 0;
+    ring_instructions = Array.make rings 0;
+    segments = Hashtbl.create 32;
+    kernel_cycles = 0;
+  }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let clear t =
+  Array.fill t.ring_cycles 0 (Array.length t.ring_cycles) 0;
+  Array.fill t.ring_instructions 0 (Array.length t.ring_instructions) 0;
+  Hashtbl.reset t.segments;
+  t.kernel_cycles <- 0
+
+let attribute t ~ring ~segno ~cycles ~instructions =
+  t.ring_cycles.(ring) <- t.ring_cycles.(ring) + cycles;
+  t.ring_instructions.(ring) <- t.ring_instructions.(ring) + instructions;
+  let cell =
+    match Hashtbl.find_opt t.segments segno with
+    | Some c -> c
+    | None ->
+        let c = { cycles = 0; instructions = 0 } in
+        Hashtbl.add t.segments segno c;
+        c
+  in
+  cell.cycles <- cell.cycles + cycles;
+  cell.instructions <- cell.instructions + instructions
+
+let attribute_kernel t ~cycles = t.kernel_cycles <- t.kernel_cycles + cycles
+
+let kernel_cycles t = t.kernel_cycles
+
+let per_ring t =
+  let acc = ref [] in
+  for r = Array.length t.ring_cycles - 1 downto 0 do
+    if t.ring_cycles.(r) <> 0 || t.ring_instructions.(r) <> 0 then
+      acc := (r, t.ring_cycles.(r), t.ring_instructions.(r)) :: !acc
+  done;
+  !acc
+
+let per_segment t =
+  Hashtbl.fold
+    (fun segno c acc -> (segno, c.cycles, c.instructions) :: acc)
+    t.segments []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let total_cycles t = Array.fold_left ( + ) t.kernel_cycles t.ring_cycles

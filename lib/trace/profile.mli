@@ -1,0 +1,42 @@
+(** Per-ring and per-segment modeled-cycle and instruction accounting.
+
+    When enabled, the CPU attributes each retired instruction's cycle
+    delta (including any trap-entry cost it incurred) to the ring and
+    segment it was fetched from, and the OS substrate attributes
+    host-side fault handling — the gatekeeper — to a separate kernel
+    bucket.  Everything here is modeled cycles: deterministic and
+    host-independent, so profiles diff cleanly across runs. *)
+
+type t
+
+val create : rings:int -> unit -> t
+(** [rings] buckets (ring numbers [0 .. rings-1]). *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Created disabled; the disabled path is one bool test per
+    instruction. *)
+
+val attribute :
+  t -> ring:int -> segno:int -> cycles:int -> instructions:int -> unit
+(** Charge [cycles] and [instructions] (0 when the step faulted before
+    retiring) to the ring and segment buckets. *)
+
+val attribute_kernel : t -> cycles:int -> unit
+(** Gatekeeper/supervisor work performed outside any simulated
+    instruction (host-side fault handling). *)
+
+val per_ring : t -> (int * int * int) list
+(** [(ring, cycles, instructions)] for each ring with activity,
+    ascending by ring. *)
+
+val per_segment : t -> (int * int * int) list
+(** [(segno, cycles, instructions)], ascending by segment number. *)
+
+val kernel_cycles : t -> int
+
+val total_cycles : t -> int
+(** Sum of all ring buckets plus the kernel bucket. *)
+
+val clear : t -> unit

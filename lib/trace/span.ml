@@ -1,0 +1,191 @@
+(* Call/return spans over the simulated call stack.
+
+   Every CALL that transfers control opens a span; the RETURN that
+   undoes it closes the innermost open span — the calling conventions
+   are strictly LIFO, so matching is a stack.  A crossing that never
+   returns (a fault that terminates the process, a trace that stops
+   mid-call) is closed by [drain] with [forced = true] so exporters
+   see a complete interval set.
+
+   Closed spans feed two sinks: a per-crossing-kind latency histogram
+   (always, cheap, deterministic percentiles) and a bounded ring
+   buffer of completed spans for the Chrome-trace exporter (lazily
+   allocated, oldest dropped first). *)
+
+type completed = {
+  kind : Event.crossing;
+  from_ring : int;
+  to_ring : int;
+  segno : int;
+  wordno : int;
+  start_cycles : int;
+  end_cycles : int;
+  depth : int;
+  seq : int;
+  forced : bool;
+}
+
+type open_span = {
+  o_kind : Event.crossing;
+  o_from_ring : int;
+  o_to_ring : int;
+  o_segno : int;
+  o_wordno : int;
+  o_start : int;
+  o_depth : int;
+  o_seq : int;
+}
+
+let default_capacity = 65536
+
+type tracker = {
+  mutable enabled : bool;
+  mutable stack : open_span list;
+  mutable next_seq : int;
+  mutable capacity : int;
+  mutable buf : completed array;
+  mutable head : int;
+  mutable len : int;
+  mutable dropped : int;
+  mutable unmatched_returns : int;
+  hist_same : Histogram.t;
+  hist_down : Histogram.t;
+  hist_up : Histogram.t;
+}
+
+let dummy =
+  {
+    kind = Event.Same_ring;
+    from_ring = 0;
+    to_ring = 0;
+    segno = 0;
+    wordno = 0;
+    start_cycles = 0;
+    end_cycles = 0;
+    depth = 0;
+    seq = -1;
+    forced = false;
+  }
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Span.create: capacity < 1";
+  {
+    enabled = false;
+    stack = [];
+    next_seq = 0;
+    capacity;
+    buf = [||];
+    head = 0;
+    len = 0;
+    dropped = 0;
+    unmatched_returns = 0;
+    hist_same = Histogram.create ();
+    hist_down = Histogram.create ();
+    hist_up = Histogram.create ();
+  }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+let dropped t = t.dropped
+let unmatched_returns t = t.unmatched_returns
+let open_depth t = List.length t.stack
+
+let histogram t = function
+  | Event.Same_ring -> t.hist_same
+  | Event.Downward -> t.hist_down
+  | Event.Upward -> t.hist_up
+
+let clear t =
+  t.stack <- [];
+  t.next_seq <- 0;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  t.unmatched_returns <- 0;
+  Histogram.clear t.hist_same;
+  Histogram.clear t.hist_down;
+  Histogram.clear t.hist_up
+
+let push_completed t c =
+  if Array.length t.buf = 0 then t.buf <- Array.make t.capacity dummy;
+  let slot =
+    if t.len < t.capacity then begin
+      let i = t.head + t.len in
+      let i = if i >= t.capacity then i - t.capacity else i in
+      t.len <- t.len + 1;
+      i
+    end
+    else begin
+      let i = t.head in
+      t.head <- (if i + 1 >= t.capacity then 0 else i + 1);
+      t.dropped <- t.dropped + 1;
+      i
+    end
+  in
+  t.buf.(slot) <- c
+
+let open_span t ~kind ~from_ring ~to_ring ~segno ~wordno ~cycles =
+  if t.enabled then begin
+    t.stack <-
+      {
+        o_kind = kind;
+        o_from_ring = from_ring;
+        o_to_ring = to_ring;
+        o_segno = segno;
+        o_wordno = wordno;
+        o_start = cycles;
+        o_depth = List.length t.stack;
+        o_seq = t.next_seq;
+      }
+      :: t.stack;
+    t.next_seq <- t.next_seq + 1
+  end
+
+let complete t o ~cycles ~forced =
+  let c =
+    {
+      kind = o.o_kind;
+      from_ring = o.o_from_ring;
+      to_ring = o.o_to_ring;
+      segno = o.o_segno;
+      wordno = o.o_wordno;
+      start_cycles = o.o_start;
+      end_cycles = cycles;
+      depth = o.o_depth;
+      seq = o.o_seq;
+      forced;
+    }
+  in
+  Histogram.observe (histogram t o.o_kind) (cycles - o.o_start);
+  push_completed t c
+
+(* [kind]: what the closer believes it is undoing.  The outward-return
+   mechanism bounces through an intermediate hardware upward return (to
+   the return-gate trampoline) before the gate closes the crossing, so
+   a kind-blind close would end the outward span early and leave the
+   gate's close unmatched.  A close whose expected kind disagrees with
+   the innermost open span is part of such a mechanism, not the
+   matching return — leave the span open. *)
+let close_span ?kind t ~cycles =
+  if t.enabled then
+    match t.stack with
+    | [] -> t.unmatched_returns <- t.unmatched_returns + 1
+    | o :: rest -> (
+        match kind with
+        | Some k when k <> o.o_kind -> ()
+        | _ ->
+            t.stack <- rest;
+            complete t o ~cycles ~forced:false)
+
+let drain t ~cycles =
+  List.iter (fun o -> complete t o ~cycles ~forced:true) t.stack;
+  t.stack <- []
+
+let completed t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    let j = t.head + i in
+    let j = if j >= t.capacity then j - t.capacity else j in
+    acc := t.buf.(j) :: !acc
+  done;
+  !acc

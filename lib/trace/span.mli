@@ -1,0 +1,77 @@
+(** Modeled-cycle latency spans over the simulated call stack.
+
+    Every CALL that actually transfers control opens a span; the
+    RETURN (or outward-return gate) that undoes it closes the
+    innermost open one — the ring calling conventions are strictly
+    LIFO, so matching is a stack, nested exactly like the simulated
+    call stack.  Span latency is [end_cycles - start_cycles] in
+    modeled cycles: fully deterministic, independent of the host.
+
+    A crossing that never returns (a fault terminates the process, or
+    the run ends mid-call) is closed by {!drain} with [forced = true].
+
+    Closed spans accumulate into one {!Histogram.t} per crossing kind,
+    and into a bounded ring buffer of {!completed} records for the
+    Chrome-trace exporter (oldest dropped first, counted). *)
+
+type completed = {
+  kind : Event.crossing;
+  from_ring : int;
+  to_ring : int;
+  segno : int;  (** Call target segment. *)
+  wordno : int;
+  start_cycles : int;
+  end_cycles : int;
+  depth : int;  (** Open-span nesting depth when this span opened. *)
+  seq : int;  (** Open order, monotonic. *)
+  forced : bool;  (** Closed by {!drain}, not by a matching return. *)
+}
+
+type tracker
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> tracker
+(** Created disabled with an unallocated buffer; a tracker that never
+    enables costs only the record. *)
+
+val enabled : tracker -> bool
+
+val set_enabled : tracker -> bool -> unit
+
+val open_span :
+  tracker ->
+  kind:Event.crossing ->
+  from_ring:int ->
+  to_ring:int ->
+  segno:int ->
+  wordno:int ->
+  cycles:int ->
+  unit
+
+val close_span : ?kind:Event.crossing -> tracker -> cycles:int -> unit
+(** Close the innermost open span.  With [kind], close only if the
+    innermost span is of that kind — a mismatch is an intermediate
+    transfer inside a larger supervised crossing (e.g. the hardware
+    upward return into the outward-return trampoline) and leaves the
+    span open.  A return with no span open (e.g. tracking was enabled
+    mid-call-chain) bumps {!unmatched_returns} instead. *)
+
+val drain : tracker -> cycles:int -> unit
+(** Force-close every open span at [cycles] — call before exporting,
+    and after a run that terminated on a fault. *)
+
+val completed : tracker -> completed list
+(** Retained completed spans, in completion order. *)
+
+val histogram : tracker -> Event.crossing -> Histogram.t
+(** Latency histogram of completed spans of one crossing kind. *)
+
+val open_depth : tracker -> int
+
+val dropped : tracker -> int
+(** Completed spans overwritten because the buffer was full. *)
+
+val unmatched_returns : tracker -> int
+
+val clear : tracker -> unit

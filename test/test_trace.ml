@@ -39,6 +39,84 @@ let test_event_log_disabled_by_default () =
   Trace.Event.clear log;
   Alcotest.(check int) "cleared" 0 (List.length (Trace.Event.events log))
 
+let test_event_ring_buffer_bounds () =
+  let log = Trace.Event.create_log ~capacity:4 () in
+  Trace.Event.set_enabled log true;
+  for i = 1 to 10 do
+    Trace.Event.record log (Trace.Event.Note (string_of_int i))
+  done;
+  Alcotest.(check int) "len bounded" 4 (List.length (Trace.Event.events log));
+  Alcotest.(check int) "dropped counted" 6 (Trace.Event.dropped log);
+  Alcotest.(check int) "recorded counts all" 10 (Trace.Event.recorded log);
+  (* Oldest events are overwritten first: the newest four remain. *)
+  (match Trace.Event.events log with
+  | [ Trace.Event.Note "7"; Note "8"; Note "9"; Note "10" ] -> ()
+  | _ -> Alcotest.fail "wrong survivors after wrap");
+  (* Sequence numbers keep counting across the wrap. *)
+  (match Trace.Event.stamped_events log with
+  | [ a; _; _; d ] ->
+      Alcotest.(check int) "first surviving seq" 6 a.Trace.Event.seq;
+      Alcotest.(check int) "last seq" 9 d.Trace.Event.seq
+  | _ -> Alcotest.fail "wrong stamped count");
+  Trace.Event.clear log;
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.Event.dropped log)
+
+let test_event_clock_stamping () =
+  let log = Trace.Event.create_log () in
+  let now = ref 100 in
+  Trace.Event.set_clock log (fun () -> !now);
+  Trace.Event.set_enabled log true;
+  Trace.Event.record log (Trace.Event.Note "a");
+  now := 250;
+  Trace.Event.record log (Trace.Event.Note "b");
+  match Trace.Event.stamped_events log with
+  | [ a; b ] ->
+      Alcotest.(check int) "first stamp" 100 a.Trace.Event.cycles;
+      Alcotest.(check int) "second stamp" 250 b.Trace.Event.cycles;
+      Alcotest.(check int) "seq 0" 0 a.Trace.Event.seq;
+      Alcotest.(check int) "seq 1" 1 b.Trace.Event.seq
+  | _ -> Alcotest.fail "wrong stamped count"
+
+(* Counters.fields is the exporters' source of truth: every field the
+   pretty-printer knows must appear, and a single bump must move
+   exactly one field. *)
+let test_counters_fields_complete () =
+  let c = Trace.Counters.create () in
+  Trace.Counters.charge c 7;
+  let snap = Trace.Counters.snapshot c in
+  let fields = Trace.Counters.fields snap in
+  Alcotest.(check bool) "cycles present" true (List.mem_assoc "cycles" fields);
+  Alcotest.(check int) "cycles value" 7 (List.assoc "cycles" fields);
+  let names = List.map fst fields in
+  Alcotest.(check int)
+    "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* Every counter named by the pretty-printer has a field.  pp uses
+     display labels, so check a representative set. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k fields))
+    [
+      "instructions"; "traps"; "calls_downward"; "returns_upward";
+      "gatekeeper_entries"; "access_violations"; "sdw_cache_hits";
+      "ptw_tlb_misses"; "icache_evictions"; "page_faults";
+    ]
+
+let test_counters_fields_diff () =
+  let c = Trace.Counters.create () in
+  let before = Trace.Counters.snapshot c in
+  Trace.Counters.bump_calls_upward c;
+  let after = Trace.Counters.snapshot c in
+  let d = Trace.Counters.diff ~before ~after in
+  let moved =
+    List.filter (fun (_, v) -> v <> 0) (Trace.Counters.fields d)
+  in
+  Alcotest.(check (list (pair string int)))
+    "exactly one field moved"
+    [ ("calls_upward", 1) ]
+    moved
+
 let test_event_rendering () =
   let render e = Format.asprintf "%a" Trace.Event.pp e in
   Alcotest.(check string)
@@ -88,6 +166,14 @@ let suite =
         Alcotest.test_case "counters reset" `Quick test_counters_reset;
         Alcotest.test_case "event log gating" `Quick
           test_event_log_disabled_by_default;
+        Alcotest.test_case "event ring buffer bounds" `Quick
+          test_event_ring_buffer_bounds;
+        Alcotest.test_case "event clock stamping" `Quick
+          test_event_clock_stamping;
+        Alcotest.test_case "counters fields complete" `Quick
+          test_counters_fields_complete;
+        Alcotest.test_case "counters fields diff" `Quick
+          test_counters_fields_diff;
         Alcotest.test_case "event rendering" `Quick test_event_rendering;
         Alcotest.test_case "table rendering" `Quick test_table_rendering;
         Alcotest.test_case "table cell count" `Quick
