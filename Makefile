@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench bench-smoke trace-smoke examples doc clean
+.PHONY: all test bench bench-smoke trace-smoke chaos-smoke examples doc clean
 
 all:
 	dune build @all
@@ -11,6 +11,7 @@ all:
 test:
 	dune runtest
 	$(MAKE) trace-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 
 bench:
@@ -53,6 +54,27 @@ trace-smoke:
 	    || { echo "trace-smoke: $$f output DIFFERS between runs"; exit 1; }; \
 	done
 	@echo "trace-smoke: exporter output well-formed and deterministic"
+
+# Security-under-fault campaigns on three fixed seeds, each run twice:
+# the reports must show zero protection violations (ringsim exits
+# non-zero otherwise), be well-formed JSON, and be byte-identical
+# across runs — fault injection is deterministic replay, not noise.
+chaos-smoke:
+	dune build bin/ringsim.exe bin/jsoncheck.exe
+	@for seed in 1 2 3; do \
+	  for run in a b; do \
+	    _build/default/bin/ringsim.exe --campaigns 5 --inject $$seed \
+	      --metrics-out /tmp/chaos_smoke_$${seed}_$$run.json \
+	      > /tmp/chaos_smoke_$${seed}_$$run.out \
+	      || { echo "chaos-smoke: seed $$seed reported violations"; exit 1; }; \
+	  done; \
+	  _build/default/bin/jsoncheck.exe /tmp/chaos_smoke_$${seed}_a.json || exit 1; \
+	  for f in json out; do \
+	    diff /tmp/chaos_smoke_$${seed}_a.$$f /tmp/chaos_smoke_$${seed}_b.$$f \
+	      || { echo "chaos-smoke: seed $$seed output DIFFERS between runs"; exit 1; }; \
+	  done; \
+	done
+	@echo "chaos-smoke: campaigns deterministic, reports valid, invariants intact"
 
 examples:
 	@for e in quickstart protected_subsystem layered_supervisor debug_ring \

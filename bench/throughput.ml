@@ -175,7 +175,46 @@ let run_traced ~name ~max_instructions build =
         snapshot = Trace.Counters.snapshot c;
       }
 
-let json_of_samples samples span_samples ~traced ~untraced =
+(* The injector must be free when off: an attached injector with no
+   rules is polled between instructions but may change neither the
+   modeled cycles nor (measurably) the host throughput. *)
+let run_idle_injector ~name ~max_instructions build =
+  match build () with
+  | Error e -> failwith (Printf.sprintf "%s: build failed: %s" name e)
+  | Ok p ->
+      let m = p.Os.Process.machine in
+      let inj =
+        Hw.Inject.create
+          { (Hw.Inject.default_plan ~seed:0) with Hw.Inject.rules = [] }
+      in
+      List.iter
+        (fun (base, len) ->
+          Hw.Inject.register_descriptor_range inj ~base ~len)
+        (Os.Process.descriptor_ranges p);
+      Isa.Machine.attach_injector m inj;
+      let c = m.Isa.Machine.counters in
+      let i0 = Trace.Counters.instructions c in
+      let t0 = Unix.gettimeofday () in
+      let exit = Os.Kernel.run ~max_instructions p in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match exit with
+      | Os.Kernel.Exited -> ()
+      | e ->
+          failwith
+            (Format.asprintf "%s: did not exit cleanly: %a" name
+               Os.Kernel.pp_exit e));
+      let instructions = Trace.Counters.instructions c - i0 in
+      {
+        name;
+        instructions;
+        seconds = dt;
+        ips = float_of_int instructions /. dt;
+        cycles = Trace.Counters.cycles c;
+        snapshot = Trace.Counters.snapshot c;
+      }
+
+let json_of_samples samples span_samples ~traced ~untraced ~idle
+    ~(chaos : Os.Chaos.report) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"workloads\": [\n";
   List.iteri
@@ -216,8 +255,31 @@ let json_of_samples samples span_samples ~traced ~untraced =
     (Printf.sprintf
        "\n  ],\n  \"trace_overhead\": {\"workload\": %S, \
         \"instructions_per_sec_untraced\": %.0f, \
-        \"instructions_per_sec_traced\": %.0f, \"overhead_ratio\": %.3f}\n"
+        \"instructions_per_sec_traced\": %.0f, \"overhead_ratio\": %.3f},\n"
        untraced.name untraced.ips traced.ips (untraced.ips /. traced.ips));
+  let h = chaos.Os.Chaos.recovery_latency in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"robustness\": {\"injector_off\": {\"workload\": %S, \
+        \"instructions_per_sec_detached\": %.0f, \
+        \"instructions_per_sec_idle_injector\": %.0f, \"overhead_ratio\": \
+        %.3f, \"modeled_cycles_identical\": %b}, \"campaigns\": \
+        {\"count\": %d, \"injected\": %d, \"retried\": %d, \"recovered\": \
+        %d, \"quarantined\": %d, \"degraded\": %d, \"violations\": %d, \
+        \"recovery_latency_cycles\": {\"count\": %d, \"p50\": %d, \"p90\": \
+        %d, \"p99\": %d, \"max\": %d}}}\n"
+       untraced.name untraced.ips idle.ips (untraced.ips /. idle.ips)
+       (idle.cycles = untraced.cycles)
+       chaos.Os.Chaos.campaigns chaos.Os.Chaos.injected
+       chaos.Os.Chaos.retried chaos.Os.Chaos.recovered
+       chaos.Os.Chaos.quarantined chaos.Os.Chaos.degraded
+       (List.length chaos.Os.Chaos.violations)
+       (Trace.Histogram.count h)
+       (Trace.Histogram.percentile h 50.0)
+       (Trace.Histogram.percentile h 90.0)
+       (Trace.Histogram.percentile h 99.0)
+       (if Trace.Histogram.count h = 0 then 0
+        else Trace.Histogram.max_value h));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -313,7 +375,27 @@ let throughput () =
     "host time - trace overhead on %s: %.0f instr/sec untraced, %.0f \
      traced (ratio %.2fx)\n\n"
     untraced.name untraced.ips traced.ips (untraced.ips /. traced.ips);
+  let idle =
+    let (name, max_instructions, build) = List.hd workloads in
+    run_idle_injector ~name ~max_instructions build
+  in
+  if idle.cycles <> untraced.cycles then
+    failwith
+      (Printf.sprintf
+         "idle injector changed modeled cycles on %s: %d vs %d detached"
+         idle.name idle.cycles untraced.cycles);
+  Printf.printf
+    "robustness - idle injector on %s: %.0f instr/sec detached, %.0f \
+     attached (ratio %.2fx), modeled cycles identical\n"
+    untraced.name untraced.ips idle.ips (untraced.ips /. idle.ips);
+  let chaos = Os.Chaos.run_campaigns ~campaigns:20 (Hw.Inject.default_plan ~seed:0) in
+  if chaos.Os.Chaos.violations <> [] then
+    failwith
+      (Printf.sprintf "chaos campaigns reported %d protection violations"
+         (List.length chaos.Os.Chaos.violations));
+  Format.printf "robustness - %a@." Os.Chaos.pp_report chaos;
   let oc = open_out "BENCH_throughput.json" in
-  output_string oc (json_of_samples samples span_samples ~traced ~untraced);
+  output_string oc
+    (json_of_samples samples span_samples ~traced ~untraced ~idle ~chaos);
   close_out oc;
   Printf.printf "wrote BENCH_throughput.json\n"

@@ -314,15 +314,68 @@ let finish_obs o (m : Isa.Machine.t) ~segment_names =
     if o.profile then print_profile m ~segment_names
   end
 
-let run_program file mode start ring trace listing dump show_map typed
-    max_instructions obs =
-  let text =
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --inject SPEC: an integer seeds the built-in default plan; anything
+   else names a plan file for Hw.Inject.parse_plan. *)
+let resolve_plan spec =
+  match int_of_string_opt spec with
+  | Some seed -> Hw.Inject.default_plan ~seed
+  | None -> (
+      let text =
+        try read_file spec
+        with Sys_error e ->
+          Printf.eprintf "ringsim: cannot read injection plan: %s\n" e;
+          exit 1
+      in
+      match Hw.Inject.parse_plan text with
+      | Ok p -> p
+      | Error e ->
+          Printf.eprintf "%s: %s\n" spec e;
+          exit 1)
+
+let inject_into_machine plan m processes =
+  let inj = Hw.Inject.create plan in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (base, len) -> Hw.Inject.register_descriptor_range inj ~base ~len)
+        (Os.Process.descriptor_ranges p))
+    processes;
+  Isa.Machine.attach_injector m inj
+
+let run_campaigns inject campaigns obs =
+  let plan =
+    match inject with
+    | Some spec -> resolve_plan spec
+    | None -> Hw.Inject.default_plan ~seed:0
   in
+  let r = Os.Chaos.run_campaigns ~campaigns plan in
+  Format.printf "%a" Os.Chaos.pp_report r;
+  (match obs.metrics_out with
+  | Some path -> write_file path (Os.Chaos.report_json r)
+  | None -> ());
+  exit (if r.Os.Chaos.violations = [] then 0 else 1)
+
+let run_program file mode start ring trace listing dump show_map typed
+    max_instructions inject campaigns obs =
+  (match campaigns with
+  | Some n -> run_campaigns inject n obs
+  | None -> ());
+  let file =
+    match file with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "ringsim: a program FILE is required (unless running \
+                        --campaigns)\n";
+        exit 1
+  in
+  let text = read_file file in
   match parse_program text with
   | Error e ->
       Printf.eprintf "%s: %s\n" file e;
@@ -373,6 +426,13 @@ let run_program file mode start ring trace listing dump show_map typed
                 Printf.eprintf "spawn %s: %s\n" d.d_name e;
                 exit 1)
           procs;
+        (match inject with
+        | Some spec ->
+            inject_into_machine (resolve_plan spec) (Os.System.machine t)
+              (List.map
+                 (fun (e : Os.System.entry) -> e.Os.System.process)
+                 (Os.System.entries t))
+        | None -> ());
         let exits = Os.System.run t in
         List.iter
           (fun (name, exit) ->
@@ -426,6 +486,10 @@ let run_program file mode start ring trace listing dump show_map typed
           Printf.eprintf "start: %s\n" e;
           exit 1);
       if show_map then Format.printf "%a@." Os.Process.pp_layout p;
+      (match inject with
+      | Some spec ->
+          inject_into_machine (resolve_plan spec) p.Os.Process.machine [ p ]
+      | None -> ());
       if trace then Trace.Event.set_enabled p.Os.Process.machine.Isa.Machine.log true;
       enable_obs obs p.Os.Process.machine;
       (match typed with
@@ -467,7 +531,7 @@ let run_program file mode start ring trace listing dump show_map typed
 
 open Cmdliner
 
-let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
 
 let mode =
   Arg.(value & opt string "hw" & info [ "m"; "mode" ] ~docv:"MODE"
@@ -528,6 +592,19 @@ let profile =
          ~doc:"Print per-ring and per-segment modeled-cycle tables and \
                span latency percentiles after the run.")
 
+let inject =
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SEED|SPEC"
+         ~doc:"Attach the deterministic fault injector: an integer seeds \
+               the built-in default plan, anything else names a plan file \
+               (directives: seed, fault_budget, io_retry_limit, rule).")
+
+let campaigns =
+  Arg.(value & opt (some int) None & info [ "campaigns" ] ~docv:"N"
+         ~doc:"Run N security-under-fault campaigns on the built-in chaos \
+               workload instead of a program file, printing the aggregate \
+               report (with --metrics-out, also writing it as JSON). \
+               Exits non-zero if any protection invariant was violated.")
+
 let obs =
   let mk trace_out events_out metrics_out metrics_prom profile =
     { trace_out; events_out; metrics_out; metrics_prom; profile }
@@ -540,6 +617,6 @@ let cmd =
   Cmd.v (Cmd.info "ringsim" ~doc)
     Term.(
       const run_program $ file $ mode $ start $ ring $ trace $ listing
-      $ dump $ show_map $ typed $ budget $ obs)
+      $ dump $ show_map $ typed $ budget $ inject $ campaigns $ obs)
 
 let () = exit (Cmd.eval cmd)

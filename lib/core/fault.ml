@@ -31,6 +31,8 @@ type t =
   | Service_call of { code : int }
   | Timer_runout
   | Io_completion
+  | Parity_error of { addr : int }
+  | Io_error
 
 let code = function
   | No_read_permission -> 0
@@ -56,10 +58,13 @@ let code = function
   | Service_call _ -> 20
   | Timer_runout -> 21
   | Io_completion -> 22
+  | Parity_error _ -> 23
+  | Io_error -> 24
 
 let is_access_violation = function
   | Upward_call _ | Downward_return _ | Missing_segment _ | Missing_page _
-  | Cross_ring_transfer _ | Service_call _ | Timer_runout | Io_completion ->
+  | Cross_ring_transfer _ | Service_call _ | Timer_runout | Io_completion
+  | Parity_error _ | Io_error ->
       false
   | No_read_permission | No_write_permission | No_execute_permission
   | Read_bracket_violation _ | Write_bracket_violation _
@@ -126,5 +131,8 @@ let pp ppf = function
   | Service_call { code } -> Format.fprintf ppf "service call %d" code
   | Timer_runout -> Format.fprintf ppf "timer runout"
   | Io_completion -> Format.fprintf ppf "I/O completion"
+  | Parity_error { addr } ->
+      Format.fprintf ppf "parity error at absolute %08o" addr
+  | Io_error -> Format.fprintf ppf "I/O channel error"
 
 let to_string t = Format.asprintf "%a" pp t

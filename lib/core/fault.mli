@@ -76,6 +76,17 @@ type t =
       (** An I/O channel operation started by SIOC has completed —
           another of the paper's trap sources; serviced transparently
           by the supervisor. *)
+  | Parity_error of { addr : int }
+      (** The memory subsystem detected bad parity at absolute
+          address [addr] — the word's content can no longer be
+          trusted.  Raised only under fault injection
+          ({!Hw.Inject}); the supervisor scrubs the word and resumes,
+          or quarantines the process when its fault budget is spent.
+          Not an access violation: the program did nothing wrong. *)
+  | Io_error
+      (** The channel operation completed unsuccessfully (device
+          error or injected fault); the pending transfer was not
+          performed.  The supervisor retries with backoff. *)
 
 val code : t -> int
 (** A stable small integer per constructor — the trap vector slot the

@@ -1,0 +1,294 @@
+(* Deterministic fault injector.
+
+   Every decision — when to fire, which word, which bit — comes from
+   the plan's rules and a seeded xorshift generator advanced only when
+   a rule fires.  The modeled cycle clock is the only notion of time,
+   so a run with the same plan and workload replays exactly.
+
+   Corruption goes through [Memory.write_silent]: no modeled cycles are
+   charged (the fault is an act of the environment, not the processor)
+   but the memory's write observer still fires, keeping the simulator's
+   host-side caches coherent with the damaged word. *)
+
+type action =
+  | Flip_bit
+  | Corrupt_descriptor
+  | Transient_fault
+  | Io_error
+  | Io_stall of int
+
+type rule = { start : int; every : int option; count : int; action : action }
+
+type plan = {
+  seed : int;
+  fault_budget : int;
+  io_retry_limit : int;
+  rules : rule list;
+}
+
+type event =
+  | Deliver_parity of { addr : int; transient : bool }
+  | Fail_next_io
+  | Stall_io of int
+
+(* Per-rule firing state: [next_due] is the next eligible cycle,
+   [remaining] the firings left.  A one-shot rule disables itself by
+   dropping [remaining] to 0. *)
+type armed = { rule : rule; mutable next_due : int; mutable remaining : int }
+
+type range = { base : int; len : int }
+
+type t = {
+  plan : plan;
+  mutable rng : int;
+  mutable armed : armed list;
+  poison : (int, Word.t) Hashtbl.t;
+  mutable ranges : range list;
+  mutable total : int;
+}
+
+(* xorshift64 confined to 62 positive bits; any fixed odd constant
+   rescues a zero seed. *)
+let seed_mix seed = if seed = 0 then 0x27220A95 else seed land max_int
+
+let next_rand t =
+  let mask62 = (1 lsl 62) - 1 in
+  let x = t.rng in
+  let x = x lxor (x lsl 13) land mask62 in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) land mask62 in
+  t.rng <- x;
+  x
+
+let rand_below t n = if n <= 0 then 0 else next_rand t mod n
+
+let arm plan =
+  List.map
+    (fun rule -> { rule; next_due = rule.start; remaining = rule.count })
+    plan.rules
+
+let create plan =
+  {
+    plan;
+    rng = seed_mix plan.seed;
+    armed = arm plan;
+    poison = Hashtbl.create 16;
+    ranges = [];
+    total = 0;
+  }
+
+let plan t = t.plan
+
+let reset t =
+  t.rng <- seed_mix t.plan.seed;
+  t.armed <- arm t.plan;
+  Hashtbl.reset t.poison;
+  t.ranges <- [];
+  t.total <- 0
+
+let register_descriptor_range t ~base ~len =
+  if len > 0 then t.ranges <- t.ranges @ [ { base; len } ]
+
+let is_descriptor_addr t addr =
+  List.exists (fun r -> addr >= r.base && addr < r.base + r.len) t.ranges
+
+(* {1 Corruption} *)
+
+let flip_word t mem addr =
+  let original = Memory.read_silent mem addr in
+  let bit = rand_below t Word.bits in
+  (* Keep the first-seen value: scrubbing must restore the word as it
+     was before any injected damage, even after repeated hits. *)
+  if not (Hashtbl.mem t.poison addr) then Hashtbl.replace t.poison addr original;
+  Memory.write_silent mem addr (Word.logxor original (1 lsl bit));
+  addr
+
+let random_addr t mem = rand_below t (Memory.size mem)
+
+let descriptor_addr t mem =
+  match t.ranges with
+  | [] -> random_addr t mem
+  | ranges ->
+      let total = List.fold_left (fun acc r -> acc + r.len) 0 ranges in
+      let idx = rand_below t total in
+      let rec pick idx = function
+        | [] -> random_addr t mem (* unreachable: idx < total *)
+        | r :: rest -> if idx < r.len then r.base + idx else pick (idx - r.len) rest
+      in
+      pick idx ranges
+
+let scrub t ~mem ~addr =
+  match Hashtbl.find_opt t.poison addr with
+  | None -> false
+  | Some original ->
+      Hashtbl.remove t.poison addr;
+      Memory.write_silent mem addr original;
+      true
+
+let poisoned t = Hashtbl.length t.poison
+let injected_total t = t.total
+
+(* {1 Firing} *)
+
+let fire t mem armed =
+  armed.remaining <- armed.remaining - 1;
+  (match armed.rule.every with
+  | Some period when armed.remaining > 0 -> armed.next_due <- armed.next_due + period
+  | _ -> armed.remaining <- 0);
+  t.total <- t.total + 1;
+  match armed.rule.action with
+  | Flip_bit ->
+      let addr = flip_word t mem (random_addr t mem) in
+      Deliver_parity { addr; transient = false }
+  | Corrupt_descriptor ->
+      let addr = flip_word t mem (descriptor_addr t mem) in
+      Deliver_parity { addr; transient = false }
+  | Transient_fault ->
+      Deliver_parity { addr = random_addr t mem; transient = true }
+  | Io_error -> Fail_next_io
+  | Io_stall n -> Stall_io n
+
+let poll t ~mem ~cycles =
+  let rec first = function
+    | [] -> None
+    | a :: rest ->
+        if a.remaining > 0 && cycles >= a.next_due then Some (fire t mem a)
+        else first rest
+  in
+  first t.armed
+
+(* {1 Plans} *)
+
+let default_plan ~seed =
+  {
+    seed;
+    fault_budget = 4;
+    io_retry_limit = 3;
+    rules =
+      [
+        { start = 400; every = Some 700; count = 6; action = Flip_bit };
+        { start = 900; every = Some 1500; count = 3; action = Corrupt_descriptor };
+        { start = 600; every = Some 1100; count = 4; action = Transient_fault };
+        { start = 1200; every = Some 2500; count = 2; action = Io_error };
+        { start = 1800; every = None; count = 1; action = Io_stall 64 };
+      ];
+  }
+
+let action_name = function
+  | Flip_bit -> "flip"
+  | Corrupt_descriptor -> "descriptor"
+  | Transient_fault -> "transient"
+  | Io_error -> "io_error"
+  | Io_stall _ -> "io_stall"
+
+let pp_plan ppf p =
+  Format.fprintf ppf "seed %d@." p.seed;
+  Format.fprintf ppf "fault_budget %d@." p.fault_budget;
+  Format.fprintf ppf "io_retry_limit %d@." p.io_retry_limit;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "rule %s start=%d" (action_name r.action) r.start;
+      (match r.every with
+      | Some e -> Format.fprintf ppf " every=%d" e
+      | None -> ());
+      Format.fprintf ppf " count=%d" r.count;
+      (match r.action with
+      | Io_stall n -> Format.fprintf ppf " cycles=%d" n
+      | _ -> ());
+      Format.fprintf ppf "@.")
+    p.rules
+
+let parse_plan text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let int_of lineno key v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> err "line %d: %s expects a non-negative integer, got %S" lineno key v
+  in
+  let parse_rule lineno words =
+    match words with
+    | [] -> err "line %d: rule needs a kind" lineno
+    | kind :: kvs -> (
+        let tbl = Hashtbl.create 4 in
+        let rec load = function
+          | [] -> Ok ()
+          | kv :: rest -> (
+              match String.index_opt kv '=' with
+              | None -> err "line %d: expected key=value, got %S" lineno kv
+              | Some i -> (
+                  let k = String.sub kv 0 i in
+                  let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                  match int_of lineno k v with
+                  | Error _ as e -> e
+                  | Ok n ->
+                      Hashtbl.replace tbl k n;
+                      load rest))
+        in
+        match load kvs with
+        | Error _ as e -> e
+        | Ok () -> (
+            let get k d = Option.value (Hashtbl.find_opt tbl k) ~default:d in
+            let action =
+              match kind with
+              | "flip" -> Ok Flip_bit
+              | "descriptor" -> Ok Corrupt_descriptor
+              | "transient" -> Ok Transient_fault
+              | "io_error" -> Ok Io_error
+              | "io_stall" -> Ok (Io_stall (get "cycles" 64))
+              | k -> err "line %d: unknown rule kind %S" lineno k
+            in
+            match action with
+            | Error _ as e -> e
+            | Ok action ->
+                Ok
+                  {
+                    start = get "start" 0;
+                    every =
+                      (match Hashtbl.find_opt tbl "every" with
+                      | Some 0 | None -> None
+                      | some -> some);
+                    count = get "count" 1;
+                    action;
+                  }))
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno seed budget retries rules = function
+    | [] ->
+        Ok
+          {
+            seed;
+            fault_budget = budget;
+            io_retry_limit = retries;
+            rules = List.rev rules;
+          }
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> go (lineno + 1) seed budget retries rules rest
+        | [ "seed"; v ] -> (
+            match int_of lineno "seed" v with
+            | Ok n -> go (lineno + 1) n budget retries rules rest
+            | Error _ as e -> e)
+        | [ "fault_budget"; v ] -> (
+            match int_of lineno "fault_budget" v with
+            | Ok n -> go (lineno + 1) seed n retries rules rest
+            | Error _ as e -> e)
+        | [ "io_retry_limit"; v ] -> (
+            match int_of lineno "io_retry_limit" v with
+            | Ok n -> go (lineno + 1) seed budget n rules rest
+            | Error _ as e -> e)
+        | "rule" :: words -> (
+            match parse_rule lineno words with
+            | Ok r -> go (lineno + 1) seed budget retries (r :: rules) rest
+            | Error _ as e -> e)
+        | w :: _ -> err "line %d: unknown directive %S" lineno w)
+  in
+  go 1 0 4 3 [] lines

@@ -1,0 +1,101 @@
+(** Deterministic fault injection.
+
+    The injector models the failure modes the paper's hardware is
+    designed to survive without compromising protection: memory parity
+    errors, damaged descriptor and page-table words, transient faults,
+    and I/O channel failures.  Everything it does is a deterministic
+    function of the injection {!plan} and the modeled cycle clock — no
+    wall-clock, no host randomness — so a campaign replays byte-for-byte
+    from its seed, which is what lets the chaos harness diff two runs.
+
+    Faults are {e detected}, never silent: a corrupted word is recorded
+    in a poison table holding the original value, and the machine
+    delivers a parity fault before the corrupted word can influence an
+    access decision.  The supervisor then {!scrub}s the word (modeling
+    ECC correction from a good copy) or quarantines the process.  This
+    mirrors the paper's claim that the hardware checks every reference:
+    a fault may cost work, but it must not widen access. *)
+
+type action =
+  | Flip_bit  (** Flip one random bit of one random memory word. *)
+  | Corrupt_descriptor
+      (** Flip a bit inside a registered descriptor-segment or
+          page-table range (falls back to {!Flip_bit} when no range is
+          registered). *)
+  | Transient_fault
+      (** Deliver a parity fault with no actual corruption — a soft
+          error that scrubbing trivially clears. *)
+  | Io_error  (** Make the next I/O completion fail. *)
+  | Io_stall of int  (** Delay the pending I/O completion by [n] cycles. *)
+
+type rule = {
+  start : int;  (** First eligible modeled cycle. *)
+  every : int option;  (** Re-fire period; [None] = fire once. *)
+  count : int;  (** Total firings allowed. *)
+  action : action;
+}
+
+type plan = {
+  seed : int;
+  fault_budget : int;
+      (** Faults a single process may absorb before quarantine. *)
+  io_retry_limit : int;
+      (** Failed-transfer retries before the kernel gives up. *)
+  rules : rule list;
+}
+
+type event =
+  | Deliver_parity of { addr : int; transient : bool }
+      (** A parity fault is due at [addr]; when [transient] no word was
+          actually corrupted. *)
+  | Fail_next_io  (** The in-flight (or next) I/O transfer must fail. *)
+  | Stall_io of int  (** The pending I/O completion slips by [n] cycles. *)
+
+type t
+
+val create : plan -> t
+
+val plan : t -> plan
+
+val default_plan : seed:int -> plan
+(** A mixed workload exercising every action: periodic bit flips,
+    descriptor corruption, transients, an I/O error and a stall. *)
+
+val parse_plan : string -> (plan, string) result
+(** Parse the plan text format: one directive per line, [#] comments.
+    [seed N], [fault_budget N], [io_retry_limit N], and
+    [rule KIND start=N [every=N] [count=N] [cycles=N]] where [KIND] is
+    [flip], [descriptor], [transient], [io_error] or [io_stall]
+    ([cycles] is the stall length). *)
+
+val pp_plan : Format.formatter -> plan -> unit
+(** Deterministic rendering, parseable by {!parse_plan}. *)
+
+val register_descriptor_range : t -> base:int -> len:int -> unit
+(** Tell the injector where descriptor segments and page tables live in
+    absolute memory, so [Corrupt_descriptor] can aim at them. *)
+
+val is_descriptor_addr : t -> int -> bool
+(** Does [addr] fall in a registered descriptor range?  The kernel uses
+    this to decide between plain scrubbing and cache degradation. *)
+
+val poll : t -> mem:Memory.t -> cycles:int -> event option
+(** Called by the machine between instructions.  Fires at most one due
+    rule: corruption actions mutate [mem] through its silent-write path
+    (so cache write-observers stay coherent) and record the original
+    word in the poison table.  Returns the event the machine must act
+    on, or [None]. *)
+
+val scrub : t -> mem:Memory.t -> addr:int -> bool
+(** Restore the original word at [addr] if it is poisoned.  [true] if a
+    repair happened; [false] for transient faults (nothing to repair). *)
+
+val poisoned : t -> int
+(** Outstanding corrupted words not yet scrubbed. *)
+
+val injected_total : t -> int
+(** Events returned by {!poll} so far. *)
+
+val reset : t -> unit
+(** Re-arm every rule, reseed the generator, and clear the poison table
+    and descriptor ranges: a fresh campaign from the same plan. *)

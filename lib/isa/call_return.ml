@@ -45,6 +45,9 @@ let record_return m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
       match crossing with
       | Trace.Event.Same_ring -> Trace.Event.Same_ring
       | Trace.Event.Upward | Trace.Event.Downward -> Trace.Event.Downward
+      (* Recovery spans are opened and closed by the kernel's fault
+         path, never by a RETURN instruction. *)
+      | Trace.Event.Recovery -> Trace.Event.Recovery
     in
     Trace.Span.close_span ~kind:expected m.Machine.spans
       ~cycles:(Trace.Counters.cycles m.Machine.counters)

@@ -42,6 +42,24 @@ let step_unprofiled m =
            timer and channel completions wait. *)
         Running
     | Ok Exec.Continue -> (
+        (* Injected faults are asynchronous, like the timer and channel
+           completions: they fire between instructions and honour the
+           same inhibit discipline (the poll above only runs on this
+           uninhibited branch, so a fault due during a handler waits
+           for RTRAP).  Delivery opens a Recovery span that the kernel
+           closes at its recovery decision. *)
+        match Machine.poll_injection m with
+        | Some fault ->
+            if Trace.Span.enabled m.Machine.spans then
+              Trace.Span.open_span m.Machine.spans ~kind:Trace.Event.Recovery
+                ~from_ring:(Rings.Ring.to_int (Machine.ring m))
+                ~to_ring:(Rings.Ring.to_int (Machine.ring m))
+                ~segno:regs.Hw.Registers.ipr.Hw.Registers.addr.Hw.Addr.segno
+                ~wordno:regs.Hw.Registers.ipr.Hw.Registers.addr.Hw.Addr.wordno
+                ~cycles:(Trace.Counters.cycles m.Machine.counters);
+            Machine.take_fault m ~at:regs.Hw.Registers.ipr fault;
+            if m.Machine.trap_config = None then Faulted fault else Running
+        | None -> (
         (* Channel I/O completes between instructions. *)
         (match m.Machine.io_countdown with
         | Some n when n > 1 -> m.Machine.io_countdown <- Some (n - 1)
@@ -49,7 +67,26 @@ let step_unprofiled m =
         match m.Machine.io_countdown with
         | Some 1 ->
             m.Machine.io_countdown <- None;
-            let fault = Rings.Fault.Io_completion in
+            (* An injected channel failure surfaces at completion
+               time: the request stays posted so the supervisor can
+               retry the transfer. *)
+            let fault =
+              if m.Machine.io_fail_pending then begin
+                m.Machine.io_fail_pending <- false;
+                if Trace.Span.enabled m.Machine.spans then
+                  Trace.Span.open_span m.Machine.spans
+                    ~kind:Trace.Event.Recovery
+                    ~from_ring:(Rings.Ring.to_int (Machine.ring m))
+                    ~to_ring:(Rings.Ring.to_int (Machine.ring m))
+                    ~segno:
+                      regs.Hw.Registers.ipr.Hw.Registers.addr.Hw.Addr.segno
+                    ~wordno:
+                      regs.Hw.Registers.ipr.Hw.Registers.addr.Hw.Addr.wordno
+                    ~cycles:(Trace.Counters.cycles m.Machine.counters);
+                Rings.Fault.Io_error
+              end
+              else Rings.Fault.Io_completion
+            in
             Machine.take_fault m ~at:regs.Hw.Registers.ipr fault;
             if m.Machine.trap_config = None then Faulted fault else Running
         | _ -> (
@@ -65,7 +102,7 @@ let step_unprofiled m =
         | Some n ->
             m.Machine.timer <- Some (n - 1);
             Running
-        | None -> Running))
+        | None -> Running)))
     | Ok Exec.Halt ->
         m.Machine.halted <- true;
         Halted

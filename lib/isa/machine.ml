@@ -147,6 +147,10 @@ type t = {
   watched : Bytes.t;
   mutable sdw_cache_base : int;
   mutable resident_bases : int list;
+  mutable injector : Hw.Inject.t option;
+  mutable degraded : bool;
+  mutable io_fail_pending : bool;
+  mutable on_recovery : Rings.Fault.t -> unit;
 }
 
 let cache_capacity = 64
@@ -273,6 +277,10 @@ let create ?(mode = Ring_hardware)
       watched = Bytes.make (Hw.Memory.size mem) '\000';
       sdw_cache_base = -1;
       resident_bases = [];
+      injector = None;
+      degraded = false;
+      io_fail_pending = false;
+      on_recovery = (fun _ -> ());
     }
   in
   Hw.Memory.set_write_observer t.mem (on_memory_write t);
@@ -297,9 +305,13 @@ let tag_insert t key sdw =
   Hashtbl.replace t.sdw_tags key sdw
 
 let host_insert_sdw t ~base ~segno key sdw =
-  (match Hw.Assoc.insert t.sdw_cache key sdw with
-  | None -> ()
-  | Some _ -> Trace.Counters.bump_sdw_cache_evictions t.counters);
+  if not t.degraded then
+    (match Hw.Assoc.insert t.sdw_cache key sdw with
+    | None -> ()
+    | Some _ -> Trace.Counters.bump_sdw_cache_evictions t.counters);
+  (* The watches stay armed even degraded: the modeled tag store keeps
+     carrying host decodes, and those must still heal on descriptor
+     writes. *)
   let a = base + (Hw.Descriptor.words_per_sdw * segno) in
   watch t ~bit:bit_sdw t.sdw_watch a key;
   watch t ~bit:bit_sdw t.sdw_watch (a + 1) key
@@ -343,7 +355,7 @@ let refill_tag t dbr ~base ~segno key =
    memory traffic exactly as before the host cache split.  The host
    LRU spares the walk when it can. *)
 let fetch_sdw_miss t dbr ~base ~segno key =
-  match Hw.Assoc.find t.sdw_cache key with
+  match (if t.degraded then None else Hw.Assoc.find t.sdw_cache key) with
   | Some sdw when segno < dbr.Hw.Registers.bound ->
       (* Replays the uncached walk's accounting exactly: the SDW-fetch
          bump and charge, then the two SDW words from core.  (The
@@ -421,7 +433,7 @@ let translate_paged_cached t (sdw : Hw.Sdw.t) ~segno ~wordno =
     let key =
       ptw_key ~base:t.regs.Hw.Registers.dbr.Hw.Registers.base ~segno ~pageno
     in
-    match Hw.Assoc.find t.ptw_tlb key with
+    match (if t.degraded then None else Hw.Assoc.find t.ptw_tlb key) with
     | Some v ->
         Trace.Counters.bump_ptw_tlb_hits t.counters;
         Ok (ptw_value_frame v + Hw.Paging.offset_in_page wordno)
@@ -431,16 +443,18 @@ let translate_paged_cached t (sdw : Hw.Sdw.t) ~segno ~wordno =
         let ptw = Hw.Paging.decode_ptw (Hw.Memory.read_silent t.mem waddr) in
         if ptw.Hw.Paging.present then begin
           let frame = ptw.Hw.Paging.frame_base in
-          (match
-             Hw.Assoc.insert t.ptw_tlb key (ptw_value ~waddr ~frame_base:frame)
-           with
-          | None -> ()
-          | Some _ ->
-              (* The evicted entry's page-table word stays watched:
-                 cached fetches may still depend on it, and a stale
-                 watch costs one harmless observer firing. *)
-              Trace.Counters.bump_ptw_tlb_evictions t.counters);
-          watch t ~bit:bit_ptw t.ptw_watch waddr key;
+          if not t.degraded then begin
+            (match
+               Hw.Assoc.insert t.ptw_tlb key (ptw_value ~waddr ~frame_base:frame)
+             with
+            | None -> ()
+            | Some _ ->
+                (* The evicted entry's page-table word stays watched:
+                   cached fetches may still depend on it, and a stale
+                   watch costs one harmless observer firing. *)
+                Trace.Counters.bump_ptw_tlb_evictions t.counters);
+            watch t ~bit:bit_ptw t.ptw_watch waddr key
+          end;
           Ok (frame + Hw.Paging.offset_in_page wordno)
         end
         else Error (Rings.Fault.Missing_page { segno; pageno })
@@ -463,12 +477,12 @@ let resolve_uncached t (addr : Hw.Addr.t) =
 let resolve_slow t (addr : Hw.Addr.t) key =
   let res = resolve_uncached t addr in
   (match res with
-  | Ok (sdw, _) ->
+  | Ok (sdw, _) when not t.degraded ->
       let i = resolve_index key in
       t.resolve_slots.(i) <- key;
       t.resolve_entries.(i) <-
         { r_res = res; r_gen = t.fetch_gen; r_paged = sdw.Hw.Sdw.paged }
-  | Error _ -> ());
+  | Ok _ | Error _ -> ());
   res
 
 (* Replay the filling walk's modeled activity: a free SDW fetch from
@@ -481,7 +495,7 @@ let resolve t (addr : Hw.Addr.t) =
     resolve_key ~base ~segno:addr.Hw.Addr.segno ~wordno:addr.Hw.Addr.wordno
   in
   let i = resolve_index key in
-  if Array.unsafe_get t.resolve_slots i = key then begin
+  if (not t.degraded) && Array.unsafe_get t.resolve_slots i = key then begin
     let e = Array.unsafe_get t.resolve_entries i in
     if e.r_gen = t.fetch_gen then begin
       let c = t.counters in
@@ -507,7 +521,7 @@ let resolve t (addr : Hw.Addr.t) =
 let fetch_decoded t abs =
   Trace.Counters.bump_memory_reads t.counters;
   Trace.Counters.charge t.counters Hw.Costs.memory_access;
-  match Hw.Assoc.find t.icache abs with
+  match (if t.degraded then None else Hw.Assoc.find t.icache abs) with
   | Some instr ->
       Trace.Counters.bump_icache_hits t.counters;
       Ok instr
@@ -516,12 +530,14 @@ let fetch_decoded t abs =
       match Instr.decode (Hw.Memory.read_silent t.mem abs) with
       | Error _ as e -> e
       | Ok instr ->
-          (match Hw.Assoc.insert t.icache abs instr with
-          | None -> ()
-          | Some _ -> Trace.Counters.bump_icache_evictions t.counters);
-          Bytes.unsafe_set t.watched abs
-            (Char.unsafe_chr
-               (Char.code (Bytes.unsafe_get t.watched abs) lor bit_icache));
+          if not t.degraded then begin
+            (match Hw.Assoc.insert t.icache abs instr with
+            | None -> ()
+            | Some _ -> Trace.Counters.bump_icache_evictions t.counters);
+            Bytes.unsafe_set t.watched abs
+              (Char.unsafe_chr
+                 (Char.code (Bytes.unsafe_get t.watched abs) lor bit_icache))
+          end;
           Ok instr)
 
 let validate_fetch t (sdw : Hw.Sdw.t) ~ring =
@@ -552,24 +568,26 @@ let fetch_instr_slow t (ipr : Hw.Registers.ptr) key =
           match fetch_decoded t abs with
           | Error _ as e -> e
           | Ok _ as res ->
-              (* The watch table accumulates a binding per distinct
-                 (word, key) pair; slot overwrites leave old bindings
-                 harmlessly stale, so bound its growth by starting the
-                 memo over when it gets far larger than the slots. *)
-              if Hashtbl.length t.fetch_watch > 4 * fetch_cache_slots
-              then begin
-                Array.fill t.fetch_slots 0 fetch_cache_slots (-1);
-                Hashtbl.reset t.fetch_watch
+              if not t.degraded then begin
+                (* The watch table accumulates a binding per distinct
+                   (word, key) pair; slot overwrites leave old bindings
+                   harmlessly stale, so bound its growth by starting the
+                   memo over when it gets far larger than the slots. *)
+                if Hashtbl.length t.fetch_watch > 4 * fetch_cache_slots
+                then begin
+                  Array.fill t.fetch_slots 0 fetch_cache_slots (-1);
+                  Hashtbl.reset t.fetch_watch
+                end;
+                let i = fetch_index key in
+                t.fetch_slots.(i) <- key;
+                t.fetch_entries.(i) <-
+                  {
+                    f_res = res;
+                    f_gen = t.fetch_gen;
+                    f_paged = sdw.Hw.Sdw.paged;
+                  };
+                watch t ~bit:bit_fetch t.fetch_watch abs key
               end;
-              let i = fetch_index key in
-              t.fetch_slots.(i) <- key;
-              t.fetch_entries.(i) <-
-                {
-                  f_res = res;
-                  f_gen = t.fetch_gen;
-                  f_paged = sdw.Hw.Sdw.paged;
-                };
-              watch t ~bit:bit_fetch t.fetch_watch abs key;
               res))
 
 let fetch_instr t =
@@ -583,7 +601,7 @@ let fetch_instr t =
       ~segno:addr.Hw.Addr.segno ~wordno:addr.Hw.Addr.wordno
   in
   let i = fetch_index key in
-  if Array.unsafe_get t.fetch_slots i = key then begin
+  if (not t.degraded) && Array.unsafe_get t.fetch_slots i = key then begin
     let e = Array.unsafe_get t.fetch_entries i in
     if e.f_gen = t.fetch_gen then begin
       let c = t.counters in
@@ -678,3 +696,57 @@ let restore_saved t =
           Trace.Counters.charge t.counters Hw.Costs.trap_restore;
           Hw.Registers.restore t.regs ~from:regs;
           t.saved <- None)
+
+(* {1 Fault injection} *)
+
+let attach_injector t inj = t.injector <- Some inj
+
+(* Graceful degradation after coherence damage: flush and disable the
+   host-side performance caches and run uncached from here on.  The
+   modeled associative memory ([sdw_tags]) is untouched — its hit/miss
+   pattern is part of the cycle accounting and must not change — and
+   [sdw_watch] stays armed so the tags' host decodes keep healing on
+   descriptor writes. *)
+let degrade t =
+  if not t.degraded then begin
+    t.degraded <- true;
+    Trace.Counters.bump_degraded t.counters;
+    Hw.Assoc.clear t.sdw_cache;
+    Hw.Assoc.clear t.ptw_tlb;
+    Hw.Assoc.clear t.icache;
+    Array.fill t.fetch_slots 0 fetch_cache_slots (-1);
+    Array.fill t.resolve_slots 0 resolve_cache_slots (-1);
+    Hashtbl.reset t.fetch_watch;
+    Hashtbl.reset t.ptw_watch;
+    t.fetch_gen <- t.fetch_gen + 1;
+    t.resident_bases <- []
+  end
+
+(* Called by the CPU between instructions (never under [inhibit]).
+   Corruption has already been applied by [Inject.poll] through the
+   silent-write path, so the write observer has kept the host caches
+   coherent with the damaged word; what comes back here is the fault
+   the processor's checking hardware would raise.  I/O events only
+   arm state that the completion path consumes. *)
+let poll_injection t =
+  match t.injector with
+  | None -> None
+  | Some inj -> (
+      match
+        Hw.Inject.poll inj ~mem:t.mem
+          ~cycles:(Trace.Counters.cycles t.counters)
+      with
+      | None -> None
+      | Some ev -> (
+          Trace.Counters.bump_injected t.counters;
+          match ev with
+          | Hw.Inject.Deliver_parity { addr; transient = _ } ->
+              Some (Rings.Fault.Parity_error { addr })
+          | Hw.Inject.Fail_next_io ->
+              t.io_fail_pending <- true;
+              None
+          | Hw.Inject.Stall_io n ->
+              (match t.io_countdown with
+              | Some k -> t.io_countdown <- Some (k + n)
+              | None -> ());
+              None))

@@ -178,6 +178,22 @@ type t = {
           process.  Flipping the DBR among resident bases (every 645
           ring crossing) costs nothing; reloading to a base outside
           the set purges entries cached under the old bases. *)
+  mutable injector : Hw.Inject.t option;
+      (** Deterministic fault injector, polled between instructions
+          when attached.  [None] (the default) costs one option test
+          per step and leaves every modeled quantity untouched. *)
+  mutable degraded : bool;
+      (** Host caches disabled after coherence damage; see
+          {!degrade}. *)
+  mutable io_fail_pending : bool;
+      (** The next I/O completion must deliver {!Rings.Fault.Io_error}
+          instead of performing the transfer (armed by an injected
+          channel failure). *)
+  mutable on_recovery : Rings.Fault.t -> unit;
+      (** Called by the kernel after each injected-fault recovery
+          decision (resume, retry or quarantine) with the fault it
+          acted on.  The chaos harness hangs its invariant checker
+          here; the default does nothing. *)
 }
 
 val create :
@@ -247,3 +263,22 @@ val take_fault : t -> at:Hw.Registers.ptr -> Rings.Fault.t -> unit
 val restore_saved : t -> unit
 (** The RTRAP action: restore the captured state and clear it.
     Raises [Invalid_argument] when no state is saved. *)
+
+(** {1 Fault injection and degradation} *)
+
+val attach_injector : t -> Hw.Inject.t -> unit
+
+val degrade : t -> unit
+(** Flush and disable every host-side performance cache (SDW LRU, PTW
+    TLB, decoded-instruction cache, fetch and resolve memos) and
+    continue uncached.  The modeled associative memory is untouched,
+    so the cycle accounting of the run is unchanged — only the host
+    pays.  Idempotent; bumps the [degraded] counter on the first
+    call. *)
+
+val poll_injection : t -> Rings.Fault.t option
+(** Fire at most one due injection rule.  A returned fault is a parity
+    error the CPU must deliver between instructions (corruption, if
+    any, has already been applied through the coherence-preserving
+    silent-write path); I/O events arm [io_fail_pending] or stretch
+    the in-flight countdown and return [None]. *)

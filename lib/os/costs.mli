@@ -43,3 +43,13 @@ val page_transfer : int
     a token drum-transfer latency; real secondary storage of the era
     was orders of magnitude slower than core, but the tests and
     benches only need page movement to be visible and deterministic. *)
+
+val parity_scrub : int
+(** Supervisor repair of a word reported bad by the memory parity
+    check — locating a good copy and rewriting the word: 30.  Charged
+    only on the injected-fault path, so injector-off runs are cycle-
+    identical. *)
+
+val io_retry_setup : int
+(** Re-arming a channel program after a reported transfer error: 20.
+    Charged per retry, in addition to the re-armed channel latency. *)

@@ -14,9 +14,11 @@ let read_available t ~max =
 let write t codes = t.output <- List.rev_append codes t.output
 
 let output_text t =
-  let codes = List.rev t.output in
-  String.init (List.length codes) (fun i ->
-      let c = List.nth codes i in
-      if c >= 32 && c <= 126 then Char.chr c else '?')
+  let buf = Buffer.create (List.length t.output) in
+  List.iter
+    (fun c ->
+      Buffer.add_char buf (if c >= 32 && c <= 126 then Char.chr c else '?'))
+    (List.rev t.output);
+  Buffer.contents buf
 
 let pending_input t = Queue.length t.input

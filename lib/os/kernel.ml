@@ -6,6 +6,15 @@ type exit =
   | Terminated of Rings.Fault.t
   | Gatekeeper_error of string
   | Out_of_budget
+  | Quarantined of Rings.Fault.t
+
+(* Close the Recovery span the CPU opened when it delivered an
+   injected fault: the interval ends at the supervisor's recovery
+   decision, whichever way it went. *)
+let close_recovery m =
+  if Trace.Span.enabled m.Isa.Machine.spans then
+    Trace.Span.close_span ~kind:Trace.Event.Recovery m.Isa.Machine.spans
+      ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters)
 
 let handle_fault_inner p fault : (unit, exit) result =
   (* The host-level supervisor has consumed the trap: release the
@@ -51,6 +60,8 @@ let handle_fault_inner p fault : (unit, exit) result =
       (* The supervisor performs any pending channel transfer, then
          resumes the disrupted computation. *)
       let m = p.Process.machine in
+      (* A good completion ends any retry sequence. *)
+      p.Process.io_attempts <- 0;
       let request = m.Isa.Machine.io_request in
       m.Isa.Machine.io_request <- None;
       match request with
@@ -80,6 +91,100 @@ let handle_fault_inner p fault : (unit, exit) result =
             Isa.Machine.restore_saved p.Process.machine;
             Ok ()
         | Error _ as e -> e)
+  | Rings.Fault.Parity_error { addr } ->
+      (* Memory damage reported by the checking hardware.  Scrub the
+         word back to its good copy, account the fault against the
+         process's budget, and either resume the disrupted computation
+         or quarantine the process.  Damage inside a descriptor
+         segment or page table may already have been decoded into the
+         simulator's host-side caches, so translation drops to
+         uncached operation — the modeled accounting is unaffected. *)
+      let m = p.Process.machine in
+      let counters = m.Isa.Machine.counters in
+      let inj = m.Isa.Machine.injector in
+      let repaired =
+        match inj with
+        | Some i -> Hw.Inject.scrub i ~mem:m.Isa.Machine.mem ~addr
+        | None -> false
+      in
+      let in_descriptor =
+        match inj with
+        | Some i -> Hw.Inject.is_descriptor_addr i addr
+        | None -> false
+      in
+      if repaired && in_descriptor then Isa.Machine.degrade m;
+      Trace.Counters.charge counters Costs.parity_scrub;
+      p.Process.fault_count <- p.Process.fault_count + 1;
+      let budget =
+        match inj with
+        | Some i -> (Hw.Inject.plan i).Hw.Inject.fault_budget
+        | None -> max_int
+      in
+      if Trace.Event.enabled m.Isa.Machine.log then
+        Trace.Event.record m.Isa.Machine.log
+          (Trace.Event.Gatekeeper
+             {
+               action =
+                 Printf.sprintf "parity at %08o %s" addr
+                   (if repaired then
+                      if in_descriptor then "scrubbed (descriptor damage)"
+                      else "scrubbed"
+                    else "transient, no repair needed");
+             });
+      close_recovery m;
+      if p.Process.fault_count > budget then begin
+        Trace.Counters.bump_quarantined counters;
+        m.Isa.Machine.saved <- None;
+        m.Isa.Machine.on_recovery fault;
+        Error (Quarantined fault)
+      end
+      else begin
+        Trace.Counters.bump_recovered counters;
+        Isa.Machine.restore_saved m;
+        m.Isa.Machine.on_recovery fault;
+        Ok ()
+      end
+  | Rings.Fault.Io_error ->
+      (* The channel reported a failed transfer.  The request is still
+         posted (the CPU leaves it in place on an injected error):
+         re-arm it with a deterministic exponential backoff up to the
+         plan's retry limit, then give up and quarantine. *)
+      let m = p.Process.machine in
+      let counters = m.Isa.Machine.counters in
+      let limit =
+        match m.Isa.Machine.injector with
+        | Some i -> (Hw.Inject.plan i).Hw.Inject.io_retry_limit
+        | None -> 0
+      in
+      p.Process.io_attempts <- p.Process.io_attempts + 1;
+      if p.Process.io_attempts <= limit && m.Isa.Machine.io_request <> None
+      then begin
+        Trace.Counters.bump_retried counters;
+        Trace.Counters.charge counters Costs.io_retry_setup;
+        let backoff = 8 lsl p.Process.io_attempts in
+        m.Isa.Machine.io_countdown <- Some backoff;
+        if Trace.Event.enabled m.Isa.Machine.log then
+          Trace.Event.record m.Isa.Machine.log
+            (Trace.Event.Gatekeeper
+               {
+                 action =
+                   Printf.sprintf "channel error: retry %d re-armed, %d cycles"
+                     p.Process.io_attempts backoff;
+               });
+        close_recovery m;
+        Isa.Machine.restore_saved m;
+        m.Isa.Machine.on_recovery fault;
+        Ok ()
+      end
+      else begin
+        Trace.Counters.bump_quarantined counters;
+        close_recovery m;
+        m.Isa.Machine.io_request <- None;
+        m.Isa.Machine.io_countdown <- None;
+        m.Isa.Machine.saved <- None;
+        m.Isa.Machine.on_recovery fault;
+        Error (Quarantined Rings.Fault.Io_error)
+      end
   | _ -> Error (Terminated fault)
 
 (* Cycles the gatekeeper charges while servicing a fault happen
@@ -124,3 +229,4 @@ let pp_exit ppf = function
   | Terminated f -> Format.fprintf ppf "terminated: %a" Rings.Fault.pp f
   | Gatekeeper_error m -> Format.fprintf ppf "gatekeeper error: %s" m
   | Out_of_budget -> Format.fprintf ppf "out of budget"
+  | Quarantined f -> Format.fprintf ppf "quarantined: %a" Rings.Fault.pp f

@@ -29,6 +29,11 @@ type exit =
       (** A crossing the gatekeeper judged illegal, or a damaged
           crossing stack. *)
   | Out_of_budget  (** The instruction budget was exhausted. *)
+  | Quarantined of Rings.Fault.t
+      (** The process exhausted its injected-fault budget (or its
+          channel retry limit) and was killed to protect the rest of
+          the system; under a dispatcher the remaining processes keep
+          running. *)
 
 val run : ?max_instructions:int -> Process.t -> exit
 (** Default budget: 1,000,000 instructions. *)

@@ -43,6 +43,8 @@ type t = {
   typewriter : Device.t;
   mutable search_rules : (Directory.t * string list) option;
   mutable crossings : crossing list;
+  mutable fault_count : int;
+  mutable io_attempts : int;
 }
 
 let max_segments = 256
@@ -152,6 +154,8 @@ let create ?(mode = Isa.Machine.Ring_hardware)
       typewriter = Device.create ();
       search_rules = None;
       crossings = [];
+      fault_count = 0;
+      io_attempts = 0;
     }
   in
   let mem = machine.Isa.Machine.mem in
@@ -573,6 +577,29 @@ let pp_layout ppf t =
         placement_text access)
     entries;
   Format.fprintf ppf "@]"
+
+(* Absolute ranges holding words that address translation trusts:
+   every descriptor segment, plus every page table.  The injector aims
+   [Corrupt_descriptor] here, and the kernel's parity handler treats a
+   scrub inside one of these ranges as cache-coherence damage. *)
+let descriptor_ranges t =
+  let descs =
+    Array.to_list t.descsegs
+    |> List.map (fun (dbr : Hw.Registers.dbr) ->
+           ( dbr.Hw.Registers.base,
+             dbr.Hw.Registers.bound * Hw.Descriptor.words_per_sdw ))
+  in
+  let page_tables =
+    Hashtbl.fold
+      (fun _ pl acc ->
+        match pl with
+        | Paged_at { pt_base; bound } ->
+            (pt_base, Hw.Paging.pages_of_bound bound) :: acc
+        | Direct _ -> acc)
+      t.placement []
+    |> List.sort compare
+  in
+  descs @ page_tables
 
 let handle_page_fault t ~segno ~pageno =
   let mem = t.machine.Isa.Machine.mem in

@@ -84,6 +84,12 @@ type t = {
           names through these directories in order ({!Directory.search})
           — per-process search rules, as on Multics. *)
   mutable crossings : crossing list;
+  mutable fault_count : int;
+      (** Injected faults this process has absorbed; past the
+          injection plan's fault budget the kernel quarantines it. *)
+  mutable io_attempts : int;
+      (** Consecutive failed attempts of the current channel transfer;
+          cleared on a successful completion. *)
 }
 
 val create :
@@ -180,6 +186,12 @@ val pp_layout : Format.formatter -> t -> unit
 (** The virtual memory map: one line per segment number with name,
     placement (direct base or page table), bound and access fields —
     the view a Multics operator would get of a process. *)
+
+val descriptor_ranges : t -> (int * int) list
+(** [(base, length)] of every absolute region whose words address
+    translation trusts: the descriptor segment(s), then every page
+    table.  The chaos harness registers these with the fault injector
+    so descriptor corruption aims where it can do protection damage. *)
 
 val handle_page_fault :
   t -> segno:int -> pageno:int -> (unit, string) result

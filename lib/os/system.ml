@@ -32,6 +32,7 @@ let create ?mode ?stack_rule ?(mem_size = 1 lsl 21) ~store () =
   }
 
 let machine t = t.machine
+let entries t = t.entries
 
 let find t pname =
   List.find_opt (fun e -> String.equal e.pname pname) t.entries

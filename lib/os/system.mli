@@ -45,6 +45,11 @@ val create :
 
 val machine : t -> Isa.Machine.t
 
+val entries : t -> entry list
+(** Every spawned entry, in spawn order — the traffic controller's
+    process table.  The chaos harness walks it to audit each virtual
+    memory against the kernel's authoritative tables. *)
+
 val spawn :
   ?shared:(string * string) list ->
   ?paged:bool ->

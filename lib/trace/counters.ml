@@ -30,6 +30,16 @@ type t = {
   mutable icache_hits : int;
   mutable icache_misses : int;
   mutable icache_evictions : int;
+  (* Fault injection and recovery.  [injected] counts faults the
+     injector delivered; the rest describe what the kernel did about
+     them: transfers re-armed with backoff, faults scrubbed-and-
+     resumed, processes killed over budget, and cache subsystems
+     dropped to uncached operation on coherence damage. *)
+  mutable injected : int;
+  mutable retried : int;
+  mutable recovered : int;
+  mutable quarantined : int;
+  mutable degraded : int;
 }
 
 let create () =
@@ -62,6 +72,11 @@ let create () =
     icache_hits = 0;
     icache_misses = 0;
     icache_evictions = 0;
+    injected = 0;
+    retried = 0;
+    recovered = 0;
+    quarantined = 0;
+    degraded = 0;
   }
 
 let reset t =
@@ -92,7 +107,12 @@ let reset t =
   t.ptw_tlb_evictions <- 0;
   t.icache_hits <- 0;
   t.icache_misses <- 0;
-  t.icache_evictions <- 0
+  t.icache_evictions <- 0;
+  t.injected <- 0;
+  t.retried <- 0;
+  t.recovered <- 0;
+  t.quarantined <- 0;
+  t.degraded <- 0
 
 let charge t n = t.cycles <- t.cycles + n
 let cycles t = t.cycles
@@ -166,6 +186,16 @@ let bump_icache_misses t = t.icache_misses <- t.icache_misses + 1
 let icache_misses t = t.icache_misses
 let bump_icache_evictions t = t.icache_evictions <- t.icache_evictions + 1
 let icache_evictions t = t.icache_evictions
+let bump_injected t = t.injected <- t.injected + 1
+let injected t = t.injected
+let bump_retried t = t.retried <- t.retried + 1
+let retried t = t.retried
+let bump_recovered t = t.recovered <- t.recovered + 1
+let recovered t = t.recovered
+let bump_quarantined t = t.quarantined <- t.quarantined + 1
+let quarantined t = t.quarantined
+let bump_degraded t = t.degraded <- t.degraded + 1
+let degraded t = t.degraded
 
 type snapshot = {
   cycles : int;
@@ -196,6 +226,11 @@ type snapshot = {
   icache_hits : int;
   icache_misses : int;
   icache_evictions : int;
+  injected : int;
+  retried : int;
+  recovered : int;
+  quarantined : int;
+  degraded : int;
 }
 
 let snapshot (t : t) : snapshot =
@@ -228,6 +263,11 @@ let snapshot (t : t) : snapshot =
     icache_hits = t.icache_hits;
     icache_misses = t.icache_misses;
     icache_evictions = t.icache_evictions;
+    injected = t.injected;
+    retried = t.retried;
+    recovered = t.recovered;
+    quarantined = t.quarantined;
+    degraded = t.degraded;
   }
 
 let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
@@ -262,6 +302,11 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     icache_hits = after.icache_hits - before.icache_hits;
     icache_misses = after.icache_misses - before.icache_misses;
     icache_evictions = after.icache_evictions - before.icache_evictions;
+    injected = after.injected - before.injected;
+    retried = after.retried - before.retried;
+    recovered = after.recovered - before.recovered;
+    quarantined = after.quarantined - before.quarantined;
+    degraded = after.degraded - before.degraded;
   }
 
 (* Every snapshot field by name, in declaration order.  The metrics
@@ -298,7 +343,28 @@ let fields (s : snapshot) : (string * int) list =
     ("icache_hits", s.icache_hits);
     ("icache_misses", s.icache_misses);
     ("icache_evictions", s.icache_evictions);
+    ("injected", s.injected);
+    ("retried", s.retried);
+    ("recovered", s.recovered);
+    ("quarantined", s.quarantined);
+    ("degraded", s.degraded);
   ]
+
+(* The robustness line appears only when injection was active, so an
+   injector-off run prints exactly what it printed before the fault-
+   injection subsystem existed. *)
+let pp_robustness ppf (s : snapshot) =
+  if
+    s.injected <> 0 || s.retried <> 0 || s.recovered <> 0
+    || s.quarantined <> 0 || s.degraded <> 0
+  then
+    Format.fprintf ppf
+      "@,injected            %8d@,\
+       retried             %8d@,\
+       recovered           %8d@,\
+       quarantined         %8d@,\
+       degraded            %8d"
+      s.injected s.retried s.recovered s.quarantined s.degraded
 
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf
@@ -323,7 +389,7 @@ let pp_snapshot ppf (s : snapshot) =
      page evictions      %8d@,\
      SDW cache h/m/e     %8d %8d %8d@,\
      PTW TLB h/m/e       %8d %8d %8d@,\
-     icache h/m/e        %8d %8d %8d@]"
+     icache h/m/e        %8d %8d %8d%a@]"
     s.cycles s.instructions s.memory_reads s.memory_writes s.sdw_fetches
     s.indirections s.traps s.calls_same_ring s.calls_downward s.calls_upward
     s.returns_same_ring s.returns_upward s.returns_downward
@@ -331,3 +397,4 @@ let pp_snapshot ppf (s : snapshot) =
     s.ptw_fetches s.page_faults s.page_evictions s.sdw_cache_hits
     s.sdw_cache_misses s.sdw_cache_evictions s.ptw_tlb_hits s.ptw_tlb_misses
     s.ptw_tlb_evictions s.icache_hits s.icache_misses s.icache_evictions
+    pp_robustness s

@@ -113,6 +113,30 @@ val icache_misses : t -> int
 val bump_icache_evictions : t -> unit
 val icache_evictions : t -> int
 
+(** {2 Fault injection and recovery}
+
+    What the injector ({!Hw.Inject}) did to the machine and what the
+    kernel did about it.  [injected] counts delivered faults and
+    stalls; [retried] transfers re-armed with backoff; [recovered]
+    faults scrubbed and resumed; [quarantined] processes killed for
+    exhausting their fault budget; [degraded] cache subsystems dropped
+    to uncached operation after coherence damage. *)
+
+val bump_injected : t -> unit
+val injected : t -> int
+
+val bump_retried : t -> unit
+val retried : t -> int
+
+val bump_recovered : t -> unit
+val recovered : t -> int
+
+val bump_quarantined : t -> unit
+val quarantined : t -> int
+
+val bump_degraded : t -> unit
+val degraded : t -> int
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -144,6 +168,11 @@ type snapshot = {
   icache_hits : int;
   icache_misses : int;
   icache_evictions : int;
+  injected : int;
+  retried : int;
+  recovered : int;
+  quarantined : int;
+  degraded : int;
 }
 
 val snapshot : t -> snapshot

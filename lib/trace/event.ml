@@ -1,4 +1,8 @@
-type crossing = Same_ring | Downward | Upward
+(* [Recovery] is not a control transfer: it brackets the interval from
+   an injected fault's delivery to the kernel's recovery decision, so
+   recovery latency flows through the same span plumbing (histograms,
+   Chrome trace, metrics exporters) as ring crossings. *)
+type crossing = Same_ring | Downward | Upward | Recovery
 
 type t =
   | Instruction of { ring : int; segno : int; wordno : int; text : string }
@@ -116,6 +120,7 @@ let crossing_to_string = function
   | Same_ring -> "same-ring"
   | Downward -> "downward"
   | Upward -> "upward"
+  | Recovery -> "recovery"
 
 let pp ppf = function
   | Instruction { ring; segno; wordno; text } ->

@@ -12,7 +12,10 @@
     the oldest events are overwritten and counted in {!dropped} —
     long traffic runs can keep tracing on without unbounded growth. *)
 
-type crossing = Same_ring | Downward | Upward
+type crossing = Same_ring | Downward | Upward | Recovery
+(** [Recovery] is not a control transfer: it brackets an injected
+    fault's delivery to the kernel's recovery decision, so recovery
+    latency rides the same span plumbing as ring crossings. *)
 
 type t =
   | Instruction of { ring : int; segno : int; wordno : int; text : string }

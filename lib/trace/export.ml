@@ -37,6 +37,7 @@ let kind_id = function
   | Event.Same_ring -> "same_ring"
   | Event.Downward -> "downward"
   | Event.Upward -> "upward"
+  | Event.Recovery -> "recovery"
 
 (* The gatekeeper/supervisor "thread" in the Chrome trace: not a ring
    of the modeled processor, so give it a tid clear of ring numbers. *)
@@ -207,7 +208,8 @@ let events_jsonl events =
 
 (* {1 Metrics} *)
 
-let all_kinds = [ Event.Same_ring; Event.Downward; Event.Upward ]
+let all_kinds =
+  [ Event.Same_ring; Event.Downward; Event.Upward; Event.Recovery ]
 
 let histogram_json buf h =
   Buffer.add_string buf

@@ -80,6 +80,17 @@ let percentile t p =
     if upper > t.vmax then t.vmax else upper
   end
 
+let merge_into ~dst src =
+  if src.count > 0 then begin
+    for i = 0 to max_buckets - 1 do
+      dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+    done;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum + src.sum;
+    if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+    if src.vmax > dst.vmax then dst.vmax <- src.vmax
+  end
+
 let nonempty_buckets t =
   let acc = ref [] in
   for i = max_buckets - 1 downto 0 do

@@ -43,5 +43,10 @@ val bucket_upper : int -> int
 val bucket_lower : int -> int
 (** Inclusive lower bound of bucket [i] ([min_int] for bucket 0). *)
 
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds every observation recorded in [src]
+    into [dst] (bucket-wise): aggregating per-campaign histograms into
+    one fleet-wide distribution.  [src] is unchanged. *)
+
 val nonempty_buckets : t -> (int * int * int) list
 (** [(lower, upper, count)] for each occupied bucket, ascending. *)

@@ -51,6 +51,7 @@ type tracker = {
   hist_same : Histogram.t;
   hist_down : Histogram.t;
   hist_up : Histogram.t;
+  hist_recovery : Histogram.t;
 }
 
 let dummy =
@@ -82,6 +83,7 @@ let create ?(capacity = default_capacity) () =
     hist_same = Histogram.create ();
     hist_down = Histogram.create ();
     hist_up = Histogram.create ();
+    hist_recovery = Histogram.create ();
   }
 
 let enabled t = t.enabled
@@ -94,6 +96,7 @@ let histogram t = function
   | Event.Same_ring -> t.hist_same
   | Event.Downward -> t.hist_down
   | Event.Upward -> t.hist_up
+  | Event.Recovery -> t.hist_recovery
 
 let clear t =
   t.stack <- [];
@@ -104,7 +107,8 @@ let clear t =
   t.unmatched_returns <- 0;
   Histogram.clear t.hist_same;
   Histogram.clear t.hist_down;
-  Histogram.clear t.hist_up
+  Histogram.clear t.hist_up;
+  Histogram.clear t.hist_recovery
 
 let push_completed t c =
   if Array.length t.buf = 0 then t.buf <- Array.make t.capacity dummy;

@@ -132,6 +132,57 @@ let prop_kernel_never_escapes_paged =
       | _ -> true
       | exception Isa.Eff_addr.Runaway_indirection _ -> true)
 
+(* Under seeded fault injection the multiprogrammed system must stay
+   inside the same envelope: System.run returns documented exits, the
+   protection invariants hold after every recovery, and nothing
+   escapes as a host exception.  Chaos.run_campaigns folds all three
+   into its violations list (uncaught exceptions included). *)
+let prop_system_survives_default_plan_injection =
+  QCheck.Test.make
+    ~name:"system holds ring invariants under default-plan injection"
+    ~count:25 (QCheck.int_range 1 1_000_000) (fun seed ->
+      let r =
+        Os.Chaos.run_campaigns ~campaigns:1 (Hw.Inject.default_plan ~seed)
+      in
+      r.Os.Chaos.violations = [])
+
+(* The same property under arbitrary plans: random rule mixes, tight
+   or zero budgets, stalls of any length. *)
+let random_plan seed =
+  let next = xorshift seed in
+  let rules =
+    List.init
+      (1 + (next () mod 4))
+      (fun _ ->
+        let action =
+          match next () mod 5 with
+          | 0 -> Hw.Inject.Flip_bit
+          | 1 -> Hw.Inject.Corrupt_descriptor
+          | 2 -> Hw.Inject.Transient_fault
+          | 3 -> Hw.Inject.Io_error
+          | _ -> Hw.Inject.Io_stall (1 + (next () mod 200))
+        in
+        {
+          Hw.Inject.start = next () mod 3000;
+          every = Some (1 + (next () mod 1500));
+          count = 1 + (next () mod 8);
+          action;
+        })
+  in
+  {
+    Hw.Inject.seed;
+    fault_budget = next () mod 6;
+    io_retry_limit = next () mod 4;
+    rules;
+  }
+
+let prop_system_survives_arbitrary_plans =
+  QCheck.Test.make
+    ~name:"system holds ring invariants under arbitrary injection plans"
+    ~count:25 (QCheck.int_range 1 1_000_000) (fun seed ->
+      let r = Os.Chaos.run_campaigns ~campaigns:1 (random_plan seed) in
+      r.Os.Chaos.violations = [])
+
 let suite =
   [
     ( "fuzz",
@@ -139,6 +190,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_cpu_never_escapes;
         QCheck_alcotest.to_alcotest prop_kernel_never_escapes;
         QCheck_alcotest.to_alcotest prop_kernel_never_escapes_paged;
+        QCheck_alcotest.to_alcotest prop_system_survives_default_plan_injection;
+        QCheck_alcotest.to_alcotest prop_system_survives_arbitrary_plans;
       ] );
   ]
 

@@ -1,0 +1,185 @@
+(* The deterministic fault injector. *)
+
+let mem () = Hw.Memory.create ~size:4096 (Trace.Counters.create ())
+
+let drain inj m ~until =
+  let rec go cycles acc =
+    if cycles > until then List.rev acc
+    else
+      match Hw.Inject.poll inj ~mem:m ~cycles with
+      | Some ev -> go cycles ((cycles, ev) :: acc)
+      | None -> go (cycles + 1) acc
+  in
+  go 0 []
+
+let test_replays_exactly () =
+  let plan = Hw.Inject.default_plan ~seed:99 in
+  let run () =
+    let m = mem () in
+    drain (Hw.Inject.create plan) m ~until:20_000
+    |> List.map (fun (c, ev) ->
+           match ev with
+           | Hw.Inject.Deliver_parity { addr; transient } ->
+               Printf.sprintf "%d parity %d %b" c addr transient
+           | Hw.Inject.Fail_next_io -> Printf.sprintf "%d io_error" c
+           | Hw.Inject.Stall_io n -> Printf.sprintf "%d stall %d" c n)
+  in
+  Alcotest.(check (list string)) "same plan, same events" (run ()) (run ())
+
+let test_fires_per_schedule () =
+  let plan =
+    {
+      Hw.Inject.seed = 5;
+      fault_budget = 4;
+      io_retry_limit = 3;
+      rules =
+        [
+          {
+            Hw.Inject.start = 100;
+            every = Some 50;
+            count = 3;
+            action = Hw.Inject.Io_error;
+          };
+        ];
+    }
+  in
+  let m = mem () in
+  let events = drain (Hw.Inject.create plan) m ~until:1000 in
+  Alcotest.(check (list (pair int string)))
+    "three firings at the scheduled cycles"
+    [ (100, "io_error"); (150, "io_error"); (200, "io_error") ]
+    (List.map
+       (fun (c, ev) ->
+         ( c,
+           match ev with
+           | Hw.Inject.Fail_next_io -> "io_error"
+           | _ -> "other" ))
+       events)
+
+let test_scrub_restores_first_seen_value () =
+  let plan =
+    {
+      Hw.Inject.seed = 21;
+      fault_budget = 4;
+      io_retry_limit = 3;
+      rules =
+        [
+          {
+            Hw.Inject.start = 10;
+            every = Some 10;
+            count = 4;
+            action = Hw.Inject.Flip_bit;
+          };
+        ];
+    }
+  in
+  let m = mem () in
+  for a = 0 to 4095 do
+    Hw.Memory.write_silent m a (a * 3)
+  done;
+  let inj = Hw.Inject.create plan in
+  let addrs =
+    drain inj m ~until:100
+    |> List.filter_map (fun (_, ev) ->
+           match ev with
+           | Hw.Inject.Deliver_parity { addr; _ } -> Some addr
+           | _ -> None)
+  in
+  Alcotest.(check int) "four flips" 4 (List.length addrs);
+  Alcotest.(check bool) "words poisoned" true (Hw.Inject.poisoned inj > 0);
+  List.iter
+    (fun addr -> ignore (Hw.Inject.scrub inj ~mem:m ~addr))
+    (List.sort_uniq compare addrs);
+  Alcotest.(check int) "all scrubbed" 0 (Hw.Inject.poisoned inj);
+  for a = 0 to 4095 do
+    if Hw.Memory.read_silent m a <> a * 3 then
+      Alcotest.failf "word %d not restored" a
+  done
+
+let test_descriptor_rule_targets_registered_ranges () =
+  let plan =
+    {
+      Hw.Inject.seed = 8;
+      fault_budget = 4;
+      io_retry_limit = 3;
+      rules =
+        [
+          {
+            Hw.Inject.start = 5;
+            every = Some 5;
+            count = 10;
+            action = Hw.Inject.Corrupt_descriptor;
+          };
+        ];
+    }
+  in
+  let m = mem () in
+  let inj = Hw.Inject.create plan in
+  Hw.Inject.register_descriptor_range inj ~base:100 ~len:8;
+  Hw.Inject.register_descriptor_range inj ~base:300 ~len:16;
+  Alcotest.(check bool) "in range" true (Hw.Inject.is_descriptor_addr inj 305);
+  Alcotest.(check bool) "out of range" false
+    (Hw.Inject.is_descriptor_addr inj 99);
+  drain inj m ~until:200
+  |> List.iter (fun (_, ev) ->
+         match ev with
+         | Hw.Inject.Deliver_parity { addr; _ } ->
+             Alcotest.(check bool)
+               (Printf.sprintf "corruption at %d lands in a descriptor" addr)
+               true
+               (Hw.Inject.is_descriptor_addr inj addr)
+         | _ -> Alcotest.fail "unexpected event kind")
+
+let test_plan_round_trips_through_printer_and_parser () =
+  let plan = Hw.Inject.default_plan ~seed:123 in
+  let text = Format.asprintf "%a" Hw.Inject.pp_plan plan in
+  match Hw.Inject.parse_plan text with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok plan' ->
+      Alcotest.(check bool) "round trip" true (plan = plan')
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Hw.Inject.parse_plan text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [
+      "bogus 4";
+      "seed x";
+      "rule exotic start=1";
+      "rule flip start=notanint";
+      "fault_budget -3";
+    ]
+
+let test_parse_accepts_comments_and_blanks () =
+  let text =
+    "# a plan\n\nseed 9\nfault_budget 2   # tight\nrule flip start=50 \
+     count=1\n"
+  in
+  match Hw.Inject.parse_plan text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok p ->
+      Alcotest.(check int) "seed" 9 p.Hw.Inject.seed;
+      Alcotest.(check int) "budget" 2 p.Hw.Inject.fault_budget;
+      Alcotest.(check int) "one rule" 1 (List.length p.Hw.Inject.rules)
+
+let suite =
+  [
+    ( "inject",
+      [
+        Alcotest.test_case "replays exactly" `Quick test_replays_exactly;
+        Alcotest.test_case "fires per schedule" `Quick
+          test_fires_per_schedule;
+        Alcotest.test_case "scrub restores first-seen value" `Quick
+          test_scrub_restores_first_seen_value;
+        Alcotest.test_case "descriptor rule targets registered ranges"
+          `Quick test_descriptor_rule_targets_registered_ranges;
+        Alcotest.test_case "plan round-trips printer/parser" `Quick
+          test_plan_round_trips_through_printer_and_parser;
+        Alcotest.test_case "parse rejects garbage" `Quick
+          test_parse_rejects_garbage;
+        Alcotest.test_case "parse accepts comments" `Quick
+          test_parse_accepts_comments_and_blanks;
+      ] );
+  ]

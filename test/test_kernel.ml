@@ -291,6 +291,96 @@ let test_ring6_calls_user_gate () =
   Alcotest.(check int) "one downward call" 1
     (Trace.Counters.calls_downward p.Os.Process.machine.Isa.Machine.counters)
 
+(* {1 Recovery from injected faults} *)
+
+let attach plan p =
+  let inj = Hw.Inject.create plan in
+  List.iter
+    (fun (base, len) -> Hw.Inject.register_descriptor_range inj ~base ~len)
+    (Os.Process.descriptor_ranges p);
+  Isa.Machine.attach_injector p.Os.Process.machine inj;
+  inj
+
+let counting_worker =
+  ( "worker",
+    wildcard (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()),
+    "start:  lda =200\n\
+    \        sta pr6|5\n\
+     loop:   lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        lda =7\n\
+    \        mme =2\n" )
+
+let flip_plan ~start ~every ~count ~budget =
+  {
+    Hw.Inject.seed = 3;
+    fault_budget = budget;
+    io_retry_limit = 3;
+    rules =
+      [
+        {
+          Hw.Inject.start;
+          every = Some every;
+          count;
+          action = Hw.Inject.Flip_bit;
+        };
+      ];
+  }
+
+let test_parity_recovered_within_budget () =
+  let p = build [ counting_worker ] ~start:"worker" ~ring:4 in
+  let inj = attach (flip_plan ~start:50 ~every:150 ~count:3 ~budget:10) p in
+  expect_exit "recovered and finished" p Os.Kernel.Exited;
+  let c = p.Os.Process.machine.Isa.Machine.counters in
+  Alcotest.(check int) "three faults delivered" 3 (Trace.Counters.injected c);
+  Alcotest.(check int) "three recoveries" 3 (Trace.Counters.recovered c);
+  Alcotest.(check int) "no quarantine" 0 (Trace.Counters.quarantined c);
+  Alcotest.(check int) "program result unaffected" 7
+    p.Os.Process.machine.Isa.Machine.regs.Hw.Registers.a;
+  Alcotest.(check int) "all damage scrubbed" 0 (Hw.Inject.poisoned inj)
+
+let test_fault_budget_quarantines () =
+  let p = build [ counting_worker ] ~start:"worker" ~ring:4 in
+  let _inj = attach (flip_plan ~start:10 ~every:10 ~count:50 ~budget:2) p in
+  (match Os.Kernel.run ~max_instructions:200_000 p with
+  | Os.Kernel.Quarantined (Rings.Fault.Parity_error _) -> ()
+  | e -> Alcotest.failf "expected quarantine, got %a" Os.Kernel.pp_exit e);
+  let c = p.Os.Process.machine.Isa.Machine.counters in
+  Alcotest.(check int) "budget's worth recovered" 2
+    (Trace.Counters.recovered c);
+  Alcotest.(check int) "then quarantined" 1 (Trace.Counters.quarantined c)
+
+let test_descriptor_damage_degrades_and_recovers () =
+  let p = build [ counting_worker ] ~start:"worker" ~ring:4 in
+  let plan =
+    {
+      Hw.Inject.seed = 5;
+      fault_budget = 10;
+      io_retry_limit = 3;
+      rules =
+        [
+          {
+            Hw.Inject.start = 40;
+            every = Some 100;
+            count = 2;
+            action = Hw.Inject.Corrupt_descriptor;
+          };
+        ];
+    }
+  in
+  let inj = attach plan p in
+  expect_exit "survived descriptor damage" p Os.Kernel.Exited;
+  let m = p.Os.Process.machine in
+  Alcotest.(check bool) "dropped to uncached operation" true
+    m.Isa.Machine.degraded;
+  Alcotest.(check int) "degradation counted once" 1
+    (Trace.Counters.degraded m.Isa.Machine.counters);
+  Alcotest.(check int) "program result unaffected" 7
+    m.Isa.Machine.regs.Hw.Registers.a;
+  Alcotest.(check int) "all damage scrubbed" 0 (Hw.Inject.poisoned inj)
+
 let suite =
   [
     ( "kernel",
@@ -307,6 +397,12 @@ let suite =
         Alcotest.test_case "admin-only gate" `Quick test_admin_only_gate;
         Alcotest.test_case "ring 6 calls a user gate" `Quick
           test_ring6_calls_user_gate;
+        Alcotest.test_case "parity recovered within budget" `Quick
+          test_parity_recovered_within_budget;
+        Alcotest.test_case "fault budget quarantines" `Quick
+          test_fault_budget_quarantines;
+        Alcotest.test_case "descriptor damage degrades and recovers" `Quick
+          test_descriptor_damage_degrades_and_recovers;
       ] );
   ]
 

@@ -78,6 +78,57 @@ let test_kernel_reports_preemption () =
   | Os.Kernel.Preempted -> ()
   | e -> Alcotest.failf "expected preemption, got %a" Os.Kernel.pp_exit e
 
+(* Injected faults are asynchronous like the timer and must honour the
+   same inhibit discipline: a fault due while a trap handler runs (IPR
+   between trap and RTRAP, inhibit set) defers instead of nesting. *)
+let eager_flip_plan =
+  {
+    Hw.Inject.seed = 1;
+    fault_budget = 4;
+    io_retry_limit = 3;
+    rules =
+      [
+        {
+          Hw.Inject.start = 0;
+          every = Some 1;
+          count = 1000;
+          action = Hw.Inject.Flip_bit;
+        };
+      ];
+  }
+
+let test_injection_defers_under_inhibit () =
+  let m = spin_machine () in
+  Isa.Machine.attach_injector m (Hw.Inject.create eager_flip_plan);
+  m.Isa.Machine.inhibit <- true;
+  for _ = 1 to 20 do
+    Fixtures.expect_running "inhibited" (Isa.Cpu.step m)
+  done;
+  Alcotest.(check int) "nothing injected while inhibited" 0
+    (Trace.Counters.injected m.Isa.Machine.counters);
+  m.Isa.Machine.inhibit <- false;
+  (match Isa.Cpu.step m with
+  | Isa.Cpu.Faulted (Rings.Fault.Parity_error _) -> ()
+  | _ -> Alcotest.fail "expected the deferred fault right after release");
+  Alcotest.(check int) "delivered exactly once" 1
+    (Trace.Counters.injected m.Isa.Machine.counters)
+
+let test_injection_delivered_before_pending_timer () =
+  (* Both an injection and the timer are due when the inhibit lifts:
+     the injection is polled first and the timer stays armed — two
+     asynchronous events never collapse into a nested double fault. *)
+  let m = spin_machine () in
+  Isa.Machine.attach_injector m (Hw.Inject.create eager_flip_plan);
+  m.Isa.Machine.inhibit <- true;
+  Fixtures.expect_running "inhibited" (Isa.Cpu.step m);
+  m.Isa.Machine.timer <- Some 1;
+  m.Isa.Machine.inhibit <- false;
+  (match Isa.Cpu.step m with
+  | Isa.Cpu.Faulted (Rings.Fault.Parity_error _) -> ()
+  | _ -> Alcotest.fail "expected the injected fault first");
+  Alcotest.(check bool) "timer still armed" true
+    (m.Isa.Machine.timer = Some 1)
+
 let suite =
   [
     ( "timer",
@@ -91,5 +142,9 @@ let suite =
           test_disabled_timer_never_fires;
         Alcotest.test_case "kernel reports preemption" `Quick
           test_kernel_reports_preemption;
+        Alcotest.test_case "injection defers under inhibit" `Quick
+          test_injection_defers_under_inhibit;
+        Alcotest.test_case "injection precedes pending timer" `Quick
+          test_injection_delivered_before_pending_timer;
       ] );
   ]
