@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench bench-smoke trace-smoke chaos-smoke examples doc clean
+.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke examples doc clean
 
 all:
 	dune build @all
@@ -12,6 +12,7 @@ test:
 	dune runtest
 	$(MAKE) trace-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) snapshot-smoke
 	$(MAKE) bench-smoke
 
 bench:
@@ -75,6 +76,66 @@ chaos-smoke:
 	  done; \
 	done
 	@echo "chaos-smoke: campaigns deterministic, reports valid, invariants intact"
+
+# Kill-and-resume equivalence at the CLI: run the journalled workload
+# uninterrupted, then kill it at three cycle points and resume each
+# from its last checkpoint.  The resumed stdout, device journal and
+# metrics must be byte-identical to the uninterrupted run's (the two
+# session-local counters — restores, journal_replays_skipped — are
+# masked: a resumed run legitimately owns those).  All runs must pass
+# the same observability flags; the image carries the exporters' state.
+SNAPSHOT_LOCAL_FILTER = sed -E 's/"(restores|journal_replays_skipped)": [0-9]+/"\1": X/'
+
+snapshot-smoke:
+	dune build bin/ringsim.exe
+	@rm -rf /tmp/snapshot_smoke && mkdir -p /tmp/snapshot_smoke
+	_build/default/bin/ringsim.exe examples/programs/journal.rng \
+	  --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/base.snap \
+	  --metrics-out /tmp/snapshot_smoke/base.metrics \
+	  > /tmp/snapshot_smoke/base.out
+	@for k in 150 400 900; do \
+	  _build/default/bin/ringsim.exe examples/programs/journal.rng \
+	    --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/k$$k.snap \
+	    --metrics-out /tmp/snapshot_smoke/dead$$k.metrics --kill-after $$k \
+	    > /tmp/snapshot_smoke/dead$$k.out 2>/dev/null || exit 1; \
+	  _build/default/bin/ringsim.exe examples/programs/journal.rng \
+	    --restore /tmp/snapshot_smoke/k$$k.snap \
+	    --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/k$$k.snap \
+	    --metrics-out /tmp/snapshot_smoke/res$$k.metrics \
+	    > /tmp/snapshot_smoke/res$$k.out || exit 1; \
+	  diff /tmp/snapshot_smoke/base.out /tmp/snapshot_smoke/res$$k.out \
+	    || { echo "snapshot-smoke: kill at $$k: stdout DIFFERS after resume"; exit 1; }; \
+	  cmp /tmp/snapshot_smoke/base.snap.journal /tmp/snapshot_smoke/k$$k.snap.journal \
+	    || { echo "snapshot-smoke: kill at $$k: device journal DIFFERS after resume"; exit 1; }; \
+	  $(SNAPSHOT_LOCAL_FILTER) /tmp/snapshot_smoke/base.metrics \
+	    > /tmp/snapshot_smoke/base.metrics.masked; \
+	  $(SNAPSHOT_LOCAL_FILTER) /tmp/snapshot_smoke/res$$k.metrics \
+	    > /tmp/snapshot_smoke/res$$k.metrics.masked; \
+	  diff /tmp/snapshot_smoke/base.metrics.masked /tmp/snapshot_smoke/res$$k.metrics.masked \
+	    || { echo "snapshot-smoke: kill at $$k: metrics DIFFER after resume"; exit 1; }; \
+	done
+	@_build/default/bin/ringsim.exe examples/programs/journal.rng --inject 7 \
+	  --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/ibase.snap \
+	  --metrics-out /tmp/snapshot_smoke/ibase.metrics \
+	  > /tmp/snapshot_smoke/ibase.out
+	@_build/default/bin/ringsim.exe examples/programs/journal.rng --inject 7 \
+	  --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/ik.snap \
+	  --metrics-out /tmp/snapshot_smoke/idead.metrics --kill-after 400 \
+	  > /tmp/snapshot_smoke/idead.out 2>/dev/null || exit 1
+	@_build/default/bin/ringsim.exe examples/programs/journal.rng --inject 7 \
+	  --restore /tmp/snapshot_smoke/ik.snap \
+	  --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/ik.snap \
+	  --metrics-out /tmp/snapshot_smoke/ires.metrics \
+	  > /tmp/snapshot_smoke/ires.out || exit 1
+	@$(SNAPSHOT_LOCAL_FILTER) /tmp/snapshot_smoke/ibase.metrics \
+	  > /tmp/snapshot_smoke/ibase.metrics.masked
+	@$(SNAPSHOT_LOCAL_FILTER) /tmp/snapshot_smoke/ires.metrics \
+	  > /tmp/snapshot_smoke/ires.metrics.masked
+	@diff /tmp/snapshot_smoke/ibase.out /tmp/snapshot_smoke/ires.out \
+	  && cmp /tmp/snapshot_smoke/ibase.snap.journal /tmp/snapshot_smoke/ik.snap.journal \
+	  && diff /tmp/snapshot_smoke/ibase.metrics.masked /tmp/snapshot_smoke/ires.metrics.masked \
+	  || { echo "snapshot-smoke: resume under injection DIFFERS"; exit 1; }
+	@echo "snapshot-smoke: kill-and-resume byte-identical at 3 kill points (+injection)"
 
 examples:
 	@for e in quickstart protected_subsystem layered_supervisor debug_ring \

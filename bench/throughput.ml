@@ -213,8 +213,114 @@ let run_idle_injector ~name ~max_instructions build =
         snapshot = Trace.Counters.snapshot c;
       }
 
+
+(* Checkpoint overhead: the same two-process workload run plain and
+   with periodic Os.Snapshot captures.  Capture must be free in
+   modeled time (byte-identical cycle counts) and cheap in host time;
+   both are reported, with the image size, in the JSON. *)
+type snap_sample = {
+  sn_workload : string;
+  sn_image_bytes : int;
+  sn_captures : int;
+  sn_parity : bool;
+  sn_capture_seconds : float;
+  sn_plain_ips : float;
+  sn_ckpt_ips : float;
+}
+
+let snap_bump_source ~n =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5\n\
+     loop:   aos cell,*\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n"
+    n
+
+let build_snapshot_system ~n1 ~n2 () =
+  let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ] in
+  let proc4 =
+    Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()
+  in
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"bump_a" ~acl:(wildcard proc4)
+    (snap_bump_source ~n:n1);
+  Os.Store.add_source store ~name:"bump_b" ~acl:(wildcard proc4)
+    (snap_bump_source ~n:n2);
+  Os.Store.add_source store ~name:"counter"
+    ~acl:
+      (wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "value:  .word 0\n";
+  let sys = Os.System.create ~store () in
+  (match
+     Os.System.spawn sys ~pname:"pa" ~user:"alice"
+       ~segments:[ "bump_a"; "counter" ]
+       ~start:("bump_a", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (match
+     Os.System.spawn sys
+       ~shared:[ ("counter", "pa") ]
+       ~pname:"pb" ~user:"bob" ~segments:[ "bump_b" ]
+       ~start:("bump_b", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  sys
+
+let run_snapshot_overhead () =
+  let every = 50_000 in
+  let n1 = 40_000 and n2 = 30_000 in
+  let max_slices = 100_000 in
+  let plain = build_snapshot_system ~n1 ~n2 () in
+  let pc = (Os.System.machine plain).Isa.Machine.counters in
+  let t0 = Unix.gettimeofday () in
+  let (_ : (string * Os.Kernel.exit) list) =
+    Os.System.run ~max_slices plain
+  in
+  let plain_dt = Unix.gettimeofday () -. t0 in
+  let plain_instr = Trace.Counters.instructions pc in
+  let ck = build_snapshot_system ~n1 ~n2 () in
+  let cc = (Os.System.machine ck).Isa.Machine.counters in
+  let captures = ref 0 in
+  let image_bytes = ref 0 in
+  let capture_seconds = ref 0.0 in
+  let next_due = ref every in
+  let on_slice () =
+    let cycles = Trace.Counters.cycles cc in
+    if cycles >= !next_due then begin
+      let t = Unix.gettimeofday () in
+      let img = Os.Snapshot.capture ck in
+      capture_seconds := !capture_seconds +. (Unix.gettimeofday () -. t);
+      incr captures;
+      image_bytes := String.length img;
+      next_due := ((cycles / every) + 1) * every
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  let (_ : (string * Os.Kernel.exit) list) =
+    Os.System.run ~max_slices ~on_slice ck
+  in
+  let ck_dt = Unix.gettimeofday () -. t0 in
+  if !captures = 0 then failwith "snapshot overhead: no captures taken";
+  {
+    sn_workload = "bump-pair";
+    sn_image_bytes = !image_bytes;
+    sn_captures = !captures;
+    sn_parity = Trace.Counters.cycles cc = Trace.Counters.cycles pc;
+    sn_capture_seconds = !capture_seconds;
+    sn_plain_ips = float_of_int plain_instr /. plain_dt;
+    sn_ckpt_ips =
+      float_of_int (Trace.Counters.instructions cc) /. ck_dt;
+  }
+
 let json_of_samples samples span_samples ~traced ~untraced ~idle
-    ~(chaos : Os.Chaos.report) =
+    ~(chaos : Os.Chaos.report) ~snap =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"workloads\": [\n";
   List.iteri
@@ -267,7 +373,7 @@ let json_of_samples samples span_samples ~traced ~untraced ~idle
         {\"count\": %d, \"injected\": %d, \"retried\": %d, \"recovered\": \
         %d, \"quarantined\": %d, \"degraded\": %d, \"violations\": %d, \
         \"recovery_latency_cycles\": {\"count\": %d, \"p50\": %d, \"p90\": \
-        %d, \"p99\": %d, \"max\": %d}}}\n"
+        %d, \"p99\": %d, \"max\": %d}}},\n"
        untraced.name untraced.ips idle.ips (untraced.ips /. idle.ips)
        (idle.cycles = untraced.cycles)
        chaos.Os.Chaos.campaigns chaos.Os.Chaos.injected
@@ -280,6 +386,19 @@ let json_of_samples samples span_samples ~traced ~untraced ~idle
        (Trace.Histogram.percentile h 99.0)
        (if Trace.Histogram.count h = 0 then 0
         else Trace.Histogram.max_value h));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"snapshot_overhead\": {\"workload\": %S, \"image_bytes\": %d, \
+        \"captures\": %d, \"capture_seconds_total\": %.6f, \
+        \"seconds_per_capture\": %.6f, \"modeled_cycles_identical\": %b, \
+        \"instructions_per_sec_plain\": %.0f, \
+        \"instructions_per_sec_checkpointed\": %.0f, \"overhead_ratio\": \
+        %.3f}\n"
+       snap.sn_workload snap.sn_image_bytes snap.sn_captures
+       snap.sn_capture_seconds
+       (snap.sn_capture_seconds /. float_of_int snap.sn_captures)
+       snap.sn_parity snap.sn_plain_ips snap.sn_ckpt_ips
+       (snap.sn_plain_ips /. snap.sn_ckpt_ips));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -394,8 +513,18 @@ let throughput () =
       (Printf.sprintf "chaos campaigns reported %d protection violations"
          (List.length chaos.Os.Chaos.violations));
   Format.printf "robustness - %a@." Os.Chaos.pp_report chaos;
+  let snap = run_snapshot_overhead () in
+  if not snap.sn_parity then
+    failwith "checkpointing changed the modeled cycle count";
+  Printf.printf
+    "host time - snapshot overhead on %s: %d captures of %d bytes, %.1f \
+     us/capture, run ratio %.2fx, modeled cycles identical\n"
+    snap.sn_workload snap.sn_captures snap.sn_image_bytes
+    (1e6 *. snap.sn_capture_seconds /. float_of_int snap.sn_captures)
+    (snap.sn_plain_ips /. snap.sn_ckpt_ips);
   let oc = open_out "BENCH_throughput.json" in
   output_string oc
-    (json_of_samples samples span_samples ~traced ~untraced ~idle ~chaos);
+    (json_of_samples samples span_samples ~traced ~untraced ~idle ~chaos
+       ~snap);
   close_out oc;
   Printf.printf "wrote BENCH_throughput.json\n"

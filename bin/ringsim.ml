@@ -321,6 +321,12 @@ let read_file path =
   close_in ic;
   s
 
+(* Usage, file, plan and snapshot errors exit 2; exit 1 is reserved
+   for a run that executed but failed (violations, divergence). *)
+let usage_error msg =
+  Printf.eprintf "ringsim: %s\n" msg;
+  exit 2
+
 (* --inject SPEC: an integer seeds the built-in default plan; anything
    else names a plan file for Hw.Inject.parse_plan. *)
 let resolve_plan spec =
@@ -329,15 +335,11 @@ let resolve_plan spec =
   | None -> (
       let text =
         try read_file spec
-        with Sys_error e ->
-          Printf.eprintf "ringsim: cannot read injection plan: %s\n" e;
-          exit 1
+        with Sys_error e -> usage_error ("cannot read injection plan: " ^ e)
       in
       match Hw.Inject.parse_plan text with
       | Ok p -> p
-      | Error e ->
-          Printf.eprintf "%s: %s\n" spec e;
-          exit 1)
+      | Error e -> usage_error (Printf.sprintf "%s: %s" spec e))
 
 let inject_into_machine plan m processes =
   let inj = Hw.Inject.create plan in
@@ -363,23 +365,26 @@ let run_campaigns inject campaigns obs =
   exit (if r.Os.Chaos.violations = [] then 0 else 1)
 
 let run_program file mode start ring trace listing dump show_map typed
-    max_instructions inject campaigns obs =
+    max_instructions inject campaigns checkpoint_every checkpoint_to
+    restore_from kill_after watchdog obs =
   (match campaigns with
   | Some n -> run_campaigns inject n obs
   | None -> ());
+  (match checkpoint_every with
+  | Some n when n <= 0 -> usage_error "--checkpoint-every must be positive"
+  | _ -> ());
+  (match (checkpoint_every, checkpoint_to) with
+  | Some _, None -> usage_error "--checkpoint-every requires --checkpoint-to"
+  | _ -> ());
   let file =
     match file with
     | Some f -> f
     | None ->
-        Printf.eprintf "ringsim: a program FILE is required (unless running \
-                        --campaigns)\n";
-        exit 1
+        usage_error "a program FILE is required (unless running --campaigns)"
   in
-  let text = read_file file in
+  let text = try read_file file with Sys_error e -> usage_error e in
   match parse_program text with
-  | Error e ->
-      Printf.eprintf "%s: %s\n" file e;
-      exit 1
+  | Error e -> usage_error (Printf.sprintf "%s: %s" file e)
   | Ok (segments, procs) ->
       let store = Os.Store.create () in
       List.iter
@@ -422,9 +427,7 @@ let run_program file mode start ring trace listing dump show_map typed
                       text
                 | _ -> ());
                 first := false
-            | Error e ->
-                Printf.eprintf "spawn %s: %s\n" d.d_name e;
-                exit 1)
+            | Error e -> usage_error (Printf.sprintf "spawn %s: %s" d.d_name e))
           procs;
         (match inject with
         | Some spec ->
@@ -433,18 +436,137 @@ let run_program file mode start ring trace listing dump show_map typed
                  (fun (e : Os.System.entry) -> e.Os.System.process)
                  (Os.System.entries t))
         | None -> ());
-        let exits = Os.System.run t in
+        let machine = Os.System.machine t in
+        let cycles () = Trace.Counters.cycles machine.Isa.Machine.counters in
+        (* --restore: overwrite the freshly spawned system with the
+           checkpoint image.  Must run under the same program file and
+           flags; anything the image cannot prove whole is refused. *)
+        (match restore_from with
+        | Some base -> (
+            let image =
+              try read_file base
+              with Sys_error e -> usage_error ("cannot read snapshot: " ^ e)
+            in
+            match Os.Snapshot.restore t image with
+            | Ok () -> ()
+            | Error err ->
+                usage_error
+                  (Format.asprintf "restore %s: %a" base Os.Snapshot.pp_error
+                     err))
+        | None -> ());
+        (* The write-ahead device journal lives next to the snapshot:
+           BASE.journal.  On restore it is preloaded as the replay
+           table (output the dead run already emitted is verified, not
+           re-emitted) and then appended to. *)
+        let journal_base =
+          match (checkpoint_to, restore_from) with
+          | Some b, _ | None, Some b -> Some b
+          | None, None -> None
+        in
+        (match journal_base with
+        | Some base ->
+            let jpath = base ^ ".journal" in
+            let journal_of pname =
+              List.find_opt
+                (fun (e : Os.System.entry) ->
+                  String.equal e.Os.System.pname pname)
+                (Os.System.entries t)
+              |> Option.map (fun (e : Os.System.entry) ->
+                     Os.Device.journal
+                       e.Os.System.process.Os.Process.typewriter)
+            in
+            if restore_from <> None && Sys.file_exists jpath then
+              List.iter
+                (fun line ->
+                  if String.trim line <> "" then
+                    match Hw.Journal.of_line line with
+                    | Ok (pname, record) -> (
+                        match journal_of pname with
+                        | Some j -> Hw.Journal.preload j record
+                        | None ->
+                            usage_error
+                              (Printf.sprintf
+                                 "journal %s names unknown process %s" jpath
+                                 pname))
+                    | Error e ->
+                        usage_error (Printf.sprintf "journal %s: %s" jpath e))
+                (String.split_on_char '\n' (read_file jpath));
+            let oc =
+              open_out_gen
+                (if restore_from <> None then
+                   [ Open_append; Open_creat; Open_wronly ]
+                 else [ Open_trunc; Open_creat; Open_wronly ])
+                0o644 jpath
+            in
+            at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+            List.iter
+              (fun (e : Os.System.entry) ->
+                Hw.Journal.set_sink
+                  (Os.Device.journal e.Os.System.process.Os.Process.typewriter)
+                  (fun record ->
+                    output_string oc
+                      (Hw.Journal.to_line ~pname:e.Os.System.pname record);
+                    output_char oc '\n';
+                    flush oc))
+              (Os.System.entries t)
+        | None -> ());
+        (* Checkpoint cadence: the next due point is derived from the
+           current cycle count by the same formula live and resumed,
+           so both runs quiesce and capture at identical boundaries. *)
+        let next_due = ref max_int in
+        (match checkpoint_every with
+        | Some n -> next_due := ((cycles () / n) + 1) * n
+        | None -> ());
+        let on_slice () =
+          (match (checkpoint_every, checkpoint_to) with
+          | Some n, Some base when cycles () >= !next_due ->
+              write_file base (Os.Snapshot.capture t);
+              next_due := ((cycles () / n) + 1) * n
+          | _ -> ());
+          match kill_after with
+          | Some c when cycles () >= c ->
+              Printf.eprintf "ringsim: killed at %d modeled cycles\n"
+                (cycles ());
+              exit 0
+          | _ -> ()
+        in
+        let (_ : (string * Os.Kernel.exit) list) =
+          Os.System.run ?watchdog ~on_slice t
+        in
+        (* The cumulative completion log, not this call's exits: a
+           resumed run reports the exits the dead run observed before
+           the checkpoint too, keeping stdout byte-identical. *)
         List.iter
           (fun (name, exit) ->
             Format.printf "%-10s %a@." name Os.Kernel.pp_exit exit)
-          exits;
+          (Os.System.finished_log t);
         Format.printf "%a@." Trace.Counters.pp_snapshot
-          (Trace.Counters.snapshot (Os.System.machine t).Isa.Machine.counters);
+          (Trace.Counters.snapshot machine.Isa.Machine.counters);
         (* Segment numbering is per process in multi-process mode, so
            the shared exports use bare segment numbers. *)
-        finish_obs obs (Os.System.machine t) ~segment_names:[];
-        exit 0
+        finish_obs obs machine ~segment_names:[];
+        let diverged = ref false in
+        List.iter
+          (fun (e : Os.System.entry) ->
+            match
+              Hw.Journal.divergence
+                (Os.Device.journal e.Os.System.process.Os.Process.typewriter)
+            with
+            | Some msg ->
+                Printf.eprintf "ringsim: %s: %s\n" e.Os.System.pname msg;
+                diverged := true
+            | None -> ())
+          (Os.System.entries t);
+        exit (if !diverged then 1 else 0)
       end;
+      (match (checkpoint_every, checkpoint_to, restore_from, kill_after,
+              watchdog)
+       with
+      | None, None, None, None, None -> ()
+      | _ ->
+          usage_error
+            "--checkpoint-every/--checkpoint-to/--restore/--kill-after/\
+             --watchdog require %process declarations");
       if listing then
         List.iter
           (fun (h, src) ->
@@ -461,18 +583,14 @@ let run_program file mode start ring trace listing dump show_map typed
         match mode with
         | "hw" -> Isa.Machine.Ring_hardware
         | "645" | "sw" -> Isa.Machine.Ring_software_645
-        | m ->
-            Printf.eprintf "unknown mode %s (use hw or 645)\n" m;
-            exit 1
+        | m -> usage_error (Printf.sprintf "unknown mode %s (use hw or 645)" m)
       in
       let p = Os.Process.create ~mode ~store ~user:"operator" () in
       (match
          Os.Process.add_segments p (List.map (fun (h, _) -> h.h_name) segments)
        with
       | Ok () -> ()
-      | Error e ->
-          Printf.eprintf "load: %s\n" e;
-          exit 1);
+      | Error e -> usage_error (Printf.sprintf "load: %s" e));
       let start_segment, start_entry =
         match String.index_opt start '$' with
         | Some i ->
@@ -482,9 +600,7 @@ let run_program file mode start ring trace listing dump show_map typed
       in
       (match Os.Process.start p ~segment:start_segment ~entry:start_entry ~ring with
       | Ok () -> ()
-      | Error e ->
-          Printf.eprintf "start: %s\n" e;
-          exit 1);
+      | Error e -> usage_error (Printf.sprintf "start: %s" e));
       if show_map then Format.printf "%a@." Os.Process.pp_layout p;
       (match inject with
       | Some spec ->
@@ -605,6 +721,36 @@ let campaigns =
                report (with --metrics-out, also writing it as JSON). \
                Exits non-zero if any protection invariant was violated.")
 
+let checkpoint_every =
+  Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Write a checkpoint image every N modeled cycles (at the \
+               next scheduling-slice boundary).  Requires \
+               $(b,--checkpoint-to) and %process declarations.")
+
+let checkpoint_to =
+  Arg.(value & opt (some string) None & info [ "checkpoint-to" ] ~docv:"BASE"
+         ~doc:"Checkpoint image path (overwritten at each checkpoint); \
+               device output is journalled write-ahead to BASE.journal.")
+
+let restore_from =
+  Arg.(value & opt (some string) None & info [ "restore" ] ~docv:"BASE"
+         ~doc:"Resume from the checkpoint image at BASE, preloading \
+               BASE.journal so already-emitted device output is verified \
+               and skipped rather than re-emitted.  Must be run with the \
+               same program file and flags that wrote the image.")
+
+let kill_after =
+  Arg.(value & opt (some int) None & info [ "kill-after" ] ~docv:"CYCLES"
+         ~doc:"Abort the run at the first slice boundary at or past \
+               CYCLES modeled cycles (deterministic kill point for \
+               checkpoint/restore testing).")
+
+let watchdog =
+  Arg.(value & opt (some int) None & info [ "watchdog" ] ~docv:"N"
+         ~doc:"Quarantine a process that retires N instructions without \
+               a fault, ring crossing or channel activity \
+               (multi-process mode only).")
+
 let obs =
   let mk trace_out events_out metrics_out metrics_prom profile =
     { trace_out; events_out; metrics_out; metrics_prom; profile }
@@ -614,9 +760,23 @@ let obs =
 
 let cmd =
   let doc = "simulate the Schroeder-Saltzer protection-ring processor" in
-  Cmd.v (Cmd.info "ringsim" ~doc)
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "$(tname) exits 0 on success; 1 when the run itself fails (a \
+         protection-invariant violation under $(b,--campaigns), or a \
+         resumed run whose device output diverges from the write-ahead \
+         journal); and 2 on usage, file, injection-plan or snapshot \
+         errors (unreadable, truncated, corrupt, version-mismatched or \
+         audit-rejected images included).";
+    ]
+  in
+  Cmd.v (Cmd.info "ringsim" ~doc ~man)
     Term.(
       const run_program $ file $ mode $ start $ ring $ trace $ listing
-      $ dump $ show_map $ typed $ budget $ inject $ campaigns $ obs)
+      $ dump $ show_map $ typed $ budget $ inject $ campaigns
+      $ checkpoint_every $ checkpoint_to $ restore_from $ kill_after
+      $ watchdog $ obs)
 
 let () = exit (Cmd.eval cmd)

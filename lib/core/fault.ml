@@ -33,6 +33,7 @@ type t =
   | Io_completion
   | Parity_error of { addr : int }
   | Io_error
+  | Watchdog_timeout of { budget : int }
 
 let code = function
   | No_read_permission -> 0
@@ -60,11 +61,12 @@ let code = function
   | Io_completion -> 22
   | Parity_error _ -> 23
   | Io_error -> 24
+  | Watchdog_timeout _ -> 25
 
 let is_access_violation = function
   | Upward_call _ | Downward_return _ | Missing_segment _ | Missing_page _
   | Cross_ring_transfer _ | Service_call _ | Timer_runout | Io_completion
-  | Parity_error _ | Io_error ->
+  | Parity_error _ | Io_error | Watchdog_timeout _ ->
       false
   | No_read_permission | No_write_permission | No_execute_permission
   | Read_bracket_violation _ | Write_bracket_violation _
@@ -134,5 +136,8 @@ let pp ppf = function
   | Parity_error { addr } ->
       Format.fprintf ppf "parity error at absolute %08o" addr
   | Io_error -> Format.fprintf ppf "I/O channel error"
+  | Watchdog_timeout { budget } ->
+      Format.fprintf ppf "watchdog timeout: no progress in %d instructions"
+        budget
 
 let to_string t = Format.asprintf "%a" pp t

@@ -87,6 +87,12 @@ type t =
       (** The channel operation completed unsuccessfully (device
           error or injected fault); the pending transfer was not
           performed.  The supervisor retries with backoff. *)
+  | Watchdog_timeout of { budget : int }
+      (** The dispatcher's instruction-budget watchdog: the process
+          retired [budget] instructions without faulting, crossing
+          rings, or touching a channel.  Raised by {!Os.System.run}
+          (not the processor) and delivered through the quarantine
+          path, so the rest of the system keeps running. *)
 
 val code : t -> int
 (** A stable small integer per constructor — the trap vector slot the

@@ -157,6 +157,45 @@ let poll t ~mem ~cycles =
   in
   first t.armed
 
+(* {1 Checkpoint support}
+
+   The injector's whole dynamic state: the RNG word, each rule's
+   firing position (in plan order), the poison table (sorted for a
+   canonical encoding upstream) and the delivered-fault total.
+   Descriptor ranges are not part of a dump — they derive from the
+   process layout and are re-registered when the system is respawned
+   before restore. *)
+
+type dump = {
+  dump_rng : int;
+  dump_armed : (int * int) list;  (* (next_due, remaining), plan order *)
+  dump_poison : (int * Word.t) list;  (* ascending address *)
+  dump_total : int;
+}
+
+let dump t =
+  {
+    dump_rng = t.rng;
+    dump_armed = List.map (fun a -> (a.next_due, a.remaining)) t.armed;
+    dump_poison =
+      Hashtbl.fold (fun addr w acc -> (addr, w) :: acc) t.poison []
+      |> List.sort compare;
+    dump_total = t.total;
+  }
+
+let restore t d =
+  if List.length d.dump_armed <> List.length t.armed then
+    invalid_arg "Inject.restore: armed-rule count mismatch";
+  t.rng <- d.dump_rng;
+  List.iter2
+    (fun a (next_due, remaining) ->
+      a.next_due <- next_due;
+      a.remaining <- remaining)
+    t.armed d.dump_armed;
+  Hashtbl.reset t.poison;
+  List.iter (fun (addr, w) -> Hashtbl.replace t.poison addr w) d.dump_poison;
+  t.total <- d.dump_total
+
 (* {1 Plans} *)
 
 let default_plan ~seed =

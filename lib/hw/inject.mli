@@ -99,3 +99,22 @@ val injected_total : t -> int
 val reset : t -> unit
 (** Re-arm every rule, reseed the generator, and clear the poison table
     and descriptor ranges: a fresh campaign from the same plan. *)
+
+(** {1 Checkpoint support} *)
+
+type dump = {
+  dump_rng : int;
+  dump_armed : (int * int) list;
+      (** [(next_due, remaining)] per rule, in plan order. *)
+  dump_poison : (int * Word.t) list;  (** Ascending address. *)
+  dump_total : int;
+}
+
+val dump : t -> dump
+(** The injector's whole dynamic state.  Descriptor ranges are not
+    included: they derive from the process layout and are
+    re-registered when the system is respawned before a restore. *)
+
+val restore : t -> dump -> unit
+(** Inverse of {!dump} onto an injector created from the same plan.
+    Raises [Invalid_argument] if the rule count disagrees. *)

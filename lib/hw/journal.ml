@@ -1,0 +1,98 @@
+(* Write-ahead journal of device output.
+
+   Every transfer a channel delivers to a device is journalled before
+   it reaches the outside world: the sink (when wired) appends one
+   line per transfer to durable storage at write time, so the journal
+   survives the death of the OS process that wrote it.  On resume
+   from a checkpoint, the dead run's journal is preloaded as a replay
+   table: a re-executed transfer whose sequence number is already
+   journalled is verified against the journalled codes and skipped —
+   not re-emitted — so the union of the two runs' journals is byte-
+   identical to an uninterrupted run's.  A mismatch is recorded as a
+   divergence, never silently papered over: replay is verification,
+   not trust. *)
+
+type record = { seq : int; codes : int list }
+
+type outcome = Emitted | Replayed | Diverged of string
+
+type t = {
+  mutable next_seq : int;
+  replay : (int, int list) Hashtbl.t;
+  mutable replay_high : int;
+  mutable sink : (record -> unit) option;
+  mutable on_skip : (unit -> unit) option;
+  mutable divergence : string option;
+}
+
+let create () =
+  {
+    next_seq = 0;
+    replay = Hashtbl.create 16;
+    replay_high = -1;
+    sink = None;
+    on_skip = None;
+    divergence = None;
+  }
+
+let set_sink t f = t.sink <- Some f
+let set_on_skip t f = t.on_skip <- Some f
+let next_seq t = t.next_seq
+let set_next_seq t n = t.next_seq <- n
+let replay_high t = t.replay_high
+let divergence t = t.divergence
+
+let preload t { seq; codes } =
+  Hashtbl.replace t.replay seq codes;
+  if seq > t.replay_high then t.replay_high <- seq
+
+let codes_text codes =
+  String.concat " " (List.map string_of_int codes)
+
+let append t codes =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  match Hashtbl.find_opt t.replay seq with
+  | Some journalled when journalled = codes ->
+      (match t.on_skip with Some f -> f () | None -> ());
+      Replayed
+  | Some journalled ->
+      let msg =
+        Printf.sprintf
+          "transfer %d diverged from journal: journalled [%s], replayed [%s]"
+          seq (codes_text journalled) (codes_text codes)
+      in
+      if t.divergence = None then t.divergence <- Some msg;
+      Diverged msg
+  | None ->
+      (match t.sink with Some f -> f { seq; codes } | None -> ());
+      Emitted
+
+(* One line per transfer: process name, sequence number, then the
+   transferred character codes.  Process names come from %process
+   declarations and carry no spaces. *)
+let to_line ~pname { seq; codes } =
+  if codes = [] then Printf.sprintf "%s %d" pname seq
+  else Printf.sprintf "%s %d %s" pname seq (codes_text codes)
+
+let of_line line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | pname :: seq :: codes -> (
+      match
+        ( int_of_string_opt seq,
+          List.fold_left
+            (fun acc c ->
+              match (acc, int_of_string_opt c) with
+              | Some l, Some n -> Some (n :: l)
+              | _ -> None)
+            (Some []) codes )
+      with
+      | Some seq, Some rev_codes when seq >= 0 ->
+          Ok (pname, { seq; codes = List.rev rev_codes })
+      | _ -> Error (Printf.sprintf "malformed journal line %S" line)
+    )
+  | _ -> Error (Printf.sprintf "malformed journal line %S" line)

@@ -1,0 +1,59 @@
+(** Write-ahead journal of device output.
+
+    The checkpoint/restore subsystem must not re-emit output the dead
+    run already delivered to the outside world.  Each device carries
+    one journal: every transfer is assigned a monotonic sequence
+    number and offered to the sink (which appends it to durable
+    storage {e before} the run continues — write-ahead).  On resume,
+    the dead run's journal is {!preload}ed as a replay table; a
+    re-executed transfer already journalled is verified against the
+    journalled codes and skipped rather than re-emitted, so the
+    journal after resume is byte-identical to an uninterrupted run's.
+    A replayed transfer whose codes disagree with the journal is a
+    {!Diverged} outcome and is latched in {!divergence} — replay
+    verifies the resumed run, it does not trust it. *)
+
+type record = { seq : int; codes : int list }
+(** One journalled transfer: its sequence number and the character
+    codes the channel delivered. *)
+
+type outcome =
+  | Emitted  (** New output: offered to the sink. *)
+  | Replayed  (** Already journalled and identical: skipped. *)
+  | Diverged of string
+      (** Already journalled but different: the resumed run is not
+          reproducing the original — the message says how. *)
+
+type t
+
+val create : unit -> t
+
+val set_sink : t -> (record -> unit) -> unit
+(** Called once per {!Emitted} transfer, in sequence order.  The
+    caller should write and flush durably before returning. *)
+
+val set_on_skip : t -> (unit -> unit) -> unit
+(** Called once per {!Replayed} transfer (counter hook). *)
+
+val append : t -> int list -> outcome
+(** Journal one transfer, assigning the next sequence number. *)
+
+val preload : t -> record -> unit
+(** Load one record of the dead run's journal into the replay table. *)
+
+val next_seq : t -> int
+
+val set_next_seq : t -> int -> unit
+(** Restore path: re-seat the sequence counter from a checkpoint. *)
+
+val replay_high : t -> int
+(** Highest preloaded sequence number; [-1] when none. *)
+
+val divergence : t -> string option
+(** First divergence seen, if any. *)
+
+val to_line : pname:string -> record -> string
+(** Render one journal line: process name, sequence number, codes. *)
+
+val of_line : string -> (string * record, string) result
+(** Parse {!to_line}'s format back; errors on malformed lines. *)

@@ -722,6 +722,29 @@ let degrade t =
     t.resident_bases <- []
   end
 
+(* Checkpoint boundary.  Flush every host-side memoization layer and
+   demote every modeled SDW tag to the absent sentinel — keys survive,
+   because the tag-store population drives modeled accounting (the
+   wholesale flush in [tag_insert], and the hit-vs-walk split in
+   [fetch_sdw]).  The live run calls this at every checkpoint it
+   writes, and [restore] rebuilds exactly this state in a fresh
+   machine, so both continue from identical cold host caches and the
+   counters they export stay byte-identical.  Unlike [degrade] the
+   caches come back: the next references refill them. *)
+let quiesce t =
+  Hw.Assoc.clear t.sdw_cache;
+  Hw.Assoc.clear t.ptw_tlb;
+  Hw.Assoc.clear t.icache;
+  Array.fill t.fetch_slots 0 fetch_cache_slots (-1);
+  Array.fill t.resolve_slots 0 resolve_cache_slots (-1);
+  Hashtbl.reset t.fetch_watch;
+  Hashtbl.reset t.ptw_watch;
+  t.fetch_gen <- t.fetch_gen + 1;
+  t.resident_bases <- [];
+  t.sdw_cache_base <- -1;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.sdw_tags [] in
+  List.iter (fun k -> Hashtbl.replace t.sdw_tags k Hw.Sdw.absent) keys
+
 (* Called by the CPU between instructions (never under [inhibit]).
    Corruption has already been applied by [Inject.poll] through the
    silent-write path, so the write observer has kept the host caches

@@ -276,6 +276,16 @@ val degrade : t -> unit
     pays.  Idempotent; bumps the [degraded] counter on the first
     call. *)
 
+val quiesce : t -> unit
+(** Checkpoint boundary: flush every host-side cache and memo, and
+    demote every modeled SDW tag to the absent sentinel (tag {e keys}
+    survive — the tag-store population drives modeled accounting).
+    The live run quiesces at each checkpoint it writes and the restore
+    path rebuilds the same state in a fresh machine, so a resumed run
+    and the uninterrupted one continue from identical cold host state
+    and export byte-identical counters.  Unlike {!degrade} the caches
+    refill on subsequent references. *)
+
 val poll_injection : t -> Rings.Fault.t option
 (** Fire at most one due injection rule.  A returned fault is a parity
     error the CPU must deliver between instructions (corruption, if

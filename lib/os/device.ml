@@ -1,6 +1,13 @@
-type t = { input : int Queue.t; mutable output : int list (* reversed *) }
+type t = {
+  input : int Queue.t;
+  mutable output : int list; (* reversed *)
+  journal : Hw.Journal.t;
+}
 
-let create () = { input = Queue.create (); output = [] }
+let create () =
+  { input = Queue.create (); output = []; journal = Hw.Journal.create () }
+
+let journal t = t.journal
 
 let feed t s = String.iter (fun c -> Queue.add (Char.code c) t.input) s
 
@@ -11,7 +18,13 @@ let read_available t ~max =
   in
   take max []
 
-let write t codes = t.output <- List.rev_append codes t.output
+(* Every transfer goes through the write-ahead journal first; the
+   in-memory output accumulates regardless of outcome (a replayed
+   transfer was already emitted durably by the dead run, but the
+   resumed run's device state must still advance identically). *)
+let write t codes =
+  let (_ : Hw.Journal.outcome) = Hw.Journal.append t.journal codes in
+  t.output <- List.rev_append codes t.output
 
 let output_text t =
   let buf = Buffer.create (List.length t.output) in
@@ -22,3 +35,16 @@ let output_text t =
   Buffer.contents buf
 
 let pending_input t = Queue.length t.input
+
+(* Checkpoint support: pending input (front first), emitted output
+   (oldest first) and the journal's sequence counter. *)
+let dump t =
+  ( List.of_seq (Queue.to_seq t.input),
+    List.rev t.output,
+    Hw.Journal.next_seq t.journal )
+
+let restore t (input, output, next_seq) =
+  Queue.clear t.input;
+  List.iter (fun c -> Queue.add c t.input) input;
+  t.output <- List.rev output;
+  Hw.Journal.set_next_seq t.journal next_seq

@@ -22,9 +22,23 @@ val read_available : t -> max:int -> int list
 (** Take up to [max] character codes from the input queue. *)
 
 val write : t -> int list -> unit
-(** Append character codes to the printed output. *)
+(** Append character codes to the printed output.  The transfer is
+    offered to the device's write-ahead {!journal} first; the
+    in-memory output advances regardless of the journal outcome. *)
 
 val output_text : t -> string
 (** Everything printed so far (non-printable codes shown as [?]). *)
 
 val pending_input : t -> int
+
+val journal : t -> Hw.Journal.t
+(** The device's write-ahead journal.  [ringsim] wires its sink to a
+    durable file and preloads it on [--restore]; without wiring it is
+    inert (every transfer is simply [Emitted] to nowhere). *)
+
+val dump : t -> int list * int list * int
+(** Checkpoint support: [(pending_input, emitted_output, journal
+    sequence counter)], both code lists oldest-first. *)
+
+val restore : t -> int list * int list * int -> unit
+(** Inverse of {!dump}. *)

@@ -151,7 +151,13 @@ let create ?(mode = Isa.Machine.Ring_hardware)
       next_free = region_base + (ndesc * descseg_words);
       comm_segno = comm_segno_const;
       retgate_segno = retgate_segno_const;
-      typewriter = Device.create ();
+      typewriter =
+        (let d = Device.create () in
+         (* Replays skipped on resume are counted, not silently eaten. *)
+         Hw.Journal.set_on_skip (Device.journal d) (fun () ->
+             Trace.Counters.bump_journal_replays_skipped
+               machine.Isa.Machine.counters);
+         d);
       search_rules = None;
       crossings = [];
       fault_count = 0;

@@ -1,0 +1,67 @@
+(** Checkpoint/restore: the whole machine in one deterministic image.
+
+    A snapshot serializes everything that can influence a future
+    instruction, counter, trace event or device transfer: memory (with
+    the injector's poison table), the register file, every process's
+    kernel tables and crossing stacks, the scheduler's queue and
+    budgets, the fault-injection plan state, and the full observability
+    surface (counters, event log, spans, profile).  Host-side caches
+    are {e not} serialized: {!capture} quiesces them
+    ({!Isa.Machine.quiesce}) and {!restore} rebuilds the same cold
+    state, so a run resumed from a checkpoint and the uninterrupted
+    run that wrote it continue from identical footing and export
+    byte-identical counters, traces and device output.
+
+    Images are versioned ([magic "RINGSNAP"], format {!version}) and
+    checksummed (FNV-1a 64 over the payload).  {!restore} refuses
+    anything it cannot prove whole: bad magic, other versions,
+    truncation, checksum failure, structural corruption, an image that
+    does not match the respawned system's shape, an image whose
+    restored state fails the kernel-table audit, or one that does not
+    re-capture to the same bytes. *)
+
+type error =
+  | Bad_magic  (** Not a snapshot image at all. *)
+  | Bad_version of { expected : int; got : int }
+      (** The format version differs; images are not cross-version. *)
+  | Truncated  (** Shorter than its header claims. *)
+  | Checksum_mismatch  (** Payload bytes were damaged. *)
+  | Corrupt of string
+      (** Checksum passes but the structure does not decode (bad tag,
+          negative length, unconsumed bytes, ...). *)
+  | Shape_mismatch of string
+      (** The image is whole but describes a different system than the
+          one respawned for it: different program, mode, memory size,
+          process set or injector wiring. *)
+  | Audit_rejected of string list
+      (** The restored state failed the kernel-table audit
+          ({!Chaos.check_invariants}): some SDW no longer matches the
+          access the kernel granted, or a crossing stack is damaged —
+          a tampered-but-well-checksummed image lands here. *)
+  | Self_check_failed
+      (** The restored state did not re-capture to the input bytes —
+          a codec defect, never a user error. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val version : int
+(** Current image format version. *)
+
+val capture : System.t -> string
+(** Serialize the complete system state.  Bumps the
+    [snapshots_written] counter {e before} serializing (so the image
+    carries its own capture) and quiesces the machine's host caches —
+    the live run continues from the same cold-cache state a restored
+    run starts in, which is what makes kill-and-resume byte-identical. *)
+
+val restore : System.t -> string -> (unit, error) result
+(** Overwrite a freshly respawned system — same program file, same
+    flags — with a captured image.  On success the system is
+    indistinguishable from the one that called {!capture}.  The
+    restore path validates in layers: header (magic, version, length),
+    checksum, structural decode with shape checks against the
+    respawned system, then a self-check (the restored state must
+    re-capture to the same bytes, bumping [restores] once it does) and
+    finally the kernel-table audit (bumping [restore_audit_rejections]
+    and returning [Audit_rejected] on failure).  On any error the
+    system state is unspecified and must be discarded. *)

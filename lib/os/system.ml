@@ -9,6 +9,10 @@ type entry = {
       (** The entry's virtual channel: its countdown and pending
           transfer, stashed across slices so each process owns its own
           channel state. *)
+  mutable stalled : int;
+      (** Instructions retired since the entry last made progress
+          (fault, crossing, channel activity) — the watchdog's
+          accumulator, carried across slices and checkpoints. *)
 }
 
 type t = {
@@ -17,6 +21,19 @@ type t = {
   region_words : int;
   mutable entries : entry list; (* in spawn order *)
   mutable next_region : int;
+  mutable slices : int;
+      (** Lifetime slice count: the [max_slices] budget is charged
+          against this, so a run resumed from a checkpoint inherits
+          the slices the dead run already spent. *)
+  mutable finished_log : (string * Kernel.exit) list;
+      (** Every exit ever finished, in completion order — cumulative
+          across [run] calls and checkpoints, so a resumed run can
+          report pre-checkpoint exits it never observed itself. *)
+  mutable rotation : string list;
+      (** The dispatcher's current round-robin rotation: pnames not
+          yet dispatched this pass.  Kept on the system (not local to
+          [run]) so a checkpoint taken mid-rotation resumes with the
+          same process up next. *)
 }
 
 let region_words_default = 1 lsl 18
@@ -29,10 +46,19 @@ let create ?mode ?stack_rule ?(mem_size = 1 lsl 21) ~store () =
     region_words = region_words_default;
     entries = [];
     next_region = 0;
+    slices = 0;
+    finished_log = [];
+    rotation = [];
   }
 
 let machine t = t.machine
 let entries t = t.entries
+let slices t = t.slices
+let set_slices t n = t.slices <- n
+let finished_log t = t.finished_log
+let set_finished_log t l = t.finished_log <- l
+let rotation t = t.rotation
+let set_rotation t r = t.rotation <- r
 
 let find t pname =
   List.find_opt (fun e -> String.equal e.pname pname) t.entries
@@ -119,6 +145,7 @@ let spawn ?(shared = []) ?(paged = false) t ~pname ~user ~segments
       saved_regs = Hw.Registers.copy t.machine.Isa.Machine.regs;
       status = Ready;
       saved_io = (None, None);
+      stalled = 0;
     }
   in
   t.entries <- t.entries @ [ e ];
@@ -132,7 +159,7 @@ let share t ~segment ~owner ~into =
   in
   share_into t ~segment ~owner ~into_p:into_e.process
 
-let run ?(quantum = 50) ?(max_slices = 10_000) t =
+let run ?(quantum = 50) ?(max_slices = 10_000) ?watchdog ?on_slice t =
   let finished = ref [] in
   let regs = t.machine.Isa.Machine.regs in
   let finish e exit =
@@ -140,10 +167,25 @@ let run ?(quantum = 50) ?(max_slices = 10_000) t =
        processes have used the machine. *)
     e.saved_regs <- Hw.Registers.copy regs;
     e.status <- Done exit;
+    t.finished_log <- t.finished_log @ [ (e.pname, exit) ];
     finished := (e.pname, exit) :: !finished
   in
   let counters = t.machine.Isa.Machine.counters in
-  let slices = ref 0 in
+  (* Progress signature for the watchdog: anything that traps, crosses
+     rings or switches descriptor segments moves it.  The timer-runout
+     trap that ends a preempted slice is dispatcher machinery, not
+     progress, and is discounted where the signature is compared. *)
+  let progress_sig () =
+    Trace.Counters.traps counters
+    + Trace.Counters.calls_same_ring counters
+    + Trace.Counters.calls_downward counters
+    + Trace.Counters.calls_upward counters
+    + Trace.Counters.returns_same_ring counters
+    + Trace.Counters.returns_upward counters
+    + Trace.Counters.returns_downward counters
+    + Trace.Counters.gatekeeper_entries counters
+    + Trace.Counters.descriptor_switches counters
+  in
   let ready () = List.filter (fun e -> e.status = Ready) t.entries in
   let blocked () = List.filter (fun e -> e.status = Blocked) t.entries in
   (* Channel time passes while other processes run: age a sleeping
@@ -167,24 +209,38 @@ let run ?(quantum = 50) ?(max_slices = 10_000) t =
             e.status <- Ready)
       (blocked ())
   in
-  let rec loop = function
+  (* The rotation lives on [t], not in this call frame: a checkpoint
+     taken after any slice must record which process is up next, or a
+     resumed run would restart the pass from the top and complete in a
+     different order than the run it is reproducing. *)
+  let rec loop () =
+    match t.rotation with
     | [] -> (
         match (ready (), blocked ()) with
         | [], [] -> ()
-        | [], _ :: _ when !slices < max_slices ->
+        | [], _ :: _ when t.slices < max_slices ->
             (* Everyone is asleep: idle the processor for a quantum of
                channel time. *)
-            incr slices;
+            t.slices <- t.slices + 1;
             age_blocked quantum;
-            loop []
-        | again, _ -> loop again)
-    | e :: rest ->
-        if !slices >= max_slices then
+            loop ()
+        | again, _ ->
+            t.rotation <- List.map (fun e -> e.pname) again;
+            loop ())
+    | pname :: rest ->
+        if t.slices >= max_slices then begin
+          t.rotation <- [];
           List.iter
             (fun e -> finish e Kernel.Out_of_budget)
             (ready () @ blocked ())
+        end
         else begin
-          incr slices;
+          t.rotation <- rest;
+          match find t pname with
+          | None -> loop ()
+          | Some e when e.status <> Ready -> loop ()
+          | Some e ->
+          t.slices <- t.slices + 1;
           Hw.Registers.restore regs ~from:e.saved_regs;
           let io_countdown, io_request = e.saved_io in
           t.machine.Isa.Machine.io_countdown <- io_countdown;
@@ -193,7 +249,9 @@ let run ?(quantum = 50) ?(max_slices = 10_000) t =
              not a courtesy of the dispatched program. *)
           t.machine.Isa.Machine.timer <- Some quantum;
           let before = Trace.Counters.instructions counters in
-          (match Kernel.run ~max_instructions:(quantum * 4) e.process with
+          let sig_before = progress_sig () in
+          let result = Kernel.run ~max_instructions:(quantum * 4) e.process in
+          (match result with
           | Kernel.Preempted | Kernel.Out_of_budget ->
               (* Slice expired: the process stays ready. *)
               e.saved_regs <- Hw.Registers.copy regs
@@ -212,9 +270,39 @@ let run ?(quantum = 50) ?(max_slices = 10_000) t =
           t.machine.Isa.Machine.io_countdown <- None;
           t.machine.Isa.Machine.io_request <- None;
           t.machine.Isa.Machine.timer <- None;
+          (* The instruction-budget watchdog: a still-ready entry that
+             retired a whole slice without faulting, crossing rings or
+             touching its channel is accumulating [stalled]; past the
+             budget it is quarantined through the PR-3 path so the
+             rest of the system keeps running.  The timer-runout trap
+             that ended a preempted slice is discounted. *)
+          (match watchdog with
+          | Some budget when e.status = Ready ->
+              let timer_trap =
+                match result with Kernel.Preempted -> 1 | _ -> 0
+              in
+              let moved =
+                progress_sig () - sig_before > timer_trap
+                || fst e.saved_io <> None
+                || snd e.saved_io <> None
+              in
+              if moved then e.stalled <- 0
+              else begin
+                e.stalled <-
+                  e.stalled + (Trace.Counters.instructions counters - before);
+                if e.stalled >= budget then begin
+                  Trace.Counters.bump_watchdog_tripped counters;
+                  Trace.Counters.bump_quarantined counters;
+                  finish e
+                    (Kernel.Quarantined
+                       (Rings.Fault.Watchdog_timeout { budget }))
+                end
+              end
+          | _ -> ());
           age_blocked (Trace.Counters.instructions counters - before);
-          loop rest
+          (match on_slice with Some f -> f () | None -> ());
+          loop ()
         end
   in
-  loop (ready ());
+  loop ();
   List.rev !finished

@@ -29,6 +29,10 @@ type entry = {
   mutable status : status;
   mutable saved_io : int option * Isa.Machine.io_request option;
       (** The entry's virtual channel, stashed across slices. *)
+  mutable stalled : int;
+      (** Instructions retired since the entry last made progress —
+          the watchdog's accumulator, carried across slices (and
+          checkpoints). *)
 }
 
 type t
@@ -80,8 +84,38 @@ val share :
 
 val find : t -> string -> entry option
 
+val slices : t -> int
+(** Lifetime slice count — the [max_slices] budget is charged against
+    this, so a resumed run inherits the slices the dead run spent. *)
+
+val set_slices : t -> int -> unit
+(** Restore path: re-seat the slice count from a checkpoint. *)
+
+val finished_log : t -> (string * Kernel.exit) list
+(** Every exit ever finished, in completion order — cumulative across
+    {!run} calls and checkpoints, so a resumed run reports exits the
+    dead run observed before the checkpoint. *)
+
+val set_finished_log : t -> (string * Kernel.exit) list -> unit
+(** Restore path: re-seat the completion log from a checkpoint. *)
+
+val rotation : t -> string list
+(** The dispatcher's current round-robin rotation: pnames not yet
+    dispatched this pass.  Scheduler state — a checkpoint taken
+    mid-rotation must carry it, or the resumed run would restart the
+    pass from the top and dispatch (and finish) processes in a
+    different order than the run it is reproducing. *)
+
+val set_rotation : t -> string list -> unit
+(** Restore path: re-seat the rotation from a checkpoint. *)
+
 val run :
-  ?quantum:int -> ?max_slices:int -> t -> (string * Kernel.exit) list
+  ?quantum:int ->
+  ?max_slices:int ->
+  ?watchdog:int ->
+  ?on_slice:(unit -> unit) ->
+  t ->
+  (string * Kernel.exit) list
 (** Round-robin dispatch: the interval timer is armed with [quantum]
     (default 50) before each slice, so preemption is a hardware
     timer-runout trap; the register file is then swapped to the next
@@ -92,4 +126,17 @@ val run :
     sleeps) and the dispatcher performs the completion and reawakens
     it — the traffic controller.  Returns each process's exit, in
     completion order.  Processes still unfinished after [max_slices]
-    (default 10,000) are reported as [Out_of_budget]. *)
+    (default 10,000) are reported as [Out_of_budget].
+
+    With [watchdog], an entry that retires [watchdog] instructions
+    (accumulated across slices) without a fault, ring crossing,
+    descriptor switch or channel activity is quarantined with
+    {!Rings.Fault.Watchdog_timeout} through the PR-3 quarantine path,
+    bumping the [watchdog_tripped] and [quarantined] counters; the
+    rest of the system keeps running.  Off by default — a legitimate
+    compute loop is indistinguishable from a hang, so the budget is
+    the caller's policy.
+
+    [on_slice] is called after every completed slice, at a clean
+    scheduling boundary (register file stashed, channel state saved) —
+    the checkpoint subsystem's trigger point. *)

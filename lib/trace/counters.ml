@@ -40,6 +40,16 @@ type t = {
   mutable recovered : int;
   mutable quarantined : int;
   mutable degraded : int;
+  (* Checkpoint/restore and the dispatcher watchdog.  [restores] and
+     [journal_replays_skipped] are session-local: they count work the
+     resumed OS process did that the uninterrupted run never had to,
+     so they legitimately differ between the two (everything else is
+     checkpoint-deterministic). *)
+  mutable snapshots_written : int;
+  mutable restores : int;
+  mutable restore_audit_rejections : int;
+  mutable journal_replays_skipped : int;
+  mutable watchdog_tripped : int;
 }
 
 let create () =
@@ -77,6 +87,11 @@ let create () =
     recovered = 0;
     quarantined = 0;
     degraded = 0;
+    snapshots_written = 0;
+    restores = 0;
+    restore_audit_rejections = 0;
+    journal_replays_skipped = 0;
+    watchdog_tripped = 0;
   }
 
 let reset t =
@@ -112,7 +127,12 @@ let reset t =
   t.retried <- 0;
   t.recovered <- 0;
   t.quarantined <- 0;
-  t.degraded <- 0
+  t.degraded <- 0;
+  t.snapshots_written <- 0;
+  t.restores <- 0;
+  t.restore_audit_rejections <- 0;
+  t.journal_replays_skipped <- 0;
+  t.watchdog_tripped <- 0
 
 let charge t n = t.cycles <- t.cycles + n
 let cycles t = t.cycles
@@ -197,6 +217,25 @@ let quarantined t = t.quarantined
 let bump_degraded t = t.degraded <- t.degraded + 1
 let degraded t = t.degraded
 
+let bump_snapshots_written t =
+  t.snapshots_written <- t.snapshots_written + 1
+
+let snapshots_written t = t.snapshots_written
+let bump_restores t = t.restores <- t.restores + 1
+let restores t = t.restores
+
+let bump_restore_audit_rejections t =
+  t.restore_audit_rejections <- t.restore_audit_rejections + 1
+
+let restore_audit_rejections t = t.restore_audit_rejections
+
+let bump_journal_replays_skipped t =
+  t.journal_replays_skipped <- t.journal_replays_skipped + 1
+
+let journal_replays_skipped t = t.journal_replays_skipped
+let bump_watchdog_tripped t = t.watchdog_tripped <- t.watchdog_tripped + 1
+let watchdog_tripped t = t.watchdog_tripped
+
 type snapshot = {
   cycles : int;
   instructions : int;
@@ -231,6 +270,11 @@ type snapshot = {
   recovered : int;
   quarantined : int;
   degraded : int;
+  snapshots_written : int;
+  restores : int;
+  restore_audit_rejections : int;
+  journal_replays_skipped : int;
+  watchdog_tripped : int;
 }
 
 let snapshot (t : t) : snapshot =
@@ -268,7 +312,52 @@ let snapshot (t : t) : snapshot =
     recovered = t.recovered;
     quarantined = t.quarantined;
     degraded = t.degraded;
+    snapshots_written = t.snapshots_written;
+    restores = t.restores;
+    restore_audit_rejections = t.restore_audit_rejections;
+    journal_replays_skipped = t.journal_replays_skipped;
+    watchdog_tripped = t.watchdog_tripped;
   }
+
+let restore (t : t) (s : snapshot) =
+  t.cycles <- s.cycles;
+  t.instructions <- s.instructions;
+  t.memory_reads <- s.memory_reads;
+  t.memory_writes <- s.memory_writes;
+  t.sdw_fetches <- s.sdw_fetches;
+  t.indirections <- s.indirections;
+  t.traps <- s.traps;
+  t.calls_same_ring <- s.calls_same_ring;
+  t.calls_downward <- s.calls_downward;
+  t.calls_upward <- s.calls_upward;
+  t.returns_same_ring <- s.returns_same_ring;
+  t.returns_upward <- s.returns_upward;
+  t.returns_downward <- s.returns_downward;
+  t.gatekeeper_entries <- s.gatekeeper_entries;
+  t.descriptor_switches <- s.descriptor_switches;
+  t.access_violations <- s.access_violations;
+  t.ptw_fetches <- s.ptw_fetches;
+  t.page_faults <- s.page_faults;
+  t.page_evictions <- s.page_evictions;
+  t.sdw_cache_hits <- s.sdw_cache_hits;
+  t.sdw_cache_misses <- s.sdw_cache_misses;
+  t.sdw_cache_evictions <- s.sdw_cache_evictions;
+  t.ptw_tlb_hits <- s.ptw_tlb_hits;
+  t.ptw_tlb_misses <- s.ptw_tlb_misses;
+  t.ptw_tlb_evictions <- s.ptw_tlb_evictions;
+  t.icache_hits <- s.icache_hits;
+  t.icache_misses <- s.icache_misses;
+  t.icache_evictions <- s.icache_evictions;
+  t.injected <- s.injected;
+  t.retried <- s.retried;
+  t.recovered <- s.recovered;
+  t.quarantined <- s.quarantined;
+  t.degraded <- s.degraded;
+  t.snapshots_written <- s.snapshots_written;
+  t.restores <- s.restores;
+  t.restore_audit_rejections <- s.restore_audit_rejections;
+  t.journal_replays_skipped <- s.journal_replays_skipped;
+  t.watchdog_tripped <- s.watchdog_tripped
 
 let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
   {
@@ -307,6 +396,13 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     recovered = after.recovered - before.recovered;
     quarantined = after.quarantined - before.quarantined;
     degraded = after.degraded - before.degraded;
+    snapshots_written = after.snapshots_written - before.snapshots_written;
+    restores = after.restores - before.restores;
+    restore_audit_rejections =
+      after.restore_audit_rejections - before.restore_audit_rejections;
+    journal_replays_skipped =
+      after.journal_replays_skipped - before.journal_replays_skipped;
+    watchdog_tripped = after.watchdog_tripped - before.watchdog_tripped;
   }
 
 (* Every snapshot field by name, in declaration order.  The metrics
@@ -348,7 +444,64 @@ let fields (s : snapshot) : (string * int) list =
     ("recovered", s.recovered);
     ("quarantined", s.quarantined);
     ("degraded", s.degraded);
+    ("snapshots_written", s.snapshots_written);
+    ("restores", s.restores);
+    ("restore_audit_rejections", s.restore_audit_rejections);
+    ("journal_replays_skipped", s.journal_replays_skipped);
+    ("watchdog_tripped", s.watchdog_tripped);
   ]
+
+(* Inverse of [fields]: rebuild a snapshot from [(name, value)] pairs.
+   Shape-checked so a snapshot image from a different counter set is a
+   typed decode error, not a silent misread. *)
+let of_fields (l : (string * int) list) : (snapshot, string) result =
+  let zero = snapshot (create ()) in
+  let expected = List.map fst (fields zero) in
+  let given = List.map fst l in
+  if given <> expected then Error "counter field names do not match"
+  else
+    let get name = List.assoc name l in
+    Ok
+      {
+        cycles = get "cycles";
+        instructions = get "instructions";
+        memory_reads = get "memory_reads";
+        memory_writes = get "memory_writes";
+        sdw_fetches = get "sdw_fetches";
+        indirections = get "indirections";
+        traps = get "traps";
+        calls_same_ring = get "calls_same_ring";
+        calls_downward = get "calls_downward";
+        calls_upward = get "calls_upward";
+        returns_same_ring = get "returns_same_ring";
+        returns_upward = get "returns_upward";
+        returns_downward = get "returns_downward";
+        gatekeeper_entries = get "gatekeeper_entries";
+        descriptor_switches = get "descriptor_switches";
+        access_violations = get "access_violations";
+        ptw_fetches = get "ptw_fetches";
+        page_faults = get "page_faults";
+        page_evictions = get "page_evictions";
+        sdw_cache_hits = get "sdw_cache_hits";
+        sdw_cache_misses = get "sdw_cache_misses";
+        sdw_cache_evictions = get "sdw_cache_evictions";
+        ptw_tlb_hits = get "ptw_tlb_hits";
+        ptw_tlb_misses = get "ptw_tlb_misses";
+        ptw_tlb_evictions = get "ptw_tlb_evictions";
+        icache_hits = get "icache_hits";
+        icache_misses = get "icache_misses";
+        icache_evictions = get "icache_evictions";
+        injected = get "injected";
+        retried = get "retried";
+        recovered = get "recovered";
+        quarantined = get "quarantined";
+        degraded = get "degraded";
+        snapshots_written = get "snapshots_written";
+        restores = get "restores";
+        restore_audit_rejections = get "restore_audit_rejections";
+        journal_replays_skipped = get "journal_replays_skipped";
+        watchdog_tripped = get "watchdog_tripped";
+      }
 
 (* The robustness line appears only when injection was active, so an
    injector-off run prints exactly what it printed before the fault-

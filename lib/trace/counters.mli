@@ -137,6 +137,33 @@ val quarantined : t -> int
 val bump_degraded : t -> unit
 val degraded : t -> int
 
+(** {2 Checkpoint/restore and the dispatcher watchdog}
+
+    [snapshots_written] images captured (bumped before serializing, so
+    the count inside an image already includes it); [restores] images
+    applied; [restore_audit_rejections] images refused by the restore-
+    time SDW audit; [journal_replays_skipped] device transfers found
+    already journalled and not re-emitted; [watchdog_tripped] processes
+    quarantined by the dispatcher's instruction-budget watchdog.
+    [restores] and [journal_replays_skipped] are session-local — they
+    differ between an uninterrupted run and a resumed one; everything
+    else is checkpoint-deterministic. *)
+
+val bump_snapshots_written : t -> unit
+val snapshots_written : t -> int
+
+val bump_restores : t -> unit
+val restores : t -> int
+
+val bump_restore_audit_rejections : t -> unit
+val restore_audit_rejections : t -> int
+
+val bump_journal_replays_skipped : t -> unit
+val journal_replays_skipped : t -> int
+
+val bump_watchdog_tripped : t -> unit
+val watchdog_tripped : t -> int
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -173,9 +200,19 @@ type snapshot = {
   recovered : int;
   quarantined : int;
   degraded : int;
+  snapshots_written : int;
+  restores : int;
+  restore_audit_rejections : int;
+  journal_replays_skipped : int;
+  watchdog_tripped : int;
 }
 
 val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite every live counter with the snapshot's values — the
+    checkpoint/restore path re-seating the modeled clock and event
+    counts captured in an image. *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** [diff ~before ~after] is the per-field difference, for measuring a
@@ -185,5 +222,11 @@ val fields : snapshot -> (string * int) list
 (** Every snapshot field as [(name, value)], in declaration order.
     The metrics exporters and their coverage test iterate this, so a
     new counter is exported everywhere by extending the one list. *)
+
+val of_fields : (string * int) list -> (snapshot, string) result
+(** Inverse of {!fields}: rebuild a snapshot from named pairs.  The
+    names must match {!fields}'s output exactly (same set, same
+    order) — a mismatch is a decode error, as raised when a snapshot
+    image was written by a build with a different counter set. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -116,6 +116,24 @@ let stamped_events log =
 let events log =
   List.rev (fold_stamped log ~init:[] ~f:(fun acc s -> s.event :: acc))
 
+(* Checkpoint support: the retained entries with their original stamps
+   plus the monotonic counters.  [restore] refills the buffer without
+   re-stamping, so sequence numbers and cycle stamps survive a
+   checkpoint/restore round-trip exactly. *)
+let dump log = (stamped_events log, log.next_seq, log.dropped)
+
+let restore log (entries, next_seq, dropped) =
+  let n = List.length entries in
+  if n > log.capacity then invalid_arg "Event.restore: entries > capacity";
+  clear log;
+  if n > 0 && Array.length log.buf = 0 then
+    log.buf <- Array.make log.capacity dummy;
+  List.iteri (fun i s -> log.buf.(i) <- s) entries;
+  log.head <- 0;
+  log.len <- n;
+  log.next_seq <- next_seq;
+  log.dropped <- dropped
+
 let crossing_to_string = function
   | Same_ring -> "same-ring"
   | Downward -> "downward"

@@ -91,6 +91,15 @@ val recorded : log -> int
 val clear : log -> unit
 (** Drop all events and reset the sequence and dropped counters. *)
 
+val dump : log -> stamped list * int * int
+(** Checkpoint support: [(retained_entries, next_seq, dropped)]. *)
+
+val restore : log -> stamped list * int * int -> unit
+(** Inverse of {!dump}: refill the buffer with already-stamped entries
+    (no re-stamping, so seq numbers and cycle stamps round-trip
+    exactly).  Raises [Invalid_argument] if there are more entries
+    than the log's capacity. *)
+
 val crossing_to_string : crossing -> string
 
 val pp : Format.formatter -> t -> unit

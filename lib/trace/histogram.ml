@@ -91,6 +91,21 @@ let merge_into ~dst src =
     if src.vmax > dst.vmax then dst.vmax <- src.vmax
   end
 
+(* Raw state, for the checkpoint codec: every bucket count followed by
+   the scalar accumulators.  [restore] is the exact inverse, so a
+   dump/restore round-trip reproduces percentiles bit-for-bit. *)
+let dump t =
+  (Array.copy t.buckets, t.count, t.sum, t.vmin, t.vmax)
+
+let restore t (buckets, count, sum, vmin, vmax) =
+  if Array.length buckets <> max_buckets then
+    invalid_arg "Histogram.restore: wrong bucket count";
+  Array.blit buckets 0 t.buckets 0 max_buckets;
+  t.count <- count;
+  t.sum <- sum;
+  t.vmin <- vmin;
+  t.vmax <- vmax
+
 let nonempty_buckets t =
   let acc = ref [] in
   for i = max_buckets - 1 downto 0 do

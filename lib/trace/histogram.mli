@@ -50,3 +50,11 @@ val merge_into : dst:t -> t -> unit
 
 val nonempty_buckets : t -> (int * int * int) list
 (** [(lower, upper, count)] for each occupied bucket, ascending. *)
+
+val dump : t -> int array * int * int * int * int
+(** Raw state [(buckets, count, sum, vmin, vmax)] for the checkpoint
+    codec; [buckets] is a copy of all 63 counts. *)
+
+val restore : t -> int array * int * int * int * int -> unit
+(** Inverse of {!dump}: overwrite the histogram with dumped state.
+    Raises [Invalid_argument] if the bucket array is the wrong size. *)

@@ -67,3 +67,26 @@ let per_segment t =
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let total_cycles t = Array.fold_left ( + ) t.kernel_cycles t.ring_cycles
+
+(* Checkpoint support: ring arrays, segment cells (sorted, for a
+   canonical byte encoding upstream), and the kernel bucket. *)
+let dump t =
+  ( Array.copy t.ring_cycles,
+    Array.copy t.ring_instructions,
+    per_segment t,
+    t.kernel_cycles )
+
+let restore t (ring_cycles, ring_instructions, segments, kernel_cycles) =
+  if
+    Array.length ring_cycles <> Array.length t.ring_cycles
+    || Array.length ring_instructions <> Array.length t.ring_instructions
+  then invalid_arg "Profile.restore: wrong ring count";
+  clear t;
+  Array.blit ring_cycles 0 t.ring_cycles 0 (Array.length ring_cycles);
+  Array.blit ring_instructions 0 t.ring_instructions 0
+    (Array.length ring_instructions);
+  List.iter
+    (fun (segno, cycles, instructions) ->
+      Hashtbl.replace t.segments segno { cycles; instructions })
+    segments;
+  t.kernel_cycles <- kernel_cycles

@@ -40,3 +40,11 @@ val total_cycles : t -> int
 (** Sum of all ring buckets plus the kernel bucket. *)
 
 val clear : t -> unit
+
+val dump : t -> int array * int array * (int * int * int) list * int
+(** Checkpoint support: [(ring_cycles, ring_instructions,
+    per_segment, kernel_cycles)] with segments ascending by number. *)
+
+val restore : t -> int array * int array * (int * int * int) list * int -> unit
+(** Inverse of {!dump}; raises [Invalid_argument] if the ring arrays
+    are the wrong size for this profile. *)

@@ -193,3 +193,48 @@ let completed t =
     acc := t.buf.(j) :: !acc
   done;
   !acc
+
+(* Checkpoint support.  The whole tracker state round-trips: open
+   spans (innermost first, as stacked), retained completed spans,
+   monotonic counters, and all four latency histograms. *)
+type dump = {
+  dump_stack : open_span list;
+  dump_next_seq : int;
+  dump_completed : completed list;
+  dump_dropped : int;
+  dump_unmatched : int;
+  dump_hists : (int array * int * int * int * int) array;
+      (* same, down, up, recovery *)
+}
+
+let dump t =
+  {
+    dump_stack = t.stack;
+    dump_next_seq = t.next_seq;
+    dump_completed = completed t;
+    dump_dropped = t.dropped;
+    dump_unmatched = t.unmatched_returns;
+    dump_hists =
+      [|
+        Histogram.dump t.hist_same;
+        Histogram.dump t.hist_down;
+        Histogram.dump t.hist_up;
+        Histogram.dump t.hist_recovery;
+      |];
+  }
+
+let restore t d =
+  if List.length d.dump_completed > t.capacity then
+    invalid_arg "Span.restore: completed spans > capacity";
+  if Array.length d.dump_hists <> 4 then
+    invalid_arg "Span.restore: expected four histograms";
+  clear t;
+  t.stack <- d.dump_stack;
+  t.next_seq <- d.dump_next_seq;
+  List.iter (fun c -> push_completed t c) d.dump_completed;
+  t.dropped <- d.dump_dropped;
+  t.unmatched_returns <- d.dump_unmatched;
+  Histogram.restore t.hist_same d.dump_hists.(0);
+  Histogram.restore t.hist_down d.dump_hists.(1);
+  Histogram.restore t.hist_up d.dump_hists.(2);
+  Histogram.restore t.hist_recovery d.dump_hists.(3)

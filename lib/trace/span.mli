@@ -27,6 +27,19 @@ type completed = {
   forced : bool;  (** Closed by {!drain}, not by a matching return. *)
 }
 
+type open_span = {
+  o_kind : Event.crossing;
+  o_from_ring : int;
+  o_to_ring : int;
+  o_segno : int;
+  o_wordno : int;
+  o_start : int;
+  o_depth : int;
+  o_seq : int;
+}
+(** A span opened but not yet closed — exposed for the checkpoint
+    codec, which must carry the open-call stack across a restore. *)
+
 type tracker
 
 val default_capacity : int
@@ -75,3 +88,22 @@ val dropped : tracker -> int
 val unmatched_returns : tracker -> int
 
 val clear : tracker -> unit
+
+(** {1 Checkpoint support} *)
+
+type dump = {
+  dump_stack : open_span list;  (** Innermost first. *)
+  dump_next_seq : int;
+  dump_completed : completed list;
+  dump_dropped : int;
+  dump_unmatched : int;
+  dump_hists : (int array * int * int * int * int) array;
+      (** Latency histograms in kind order: same-ring, downward,
+          upward, recovery. *)
+}
+
+val dump : tracker -> dump
+
+val restore : tracker -> dump -> unit
+(** Inverse of {!dump}; raises [Invalid_argument] on a shape
+    mismatch (too many completed spans, wrong histogram count). *)

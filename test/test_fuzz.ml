@@ -183,6 +183,48 @@ let prop_system_survives_arbitrary_plans =
       let r = Os.Chaos.run_campaigns ~campaigns:1 (random_plan seed) in
       r.Os.Chaos.violations = [])
 
+(* Kill-and-resume, fuzzed: whatever the workload sizes, the quantum
+   and the checkpoint cycle, a run resumed from a mid-flight image must
+   finish indistinguishable (counters, exits, memory) from the run that
+   was never interrupted. *)
+let prop_checkpoint_restore_is_transparent =
+  QCheck.Test.make ~name:"checkpoint/restore is invisible to the run"
+    ~count:25
+    QCheck.(
+      quad (int_range 15 60) (int_range 15 60) (int_range 5 60)
+        (int_range 10 100))
+    (fun (n1, n2, quantum, at) ->
+      let straight = Test_snapshot.fresh_system ~n1 ~n2 () in
+      let image = ref None in
+      let on_slice () =
+        if
+          !image = None
+          && Trace.Counters.cycles
+               (Os.System.machine straight).Isa.Machine.counters
+             >= at
+        then image := Some (Os.Snapshot.capture straight)
+      in
+      let (_ : (string * Os.Kernel.exit) list) =
+        Os.System.run ~quantum ~on_slice straight
+      in
+      match !image with
+      | None -> QCheck.Test.fail_report "run finished before the checkpoint"
+      | Some img -> (
+          let resumed = Test_snapshot.fresh_system ~n1 ~n2 () in
+          match Os.Snapshot.restore resumed img with
+          | Error e ->
+              QCheck.Test.fail_reportf "restore: %a" Os.Snapshot.pp_error e
+          | Ok () ->
+              let (_ : (string * Os.Kernel.exit) list) =
+                Os.System.run ~quantum resumed
+              in
+              Test_snapshot.comparable_fields straight
+              = Test_snapshot.comparable_fields resumed
+              && Os.System.finished_log straight
+                 = Os.System.finished_log resumed
+              && Test_snapshot.memory_words straight
+                 = Test_snapshot.memory_words resumed))
+
 let suite =
   [
     ( "fuzz",
@@ -192,6 +234,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_kernel_never_escapes_paged;
         QCheck_alcotest.to_alcotest prop_system_survives_default_plan_injection;
         QCheck_alcotest.to_alcotest prop_system_survives_arbitrary_plans;
+        QCheck_alcotest.to_alcotest prop_checkpoint_restore_is_transparent;
       ] );
   ]
 

@@ -1,0 +1,343 @@
+(* Checkpoint/restore: kill-and-resume must be indistinguishable from
+   never having died, and anything less than a whole image must be
+   refused with a typed error. *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+let proc4 = Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()
+
+let bump_source ~n =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5\n\
+     loop:   aos cell,*\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n"
+    n
+
+(* Two bump processes over a shared counter: enough slices for several
+   checkpoint boundaries, with cross-process state (the shared segment)
+   the image must carry exactly. *)
+let build_store ~n1 ~n2 () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"bump_a" ~acl:(wildcard proc4)
+    (bump_source ~n:n1);
+  Os.Store.add_source store ~name:"bump_b" ~acl:(wildcard proc4)
+    (bump_source ~n:n2);
+  Os.Store.add_source store ~name:"counter"
+    ~acl:(wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "value:  .word 0\n";
+  store
+
+let spawn_pair sys =
+  (match
+     Os.System.spawn sys ~pname:"pa" ~user:"alice"
+       ~segments:[ "bump_a"; "counter" ]
+       ~start:("bump_a", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn pa: %s" e);
+  match
+    Os.System.spawn sys
+      ~shared:[ ("counter", "pa") ]
+      ~pname:"pb" ~user:"bob" ~segments:[ "bump_b" ]
+      ~start:("bump_b", "start") ~ring:4
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn pb: %s" e
+
+let fresh_system ?(n1 = 30) ?(n2 = 12) () =
+  let sys = Os.System.create ~store:(build_store ~n1 ~n2 ()) () in
+  spawn_pair sys;
+  sys
+
+let counters sys =
+  (Os.System.machine sys).Isa.Machine.counters
+
+let cycles sys = Trace.Counters.cycles (counters sys)
+
+(* The two counters a resumed run legitimately owns for itself. *)
+let session_local = [ "restores"; "journal_replays_skipped" ]
+
+let comparable_fields sys =
+  Trace.Counters.fields (Trace.Counters.snapshot (counters sys))
+  |> List.filter (fun (name, _) -> not (List.mem name session_local))
+
+let memory_words sys =
+  let mem = (Os.System.machine sys).Isa.Machine.mem in
+  let acc = ref [] in
+  for a = Hw.Memory.size mem - 1 downto 0 do
+    let w = Hw.Memory.read_silent mem a in
+    if w <> 0 then acc := (a, w) :: !acc
+  done;
+  !acc
+
+let device_outputs sys =
+  List.map
+    (fun (e : Os.System.entry) ->
+      ( e.Os.System.pname,
+        Os.Device.output_text e.Os.System.process.Os.Process.typewriter ))
+    (Os.System.entries sys)
+
+(* Run [sys], capturing exactly one image at the first slice boundary
+   at or past [at] modeled cycles, and return it with the exits. *)
+let run_capturing_at sys ~at =
+  let image = ref None in
+  let on_slice () =
+    if !image = None && cycles sys >= at then
+      image := Some (Os.Snapshot.capture sys)
+  in
+  let exits = Os.System.run ~on_slice sys in
+  match !image with
+  | Some img -> (img, exits)
+  | None -> Alcotest.failf "run finished before %d cycles" at
+
+let exit_pair = Alcotest.(pair string (testable Os.Kernel.pp_exit ( = )))
+
+let test_kill_and_resume_equals_straight_run () =
+  (* The uninterrupted run: checkpoint once mid-flight, keep going. *)
+  let straight = fresh_system () in
+  let image, _ = run_capturing_at straight ~at:150 in
+  (* The killed run: same program, same checkpoint — then the process
+     dies and a fresh system resumes from the image.  Nothing after
+     the capture point is shared with the straight run. *)
+  let resumed = fresh_system () in
+  (match Os.Snapshot.restore resumed image with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "restore: %a" Os.Snapshot.pp_error e);
+  let (_ : (string * Os.Kernel.exit) list) = Os.System.run resumed in
+  Alcotest.(check (list (pair string int)))
+    "counters identical (minus session-local)" (comparable_fields straight)
+    (comparable_fields resumed);
+  Alcotest.(check (list exit_pair))
+    "completion log identical"
+    (Os.System.finished_log straight)
+    (Os.System.finished_log resumed);
+  Alcotest.(check (list (pair int int)))
+    "memory identical" (memory_words straight) (memory_words resumed);
+  Alcotest.(check (list (pair string string)))
+    "device output identical" (device_outputs straight)
+    (device_outputs resumed);
+  Alcotest.(check int) "resumed run counted its restore" 1
+    (Trace.Counters.restores (counters resumed));
+  Alcotest.(check int) "straight run restored nothing" 0
+    (Trace.Counters.restores (counters straight))
+
+let test_capture_is_deterministic () =
+  let a = fresh_system () in
+  let b = fresh_system () in
+  let img_a, _ = run_capturing_at a ~at:150 in
+  let img_b, _ = run_capturing_at b ~at:150 in
+  Alcotest.(check bool) "identical runs capture identical bytes" true
+    (String.equal img_a img_b)
+
+let check_error what expected image =
+  let sys = fresh_system () in
+  match Os.Snapshot.restore sys image with
+  | Ok () -> Alcotest.failf "%s: restore accepted a damaged image" what
+  | Error e ->
+      Alcotest.(check string)
+        what expected
+        (Format.asprintf "%a" Os.Snapshot.pp_error e)
+
+let test_damaged_images_are_rejected () =
+  let sys = fresh_system () in
+  let image, _ = run_capturing_at sys ~at:150 in
+  check_error "bad magic" "not a snapshot image (bad magic)"
+    ("XXXXXXXX" ^ String.sub image 8 (String.length image - 8));
+  (let b = Bytes.of_string image in
+   (* Version is the second header word; the checksum covers only the
+      payload, so this must surface as Bad_version, not checksum. *)
+   Bytes.set b 15 '\x2a';
+   check_error "version bump" "snapshot format version 42, this build reads 1"
+     (Bytes.to_string b));
+  check_error "truncated header" "snapshot image is truncated"
+    (String.sub image 0 20);
+  check_error "truncated payload" "snapshot image is truncated"
+    (String.sub image 0 (String.length image - 1));
+  (let b = Bytes.of_string image in
+   Bytes.set b 100 (Char.chr (Char.code (Bytes.get b 100) lxor 1));
+   check_error "flipped payload byte" "snapshot payload fails its checksum"
+     (Bytes.to_string b));
+  (* A different program shape: respawn with different process work. *)
+  let other = Os.System.create ~store:(build_store ~n1:3 ~n2:2 ()) () in
+  (match
+     Os.System.spawn other ~pname:"solo" ~user:"alice"
+       ~segments:[ "bump_a"; "counter" ]
+       ~start:("bump_a", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn solo: %s" e);
+  match Os.Snapshot.restore other image with
+  | Error (Os.Snapshot.Shape_mismatch _) -> ()
+  | Error e ->
+      Alcotest.failf "expected shape mismatch, got %a" Os.Snapshot.pp_error e
+  | Ok () -> Alcotest.fail "restore accepted an image for another system"
+
+let test_audit_rejects_tampered_tables () =
+  (* Widen an SDW behind the kernel's back, then checkpoint: the image
+     is whole (checksum and self-check pass) but the restore audit
+     must refuse it, because the stored SDW no longer derives from the
+     kernel's access tables. *)
+  let sys = fresh_system () in
+  let image, _ =
+    let image = ref None in
+    let on_slice () =
+      if !image = None && cycles sys >= 150 then begin
+        let e = List.hd (Os.System.entries sys) in
+        let p = e.Os.System.process in
+        let m = Os.System.machine sys in
+        let dbr = p.Os.Process.descsegs.(0) in
+        let segno =
+          match Os.Process.segno_of p "bump_a" with
+          | Some s -> s
+          | None -> Alcotest.fail "bump_a not loaded"
+        in
+        (match Hw.Descriptor.fetch_sdw_silent m.Isa.Machine.mem dbr ~segno with
+        | Ok sdw ->
+            Hw.Descriptor.store_sdw m.Isa.Machine.mem dbr ~segno
+              (Hw.Sdw.v ~paged:sdw.Hw.Sdw.paged ~base:sdw.Hw.Sdw.base
+                 ~bound:sdw.Hw.Sdw.bound
+                 {
+                   sdw.Hw.Sdw.access with
+                   Rings.Access.write = true;
+                   Rings.Access.read = true;
+                 })
+        | Error _ -> Alcotest.fail "SDW unreadable");
+        image := Some (Os.Snapshot.capture sys)
+      end
+    in
+    let exits = Os.System.run ~on_slice sys in
+    (Option.get !image, exits)
+  in
+  let resumed = fresh_system () in
+  match Os.Snapshot.restore resumed image with
+  | Error (Os.Snapshot.Audit_rejected problems) ->
+      Alcotest.(check bool) "at least one audit finding" true (problems <> []);
+      Alcotest.(check int) "rejection counted" 1
+        (Trace.Counters.restore_audit_rejections (counters resumed))
+  | Error e ->
+      Alcotest.failf "expected audit rejection, got %a" Os.Snapshot.pp_error e
+  | Ok () -> Alcotest.fail "audit accepted a tampered image"
+
+let test_watchdog_quarantines_stuck_process () =
+  let store = build_store ~n1:5 ~n2:5 () in
+  Os.Store.add_source store ~name:"spin" ~acl:(wildcard proc4)
+    "start:  tra start\n";
+  let sys = Os.System.create ~store () in
+  spawn_pair sys;
+  (match
+     Os.System.spawn sys ~pname:"stuck" ~user:"carol" ~segments:[ "spin" ]
+       ~start:("spin", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn stuck: %s" e);
+  let exits = Os.System.run ~watchdog:600 sys in
+  (match List.assoc_opt "stuck" exits with
+  | Some (Os.Kernel.Quarantined (Rings.Fault.Watchdog_timeout { budget })) ->
+      Alcotest.(check int) "carries the budget" 600 budget
+  | Some e ->
+      Alcotest.failf "expected watchdog quarantine, got %a" Os.Kernel.pp_exit e
+  | None -> Alcotest.fail "stuck process never finished");
+  Alcotest.(check (option exit_pair))
+    "the bystanders still exit cleanly"
+    (Some ("pa", Os.Kernel.Exited))
+    (List.find_opt (fun (n, _) -> n = "pa") exits);
+  Alcotest.(check int) "watchdog_tripped counted" 1
+    (Trace.Counters.watchdog_tripped (counters sys))
+
+let test_watchdog_off_by_default () =
+  let store = build_store ~n1:5 ~n2:5 () in
+  Os.Store.add_source store ~name:"spin" ~acl:(wildcard proc4)
+    "start:  tra start\n";
+  let sys = Os.System.create ~store () in
+  (match
+     Os.System.spawn sys ~pname:"stuck" ~user:"carol" ~segments:[ "spin" ]
+       ~start:("spin", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn stuck: %s" e);
+  let exits = Os.System.run ~max_slices:50 sys in
+  Alcotest.(check (option exit_pair))
+    "a legitimate-looking loop only runs out of budget"
+    (Some ("stuck", Os.Kernel.Out_of_budget))
+    (List.find_opt (fun (n, _) -> n = "stuck") exits);
+  Alcotest.(check int) "no watchdog trip" 0
+    (Trace.Counters.watchdog_tripped (counters sys))
+
+let test_journal_replay_and_divergence () =
+  (* The dead run: two transfers, both journalled to the sink. *)
+  let sink = ref [] in
+  let dead = Hw.Journal.create () in
+  Hw.Journal.set_sink dead (fun r -> sink := r :: !sink);
+  (match Hw.Journal.append dead [ 104; 105 ] with
+  | Hw.Journal.Emitted -> ()
+  | _ -> Alcotest.fail "first transfer should emit");
+  (match Hw.Journal.append dead [ 33 ] with
+  | Hw.Journal.Emitted -> ()
+  | _ -> Alcotest.fail "second transfer should emit");
+  Alcotest.(check int) "two records durable" 2 (List.length !sink);
+  (* The resumed run: preload both records, replay from seq 0. *)
+  let resumed = Hw.Journal.create () in
+  let skips = ref 0 in
+  Hw.Journal.set_on_skip resumed (fun () -> incr skips);
+  List.iter (Hw.Journal.preload resumed) (List.rev !sink);
+  Alcotest.(check int) "replay watermark" 1 (Hw.Journal.replay_high resumed);
+  (match Hw.Journal.append resumed [ 104; 105 ] with
+  | Hw.Journal.Replayed -> ()
+  | _ -> Alcotest.fail "identical replay should be skipped");
+  Alcotest.(check int) "skip counted" 1 !skips;
+  (match Hw.Journal.append resumed [ 99 ] with
+  | Hw.Journal.Diverged _ -> ()
+  | _ -> Alcotest.fail "different codes must diverge");
+  Alcotest.(check bool) "divergence latched" true
+    (Hw.Journal.divergence resumed <> None);
+  (* Past the watermark, fresh output emits again. *)
+  let emitted = ref 0 in
+  Hw.Journal.set_sink resumed (fun _ -> incr emitted);
+  (match Hw.Journal.append resumed [ 46 ] with
+  | Hw.Journal.Emitted -> ()
+  | _ -> Alcotest.fail "post-watermark transfer should emit");
+  Alcotest.(check int) "sink saw it" 1 !emitted
+
+let test_journal_line_roundtrip () =
+  let record = { Hw.Journal.seq = 7; codes = [ 114; 105; 110 ] } in
+  let line = Hw.Journal.to_line ~pname:"printer" record in
+  (match Hw.Journal.of_line line with
+  | Ok (pname, r) ->
+      Alcotest.(check string) "pname" "printer" pname;
+      Alcotest.(check int) "seq" 7 r.Hw.Journal.seq;
+      Alcotest.(check (list int)) "codes" [ 114; 105; 110 ] r.Hw.Journal.codes
+  | Error e -> Alcotest.failf "roundtrip: %s" e);
+  (match Hw.Journal.of_line "printer notanumber 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed seq accepted");
+  match Hw.Journal.of_line "lonely" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short line accepted"
+
+let suite =
+  [
+    ( "snapshot",
+      [
+        Alcotest.test_case "kill-and-resume equals the straight run" `Quick
+          test_kill_and_resume_equals_straight_run;
+        Alcotest.test_case "capture is deterministic" `Quick
+          test_capture_is_deterministic;
+        Alcotest.test_case "damaged images are rejected with typed errors"
+          `Quick test_damaged_images_are_rejected;
+        Alcotest.test_case "restore audit rejects tampered kernel tables"
+          `Quick test_audit_rejects_tampered_tables;
+        Alcotest.test_case "watchdog quarantines a stuck process" `Quick
+          test_watchdog_quarantines_stuck_process;
+        Alcotest.test_case "watchdog is off by default" `Quick
+          test_watchdog_off_by_default;
+        Alcotest.test_case "journal replays without re-emitting" `Quick
+          test_journal_replay_and_divergence;
+        Alcotest.test_case "journal line format roundtrips" `Quick
+          test_journal_line_roundtrip;
+      ] );
+  ]
