@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke examples doc clean
+.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke serve-smoke examples doc clean
 
 all:
 	dune build @all
@@ -13,6 +13,7 @@ test:
 	$(MAKE) trace-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) snapshot-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 
 bench:
@@ -136,6 +137,40 @@ snapshot-smoke:
 	  && diff /tmp/snapshot_smoke/ibase.metrics.masked /tmp/snapshot_smoke/ires.metrics.masked \
 	  || { echo "snapshot-smoke: resume under injection DIFFERS"; exit 1; }
 	@echo "snapshot-smoke: kill-and-resume byte-identical at 3 kill points (+injection)"
+
+# Serving-fleet determinism, two ways.  First, the same 4-shard fleet
+# run twice must produce byte-identical stdout and JSON report — the
+# dispatcher's Domain interleaving must never leak into the output.
+# Second, the report's "fleet" section (per-request counters, latency
+# distribution, ring attribution) must be byte-identical between a
+# 2-shard and a 4-shard fleet on the same seed: an outcome may not
+# depend on which shard served it.  queue_cap is raised so nothing is
+# shed — a shed request would legitimately change the outcome set.
+serve-smoke:
+	dune build bin/ringsim.exe bin/jsoncheck.exe
+	@rm -rf /tmp/serve_smoke && mkdir -p /tmp/serve_smoke
+	@for run in a b; do \
+	  _build/default/bin/ringsim.exe serve --shards 4 --requests 200 --seed 7 \
+	    --queue-cap 256 --report-json /tmp/serve_smoke/s4_$$run.json \
+	    > /tmp/serve_smoke/s4_$$run.out \
+	    || { echo "serve-smoke: 4-shard fleet run failed"; exit 1; }; \
+	done
+	_build/default/bin/jsoncheck.exe /tmp/serve_smoke/s4_a.json
+	@for f in json out; do \
+	  diff /tmp/serve_smoke/s4_a.$$f /tmp/serve_smoke/s4_b.$$f \
+	    || { echo "serve-smoke: $$f output DIFFERS between runs"; exit 1; }; \
+	done
+	@_build/default/bin/ringsim.exe serve --shards 2 --requests 200 --seed 7 \
+	  --queue-cap 256 --report-json /tmp/serve_smoke/s2.json \
+	  > /tmp/serve_smoke/s2.out \
+	  || { echo "serve-smoke: 2-shard fleet run failed"; exit 1; }
+	@sed -n '/"fleet"/,/"dispatch"/p' /tmp/serve_smoke/s2.json \
+	  > /tmp/serve_smoke/fleet2
+	@sed -n '/"fleet"/,/"dispatch"/p' /tmp/serve_smoke/s4_a.json \
+	  > /tmp/serve_smoke/fleet4
+	@diff /tmp/serve_smoke/fleet2 /tmp/serve_smoke/fleet4 \
+	  || { echo "serve-smoke: fleet section depends on the shard count"; exit 1; }
+	@echo "serve-smoke: fleet reports deterministic and shard-count invariant"
 
 examples:
 	@for e in quickstart protected_subsystem layered_supervisor debug_ring \

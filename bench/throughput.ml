@@ -319,8 +319,55 @@ let run_snapshot_overhead () =
       float_of_int (Trace.Counters.instructions cc) /. ck_dt;
   }
 
+(* The serving fleet at 1, 2 and 4 shards on the same workload.
+   Throughput is reported in MODELED time (fleet makespan: the sum
+   over dispatch windows of the slowest shard's busy cycles), because
+   that is what the sharding actually divides; host wall-clock rides
+   along as auxiliary data — on a single-core host the domains
+   time-slice and wall-clock shows no speedup. *)
+type serving_sample = {
+  sv_shards : int;
+  sv_completed : int;
+  sv_makespan : int;
+  sv_rps : float;  (* requests per modeled second, 1 cycle = 1us *)
+  sv_p50 : int;
+  sv_p99 : int;
+  sv_host_seconds : float;
+}
+
+let serving_requests = 200
+let serving_seed = 7
+
+let run_serving_fleet ~shards =
+  let reqs =
+    Serve.Workload.(
+      generate ~mix:standard_mix ~seed:serving_seed ~requests:serving_requests)
+  in
+  (* queue_cap high enough that nothing is shed: shedding would make
+     the completed set depend on the shard count and the scaling
+     numbers incomparable. *)
+  let cfg =
+    { (Serve.Dispatcher.default_config ~shards) with queue_cap = 256 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let fleet, outcomes, stats = Serve.Dispatcher.run cfg reqs in
+  let dt = Unix.gettimeofday () -. t0 in
+  let agg = Serve.Aggregate.build fleet outcomes stats in
+  if stats.Serve.Dispatcher.shed > 0 then
+    failwith "serving bench: requests shed; raise queue_cap";
+  let h = agg.Serve.Aggregate.fleet.Serve.Aggregate.latency in
+  {
+    sv_shards = shards;
+    sv_completed = stats.Serve.Dispatcher.completed;
+    sv_makespan = stats.Serve.Dispatcher.makespan;
+    sv_rps = Serve.Aggregate.requests_per_modeled_sec agg;
+    sv_p50 = Trace.Histogram.percentile h 50.0;
+    sv_p99 = Trace.Histogram.percentile h 99.0;
+    sv_host_seconds = dt;
+  }
+
 let json_of_samples samples span_samples ~traced ~untraced ~idle
-    ~(chaos : Os.Chaos.report) ~snap =
+    ~(chaos : Os.Chaos.report) ~snap ~serving =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"workloads\": [\n";
   List.iteri
@@ -393,12 +440,33 @@ let json_of_samples samples span_samples ~traced ~untraced ~idle
         \"seconds_per_capture\": %.6f, \"modeled_cycles_identical\": %b, \
         \"instructions_per_sec_plain\": %.0f, \
         \"instructions_per_sec_checkpointed\": %.0f, \"overhead_ratio\": \
-        %.3f}\n"
+        %.3f},\n"
        snap.sn_workload snap.sn_image_bytes snap.sn_captures
        snap.sn_capture_seconds
        (snap.sn_capture_seconds /. float_of_int snap.sn_captures)
        snap.sn_parity snap.sn_plain_ips snap.sn_ckpt_ips
        (snap.sn_plain_ips /. snap.sn_ckpt_ips));
+  let base = List.find (fun s -> s.sv_shards = 1) serving in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"serving\": {\"mix\": \"standard\", \"requests\": %d, \"seed\": \
+        %d, \"samples\": [\n"
+       serving_requests serving_seed);
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"shards\": %d, \"completed\": %d, \"makespan_cycles\": %d, \
+            \"requests_per_modeled_sec\": %.2f, \"p50_cycles\": %d, \
+            \"p99_cycles\": %d, \"modeled_speedup\": %.2f, \
+            \"host_seconds\": %.6f}"
+           s.sv_shards s.sv_completed s.sv_makespan s.sv_rps s.sv_p50
+           s.sv_p99
+           (float_of_int base.sv_makespan /. float_of_int s.sv_makespan)
+           s.sv_host_seconds))
+    serving;
+  Buffer.add_string buf "\n  ]}\n";
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -522,9 +590,54 @@ let throughput () =
     snap.sn_workload snap.sn_captures snap.sn_image_bytes
     (1e6 *. snap.sn_capture_seconds /. float_of_int snap.sn_captures)
     (snap.sn_plain_ips /. snap.sn_ckpt_ips);
+  let serving = List.map (fun shards -> run_serving_fleet ~shards) [ 1; 2; 4 ] in
+  let sv_base = List.find (fun s -> s.sv_shards = 1) serving in
+  let speedup s =
+    float_of_int sv_base.sv_makespan /. float_of_int s.sv_makespan
+  in
+  let sv4 = List.find (fun s -> s.sv_shards = 4) serving in
+  if speedup sv4 < 2.0 then
+    failwith
+      (Printf.sprintf
+         "serving fleet scaled %.2fx at 4 shards (expected >= 2.0x)"
+         (speedup sv4));
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("shards", Trace.Tablefmt.Right);
+          ("completed", Trace.Tablefmt.Right);
+          ("makespan cycles", Trace.Tablefmt.Right);
+          ("req/modeled-sec", Trace.Tablefmt.Right);
+          ("p50", Trace.Tablefmt.Right);
+          ("p99", Trace.Tablefmt.Right);
+          ("speedup", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun s ->
+      Trace.Tablefmt.add_row t
+        [
+          string_of_int s.sv_shards;
+          string_of_int s.sv_completed;
+          string_of_int s.sv_makespan;
+          Printf.sprintf "%.0f" s.sv_rps;
+          string_of_int s.sv_p50;
+          string_of_int s.sv_p99;
+          Printf.sprintf "%.2fx" (speedup s);
+        ])
+    serving;
+  Trace.Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "Serving - fleet throughput in modeled time (%d requests, standard \
+          mix, seed %d)"
+         serving_requests serving_seed)
+    t;
+  print_newline ();
   let oc = open_out "BENCH_throughput.json" in
   output_string oc
     (json_of_samples samples span_samples ~traced ~untraced ~idle ~chaos
-       ~snap);
+       ~snap ~serving);
   close_out oc;
   Printf.printf "wrote BENCH_throughput.json\n"

@@ -645,6 +645,123 @@ let run_program file mode start ring trace listing dump show_map typed
                  ~base_label:l.Os.Process.name words))
           (List.rev p.Os.Process.loaded)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the sharded multi-domain serving fleet (lib/serve). *)
+
+(* --snapshot BASE persistence: one image file per service class,
+   BASE.PROGRAM.ITERATIONS.snap, so a later run can warm-boot its
+   fleet from disk instead of assembling every class again. *)
+let snapshot_file base (program, iterations) =
+  Printf.sprintf "%s.%s.%d.snap" base program iterations
+
+let load_preload base =
+  let dir = Filename.dirname base in
+  let prefix = Filename.basename base ^ "." in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun f ->
+           if
+             String.length f > String.length prefix + 5
+             && String.sub f 0 (String.length prefix) = prefix
+             && Filename.check_suffix f ".snap"
+           then
+             let mid =
+               String.sub f (String.length prefix)
+                 (String.length f - String.length prefix - 5)
+             in
+             match String.rindex_opt mid '.' with
+             | None -> None
+             | Some i ->
+                 let program = String.sub mid 0 i in
+                 int_of_string_opt
+                   (String.sub mid (i + 1) (String.length mid - i - 1))
+                 |> Option.map (fun iters ->
+                        ( (program, iters),
+                          read_file (Filename.concat dir f) ))
+           else None)
+
+let save_images base fleet =
+  let images =
+    Array.to_list fleet
+    |> List.concat_map Serve.Shard.images
+    |> List.sort_uniq compare
+  in
+  (* Shards build identical images for a class, so keep the first. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (k, img) ->
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        write_file (snapshot_file base k) img
+      end)
+    images
+
+let run_serve shards requests seed mix_name queue_cap batch_window image_cap
+    replicas imbalance snapshot inject watchdog report_json =
+  if shards < 1 then usage_error "--shards must be at least 1";
+  if requests < 0 then usage_error "--requests must be nonnegative";
+  if queue_cap < 1 then usage_error "--queue-cap must be positive";
+  if batch_window < 1 then usage_error "--batch-window must be positive";
+  if image_cap < 0 then usage_error "--image-cap must be nonnegative";
+  let mix =
+    match Serve.Workload.find_mix mix_name with
+    | Ok m -> m
+    | Error e -> usage_error e
+  in
+  let plan = Option.map resolve_plan inject in
+  let preload =
+    match snapshot with None -> [] | Some base -> load_preload base
+  in
+  let reqs = Serve.Workload.generate ~mix ~seed ~requests in
+  let cfg =
+    {
+      Serve.Dispatcher.shards;
+      queue_cap;
+      imbalance;
+      replicas;
+      batch_window;
+      image_cap;
+      watchdog;
+      inject = plan;
+      preload;
+    }
+  in
+  let fleet, outcomes, stats = Serve.Dispatcher.run cfg reqs in
+  let agg = Serve.Aggregate.build fleet outcomes stats in
+  Format.printf "%a@." Serve.Aggregate.pp agg;
+  (match report_json with
+  | None -> ()
+  | Some path ->
+      let quote s = Printf.sprintf "\"%s\"" s in
+      let opt_int = function None -> "null" | Some n -> string_of_int n in
+      let config =
+        [
+          ("mode", quote "serve");
+          ("shards", string_of_int shards);
+          ("requests", string_of_int requests);
+          ("seed", string_of_int seed);
+          ("mix", quote mix_name);
+          ("queue_cap", string_of_int queue_cap);
+          ("batch_window", string_of_int batch_window);
+          ("image_cap", string_of_int image_cap);
+          ("replicas", string_of_int replicas);
+          ("imbalance", string_of_int imbalance);
+          ("watchdog", opt_int watchdog);
+          ("inject", match inject with None -> "null" | Some s -> quote s);
+        ]
+      in
+      write_file path (Serve.Aggregate.report_json ~config agg));
+  (match snapshot with None -> () | Some base -> save_images base fleet);
+  (* Exit 1 when the run executed but degraded: a request failed, was
+     shed, or a shard had to be quarantined. *)
+  let clean =
+    stats.Serve.Dispatcher.ok = stats.Serve.Dispatcher.completed
+    && stats.Serve.Dispatcher.shed = 0
+    && stats.Serve.Dispatcher.quarantined = 0
+  in
+  exit (if clean then 0 else 1)
+
 open Cmdliner
 
 let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -758,25 +875,154 @@ let obs =
   Term.(
     const mk $ trace_out $ events_out $ metrics_out $ metrics_prom $ profile)
 
-let cmd =
-  let doc = "simulate the Schroeder-Saltzer protection-ring processor" in
+(* serve flags *)
+
+let serve_shards =
+  Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+         ~doc:"Fleet size: shard workers, each a machine on its own \
+               domain.")
+
+let serve_requests =
+  Arg.(value & opt int 200 & info [ "requests" ] ~docv:"M"
+         ~doc:"Requests to generate.")
+
+let serve_seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+         ~doc:"Workload seed; the whole run is a deterministic function \
+               of (mix, seed, requests) and the fleet flags.")
+
+let serve_mix =
+  Arg.(value & opt string "standard" & info [ "mix" ] ~docv:"NAME"
+         ~doc:"Request mix: standard, crossing or uniform.")
+
+let serve_queue_cap =
+  Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N"
+         ~doc:"Per-shard queue bound per dispatch window; requests that \
+               find every live queue full are shed and counted.")
+
+let serve_batch_window =
+  Arg.(value & opt int 4096 & info [ "batch-window" ] ~docv:"CYCLES"
+         ~doc:"Virtual cycles per dispatch window (arrival batching).")
+
+let serve_image_cap =
+  Arg.(value & opt int 8 & info [ "image-cap" ] ~docv:"N"
+         ~doc:"Boot-image LRU capacity per shard; 0 disables the cache \
+               (every request cold-boots).")
+
+let serve_replicas =
+  Arg.(value & opt int 16 & info [ "replicas" ] ~docv:"N"
+         ~doc:"Virtual points per shard on the consistent-hash ring.")
+
+let serve_imbalance =
+  Arg.(value & opt int 4 & info [ "imbalance" ] ~docv:"N"
+         ~doc:"Least-loaded override threshold: leave a request on its \
+               hash-preferred shard unless that queue exceeds the \
+               shortest live queue by more than N.")
+
+let serve_snapshot =
+  Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"BASE"
+         ~doc:"Warm-boot the fleet from BASE.PROGRAM.ITERATIONS.snap \
+               images when present (restored with full validation), and \
+               write the run's boot images back to the same files.")
+
+let serve_report_json =
+  Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
+         ~doc:"Write the aggregated fleet report as JSON: config, \
+               fleet-wide counters/latency/ring attribution, dispatch \
+               statistics and per-shard summaries.  Byte-deterministic.")
+
+let serve_watchdog =
+  Arg.(value & opt (some int) None & info [ "watchdog" ] ~docv:"N"
+         ~doc:"Per-request watchdog: quarantine a shard whose request \
+               retires N instructions without a fault, ring crossing or \
+               channel activity, redistributing its queue.")
+
+let serve_cmd =
+  let doc = "run a sharded serving fleet over the ring machines" in
   let man =
     [
+      `S Manpage.s_description;
+      `P
+        "Generates a seeded, deterministic request stream over the \
+         built-in program catalog (ring crossings under both \
+         implementations, same-ring gated calls, outward calls, \
+         argument passing, demand paging), routes it over $(b,--shards) \
+         worker machines — consistent hashing on the service class with \
+         a least-loaded override — and runs each shard's queue on its \
+         own OCaml domain.  Shards warm-boot each request from a cached \
+         checkpoint image, so steady-state serving never re-assembles a \
+         program.  Cross-shard counters, latency histograms and ring \
+         profiles are merged into one fleet report whose fleet section \
+         is independent of the shard count (see docs/SCALING.md).";
       `S Manpage.s_exit_status;
       `P
-        "$(tname) exits 0 on success; 1 when the run itself fails (a \
-         protection-invariant violation under $(b,--campaigns), or a \
-         resumed run whose device output diverges from the write-ahead \
-         journal); and 2 on usage, file, injection-plan or snapshot \
-         errors (unreadable, truncated, corrupt, version-mismatched or \
-         audit-rejected images included).";
+        "$(tname) exits 0 when every request was served and exited \
+         cleanly; 1 when the fleet ran degraded (a request failed, was \
+         shed by backpressure, or a shard was quarantined); and 2 on \
+         usage, injection-plan or snapshot errors.";
     ]
   in
-  Cmd.v (Cmd.info "ringsim" ~doc ~man)
+  Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
-      const run_program $ file $ mode $ start $ ring $ trace $ listing
-      $ dump $ show_map $ typed $ budget $ inject $ campaigns
-      $ checkpoint_every $ checkpoint_to $ restore_from $ kill_after
-      $ watchdog $ obs)
+      const run_serve $ serve_shards $ serve_requests $ serve_seed
+      $ serve_mix $ serve_queue_cap $ serve_batch_window $ serve_image_cap
+      $ serve_replicas $ serve_imbalance $ serve_snapshot $ inject
+      $ serve_watchdog $ serve_report_json)
 
-let () = exit (Cmd.eval cmd)
+let run_term =
+  Term.(
+    const run_program $ file $ mode $ start $ ring $ trace $ listing
+    $ dump $ show_map $ typed $ budget $ inject $ campaigns
+    $ checkpoint_every $ checkpoint_to $ restore_from $ kill_after
+    $ watchdog $ obs)
+
+let ringsim_doc = "simulate the Schroeder-Saltzer protection-ring processor"
+
+let ringsim_man =
+  [
+    `S Manpage.s_description;
+    `P
+      "Invoked with a program $(i,FILE), $(tname) assembles and runs \
+       it under either ring implementation (single- or multi-process, \
+       with optional fault injection, checkpoint/restore and \
+       observability exports); $(b,--campaigns) runs \
+       security-under-fault campaigns instead.  The $(b,serve) \
+       subcommand drives a sharded multi-domain serving fleet over \
+       the same machines.";
+    `S Manpage.s_exit_status;
+    `P
+      "$(tname) exits 0 on success; 1 when the run itself fails (a \
+       protection-invariant violation under $(b,--campaigns), or a \
+       resumed run whose device output diverges from the write-ahead \
+       journal); and 2 on usage, file, injection-plan or snapshot \
+       errors (unreadable, truncated, corrupt, version-mismatched or \
+       audit-rejected images included).";
+  ]
+
+let group_cmd =
+  Cmd.group ~default:run_term
+    (Cmd.info "ringsim" ~doc:ringsim_doc ~man:ringsim_man)
+    [ serve_cmd ]
+
+let legacy_cmd =
+  Cmd.v (Cmd.info "ringsim" ~doc:ringsim_doc ~man:ringsim_man) run_term
+
+(* [Cmd.group] refuses positional arguments that are not command
+   names, which would reject the original [ringsim FILE] form.
+   Dispatch by hand: the group takes the subcommand, bare
+   --help/--version and the no-argument case (so the top-level help
+   page lists COMMANDS); everything else is the classic
+   single-command CLI, positionals and all. *)
+let () =
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let grouped =
+    Array.length Sys.argv <= 1
+    ||
+    match Sys.argv.(1) with
+    | "serve" | "--version" -> true
+    | s -> starts_with "--help" s
+  in
+  exit (Cmd.eval (if grouped then group_cmd else legacy_cmd))

@@ -30,10 +30,10 @@ type ('k, 'v) t = {
 }
 
 let create ~capacity () =
-  if capacity < 1 then invalid_arg "Assoc.create: capacity < 1";
+  if capacity < 0 then invalid_arg "Assoc.create: capacity < 0";
   {
     capacity;
-    table = Hashtbl.create (min capacity 64);
+    table = Hashtbl.create (max 1 (min capacity 64));
     sentinel = None;
     hits = 0;
     misses = 0;
@@ -71,6 +71,15 @@ let find t k =
 let mem t k = Hashtbl.mem t.table k
 
 let insert t k v =
+  (* A zero-capacity cache holds nothing: the inserted pair is itself
+     the evicted one, so callers can treat "caching disabled" exactly
+     like capacity pressure (release the value, count the eviction)
+     without a special case of their own. *)
+  if t.capacity = 0 then begin
+    t.evictions <- t.evictions + 1;
+    Some (k, v)
+  end
+  else
   match Hashtbl.find_opt t.table k with
   | Some node ->
       node.value <- v;

@@ -23,7 +23,11 @@ type stats = {
 
 val create : capacity:int -> unit -> ('k, 'v) t
 (** [create ~capacity ()] is an empty cache holding at most [capacity]
-    entries.  Raises [Invalid_argument] if [capacity < 1]. *)
+    entries.  [capacity 0] is a legal degenerate instance — caching
+    disabled: every {!find} misses and every {!insert} immediately
+    "evicts" the inserted pair — so callers can tune capacity down to
+    nothing without a special case.  Raises [Invalid_argument] if
+    [capacity < 0]. *)
 
 val capacity : ('k, 'v) t -> int
 
@@ -40,7 +44,8 @@ val insert : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
 (** [insert t k v] binds [k] to [v] as most recently used, replacing
     any previous binding of [k].  When the cache is full the
     least-recently-used entry is evicted and returned (and counted),
-    so the caller can release anything keyed off it. *)
+    so the caller can release anything keyed off it.  At capacity 0
+    the inserted pair itself comes straight back as the eviction. *)
 
 val remove : ('k, 'v) t -> 'k -> bool
 (** [remove t k] drops [k]'s entry if present; returns whether one was

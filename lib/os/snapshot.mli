@@ -54,6 +54,17 @@ val capture : System.t -> string
     the live run continues from the same cold-cache state a restored
     run starts in, which is what makes kill-and-resume byte-identical. *)
 
+val warm_boot : System.t -> string -> (unit, error) result
+(** Trusted fast restore for images captured by this same process —
+    the serving fleet's per-request rewind.  Header and checksum are
+    verified and the full state applied, but the two expensive layers
+    that defend against on-disk damage ({!restore}'s re-capture
+    self-check and kernel-table audit) are skipped, and the [restores]
+    counter is left exactly as the image recorded it, so a rewound
+    machine's counters are byte-identical to the boot state and
+    per-request deltas compare cleanly.  Never pass an image from
+    outside this process here — use {!restore} for those. *)
+
 val restore : System.t -> string -> (unit, error) result
 (** Overwrite a freshly respawned system — same program file, same
     flags — with a captured image.  On success the system is

@@ -1,0 +1,280 @@
+(* Fleet-wide metric merging.  The merges are the commutative
+   operations the trace layer exports (Counters.add, Histogram.merge)
+   plus pointwise ring sums, folded over outcomes in request-id order
+   — a canonical order, so the report is byte-stable however the
+   shards interleaved. *)
+
+type shard_summary = {
+  shard_id : int;
+  served : int;
+  shard_ok : int;
+  cold_boots : int;
+  warm_boots : int;
+  busy_cycles : int;
+  image_stats : Hw.Assoc.stats;
+  shard_quarantined : bool;
+  shard_latency : Trace.Histogram.t;
+}
+
+type fleet = {
+  completed : int;
+  ok : int;
+  exits : (string * int) list;
+  per_class : ((string * int) * int) list;
+  latency : Trace.Histogram.t;
+  counters : Trace.Counters.snapshot option;
+  rings : (int * int * int) list;
+  kernel_cycles : int;
+}
+
+type t = {
+  fleet : fleet;
+  shards : shard_summary array;
+  dispatch : Dispatcher.stats;
+}
+
+let bump assoc key n =
+  match List.assoc_opt key assoc with
+  | None -> (key, n) :: assoc
+  | Some v -> (key, v + n) :: List.remove_assoc key assoc
+
+let merge_rings acc rings =
+  List.fold_left
+    (fun acc (r, c, i) ->
+      match List.assoc_opt r acc with
+      | None -> (r, (c, i)) :: acc
+      | Some (c0, i0) -> (r, (c0 + c, i0 + i)) :: List.remove_assoc r acc)
+    acc rings
+
+let build shards outcomes dispatch =
+  let latency = Trace.Histogram.create () in
+  let exits = ref [] and per_class = ref [] and rings = ref [] in
+  let counters = ref None and kernel = ref 0 and ok = ref 0 in
+  List.iter
+    (fun (o : Shard.outcome) ->
+      Trace.Histogram.observe latency o.Shard.latency;
+      if o.Shard.ok then incr ok;
+      exits := bump !exits o.Shard.exit_label 1;
+      per_class :=
+        bump !per_class
+          (o.Shard.request.Workload.program, o.Shard.request.Workload.iterations)
+          1;
+      rings := merge_rings !rings o.Shard.ring_cycles;
+      kernel := !kernel + o.Shard.kernel_cycles;
+      counters :=
+        Some
+          (match !counters with
+          | None -> o.Shard.delta
+          | Some c -> Trace.Counters.add c o.Shard.delta))
+    outcomes;
+  let fleet =
+    {
+      completed = List.length outcomes;
+      ok = !ok;
+      exits = List.sort compare !exits;
+      per_class = List.sort compare !per_class;
+      latency;
+      counters = !counters;
+      rings =
+        List.sort compare (List.map (fun (r, (c, i)) -> (r, c, i)) !rings);
+      kernel_cycles = !kernel;
+    }
+  in
+  let summaries =
+    Array.map
+      (fun s ->
+        let h = Trace.Histogram.create () in
+        let served_ok = ref 0 in
+        List.iter
+          (fun (o : Shard.outcome) ->
+            if o.Shard.shard_id = Shard.id s then begin
+              Trace.Histogram.observe h o.Shard.latency;
+              if o.Shard.ok then incr served_ok
+            end)
+          outcomes;
+        {
+          shard_id = Shard.id s;
+          served = Shard.executed s;
+          shard_ok = !served_ok;
+          cold_boots = Shard.cold_boots s;
+          warm_boots = Shard.warm_boots s;
+          busy_cycles = Shard.busy_cycles s;
+          image_stats = Shard.image_stats s;
+          shard_quarantined = Shard.quarantined s;
+          shard_latency = h;
+        })
+      shards
+  in
+  { fleet; shards = summaries; dispatch }
+
+let requests_per_modeled_sec t =
+  if t.dispatch.Dispatcher.makespan <= 0 then 0.0
+  else
+    float_of_int t.fleet.completed
+    *. 1_000_000.0
+    /. float_of_int t.dispatch.Dispatcher.makespan
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let histogram_json b h =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"mean\": %.2f, \
+        \"p50\": %d, \"p90\": %d, \"p99\": %d, \"buckets\": ["
+       (Trace.Histogram.count h) (Trace.Histogram.sum h)
+       (Trace.Histogram.min_value h)
+       (Trace.Histogram.max_value h)
+       (Trace.Histogram.mean h)
+       (Trace.Histogram.percentile h 50.0)
+       (Trace.Histogram.percentile h 90.0)
+       (Trace.Histogram.percentile h 99.0));
+  List.iteri
+    (fun i (lo, hi, n) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"lo\": %d, \"hi\": %d, \"n\": %d}" lo hi n))
+    (Trace.Histogram.nonempty_buckets h);
+  Buffer.add_string b "]}"
+
+let counters_json b = function
+  | None -> Buffer.add_string b "null"
+  | Some snap ->
+      Buffer.add_string b "{";
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (Printf.sprintf "\"%s\": %d" name v))
+        (Trace.Counters.fields snap);
+      Buffer.add_string b "}"
+
+let report_json ?(config = []) t =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  add "{\n  \"config\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then add ", ";
+      add (Printf.sprintf "\"%s\": %s" (json_escape k) v))
+    config;
+  add "},\n";
+  (* The fleet section is a function of the outcome set alone: nothing
+     here may mention shard ids, shard counts or placement, or the
+     2-shard/4-shard smoke diff breaks. *)
+  add "  \"fleet\": {\n";
+  add
+    (Printf.sprintf "    \"completed\": %d,\n    \"ok\": %d,\n"
+       t.fleet.completed t.fleet.ok);
+  add "    \"exits\": {";
+  List.iteri
+    (fun i (label, n) ->
+      if i > 0 then add ", ";
+      add (Printf.sprintf "\"%s\": %d" (json_escape label) n))
+    t.fleet.exits;
+  add "},\n    \"per_class\": {";
+  List.iteri
+    (fun i ((p, iters), n) ->
+      if i > 0 then add ", ";
+      add (Printf.sprintf "\"%s/%d\": %d" (json_escape p) iters n))
+    t.fleet.per_class;
+  add "},\n    \"latency_cycles\": ";
+  histogram_json b t.fleet.latency;
+  add ",\n    \"rings\": [";
+  List.iteri
+    (fun i (r, c, insns) ->
+      if i > 0 then add ", ";
+      add
+        (Printf.sprintf
+           "{\"ring\": %d, \"cycles\": %d, \"instructions\": %d}" r c insns))
+    t.fleet.rings;
+  add (Printf.sprintf "],\n    \"kernel_cycles\": %d,\n" t.fleet.kernel_cycles);
+  add "    \"counters\": ";
+  counters_json b t.fleet.counters;
+  add "\n  },\n";
+  add "  \"dispatch\": {\n";
+  add
+    (Printf.sprintf
+       "    \"completed\": %d,\n\
+       \    \"shed\": %d,\n\
+       \    \"redistributed\": %d,\n\
+       \    \"routed_hash\": %d,\n\
+       \    \"routed_balanced\": %d,\n\
+       \    \"batches\": %d,\n\
+       \    \"makespan_cycles\": %d,\n\
+       \    \"quarantined_shards\": %d,\n\
+       \    \"requests_per_modeled_sec\": %.2f\n"
+       t.dispatch.Dispatcher.completed t.dispatch.Dispatcher.shed
+       t.dispatch.Dispatcher.redistributed t.dispatch.Dispatcher.routed_hash
+       t.dispatch.Dispatcher.routed_balanced t.dispatch.Dispatcher.batches
+       t.dispatch.Dispatcher.makespan t.dispatch.Dispatcher.quarantined
+       (requests_per_modeled_sec t));
+  add "  },\n";
+  add "  \"shards\": [\n";
+  Array.iteri
+    (fun i s ->
+      if i > 0 then add ",\n";
+      add
+        (Printf.sprintf
+           "    {\"id\": %d, \"served\": %d, \"ok\": %d, \"cold_boots\": %d, \
+            \"warm_boots\": %d, \"busy_cycles\": %d, \"quarantined\": %b, \
+            \"image_cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": \
+            %d, \"invalidations\": %d}, \"latency_cycles\": "
+           s.shard_id s.served s.shard_ok s.cold_boots s.warm_boots
+           s.busy_cycles s.shard_quarantined s.image_stats.Hw.Assoc.hits
+           s.image_stats.Hw.Assoc.misses s.image_stats.Hw.Assoc.evictions
+           s.image_stats.Hw.Assoc.invalidations);
+      histogram_json b s.shard_latency;
+      add "}")
+    t.shards;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Human summary *)
+
+let pp ppf t =
+  let f = t.fleet and d = t.dispatch in
+  Format.fprintf ppf "@[<v>serving fleet: %d shard%s, %d window%s@,"
+    (Array.length t.shards)
+    (if Array.length t.shards = 1 then "" else "s")
+    d.Dispatcher.batches
+    (if d.Dispatcher.batches = 1 then "" else "s");
+  Format.fprintf ppf
+    "requests: %d completed (%d ok), %d shed, %d redistributed@," f.completed
+    f.ok d.Dispatcher.shed d.Dispatcher.redistributed;
+  Format.fprintf ppf
+    "routing: %d by hash, %d rebalanced; %d shard%s quarantined@,"
+    d.Dispatcher.routed_hash d.Dispatcher.routed_balanced
+    d.Dispatcher.quarantined
+    (if d.Dispatcher.quarantined = 1 then "" else "s");
+  Format.fprintf ppf
+    "latency (modeled cycles): p50 %d  p90 %d  p99 %d  max %d@,"
+    (Trace.Histogram.percentile f.latency 50.0)
+    (Trace.Histogram.percentile f.latency 90.0)
+    (Trace.Histogram.percentile f.latency 99.0)
+    (Trace.Histogram.max_value f.latency);
+  Format.fprintf ppf "makespan: %d cycles, %.2f requests/modeled-second@,"
+    d.Dispatcher.makespan
+    (requests_per_modeled_sec t);
+  Array.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  shard %d: served %d (%d ok), %d cold / %d warm boots, busy %d%s@,"
+        s.shard_id s.served s.shard_ok s.cold_boots s.warm_boots s.busy_cycles
+        (if s.shard_quarantined then "  [quarantined]" else ""))
+    t.shards;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,247 @@
+(* Routing and fleet execution.  Every routing decision reads modeled
+   state only — class hashes, queue depths, quarantine flags — and
+   each dispatch window ends in a Domain.join barrier, so the
+   (request, shard, outcome) relation is a pure function of
+   (workload, config) no matter how the host schedules the domains. *)
+
+module Route = struct
+  type ring = { points : (int64 * int) array }
+
+  (* FNV-1a 64 with a murmur3 avalanche finalizer.  Raw FNV of short
+     keys like "shard:3:0" barely diffuses — every replica of a shard
+     lands in one tight cluster and the ring degenerates — so the
+     finalizer spreads each point over the full 64-bit space.  Int64
+     because OCaml's native int is 63-bit; unsigned compares keep the
+     ring ordered. *)
+  let hash64 s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            0x100000001b3L)
+      s;
+    let mix h =
+      let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+      let h = Int64.mul h 0xff51afd7ed558ccdL in
+      let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+      let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+      Int64.logxor h (Int64.shift_right_logical h 33)
+    in
+    mix !h
+
+  let make ~shards ~replicas =
+    if shards < 1 then invalid_arg "Route.make: shards < 1";
+    if replicas < 1 then invalid_arg "Route.make: replicas < 1";
+    let points =
+      Array.init (shards * replicas) (fun i ->
+          let s = i / replicas and r = i mod replicas in
+          (hash64 (Printf.sprintf "shard:%d:%d" s r), s))
+    in
+    Array.sort
+      (fun (a, sa) (b, sb) ->
+        match Int64.unsigned_compare a b with 0 -> compare sa sb | c -> c)
+      points;
+    { points }
+
+  let klass_key (p, n) = Printf.sprintf "%s/%d" p n
+
+  (* Index of the first point at or after [h], wrapping past the top
+     of the ring to point 0. *)
+  let successor ring h =
+    let n = Array.length ring.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let ph, _ = ring.points.(mid) in
+      if Int64.unsigned_compare ph h < 0 then lo := mid + 1 else hi := mid
+    done;
+    if !lo = n then 0 else !lo
+
+  let owner ring k = snd ring.points.(successor ring (hash64 (klass_key k)))
+
+  let owner_alive ring ~alive k =
+    let n = Array.length ring.points in
+    let start = successor ring (hash64 (klass_key k)) in
+    let rec go i =
+      if i = n then None
+      else
+        let _, s = ring.points.((start + i) mod n) in
+        if alive s then Some s else go (i + 1)
+    in
+    go 0
+end
+
+type config = {
+  shards : int;
+  queue_cap : int;
+  imbalance : int;
+  replicas : int;
+  batch_window : int;
+  image_cap : int;
+  watchdog : int option;
+  inject : Hw.Inject.plan option;
+  preload : (Shard.klass * string) list;
+}
+
+let default_config ~shards =
+  {
+    shards;
+    queue_cap = 64;
+    imbalance = 4;
+    replicas = 16;
+    batch_window = 4096;
+    image_cap = 8;
+    watchdog = None;
+    inject = None;
+    preload = [];
+  }
+
+type stats = {
+  completed : int;
+  ok : int;
+  shed : int;
+  redistributed : int;
+  routed_hash : int;
+  routed_balanced : int;
+  batches : int;
+  makespan : int;
+  quarantined : int;
+}
+
+let by_id (a : Shard.outcome) (b : Shard.outcome) =
+  compare a.Shard.request.Workload.id b.Shard.request.Workload.id
+
+let req_id (r : Workload.request) = r.Workload.id
+
+let run cfg reqs =
+  if cfg.shards < 1 then invalid_arg "Dispatcher.run: shards < 1";
+  if cfg.queue_cap < 1 then invalid_arg "Dispatcher.run: queue_cap < 1";
+  if cfg.batch_window < 1 then invalid_arg "Dispatcher.run: batch_window < 1";
+  let shards =
+    Array.init cfg.shards (fun i ->
+        Shard.create ~id:i ~image_cap:cfg.image_cap ?inject:cfg.inject
+          ?watchdog:cfg.watchdog ~preload:cfg.preload ())
+  in
+  let ring = Route.make ~shards:cfg.shards ~replicas:cfg.replicas in
+  let completed = ref 0
+  and ok = ref 0
+  and shed = ref 0
+  and redistributed = ref 0
+  and routed_hash = ref 0
+  and routed_balanced = ref 0
+  and batches = ref 0
+  and makespan = ref 0 in
+  let outcomes = ref [] in
+  (* Requests still to arrive, ascending by arrival (the generator
+     emits them that way); requests bounced off a quarantined shard
+     waiting for the next window. *)
+  let pending = ref reqs and carry = ref [] in
+  let split_window w =
+    let rec go acc = function
+      | (r : Workload.request) :: rest
+        when r.Workload.arrival / cfg.batch_window = w ->
+          go (r :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    go [] !pending
+  in
+  while !pending <> [] || !carry <> [] do
+    let arrived, rest =
+      match !pending with
+      | [] -> ([], [])
+      | r :: _ -> split_window (r.Workload.arrival / cfg.batch_window)
+    in
+    pending := rest;
+    let batch = !carry @ arrived in
+    carry := [];
+    incr batches;
+    (* Route the window.  Queue depths only count this window's
+       requests: the previous window fully drained at its barrier. *)
+    let queues = Array.make cfg.shards [] in
+    let qlen = Array.make cfg.shards 0 in
+    let alive s = not (Shard.quarantined shards.(s)) in
+    List.iter
+      (fun (r : Workload.request) ->
+        match
+          Route.owner_alive ring ~alive (r.Workload.program, r.Workload.iterations)
+        with
+        | None -> incr shed
+        | Some pref ->
+            (* Least-loaded live shard, lowest id on ties.  [pref] is
+               alive, so the scan always finds something. *)
+            let best = ref pref in
+            for s = 0 to cfg.shards - 1 do
+              if alive s && qlen.(s) < qlen.(!best) then best := s
+            done;
+            let target =
+              if
+                qlen.(pref) < cfg.queue_cap
+                && qlen.(pref) - qlen.(!best) <= cfg.imbalance
+              then (
+                incr routed_hash;
+                pref)
+              else if qlen.(!best) < cfg.queue_cap then (
+                if !best = pref then incr routed_hash
+                else incr routed_balanced;
+                !best)
+              else -1
+            in
+            if target < 0 then incr shed
+            else (
+              qlen.(target) <- qlen.(target) + 1;
+              queues.(target) <- r :: queues.(target)))
+      batch;
+    (* Execute: one domain per nonempty queue, joined at the window
+       boundary.  The join is the determinism barrier — nothing reads
+       a shard's results before every shard has finished. *)
+    let work =
+      List.filter_map
+        (fun s -> if queues.(s) = [] then None else Some (s, List.rev queues.(s)))
+        (List.init cfg.shards Fun.id)
+    in
+    let doms =
+      List.map
+        (fun (s, q) ->
+          (s, Domain.spawn (fun () -> Shard.run_batch shards.(s) q)))
+        work
+    in
+    let results = List.map (fun (s, d) -> (s, Domain.join d)) doms in
+    let window_max = ref 0 in
+    List.iter
+      (fun (s, (outs, remainder)) ->
+        let busy =
+          List.fold_left (fun a (o : Shard.outcome) -> a + o.Shard.latency) 0 outs
+        in
+        if busy > !window_max then window_max := busy;
+        List.iter
+          (fun (o : Shard.outcome) ->
+            incr completed;
+            if o.Shard.ok then incr ok;
+            outcomes := o :: !outcomes)
+          outs;
+        if List.exists (fun (o : Shard.outcome) -> o.Shard.tripped) outs then
+          Shard.set_quarantined shards.(s) true;
+        redistributed := !redistributed + List.length remainder;
+        carry := !carry @ remainder)
+      results;
+    carry := List.sort (fun a b -> compare (req_id a) (req_id b)) !carry;
+    makespan := !makespan + !window_max
+  done;
+  let quarantined =
+    Array.fold_left (fun a s -> if Shard.quarantined s then a + 1 else a) 0 shards
+  in
+  ( shards,
+    List.sort by_id !outcomes,
+    {
+      completed = !completed;
+      ok = !ok;
+      shed = !shed;
+      redistributed = !redistributed;
+      routed_hash = !routed_hash;
+      routed_balanced = !routed_balanced;
+      batches = !batches;
+      makespan = !makespan;
+      quarantined;
+    } )

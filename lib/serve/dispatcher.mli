@@ -1,0 +1,86 @@
+(** Request routing and fleet execution across shard domains.
+
+    The dispatcher slices the workload's virtual clock into batch
+    windows, routes each window's requests over the live shards —
+    consistent hashing on the service class so warm boot images stay
+    hot, with a least-loaded override when the hash leaves a shard too
+    far behind — and runs every shard's queue on its own OCaml domain,
+    joining them all at the window boundary.
+
+    Determinism: routing reads only modeled state (class hashes, queue
+    lengths, quarantine flags), every queue is served in order by a
+    deterministic shard, and the window join is a barrier, so the set
+    of (request, shard, outcome) triples — and therefore the
+    aggregated report — is a pure function of (workload, config),
+    whatever the host's domain interleaving.  See docs/SCALING.md.
+
+    Backpressure is loss, not blocking: queues are bounded and a
+    request that finds every live queue full is shed and counted.
+    When a request trips quarantine (fault budget or watchdog), its
+    shard stops, is marked quarantined, and the unserved remainder of
+    its queue is redistributed over the surviving shards in the next
+    window. *)
+
+module Route : sig
+  (** The consistent-hash ring, exposed for tests: pure functions of
+      the shard count and replica count. *)
+
+  type ring
+
+  val hash64 : string -> int64
+  (** FNV-1a 64 of a key. *)
+
+  val make : shards:int -> replicas:int -> ring
+  (** [replicas] virtual points per shard. *)
+
+  val owner : ring -> Shard.klass -> int
+  (** The shard whose point follows the class's hash (wrapping). *)
+
+  val owner_alive : ring -> alive:(int -> bool) -> Shard.klass -> int option
+  (** Like {!owner}, but walking past points of dead shards; [None]
+      when no shard is alive. *)
+end
+
+type config = {
+  shards : int;  (** Fleet size; must be >= 1. *)
+  queue_cap : int;  (** Per-shard, per-window queue bound. *)
+  imbalance : int;
+      (** Least-loaded override threshold: the hash-preferred shard is
+          overridden when its queue exceeds the shortest live queue by
+          more than this. *)
+  replicas : int;  (** Virtual ring points per shard. *)
+  batch_window : int;  (** Virtual cycles per dispatch window. *)
+  image_cap : int;  (** Boot-image cache capacity per shard. *)
+  watchdog : int option;  (** Per-run watchdog budget for every shard. *)
+  inject : Hw.Inject.plan option;  (** Fault plan attached to every shard. *)
+  preload : (Shard.klass * string) list;
+      (** Externally captured boot images ([--snapshot]). *)
+}
+
+val default_config : shards:int -> config
+(** [queue_cap 64], [imbalance 4], [replicas 16], [batch_window 4096],
+    [image_cap 8], no watchdog, no injection, no preload. *)
+
+type stats = {
+  completed : int;  (** Requests served to an exit. *)
+  ok : int;  (** Of those, how many exited cleanly. *)
+  shed : int;  (** Dropped: every live queue full, or no shard live. *)
+  redistributed : int;
+      (** Requests re-queued after their shard was quarantined. *)
+  routed_hash : int;  (** Requests placed on their hash-preferred shard. *)
+  routed_balanced : int;  (** Requests moved by the least-loaded override. *)
+  batches : int;  (** Dispatch windows executed. *)
+  makespan : int;
+      (** Modeled fleet time: the sum over windows of the slowest
+          shard's busy cycles in that window — what wall-clock would
+          be if each shard were a real machine. *)
+  quarantined : int;  (** Shards quarantined by the end of the run. *)
+}
+
+val run :
+  config -> Workload.request list -> Shard.t array * Shard.outcome list * stats
+(** Execute the whole workload.  Outcomes come back sorted by request
+    id (shed requests are absent).  The shard array is returned for
+    per-shard reporting and image persistence.  Raises
+    [Invalid_argument] on a config with [shards < 1], and [Failure]
+    on a catalog/assembly defect (unknown program, bad image). *)

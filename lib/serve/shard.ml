@@ -1,0 +1,356 @@
+(* One worker of the serving fleet.  The shard keeps a bounded LRU of
+   booted machines keyed by service class; serving a cached class is a
+   warm boot (rewind the machine to its boot image), serving a new one
+   is a cold boot (assemble, spawn, capture).  Nothing here reads host
+   time or host randomness, so an outcome depends only on the class
+   and the injection plan — not on which shard, domain or queue
+   position served it. *)
+
+type klass = string * int
+
+type outcome = {
+  request : Workload.request;
+  shard_id : int;
+  exit_label : string;
+  ok : bool;
+  latency : int;
+  delta : Trace.Counters.snapshot;
+  ring_cycles : (int * int * int) list;
+  kernel_cycles : int;
+  tripped : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Program catalog *)
+
+type prog = {
+  p_mode : Isa.Machine.mode;
+  p_paged : bool;
+  p_ring : int;
+  p_start : string;
+  p_sources : int -> (string * Os.Acl.entry list * string) list;
+}
+
+let acl_all access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+(* The same caller/gated-service shape as Os.Scenario.crossing, spelt
+   out here because the shard needs the sources (to feed its own
+   Store), not a booted Process. *)
+let crossing_sources ~caller_ring ~callee_ring ?callable_from
+    ~with_argument iterations =
+  let callable_from =
+    match callable_from with
+    | Some r -> r
+    | None -> max caller_ring callee_ring
+  in
+  let arg_symbol = if with_argument then Some "data$word0" else None in
+  let r_data = max caller_ring callee_ring in
+  [
+    ( "caller",
+      acl_all
+        (Rings.Access.procedure_segment ~execute_in:caller_ring
+           ~callable_from:caller_ring ()),
+      Os.Scenario.caller_source ?arg_symbol ~callee_link:"service$entry"
+        ~iterations () );
+    ( "service",
+      acl_all
+        (Rings.Access.procedure_segment ~execute_in:callee_ring
+           ~callable_from ()),
+      Os.Scenario.callee_source ~touch_argument:with_argument () );
+  ]
+  @
+  if with_argument then
+    [
+      ( "data",
+        acl_all
+          (Rings.Access.data_segment ~writable_to:r_data ~readable_to:r_data
+             ()),
+        "word0:  .word 7\n" );
+    ]
+  else []
+
+(* A gateless compute loop: retires instructions without ever
+   faulting, crossing or touching a channel, so it is exactly what the
+   run watchdog quarantines.  Not part of any default mix; the
+   quarantine tests inject it deliberately. *)
+let spin_sources iterations =
+  [
+    ( "spin",
+      acl_all
+        (Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()),
+      Printf.sprintf
+        "start:  lda =%d\nloop:   sba =1\n        tnz loop\n        mme =2\n"
+        iterations );
+  ]
+
+let catalog =
+  [
+    ( "crossing-hw",
+      {
+        p_mode = Isa.Machine.Ring_hardware;
+        p_paged = false;
+        p_ring = 4;
+        p_start = "caller";
+        p_sources =
+          crossing_sources ~caller_ring:4 ~callee_ring:1 ~with_argument:false;
+      } );
+    ( "crossing-645",
+      {
+        p_mode = Isa.Machine.Ring_software_645;
+        p_paged = false;
+        p_ring = 4;
+        p_start = "caller";
+        p_sources =
+          crossing_sources ~caller_ring:4 ~callee_ring:1 ~with_argument:false;
+      } );
+    ( "same-ring",
+      {
+        p_mode = Isa.Machine.Ring_hardware;
+        p_paged = false;
+        p_ring = 4;
+        p_start = "caller";
+        p_sources =
+          crossing_sources ~caller_ring:4 ~callee_ring:4 ~callable_from:4
+            ~with_argument:false;
+      } );
+    ( "outward",
+      {
+        p_mode = Isa.Machine.Ring_hardware;
+        p_paged = false;
+        p_ring = 1;
+        p_start = "caller";
+        p_sources =
+          crossing_sources ~caller_ring:1 ~callee_ring:3 ~with_argument:false;
+      } );
+    ( "argcross",
+      {
+        p_mode = Isa.Machine.Ring_hardware;
+        p_paged = false;
+        p_ring = 4;
+        p_start = "caller";
+        p_sources =
+          crossing_sources ~caller_ring:4 ~callee_ring:1 ~with_argument:true;
+      } );
+    ( "paged",
+      {
+        p_mode = Isa.Machine.Ring_hardware;
+        p_paged = true;
+        p_ring = 4;
+        p_start = "caller";
+        p_sources =
+          crossing_sources ~caller_ring:4 ~callee_ring:1 ~with_argument:true;
+      } );
+    ( "spin",
+      {
+        p_mode = Isa.Machine.Ring_hardware;
+        p_paged = false;
+        p_ring = 4;
+        p_start = "spin";
+        p_sources = spin_sources;
+      } );
+  ]
+
+let programs = List.map fst catalog
+let known_program name = List.mem_assoc name catalog
+
+(* ------------------------------------------------------------------ *)
+(* Shard state *)
+
+type slot = {
+  sys : Os.System.t;
+  image : string;
+  boot : Trace.Counters.snapshot;
+  boot_rings : (int * int * int) list;
+  boot_kernel : int;
+}
+
+type t = {
+  sid : int;
+  cache : (klass, slot) Hw.Assoc.t;
+  inject : Hw.Inject.plan option;
+  watchdog : int option;
+  mutable preload : (klass * string) list;
+  mutable is_quarantined : bool;
+  mutable n_executed : int;
+  mutable busy : int;
+  mutable cold : int;
+  mutable warm : int;
+}
+
+let create ~id ?(image_cap = 8) ?inject ?watchdog ?(preload = []) () =
+  {
+    sid = id;
+    cache = Hw.Assoc.create ~capacity:image_cap ();
+    inject;
+    watchdog;
+    preload;
+    is_quarantined = false;
+    n_executed = 0;
+    busy = 0;
+    cold = 0;
+    warm = 0;
+  }
+
+let id t = t.sid
+let quarantined t = t.is_quarantined
+let set_quarantined t q = t.is_quarantined <- q
+let executed t = t.n_executed
+let busy_cycles t = t.busy
+let cold_boots t = t.cold
+let warm_boots t = t.warm
+let image_stats t = Hw.Assoc.stats t.cache
+let images t = Hw.Assoc.fold (fun k s acc -> (k, s.image) :: acc) t.cache []
+
+(* ------------------------------------------------------------------ *)
+(* Booting *)
+
+(* One 2^18-word region: a shard system holds exactly one process, and
+   the smaller core keeps the snapshot image (and thus every warm
+   boot's memory sweep) an eighth of the default machine's. *)
+let shard_mem = 1 lsl 18
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let build_system t prog ~iterations =
+  let sources = prog.p_sources iterations in
+  let store = Os.Store.create () in
+  List.iter
+    (fun (name, acl, src) -> Os.Store.add_source store ~name ~acl src)
+    sources;
+  let sys = Os.System.create ~mode:prog.p_mode ~mem_size:shard_mem ~store () in
+  match
+    Os.System.spawn sys ~paged:prog.p_paged ~pname:"req" ~user:"alice"
+      ~segments:(List.map (fun (n, _, _) -> n) sources)
+      ~start:(prog.p_start, "start") ~ring:prog.p_ring
+  with
+  | Error e -> fail "shard %d: cannot spawn %s: %s" t.sid prog.p_start e
+  | Ok entry ->
+      (match t.inject with
+      | None -> ()
+      | Some plan ->
+          let inj = Hw.Inject.create plan in
+          List.iter
+            (fun (base, len) ->
+              Hw.Inject.register_descriptor_range inj ~base ~len)
+            (Os.Process.descriptor_ranges entry.Os.System.process);
+          Isa.Machine.attach_injector (Os.System.machine sys) inj);
+      let m = Os.System.machine sys in
+      Trace.Profile.set_enabled m.Isa.Machine.profile true;
+      sys
+
+let seal_slot sys =
+  (* Capture AFTER enabling the profile and attaching the injector, so
+     both rewind with the machine.  The boot snapshot is read after the
+     capture: Snapshot.capture bumps [snapshots_written] before
+     serializing, so the live counters now equal the image's — warm
+     boot restores exactly this state and per-request deltas compare
+     against it cleanly. *)
+  let image = Os.Snapshot.capture sys in
+  let m = Os.System.machine sys in
+  {
+    sys;
+    image;
+    boot = Trace.Counters.snapshot m.Isa.Machine.counters;
+    boot_rings = Trace.Profile.per_ring m.Isa.Machine.profile;
+    boot_kernel = Trace.Profile.kernel_cycles m.Isa.Machine.profile;
+  }
+
+let cold_boot t ((program, iterations) as k) =
+  let prog =
+    match List.assoc_opt program catalog with
+    | Some p -> p
+    | None -> fail "shard %d: unknown program %s" t.sid program
+  in
+  let sys = build_system t prog ~iterations in
+  (match List.assoc_opt k t.preload with
+  | None -> ()
+  | Some image -> (
+      (* A disk image is untrusted: full checked restore, then re-seal
+         with our own capture so later warm boots stay in-process. *)
+      t.preload <- List.remove_assoc k t.preload;
+      match Os.Snapshot.restore sys image with
+      | Ok () -> ()
+      | Error e ->
+          fail "shard %d: preloaded image for %s/%d rejected: %s" t.sid
+            program iterations
+            (Format.asprintf "%a" Os.Snapshot.pp_error e)));
+  let slot = seal_slot sys in
+  t.cold <- t.cold + 1;
+  ignore (Hw.Assoc.insert t.cache k slot);
+  slot
+
+let boot t k =
+  match Hw.Assoc.find t.cache k with
+  | None -> cold_boot t k
+  | Some slot -> (
+      match Os.Snapshot.warm_boot slot.sys slot.image with
+      | Ok () ->
+          t.warm <- t.warm + 1;
+          slot
+      | Error e ->
+          fail "shard %d: warm boot failed: %s" t.sid
+            (Format.asprintf "%a" Os.Snapshot.pp_error e))
+
+(* ------------------------------------------------------------------ *)
+(* Serving *)
+
+let exit_label : Os.Kernel.exit -> string = function
+  | Os.Kernel.Halted -> "halted"
+  | Os.Kernel.Exited -> "exited"
+  | Os.Kernel.Preempted -> "preempted"
+  | Os.Kernel.Blocked -> "blocked"
+  | Os.Kernel.Terminated _ -> "terminated"
+  | Os.Kernel.Gatekeeper_error _ -> "gatekeeper-error"
+  | Os.Kernel.Out_of_budget -> "out-of-budget"
+  | Os.Kernel.Quarantined _ -> "quarantined"
+
+let ring_delta before after =
+  List.filter_map
+    (fun (r, c, i) ->
+      let c, i =
+        match List.find_opt (fun (r', _, _) -> r' = r) before with
+        | Some (_, c0, i0) -> (c - c0, i - i0)
+        | None -> (c, i)
+      in
+      if c = 0 && i = 0 then None else Some (r, c, i))
+    after
+
+let exec t (req : Workload.request) =
+  let slot = boot t (req.Workload.program, req.Workload.iterations) in
+  let exits = Os.System.run ?watchdog:t.watchdog slot.sys in
+  let exit =
+    match List.assoc_opt "req" exits with
+    | Some e -> e
+    | None -> Os.Kernel.Out_of_budget
+  in
+  let m = Os.System.machine slot.sys in
+  let after = Trace.Counters.snapshot m.Isa.Machine.counters in
+  let delta = Trace.Counters.diff ~before:slot.boot ~after in
+  let tripped =
+    (match exit with Os.Kernel.Quarantined _ -> true | _ -> false)
+    || delta.Trace.Counters.watchdog_tripped > 0
+  in
+  t.n_executed <- t.n_executed + 1;
+  t.busy <- t.busy + delta.Trace.Counters.cycles;
+  {
+    request = req;
+    shard_id = t.sid;
+    exit_label = exit_label exit;
+    ok = (exit = Os.Kernel.Exited);
+    latency = delta.Trace.Counters.cycles;
+    delta;
+    ring_cycles =
+      ring_delta slot.boot_rings (Trace.Profile.per_ring m.Isa.Machine.profile);
+    kernel_cycles =
+      Trace.Profile.kernel_cycles m.Isa.Machine.profile - slot.boot_kernel;
+    tripped;
+  }
+
+let run_batch t reqs =
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | r :: rest ->
+        let o = exec t r in
+        if o.tripped then (List.rev (o :: acc), rest) else go (o :: acc) rest
+  in
+  go [] reqs

@@ -1,0 +1,97 @@
+(** A serving shard: one worker owning one simulated ring machine at a
+    time, warm-booted from a checkpoint image between requests.
+
+    A shard serves a request by rewinding a machine to the boot image
+    of the request's service class — the [(program, iterations)] pair —
+    and running it to completion.  The first request of a class pays
+    the cold boot (assemble the program, spawn the process, capture an
+    {!Os.Snapshot} image); every later request of that class pays only
+    {!Os.Snapshot.warm_boot}, which is O(restore), not O(assemble).
+    Boot images live in a bounded {!Hw.Assoc} LRU keyed by class, so a
+    shard's memory stays bounded however many classes pass through it
+    (capacity 0 disables caching: every request cold-boots).
+
+    Because a request always starts from its class's boot image, its
+    outcome — exit, modeled-cycle latency, counter deltas, per-ring
+    profile — is a deterministic function of the class (and the
+    injection plan), independent of the shard that served it, the
+    domain it ran on, and the requests before it.  That is the
+    per-shard half of the fleet determinism contract. *)
+
+type klass = string * int
+(** A service class: [(program, iterations)]. *)
+
+type outcome = {
+  request : Workload.request;
+  shard_id : int;
+  exit_label : string;  (** Stable label, e.g. ["exited"]. *)
+  ok : bool;  (** The program ran to its exit service call. *)
+  latency : int;  (** Modeled cycles from boot image to completion. *)
+  delta : Trace.Counters.snapshot;
+      (** Counter movement attributable to this request alone. *)
+  ring_cycles : (int * int * int) list;
+      (** Per-ring [(ring, cycles, instructions)] attribution. *)
+  kernel_cycles : int;  (** Gatekeeper/supervisor attribution. *)
+  tripped : bool;
+      (** The request ended in quarantine (fault budget or watchdog):
+          the dispatcher should quarantine this shard and redistribute
+          its queue. *)
+}
+
+type t
+
+val create :
+  id:int ->
+  ?image_cap:int ->
+  ?inject:Hw.Inject.plan ->
+  ?watchdog:int ->
+  ?preload:(klass * string) list ->
+  unit ->
+  t
+(** A fresh shard.  [image_cap] bounds the boot-image cache (default
+    8; 0 disables caching).  [inject] attaches the deterministic fault
+    injector to every machine the shard boots, before its image is
+    captured, so injection state rewinds with the machine.  [watchdog]
+    is passed to {!Os.System.run} for every request.  [preload] seeds
+    the image cache from externally captured images; these are applied
+    with the fully checked {!Os.Snapshot.restore} on first use (disk
+    images are untrusted), then reused via warm boot. *)
+
+val id : t -> int
+val quarantined : t -> bool
+val set_quarantined : t -> bool -> unit
+
+val executed : t -> int
+(** Requests this shard has served (including a tripping one). *)
+
+val busy_cycles : t -> int
+(** Sum of served requests' modeled-cycle latencies — the shard's
+    virtual busy time, from which fleet makespan is computed. *)
+
+val cold_boots : t -> int
+val warm_boots : t -> int
+
+val image_stats : t -> Hw.Assoc.stats
+(** Hit/miss/eviction counters of the boot-image cache. *)
+
+val images : t -> (klass * string) list
+(** Every boot image currently cached, for persistence ([--snapshot]). *)
+
+val programs : string list
+(** The program catalog's names, each a scenario in the style of
+    [examples/programs]: ring crossings under both implementations,
+    same-ring gated calls, an outward call, argument passing, demand
+    paging, and a gateless compute spin. *)
+
+val known_program : string -> bool
+
+val exec : t -> Workload.request -> outcome
+(** Serve one request: warm- or cold-boot the class, run to
+    completion, read the deltas.  Raises [Failure] on a catalog,
+    assembly or snapshot error — a configuration defect, not a
+    serving outcome. *)
+
+val run_batch : t -> Workload.request list -> outcome list * Workload.request list
+(** Serve a queue in order.  Stops early if a request trips quarantine
+    ({!outcome.tripped}); the unserved remainder comes back for the
+    dispatcher to redistribute. *)

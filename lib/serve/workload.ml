@@ -1,0 +1,124 @@
+(* Deterministic request streams.  Everything here is a pure function
+   of (mix, seed, requests): the generator is an xorshift64* PRNG over
+   OCaml's 63-bit ints, the mix is a weighted table, and arrivals ride
+   a virtual clock — no host time anywhere, so the same triple yields
+   the same stream on every machine and every run. *)
+
+type request = {
+  id : int;
+  program : string;
+  iterations : int;
+  arrival : int;
+}
+
+type mix = {
+  mix_name : string;
+  entries : (string * int * int) list;
+  mean_gap : int;
+}
+
+(* Iteration counts are sized so a request is a few thousand modeled
+   cycles: long enough that per-request dispatch is noise, short
+   enough that a fleet of hundreds stays snappy in tests. *)
+let standard_mix =
+  {
+    mix_name = "standard";
+    entries =
+      [
+        ("crossing-hw", 40, 3);
+        ("crossing-hw", 160, 1);
+        ("crossing-645", 20, 2);
+        ("same-ring", 40, 3);
+        ("outward", 10, 1);
+        ("argcross", 20, 1);
+        ("paged", 10, 1);
+      ];
+    mean_gap = 64;
+  }
+
+let crossing_mix =
+  {
+    mix_name = "crossing";
+    entries =
+      [
+        ("crossing-hw", 40, 2);
+        ("crossing-645", 20, 1);
+        ("outward", 10, 1);
+      ];
+    mean_gap = 64;
+  }
+
+let uniform_mix =
+  {
+    mix_name = "uniform";
+    entries =
+      [
+        ("crossing-hw", 40, 1);
+        ("crossing-645", 20, 1);
+        ("same-ring", 40, 1);
+        ("outward", 10, 1);
+        ("argcross", 20, 1);
+        ("paged", 10, 1);
+      ];
+    mean_gap = 64;
+  }
+
+let mixes =
+  [
+    ("standard", standard_mix);
+    ("crossing", crossing_mix);
+    ("uniform", uniform_mix);
+  ]
+
+let find_mix name =
+  match List.assoc_opt name mixes with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown mix %s (valid: %s)" name
+           (String.concat ", " (List.map fst mixes)))
+
+(* xorshift64* reduced to OCaml's native int: the state never goes to
+   zero because the seed is mixed with a golden-ratio constant. *)
+let mix_seed seed = (seed * 0x9e3779b9) lxor 0x2545f4914f6cdd1d lor 1
+
+let next st =
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  st := x;
+  x land max_int
+
+let generate ~mix ~seed ~requests =
+  if mix.entries = [] then invalid_arg "Workload.generate: empty mix";
+  let total_weight =
+    List.fold_left
+      (fun acc (_, _, w) ->
+        if w <= 0 then invalid_arg "Workload.generate: nonpositive weight";
+        acc + w)
+      0 mix.entries
+  in
+  if mix.mean_gap < 1 then invalid_arg "Workload.generate: mean_gap < 1";
+  let st = ref (mix_seed seed) in
+  let pick () =
+    let r = next st mod total_weight in
+    let rec go r = function
+      | [] -> assert false
+      | (program, iterations, w) :: rest ->
+          if r < w then (program, iterations) else go (r - w) rest
+    in
+    go r mix.entries
+  in
+  let clock = ref 0 in
+  List.init requests (fun id ->
+      let program, iterations = pick () in
+      clock := !clock + 1 + (next st mod (2 * mix.mean_gap));
+      { id; program; iterations; arrival = !clock })
+
+let classes reqs =
+  List.sort_uniq compare
+    (List.map (fun r -> (r.program, r.iterations)) reqs)
+
+let pp_request ppf r =
+  Format.fprintf ppf "#%d %s/%d @%d" r.id r.program r.iterations r.arrival

@@ -405,6 +405,50 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     watchdog_tripped = after.watchdog_tripped - before.watchdog_tripped;
   }
 
+let add (a : snapshot) (b : snapshot) : snapshot =
+  {
+    cycles = a.cycles + b.cycles;
+    instructions = a.instructions + b.instructions;
+    memory_reads = a.memory_reads + b.memory_reads;
+    memory_writes = a.memory_writes + b.memory_writes;
+    sdw_fetches = a.sdw_fetches + b.sdw_fetches;
+    indirections = a.indirections + b.indirections;
+    traps = a.traps + b.traps;
+    calls_same_ring = a.calls_same_ring + b.calls_same_ring;
+    calls_downward = a.calls_downward + b.calls_downward;
+    calls_upward = a.calls_upward + b.calls_upward;
+    returns_same_ring = a.returns_same_ring + b.returns_same_ring;
+    returns_upward = a.returns_upward + b.returns_upward;
+    returns_downward = a.returns_downward + b.returns_downward;
+    gatekeeper_entries = a.gatekeeper_entries + b.gatekeeper_entries;
+    descriptor_switches = a.descriptor_switches + b.descriptor_switches;
+    access_violations = a.access_violations + b.access_violations;
+    ptw_fetches = a.ptw_fetches + b.ptw_fetches;
+    page_faults = a.page_faults + b.page_faults;
+    page_evictions = a.page_evictions + b.page_evictions;
+    sdw_cache_hits = a.sdw_cache_hits + b.sdw_cache_hits;
+    sdw_cache_misses = a.sdw_cache_misses + b.sdw_cache_misses;
+    sdw_cache_evictions = a.sdw_cache_evictions + b.sdw_cache_evictions;
+    ptw_tlb_hits = a.ptw_tlb_hits + b.ptw_tlb_hits;
+    ptw_tlb_misses = a.ptw_tlb_misses + b.ptw_tlb_misses;
+    ptw_tlb_evictions = a.ptw_tlb_evictions + b.ptw_tlb_evictions;
+    icache_hits = a.icache_hits + b.icache_hits;
+    icache_misses = a.icache_misses + b.icache_misses;
+    icache_evictions = a.icache_evictions + b.icache_evictions;
+    injected = a.injected + b.injected;
+    retried = a.retried + b.retried;
+    recovered = a.recovered + b.recovered;
+    quarantined = a.quarantined + b.quarantined;
+    degraded = a.degraded + b.degraded;
+    snapshots_written = a.snapshots_written + b.snapshots_written;
+    restores = a.restores + b.restores;
+    restore_audit_rejections =
+      a.restore_audit_rejections + b.restore_audit_rejections;
+    journal_replays_skipped =
+      a.journal_replays_skipped + b.journal_replays_skipped;
+    watchdog_tripped = a.watchdog_tripped + b.watchdog_tripped;
+  }
+
 (* Every snapshot field by name, in declaration order.  The metrics
    exporters iterate this so a counter added to the record shows up in
    every export format (and in the coverage test) by extending this
@@ -453,12 +497,31 @@ let fields (s : snapshot) : (string * int) list =
 
 (* Inverse of [fields]: rebuild a snapshot from [(name, value)] pairs.
    Shape-checked so a snapshot image from a different counter set is a
-   typed decode error, not a silent misread. *)
+   typed decode error, not a silent misread — and the error names the
+   offending fields, so a fleet report that meets a build with a
+   drifted counter schema says exactly which names drifted rather
+   than masking them. *)
 let of_fields (l : (string * int) list) : (snapshot, string) result =
   let zero = snapshot (create ()) in
   let expected = List.map fst (fields zero) in
   let given = List.map fst l in
-  if given <> expected then Error "counter field names do not match"
+  if given <> expected then begin
+    let missing = List.filter (fun n -> not (List.mem n given)) expected in
+    let unknown = List.filter (fun n -> not (List.mem n expected)) given in
+    let part label = function
+      | [] -> []
+      | names -> [ Printf.sprintf "%s: %s" label (String.concat ", " names) ]
+    in
+    let detail =
+      part "unknown counter fields" unknown
+      @ part "missing counter fields" missing
+      @
+      if unknown = [] && missing = [] then
+        [ "counter fields out of order or duplicated" ]
+      else []
+    in
+    Error (String.concat "; " detail)
+  end
   else
     let get name = List.assoc name l in
     Ok

@@ -218,6 +218,11 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 (** [diff ~before ~after] is the per-field difference, for measuring a
     region of execution. *)
 
+val add : snapshot -> snapshot -> snapshot
+(** [add a b] is the per-field (pointwise) sum.  Commutative and
+    associative, so folding per-shard or per-run snapshots into one
+    fleet total gives the same result in any order. *)
+
 val fields : snapshot -> (string * int) list
 (** Every snapshot field as [(name, value)], in declaration order.
     The metrics exporters and their coverage test iterate this, so a
@@ -227,6 +232,8 @@ val of_fields : (string * int) list -> (snapshot, string) result
 (** Inverse of {!fields}: rebuild a snapshot from named pairs.  The
     names must match {!fields}'s output exactly (same set, same
     order) — a mismatch is a decode error, as raised when a snapshot
-    image was written by a build with a different counter set. *)
+    image was written by a build with a different counter set.  The
+    error text names every unknown and missing field, so schema drift
+    between builds is reported, never silently dropped. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -91,6 +91,12 @@ let merge_into ~dst src =
     if src.vmax > dst.vmax then dst.vmax <- src.vmax
   end
 
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
 (* Raw state, for the checkpoint codec: every bucket count followed by
    the scalar accumulators.  [restore] is the exact inverse, so a
    dump/restore round-trip reproduces percentiles bit-for-bit. *)

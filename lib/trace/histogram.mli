@@ -48,6 +48,12 @@ val merge_into : dst:t -> t -> unit
     into [dst] (bucket-wise): aggregating per-campaign histograms into
     one fleet-wide distribution.  [src] is unchanged. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding both inputs' observations
+    (pointwise bucket sum); [a] and [b] are unchanged.  Commutative
+    and associative, so a fleet-wide fold over per-shard histograms
+    yields the same distribution whatever the shard order. *)
+
 val nonempty_buckets : t -> (int * int * int) list
 (** [(lower, upper, count)] for each occupied bucket, ascending. *)
 

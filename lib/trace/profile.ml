@@ -68,6 +68,26 @@ let per_segment t =
 
 let total_cycles t = Array.fold_left ( + ) t.kernel_cycles t.ring_cycles
 
+let merge_into ~dst src =
+  if Array.length src.ring_cycles <> Array.length dst.ring_cycles then
+    invalid_arg "Profile.merge_into: ring counts differ";
+  for r = 0 to Array.length src.ring_cycles - 1 do
+    dst.ring_cycles.(r) <- dst.ring_cycles.(r) + src.ring_cycles.(r);
+    dst.ring_instructions.(r) <-
+      dst.ring_instructions.(r) + src.ring_instructions.(r)
+  done;
+  Hashtbl.iter
+    (fun segno (c : cell) ->
+      match Hashtbl.find_opt dst.segments segno with
+      | Some d ->
+          d.cycles <- d.cycles + c.cycles;
+          d.instructions <- d.instructions + c.instructions
+      | None ->
+          Hashtbl.add dst.segments segno
+            { cycles = c.cycles; instructions = c.instructions })
+    src.segments;
+  dst.kernel_cycles <- dst.kernel_cycles + src.kernel_cycles
+
 (* Checkpoint support: ring arrays, segment cells (sorted, for a
    canonical byte encoding upstream), and the kernel bucket. *)
 let dump t =

@@ -41,6 +41,13 @@ val total_cycles : t -> int
 
 val clear : t -> unit
 
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds [src]'s ring, segment and kernel
+    buckets into [dst] pointwise (aggregating per-shard profiles into
+    one fleet profile; commutative, so shard order does not matter).
+    [src] is unchanged.  Raises [Invalid_argument] if the ring counts
+    differ. *)
+
 val dump : t -> int array * int array * (int * int * int) list * int
 (** Checkpoint support: [(ring_cycles, ring_instructions,
     per_segment, kernel_cycles)] with segments ascending by number. *)

@@ -12,9 +12,9 @@ let test_create () =
   let c : (int, string) Hw.Assoc.t = Hw.Assoc.create ~capacity:4 () in
   Alcotest.(check int) "capacity" 4 (Hw.Assoc.capacity c);
   Alcotest.(check int) "empty" 0 (Hw.Assoc.length c);
-  Alcotest.(check bool) "bad capacity rejected" true
+  Alcotest.(check bool) "negative capacity rejected" true
     (try
-       ignore (Hw.Assoc.create ~capacity:0 () : (int, int) Hw.Assoc.t);
+       ignore (Hw.Assoc.create ~capacity:(-1) () : (int, int) Hw.Assoc.t);
        false
      with Invalid_argument _ -> true)
 
@@ -90,6 +90,58 @@ let test_stats () =
   Alcotest.(check int) "reset hits" 0 s.Hw.Assoc.hits;
   Alcotest.(check int) "reset misses" 0 s.Hw.Assoc.misses
 
+(* Capacity 1: every insert of a new key must evict the sole occupant,
+   and the recency machinery must keep working with head = tail. *)
+let test_capacity_one () =
+  let c = Hw.Assoc.create ~capacity:1 () in
+  Alcotest.(check (option (pair int string)))
+    "first insert evicts nothing" None
+    (Hw.Assoc.insert c 1 "a");
+  Alcotest.(check string) "resident" "a" (find_exn c 1);
+  ignore (Hw.Assoc.insert c 1 "a2");
+  Alcotest.(check string) "replace in place" "a2" (find_exn c 1);
+  Alcotest.(check int) "still one entry" 1 (Hw.Assoc.length c);
+  Alcotest.(check (option (pair int string)))
+    "second key evicts the first"
+    (Some (1, "a2"))
+    (Hw.Assoc.insert c 2 "b");
+  Alcotest.(check (option string)) "old key gone" None (Hw.Assoc.find c 1);
+  Alcotest.(check string) "new key resident" "b" (find_exn c 2);
+  Alcotest.(check (option (pair int string)))
+    "and again" (Some (2, "b"))
+    (Hw.Assoc.insert c 3 "c");
+  Alcotest.(check (list int)) "only the newest survives" [ 3 ] (keys c);
+  Alcotest.(check bool) "remove drains to empty" true (Hw.Assoc.remove c 3);
+  Alcotest.(check int) "empty again" 0 (Hw.Assoc.length c);
+  ignore (Hw.Assoc.insert c 4 "d");
+  Alcotest.(check string) "usable after drain" "d" (find_exn c 4)
+
+(* Capacity 0: caching disabled.  Every find misses, every insert
+   bounces straight back as the eviction, and invalidation entry
+   points stay callable. *)
+let test_capacity_zero () =
+  let c = Hw.Assoc.create ~capacity:0 () in
+  Alcotest.(check int) "capacity zero" 0 (Hw.Assoc.capacity c);
+  Alcotest.(check (option string)) "find always misses" None
+    (Hw.Assoc.find c 1);
+  Alcotest.(check (option (pair int string)))
+    "insert bounces the pair back"
+    (Some (1, "one"))
+    (Hw.Assoc.insert c 1 "one");
+  Alcotest.(check int) "nothing retained" 0 (Hw.Assoc.length c);
+  Alcotest.(check (option string)) "still a miss" None (Hw.Assoc.find c 1);
+  Alcotest.(check bool) "mem is false" false (Hw.Assoc.mem c 1);
+  Alcotest.(check bool) "remove finds nothing" false (Hw.Assoc.remove c 1);
+  Alcotest.(check int) "drop_where drops nothing" 0
+    (Hw.Assoc.drop_where c (fun _ _ -> true));
+  Hw.Assoc.clear c;
+  let s = Hw.Assoc.stats c in
+  Alcotest.(check int) "both finds counted as misses" 2 s.Hw.Assoc.misses;
+  Alcotest.(check int) "no hits" 0 s.Hw.Assoc.hits;
+  Alcotest.(check int) "bounced insert counted as eviction" 1
+    s.Hw.Assoc.evictions;
+  Alcotest.(check int) "nothing to invalidate" 0 s.Hw.Assoc.invalidations
+
 (* Exercise the intrusive list against a reference model under random
    operations: contents must match an LRU simulated with plain
    lists. *)
@@ -138,6 +190,9 @@ let suite =
         Alcotest.test_case "remove/drop_where/clear" `Quick
           test_remove_drop_clear;
         Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "capacity 1 edge" `Quick test_capacity_one;
+        Alcotest.test_case "capacity 0 disables caching" `Quick
+          test_capacity_zero;
         QCheck_alcotest.to_alcotest prop_matches_reference_model;
       ] );
   ]

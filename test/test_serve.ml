@@ -1,0 +1,338 @@
+(* The serving fleet: deterministic workload generation, consistent-hash
+   routing, warm-boot shards, dispatch determinism and the
+   shard-count-invariant fleet report. *)
+
+let req_list =
+  Alcotest.testable
+    (Fmt.list Serve.Workload.pp_request)
+    (fun a b -> a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_deterministic () =
+  let gen () =
+    Serve.Workload.(generate ~mix:standard_mix ~seed:11 ~requests:50)
+  in
+  Alcotest.check req_list "same (mix, seed, n) -> same stream" (gen ()) (gen ());
+  let other =
+    Serve.Workload.(generate ~mix:standard_mix ~seed:12 ~requests:50)
+  in
+  Alcotest.(check bool) "another seed -> another stream" false (gen () = other)
+
+let test_workload_shape () =
+  let reqs =
+    Serve.Workload.(generate ~mix:standard_mix ~seed:3 ~requests:80)
+  in
+  Alcotest.(check int) "count" 80 (List.length reqs);
+  List.iteri
+    (fun i (r : Serve.Workload.request) ->
+      Alcotest.(check int) "ids are stream positions" i r.Serve.Workload.id;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a catalog program" r.Serve.Workload.program)
+        true
+        (Serve.Shard.known_program r.Serve.Workload.program))
+    reqs;
+  let arrivals = List.map (fun r -> r.Serve.Workload.arrival) reqs in
+  Alcotest.(check bool) "arrivals strictly increase" true
+    (List.for_all2 ( < ) (0 :: arrivals)
+       (arrivals @ [ max_int ]));
+  let classes = Serve.Workload.classes reqs in
+  Alcotest.(check bool) "several service classes" true
+    (List.length classes >= 3)
+
+let test_workload_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty mix rejected" true
+    (bad (fun () ->
+         Serve.Workload.generate
+           ~mix:{ Serve.Workload.mix_name = "x"; entries = []; mean_gap = 4 }
+           ~seed:0 ~requests:1));
+  Alcotest.(check bool) "nonpositive weight rejected" true
+    (bad (fun () ->
+         Serve.Workload.generate
+           ~mix:
+             {
+               Serve.Workload.mix_name = "x";
+               entries = [ ("crossing-hw", 4, 0) ];
+               mean_gap = 4;
+             }
+           ~seed:0 ~requests:1));
+  Alcotest.(check bool) "unknown mix reported" true
+    (match Serve.Workload.find_mix "no-such-mix" with
+    | Error msg ->
+        (* The error must list the valid names. *)
+        let has sub =
+          let n = String.length msg and m = String.length sub in
+          let rec go i =
+            i + m <= n && (String.sub msg i m = sub || go (i + 1))
+          in
+          go 0
+        in
+        has "standard"
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let test_route_owner () =
+  let ring = Serve.Dispatcher.Route.make ~shards:4 ~replicas:16 in
+  let k = ("crossing-hw", 40) in
+  let o = Serve.Dispatcher.Route.owner ring k in
+  Alcotest.(check bool) "owner in range" true (o >= 0 && o < 4);
+  Alcotest.(check int) "owner is stable" o
+    (Serve.Dispatcher.Route.owner ring k);
+  (* Enough distinct classes must spread over every shard, or the
+     consistent hash is not doing its job. *)
+  let owners =
+    List.sort_uniq compare
+      (List.init 64 (fun i ->
+           Serve.Dispatcher.Route.owner ring ("crossing-hw", i)))
+  in
+  Alcotest.(check int) "64 classes cover all 4 shards" 4 (List.length owners)
+
+let test_route_alive () =
+  let ring = Serve.Dispatcher.Route.make ~shards:4 ~replicas:16 in
+  let k = ("same-ring", 40) in
+  let preferred = Serve.Dispatcher.Route.owner ring k in
+  (match
+     Serve.Dispatcher.Route.owner_alive ring
+       ~alive:(fun s -> s <> preferred)
+       k
+   with
+  | None -> Alcotest.fail "three live shards, still no owner"
+  | Some s ->
+      Alcotest.(check bool) "walks past the dead preferred shard" true
+        (s <> preferred));
+  Alcotest.(check (option int))
+    "no live shard -> None" None
+    (Serve.Dispatcher.Route.owner_alive ring ~alive:(fun _ -> false) k)
+
+(* ------------------------------------------------------------------ *)
+(* Shard *)
+
+let req ~id ~program ~iterations ~arrival =
+  { Serve.Workload.id; program; iterations; arrival }
+
+let test_shard_warm_boot_equivalence () =
+  let s = Serve.Shard.create ~id:0 () in
+  let r0 = req ~id:0 ~program:"crossing-hw" ~iterations:8 ~arrival:10 in
+  let r1 = req ~id:1 ~program:"crossing-hw" ~iterations:8 ~arrival:20 in
+  let o0 = Serve.Shard.exec s r0 in
+  let o1 = Serve.Shard.exec s r1 in
+  Alcotest.(check int) "one cold boot" 1 (Serve.Shard.cold_boots s);
+  Alcotest.(check int) "one warm boot" 1 (Serve.Shard.warm_boots s);
+  Alcotest.(check bool) "both exited" true
+    (o0.Serve.Shard.ok && o1.Serve.Shard.ok);
+  Alcotest.(check int) "warm latency = cold latency" o0.Serve.Shard.latency
+    o1.Serve.Shard.latency;
+  Alcotest.(check bool) "identical counter deltas" true
+    (o0.Serve.Shard.delta = o1.Serve.Shard.delta);
+  Alcotest.(check bool) "identical ring attribution" true
+    (o0.Serve.Shard.ring_cycles = o1.Serve.Shard.ring_cycles)
+
+let test_shard_every_program () =
+  let s = Serve.Shard.create ~id:0 () in
+  List.iter
+    (fun program ->
+      let o = Serve.Shard.exec s (req ~id:0 ~program ~iterations:3 ~arrival:0) in
+      Alcotest.(check string)
+        (program ^ " exits cleanly")
+        "exited" o.Serve.Shard.exit_label;
+      Alcotest.(check bool)
+        (program ^ " costs cycles")
+        true (o.Serve.Shard.latency > 0))
+    Serve.Shard.programs
+
+let test_shard_cache_disabled () =
+  let cached = Serve.Shard.create ~id:0 ~image_cap:8 () in
+  let uncached = Serve.Shard.create ~id:1 ~image_cap:0 () in
+  let reqs =
+    List.init 4 (fun i ->
+        req ~id:i ~program:"same-ring" ~iterations:5 ~arrival:(i * 10))
+  in
+  let oc = List.map (Serve.Shard.exec cached) reqs in
+  let ou = List.map (Serve.Shard.exec uncached) reqs in
+  Alcotest.(check int) "disabled cache cold-boots every request" 4
+    (Serve.Shard.cold_boots uncached);
+  Alcotest.(check int) "enabled cache cold-boots once" 1
+    (Serve.Shard.cold_boots cached);
+  Alcotest.(check bool) "same outcomes either way" true
+    (List.map (fun (o : Serve.Shard.outcome) -> (o.Serve.Shard.latency, o.Serve.Shard.delta)) oc
+    = List.map (fun (o : Serve.Shard.outcome) -> (o.Serve.Shard.latency, o.Serve.Shard.delta)) ou)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher + Aggregate *)
+
+let run_fleet ?(shards = 2) ?(queue_cap = 256) ?watchdog reqs =
+  let cfg =
+    { (Serve.Dispatcher.default_config ~shards) with queue_cap; watchdog }
+  in
+  let fleet, outcomes, stats = Serve.Dispatcher.run cfg reqs in
+  (Serve.Aggregate.build fleet outcomes stats, outcomes, stats)
+
+let test_dispatch_deterministic () =
+  let reqs =
+    Serve.Workload.(generate ~mix:standard_mix ~seed:7 ~requests:30)
+  in
+  let report () =
+    let agg, _, _ = run_fleet ~shards:2 reqs in
+    Serve.Aggregate.report_json agg
+  in
+  Alcotest.(check string) "same fleet, same bytes" (report ()) (report ())
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let fleet_section json =
+  match (find_sub json "\"fleet\"", find_sub json "\"dispatch\"") with
+  | Some a, Some b -> String.sub json a (b - a)
+  | _ -> Alcotest.fail "report lacks fleet/dispatch sections"
+
+let test_fleet_shard_count_invariant () =
+  let reqs =
+    Serve.Workload.(generate ~mix:standard_mix ~seed:5 ~requests:30)
+  in
+  let fleet_of shards =
+    let agg, _, stats = run_fleet ~shards reqs in
+    Alcotest.(check int) "nothing shed" 0 stats.Serve.Dispatcher.shed;
+    fleet_section (Serve.Aggregate.report_json agg)
+  in
+  let f1 = fleet_of 1 in
+  Alcotest.(check string) "1 shard = 2 shards" f1 (fleet_of 2);
+  Alcotest.(check string) "1 shard = 3 shards" f1 (fleet_of 3)
+
+let test_dispatch_backpressure () =
+  (* One service class, queue bound 1: a burst in one window cannot
+     all fit, and the excess must be shed and counted — backpressure
+     is loss, never blocking. *)
+  let reqs =
+    List.init 10 (fun i ->
+        req ~id:i ~program:"same-ring" ~iterations:4 ~arrival:(10 + i))
+  in
+  let cfg =
+    { (Serve.Dispatcher.default_config ~shards:2) with queue_cap = 1 }
+  in
+  let _, outcomes, stats = Serve.Dispatcher.run cfg reqs in
+  Alcotest.(check bool) "some requests shed" true
+    (stats.Serve.Dispatcher.shed > 0);
+  Alcotest.(check int) "every request either served or shed" 10
+    (stats.Serve.Dispatcher.completed + stats.Serve.Dispatcher.shed);
+  Alcotest.(check int) "outcomes match completions"
+    stats.Serve.Dispatcher.completed (List.length outcomes)
+
+let test_quarantine_redistribution () =
+  (* A spinning request trips the run watchdog; its shard must be
+     quarantined and the rest of its queue served elsewhere. *)
+  let spin = req ~id:0 ~program:"spin" ~iterations:4000 ~arrival:1 in
+  let rest =
+    List.init 6 (fun i ->
+        req ~id:(i + 1)
+          ~program:(if i mod 2 = 0 then "crossing-hw" else "same-ring")
+          ~iterations:6
+          ~arrival:(2 + i))
+  in
+  let cfg =
+    {
+      (Serve.Dispatcher.default_config ~shards:2) with
+      queue_cap = 256;
+      watchdog = Some 500;
+    }
+  in
+  let fleet, outcomes, stats = Serve.Dispatcher.run cfg (spin :: rest) in
+  Alcotest.(check int) "one shard quarantined" 1
+    stats.Serve.Dispatcher.quarantined;
+  let spin_out =
+    List.find
+      (fun (o : Serve.Shard.outcome) ->
+        o.Serve.Shard.request.Serve.Workload.id = 0)
+      outcomes
+  in
+  Alcotest.(check bool) "the spin tripped" true spin_out.Serve.Shard.tripped;
+  Alcotest.(check string) "spin exit is quarantined" "quarantined"
+    spin_out.Serve.Shard.exit_label;
+  Alcotest.(check int) "every request still served" 7
+    stats.Serve.Dispatcher.completed;
+  let live =
+    Array.to_list fleet
+    |> List.filter (fun s -> not (Serve.Shard.quarantined s))
+  in
+  Alcotest.(check int) "one shard survives" 1 (List.length live);
+  List.iter
+    (fun (o : Serve.Shard.outcome) ->
+      if o.Serve.Shard.request.Serve.Workload.id > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "request %d ok"
+             o.Serve.Shard.request.Serve.Workload.id)
+          true o.Serve.Shard.ok)
+    outcomes
+
+let test_aggregate_merges () =
+  let reqs =
+    Serve.Workload.(generate ~mix:standard_mix ~seed:9 ~requests:20)
+  in
+  let agg, outcomes, _ = run_fleet ~shards:2 reqs in
+  let f = agg.Serve.Aggregate.fleet in
+  Alcotest.(check int) "fleet completed = outcomes"
+    (List.length outcomes) f.Serve.Aggregate.completed;
+  Alcotest.(check int) "latency histogram holds every request"
+    (List.length outcomes)
+    (Trace.Histogram.count f.Serve.Aggregate.latency);
+  (* The fleet counter total must equal the hand-folded sum. *)
+  (match (f.Serve.Aggregate.counters, outcomes) with
+  | Some total, o :: rest ->
+      let expect =
+        List.fold_left
+          (fun acc (o : Serve.Shard.outcome) ->
+            Trace.Counters.add acc o.Serve.Shard.delta)
+          o.Serve.Shard.delta rest
+      in
+      Alcotest.(check bool) "counters are the pointwise sum" true
+        (total = expect)
+  | _ -> Alcotest.fail "no requests completed");
+  (* Per-shard served counts must add up to the fleet. *)
+  let shard_sum =
+    Array.fold_left
+      (fun a s -> a + s.Serve.Aggregate.served)
+      0 agg.Serve.Aggregate.shards
+  in
+  Alcotest.(check int) "shards account for every request"
+    f.Serve.Aggregate.completed shard_sum;
+  Alcotest.(check bool) "throughput positive" true
+    (Serve.Aggregate.requests_per_modeled_sec agg > 0.0)
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "workload: deterministic" `Quick
+          test_workload_deterministic;
+        Alcotest.test_case "workload: shape" `Quick test_workload_shape;
+        Alcotest.test_case "workload: validation" `Quick
+          test_workload_validation;
+        Alcotest.test_case "route: owner" `Quick test_route_owner;
+        Alcotest.test_case "route: liveness walk" `Quick test_route_alive;
+        Alcotest.test_case "shard: warm boot equivalence" `Quick
+          test_shard_warm_boot_equivalence;
+        Alcotest.test_case "shard: every catalog program" `Quick
+          test_shard_every_program;
+        Alcotest.test_case "shard: cache disabled" `Quick
+          test_shard_cache_disabled;
+        Alcotest.test_case "dispatch: deterministic report" `Quick
+          test_dispatch_deterministic;
+        Alcotest.test_case "dispatch: fleet section shard-count invariant"
+          `Quick test_fleet_shard_count_invariant;
+        Alcotest.test_case "dispatch: backpressure sheds" `Quick
+          test_dispatch_backpressure;
+        Alcotest.test_case "dispatch: quarantine redistributes" `Quick
+          test_quarantine_redistribution;
+        Alcotest.test_case "aggregate: commutative merges" `Quick
+          test_aggregate_merges;
+      ] );
+  ]

@@ -303,6 +303,42 @@ let test_journal_replay_and_divergence () =
   | _ -> Alcotest.fail "post-watermark transfer should emit");
   Alcotest.(check int) "sink saw it" 1 !emitted
 
+(* [warm_boot] is the serving fleet's per-request rewind: the same
+   image applied to the same process must leave every counter —
+   including [restores], which full [restore] bumps — byte-identical
+   to the state right after capture, so per-request deltas against the
+   boot snapshot compare cleanly run after run. *)
+let test_warm_boot_rewinds_in_place () =
+  let sys = fresh_system () in
+  let image = Os.Snapshot.capture sys in
+  let boot = Trace.Counters.snapshot (counters sys) in
+  let boot_mem = memory_words sys in
+  let exits1 = Os.System.run sys in
+  let d1 =
+    Trace.Counters.diff ~before:boot
+      ~after:(Trace.Counters.snapshot (counters sys))
+  in
+  (match Os.Snapshot.warm_boot sys image with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "warm_boot: %a" Os.Snapshot.pp_error e);
+  Alcotest.(check (list (pair string int)))
+    "counters rewound exactly, session-local ones included"
+    (Trace.Counters.fields boot)
+    (Trace.Counters.fields (Trace.Counters.snapshot (counters sys)));
+  Alcotest.(check int) "warm boot did not count as a restore" 0
+    (Trace.Counters.restores (counters sys));
+  Alcotest.(check (list (pair int int)))
+    "memory rewound" boot_mem (memory_words sys);
+  let exits2 = Os.System.run sys in
+  Alcotest.(check (list exit_pair)) "re-run exits identical" exits1 exits2;
+  let d2 =
+    Trace.Counters.diff ~before:boot
+      ~after:(Trace.Counters.snapshot (counters sys))
+  in
+  Alcotest.(check (list (pair string int)))
+    "re-run delta identical to the first run's"
+    (Trace.Counters.fields d1) (Trace.Counters.fields d2)
+
 let test_journal_line_roundtrip () =
   let record = { Hw.Journal.seq = 7; codes = [ 114; 105; 110 ] } in
   let line = Hw.Journal.to_line ~pname:"printer" record in
@@ -339,5 +375,7 @@ let suite =
           test_journal_replay_and_divergence;
         Alcotest.test_case "journal line format roundtrips" `Quick
           test_journal_line_roundtrip;
+        Alcotest.test_case "warm boot rewinds in place" `Quick
+          test_warm_boot_rewinds_in_place;
       ] );
   ]

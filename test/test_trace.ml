@@ -157,6 +157,145 @@ let test_table_cell_count_checked () =
     Alcotest.fail "wrong cell count accepted"
   with Invalid_argument _ -> ()
 
+(* [add] must be the pointwise sum over every field, and commutative —
+   the fleet aggregator folds per-shard snapshots in arbitrary shard
+   order and expects one answer. *)
+let test_counters_add () =
+  let mk charges bumps =
+    let c = Trace.Counters.create () in
+    Trace.Counters.charge c charges;
+    for _ = 1 to bumps do
+      Trace.Counters.bump_instructions c;
+      Trace.Counters.bump_traps c
+    done;
+    Trace.Counters.bump_calls_downward c;
+    Trace.Counters.snapshot c
+  in
+  let a = mk 100 3 and b = mk 7 2 in
+  let s = Trace.Counters.add a b in
+  List.iter2
+    (fun (name, va) (name', vb) ->
+      Alcotest.(check string) "field order" name name';
+      let sum = List.assoc name (Trace.Counters.fields s) in
+      Alcotest.(check int) (name ^ " summed pointwise") (va + vb) sum)
+    (Trace.Counters.fields a) (Trace.Counters.fields b);
+  Alcotest.(check int) "cycles" 107 s.Trace.Counters.cycles;
+  Alcotest.(check int) "instructions" 5 s.Trace.Counters.instructions;
+  Alcotest.(check int) "calls_downward" 2 s.Trace.Counters.calls_downward;
+  Alcotest.(check (list (pair string int)))
+    "commutative"
+    (Trace.Counters.fields (Trace.Counters.add a b))
+    (Trace.Counters.fields (Trace.Counters.add b a))
+
+(* [of_fields] is the decode path for snapshot images: it must round-
+   trip [fields] exactly and, on schema drift, name every unknown and
+   missing field instead of silently misreading. *)
+let test_counters_of_fields () =
+  let c = Trace.Counters.create () in
+  Trace.Counters.charge c 42;
+  Trace.Counters.bump_traps c;
+  let s = Trace.Counters.snapshot c in
+  let fl = Trace.Counters.fields s in
+  (match Trace.Counters.of_fields fl with
+  | Ok s' ->
+      Alcotest.(check (list (pair string int)))
+        "round trip" fl (Trace.Counters.fields s')
+  | Error e -> Alcotest.failf "round trip rejected: %s" e);
+  let renamed =
+    List.map
+      (fun (n, v) -> ((if n = "traps" then "trapz" else n), v))
+      fl
+  in
+  (match Trace.Counters.of_fields renamed with
+  | Ok _ -> Alcotest.fail "renamed field accepted"
+  | Error e ->
+      Alcotest.(check string)
+        "error names both drifted fields"
+        "unknown counter fields: trapz; missing counter fields: traps" e);
+  (match Trace.Counters.of_fields (List.tl fl) with
+  | Ok _ -> Alcotest.fail "truncated field list accepted"
+  | Error e ->
+      Alcotest.(check string)
+        "error names the missing field"
+        "missing counter fields: cycles" e);
+  match Trace.Counters.of_fields (List.rev fl) with
+  | Ok _ -> Alcotest.fail "reordered field list accepted"
+  | Error e ->
+      Alcotest.(check string)
+        "reorder reported" "counter fields out of order or duplicated" e
+
+(* [merge] must hold both inputs' observations, leave the inputs
+   untouched, and be commutative — the same contract the dispatcher
+   relies on when folding per-shard latency histograms. *)
+let test_histogram_merge () =
+  let view h =
+    ( Trace.Histogram.count h,
+      Trace.Histogram.sum h,
+      Trace.Histogram.min_value h,
+      Trace.Histogram.max_value h,
+      Trace.Histogram.nonempty_buckets h )
+  in
+  let a = Trace.Histogram.create () in
+  List.iter (Trace.Histogram.observe a) [ 3; 17; 17; 200 ];
+  let b = Trace.Histogram.create () in
+  List.iter (Trace.Histogram.observe b) [ 1; 5000 ];
+  let before_a = view a and before_b = view b in
+  let m = Trace.Histogram.merge a b in
+  let all = Trace.Histogram.create () in
+  List.iter (Trace.Histogram.observe all) [ 3; 17; 17; 200; 1; 5000 ];
+  Alcotest.(check (list (triple int int int)))
+    "buckets are the union of observations"
+    (Trace.Histogram.nonempty_buckets all)
+    (Trace.Histogram.nonempty_buckets m);
+  Alcotest.(check int) "count" 6 (Trace.Histogram.count m);
+  Alcotest.(check int) "sum" 5238 (Trace.Histogram.sum m);
+  Alcotest.(check int) "min" 1 (Trace.Histogram.min_value m);
+  Alcotest.(check int) "max" 5000 (Trace.Histogram.max_value m);
+  let m' = Trace.Histogram.merge b a in
+  Alcotest.(check (list (triple int int int)))
+    "commutative"
+    (Trace.Histogram.nonempty_buckets m)
+    (Trace.Histogram.nonempty_buckets m');
+  Alcotest.(check bool) "a unchanged" true (view a = before_a);
+  Alcotest.(check bool) "b unchanged" true (view b = before_b);
+  let e = Trace.Histogram.merge (Trace.Histogram.create ()) a in
+  Alcotest.(check (list (triple int int int)))
+    "empty is the identity" (Trace.Histogram.nonempty_buckets a)
+    (Trace.Histogram.nonempty_buckets e)
+
+(* [merge_into] sums ring, segment and kernel buckets pointwise, and
+   refuses profiles with different ring counts — merging an 8-ring
+   shard into a 4-ring fleet total would misattribute cycles. *)
+let test_profile_merge_into () =
+  let dst = Trace.Profile.create ~rings:8 () in
+  Trace.Profile.set_enabled dst true;
+  Trace.Profile.attribute dst ~ring:1 ~segno:10 ~cycles:100 ~instructions:4;
+  Trace.Profile.attribute_kernel dst ~cycles:7;
+  let src = Trace.Profile.create ~rings:8 () in
+  Trace.Profile.set_enabled src true;
+  Trace.Profile.attribute src ~ring:1 ~segno:10 ~cycles:50 ~instructions:2;
+  Trace.Profile.attribute src ~ring:4 ~segno:11 ~cycles:30 ~instructions:3;
+  Trace.Profile.attribute_kernel src ~cycles:5;
+  let src_before = Trace.Profile.dump src in
+  Trace.Profile.merge_into ~dst src;
+  Alcotest.(check (list (triple int int int)))
+    "ring buckets summed"
+    [ (1, 150, 6); (4, 30, 3) ]
+    (Trace.Profile.per_ring dst);
+  Alcotest.(check (list (triple int int int)))
+    "segment buckets summed"
+    [ (10, 150, 6); (11, 30, 3) ]
+    (Trace.Profile.per_segment dst);
+  Alcotest.(check int) "kernel summed" 12 (Trace.Profile.kernel_cycles dst);
+  Alcotest.(check int) "total" 192 (Trace.Profile.total_cycles dst);
+  Alcotest.(check bool) "src unchanged" true
+    (Trace.Profile.dump src = src_before);
+  let narrow = Trace.Profile.create ~rings:4 () in
+  try
+    Trace.Profile.merge_into ~dst narrow;
+    Alcotest.fail "ring-count mismatch accepted"
+  with Invalid_argument _ -> ()
+
 let suite =
   [
     ( "trace",
@@ -178,5 +317,11 @@ let suite =
         Alcotest.test_case "table rendering" `Quick test_table_rendering;
         Alcotest.test_case "table cell count" `Quick
           test_table_cell_count_checked;
+        Alcotest.test_case "counters add" `Quick test_counters_add;
+        Alcotest.test_case "counters of_fields" `Quick
+          test_counters_of_fields;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        Alcotest.test_case "profile merge_into" `Quick
+          test_profile_merge_into;
       ] );
   ]
