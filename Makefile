@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke serve-smoke examples doc clean
+.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke serve-smoke serve-stress examples doc clean
 
 all:
 	dune build @all
@@ -14,6 +14,7 @@ test:
 	$(MAKE) chaos-smoke
 	$(MAKE) snapshot-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) serve-stress
 	$(MAKE) bench-smoke
 
 bench:
@@ -171,6 +172,53 @@ serve-smoke:
 	@diff /tmp/serve_smoke/fleet2 /tmp/serve_smoke/fleet4 \
 	  || { echo "serve-smoke: fleet section depends on the shard count"; exit 1; }
 	@echo "serve-smoke: fleet reports deterministic and shard-count invariant"
+
+# Execution-pool determinism under stress: a high-shard fleet on an
+# explicit multi-worker pool, where every run's report body (fleet,
+# dispatch and shards sections — everything after the config echo) and
+# stdout must be byte-identical (a) run-to-run with stealing on, (b)
+# between stealing on and off, and (c) between a 4-worker and a
+# 1-worker pool.  This is the tentpole contract: work stealing and
+# host scheduling may change wall-clock only, never a byte of the
+# report.
+serve-stress:
+	dune build bin/ringsim.exe bin/jsoncheck.exe
+	@rm -rf /tmp/serve_stress && mkdir -p /tmp/serve_stress
+	@for run in a b; do \
+	  _build/default/bin/ringsim.exe serve --shards 8 --requests 500 --seed 11 \
+	    --queue-cap 256 --pool 4 --steal on \
+	    --report-json /tmp/serve_stress/on_$$run.json \
+	    > /tmp/serve_stress/on_$$run.out \
+	    || { echo "serve-stress: steal-on fleet run failed"; exit 1; }; \
+	done
+	_build/default/bin/jsoncheck.exe /tmp/serve_stress/on_a.json
+	@for f in json out; do \
+	  diff /tmp/serve_stress/on_a.$$f /tmp/serve_stress/on_b.$$f \
+	    || { echo "serve-stress: $$f output DIFFERS between runs"; exit 1; }; \
+	done
+	@_build/default/bin/ringsim.exe serve --shards 8 --requests 500 --seed 11 \
+	  --queue-cap 256 --pool 4 --steal off \
+	  --report-json /tmp/serve_stress/off.json \
+	  > /tmp/serve_stress/off.out \
+	  || { echo "serve-stress: steal-off fleet run failed"; exit 1; }
+	@_build/default/bin/ringsim.exe serve --shards 8 --requests 500 --seed 11 \
+	  --queue-cap 256 --pool 1 --steal on \
+	  --report-json /tmp/serve_stress/p1.json \
+	  > /tmp/serve_stress/p1.out \
+	  || { echo "serve-stress: 1-worker fleet run failed"; exit 1; }
+	@for v in on_a off p1; do \
+	  sed -n '/"fleet"/,$$p' /tmp/serve_stress/$$v.json \
+	    > /tmp/serve_stress/$$v.body; \
+	done
+	@diff /tmp/serve_stress/on_a.body /tmp/serve_stress/off.body \
+	  || { echo "serve-stress: report depends on work stealing"; exit 1; }
+	@diff /tmp/serve_stress/on_a.out /tmp/serve_stress/off.out \
+	  || { echo "serve-stress: stdout depends on work stealing"; exit 1; }
+	@diff /tmp/serve_stress/on_a.body /tmp/serve_stress/p1.body \
+	  || { echo "serve-stress: report depends on the pool size"; exit 1; }
+	@diff /tmp/serve_stress/on_a.out /tmp/serve_stress/p1.out \
+	  || { echo "serve-stress: stdout depends on the pool size"; exit 1; }
+	@echo "serve-stress: report invariant under stealing, pool size and reruns"
 
 examples:
 	@for e in quickstart protected_subsystem layered_supervisor debug_ring \

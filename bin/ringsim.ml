@@ -698,12 +698,29 @@ let save_images base fleet =
     images
 
 let run_serve shards requests seed mix_name queue_cap batch_window image_cap
-    replicas imbalance snapshot inject watchdog report_json =
+    replicas imbalance pool steal_name snapshot inject watchdog report_json =
+  (* Every flag is validated up front: a nonsensical value is a usage
+     error (exit 2 with a message naming the flag), never a deep
+     runtime failure. *)
   if shards < 1 then usage_error "--shards must be at least 1";
   if requests < 0 then usage_error "--requests must be nonnegative";
   if queue_cap < 1 then usage_error "--queue-cap must be positive";
   if batch_window < 1 then usage_error "--batch-window must be positive";
   if image_cap < 0 then usage_error "--image-cap must be nonnegative";
+  if replicas < 1 then usage_error "--replicas must be positive";
+  if imbalance < 0 then usage_error "--imbalance must be nonnegative";
+  (match pool with
+  | Some p when p < 1 -> usage_error "--pool must be positive"
+  | _ -> ());
+  (match watchdog with
+  | Some n when n < 1 -> usage_error "--watchdog must be positive"
+  | _ -> ());
+  let steal =
+    match steal_name with
+    | "on" -> true
+    | "off" -> false
+    | s -> usage_error (Printf.sprintf "--steal must be on or off, not %S" s)
+  in
   let mix =
     match Serve.Workload.find_mix mix_name with
     | Ok m -> m
@@ -725,10 +742,15 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
       watchdog;
       inject = plan;
       preload;
+      pool;
+      steal;
     }
   in
-  let fleet, outcomes, stats = Serve.Dispatcher.run cfg reqs in
-  let agg = Serve.Aggregate.build fleet outcomes stats in
+  let r = Serve.Dispatcher.run cfg reqs in
+  let agg = Serve.Aggregate.build r.Serve.Dispatcher.models
+      r.Serve.Dispatcher.outcomes r.Serve.Dispatcher.stats
+  in
+  let stats = r.Serve.Dispatcher.stats in
   Format.printf "%a@." Serve.Aggregate.pp agg;
   (match report_json with
   | None -> ()
@@ -747,12 +769,16 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
           ("image_cap", string_of_int image_cap);
           ("replicas", string_of_int replicas);
           ("imbalance", string_of_int imbalance);
+          ("pool", opt_int pool);
+          ("steal", quote steal_name);
           ("watchdog", opt_int watchdog);
           ("inject", match inject with None -> "null" | Some s -> quote s);
         ]
       in
       write_file path (Serve.Aggregate.report_json ~config agg));
-  (match snapshot with None -> () | Some base -> save_images base fleet);
+  (match snapshot with
+  | None -> ()
+  | Some base -> save_images base r.Serve.Dispatcher.workers);
   (* Exit 1 when the run executed but degraded: a request failed, was
      shed, or a shard had to be quarantined. *)
   let clean =
@@ -937,6 +963,20 @@ let serve_watchdog =
                retires N instructions without a fault, ring crossing or \
                channel activity, redistributing its queue.")
 
+let serve_pool =
+  Arg.(value & opt (some int) None & info [ "pool" ] ~docv:"N"
+         ~doc:"Worker domains in the persistent execution pool; defaults \
+               to min(shards, host cores).  Affects host wall-clock \
+               only — the fleet report is identical for every pool \
+               size.")
+
+let serve_steal =
+  Arg.(value & opt string "on" & info [ "steal" ] ~docv:"on|off"
+         ~doc:"Work stealing: let an idle pool worker take requests \
+               from the tail of a sibling's deque.  Affects host \
+               wall-clock only — the fleet report is identical either \
+               way.")
+
 let serve_cmd =
   let doc = "run a sharded serving fleet over the ring machines" in
   let man =
@@ -948,12 +988,14 @@ let serve_cmd =
          implementations, same-ring gated calls, outward calls, \
          argument passing, demand paging), routes it over $(b,--shards) \
          worker machines — consistent hashing on the service class with \
-         a least-loaded override — and runs each shard's queue on its \
-         own OCaml domain.  Shards warm-boot each request from a cached \
-         checkpoint image, so steady-state serving never re-assembles a \
-         program.  Cross-shard counters, latency histograms and ring \
-         profiles are merged into one fleet report whose fleet section \
-         is independent of the shard count (see docs/SCALING.md).";
+         a least-loaded override — and executes the stream on a \
+         persistent pool of $(b,--pool) OCaml domains with work \
+         stealing ($(b,--steal)).  Workers warm-boot each request from \
+         a cached checkpoint image, so steady-state serving never \
+         re-assembles a program.  Cross-shard counters, latency \
+         histograms and ring profiles are merged into one fleet report \
+         whose fleet section is independent of the shard count, pool \
+         size and steal setting (see docs/SCALING.md).";
       `S Manpage.s_exit_status;
       `P
         "$(tname) exits 0 when every request was served and exited \
@@ -966,8 +1008,8 @@ let serve_cmd =
     Term.(
       const run_serve $ serve_shards $ serve_requests $ serve_seed
       $ serve_mix $ serve_queue_cap $ serve_batch_window $ serve_image_cap
-      $ serve_replicas $ serve_imbalance $ serve_snapshot $ inject
-      $ serve_watchdog $ serve_report_json)
+      $ serve_replicas $ serve_imbalance $ serve_pool $ serve_steal
+      $ serve_snapshot $ inject $ serve_watchdog $ serve_report_json)
 
 let run_term =
   Term.(

@@ -46,7 +46,7 @@ let merge_rings acc rings =
       | Some (c0, i0) -> (r, (c0 + c, i0 + i)) :: List.remove_assoc r acc)
     acc rings
 
-let build shards outcomes dispatch =
+let build models outcomes dispatch =
   let latency = Trace.Histogram.create () in
   let exits = ref [] and per_class = ref [] and rings = ref [] in
   let counters = ref None and kernel = ref 0 and ok = ref 0 in
@@ -82,28 +82,28 @@ let build shards outcomes dispatch =
   in
   let summaries =
     Array.map
-      (fun s ->
+      (fun (m : Dispatcher.shard_model) ->
         let h = Trace.Histogram.create () in
         let served_ok = ref 0 in
         List.iter
           (fun (o : Shard.outcome) ->
-            if o.Shard.shard_id = Shard.id s then begin
+            if o.Shard.shard_id = m.Dispatcher.ms_id then begin
               Trace.Histogram.observe h o.Shard.latency;
               if o.Shard.ok then incr served_ok
             end)
           outcomes;
         {
-          shard_id = Shard.id s;
-          served = Shard.executed s;
+          shard_id = m.Dispatcher.ms_id;
+          served = m.Dispatcher.ms_served;
           shard_ok = !served_ok;
-          cold_boots = Shard.cold_boots s;
-          warm_boots = Shard.warm_boots s;
-          busy_cycles = Shard.busy_cycles s;
-          image_stats = Shard.image_stats s;
-          shard_quarantined = Shard.quarantined s;
+          cold_boots = m.Dispatcher.ms_cold;
+          warm_boots = m.Dispatcher.ms_warm;
+          busy_cycles = m.Dispatcher.ms_busy;
+          image_stats = m.Dispatcher.ms_image;
+          shard_quarantined = m.Dispatcher.ms_quarantined;
           shard_latency = h;
         })
-      shards
+      models
   in
   { fleet; shards = summaries; dispatch }
 

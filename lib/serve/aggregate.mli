@@ -43,7 +43,12 @@ type t = {
   dispatch : Dispatcher.stats;
 }
 
-val build : Shard.t array -> Shard.outcome list -> Dispatcher.stats -> t
+val build :
+  Dispatcher.shard_model array -> Shard.outcome list -> Dispatcher.stats -> t
+(** The per-shard summaries come from the dispatcher's {e modeled}
+    fleet, not the pool workers that happened to execute the requests
+    on the host — that is what keeps the report byte-identical across
+    pool sizes and steal settings. *)
 
 val requests_per_modeled_sec : t -> float
 (** [completed * 1e6 / makespan] — one modeled cycle is one

@@ -1,8 +1,17 @@
-(* Routing and fleet execution.  Every routing decision reads modeled
-   state only — class hashes, queue depths, quarantine flags — and
-   each dispatch window ends in a Domain.join barrier, so the
-   (request, shard, outcome) relation is a pure function of
-   (workload, config) no matter how the host schedules the domains. *)
+(* Routing and fleet execution.
+
+   Since PR 6 the two are fully decoupled.  Routing — windows,
+   consistent hashing, the least-loaded override, shedding, quarantine
+   and redistribution — is a *pure simulation* over modeled state
+   (class hashes, per-window queue depths, per-request outcome facts),
+   so the (request, shard, outcome) relation is a function of
+   (workload, config) alone.  Execution happens on a persistent
+   {!Pool} of worker domains with per-deque work stealing and no
+   per-window barrier; it is free to run requests in any host order
+   because a request's outcome is placement-independent (every boot
+   rewinds the machine to the sealed class image).  The report is then
+   rebuilt from the simulation plus the per-request outcome table, so
+   host scheduling and steal order cannot leak into it. *)
 
 module Route = struct
   type ring = { points : (int64 * int) array }
@@ -83,6 +92,8 @@ type config = {
   watchdog : int option;
   inject : Hw.Inject.plan option;
   preload : (Shard.klass * string) list;
+  pool : int option;
+  steal : bool;
 }
 
 let default_config ~shards =
@@ -96,6 +107,8 @@ let default_config ~shards =
     watchdog = None;
     inject = None;
     preload = [];
+    pool = None;
+    steal = true;
   }
 
 type stats = {
@@ -110,30 +123,76 @@ type stats = {
   quarantined : int;
 }
 
+type shard_model = {
+  ms_id : int;
+  ms_served : int;
+  ms_cold : int;
+  ms_warm : int;
+  ms_busy : int;
+  ms_image : Hw.Assoc.stats;
+  ms_quarantined : bool;
+}
+
+type host_stats = {
+  hs_workers : int;
+  hs_steal : bool;
+  hs_executed : int array;
+  hs_stolen : int array;
+}
+
+type result = {
+  models : shard_model array;
+  outcomes : Shard.outcome list;
+  stats : stats;
+  workers : Shard.t array;
+  host : host_stats;
+}
+
 let by_id (a : Shard.outcome) (b : Shard.outcome) =
   compare a.Shard.request.Workload.id b.Shard.request.Workload.id
 
 let req_id (r : Workload.request) = r.Workload.id
 
-let run cfg reqs =
-  if cfg.shards < 1 then invalid_arg "Dispatcher.run: shards < 1";
-  if cfg.queue_cap < 1 then invalid_arg "Dispatcher.run: queue_cap < 1";
-  if cfg.batch_window < 1 then invalid_arg "Dispatcher.run: batch_window < 1";
-  let shards =
-    Array.init cfg.shards (fun i ->
-        Shard.create ~id:i ~image_cap:cfg.image_cap ?inject:cfg.inject
-          ?watchdog:cfg.watchdog ~preload:cfg.preload ())
-  in
-  let ring = Route.make ~shards:cfg.shards ~replicas:cfg.replicas in
-  let completed = ref 0
-  and ok = ref 0
-  and shed = ref 0
+(* ------------------------------------------------------------------ *)
+(* The routing simulation *)
+
+(* All a routing decision may read of an outcome: how long the request
+   ran (for busy cycles and makespan) and whether it tripped
+   quarantine.  Both are per-request deterministic — a boot rewinds
+   the machine to the sealed image, so the shard that runs a request
+   cannot change these. *)
+type fact = { f_latency : int; f_tripped : bool }
+
+type sim = {
+  sim_assign : (int, int) Hashtbl.t;  (* request id -> serving shard *)
+  sim_order : Workload.request list array;  (* per shard, service order *)
+  sim_quarantined : bool array;
+  sim_shed : int;
+  sim_redistributed : int;
+  sim_routed_hash : int;
+  sim_routed_balanced : int;
+  sim_batches : int;
+  sim_makespan : int;
+}
+
+(* One pass of the modeled dispatch loop.  This is the old per-window
+   dispatcher verbatim minus the domains: requests are grouped into
+   arrival windows, routed by consistent hash with the least-loaded
+   override, shed when every live queue is full; each shard serves its
+   window queue in order until a request trips, the remainder is
+   re-queued for the next window, and the window costs the slowest
+   shard's busy cycles.  [fact] supplies the two outcome-borne inputs;
+   everything else is modeled state. *)
+let simulate cfg ring ~fact reqs =
+  let quarantined = Array.make cfg.shards false in
+  let assign = Hashtbl.create 256 in
+  let order = Array.make cfg.shards [] in
+  let shed = ref 0
   and redistributed = ref 0
   and routed_hash = ref 0
   and routed_balanced = ref 0
   and batches = ref 0
   and makespan = ref 0 in
-  let outcomes = ref [] in
   (* Requests still to arrive, ascending by arrival (the generator
      emits them that way); requests bounced off a quarantined shard
      waiting for the next window. *)
@@ -158,14 +217,16 @@ let run cfg reqs =
     carry := [];
     incr batches;
     (* Route the window.  Queue depths only count this window's
-       requests: the previous window fully drained at its barrier. *)
+       requests: the previous window fully drained before this one was
+       routed. *)
     let queues = Array.make cfg.shards [] in
     let qlen = Array.make cfg.shards 0 in
-    let alive s = not (Shard.quarantined shards.(s)) in
+    let alive s = not quarantined.(s) in
     List.iter
       (fun (r : Workload.request) ->
         match
-          Route.owner_alive ring ~alive (r.Workload.program, r.Workload.iterations)
+          Route.owner_alive ring ~alive
+            (r.Workload.program, r.Workload.iterations)
         with
         | None -> incr shed
         | Some pref ->
@@ -193,55 +254,214 @@ let run cfg reqs =
               qlen.(target) <- qlen.(target) + 1;
               queues.(target) <- r :: queues.(target)))
       batch;
-    (* Execute: one domain per nonempty queue, joined at the window
-       boundary.  The join is the determinism barrier — nothing reads
-       a shard's results before every shard has finished. *)
-    let work =
-      List.filter_map
-        (fun s -> if queues.(s) = [] then None else Some (s, List.rev queues.(s)))
-        (List.init cfg.shards Fun.id)
-    in
-    let doms =
-      List.map
-        (fun (s, q) ->
-          (s, Domain.spawn (fun () -> Shard.run_batch shards.(s) q)))
-        work
-    in
-    let results = List.map (fun (s, d) -> (s, Domain.join d)) doms in
+    (* Serve the window: each shard works through its queue in order
+       and stops at the first request that trips quarantine; the
+       unserved remainder rides to the next window.  The window's
+       modeled cost is the slowest shard's busy cycles. *)
     let window_max = ref 0 in
-    List.iter
-      (fun (s, (outs, remainder)) ->
-        let busy =
-          List.fold_left (fun a (o : Shard.outcome) -> a + o.Shard.latency) 0 outs
-        in
-        if busy > !window_max then window_max := busy;
-        List.iter
-          (fun (o : Shard.outcome) ->
-            incr completed;
-            if o.Shard.ok then incr ok;
-            outcomes := o :: !outcomes)
-          outs;
-        if List.exists (fun (o : Shard.outcome) -> o.Shard.tripped) outs then
-          Shard.set_quarantined shards.(s) true;
-        redistributed := !redistributed + List.length remainder;
-        carry := !carry @ remainder)
-      results;
+    for s = 0 to cfg.shards - 1 do
+      match queues.(s) with
+      | [] -> ()
+      | q ->
+          let rec serve busy served = function
+            | [] -> (busy, served, [])
+            | (r : Workload.request) :: rest ->
+                let f = fact r in
+                let busy = busy + f.f_latency in
+                let served = r :: served in
+                if f.f_tripped then (busy, served, rest)
+                else serve busy served rest
+          in
+          let busy, served_rev, remainder = serve 0 [] (List.rev q) in
+          if busy > !window_max then window_max := busy;
+          List.iter
+            (fun (r : Workload.request) ->
+              Hashtbl.replace assign r.Workload.id s)
+            served_rev;
+          (* [served_rev] is this window's served list most-recent
+             first; keep [order] most-recent first globally and flip
+             once at the end. *)
+          order.(s) <- served_rev @ order.(s);
+          if List.exists (fun r -> (fact r).f_tripped) served_rev then
+            quarantined.(s) <- true;
+          redistributed := !redistributed + List.length remainder;
+          carry := !carry @ remainder
+    done;
     carry := List.sort (fun a b -> compare (req_id a) (req_id b)) !carry;
     makespan := !makespan + !window_max
   done;
-  let quarantined =
-    Array.fold_left (fun a s -> if Shard.quarantined s then a + 1 else a) 0 shards
+  {
+    sim_assign = assign;
+    sim_order = Array.map List.rev order;
+    sim_quarantined = quarantined;
+    sim_shed = !shed;
+    sim_redistributed = !redistributed;
+    sim_routed_hash = !routed_hash;
+    sim_routed_balanced = !routed_balanced;
+    sim_batches = !batches;
+    sim_makespan = !makespan;
+  }
+
+(* The per-shard summaries the report carries, replayed from the
+   simulation.  Boot classification rides an [Hw.Assoc] with the same
+   capacity the shard LRU has and the same find-then-insert protocol
+   {!Shard.boot} uses, so hits/misses/evictions come out exactly as a
+   dedicated per-shard machine would have counted them — whatever pool
+   worker actually booted the class on the host. *)
+let model_of_sim cfg sim ~fact =
+  Array.init cfg.shards (fun s ->
+      let cache = Hw.Assoc.create ~capacity:cfg.image_cap () in
+      let cold = ref 0 and warm = ref 0 and busy = ref 0 in
+      List.iter
+        (fun (r : Workload.request) ->
+          let k = (r.Workload.program, r.Workload.iterations) in
+          (match Hw.Assoc.find cache k with
+          | Some () -> incr warm
+          | None ->
+              incr cold;
+              ignore (Hw.Assoc.insert cache k ()));
+          busy := !busy + (fact r).f_latency)
+        sim.sim_order.(s);
+      {
+        ms_id = s;
+        ms_served = List.length sim.sim_order.(s);
+        ms_cold = !cold;
+        ms_warm = !warm;
+        ms_busy = !busy;
+        ms_image = Hw.Assoc.stats cache;
+        ms_quarantined = sim.sim_quarantined.(s);
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let run cfg reqs =
+  if cfg.shards < 1 then invalid_arg "Dispatcher.run: shards < 1";
+  if cfg.queue_cap < 1 then invalid_arg "Dispatcher.run: queue_cap < 1";
+  if cfg.batch_window < 1 then invalid_arg "Dispatcher.run: batch_window < 1";
+  if cfg.image_cap < 0 then invalid_arg "Dispatcher.run: image_cap < 0";
+  if cfg.imbalance < 0 then invalid_arg "Dispatcher.run: imbalance < 0";
+  if cfg.replicas < 1 then invalid_arg "Dispatcher.run: replicas < 1";
+  (match cfg.pool with
+  | Some p when p < 1 -> invalid_arg "Dispatcher.run: pool < 1"
+  | _ -> ());
+  let nworkers =
+    match cfg.pool with
+    | Some p -> p
+    | None -> max 1 (min cfg.shards (Domain.recommended_domain_count ()))
   in
-  ( shards,
-    List.sort by_id !outcomes,
-    {
-      completed = !completed;
-      ok = !ok;
-      shed = !shed;
-      redistributed = !redistributed;
-      routed_hash = !routed_hash;
-      routed_balanced = !routed_balanced;
-      batches = !batches;
-      makespan = !makespan;
-      quarantined;
-    } )
+  let ring = Route.make ~shards:cfg.shards ~replicas:cfg.replicas in
+  let workers =
+    Array.init nworkers (fun i ->
+        Shard.create ~id:i ~image_cap:cfg.image_cap ?inject:cfg.inject
+          ?watchdog:cfg.watchdog ~preload:cfg.preload ())
+  in
+  (* Outcome facts discovered so far.  A request not yet executed is
+     assumed not to trip — the optimistic placement; a wrong guess is
+     repaired by re-simulating below. *)
+  let table : (int, Shard.outcome) Hashtbl.t = Hashtbl.create 256 in
+  let fact (r : Workload.request) =
+    match Hashtbl.find_opt table r.Workload.id with
+    | Some o -> { f_latency = o.Shard.latency; f_tripped = o.Shard.tripped }
+    | None -> { f_latency = 0; f_tripped = false }
+  in
+  let missing sim =
+    List.filter
+      (fun (r : Workload.request) ->
+        Hashtbl.mem sim.sim_assign r.Workload.id
+        && not (Hashtbl.mem table r.Workload.id))
+      reqs
+  in
+  let hs_executed = Array.make nworkers 0 in
+  let hs_stolen = Array.make nworkers 0 in
+  (* Bulk round: place optimistically for image-cache affinity (a
+     class's home shard maps to a stable worker deque) and execute the
+     whole campaign on the pool — no window barriers, stealing evens
+     out hot shards, idle workers park. *)
+  let sim0 = simulate cfg ring ~fact reqs in
+  (match missing sim0 with
+  | [] -> ()
+  | need ->
+      let pool =
+        Pool.create ~workers:nworkers ~steal:cfg.steal
+          ~exec:(fun wid r -> Shard.exec workers.(wid) r)
+          ()
+      in
+      List.iter
+        (fun (r : Workload.request) ->
+          let home = Hashtbl.find sim0.sim_assign r.Workload.id in
+          Pool.submit pool ~worker:(home mod nworkers) r)
+        need;
+      let outs = Pool.drain pool in
+      List.iter
+        (fun (o : Shard.outcome) ->
+          Hashtbl.replace table o.Shard.request.Workload.id o)
+        outs;
+      Array.iteri (fun i n -> hs_executed.(i) <- hs_executed.(i) + n)
+        (Pool.executed pool);
+      Array.iteri (fun i n -> hs_stolen.(i) <- hs_stolen.(i) + n)
+        (Pool.steals pool));
+  (* Converge: trips discovered above can quarantine a shard and
+     reroute later windows, which may admit a request the optimistic
+     pass shed.  Each round executes only those stragglers (inline —
+     they are rare and the pool is drained), so the loop adds at least
+     one outcome per round and terminates. *)
+  let rec converge sim =
+    match missing sim with
+    | [] -> sim
+    | need ->
+        List.iter
+          (fun (r : Workload.request) ->
+            let o = Shard.exec workers.(0) r in
+            hs_executed.(0) <- hs_executed.(0) + 1;
+            Hashtbl.replace table r.Workload.id o)
+          need;
+        converge (simulate cfg ring ~fact reqs)
+  in
+  let sim = converge (simulate cfg ring ~fact reqs) in
+  (* Rebuild the deterministic product: outcomes keyed by request id,
+     attributed to their simulated shard; per-shard summaries replayed
+     from the simulation; dispatch stats straight from it. *)
+  let outcomes =
+    List.filter_map
+      (fun (r : Workload.request) ->
+        match Hashtbl.find_opt sim.sim_assign r.Workload.id with
+        | None -> None
+        | Some s ->
+            let o = Hashtbl.find table r.Workload.id in
+            Some { o with Shard.shard_id = s })
+      reqs
+    |> List.sort by_id
+  in
+  let ok =
+    List.fold_left
+      (fun a (o : Shard.outcome) -> if o.Shard.ok then a + 1 else a)
+      0 outcomes
+  in
+  let quarantined =
+    Array.fold_left (fun a q -> if q then a + 1 else a) 0 sim.sim_quarantined
+  in
+  {
+    models = model_of_sim cfg sim ~fact;
+    outcomes;
+    stats =
+      {
+        completed = List.length outcomes;
+        ok;
+        shed = sim.sim_shed;
+        redistributed = sim.sim_redistributed;
+        routed_hash = sim.sim_routed_hash;
+        routed_balanced = sim.sim_routed_balanced;
+        batches = sim.sim_batches;
+        makespan = sim.sim_makespan;
+        quarantined;
+      };
+    workers;
+    host =
+      {
+        hs_workers = nworkers;
+        hs_steal = cfg.steal;
+        hs_executed;
+        hs_stolen;
+      };
+  }

@@ -1,25 +1,33 @@
-(** Request routing and fleet execution across shard domains.
+(** Request routing and fleet execution, decoupled.
 
-    The dispatcher slices the workload's virtual clock into batch
-    windows, routes each window's requests over the live shards —
-    consistent hashing on the service class so warm boot images stay
-    hot, with a least-loaded override when the hash leaves a shard too
-    far behind — and runs every shard's queue on its own OCaml domain,
-    joining them all at the window boundary.
+    {b Routing is a pure simulation.}  The dispatcher slices the
+    workload's virtual clock into batch windows, routes each window's
+    requests over the live shards — consistent hashing on the service
+    class so warm boot images stay hot, with a least-loaded override
+    when the hash leaves a shard too far behind — sheds on full
+    queues, and quarantines a shard whose request trips the watchdog
+    or fault budget, redistributing its unserved queue.  All of that
+    reads modeled state only: class hashes, per-window queue depths,
+    quarantine flags, and two per-request facts (latency, tripped)
+    that are themselves placement-independent.  The simulated
+    placement, the dispatch statistics (including the modeled
+    makespan) and the per-shard summaries are therefore pure functions
+    of (workload, config).
 
-    Determinism: routing reads only modeled state (class hashes, queue
-    lengths, quarantine flags), every queue is served in order by a
-    deterministic shard, and the window join is a barrier, so the set
-    of (request, shard, outcome) triples — and therefore the
-    aggregated report — is a pure function of (workload, config),
-    whatever the host's domain interleaving.  See docs/SCALING.md.
+    {b Execution is a persistent worker pool.}  Requests run on
+    [pool] long-lived domains (see {!Pool}): each worker pulls from
+    its own deque — filled by the simulated placement so a service
+    class keeps hitting the same worker's image cache — and steals
+    from the tails of sibling deques when its own runs dry.  There is
+    no per-window spawn/join barrier; workers park on a condition
+    variable when idle and are joined once, at drain.  Because a boot
+    rewinds the machine to the sealed class image, an outcome is the
+    same whichever worker serves it, so host scheduling and steal
+    order change only wall-clock time — never the report.  See
+    docs/SCALING.md.
 
-    Backpressure is loss, not blocking: queues are bounded and a
-    request that finds every live queue full is shed and counted.
-    When a request trips quarantine (fault budget or watchdog), its
-    shard stops, is marked quarantined, and the unserved remainder of
-    its queue is redistributed over the surviving shards in the next
-    window. *)
+    Backpressure is loss, not blocking: window queues are bounded and
+    a request that finds every live queue full is shed and counted. *)
 
 module Route : sig
   (** The consistent-hash ring, exposed for tests: pure functions of
@@ -55,11 +63,19 @@ type config = {
   inject : Hw.Inject.plan option;  (** Fault plan attached to every shard. *)
   preload : (Shard.klass * string) list;
       (** Externally captured boot images ([--snapshot]). *)
+  pool : int option;
+      (** Worker domains executing the campaign; [None] sizes the pool
+          to [min shards (Domain.recommended_domain_count ())].  Pool
+          size affects host time only, never the report. *)
+  steal : bool;
+      (** Allow idle workers to steal from sibling deque tails.
+          Affects host time only, never the report. *)
 }
 
 val default_config : shards:int -> config
 (** [queue_cap 64], [imbalance 4], [replicas 16], [batch_window 4096],
-    [image_cap 8], no watchdog, no injection, no preload. *)
+    [image_cap 8], no watchdog, no injection, no preload, pool sized
+    to the host, stealing on. *)
 
 type stats = {
   completed : int;  (** Requests served to an exit. *)
@@ -69,7 +85,7 @@ type stats = {
       (** Requests re-queued after their shard was quarantined. *)
   routed_hash : int;  (** Requests placed on their hash-preferred shard. *)
   routed_balanced : int;  (** Requests moved by the least-loaded override. *)
-  batches : int;  (** Dispatch windows executed. *)
+  batches : int;  (** Dispatch windows routed. *)
   makespan : int;
       (** Modeled fleet time: the sum over windows of the slowest
           shard's busy cycles in that window — what wall-clock would
@@ -77,10 +93,48 @@ type stats = {
   quarantined : int;  (** Shards quarantined by the end of the run. *)
 }
 
-val run :
-  config -> Workload.request list -> Shard.t array * Shard.outcome list * stats
-(** Execute the whole workload.  Outcomes come back sorted by request
-    id (shed requests are absent).  The shard array is returned for
-    per-shard reporting and image persistence.  Raises
-    [Invalid_argument] on a config with [shards < 1], and [Failure]
-    on a catalog/assembly defect (unknown program, bad image). *)
+type shard_model = {
+  ms_id : int;
+  ms_served : int;  (** Requests the simulation placed on this shard. *)
+  ms_cold : int;  (** Cold boots in simulated service order. *)
+  ms_warm : int;  (** Warm boots in simulated service order. *)
+  ms_busy : int;  (** Sum of served requests' modeled latencies. *)
+  ms_image : Hw.Assoc.stats;
+      (** Image-cache hits/misses/evictions replayed over the
+          simulated service order at [image_cap] capacity. *)
+  ms_quarantined : bool;
+}
+(** One shard of the {e modeled} fleet.  Deterministic: replayed from
+    the routing simulation in service order, so the numbers are what a
+    dedicated per-shard machine would have counted — independent of
+    which pool worker actually ran each request on the host. *)
+
+type host_stats = {
+  hs_workers : int;  (** Resolved pool size. *)
+  hs_steal : bool;
+  hs_executed : int array;  (** Per-worker requests executed (host order). *)
+  hs_stolen : int array;  (** Per-worker requests stolen from siblings. *)
+}
+(** Host-side execution accounting.  Nondeterministic by nature (it
+    measures the host scheduler); kept out of the deterministic
+    report. *)
+
+type result = {
+  models : shard_model array;
+  outcomes : Shard.outcome list;
+      (** Sorted by request id, [shard_id] set to the simulated
+          placement; shed requests are absent. *)
+  stats : stats;
+  workers : Shard.t array;
+      (** The pool workers' shard states, for image persistence
+          ([--snapshot]); their counters are host-scheduling dependent
+          — report from [models] instead. *)
+  host : host_stats;
+}
+
+val run : config -> Workload.request list -> result
+(** Execute the whole workload.  Raises [Invalid_argument] on a bad
+    config ([shards < 1], [queue_cap < 1], [batch_window < 1],
+    [image_cap < 0], [imbalance < 0], [replicas < 1], [pool] some
+    value [< 1]) and [Failure] on a catalog/assembly defect (unknown
+    program, bad image). *)

@@ -345,12 +345,3 @@ let exec t (req : Workload.request) =
       Trace.Profile.kernel_cycles m.Isa.Machine.profile - slot.boot_kernel;
     tripped;
   }
-
-let run_batch t reqs =
-  let rec go acc = function
-    | [] -> (List.rev acc, [])
-    | r :: rest ->
-        let o = exec t r in
-        if o.tripped then (List.rev (o :: acc), rest) else go (o :: acc) rest
-  in
-  go [] reqs

@@ -89,9 +89,7 @@ val exec : t -> Workload.request -> outcome
 (** Serve one request: warm- or cold-boot the class, run to
     completion, read the deltas.  Raises [Failure] on a catalog,
     assembly or snapshot error — a configuration defect, not a
-    serving outcome. *)
-
-val run_batch : t -> Workload.request list -> outcome list * Workload.request list
-(** Serve a queue in order.  Stops early if a request trips quarantine
-    ({!outcome.tripped}); the unserved remainder comes back for the
-    dispatcher to redistribute. *)
+    serving outcome.  This is the pool workers' entry point: because
+    every boot rewinds the machine to the sealed class image, the
+    outcome does not depend on which shard serves the request or on
+    what it served before. *)

@@ -164,12 +164,22 @@ let test_shard_cache_disabled () =
 (* ------------------------------------------------------------------ *)
 (* Dispatcher + Aggregate *)
 
-let run_fleet ?(shards = 2) ?(queue_cap = 256) ?watchdog reqs =
+let run_fleet ?(shards = 2) ?(queue_cap = 256) ?watchdog ?pool ?(steal = true)
+    reqs =
   let cfg =
-    { (Serve.Dispatcher.default_config ~shards) with queue_cap; watchdog }
+    {
+      (Serve.Dispatcher.default_config ~shards) with
+      queue_cap;
+      watchdog;
+      pool;
+      steal;
+    }
   in
-  let fleet, outcomes, stats = Serve.Dispatcher.run cfg reqs in
-  (Serve.Aggregate.build fleet outcomes stats, outcomes, stats)
+  let r = Serve.Dispatcher.run cfg reqs in
+  ( Serve.Aggregate.build r.Serve.Dispatcher.models r.Serve.Dispatcher.outcomes
+      r.Serve.Dispatcher.stats,
+    r.Serve.Dispatcher.outcomes,
+    r.Serve.Dispatcher.stats )
 
 let test_dispatch_deterministic () =
   let reqs =
@@ -219,7 +229,9 @@ let test_dispatch_backpressure () =
   let cfg =
     { (Serve.Dispatcher.default_config ~shards:2) with queue_cap = 1 }
   in
-  let _, outcomes, stats = Serve.Dispatcher.run cfg reqs in
+  let r = Serve.Dispatcher.run cfg reqs in
+  let outcomes = r.Serve.Dispatcher.outcomes in
+  let stats = r.Serve.Dispatcher.stats in
   Alcotest.(check bool) "some requests shed" true
     (stats.Serve.Dispatcher.shed > 0);
   Alcotest.(check int) "every request either served or shed" 10
@@ -245,7 +257,9 @@ let test_quarantine_redistribution () =
       watchdog = Some 500;
     }
   in
-  let fleet, outcomes, stats = Serve.Dispatcher.run cfg (spin :: rest) in
+  let r = Serve.Dispatcher.run cfg (spin :: rest) in
+  let outcomes = r.Serve.Dispatcher.outcomes in
+  let stats = r.Serve.Dispatcher.stats in
   Alcotest.(check int) "one shard quarantined" 1
     stats.Serve.Dispatcher.quarantined;
   let spin_out =
@@ -260,8 +274,8 @@ let test_quarantine_redistribution () =
   Alcotest.(check int) "every request still served" 7
     stats.Serve.Dispatcher.completed;
   let live =
-    Array.to_list fleet
-    |> List.filter (fun s -> not (Serve.Shard.quarantined s))
+    Array.to_list r.Serve.Dispatcher.models
+    |> List.filter (fun m -> not m.Serve.Dispatcher.ms_quarantined)
   in
   Alcotest.(check int) "one shard survives" 1 (List.length live);
   List.iter
@@ -307,6 +321,148 @@ let test_aggregate_merges () =
   Alcotest.(check bool) "throughput positive" true
     (Serve.Aggregate.requests_per_modeled_sec agg > 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_lifecycle () =
+  let pool =
+    Serve.Pool.create ~workers:3 ~steal:true ~exec:(fun _ x -> x * 2) ()
+  in
+  Alcotest.(check int) "workers live while serving" 3
+    (Serve.Pool.live_workers pool);
+  for i = 0 to 19 do
+    Serve.Pool.submit pool ~worker:(i mod 3) i
+  done;
+  let results = Serve.Pool.drain pool in
+  Alcotest.(check (list int))
+    "every item completed exactly once"
+    (List.init 20 (fun i -> i * 2))
+    (List.sort compare results);
+  Alcotest.(check int) "drain leaves no live domains" 0
+    (Serve.Pool.live_workers pool);
+  Alcotest.(check int) "double drain is safe and memoized" 20
+    (List.length (Serve.Pool.drain pool));
+  Alcotest.(check int) "per-worker executed counts add up" 20
+    (Array.fold_left ( + ) 0 (Serve.Pool.executed pool));
+  Alcotest.(check bool) "submit after drain is rejected" true
+    (try
+       Serve.Pool.submit pool ~worker:0 99;
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_failure () =
+  let pool =
+    Serve.Pool.create ~workers:2 ~steal:true
+      ~exec:(fun _ x -> if x = 3 then failwith "boom" else x)
+      ()
+  in
+  for i = 0 to 7 do
+    Serve.Pool.submit pool ~worker:(i mod 2) i
+  done;
+  Alcotest.(check bool) "drain re-raises the exec failure" true
+    (try
+       ignore (Serve.Pool.drain pool);
+       false
+     with Failure msg -> msg = "boom");
+  Alcotest.(check int) "domains joined despite the failure" 0
+    (Serve.Pool.live_workers pool)
+
+let test_config_validation () =
+  let bad cfg =
+    try
+      ignore (Serve.Dispatcher.run cfg []);
+      false
+    with Invalid_argument _ -> true
+  in
+  let base = Serve.Dispatcher.default_config ~shards:2 in
+  Alcotest.(check bool) "shards 0 rejected" true (bad { base with shards = 0 });
+  Alcotest.(check bool) "queue_cap 0 rejected" true
+    (bad { base with queue_cap = 0 });
+  Alcotest.(check bool) "batch_window 0 rejected" true
+    (bad { base with batch_window = 0 });
+  Alcotest.(check bool) "negative image_cap rejected" true
+    (bad { base with image_cap = -1 });
+  Alcotest.(check bool) "pool 0 rejected" true
+    (bad { base with pool = Some 0 });
+  Alcotest.(check bool) "replicas 0 rejected" true
+    (bad { base with replicas = 0 })
+
+let test_steal_report_invariant () =
+  (* One service class and a prohibitive imbalance threshold: every
+     request routes to its hash-preferred shard, so one pool deque is
+     hot and the rest are idle — exactly the stealing scenario.  The
+     full report (not just the fleet section) must be byte-identical
+     whether the idle workers steal or sleep, and whatever the pool
+     size. *)
+  let reqs =
+    List.init 40 (fun i ->
+        req ~id:i ~program:"crossing-hw" ~iterations:8 ~arrival:(1 + (i * 16)))
+  in
+  let report ~pool ~steal =
+    let cfg =
+      {
+        (Serve.Dispatcher.default_config ~shards:4) with
+        queue_cap = 256;
+        imbalance = 1000;
+        pool;
+        steal;
+      }
+    in
+    let r = Serve.Dispatcher.run cfg reqs in
+    let stats = r.Serve.Dispatcher.stats in
+    Alcotest.(check int) "all requests complete" 40
+      stats.Serve.Dispatcher.completed;
+    Alcotest.(check int) "nothing rebalanced off the hot shard" 0
+      stats.Serve.Dispatcher.routed_balanced;
+    Serve.Aggregate.report_json
+      (Serve.Aggregate.build r.Serve.Dispatcher.models
+         r.Serve.Dispatcher.outcomes stats)
+  in
+  let reference = report ~pool:(Some 4) ~steal:true in
+  Alcotest.(check string) "steal on = steal off"
+    reference
+    (report ~pool:(Some 4) ~steal:false);
+  Alcotest.(check string) "pool 4 = pool 1"
+    reference
+    (report ~pool:(Some 1) ~steal:true);
+  Alcotest.(check string) "pool 4 = pool 3"
+    reference
+    (report ~pool:(Some 3) ~steal:true)
+
+let test_quarantine_under_pool () =
+  (* A tripping request under a multi-worker stealing pool: the
+     quarantined shard's queue must be redistributed in request order
+     and the whole report must byte-match the serial (one worker, no
+     steal) run. *)
+  let spin = req ~id:0 ~program:"spin" ~iterations:4000 ~arrival:1 in
+  let rest =
+    List.init 6 (fun i ->
+        req ~id:(i + 1)
+          ~program:(if i mod 2 = 0 then "crossing-hw" else "same-ring")
+          ~iterations:6
+          ~arrival:(2 + i))
+  in
+  let run ~pool ~steal =
+    let agg, outcomes, stats =
+      run_fleet ~shards:2 ~watchdog:500 ~pool ~steal (spin :: rest)
+    in
+    Alcotest.(check int) "one shard quarantined" 1
+      stats.Serve.Dispatcher.quarantined;
+    Alcotest.(check int) "every request still served" 7
+      stats.Serve.Dispatcher.completed;
+    Alcotest.(check (list int))
+      "outcomes cover every id in order"
+      [ 0; 1; 2; 3; 4; 5; 6 ]
+      (List.map
+         (fun (o : Serve.Shard.outcome) ->
+           o.Serve.Shard.request.Serve.Workload.id)
+         outcomes);
+    Serve.Aggregate.report_json agg
+  in
+  Alcotest.(check string) "pooled run = serial run"
+    (run ~pool:4 ~steal:true)
+    (run ~pool:1 ~steal:false)
+
 let suite =
   [
     ( "serve",
@@ -334,5 +490,15 @@ let suite =
           test_quarantine_redistribution;
         Alcotest.test_case "aggregate: commutative merges" `Quick
           test_aggregate_merges;
+        Alcotest.test_case "pool: lifecycle and double drain" `Quick
+          test_pool_lifecycle;
+        Alcotest.test_case "pool: exec failure surfaces at drain" `Quick
+          test_pool_failure;
+        Alcotest.test_case "dispatch: config validation" `Quick
+          test_config_validation;
+        Alcotest.test_case "dispatch: steal and pool size invisible" `Quick
+          test_steal_report_invariant;
+        Alcotest.test_case "dispatch: quarantine under the pool" `Quick
+          test_quarantine_under_pool;
       ] );
   ]
