@@ -57,6 +57,33 @@ trace-smoke:
 	    || { echo "trace-smoke: $$f output DIFFERS between runs"; exit 1; }; \
 	done
 	@echo "trace-smoke: exporter output well-formed and deterministic"
+	@# A fully-traced fleet at --sample 8, run twice: the merged Chrome
+	@# trace, metrics and report must be byte-identical across runs, and
+	@# the trace must not depend on the shard count — a request's trace
+	@# is a function of the request, not of where it ran.
+	@for run in a b; do \
+	  _build/default/bin/ringsim.exe serve --shards 4 --requests 100 --seed 7 \
+	    --queue-cap 256 --sample 8 \
+	    --trace-out /tmp/trace_smoke_serve_$$run.json \
+	    --metrics-out /tmp/trace_smoke_serve_$$run.metrics.json \
+	    --report-json /tmp/trace_smoke_serve_$$run.report.json \
+	    > /tmp/trace_smoke_serve_$$run.out \
+	    || { echo "trace-smoke: traced serve run failed"; exit 1; }; \
+	done
+	_build/default/bin/jsoncheck.exe /tmp/trace_smoke_serve_a.json \
+	  /tmp/trace_smoke_serve_a.metrics.json /tmp/trace_smoke_serve_a.report.json
+	@for f in json metrics.json report.json out; do \
+	  diff /tmp/trace_smoke_serve_a.$$f /tmp/trace_smoke_serve_b.$$f \
+	    || { echo "trace-smoke: traced serve $$f DIFFERS between runs"; exit 1; }; \
+	done
+	@_build/default/bin/ringsim.exe serve --shards 2 --requests 100 --seed 7 \
+	  --queue-cap 256 --sample 8 \
+	  --trace-out /tmp/trace_smoke_serve_s2.json \
+	  > /dev/null \
+	  || { echo "trace-smoke: 2-shard traced serve run failed"; exit 1; }
+	@diff /tmp/trace_smoke_serve_a.json /tmp/trace_smoke_serve_s2.json \
+	  || { echo "trace-smoke: merged trace depends on the shard count"; exit 1; }
+	@echo "trace-smoke: traced fleet byte-deterministic and placement-invariant"
 
 # Security-under-fault campaigns on three fixed seeds, each run twice:
 # the reports must show zero protection violations (ringsim exits

@@ -175,6 +175,54 @@ let run_traced ~name ~max_instructions build =
         snapshot = Trace.Counters.snapshot c;
       }
 
+(* Host-time budget for full tracing.  The event hot path is an
+   integer-cell arena write (no variant, no string, no formatting —
+   disassembly happens lazily at export), so a fully traced run must
+   stay under 1.5x the untraced run.  This is the regression gate the
+   binary ring buffer bought; [make bench] fails if it regresses. *)
+let trace_overhead_budget = 1.5
+
+(* The record hot path must not allocate.  [Gc.minor_words] deltas
+   over 10k records: a per-event allocation would cost >= 20k words,
+   so the tolerance below (a few words for the [Gc.minor_words] float
+   boxes themselves) is orders of magnitude away from a real leak. *)
+let alloc_tolerance_words = 64.0
+
+let run_alloc_smoke () =
+  let log = Trace.Event.create_log ~capacity:256 () in
+  let records = 10_000 in
+  let measure () =
+    let before = Gc.minor_words () in
+    for i = 0 to records - 1 do
+      if Trace.Event.enabled log then
+        Trace.Event.record_instruction log ~ring:4 ~segno:1 ~wordno:i
+    done;
+    Gc.minor_words () -. before
+  in
+  let disabled_words = measure () in
+  Trace.Event.set_enabled log true;
+  (* Warm up: the first record allocates the arena lazily. *)
+  Trace.Event.record_instruction log ~ring:4 ~segno:1 ~wordno:0;
+  let enabled_words = measure () in
+  Trace.Event.set_sampling log ~interval:8 ~seed:7;
+  let sampled_words = measure () in
+  List.iter
+    (fun (name, words) ->
+      if words > alloc_tolerance_words then
+        failwith
+          (Printf.sprintf
+             "trace hot path allocates: %.0f minor words over %d %s records"
+             words records name))
+    [
+      ("disabled", disabled_words);
+      ("enabled", enabled_words);
+      ("sampled", sampled_words);
+    ];
+  Printf.printf
+    "alloc smoke - %d records: %.0f words disabled, %.0f enabled, %.0f \
+     sampled (tolerance %.0f)\n"
+    records disabled_words enabled_words sampled_words alloc_tolerance_words
+
 (* The injector must be free when off: an attached injector with no
    rules is polled between instructions but may change neither the
    modeled cycles nor (measurably) the host throughput. *)
@@ -570,8 +618,18 @@ let throughput () =
          traced.name traced.cycles untraced.cycles);
   Printf.printf
     "host time - trace overhead on %s: %.0f instr/sec untraced, %.0f \
-     traced (ratio %.2fx)\n\n"
-    untraced.name untraced.ips traced.ips (untraced.ips /. traced.ips);
+     traced (ratio %.2fx, budget %.1fx)\n"
+    untraced.name untraced.ips traced.ips
+    (untraced.ips /. traced.ips)
+    trace_overhead_budget;
+  if untraced.ips /. traced.ips >= trace_overhead_budget then
+    failwith
+      (Printf.sprintf
+         "trace overhead %.2fx on %s exceeds the %.1fx budget"
+         (untraced.ips /. traced.ips)
+         untraced.name trace_overhead_budget);
+  run_alloc_smoke ();
+  print_newline ();
   let idle =
     let (name, max_instructions, build) = List.hd workloads in
     run_idle_injector ~name ~max_instructions build

@@ -175,6 +175,8 @@ type obs = {
   metrics_out : string option;  (** JSON metrics snapshot. *)
   metrics_prom : string option;  (** Prometheus text metrics. *)
   profile : bool;  (** Print per-ring/per-segment tables. *)
+  sample : int;  (** Keep 1 in N events/spans (deterministic). *)
+  trace_cap : int option;  (** Event ring-buffer capacity override. *)
 }
 
 let obs_active o =
@@ -182,9 +184,18 @@ let obs_active o =
   || o.metrics_prom <> None || o.profile
 
 (* Spans and the profile are cheap (no per-instruction event
-   formatting), so any observability request turns them on; the full
-   event log only when an event-consuming exporter asked for it. *)
+   formatting or allocation), so any observability request turns them
+   on; the full event log only when an event-consuming exporter asked
+   for it.  Capacity and sampling are configured before enabling so
+   the first recorded event already obeys them. *)
 let enable_obs o (m : Isa.Machine.t) =
+  (match o.trace_cap with
+  | Some n -> Trace.Event.set_capacity m.Isa.Machine.log n
+  | None -> ());
+  if o.sample > 1 then begin
+    Trace.Event.set_sampling m.Isa.Machine.log ~interval:o.sample ~seed:0;
+    Trace.Span.set_sampling m.Isa.Machine.spans ~interval:o.sample ~seed:0
+  end;
   if o.trace_out <> None || o.events_out <> None then
     Trace.Event.set_enabled m.Isa.Machine.log true;
   if obs_active o then begin
@@ -367,6 +378,10 @@ let run_campaigns inject campaigns obs =
 let run_program file mode start ring trace listing dump show_map typed
     max_instructions inject campaigns checkpoint_every checkpoint_to
     restore_from kill_after watchdog obs =
+  if obs.sample < 1 then usage_error "--sample must be positive";
+  (match obs.trace_cap with
+  | Some n when n < 1 -> usage_error "--trace-cap must be positive"
+  | _ -> ());
   (match campaigns with
   | Some n -> run_campaigns inject n obs
   | None -> ());
@@ -698,7 +713,8 @@ let save_images base fleet =
     images
 
 let run_serve shards requests seed mix_name queue_cap batch_window image_cap
-    replicas imbalance pool steal_name snapshot inject watchdog report_json =
+    replicas imbalance pool steal_name snapshot inject watchdog report_json
+    trace_out metrics_out sample trace_cap =
   (* Every flag is validated up front: a nonsensical value is a usage
      error (exit 2 with a message naming the flag), never a deep
      runtime failure. *)
@@ -715,6 +731,8 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
   (match watchdog with
   | Some n when n < 1 -> usage_error "--watchdog must be positive"
   | _ -> ());
+  if sample < 1 then usage_error "--sample must be positive";
+  if trace_cap < 1 then usage_error "--trace-cap must be positive";
   let steal =
     match steal_name with
     | "on" -> true
@@ -730,6 +748,13 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
   let preload =
     match snapshot with None -> [] | Some base -> load_preload base
   in
+  (* Tracing is on whenever a trace-consuming output was requested.
+     The sampler is seeded from the workload seed, so a traced run is
+     a deterministic function of the same inputs as an untraced one. *)
+  let trace =
+    if trace_out = None && metrics_out = None then None
+    else Some { Serve.Shard.sample; seed; capacity = trace_cap }
+  in
   let reqs = Serve.Workload.generate ~mix ~seed ~requests in
   let cfg =
     {
@@ -744,6 +769,7 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
       preload;
       pool;
       steal;
+      trace;
     }
   in
   let r = Serve.Dispatcher.run cfg reqs in
@@ -752,6 +778,22 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
   in
   let stats = r.Serve.Dispatcher.stats in
   Format.printf "%a@." Serve.Aggregate.pp agg;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Serve.Aggregate.chrome_trace r.Serve.Dispatcher.outcomes));
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      (* The fleet-wide counter sum in the single-run metrics format,
+         so the same scrapers work on fleet and single-machine runs. *)
+      let counters =
+        match agg.Serve.Aggregate.fleet.Serve.Aggregate.counters with
+        | Some c -> c
+        | None -> Trace.Counters.snapshot (Trace.Counters.create ())
+      in
+      write_file path (Trace.Export.metrics_json ~counters ()));
   (match report_json with
   | None -> ()
   | Some path ->
@@ -772,7 +814,10 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
           ("pool", opt_int pool);
           ("steal", quote steal_name);
           ("watchdog", opt_int watchdog);
-          ("inject", match inject with None -> "null" | Some s -> quote s);
+          ("inject", (match inject with None -> "null" | Some s -> quote s));
+          ("sample", string_of_int sample);
+          ("trace_cap", string_of_int trace_cap);
+          ("traced", string_of_bool (trace <> None));
         ]
       in
       write_file path (Serve.Aggregate.report_json ~config agg));
@@ -851,6 +896,19 @@ let profile =
          ~doc:"Print per-ring and per-segment modeled-cycle tables and \
                span latency percentiles after the run.")
 
+let sample_arg =
+  Arg.(value & opt int 1 & info [ "sample" ] ~docv:"N"
+         ~doc:"Deterministic 1-in-N trace sampling: events and spans are \
+               kept when a seeded hash of their sequence number selects \
+               them, so the same workload samples the same records every \
+               run.  1 (the default) keeps everything; discards are \
+               counted and exported.")
+
+let trace_cap_arg =
+  Arg.(value & opt (some int) None & info [ "trace-cap" ] ~docv:"N"
+         ~doc:"Event ring-buffer capacity in events; when full, the \
+               oldest events are overwritten and counted as dropped.")
+
 let inject =
   Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SEED|SPEC"
          ~doc:"Attach the deterministic fault injector: an integer seeds \
@@ -895,11 +953,14 @@ let watchdog =
                (multi-process mode only).")
 
 let obs =
-  let mk trace_out events_out metrics_out metrics_prom profile =
-    { trace_out; events_out; metrics_out; metrics_prom; profile }
+  let mk trace_out events_out metrics_out metrics_prom profile sample
+      trace_cap =
+    { trace_out; events_out; metrics_out; metrics_prom; profile; sample;
+      trace_cap }
   in
   Term.(
-    const mk $ trace_out $ events_out $ metrics_out $ metrics_prom $ profile)
+    const mk $ trace_out $ events_out $ metrics_out $ metrics_prom $ profile
+    $ sample_arg $ trace_cap_arg)
 
 (* serve flags *)
 
@@ -977,6 +1038,26 @@ let serve_steal =
                wall-clock only — the fleet report is identical either \
                way.")
 
+let serve_trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Trace every request and write the merged fleet Chrome \
+               trace: one Chrome process per request (pid = request \
+               id), rings as threads, 1us = 1 modeled cycle.  \
+               Byte-deterministic for a given (mix, seed, requests, \
+               --sample).")
+
+let serve_metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Trace every request and write the fleet-wide counter sum \
+               as a JSON metrics snapshot (the single-run format, so \
+               the same scrapers apply).")
+
+let serve_trace_cap =
+  Arg.(value & opt int Serve.Shard.default_trace_capacity
+       & info [ "trace-cap" ] ~docv:"N"
+         ~doc:"Per-request event ring-buffer capacity; when full, the \
+               oldest events are overwritten and counted as dropped.")
+
 let serve_cmd =
   let doc = "run a sharded serving fleet over the ring machines" in
   let man =
@@ -1009,7 +1090,8 @@ let serve_cmd =
       const run_serve $ serve_shards $ serve_requests $ serve_seed
       $ serve_mix $ serve_queue_cap $ serve_batch_window $ serve_image_cap
       $ serve_replicas $ serve_imbalance $ serve_pool $ serve_steal
-      $ serve_snapshot $ inject $ serve_watchdog $ serve_report_json)
+      $ serve_snapshot $ inject $ serve_watchdog $ serve_report_json
+      $ serve_trace_out $ serve_metrics_out $ sample_arg $ serve_trace_cap)
 
 let run_term =
   Term.(

@@ -9,15 +9,10 @@ let set_stack_base_pr m ~new_ring ~stack_segno =
    nothing — CALL/RETURN are the crossing workloads' hot path. *)
 let record_call m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
   if Trace.Event.enabled m.Machine.log then
-    Trace.Event.record m.Machine.log
-      (Trace.Event.Call
-         {
-           crossing;
-           from_ring = Rings.Ring.to_int from_ring;
-           to_ring = Rings.Ring.to_int to_ring;
-           segno = addr.Hw.Addr.segno;
-           wordno = addr.Hw.Addr.wordno;
-         });
+    Trace.Event.record_call m.Machine.log ~crossing
+      ~from_ring:(Rings.Ring.to_int from_ring)
+      ~to_ring:(Rings.Ring.to_int to_ring)
+      ~segno:addr.Hw.Addr.segno ~wordno:addr.Hw.Addr.wordno;
   if Trace.Span.enabled m.Machine.spans then
     Trace.Span.open_span m.Machine.spans ~kind:crossing
       ~from_ring:(Rings.Ring.to_int from_ring)
@@ -27,15 +22,10 @@ let record_call m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
 
 let record_return m ~crossing ~from_ring ~to_ring (addr : Hw.Addr.t) =
   if Trace.Event.enabled m.Machine.log then
-    Trace.Event.record m.Machine.log
-      (Trace.Event.Return
-         {
-           crossing;
-           from_ring = Rings.Ring.to_int from_ring;
-           to_ring = Rings.Ring.to_int to_ring;
-           segno = addr.Hw.Addr.segno;
-           wordno = addr.Hw.Addr.wordno;
-         });
+    Trace.Event.record_return m.Machine.log ~crossing
+      ~from_ring:(Rings.Ring.to_int from_ring)
+      ~to_ring:(Rings.Ring.to_int to_ring)
+      ~segno:addr.Hw.Addr.segno ~wordno:addr.Hw.Addr.wordno;
   if Trace.Span.enabled m.Machine.spans then
     (* A same-ring return undoes a same-ring call; an upward return
        undoes a downward call.  Closing by expected kind keeps the

@@ -17,15 +17,15 @@ let step_unprofiled m =
       let* instr = fetch m in
       Trace.Counters.bump_instructions m.Machine.counters;
       Trace.Counters.charge m.Machine.counters Hw.Costs.instruction_overhead;
+      (* All event construction sits behind the enabled check, and the
+         enabled path is a few unboxed stores — no disassembly, no
+         variant: the text is re-decoded lazily at export from the
+         segment image (Machine registers the resolver). *)
       if Trace.Event.enabled m.Machine.log then
-        Trace.Event.record m.Machine.log
-          (Trace.Event.Instruction
-             {
-               ring = Rings.Ring.to_int at.Hw.Registers.ring;
-               segno = at.Hw.Registers.addr.Hw.Addr.segno;
-               wordno = at.Hw.Registers.addr.Hw.Addr.wordno;
-               text = Format.asprintf "%a" Instr.pp instr;
-             });
+        Trace.Event.record_instruction m.Machine.log
+          ~ring:(Rings.Ring.to_int at.Hw.Registers.ring)
+          ~segno:at.Hw.Registers.addr.Hw.Addr.segno
+          ~wordno:at.Hw.Registers.addr.Hw.Addr.wordno;
       (* Advance IPR before executing so transfers and TSX see the
          address of the next sequential instruction. *)
       regs.Hw.Registers.ipr <-

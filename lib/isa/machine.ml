@@ -234,6 +234,39 @@ let on_memory_write t addr =
   let b = Char.code (Bytes.unsafe_get t.watched addr) in
   if b <> 0 then on_watched_write t addr b
 
+(* Silent disassembly for lazy trace-text resolution: re-decode the
+   word at [segno|wordno] through the current DBR without touching
+   counters, charges, caches or the write observer — export must not
+   perturb the modeled machine.  Resolution happens at export time, so
+   the walk sees the descriptor state of that moment; an address that
+   no longer resolves (revoked segment, paged-out page, word that no
+   longer decodes) is [None], which the event log renders as ["?"]. *)
+let disassemble_at t ~segno ~wordno =
+  match Hw.Descriptor.fetch_sdw_silent t.mem t.regs.Hw.Registers.dbr ~segno with
+  | Error _ -> None
+  | Ok sdw -> (
+      let abs =
+        if not (Hw.Sdw.contains sdw ~wordno) then None
+        else if sdw.Hw.Sdw.paged then begin
+          let pageno = Hw.Paging.page_of_wordno wordno in
+          let waddr = sdw.Hw.Sdw.base + pageno in
+          let ptw = Hw.Paging.decode_ptw (Hw.Memory.read_silent t.mem waddr) in
+          if ptw.Hw.Paging.present then
+            Some (ptw.Hw.Paging.frame_base + Hw.Paging.offset_in_page wordno)
+          else None
+        end
+        else
+          match Hw.Descriptor.translate sdw ~segno ~wordno with
+          | Ok abs -> Some abs
+          | Error _ -> None
+      in
+      match abs with
+      | None -> None
+      | Some abs -> (
+          match Instr.decode (Hw.Memory.read_silent t.mem abs) with
+          | Ok instr -> Some (Format.asprintf "%a" Instr.pp instr)
+          | Error _ -> None))
+
 let create ?(mode = Ring_hardware)
     ?(stack_rule = Rings.Stack_rule.Segno_equals_ring)
     ?(gate_on_same_ring = true) ?(use_r1_in_indirection = true) ?mem_size ()
@@ -284,6 +317,14 @@ let create ?(mode = Ring_hardware)
     }
   in
   Hw.Memory.set_write_observer t.mem (on_memory_write t);
+  (* Instruction events defer their disassembly to export time; the
+     log resolves it by silently re-decoding the segment image.  Both
+     trace sinks mirror their discard statistics into the machine's
+     counters so drops and sampling ride the ordinary counter surface. *)
+  Trace.Event.set_text_resolver t.log (fun ~segno ~wordno ->
+      disassemble_at t ~segno ~wordno);
+  Trace.Event.set_stats t.log counters;
+  Trace.Span.set_stats t.spans counters;
   t
 
 let ring t = t.regs.Hw.Registers.ipr.Hw.Registers.ring
@@ -643,12 +684,9 @@ let take_fault t ~at fault =
     Trace.Counters.bump_access_violations t.counters;
   Trace.Counters.charge t.counters Hw.Costs.trap_entry;
   if Trace.Event.enabled t.log then
-    Trace.Event.record t.log
-      (Trace.Event.Trap
-         {
-           ring = Rings.Ring.to_int (ring t);
-           cause = Rings.Fault.to_string fault;
-         });
+    Trace.Event.record_trap t.log
+      ~ring:(Rings.Ring.to_int (ring t))
+      ~cause:(Rings.Fault.to_string fault);
   let regs = Hw.Registers.copy t.regs in
   regs.Hw.Registers.ipr <- at;
   t.saved <- Some { regs; fault };

@@ -224,6 +224,15 @@ val fetch_instr : t -> (Instr.t, Rings.Fault.t) result
     the execute bracket, read and decode — memoized whole through the
     fetch cache.  Modeled activity is identical cached or not. *)
 
+val disassemble_at : t -> segno:int -> wordno:int -> string option
+(** Silently re-decode and render the instruction word at
+    [segno|wordno] through the current DBR — no counters, charges,
+    caches or observers are touched.  This is the event log's lazy
+    text resolver ({!Trace.Event.set_text_resolver}, registered by
+    {!create}): trace export resolves instruction text on demand
+    instead of the CPU formatting it per retired instruction.  [None]
+    if the address no longer resolves or the word no longer decodes. *)
+
 (** {1 Mode-dependent validation}
 
     In hardware mode these apply the {!Rings.Policy} bracket rules; in

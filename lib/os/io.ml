@@ -41,13 +41,11 @@ let complete p (r : Isa.Machine.io_request) =
       (Hw.Addr.offset r.Isa.Machine.ccw 1)
       (done_flag lor transferred)
   in
-  Trace.Event.record p.Process.machine.Isa.Machine.log
-    (Trace.Event.Gatekeeper
-       {
-         action =
-           Printf.sprintf "I/O completion: %d word(s) %s" transferred
-             (match r.Isa.Machine.direction with
-             | `Read -> "read"
-             | `Write -> "written");
-       });
+  (if Trace.Event.enabled p.Process.machine.Isa.Machine.log then
+     Trace.Event.record_gatekeeper p.Process.machine.Isa.Machine.log
+       ~action:
+         (Printf.sprintf "I/O completion: %d word(s) %s" transferred
+            (match r.Isa.Machine.direction with
+            | `Read -> "read"
+            | `Write -> "written")));
   Ok ()

@@ -66,8 +66,8 @@ let handle_fault_inner p fault : (unit, exit) result =
       m.Isa.Machine.io_request <- None;
       match request with
       | None ->
-          Trace.Event.record m.Isa.Machine.log
-            (Trace.Event.Gatekeeper { action = "I/O completion serviced" });
+          Trace.Event.record_gatekeeper m.Isa.Machine.log
+            ~action:"I/O completion serviced";
           Isa.Machine.restore_saved m;
           Ok ()
       | Some r -> (
@@ -121,16 +121,13 @@ let handle_fault_inner p fault : (unit, exit) result =
         | None -> max_int
       in
       if Trace.Event.enabled m.Isa.Machine.log then
-        Trace.Event.record m.Isa.Machine.log
-          (Trace.Event.Gatekeeper
-             {
-               action =
-                 Printf.sprintf "parity at %08o %s" addr
-                   (if repaired then
-                      if in_descriptor then "scrubbed (descriptor damage)"
-                      else "scrubbed"
-                    else "transient, no repair needed");
-             });
+        Trace.Event.record_gatekeeper m.Isa.Machine.log
+          ~action:
+            (Printf.sprintf "parity at %08o %s" addr
+               (if repaired then
+                  if in_descriptor then "scrubbed (descriptor damage)"
+                  else "scrubbed"
+                else "transient, no repair needed"));
       close_recovery m;
       if p.Process.fault_count > budget then begin
         Trace.Counters.bump_quarantined counters;
@@ -164,13 +161,10 @@ let handle_fault_inner p fault : (unit, exit) result =
         let backoff = 8 lsl p.Process.io_attempts in
         m.Isa.Machine.io_countdown <- Some backoff;
         if Trace.Event.enabled m.Isa.Machine.log then
-          Trace.Event.record m.Isa.Machine.log
-            (Trace.Event.Gatekeeper
-               {
-                 action =
-                   Printf.sprintf "channel error: retry %d re-armed, %d cycles"
-                     p.Process.io_attempts backoff;
-               });
+          Trace.Event.record_gatekeeper m.Isa.Machine.log
+            ~action:
+              (Printf.sprintf "channel error: retry %d re-armed, %d cycles"
+                 p.Process.io_attempts backoff);
         close_recovery m;
         Isa.Machine.restore_saved m;
         m.Isa.Machine.on_recovery fault;

@@ -7,11 +7,14 @@ let max_args = 32
 
 let ( let* ) = Result.bind
 
+(* [action] is a thunk so the formatted string is only built when the
+   event log is enabled — as in {!Softrings}. *)
 let gatekeeper_event p action =
   Trace.Counters.bump_gatekeeper_entries
     p.Process.machine.Isa.Machine.counters;
-  Trace.Event.record p.Process.machine.Isa.Machine.log
-    (Trace.Event.Gatekeeper { action })
+  let log = p.Process.machine.Isa.Machine.log in
+  if Trace.Event.enabled log then
+    Trace.Event.record_gatekeeper log ~action:(action ())
 
 (* The gatekeeper reads and writes on the caller's behalf, so it must
    hold itself to the caller's capabilities — the software equivalent
@@ -84,9 +87,9 @@ let enter_upward p ~caller_state ~to_ring ~target =
   let m = p.Process.machine in
   let regs = m.Isa.Machine.regs in
   Trace.Counters.charge m.Isa.Machine.counters Costs.outward_setup;
-  gatekeeper_event p
-    (Format.asprintf "upward call to %a in %a" Hw.Addr.pp target Rings.Ring.pp
-       to_ring);
+  gatekeeper_event p (fun () ->
+      Format.asprintf "upward call to %a in %a" Hw.Addr.pp target Rings.Ring.pp
+        to_ring);
   let caller_ring =
     caller_state.Hw.Registers.ipr.Hw.Registers.ring
   in
@@ -164,7 +167,7 @@ let handle_outward_return p =
   let m = p.Process.machine in
   let regs = m.Isa.Machine.regs in
   Trace.Counters.charge m.Isa.Machine.counters Costs.outward_return;
-  gatekeeper_event p "outward return";
+  gatekeeper_event p (fun () -> "outward return");
   m.Isa.Machine.saved <- None;
   match Process.pop_crossing p with
   | None -> Error "return gate entered with no outward call outstanding"

@@ -397,13 +397,10 @@ let switch_descriptor_segment t ring =
         Trace.Counters.charge t.machine.Isa.Machine.counters
           Costs.descriptor_segment_switch;
         if Trace.Event.enabled t.machine.Isa.Machine.log then
-          Trace.Event.record t.machine.Isa.Machine.log
-            (Trace.Event.Descriptor_switch
-               {
-                 from_ring =
-                   Rings.Ring.to_int regs.Hw.Registers.ipr.Hw.Registers.ring;
-                 to_ring = Rings.Ring.to_int ring;
-               });
+          Trace.Event.record_descriptor_switch t.machine.Isa.Machine.log
+            ~from_ring:
+              (Rings.Ring.to_int regs.Hw.Registers.ipr.Hw.Registers.ring)
+            ~to_ring:(Rings.Ring.to_int ring);
         regs.Hw.Registers.dbr <- target
       end
 
@@ -671,7 +668,8 @@ let handle_page_fault t ~segno ~pageno =
   ps.resident <- (frame, segno, pageno) :: ps.resident;
   Trace.Counters.bump_page_faults counters;
   Trace.Counters.charge counters Costs.page_transfer;
-  Trace.Event.record t.machine.Isa.Machine.log
-    (Trace.Event.Gatekeeper
-       { action = Printf.sprintf "page %d of segment %d brought in" pageno segno });
+  (if Trace.Event.enabled t.machine.Isa.Machine.log then
+     Trace.Event.record_gatekeeper t.machine.Isa.Machine.log
+       ~action:
+         (Printf.sprintf "page %d of segment %d brought in" pageno segno));
   Ok ()

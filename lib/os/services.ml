@@ -58,9 +58,9 @@ let add_segment p =
     match read_name p ~ring with
     | Error _ -> resume p ~result:all_ones
     | Ok name -> (
-        Trace.Event.record p.Process.machine.Isa.Machine.log
-          (Trace.Event.Gatekeeper
-             { action = Printf.sprintf "add segment %S" name });
+        (if Trace.Event.enabled p.Process.machine.Isa.Machine.log then
+           Trace.Event.record_gatekeeper p.Process.machine.Isa.Machine.log
+             ~action:(Printf.sprintf "add segment %S" name));
         Trace.Counters.charge p.Process.machine.Isa.Machine.counters
           Costs.gate_validation;
         (* File-system search direction: with per-process search rules

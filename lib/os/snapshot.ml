@@ -51,7 +51,10 @@ let corrupt msg = raise (Fail (Corrupt msg))
 let shape msg = raise (Fail (Shape_mismatch msg))
 
 let magic = "RINGSNAP"
-let version = 1
+
+(* v2: trace section gained the event sampler/high-water fields and the
+   span sampler fields (events moved to the binary arena encoding). *)
+let version = 2
 let header_len = 8 + 8 + 8 + 8
 
 (* FNV-1a 64, truncated to OCaml's 63-bit int (writer and reader
@@ -729,10 +732,14 @@ let write_machine b (m : Isa.Machine.t) =
 
 let write_trace b (m : Isa.Machine.t) =
   w_bool b (Trace.Event.enabled m.Isa.Machine.log);
-  let entries, next_seq, dropped = Trace.Event.dump m.Isa.Machine.log in
-  w_list w_stamped b entries;
-  w_int b next_seq;
-  w_int b dropped;
+  let d = Trace.Event.dump m.Isa.Machine.log in
+  w_list w_stamped b d.Trace.Event.d_entries;
+  w_int b d.Trace.Event.d_next_seq;
+  w_int b d.Trace.Event.d_dropped;
+  w_int b d.Trace.Event.d_sampled_out;
+  w_int b d.Trace.Event.d_high_water;
+  w_int b d.Trace.Event.d_sample_interval;
+  w_int b d.Trace.Event.d_sample_seed;
   w_bool b (Trace.Span.enabled m.Isa.Machine.spans);
   let d = Trace.Span.dump m.Isa.Machine.spans in
   w_list w_open_span b d.Trace.Span.dump_stack;
@@ -740,6 +747,9 @@ let write_trace b (m : Isa.Machine.t) =
   w_list w_completed b d.Trace.Span.dump_completed;
   w_int b d.Trace.Span.dump_dropped;
   w_int b d.Trace.Span.dump_unmatched;
+  w_int b d.Trace.Span.dump_sampled_out;
+  w_int b d.Trace.Span.dump_sample_interval;
+  w_int b d.Trace.Span.dump_sample_seed;
   w_int b (Array.length d.Trace.Span.dump_hists);
   Array.iter (w_hist b) d.Trace.Span.dump_hists;
   w_bool b (Trace.Profile.enabled m.Isa.Machine.profile);
@@ -926,10 +936,24 @@ let apply_machine r (m : Isa.Machine.t) =
 
 let apply_trace r (m : Isa.Machine.t) =
   Trace.Event.set_enabled m.Isa.Machine.log (r_bool r);
-  let entries = r_list r_stamped r in
-  let next_seq = r_int r in
-  let dropped = r_int r in
-  (try Trace.Event.restore m.Isa.Machine.log (entries, next_seq, dropped)
+  let d_entries = r_list r_stamped r in
+  let d_next_seq = r_int r in
+  let d_dropped = r_int r in
+  let d_sampled_out = r_int r in
+  let d_high_water = r_int r in
+  let d_sample_interval = r_int r in
+  let d_sample_seed = r_int r in
+  (try
+     Trace.Event.restore m.Isa.Machine.log
+       {
+         Trace.Event.d_entries;
+         d_next_seq;
+         d_dropped;
+         d_sampled_out;
+         d_high_water;
+         d_sample_interval;
+         d_sample_seed;
+       }
    with Invalid_argument msg -> corrupt msg);
   Trace.Span.set_enabled m.Isa.Machine.spans (r_bool r);
   let dump_stack = r_list r_open_span r in
@@ -937,6 +961,9 @@ let apply_trace r (m : Isa.Machine.t) =
   let dump_completed = r_list r_completed r in
   let dump_dropped = r_int r in
   let dump_unmatched = r_int r in
+  let dump_sampled_out = r_int r in
+  let dump_sample_interval = r_int r in
+  let dump_sample_seed = r_int r in
   let nhists = r_int r in
   if nhists < 0 then corrupt "negative histogram count";
   let dump_hists = Array.make (max nhists 1) ([||], 0, 0, 0, 0) in
@@ -952,6 +979,9 @@ let apply_trace r (m : Isa.Machine.t) =
          dump_completed;
          dump_dropped;
          dump_unmatched;
+         dump_sampled_out;
+         dump_sample_interval;
+         dump_sample_seed;
          dump_hists;
        }
    with Invalid_argument msg -> corrupt msg);

@@ -7,7 +7,7 @@ let gatekeeper_event p action =
     p.Process.machine.Isa.Machine.counters;
   let log = p.Process.machine.Isa.Machine.log in
   if Trace.Event.enabled log then
-    Trace.Event.record log (Trace.Event.Gatekeeper { action = action () })
+    Trace.Event.record_gatekeeper log ~action:(action ())
 
 (* Count the caller's arguments and charge the software validation of
    each pointer — on the 645 the called ring cannot trust the hardware

@@ -16,6 +16,16 @@ type shard_summary = {
   shard_latency : Trace.Histogram.t;
 }
 
+type fleet_trace = {
+  tr_requests : int;
+  tr_events : int;
+  tr_spans : int;
+  tr_seen : int;
+  tr_dropped : int;
+  tr_sampled_out : int;
+  tr_spans_sampled_out : int;
+}
+
 type fleet = {
   completed : int;
   ok : int;
@@ -25,6 +35,7 @@ type fleet = {
   counters : Trace.Counters.snapshot option;
   rings : (int * int * int) list;
   kernel_cycles : int;
+  trace : fleet_trace option;
 }
 
 type t = {
@@ -50,6 +61,7 @@ let build models outcomes dispatch =
   let latency = Trace.Histogram.create () in
   let exits = ref [] and per_class = ref [] and rings = ref [] in
   let counters = ref None and kernel = ref 0 and ok = ref 0 in
+  let trace = ref None in
   List.iter
     (fun (o : Shard.outcome) ->
       Trace.Histogram.observe latency o.Shard.latency;
@@ -61,6 +73,35 @@ let build models outcomes dispatch =
           1;
       rings := merge_rings !rings o.Shard.ring_cycles;
       kernel := !kernel + o.Shard.kernel_cycles;
+      (match o.Shard.trace with
+      | None -> ()
+      | Some rt ->
+          let acc =
+            match !trace with
+            | Some acc -> acc
+            | None ->
+                {
+                  tr_requests = 0;
+                  tr_events = 0;
+                  tr_spans = 0;
+                  tr_seen = 0;
+                  tr_dropped = 0;
+                  tr_sampled_out = 0;
+                  tr_spans_sampled_out = 0;
+                }
+          in
+          trace :=
+            Some
+              {
+                tr_requests = acc.tr_requests + 1;
+                tr_events = acc.tr_events + List.length rt.Shard.t_events;
+                tr_spans = acc.tr_spans + List.length rt.Shard.t_spans;
+                tr_seen = acc.tr_seen + rt.Shard.t_seen;
+                tr_dropped = acc.tr_dropped + rt.Shard.t_dropped;
+                tr_sampled_out = acc.tr_sampled_out + rt.Shard.t_sampled_out;
+                tr_spans_sampled_out =
+                  acc.tr_spans_sampled_out + rt.Shard.t_spans_sampled_out;
+              });
       counters :=
         Some
           (match !counters with
@@ -78,6 +119,7 @@ let build models outcomes dispatch =
       rings =
         List.sort compare (List.map (fun (r, (c, i)) -> (r, c, i)) !rings);
       kernel_cycles = !kernel;
+      trace = !trace;
     }
   in
   let summaries =
@@ -106,6 +148,26 @@ let build models outcomes dispatch =
       models
   in
   { fleet; shards = summaries; dispatch }
+
+(* The merged Chrome trace: one "process" per traced request, pid =
+   request id.  [outcomes] arrive sorted by request id and a request's
+   trace is placement-independent, so the document is byte-stable
+   across shard counts, pool sizes and steal settings. *)
+let chrome_trace outcomes =
+  Trace.Export.chrome_trace_fleet
+    (List.filter_map
+       (fun (o : Shard.outcome) ->
+         match o.Shard.trace with
+         | None -> None
+         | Some rt ->
+             Some
+               ( o.Shard.request.Workload.id,
+                 Printf.sprintf "req %d %s/%d" o.Shard.request.Workload.id
+                   o.Shard.request.Workload.program
+                   o.Shard.request.Workload.iterations,
+                 rt.Shard.t_events,
+                 rt.Shard.t_spans ))
+       outcomes)
 
 let requests_per_modeled_sec t =
   if t.dispatch.Dispatcher.makespan <= 0 then 0.0
@@ -204,6 +266,16 @@ let report_json ?(config = []) t =
   add (Printf.sprintf "],\n    \"kernel_cycles\": %d,\n" t.fleet.kernel_cycles);
   add "    \"counters\": ";
   counters_json b t.fleet.counters;
+  add ",\n    \"trace\": ";
+  (match t.fleet.trace with
+  | None -> add "null"
+  | Some tr ->
+      add
+        (Printf.sprintf
+           "{\"requests\": %d, \"events\": %d, \"spans\": %d, \"seen\": %d, \
+            \"dropped\": %d, \"sampled_out\": %d, \"spans_sampled_out\": %d}"
+           tr.tr_requests tr.tr_events tr.tr_spans tr.tr_seen tr.tr_dropped
+           tr.tr_sampled_out tr.tr_spans_sampled_out));
   add "\n  },\n";
   add "  \"dispatch\": {\n";
   add
@@ -270,6 +342,15 @@ let pp ppf t =
   Format.fprintf ppf "makespan: %d cycles, %.2f requests/modeled-second@,"
     d.Dispatcher.makespan
     (requests_per_modeled_sec t);
+  (match f.trace with
+  | None -> ()
+  | Some tr ->
+      Format.fprintf ppf
+        "trace: %d request%s, %d events / %d spans kept (%d seen, %d \
+         dropped, %d sampled out)@,"
+        tr.tr_requests
+        (if tr.tr_requests = 1 then "" else "s")
+        tr.tr_events tr.tr_spans tr.tr_seen tr.tr_dropped tr.tr_sampled_out);
   Array.iter
     (fun s ->
       Format.fprintf ppf

@@ -21,6 +21,18 @@ type shard_summary = {
   shard_latency : Trace.Histogram.t;
 }
 
+type fleet_trace = {
+  tr_requests : int;  (** Requests that carried a trace. *)
+  tr_events : int;  (** Retained events, summed over requests. *)
+  tr_spans : int;  (** Retained completed spans. *)
+  tr_seen : int;  (** Events offered to the samplers. *)
+  tr_dropped : int;  (** Events overwritten in the ring buffers. *)
+  tr_sampled_out : int;  (** Events deselected by the samplers. *)
+  tr_spans_sampled_out : int;
+}
+(** Fleet-wide trace accounting: sums over request traces, so — like
+    every other fleet field — independent of placement. *)
+
 type fleet = {
   completed : int;
   ok : int;
@@ -35,6 +47,8 @@ type fleet = {
   rings : (int * int * int) list;
       (** Fleet [(ring, cycles, instructions)] attribution. *)
   kernel_cycles : int;
+  trace : fleet_trace option;
+      (** [None] when the fleet ran untraced (or nothing completed). *)
 }
 
 type t = {
@@ -49,6 +63,15 @@ val build :
     fleet, not the pool workers that happened to execute the requests
     on the host — that is what keeps the report byte-identical across
     pool sizes and steal settings. *)
+
+val chrome_trace : Shard.outcome list -> string
+(** The merged fleet Chrome trace: one Chrome "process" per traced
+    request (pid = request id, in request-id order — pass
+    {!Dispatcher.result.outcomes}, which is already sorted), rings as
+    threads inside each.  Untraced outcomes are skipped.  Because a
+    request's trace is placement-independent, the document is
+    byte-identical across shard counts, pool sizes and steal
+    settings. *)
 
 val requests_per_modeled_sec : t -> float
 (** [completed * 1e6 / makespan] — one modeled cycle is one

@@ -94,6 +94,7 @@ type config = {
   preload : (Shard.klass * string) list;
   pool : int option;
   steal : bool;
+  trace : Shard.trace_cfg option;
 }
 
 let default_config ~shards =
@@ -109,6 +110,7 @@ let default_config ~shards =
     preload = [];
     pool = None;
     steal = true;
+    trace = None;
   }
 
 type stats = {
@@ -345,6 +347,12 @@ let run cfg reqs =
   (match cfg.pool with
   | Some p when p < 1 -> invalid_arg "Dispatcher.run: pool < 1"
   | _ -> ());
+  (match cfg.trace with
+  | Some t when t.Shard.sample < 1 ->
+      invalid_arg "Dispatcher.run: trace sample < 1"
+  | Some t when t.Shard.capacity < 1 ->
+      invalid_arg "Dispatcher.run: trace capacity < 1"
+  | _ -> ());
   let nworkers =
     match cfg.pool with
     | Some p -> p
@@ -354,7 +362,7 @@ let run cfg reqs =
   let workers =
     Array.init nworkers (fun i ->
         Shard.create ~id:i ~image_cap:cfg.image_cap ?inject:cfg.inject
-          ?watchdog:cfg.watchdog ~preload:cfg.preload ())
+          ?watchdog:cfg.watchdog ?trace:cfg.trace ~preload:cfg.preload ())
   in
   (* Outcome facts discovered so far.  A request not yet executed is
      assumed not to trip — the optimistic placement; a wrong guess is

@@ -70,12 +70,17 @@ type config = {
   steal : bool;
       (** Allow idle workers to steal from sibling deque tails.
           Affects host time only, never the report. *)
+  trace : Shard.trace_cfg option;
+      (** Per-request tracing on every shard; traces land in
+          {!Shard.outcome.trace}.  Because the trace configuration is
+          sealed into each class's boot image, the captured traces are
+          placement-independent like every other outcome field. *)
 }
 
 val default_config : shards:int -> config
 (** [queue_cap 64], [imbalance 4], [replicas 16], [batch_window 4096],
     [image_cap 8], no watchdog, no injection, no preload, pool sized
-    to the host, stealing on. *)
+    to the host, stealing on, no tracing. *)
 
 type stats = {
   completed : int;  (** Requests served to an exit. *)

@@ -8,6 +8,20 @@
 
 type klass = string * int
 
+type trace_cfg = { sample : int; seed : int; capacity : int }
+
+let default_trace_capacity = 4096
+
+type request_trace = {
+  t_events : Trace.Event.stamped list;
+  t_spans : Trace.Span.completed list;
+  t_seen : int;
+  t_dropped : int;
+  t_sampled_out : int;
+  t_high_water : int;
+  t_spans_sampled_out : int;
+}
+
 type outcome = {
   request : Workload.request;
   shard_id : int;
@@ -18,6 +32,7 @@ type outcome = {
   ring_cycles : (int * int * int) list;
   kernel_cycles : int;
   tripped : bool;
+  trace : request_trace option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -169,6 +184,7 @@ type t = {
   cache : (klass, slot) Hw.Assoc.t;
   inject : Hw.Inject.plan option;
   watchdog : int option;
+  trace_cfg : trace_cfg option;
   mutable preload : (klass * string) list;
   mutable is_quarantined : bool;
   mutable n_executed : int;
@@ -177,12 +193,18 @@ type t = {
   mutable warm : int;
 }
 
-let create ~id ?(image_cap = 8) ?inject ?watchdog ?(preload = []) () =
+let create ~id ?(image_cap = 8) ?inject ?watchdog ?trace ?(preload = []) () =
+  (match trace with
+  | Some c when c.sample < 1 -> invalid_arg "Shard.create: trace sample < 1"
+  | Some c when c.capacity < 1 ->
+      invalid_arg "Shard.create: trace capacity < 1"
+  | _ -> ());
   {
     sid = id;
     cache = Hw.Assoc.create ~capacity:image_cap ();
     inject;
     watchdog;
+    trace_cfg = trace;
     preload;
     is_quarantined = false;
     n_executed = 0;
@@ -236,6 +258,21 @@ let build_system t prog ~iterations =
           Isa.Machine.attach_injector (Os.System.machine sys) inj);
       let m = Os.System.machine sys in
       Trace.Profile.set_enabled m.Isa.Machine.profile true;
+      (* Tracing is configured BEFORE the slot image is captured, so
+         the enabled/sampling/capacity state — and the empty buffers —
+         are part of the boot image.  Every warm boot rewinds to that
+         state, which makes a request's trace a deterministic function
+         of its class alone, independent of shard and service order. *)
+      (match t.trace_cfg with
+      | None -> ()
+      | Some c ->
+          Trace.Event.set_capacity m.Isa.Machine.log c.capacity;
+          Trace.Event.set_sampling m.Isa.Machine.log ~interval:c.sample
+            ~seed:c.seed;
+          Trace.Event.set_enabled m.Isa.Machine.log true;
+          Trace.Span.set_sampling m.Isa.Machine.spans ~interval:c.sample
+            ~seed:c.seed;
+          Trace.Span.set_enabled m.Isa.Machine.spans true);
       sys
 
 let seal_slot sys =
@@ -332,6 +369,28 @@ let exec t (req : Workload.request) =
   in
   t.n_executed <- t.n_executed + 1;
   t.busy <- t.busy + delta.Trace.Counters.cycles;
+  let trace =
+    match t.trace_cfg with
+    | None -> None
+    | Some _ ->
+        let log = m.Isa.Machine.log and spans = m.Isa.Machine.spans in
+        (* Close spans a fault or budget exhaustion left open, then
+           drain the per-request buffers.  Instruction text resolves
+           here, against the machine's end-of-run state — before the
+           next warm boot rewinds it. *)
+        Trace.Span.drain spans
+          ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
+        Some
+          {
+            t_events = Trace.Event.stamped_events log;
+            t_spans = Trace.Span.completed spans;
+            t_seen = Trace.Event.seen log;
+            t_dropped = Trace.Event.dropped log;
+            t_sampled_out = Trace.Event.sampled_out log;
+            t_high_water = Trace.Event.high_water log;
+            t_spans_sampled_out = Trace.Span.sampled_out spans;
+          }
+  in
   {
     request = req;
     shard_id = t.sid;
@@ -344,4 +403,5 @@ let exec t (req : Workload.request) =
     kernel_cycles =
       Trace.Profile.kernel_cycles m.Isa.Machine.profile - slot.boot_kernel;
     tripped;
+    trace;
   }

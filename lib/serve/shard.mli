@@ -21,6 +21,29 @@
 type klass = string * int
 (** A service class: [(program, iterations)]. *)
 
+type trace_cfg = { sample : int; seed : int; capacity : int }
+(** Per-shard tracing: keep 1 in [sample] events and spans (seeded,
+    deterministic — see {!Trace.Event.set_sampling}) in an event
+    arena of [capacity] cells.  The configuration is applied before a
+    class's boot image is sealed, so it rewinds with every warm boot
+    and a request's trace is placement-independent. *)
+
+val default_trace_capacity : int
+(** Event-arena capacity the serving layer defaults to (4096). *)
+
+type request_trace = {
+  t_events : Trace.Event.stamped list;
+      (** Retained events, instruction text already resolved. *)
+  t_spans : Trace.Span.completed list;  (** Drained: every span closed. *)
+  t_seen : int;  (** Events offered to the sampler. *)
+  t_dropped : int;  (** Events overwritten in the ring buffer. *)
+  t_sampled_out : int;  (** Events deselected by the sampler. *)
+  t_high_water : int;  (** Peak arena occupancy. *)
+  t_spans_sampled_out : int;  (** Completed spans deselected. *)
+}
+(** One request's trace, captured at completion (before the next warm
+    boot rewinds the machine). *)
+
 type outcome = {
   request : Workload.request;
   shard_id : int;
@@ -36,6 +59,8 @@ type outcome = {
       (** The request ended in quarantine (fault budget or watchdog):
           the dispatcher should quarantine this shard and redistribute
           its queue. *)
+  trace : request_trace option;
+      (** Present iff the shard was created with a [trace_cfg]. *)
 }
 
 type t
@@ -45,6 +70,7 @@ val create :
   ?image_cap:int ->
   ?inject:Hw.Inject.plan ->
   ?watchdog:int ->
+  ?trace:trace_cfg ->
   ?preload:(klass * string) list ->
   unit ->
   t
@@ -52,10 +78,13 @@ val create :
     8; 0 disables caching).  [inject] attaches the deterministic fault
     injector to every machine the shard boots, before its image is
     captured, so injection state rewinds with the machine.  [watchdog]
-    is passed to {!Os.System.run} for every request.  [preload] seeds
-    the image cache from externally captured images; these are applied
-    with the fully checked {!Os.Snapshot.restore} on first use (disk
-    images are untrusted), then reused via warm boot. *)
+    is passed to {!Os.System.run} for every request.  [trace] enables
+    per-request tracing (captured into {!outcome.trace}); raises
+    [Invalid_argument] if its sample or capacity is below 1.
+    [preload] seeds the image cache from externally captured images;
+    these are applied with the fully checked {!Os.Snapshot.restore} on
+    first use (disk images are untrusted), then reused via warm
+    boot. *)
 
 val id : t -> int
 val quarantined : t -> bool

@@ -50,6 +50,13 @@ type t = {
   mutable restore_audit_rejections : int;
   mutable journal_replays_skipped : int;
   mutable watchdog_tripped : int;
+  (* Trace-pipeline self-observation: events overwritten in a full
+     ring buffer, and events/spans deselected by the deterministic
+     1-in-N sampler.  These move only when tracing is enabled, so an
+     untraced run's counter surface is unchanged. *)
+  mutable events_dropped : int;
+  mutable events_sampled_out : int;
+  mutable spans_sampled_out : int;
 }
 
 let create () =
@@ -92,6 +99,9 @@ let create () =
     restore_audit_rejections = 0;
     journal_replays_skipped = 0;
     watchdog_tripped = 0;
+    events_dropped = 0;
+    events_sampled_out = 0;
+    spans_sampled_out = 0;
   }
 
 let reset t =
@@ -132,7 +142,10 @@ let reset t =
   t.restores <- 0;
   t.restore_audit_rejections <- 0;
   t.journal_replays_skipped <- 0;
-  t.watchdog_tripped <- 0
+  t.watchdog_tripped <- 0;
+  t.events_dropped <- 0;
+  t.events_sampled_out <- 0;
+  t.spans_sampled_out <- 0
 
 let charge t n = t.cycles <- t.cycles + n
 let cycles t = t.cycles
@@ -235,6 +248,15 @@ let bump_journal_replays_skipped t =
 let journal_replays_skipped t = t.journal_replays_skipped
 let bump_watchdog_tripped t = t.watchdog_tripped <- t.watchdog_tripped + 1
 let watchdog_tripped t = t.watchdog_tripped
+let bump_events_dropped t = t.events_dropped <- t.events_dropped + 1
+let events_dropped t = t.events_dropped
+
+let bump_events_sampled_out t =
+  t.events_sampled_out <- t.events_sampled_out + 1
+
+let events_sampled_out t = t.events_sampled_out
+let bump_spans_sampled_out t = t.spans_sampled_out <- t.spans_sampled_out + 1
+let spans_sampled_out t = t.spans_sampled_out
 
 type snapshot = {
   cycles : int;
@@ -275,6 +297,9 @@ type snapshot = {
   restore_audit_rejections : int;
   journal_replays_skipped : int;
   watchdog_tripped : int;
+  events_dropped : int;
+  events_sampled_out : int;
+  spans_sampled_out : int;
 }
 
 let snapshot (t : t) : snapshot =
@@ -317,6 +342,9 @@ let snapshot (t : t) : snapshot =
     restore_audit_rejections = t.restore_audit_rejections;
     journal_replays_skipped = t.journal_replays_skipped;
     watchdog_tripped = t.watchdog_tripped;
+    events_dropped = t.events_dropped;
+    events_sampled_out = t.events_sampled_out;
+    spans_sampled_out = t.spans_sampled_out;
   }
 
 let restore (t : t) (s : snapshot) =
@@ -357,7 +385,10 @@ let restore (t : t) (s : snapshot) =
   t.restores <- s.restores;
   t.restore_audit_rejections <- s.restore_audit_rejections;
   t.journal_replays_skipped <- s.journal_replays_skipped;
-  t.watchdog_tripped <- s.watchdog_tripped
+  t.watchdog_tripped <- s.watchdog_tripped;
+  t.events_dropped <- s.events_dropped;
+  t.events_sampled_out <- s.events_sampled_out;
+  t.spans_sampled_out <- s.spans_sampled_out
 
 let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
   {
@@ -403,6 +434,9 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     journal_replays_skipped =
       after.journal_replays_skipped - before.journal_replays_skipped;
     watchdog_tripped = after.watchdog_tripped - before.watchdog_tripped;
+    events_dropped = after.events_dropped - before.events_dropped;
+    events_sampled_out = after.events_sampled_out - before.events_sampled_out;
+    spans_sampled_out = after.spans_sampled_out - before.spans_sampled_out;
   }
 
 let add (a : snapshot) (b : snapshot) : snapshot =
@@ -447,6 +481,9 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     journal_replays_skipped =
       a.journal_replays_skipped + b.journal_replays_skipped;
     watchdog_tripped = a.watchdog_tripped + b.watchdog_tripped;
+    events_dropped = a.events_dropped + b.events_dropped;
+    events_sampled_out = a.events_sampled_out + b.events_sampled_out;
+    spans_sampled_out = a.spans_sampled_out + b.spans_sampled_out;
   }
 
 (* Every snapshot field by name, in declaration order.  The metrics
@@ -493,6 +530,9 @@ let fields (s : snapshot) : (string * int) list =
     ("restore_audit_rejections", s.restore_audit_rejections);
     ("journal_replays_skipped", s.journal_replays_skipped);
     ("watchdog_tripped", s.watchdog_tripped);
+    ("events_dropped", s.events_dropped);
+    ("events_sampled_out", s.events_sampled_out);
+    ("spans_sampled_out", s.spans_sampled_out);
   ]
 
 (* Inverse of [fields]: rebuild a snapshot from [(name, value)] pairs.
@@ -564,6 +604,9 @@ let of_fields (l : (string * int) list) : (snapshot, string) result =
         restore_audit_rejections = get "restore_audit_rejections";
         journal_replays_skipped = get "journal_replays_skipped";
         watchdog_tripped = get "watchdog_tripped";
+        events_dropped = get "events_dropped";
+        events_sampled_out = get "events_sampled_out";
+        spans_sampled_out = get "spans_sampled_out";
       }
 
 (* The robustness line appears only when injection was active, so an
@@ -581,6 +624,18 @@ let pp_robustness ppf (s : snapshot) =
        quarantined         %8d@,\
        degraded            %8d"
       s.injected s.retried s.recovered s.quarantined s.degraded
+
+(* Likewise, the trace-pipeline line appears only when the sampler or
+   the ring buffer actually discarded something, so a fully retained
+   trace prints exactly what it printed before sampling existed. *)
+let pp_trace_stats ppf (s : snapshot) =
+  if s.events_dropped <> 0 || s.events_sampled_out <> 0 || s.spans_sampled_out <> 0
+  then
+    Format.fprintf ppf
+      "@,events dropped      %8d@,\
+       events sampled out  %8d@,\
+       spans sampled out   %8d"
+      s.events_dropped s.events_sampled_out s.spans_sampled_out
 
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf
@@ -605,7 +660,7 @@ let pp_snapshot ppf (s : snapshot) =
      page evictions      %8d@,\
      SDW cache h/m/e     %8d %8d %8d@,\
      PTW TLB h/m/e       %8d %8d %8d@,\
-     icache h/m/e        %8d %8d %8d%a@]"
+     icache h/m/e        %8d %8d %8d%a%a@]"
     s.cycles s.instructions s.memory_reads s.memory_writes s.sdw_fetches
     s.indirections s.traps s.calls_same_ring s.calls_downward s.calls_upward
     s.returns_same_ring s.returns_upward s.returns_downward
@@ -613,4 +668,4 @@ let pp_snapshot ppf (s : snapshot) =
     s.ptw_fetches s.page_faults s.page_evictions s.sdw_cache_hits
     s.sdw_cache_misses s.sdw_cache_evictions s.ptw_tlb_hits s.ptw_tlb_misses
     s.ptw_tlb_evictions s.icache_hits s.icache_misses s.icache_evictions
-    pp_robustness s
+    pp_robustness s pp_trace_stats s

@@ -164,6 +164,23 @@ val journal_replays_skipped : t -> int
 val bump_watchdog_tripped : t -> unit
 val watchdog_tripped : t -> int
 
+(** {2 Trace-pipeline self-observation}
+
+    What the tracing subsystem itself discarded: [events_dropped]
+    events overwritten because the ring buffer was full,
+    [events_sampled_out] and [spans_sampled_out] events/spans
+    deselected by the deterministic 1-in-N sampler.  These move only
+    while tracing is enabled, so untraced runs are unaffected. *)
+
+val bump_events_dropped : t -> unit
+val events_dropped : t -> int
+
+val bump_events_sampled_out : t -> unit
+val events_sampled_out : t -> int
+
+val bump_spans_sampled_out : t -> unit
+val spans_sampled_out : t -> int
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -205,6 +222,9 @@ type snapshot = {
   restore_audit_rejections : int;
   journal_replays_skipped : int;
   watchdog_tripped : int;
+  events_dropped : int;
+  events_sampled_out : int;
+  spans_sampled_out : int;
 }
 
 val snapshot : t -> snapshot

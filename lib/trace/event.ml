@@ -28,25 +28,80 @@ type t =
 type stamped = { seq : int; cycles : int; event : t }
 
 let default_capacity = 65536
-let dummy = { seq = -1; cycles = 0; event = Note "" }
 
-(* A bounded circular buffer of stamped events.  [buf] is allocated
-   lazily on the first record so a disabled log — every machine the
-   benches create — costs one empty array and a bool test.  [head] is
-   the oldest retained entry, [len] the retained count; once [len]
-   reaches [capacity] each record overwrites the oldest and bumps
-   [dropped].  [seq] keeps counting across drops, so exported events
-   reveal gaps. *)
+(* Events live as fixed-width integer cells in one preallocated int
+   array, so the record path is a handful of unboxed stores — no
+   per-event variant allocation, no string formatting.  Cell layout:
+
+     [tag; seq; cycles; a; b; c; d; e]
+
+   with the field meaning per tag:
+
+     0 Instruction        a=ring  b=segno  c=wordno  d=text_id
+     1 Call               a=crossing  b=from  c=to  d=segno  e=wordno
+     2 Return             a=crossing  b=from  c=to  d=segno  e=wordno
+     3 Trap               a=ring  b=cause_id
+     4 Gatekeeper         a=action_id
+     5 Descriptor_switch  a=from  b=to
+     6 Note               a=text_id
+
+   Strings are interned into [strings] (ids stable for the life of the
+   log, surviving [clear]); an Instruction recorded on the hot path
+   stores text_id = -1 and its disassembly is reconstructed lazily at
+   export by [resolver] — re-decoding the word from the segment image —
+   so a traced run never formats text it doesn't export. *)
+let cell_width = 8
+
+let tag_instruction = 0
+and tag_call = 1
+and tag_return = 2
+and tag_trap = 3
+and tag_gatekeeper = 4
+and tag_descriptor_switch = 5
+and tag_note = 6
+
+let crossing_to_int = function
+  | Same_ring -> 0
+  | Downward -> 1
+  | Upward -> 2
+  | Recovery -> 3
+
+let crossing_of_int = function
+  | 0 -> Same_ring
+  | 1 -> Downward
+  | 2 -> Upward
+  | 3 -> Recovery
+  | n -> invalid_arg (Printf.sprintf "Event.crossing_of_int: %d" n)
+
+(* A bounded circular buffer of cells.  [cells] is allocated lazily on
+   the first record so a disabled log — every machine the benches
+   create — costs one empty array and a bool test.  [head] is the
+   oldest retained slot, [len] the retained count; once [len] reaches
+   [capacity] each record overwrites the oldest and bumps [dropped].
+   [next_seq] counts every candidate event (retained, overwritten or
+   sampled out), so exported sequence numbers reveal gaps from both
+   drops and sampling. *)
 type log = {
   mutable enabled : bool;
   mutable clock : unit -> int;
   mutable capacity : int;
-  mutable buf : stamped array;
+  mutable cells : int array;
   mutable head : int;
   mutable len : int;
   mutable next_seq : int;
   mutable dropped : int;
+  mutable sampled_out : int;
+  mutable high_water : int;
+  mutable sample_interval : int;
+  mutable sample_seed : int;
+  mutable strings : string array;
+  mutable nstrings : int;
+  string_ids : (string, int) Hashtbl.t;
+  mutable resolver : segno:int -> wordno:int -> string option;
+  mutable stats : Counters.t;
 }
+
+let no_resolver ~segno:_ ~wordno:_ = None
 
 let create_log ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Event.create_log: capacity < 1";
@@ -54,59 +109,273 @@ let create_log ?(capacity = default_capacity) () =
     enabled = false;
     clock = (fun () -> 0);
     capacity;
-    buf = [||];
+    cells = [||];
     head = 0;
     len = 0;
     next_seq = 0;
     dropped = 0;
+    sampled_out = 0;
+    high_water = 0;
+    sample_interval = 1;
+    sample_seed = 0;
+    strings = [||];
+    nstrings = 0;
+    string_ids = Hashtbl.create 16;
+    resolver = no_resolver;
+    stats = Counters.create ();
   }
 
 let enabled log = log.enabled
 let set_enabled log b = log.enabled <- b
 let set_clock log f = log.clock <- f
+let set_text_resolver log f = log.resolver <- f
+let set_stats log c = log.stats <- c
 let capacity log = log.capacity
 let dropped log = log.dropped
-let recorded log = log.next_seq
+let sampled_out log = log.sampled_out
+let high_water log = log.high_water
+let seen log = log.next_seq
+let recorded log = log.next_seq - log.sampled_out
+let sample_interval log = log.sample_interval
+let sample_seed log = log.sample_seed
+
+(* Deterministic 1-in-N selection as a pure function of the candidate's
+   sequence number: splitmix-style finalizer over (seq, seed), so the
+   same seeded workload selects the same events on every run, on every
+   shard, regardless of what else the process traced.  No sampler state
+   exists beyond (interval, seed), so checkpoints carry it trivially.
+   The multiplier fits OCaml's 63-bit native int. *)
+let sample_hit ~interval ~seed seq =
+  interval <= 1
+  ||
+  let h = (seq + 1) * (seed lor 1) in
+  let h = h lxor (h lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  h land max_int mod interval = 0
+
+let set_sampling log ~interval ~seed =
+  if interval < 1 then invalid_arg "Event.set_sampling: interval < 1";
+  log.sample_interval <- interval;
+  log.sample_seed <- seed
 
 let clear log =
   log.head <- 0;
   log.len <- 0;
   log.next_seq <- 0;
-  log.dropped <- 0
+  log.dropped <- 0;
+  log.sampled_out <- 0;
+  log.high_water <- 0
 
 let set_capacity log capacity =
   if capacity < 1 then invalid_arg "Event.set_capacity: capacity < 1";
   log.capacity <- capacity;
-  log.buf <- [||];
+  log.cells <- [||];
   clear log
 
-let record log e =
-  if log.enabled then begin
-    if Array.length log.buf = 0 then log.buf <- Array.make log.capacity dummy;
-    let slot =
-      if log.len < log.capacity then begin
-        let i = log.head + log.len in
-        let i = if i >= log.capacity then i - log.capacity else i in
-        log.len <- log.len + 1;
-        i
-      end
-      else begin
-        let i = log.head in
-        log.head <- (if i + 1 >= log.capacity then 0 else i + 1);
-        log.dropped <- log.dropped + 1;
-        i
-      end
-    in
-    log.buf.(slot) <- { seq = log.next_seq; cycles = log.clock (); event = e };
-    log.next_seq <- log.next_seq + 1
+let intern log s =
+  match Hashtbl.find_opt log.string_ids s with
+  | Some i -> i
+  | None ->
+      let i = log.nstrings in
+      if i >= Array.length log.strings then begin
+        let cap = max 16 (2 * Array.length log.strings) in
+        let a = Array.make cap "" in
+        Array.blit log.strings 0 a 0 i;
+        log.strings <- a
+      end;
+      log.strings.(i) <- s;
+      log.nstrings <- i + 1;
+      Hashtbl.add log.string_ids s i;
+      i
+
+(* Consume one sequence number; say whether the sampler keeps it. *)
+let admit log =
+  let seq = log.next_seq in
+  log.next_seq <- seq + 1;
+  if sample_hit ~interval:log.sample_interval ~seed:log.sample_seed seq then
+    seq
+  else begin
+    log.sampled_out <- log.sampled_out + 1;
+    Counters.bump_events_sampled_out log.stats;
+    -1
   end
+
+(* Reserve the next slot (overwriting the oldest when full) and return
+   its cell base. *)
+let claim log =
+  if Array.length log.cells = 0 then
+    log.cells <- Array.make (log.capacity * cell_width) 0;
+  let slot =
+    if log.len < log.capacity then begin
+      let i = log.head + log.len in
+      let i = if i >= log.capacity then i - log.capacity else i in
+      log.len <- log.len + 1;
+      if log.len > log.high_water then log.high_water <- log.len;
+      i
+    end
+    else begin
+      let i = log.head in
+      log.head <- (if i + 1 >= log.capacity then 0 else i + 1);
+      log.dropped <- log.dropped + 1;
+      Counters.bump_events_dropped log.stats;
+      i
+    end
+  in
+  slot * cell_width
+
+let fill log base ~tag ~seq ~a ~b ~c ~d ~e =
+  let cells = log.cells in
+  cells.(base) <- tag;
+  cells.(base + 1) <- seq;
+  cells.(base + 2) <- log.clock ();
+  cells.(base + 3) <- a;
+  cells.(base + 4) <- b;
+  cells.(base + 5) <- c;
+  cells.(base + 6) <- d;
+  cells.(base + 7) <- e
+
+(* The hot path: [Isa.Cpu.step] calls this once per retired
+   instruction when tracing is on.  Everything is an unboxed int store;
+   the disassembly is deferred (text_id = -1) until export. *)
+let record_instruction log ~ring ~segno ~wordno =
+  if log.enabled then begin
+    let seq = admit log in
+    if seq >= 0 then
+      fill log (claim log) ~tag:tag_instruction ~seq ~a:ring ~b:segno
+        ~c:wordno ~d:(-1) ~e:0
+  end
+
+let record_call log ~crossing ~from_ring ~to_ring ~segno ~wordno =
+  if log.enabled then begin
+    let seq = admit log in
+    if seq >= 0 then
+      fill log (claim log) ~tag:tag_call ~seq ~a:(crossing_to_int crossing)
+        ~b:from_ring ~c:to_ring ~d:segno ~e:wordno
+  end
+
+let record_return log ~crossing ~from_ring ~to_ring ~segno ~wordno =
+  if log.enabled then begin
+    let seq = admit log in
+    if seq >= 0 then
+      fill log (claim log) ~tag:tag_return ~seq ~a:(crossing_to_int crossing)
+        ~b:from_ring ~c:to_ring ~d:segno ~e:wordno
+  end
+
+let record_trap log ~ring ~cause =
+  if log.enabled then begin
+    let seq = admit log in
+    if seq >= 0 then begin
+      let id = intern log cause in
+      fill log (claim log) ~tag:tag_trap ~seq ~a:ring ~b:id ~c:0 ~d:0 ~e:0
+    end
+  end
+
+let record_gatekeeper log ~action =
+  if log.enabled then begin
+    let seq = admit log in
+    if seq >= 0 then begin
+      let id = intern log action in
+      fill log (claim log) ~tag:tag_gatekeeper ~seq ~a:id ~b:0 ~c:0 ~d:0 ~e:0
+    end
+  end
+
+let record_descriptor_switch log ~from_ring ~to_ring =
+  if log.enabled then begin
+    let seq = admit log in
+    if seq >= 0 then
+      fill log (claim log) ~tag:tag_descriptor_switch ~seq ~a:from_ring
+        ~b:to_ring ~c:0 ~d:0 ~e:0
+  end
+
+let record_note log text =
+  if log.enabled then begin
+    let seq = admit log in
+    if seq >= 0 then begin
+      let id = intern log text in
+      fill log (claim log) ~tag:tag_note ~seq ~a:id ~b:0 ~c:0 ~d:0 ~e:0
+    end
+  end
+
+(* Compatibility entry point over the variant view — used by tests and
+   by [restore]'s re-encoder, never by the hot path.  An [Instruction]
+   arriving with pre-formatted text keeps it (interned), so round-trips
+   through [dump]/[restore] pin the text resolved at dump time. *)
+let record log e =
+  if log.enabled then
+    match e with
+    | Instruction { ring; segno; wordno; text } ->
+        let seq = admit log in
+        if seq >= 0 then begin
+          let id = intern log text in
+          fill log (claim log) ~tag:tag_instruction ~seq ~a:ring ~b:segno
+            ~c:wordno ~d:id ~e:0
+        end
+    | Call { crossing; from_ring; to_ring; segno; wordno } ->
+        record_call log ~crossing ~from_ring ~to_ring ~segno ~wordno
+    | Return { crossing; from_ring; to_ring; segno; wordno } ->
+        record_return log ~crossing ~from_ring ~to_ring ~segno ~wordno
+    | Trap { ring; cause } -> record_trap log ~ring ~cause
+    | Gatekeeper { action } -> record_gatekeeper log ~action
+    | Descriptor_switch { from_ring; to_ring } ->
+        record_descriptor_switch log ~from_ring ~to_ring
+    | Note s -> record_note log s
+
+let instruction_text log ~segno ~wordno id =
+  if id >= 0 then log.strings.(id)
+  else
+    match log.resolver ~segno ~wordno with Some s -> s | None -> "?"
+
+let event_of_cells log base =
+  let g i = log.cells.(base + i) in
+  match g 0 with
+  | 0 (* tag_instruction *) ->
+      let segno = g 4 and wordno = g 5 in
+      Instruction
+        {
+          ring = g 3;
+          segno;
+          wordno;
+          text = instruction_text log ~segno ~wordno (g 6);
+        }
+  | 1 (* tag_call *) ->
+      Call
+        {
+          crossing = crossing_of_int (g 3);
+          from_ring = g 4;
+          to_ring = g 5;
+          segno = g 6;
+          wordno = g 7;
+        }
+  | 2 (* tag_return *) ->
+      Return
+        {
+          crossing = crossing_of_int (g 3);
+          from_ring = g 4;
+          to_ring = g 5;
+          segno = g 6;
+          wordno = g 7;
+        }
+  | 3 (* tag_trap *) -> Trap { ring = g 3; cause = log.strings.(g 4) }
+  | 4 (* tag_gatekeeper *) -> Gatekeeper { action = log.strings.(g 3) }
+  | 5 (* tag_descriptor_switch *) ->
+      Descriptor_switch { from_ring = g 3; to_ring = g 4 }
+  | 6 (* tag_note *) -> Note log.strings.(g 3)
+  | tag -> invalid_arg (Printf.sprintf "Event.event_of_cells: tag %d" tag)
 
 let fold_stamped log ~init ~f =
   let acc = ref init in
   for i = 0 to log.len - 1 do
     let j = log.head + i in
     let j = if j >= log.capacity then j - log.capacity else j in
-    acc := f !acc log.buf.(j)
+    let base = j * cell_width in
+    acc :=
+      f !acc
+        {
+          seq = log.cells.(base + 1);
+          cycles = log.cells.(base + 2);
+          event = event_of_cells log base;
+        }
   done;
   !acc
 
@@ -116,23 +385,81 @@ let stamped_events log =
 let events log =
   List.rev (fold_stamped log ~init:[] ~f:(fun acc s -> s.event :: acc))
 
-(* Checkpoint support: the retained entries with their original stamps
-   plus the monotonic counters.  [restore] refills the buffer without
-   re-stamping, so sequence numbers and cycle stamps survive a
-   checkpoint/restore round-trip exactly. *)
-let dump log = (stamped_events log, log.next_seq, log.dropped)
+(* Checkpoint support.  [dump] resolves instruction text eagerly (via
+   {!stamped_events}), so what a checkpoint pins is what the trace
+   showed at capture time; [restore] re-encodes the entries — interning
+   that resolved text — without re-stamping or re-sampling, so sequence
+   numbers, cycle stamps, sampler configuration and discard counters
+   all survive a round-trip exactly. *)
+type dump = {
+  d_entries : stamped list;
+  d_next_seq : int;
+  d_dropped : int;
+  d_sampled_out : int;
+  d_high_water : int;
+  d_sample_interval : int;
+  d_sample_seed : int;
+}
 
-let restore log (entries, next_seq, dropped) =
-  let n = List.length entries in
+let dump log =
+  {
+    d_entries = stamped_events log;
+    d_next_seq = log.next_seq;
+    d_dropped = log.dropped;
+    d_sampled_out = log.sampled_out;
+    d_high_water = log.high_water;
+    d_sample_interval = log.sample_interval;
+    d_sample_seed = log.sample_seed;
+  }
+
+let encode_at log slot s =
+  let base = slot * cell_width in
+  let cells = log.cells in
+  let set ~tag ~a ~b ~c ~d ~e =
+    cells.(base) <- tag;
+    cells.(base + 1) <- s.seq;
+    cells.(base + 2) <- s.cycles;
+    cells.(base + 3) <- a;
+    cells.(base + 4) <- b;
+    cells.(base + 5) <- c;
+    cells.(base + 6) <- d;
+    cells.(base + 7) <- e
+  in
+  match s.event with
+  | Instruction { ring; segno; wordno; text } ->
+      set ~tag:tag_instruction ~a:ring ~b:segno ~c:wordno
+        ~d:(intern log text) ~e:0
+  | Call { crossing; from_ring; to_ring; segno; wordno } ->
+      set ~tag:tag_call ~a:(crossing_to_int crossing) ~b:from_ring ~c:to_ring
+        ~d:segno ~e:wordno
+  | Return { crossing; from_ring; to_ring; segno; wordno } ->
+      set ~tag:tag_return ~a:(crossing_to_int crossing) ~b:from_ring
+        ~c:to_ring ~d:segno ~e:wordno
+  | Trap { ring; cause } ->
+      set ~tag:tag_trap ~a:ring ~b:(intern log cause) ~c:0 ~d:0 ~e:0
+  | Gatekeeper { action } ->
+      set ~tag:tag_gatekeeper ~a:(intern log action) ~b:0 ~c:0 ~d:0 ~e:0
+  | Descriptor_switch { from_ring; to_ring } ->
+      set ~tag:tag_descriptor_switch ~a:from_ring ~b:to_ring ~c:0 ~d:0 ~e:0
+  | Note text -> set ~tag:tag_note ~a:(intern log text) ~b:0 ~c:0 ~d:0 ~e:0
+
+let restore log d =
+  let n = List.length d.d_entries in
   if n > log.capacity then invalid_arg "Event.restore: entries > capacity";
+  if d.d_sample_interval < 1 then
+    invalid_arg "Event.restore: sample_interval < 1";
   clear log;
-  if n > 0 && Array.length log.buf = 0 then
-    log.buf <- Array.make log.capacity dummy;
-  List.iteri (fun i s -> log.buf.(i) <- s) entries;
+  if n > 0 && Array.length log.cells = 0 then
+    log.cells <- Array.make (log.capacity * cell_width) 0;
+  List.iteri (fun i s -> encode_at log i s) d.d_entries;
   log.head <- 0;
   log.len <- n;
-  log.next_seq <- next_seq;
-  log.dropped <- dropped
+  log.next_seq <- d.d_next_seq;
+  log.dropped <- d.d_dropped;
+  log.sampled_out <- d.d_sampled_out;
+  log.high_water <- d.d_high_water;
+  log.sample_interval <- d.d_sample_interval;
+  log.sample_seed <- d.d_sample_seed
 
 let crossing_to_string = function
   | Same_ring -> "same-ring"

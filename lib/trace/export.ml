@@ -45,63 +45,65 @@ let kernel_tid = 99
 
 (* {1 Chrome trace} *)
 
-let span_event buf (s : Span.completed) =
+let span_event buf ~pid (s : Span.completed) =
   Buffer.add_string buf
     (Printf.sprintf
        "{\"name\":\"%s call r%d->r%d seg %d\",\"cat\":\"%s\",\"ph\":\"X\",\
-        \"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":{\"from_ring\":%d,\
+        \"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":{\"from_ring\":%d,\
         \"to_ring\":%d,\"segno\":%d,\"wordno\":%d,\"depth\":%d,\"seq\":%d,\
         \"forced\":%b}}"
        (kind_id s.Span.kind) s.Span.from_ring s.Span.to_ring s.Span.segno
-       (kind_id s.Span.kind) s.Span.to_ring s.Span.start_cycles
+       (kind_id s.Span.kind) pid s.Span.to_ring s.Span.start_cycles
        (s.Span.end_cycles - s.Span.start_cycles)
        s.Span.from_ring s.Span.to_ring s.Span.segno s.Span.wordno
        s.Span.depth s.Span.seq s.Span.forced)
 
-let instant_event buf ~tid ~cycles ~seq ~name ~cat =
+let instant_event buf ~pid ~tid ~cycles ~seq ~name ~cat =
   Buffer.add_string buf
     (Printf.sprintf "{\"name\":");
   add_str buf name;
   Buffer.add_string buf
     (Printf.sprintf
-       ",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\
+       ",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\
         \"ts\":%d,\"args\":{\"seq\":%d}}"
-       cat tid cycles seq)
+       cat pid tid cycles seq)
 
-let stamped_event buf (s : Event.stamped) =
+let stamped_event buf ~pid (s : Event.stamped) =
   let cycles = s.Event.cycles and seq = s.Event.seq in
   match s.Event.event with
   | Event.Instruction { ring; segno; wordno; text } ->
-      instant_event buf ~tid:ring ~cycles ~seq ~cat:"instruction"
+      instant_event buf ~pid ~tid:ring ~cycles ~seq ~cat:"instruction"
         ~name:(Printf.sprintf "%d|%06o %s" segno wordno text)
   | Event.Call { crossing; from_ring; to_ring; segno; wordno } ->
-      instant_event buf ~tid:to_ring ~cycles ~seq ~cat:"call"
+      instant_event buf ~pid ~tid:to_ring ~cycles ~seq ~cat:"call"
         ~name:
           (Printf.sprintf "CALL %s r%d->r%d %d|%06o"
              (Event.crossing_to_string crossing)
              from_ring to_ring segno wordno)
   | Event.Return { crossing; from_ring; to_ring; segno; wordno } ->
-      instant_event buf ~tid:to_ring ~cycles ~seq ~cat:"return"
+      instant_event buf ~pid ~tid:to_ring ~cycles ~seq ~cat:"return"
         ~name:
           (Printf.sprintf "RETURN %s r%d->r%d %d|%06o"
              (Event.crossing_to_string crossing)
              from_ring to_ring segno wordno)
   | Event.Trap { ring; cause } ->
-      instant_event buf ~tid:ring ~cycles ~seq ~cat:"trap"
+      instant_event buf ~pid ~tid:ring ~cycles ~seq ~cat:"trap"
         ~name:(Printf.sprintf "TRAP %s" cause)
   | Event.Gatekeeper { action } ->
-      instant_event buf ~tid:kernel_tid ~cycles ~seq ~cat:"gatekeeper"
+      instant_event buf ~pid ~tid:kernel_tid ~cycles ~seq ~cat:"gatekeeper"
         ~name:action
   | Event.Descriptor_switch { from_ring; to_ring } ->
-      instant_event buf ~tid:to_ring ~cycles ~seq ~cat:"descriptor_switch"
+      instant_event buf ~pid ~tid:to_ring ~cycles ~seq ~cat:"descriptor_switch"
         ~name:(Printf.sprintf "DBR switch r%d->r%d" from_ring to_ring)
-  | Event.Note s -> instant_event buf ~tid:kernel_tid ~cycles ~seq ~cat:"note" ~name:s
+  | Event.Note s ->
+      instant_event buf ~pid ~tid:kernel_tid ~cycles ~seq ~cat:"note" ~name:s
 
 module Int_set = Set.Make (Int)
 
-let chrome_trace ?(events = []) ?(spans = []) () =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n";
+(* One Chrome "process": its name metadata, per-ring thread names, then
+   spans and events.  [chrome_trace] emits a single process with pid 0;
+   the fleet exporter emits one process per request. *)
+let add_process buf ~sep ~pid ~pname ~events ~spans =
   (* Name the per-ring "threads" so Perfetto's track labels read as
      rings, not tids. *)
   let tids =
@@ -122,13 +124,13 @@ let chrome_trace ?(events = []) ?(spans = []) () =
       (fun acc (s : Span.completed) -> Int_set.add s.Span.to_ring acc)
       init spans
   in
-  let first = ref true in
-  let sep () =
-    if !first then first := false else Buffer.add_string buf ",\n"
-  in
   sep ();
   Buffer.add_string buf
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"ringsim (1us = 1 modeled cycle)\"}}";
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":"
+       pid);
+  add_str buf pname;
+  Buffer.add_string buf "}}";
   Int_set.iter
     (fun tid ->
       sep ();
@@ -137,20 +139,48 @@ let chrome_trace ?(events = []) ?(spans = []) () =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
             \"args\":{\"name\":\"%s\"}}"
-           tid name))
+           pid tid name))
     tids;
   List.iter
     (fun s ->
       sep ();
-      span_event buf s)
+      span_event buf ~pid s)
     spans;
   List.iter
     (fun e ->
       sep ();
-      stamped_event buf e)
-    events;
+      stamped_event buf ~pid e)
+    events
+
+let chrome_trace ?(events = []) ?(spans = []) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  add_process buf ~sep ~pid:0 ~pname:"ringsim (1us = 1 modeled cycle)" ~events
+    ~spans;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* The fleet view: every request of a traced serving campaign as its
+   own Chrome process (pid = request id), rings as threads inside it.
+   Callers pass requests in id order, so the document is deterministic
+   whenever the per-request traces are. *)
+let chrome_trace_fleet groups =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  List.iter
+    (fun (pid, pname, events, spans) ->
+      add_process buf ~sep ~pid ~pname ~events ~spans)
+    groups;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
@@ -245,19 +275,23 @@ let metrics_json ~counters ?events ?spans ?profile ?(segment_names = []) () =
   | Some log ->
       Buffer.add_string buf
         (Printf.sprintf
-           ",\n  \"events\": {\"recorded\": %d, \"dropped\": %d, \
-            \"capacity\": %d}"
-           (Event.recorded log) (Event.dropped log) (Event.capacity log)));
+           ",\n  \"events\": {\"seen\": %d, \"recorded\": %d, \"dropped\": \
+            %d, \"sampled_out\": %d,\n    \"capacity\": %d, \"high_water\": \
+            %d, \"sample_interval\": %d, \"sample_seed\": %d}"
+           (Event.seen log) (Event.recorded log) (Event.dropped log)
+           (Event.sampled_out log) (Event.capacity log) (Event.high_water log)
+           (Event.sample_interval log) (Event.sample_seed log)));
   (match spans with
   | None -> ()
   | Some tr ->
       Buffer.add_string buf
         (Printf.sprintf
            ",\n  \"spans\": {\n    \"dropped\": %d, \"unmatched_returns\": \
-            %d, \"open\": %d,\n    \"latency_cycles\": {"
+            %d, \"open\": %d, \"sampled_out\": %d, \"sample_interval\": \
+            %d,\n    \"latency_cycles\": {"
            (Span.dropped tr)
            (Span.unmatched_returns tr)
-           (Span.open_depth tr));
+           (Span.open_depth tr) (Span.sampled_out tr) (Span.sample_interval tr));
       List.iteri
         (fun i kind ->
           if i > 0 then Buffer.add_string buf ", ";
@@ -321,10 +355,20 @@ let metrics_prometheus ~counters ?events ?spans ?profile ?(segment_names = [])
   (match events with
   | None -> ()
   | Some log ->
+      line "# TYPE rings_events_seen counter";
+      line "rings_events_seen %d" (Event.seen log);
       line "# TYPE rings_events_recorded counter";
       line "rings_events_recorded %d" (Event.recorded log);
       line "# TYPE rings_events_dropped counter";
-      line "rings_events_dropped %d" (Event.dropped log));
+      line "rings_events_dropped %d" (Event.dropped log);
+      line "# TYPE rings_events_sampled_out counter";
+      line "rings_events_sampled_out %d" (Event.sampled_out log);
+      line "# TYPE rings_events_capacity gauge";
+      line "rings_events_capacity %d" (Event.capacity log);
+      line "# TYPE rings_events_high_water gauge";
+      line "rings_events_high_water %d" (Event.high_water log);
+      line "# TYPE rings_events_sample_interval gauge";
+      line "rings_events_sample_interval %d" (Event.sample_interval log));
   (match profile with
   | None -> ()
   | Some p ->
@@ -366,6 +410,10 @@ let metrics_prometheus ~counters ?events ?spans ?profile ?(segment_names = [])
       line "rings_span_dropped %d" (Span.dropped tr);
       line "# TYPE rings_span_unmatched_returns counter";
       line "rings_span_unmatched_returns %d" (Span.unmatched_returns tr);
+      line "# TYPE rings_span_sampled_out counter";
+      line "rings_span_sampled_out %d" (Span.sampled_out tr);
+      line "# TYPE rings_span_sample_interval gauge";
+      line "rings_span_sample_interval %d" (Span.sample_interval tr);
       line "# TYPE rings_span_latency_cycles histogram";
       List.iter
         (fun kind ->

@@ -15,6 +15,14 @@ val chrome_trace :
   ?events:Event.stamped list -> ?spans:Span.completed list -> unit -> string
 (** A complete Chrome trace-event document ([{"traceEvents": [...]}]). *)
 
+val chrome_trace_fleet :
+  (int * string * Event.stamped list * Span.completed list) list -> string
+(** A merged Chrome trace for a traced serving campaign: one Chrome
+    "process" per group [(pid, name, events, spans)] — the serving
+    layer passes one group per request, pid = request id, in id order
+    — with rings as threads inside each.  Deterministic whenever the
+    groups are. *)
+
 val events_jsonl : Event.stamped list -> string
 (** One JSON object per line per stamped event: [seq], [cycles],
     [type], and the event's own fields. *)

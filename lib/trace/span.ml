@@ -48,6 +48,10 @@ type tracker = {
   mutable len : int;
   mutable dropped : int;
   mutable unmatched_returns : int;
+  mutable sampled_out : int;
+  mutable sample_interval : int;
+  mutable sample_seed : int;
+  mutable stats : Counters.t;
   hist_same : Histogram.t;
   hist_down : Histogram.t;
   hist_up : Histogram.t;
@@ -80,6 +84,10 @@ let create ?(capacity = default_capacity) () =
     len = 0;
     dropped = 0;
     unmatched_returns = 0;
+    sampled_out = 0;
+    sample_interval = 1;
+    sample_seed = 0;
+    stats = Counters.create ();
     hist_same = Histogram.create ();
     hist_down = Histogram.create ();
     hist_up = Histogram.create ();
@@ -88,8 +96,18 @@ let create ?(capacity = default_capacity) () =
 
 let enabled t = t.enabled
 let set_enabled t b = t.enabled <- b
+let set_stats t c = t.stats <- c
 let dropped t = t.dropped
 let unmatched_returns t = t.unmatched_returns
+let sampled_out t = t.sampled_out
+let sample_interval t = t.sample_interval
+let sample_seed t = t.sample_seed
+
+let set_sampling t ~interval ~seed =
+  if interval < 1 then invalid_arg "Span.set_sampling: interval < 1";
+  t.sample_interval <- interval;
+  t.sample_seed <- seed
+
 let open_depth t = List.length t.stack
 
 let histogram t = function
@@ -105,6 +123,7 @@ let clear t =
   t.len <- 0;
   t.dropped <- 0;
   t.unmatched_returns <- 0;
+  t.sampled_out <- 0;
   Histogram.clear t.hist_same;
   Histogram.clear t.hist_down;
   Histogram.clear t.hist_up;
@@ -145,23 +164,37 @@ let open_span t ~kind ~from_ring ~to_ring ~segno ~wordno ~cycles =
     t.next_seq <- t.next_seq + 1
   end
 
+(* Sampling applies at completion, not at open: the LIFO stack is
+   always fully maintained (matching must see every call), and whether
+   a finished span is kept is a pure hash of its open-order sequence
+   number — the same seeded workload keeps the same spans on every run
+   and every shard.  A sampled-out span skips both sinks (histogram
+   and ring buffer), so sampled percentiles are computed over the
+   selected subset. *)
 let complete t o ~cycles ~forced =
-  let c =
-    {
-      kind = o.o_kind;
-      from_ring = o.o_from_ring;
-      to_ring = o.o_to_ring;
-      segno = o.o_segno;
-      wordno = o.o_wordno;
-      start_cycles = o.o_start;
-      end_cycles = cycles;
-      depth = o.o_depth;
-      seq = o.o_seq;
-      forced;
-    }
-  in
-  Histogram.observe (histogram t o.o_kind) (cycles - o.o_start);
-  push_completed t c
+  if Event.sample_hit ~interval:t.sample_interval ~seed:t.sample_seed o.o_seq
+  then begin
+    let c =
+      {
+        kind = o.o_kind;
+        from_ring = o.o_from_ring;
+        to_ring = o.o_to_ring;
+        segno = o.o_segno;
+        wordno = o.o_wordno;
+        start_cycles = o.o_start;
+        end_cycles = cycles;
+        depth = o.o_depth;
+        seq = o.o_seq;
+        forced;
+      }
+    in
+    Histogram.observe (histogram t o.o_kind) (cycles - o.o_start);
+    push_completed t c
+  end
+  else begin
+    t.sampled_out <- t.sampled_out + 1;
+    Counters.bump_spans_sampled_out t.stats
+  end
 
 (* [kind]: what the closer believes it is undoing.  The outward-return
    mechanism bounces through an intermediate hardware upward return (to
@@ -203,6 +236,9 @@ type dump = {
   dump_completed : completed list;
   dump_dropped : int;
   dump_unmatched : int;
+  dump_sampled_out : int;
+  dump_sample_interval : int;
+  dump_sample_seed : int;
   dump_hists : (int array * int * int * int * int) array;
       (* same, down, up, recovery *)
 }
@@ -214,6 +250,9 @@ let dump t =
     dump_completed = completed t;
     dump_dropped = t.dropped;
     dump_unmatched = t.unmatched_returns;
+    dump_sampled_out = t.sampled_out;
+    dump_sample_interval = t.sample_interval;
+    dump_sample_seed = t.sample_seed;
     dump_hists =
       [|
         Histogram.dump t.hist_same;
@@ -228,12 +267,17 @@ let restore t d =
     invalid_arg "Span.restore: completed spans > capacity";
   if Array.length d.dump_hists <> 4 then
     invalid_arg "Span.restore: expected four histograms";
+  if d.dump_sample_interval < 1 then
+    invalid_arg "Span.restore: sample_interval < 1";
   clear t;
   t.stack <- d.dump_stack;
   t.next_seq <- d.dump_next_seq;
   List.iter (fun c -> push_completed t c) d.dump_completed;
   t.dropped <- d.dump_dropped;
   t.unmatched_returns <- d.dump_unmatched;
+  t.sampled_out <- d.dump_sampled_out;
+  t.sample_interval <- d.dump_sample_interval;
+  t.sample_seed <- d.dump_sample_seed;
   Histogram.restore t.hist_same d.dump_hists.(0);
   Histogram.restore t.hist_down d.dump_hists.(1);
   Histogram.restore t.hist_up d.dump_hists.(2);

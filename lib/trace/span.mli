@@ -52,6 +52,24 @@ val enabled : tracker -> bool
 
 val set_enabled : tracker -> bool -> unit
 
+val set_stats : tracker -> Counters.t -> unit
+(** Mirror sampled-out span counts into a {!Counters.t} — the machine
+    points this at its own counters. *)
+
+val set_sampling : tracker -> interval:int -> seed:int -> unit
+(** Keep (statistically) 1 in [interval] completed spans, selected by
+    {!Event.sample_hit} over the span's open-order sequence number —
+    deterministic for a seeded workload.  The open-span stack is
+    always fully maintained (matching needs every call); sampling
+    applies at completion, before the histogram and the ring buffer,
+    so sampled percentiles are computed over the selected subset.
+    [interval = 1] (the default) keeps everything.  Raises
+    [Invalid_argument] if [interval < 1]. *)
+
+val sample_interval : tracker -> int
+
+val sample_seed : tracker -> int
+
 val open_span :
   tracker ->
   kind:Event.crossing ->
@@ -85,6 +103,10 @@ val open_depth : tracker -> int
 val dropped : tracker -> int
 (** Completed spans overwritten because the buffer was full. *)
 
+val sampled_out : tracker -> int
+(** Completed spans deselected by the sampler (never observed by the
+    histograms or retained). *)
+
 val unmatched_returns : tracker -> int
 
 val clear : tracker -> unit
@@ -97,6 +119,9 @@ type dump = {
   dump_completed : completed list;
   dump_dropped : int;
   dump_unmatched : int;
+  dump_sampled_out : int;
+  dump_sample_interval : int;
+  dump_sample_seed : int;
   dump_hists : (int array * int * int * int * int) array;
       (** Latency histograms in kind order: same-ring, downward,
           upward, recovery. *)

@@ -427,6 +427,151 @@ let test_export_determinism () =
   Alcotest.(check string) "chrome trace deterministic" t1 t2;
   Alcotest.(check string) "metrics deterministic" m1 m2
 
+(* --- Sampling end-to-end: determinism, discard stats, percentiles --- *)
+
+let run_sampled ~interval ~seed ~iterations () =
+  let* p =
+    Os.Scenario.crossing ~config:Os.Scenario.default_config ~caller_ring:4
+      ~callee_ring:1 ~iterations ()
+  in
+  let m = p.Os.Process.machine in
+  Trace.Event.set_sampling m.Isa.Machine.log ~interval ~seed;
+  Trace.Span.set_sampling m.Isa.Machine.spans ~interval ~seed;
+  Trace.Event.set_enabled m.Isa.Machine.log true;
+  Trace.Span.set_enabled m.Isa.Machine.spans true;
+  Trace.Profile.set_enabled m.Isa.Machine.profile true;
+  match Os.Kernel.run ~max_instructions:1_000_000 p with
+  | Os.Kernel.Exited ->
+      Trace.Span.drain m.Isa.Machine.spans
+        ~cycles:(Trace.Counters.cycles m.Isa.Machine.counters);
+      Ok m
+  | e -> Error (Format.asprintf "did not exit: %a" Os.Kernel.pp_exit e)
+
+let test_sampled_export_determinism () =
+  (* The same seeded workload at the same sampling configuration must
+     keep the same events — every exporter byte-identical across
+     runs. *)
+  let export () =
+    match run_sampled ~interval:8 ~seed:3 ~iterations:12 () with
+    | Error e -> Alcotest.fail e
+    | Ok m ->
+        Alcotest.(check bool) "sampler actually deselected events" true
+          (Trace.Event.sampled_out m.Isa.Machine.log > 0);
+        let counters = Trace.Counters.snapshot m.Isa.Machine.counters in
+        ( Trace.Export.chrome_trace
+            ~events:(Trace.Event.stamped_events m.Isa.Machine.log)
+            ~spans:(Trace.Span.completed m.Isa.Machine.spans)
+            (),
+          Trace.Export.events_jsonl
+            (Trace.Event.stamped_events m.Isa.Machine.log),
+          Trace.Export.metrics_json ~counters ~events:m.Isa.Machine.log
+            ~spans:m.Isa.Machine.spans ~profile:m.Isa.Machine.profile () )
+  in
+  let t1, j1, m1 = export () in
+  let t2, j2, m2 = export () in
+  Alcotest.(check string) "sampled chrome trace byte-identical" t1 t2;
+  Alcotest.(check string) "sampled jsonl byte-identical" j1 j2;
+  Alcotest.(check string) "sampled metrics byte-identical" m1 m2
+
+let test_export_discard_stats () =
+  (* Drop and sampling losses are first-class exporter fields, both in
+     the events/spans sections and — via the machine's stats mirror —
+     in the ordinary counters surface. *)
+  match run_sampled ~interval:8 ~seed:3 ~iterations:12 () with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+      let log = m.Isa.Machine.log in
+      let counters = Trace.Counters.snapshot m.Isa.Machine.counters in
+      let doc =
+        Trace.Export.metrics_json ~counters ~events:log
+          ~spans:m.Isa.Machine.spans ()
+      in
+      let json = must_parse "metrics json" doc in
+      (match Trace.Json.member "events" json with
+      | Some ev ->
+          let num k =
+            match Trace.Json.member k ev with
+            | Some (Trace.Json.Number n) -> int_of_float n
+            | _ -> Alcotest.fail ("events section missing " ^ k)
+          in
+          Alcotest.(check int) "seen" (Trace.Event.seen log) (num "seen");
+          Alcotest.(check int) "sampled_out" (Trace.Event.sampled_out log)
+            (num "sampled_out");
+          Alcotest.(check int) "dropped" (Trace.Event.dropped log)
+            (num "dropped");
+          Alcotest.(check int) "high_water" (Trace.Event.high_water log)
+            (num "high_water");
+          Alcotest.(check bool) "sampling visible" true (num "sampled_out" > 0)
+      | None -> Alcotest.fail "no events section");
+      (match Trace.Json.member "counters" json with
+      | Some (Trace.Json.Object fields) ->
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) ("counters carry " ^ k) true
+                (List.mem_assoc k fields))
+            [ "events_dropped"; "events_sampled_out"; "spans_sampled_out" ];
+          (match List.assoc "events_sampled_out" fields with
+          | Trace.Json.Number n ->
+              Alcotest.(check int) "counter mirrors the log"
+                (Trace.Event.sampled_out log) (int_of_float n)
+          | _ -> Alcotest.fail "events_sampled_out not a number")
+      | _ -> Alcotest.fail "no counters object");
+      let page =
+        Trace.Export.metrics_prometheus ~counters ~events:log
+          ~spans:m.Isa.Machine.spans ()
+      in
+      let contains sub =
+        let ls = String.length sub and lp = String.length page in
+        let rec go i =
+          i + ls <= lp && (String.sub page i ls = sub || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("prometheus has " ^ name) true
+            (contains name))
+        [
+          "rings_events_seen"; "rings_events_dropped";
+          "rings_events_sampled_out"; "rings_events_high_water";
+          "rings_span_sampled_out";
+        ]
+
+let test_sampled_percentiles_within_bucket () =
+  (* Sampled span percentiles must stay within one log2 bucket of the
+     full-trace percentiles on the crossing workload — the contract
+     that makes 1-in-N tracing usable for latency monitoring. *)
+  match
+    ( run_sampled ~interval:1 ~seed:0 ~iterations:64 (),
+      run_sampled ~interval:4 ~seed:11 ~iterations:64 () )
+  with
+  | Ok full, Ok sampled ->
+      let hist m =
+        Trace.Span.histogram m.Isa.Machine.spans Trace.Event.Downward
+      in
+      let hf = hist full and hs = hist sampled in
+      Alcotest.(check int) "full trace holds every crossing" 64
+        (Trace.Histogram.count hf);
+      Alcotest.(check bool) "sampler kept a strict subset" true
+        (Trace.Histogram.count hs > 0 && Trace.Histogram.count hs < 64);
+      Alcotest.(check int) "subset size matches the discard counter" 64
+        (Trace.Histogram.count hs
+        + Trace.Span.sampled_out sampled.Isa.Machine.spans);
+      List.iter
+        (fun p ->
+          let bf =
+            Trace.Histogram.bucket_of (Trace.Histogram.percentile hf p)
+          and bs =
+            Trace.Histogram.bucket_of (Trace.Histogram.percentile hs p)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "p%.0f within one bucket (full %d, sampled %d)" p
+               bf bs)
+            true
+            (abs (bf - bs) <= 1))
+        [ 50.0; 90.0; 99.0 ]
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
 let suite =
   [
     ( "observability",
@@ -462,5 +607,11 @@ let suite =
           test_metrics_prometheus_export;
         Alcotest.test_case "export determinism" `Quick
           test_export_determinism;
+        Alcotest.test_case "sampled export determinism" `Quick
+          test_sampled_export_determinism;
+        Alcotest.test_case "export discard stats" `Quick
+          test_export_discard_stats;
+        Alcotest.test_case "sampled percentiles within bucket" `Quick
+          test_sampled_percentiles_within_bucket;
       ] );
   ]

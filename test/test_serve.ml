@@ -463,6 +463,100 @@ let test_quarantine_under_pool () =
     (run ~pool:4 ~steal:true)
     (run ~pool:1 ~steal:false)
 
+(* ------------------------------------------------------------------ *)
+(* Traced serving *)
+
+let test_traced_fleet () =
+  let reqs =
+    Serve.Workload.(generate ~mix:standard_mix ~seed:7 ~requests:30)
+  in
+  let trace = Some { Serve.Shard.sample = 2; seed = 7; capacity = 512 } in
+  let run shards =
+    let cfg =
+      {
+        (Serve.Dispatcher.default_config ~shards) with
+        queue_cap = 256;
+        trace;
+      }
+    in
+    let r = Serve.Dispatcher.run cfg reqs in
+    ( Serve.Aggregate.build r.Serve.Dispatcher.models
+        r.Serve.Dispatcher.outcomes r.Serve.Dispatcher.stats,
+      r.Serve.Dispatcher.outcomes )
+  in
+  let agg2, out2 = run 2 in
+  (* Every completed request carries a trace, and the fleet accounting
+     closes: seen = retained + dropped + sampled out. *)
+  (match agg2.Serve.Aggregate.fleet.Serve.Aggregate.trace with
+  | None -> Alcotest.fail "traced fleet reports no trace section"
+  | Some tr ->
+      Alcotest.(check int) "every completed request traced"
+        agg2.Serve.Aggregate.fleet.Serve.Aggregate.completed
+        tr.Serve.Aggregate.tr_requests;
+      Alcotest.(check bool) "events retained" true
+        (tr.Serve.Aggregate.tr_events > 0);
+      Alcotest.(check bool) "sampler deselected events" true
+        (tr.Serve.Aggregate.tr_sampled_out > 0);
+      Alcotest.(check int) "accounting closes" tr.Serve.Aggregate.tr_seen
+        (tr.Serve.Aggregate.tr_events + tr.Serve.Aggregate.tr_dropped
+       + tr.Serve.Aggregate.tr_sampled_out));
+  (* Placement independence and rerun stability: the merged Chrome
+     trace and the fleet section are byte-identical across shard
+     counts and across reruns. *)
+  let agg3, out3 = run 3 in
+  let agg2', out2' = run 2 in
+  Alcotest.(check string) "chrome trace shard-count invariant"
+    (Serve.Aggregate.chrome_trace out2)
+    (Serve.Aggregate.chrome_trace out3);
+  Alcotest.(check string) "chrome trace rerun byte-identical"
+    (Serve.Aggregate.chrome_trace out2)
+    (Serve.Aggregate.chrome_trace out2');
+  Alcotest.(check string) "traced report rerun byte-identical"
+    (Serve.Aggregate.report_json agg2)
+    (Serve.Aggregate.report_json agg2');
+  Alcotest.(check string) "traced fleet section shard-count invariant"
+    (fleet_section (Serve.Aggregate.report_json agg2))
+    (fleet_section (Serve.Aggregate.report_json agg3));
+  (* An untraced fleet reports no trace section and no per-request
+     traces. *)
+  let untraced, out_untraced, _ = run_fleet ~shards:2 reqs in
+  Alcotest.(check bool) "untraced fleet has no trace section" true
+    (untraced.Serve.Aggregate.fleet.Serve.Aggregate.trace = None);
+  List.iter
+    (fun (o : Serve.Shard.outcome) ->
+      Alcotest.(check bool) "untraced outcome has no trace" true
+        (o.Serve.Shard.trace = None))
+    out_untraced
+
+let test_trace_config_validation () =
+  let bad cfg =
+    try
+      ignore (Serve.Dispatcher.run cfg []);
+      false
+    with Invalid_argument _ -> true
+  in
+  let base = Serve.Dispatcher.default_config ~shards:2 in
+  Alcotest.(check bool) "trace sample 0 rejected" true
+    (bad
+       {
+         base with
+         trace = Some { Serve.Shard.sample = 0; seed = 0; capacity = 16 };
+       });
+  Alcotest.(check bool) "trace capacity 0 rejected" true
+    (bad
+       {
+         base with
+         trace = Some { Serve.Shard.sample = 1; seed = 0; capacity = 0 };
+       });
+  Alcotest.(check bool) "shard-level trace sample 0 rejected" true
+    (try
+       ignore
+         (Serve.Shard.create ~id:0
+            ~trace:{ Serve.Shard.sample = 0; seed = 0; capacity = 16 }
+            ());
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     ( "serve",
@@ -500,5 +594,9 @@ let suite =
           test_steal_report_invariant;
         Alcotest.test_case "dispatch: quarantine under the pool" `Quick
           test_quarantine_under_pool;
+        Alcotest.test_case "trace: fleet placement-invariant" `Quick
+          test_traced_fleet;
+        Alcotest.test_case "trace: config validation" `Quick
+          test_trace_config_validation;
       ] );
   ]

@@ -61,6 +61,111 @@ let test_event_ring_buffer_bounds () =
   Trace.Event.clear log;
   Alcotest.(check int) "clear resets dropped" 0 (Trace.Event.dropped log)
 
+(* Deterministic sampling: whether a candidate is kept is a pure hash
+   of its sequence number and the seed, so two logs with the same
+   configuration retain exactly the same events — and those are
+   exactly the exposed predicate's hits. *)
+let test_event_sampling_deterministic () =
+  let run () =
+    let log = Trace.Event.create_log ~capacity:256 () in
+    Trace.Event.set_sampling log ~interval:4 ~seed:9;
+    Trace.Event.set_enabled log true;
+    for i = 1 to 100 do
+      Trace.Event.record_note log (string_of_int i)
+    done;
+    log
+  in
+  let a = run () in
+  Alcotest.(check int) "every candidate seen" 100 (Trace.Event.seen a);
+  Alcotest.(check int) "seen = recorded + sampled_out" 100
+    (Trace.Event.recorded a + Trace.Event.sampled_out a);
+  Alcotest.(check bool) "sampler deselected some" true
+    (Trace.Event.sampled_out a > 0);
+  Alcotest.(check bool) "sampler kept some" true (Trace.Event.recorded a > 0);
+  let seqs log =
+    List.map (fun s -> s.Trace.Event.seq) (Trace.Event.stamped_events log)
+  in
+  let expected =
+    List.filter
+      (Trace.Event.sample_hit ~interval:4 ~seed:9)
+      (List.init 100 Fun.id)
+  in
+  Alcotest.(check (list int)) "retained = predicate hits" expected (seqs a);
+  Alcotest.(check (list int)) "identical across runs" (seqs a)
+    (seqs (run ()));
+  (* Interval 1 (the default) keeps everything; interval < 1 is
+     rejected up front. *)
+  let full = Trace.Event.create_log () in
+  Trace.Event.set_enabled full true;
+  for _ = 1 to 10 do
+    Trace.Event.record_note full "x"
+  done;
+  Alcotest.(check int) "interval 1 samples nothing out" 0
+    (Trace.Event.sampled_out full);
+  try
+    Trace.Event.set_sampling full ~interval:0 ~seed:0;
+    Alcotest.fail "interval 0 accepted"
+  with Invalid_argument _ -> ()
+
+(* Wraparound and sampling together: sequence numbers never reset, so
+   exported seq gaps reveal both overwrites and sampler deselection,
+   and the discard accounting closes exactly. *)
+let test_event_wrap_sampling_accounting () =
+  let log = Trace.Event.create_log ~capacity:4 () in
+  Trace.Event.set_sampling log ~interval:2 ~seed:5;
+  Trace.Event.set_enabled log true;
+  for i = 0 to 39 do
+    Trace.Event.record_note log (string_of_int i)
+  done;
+  let retained = Trace.Event.stamped_events log in
+  Alcotest.(check int) "buffer full" 4 (List.length retained);
+  Alcotest.(check int) "high water = capacity" 4 (Trace.Event.high_water log);
+  Alcotest.(check int) "seen counts every candidate" 40 (Trace.Event.seen log);
+  Alcotest.(check int) "recorded = seen - sampled_out"
+    (40 - Trace.Event.sampled_out log)
+    (Trace.Event.recorded log);
+  Alcotest.(check int) "dropped = recorded - retained"
+    (Trace.Event.recorded log - 4)
+    (Trace.Event.dropped log);
+  (* The survivors are the newest sampler hits, in seq order. *)
+  let hits =
+    List.filter (Trace.Event.sample_hit ~interval:2 ~seed:5)
+      (List.init 40 Fun.id)
+  in
+  let newest =
+    List.filteri (fun i _ -> i >= List.length hits - 4) hits
+  in
+  Alcotest.(check (list int)) "newest hits survive" newest
+    (List.map (fun s -> s.Trace.Event.seq) retained)
+
+(* The binary arena stores the instruction's address, not its text:
+   disassembly is reconstructed through the pluggable resolver when
+   the log is read, so the record path never formats anything. *)
+let test_event_lazy_text_resolution () =
+  let log = Trace.Event.create_log () in
+  Trace.Event.set_enabled log true;
+  Trace.Event.record_instruction log ~ring:4 ~segno:11 ~wordno:3;
+  (match Trace.Event.events log with
+  | [ Trace.Event.Instruction i ] ->
+      Alcotest.(check int) "ring kept" 4 i.ring;
+      Alcotest.(check int) "segno kept" 11 i.segno;
+      Alcotest.(check int) "wordno kept" 3 i.wordno;
+      Alcotest.(check string) "no resolver: placeholder" "?" i.text
+  | _ -> Alcotest.fail "expected one instruction event");
+  Trace.Event.set_text_resolver log (fun ~segno ~wordno ->
+      Some (Printf.sprintf "insn@%d|%d" segno wordno));
+  (match Trace.Event.events log with
+  | [ Trace.Event.Instruction i ] ->
+      Alcotest.(check string) "resolved at read time" "insn@11|3" i.text
+  | _ -> Alcotest.fail "expected one instruction event");
+  (* A resolver that no longer decodes the address degrades to the
+     placeholder rather than failing the export. *)
+  Trace.Event.set_text_resolver log (fun ~segno:_ ~wordno:_ -> None);
+  match Trace.Event.events log with
+  | [ Trace.Event.Instruction i ] ->
+      Alcotest.(check string) "unresolvable degrades" "?" i.text
+  | _ -> Alcotest.fail "expected one instruction event"
+
 let test_event_clock_stamping () =
   let log = Trace.Event.create_log () in
   let now = ref 100 in
@@ -309,6 +414,12 @@ let suite =
           test_event_ring_buffer_bounds;
         Alcotest.test_case "event clock stamping" `Quick
           test_event_clock_stamping;
+        Alcotest.test_case "event sampling deterministic" `Quick
+          test_event_sampling_deterministic;
+        Alcotest.test_case "event wrap+sampling accounting" `Quick
+          test_event_wrap_sampling_accounting;
+        Alcotest.test_case "event lazy text resolution" `Quick
+          test_event_lazy_text_resolution;
         Alcotest.test_case "counters fields complete" `Quick
           test_counters_fields_complete;
         Alcotest.test_case "counters fields diff" `Quick
