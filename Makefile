@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke serve-smoke serve-stress examples doc clean
+.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke serve-smoke serve-stress migrate-smoke examples doc clean
 
 all:
 	dune build @all
@@ -15,6 +15,7 @@ test:
 	$(MAKE) snapshot-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) serve-stress
+	$(MAKE) migrate-smoke
 	$(MAKE) bench-smoke
 
 bench:
@@ -246,6 +247,50 @@ serve-stress:
 	@diff /tmp/serve_stress/on_a.out /tmp/serve_stress/p1.out \
 	  || { echo "serve-stress: stdout depends on the pool size"; exit 1; }
 	@echo "serve-stress: report invariant under stealing, pool size and reruns"
+
+# Elastic-fleet invariance: a live shard migration, rolling restarts
+# and queue-depth autoscaling must each leave the report's fleet
+# section byte-identical to the plain run — the drain moves (never
+# drops) requests, a restarted shard only loses cache warmth, and the
+# active-set size is routing detail.  ringsim exits non-zero when
+# anything is shed or degraded, so exit 0 on every variant proves zero
+# dropped requests.
+migrate-smoke:
+	dune build bin/ringsim.exe
+	@rm -rf /tmp/migrate_smoke && mkdir -p /tmp/migrate_smoke
+	@_build/default/bin/ringsim.exe serve --shards 4 --requests 200 --seed 7 \
+	  --queue-cap 256 --pool 4 \
+	  --report-json /tmp/migrate_smoke/plain.json \
+	  > /tmp/migrate_smoke/plain.out \
+	  || { echo "migrate-smoke: plain fleet run failed"; exit 1; }
+	@_build/default/bin/ringsim.exe serve --shards 4 --requests 200 --seed 7 \
+	  --queue-cap 256 --pool 4 --migrate 1:0:1 \
+	  --report-json /tmp/migrate_smoke/migrate.json \
+	  > /tmp/migrate_smoke/migrate.out \
+	  || { echo "migrate-smoke: migration run dropped requests"; exit 1; }
+	@_build/default/bin/ringsim.exe serve --shards 4 --requests 200 --seed 7 \
+	  --queue-cap 256 --pool 4 --rolling-restart 2 \
+	  --report-json /tmp/migrate_smoke/restart.json \
+	  > /tmp/migrate_smoke/restart.out \
+	  || { echo "migrate-smoke: rolling-restart run dropped requests"; exit 1; }
+	@_build/default/bin/ringsim.exe serve --shards 4 --requests 200 --seed 7 \
+	  --queue-cap 32 --pool 4 --autoscale \
+	  --report-json /tmp/migrate_smoke/autoscale.json \
+	  > /tmp/migrate_smoke/autoscale.out \
+	  || { echo "migrate-smoke: autoscale run shed requests"; exit 1; }
+	@grep -q '"migrated": [1-9]' /tmp/migrate_smoke/migrate.json \
+	  || { echo "migrate-smoke: migration drained nothing"; exit 1; }
+	@grep -q '"restarts": [1-9]' /tmp/migrate_smoke/restart.json \
+	  || { echo "migrate-smoke: no restart cycles taken"; exit 1; }
+	@for v in plain migrate restart autoscale; do \
+	  sed -n '/"fleet"/,/"dispatch"/p' /tmp/migrate_smoke/$$v.json \
+	    > /tmp/migrate_smoke/$$v.fleet; \
+	done
+	@for v in migrate restart autoscale; do \
+	  diff /tmp/migrate_smoke/plain.fleet /tmp/migrate_smoke/$$v.fleet \
+	    || { echo "migrate-smoke: $$v changed the fleet section"; exit 1; }; \
+	done
+	@echo "migrate-smoke: fleet section invariant under migration, restarts and autoscaling; zero dropped requests"
 
 examples:
 	@for e in quickstart protected_subsystem layered_supervisor debug_ring \

@@ -176,6 +176,9 @@ type obs = {
   metrics_prom : string option;  (** Prometheus text metrics. *)
   profile : bool;  (** Print per-ring/per-segment tables. *)
   sample : int;  (** Keep 1 in N events/spans (deterministic). *)
+  sample_instr : int;
+      (** Separate 1-in-N rate for the instruction stream; 0 follows
+          [sample]. *)
   trace_cap : int option;  (** Event ring-buffer capacity override. *)
 }
 
@@ -196,6 +199,8 @@ let enable_obs o (m : Isa.Machine.t) =
     Trace.Event.set_sampling m.Isa.Machine.log ~interval:o.sample ~seed:0;
     Trace.Span.set_sampling m.Isa.Machine.spans ~interval:o.sample ~seed:0
   end;
+  if o.sample_instr > 0 then
+    Trace.Event.set_instr_sampling m.Isa.Machine.log ~interval:o.sample_instr;
   if o.trace_out <> None || o.events_out <> None then
     Trace.Event.set_enabled m.Isa.Machine.log true;
   if obs_active o then begin
@@ -379,6 +384,8 @@ let run_program file mode start ring trace listing dump show_map typed
     max_instructions inject campaigns checkpoint_every checkpoint_to
     restore_from kill_after watchdog obs =
   if obs.sample < 1 then usage_error "--sample must be positive";
+  if obs.sample_instr < 0 then
+    usage_error "--sample-instr must be nonnegative";
   (match obs.trace_cap with
   | Some n when n < 1 -> usage_error "--trace-cap must be positive"
   | _ -> ());
@@ -712,9 +719,22 @@ let save_images base fleet =
       end)
     images
 
+(* --migrate WINDOW:FROM:TO — drain shard FROM at dispatch window
+   WINDOW and move its classes to shard TO. *)
+let parse_migrate spec =
+  match String.split_on_char ':' spec with
+  | [ w; f; t ] -> (
+      match
+        (int_of_string_opt w, int_of_string_opt f, int_of_string_opt t)
+      with
+      | Some w, Some f, Some t -> (w, f, t)
+      | _ -> usage_error "--migrate must be WINDOW:FROM:TO (three integers)")
+  | _ -> usage_error "--migrate must be WINDOW:FROM:TO (three integers)"
+
 let run_serve shards requests seed mix_name queue_cap batch_window image_cap
     replicas imbalance pool steal_name snapshot inject watchdog report_json
-    trace_out metrics_out sample trace_cap =
+    trace_out metrics_out sample sample_instr trace_cap migrate_spec
+    rolling_restart autoscale =
   (* Every flag is validated up front: a nonsensical value is a usage
      error (exit 2 with a message naming the flag), never a deep
      runtime failure. *)
@@ -732,7 +752,21 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
   | Some n when n < 1 -> usage_error "--watchdog must be positive"
   | _ -> ());
   if sample < 1 then usage_error "--sample must be positive";
+  if sample_instr < 0 then usage_error "--sample-instr must be nonnegative";
   if trace_cap < 1 then usage_error "--trace-cap must be positive";
+  let migrate = Option.map parse_migrate migrate_spec in
+  (match migrate with
+  | Some (w, f, t) ->
+      if w < 0 then usage_error "--migrate window must be nonnegative";
+      if f < 0 || f >= shards then
+        usage_error "--migrate source shard out of range";
+      if t < 0 || t >= shards then
+        usage_error "--migrate target shard out of range";
+      if f = t then usage_error "--migrate source and target must differ"
+  | None -> ());
+  (match rolling_restart with
+  | Some n when n < 1 -> usage_error "--rolling-restart must be positive"
+  | _ -> ());
   let steal =
     match steal_name with
     | "on" -> true
@@ -753,7 +787,10 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
      a deterministic function of the same inputs as an untraced one. *)
   let trace =
     if trace_out = None && metrics_out = None then None
-    else Some { Serve.Shard.sample; seed; capacity = trace_cap }
+    else
+      Some
+        { Serve.Shard.sample; seed; capacity = trace_cap;
+          instr = sample_instr }
   in
   let reqs = Serve.Workload.generate ~mix ~seed ~requests in
   let cfg =
@@ -770,6 +807,9 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
       pool;
       steal;
       trace;
+      migrate;
+      restart_every = rolling_restart;
+      autoscale;
     }
   in
   let r = Serve.Dispatcher.run cfg reqs in
@@ -816,8 +856,13 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
           ("watchdog", opt_int watchdog);
           ("inject", (match inject with None -> "null" | Some s -> quote s));
           ("sample", string_of_int sample);
+          ("sample_instr", string_of_int sample_instr);
           ("trace_cap", string_of_int trace_cap);
           ("traced", string_of_bool (trace <> None));
+          ( "migrate",
+            match migrate_spec with None -> "null" | Some s -> quote s );
+          ("rolling_restart", opt_int rolling_restart);
+          ("autoscale", string_of_bool autoscale);
         ]
       in
       write_file path (Serve.Aggregate.report_json ~config agg));
@@ -904,6 +949,15 @@ let sample_arg =
                run.  1 (the default) keeps everything; discards are \
                counted and exported.")
 
+let sample_instr_arg =
+  Arg.(value & opt int 0 & info [ "sample-instr" ] ~docv:"N"
+         ~doc:"Sample the instruction stream at its own deterministic \
+               1-in-N rate, independent of $(b,--sample)'s rate for \
+               calls, returns, traps and other control-flow events \
+               (same seeded predicate, same sequence numbers — only \
+               the interval differs).  0 (the default) follows \
+               $(b,--sample).")
+
 let trace_cap_arg =
   Arg.(value & opt (some int) None & info [ "trace-cap" ] ~docv:"N"
          ~doc:"Event ring-buffer capacity in events; when full, the \
@@ -954,13 +1008,13 @@ let watchdog =
 
 let obs =
   let mk trace_out events_out metrics_out metrics_prom profile sample
-      trace_cap =
+      sample_instr trace_cap =
     { trace_out; events_out; metrics_out; metrics_prom; profile; sample;
-      trace_cap }
+      sample_instr; trace_cap }
   in
   Term.(
     const mk $ trace_out $ events_out $ metrics_out $ metrics_prom $ profile
-    $ sample_arg $ trace_cap_arg)
+    $ sample_arg $ sample_instr_arg $ trace_cap_arg)
 
 (* serve flags *)
 
@@ -1058,6 +1112,38 @@ let serve_trace_cap =
          ~doc:"Per-request event ring-buffer capacity; when full, the \
                oldest events are overwritten and counted as dropped.")
 
+let serve_migrate =
+  Arg.(value & opt (some string) None
+       & info [ "migrate" ] ~docv:"WINDOW:FROM:TO"
+         ~doc:"Live shard migration: at dispatch window WINDOW drain \
+               shard FROM — its queued requests are re-dispatched in \
+               arrival order, never dropped — retire it from the \
+               rotation, and route its service classes to shard TO.  \
+               After the campaign drains, the source worker's cached \
+               boot images move to the target through the \
+               incremental-snapshot handoff.  Outcomes are \
+               placement-independent, so the report's fleet section is \
+               byte-identical with or without the migration (as long \
+               as nothing is shed).")
+
+let serve_rolling_restart =
+  Arg.(value & opt (some int) None
+       & info [ "rolling-restart" ] ~docv:"N"
+         ~doc:"Rolling restarts under load: every N dispatch windows \
+               take the next shard (in id order) down for exactly one \
+               window.  The ring routes around it, nothing queues on \
+               it — zero dropped requests — and it returns with a \
+               cold boot-image cache.")
+
+let serve_autoscale =
+  Arg.(value & flag
+       & info [ "autoscale" ]
+         ~doc:"Queue-depth-driven autoscaling: start routing on one \
+               active shard and grow/shrink the active set window by \
+               window from routed queue depth, with $(b,--shards) as \
+               the ceiling.  Purely modeled — placement stays a \
+               deterministic function of the workload and flags.")
+
 let serve_cmd =
   let doc = "run a sharded serving fleet over the ring machines" in
   let man =
@@ -1091,7 +1177,9 @@ let serve_cmd =
       $ serve_mix $ serve_queue_cap $ serve_batch_window $ serve_image_cap
       $ serve_replicas $ serve_imbalance $ serve_pool $ serve_steal
       $ serve_snapshot $ inject $ serve_watchdog $ serve_report_json
-      $ serve_trace_out $ serve_metrics_out $ sample_arg $ serve_trace_cap)
+      $ serve_trace_out $ serve_metrics_out $ sample_arg $ sample_instr_arg
+      $ serve_trace_cap $ serve_migrate $ serve_rolling_restart
+      $ serve_autoscale)
 
 let run_term =
   Term.(

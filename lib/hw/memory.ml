@@ -2,14 +2,30 @@ type t = {
   words : int array;
   counters : Trace.Counters.t;
   mutable on_write : int -> unit;
+  (* Dirty-page map: one flag per [page_words]-word page, set on every
+     store and cleared only by [clear_dirty] (the snapshot layer calls
+     it at capture points).  The flag store rides the existing write
+     path — one array store, no branch on the hot path. *)
+  dirty : bool array;
+  mutable dirty_generation : int;
 }
 
 let default_size = 1 lsl 21
 
+(* Power of two so the page of an address is a shift, not a divide. *)
+let page_shift = 10
+let page_words = 1 lsl page_shift
+
 let ignore_write (_ : int) = ()
 
 let create ?(size = default_size) counters =
-  { words = Array.make size 0; counters; on_write = ignore_write }
+  {
+    words = Array.make size 0;
+    counters;
+    on_write = ignore_write;
+    dirty = Array.make ((size + page_words - 1) lsr page_shift) false;
+    dirty_generation = 0;
+  }
 
 let size t = Array.length t.words
 let counters t = t.counters
@@ -26,6 +42,7 @@ let read_silent t addr =
 let write_silent t addr w =
   check t addr;
   t.words.(addr) <- Word.of_int w;
+  t.dirty.(addr lsr page_shift) <- true;
   t.on_write addr
 
 let read t addr =
@@ -40,3 +57,16 @@ let write t addr w =
 
 let blit_silent t addr words =
   Array.iteri (fun i w -> write_silent t (addr + i) w) words
+
+let dirty_pages t =
+  let acc = ref [] in
+  for p = Array.length t.dirty - 1 downto 0 do
+    if t.dirty.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let clear_dirty t =
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  t.dirty_generation <- t.dirty_generation + 1
+
+let dirty_generation t = t.dirty_generation

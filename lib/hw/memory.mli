@@ -36,3 +36,31 @@ val write_silent : t -> int -> Word.t -> unit
 val blit_silent : t -> int -> Word.t array -> unit
 (** [blit_silent mem addr words] copies [words] to consecutive
     absolute addresses starting at [addr]. *)
+
+(** {1 Dirty-page tracking}
+
+    Every store — {!write}, {!write_silent}, {!blit_silent}, and
+    everything layered on them (the injector's poison writes, fault
+    frames, journal replay, snapshot application) — marks the written
+    page dirty.  The snapshot layer clears the map at capture points,
+    so between two captures the dirty set is a conservative superset
+    of the pages whose contents changed: incremental captures need
+    only serialize those.  Nothing in the simulated machine reads the
+    map; it cannot affect modeled cycles. *)
+
+val page_words : int
+(** Words per dirty-tracking page (a power of two). *)
+
+val dirty_pages : t -> int list
+(** Page numbers marked dirty since the last {!clear_dirty}, in
+    ascending order.  Page [p] covers absolute addresses
+    [p * page_words .. min ((p+1) * page_words, size) - 1]. *)
+
+val clear_dirty : t -> unit
+(** Reset the dirty map and advance {!dirty_generation}.  Only capture
+    points may call this: clearing anywhere else breaks the superset
+    invariant the incremental snapshot relies on. *)
+
+val dirty_generation : t -> int
+(** Number of {!clear_dirty} calls so far — stamps which capture epoch
+    a dirty set belongs to. *)

@@ -25,6 +25,8 @@ type error =
   | Shape_mismatch of string
   | Audit_rejected of string list
   | Self_check_failed
+  | Stale_base
+  | Broken_chain of int
 
 let pp_error ppf = function
   | Bad_magic -> Format.fprintf ppf "not a snapshot image (bad magic)"
@@ -44,6 +46,13 @@ let pp_error ppf = function
         problems
   | Self_check_failed ->
       Format.fprintf ppf "restored state does not re-capture to the same image"
+  | Stale_base ->
+      Format.fprintf ppf
+        "delta does not extend the given base image (stale base)"
+  | Broken_chain i ->
+      Format.fprintf ppf
+        "delta chain broken at link %d: delta does not extend its predecessor"
+        i
 
 exception Fail of error
 
@@ -52,32 +61,49 @@ let shape msg = raise (Fail (Shape_mismatch msg))
 
 let magic = "RINGSNAP"
 
+(* Incremental deltas carry a sibling magic: same header shape, same
+   version, but the payload encodes only the pages dirtied since the
+   predecessor image plus a checksummed reference to it. *)
+let delta_magic = "RINGDELT"
+
 (* v2: trace section gained the event sampler/high-water fields and the
-   span sampler fields (events moved to the binary arena encoding). *)
-let version = 2
+   span sampler fields (events moved to the binary arena encoding).
+   v3: trace section gained the independent instruction-stream sampling
+   interval. *)
+let version = 3
 let header_len = 8 + 8 + 8 + 8
 
 (* FNV-1a 64, truncated to OCaml's 63-bit int (writer and reader
-   truncate identically, so nothing is lost to the comparison). *)
+   truncate identically, so nothing is lost to the comparison).
+
+   Computed in two 32-bit native limbs instead of boxed [Int64]: the
+   FNV prime is 2^40 + 0x1b3, so one step over h = hi·2^32 + lo is
+
+     h' = h·2^40 + h·0x1b3  (mod 2^64)
+        = lo·2^40 + (hi·0x1b3)·2^32 + lo·0x1b3  (mod 2^64)
+
+   and every intermediate fits well inside a 63-bit native int.  This
+   sits on the per-delta hot path — incremental checkpointing
+   checksums every image it seals — and the limb form is
+   allocation-free.  The final fold to a native int matches
+   [Int64.to_int]'s low-63-bit truncation bit for bit. *)
 let checksum s =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
-    s;
-  Int64.to_int !h
+  let mask32 = 0xFFFFFFFF in
+  let lo = ref 0x84222325 and hi = ref 0xcbf29ce4 in
+  for i = 0 to String.length s - 1 do
+    let l = !lo lxor Char.code (String.unsafe_get s i) in
+    let h = !hi in
+    let m = l * 0x1b3 in
+    lo := m land mask32;
+    hi := ((l lsl 8) + (h * 0x1b3) + (m lsr 32)) land mask32
+  done;
+  (!hi lsl 32) lor !lo
 
 (* {1 Writer primitives} *)
 
-let w_int b n =
-  let v = Int64.of_int n in
-  for i = 7 downto 0 do
-    Buffer.add_char b
-      (Char.chr
-         (Int64.to_int
-            (Int64.logand (Int64.shift_right_logical v (i * 8)) 0xFFL)))
-  done
+(* Big-endian 8 bytes of the two's-complement value — what the old
+   byte-at-a-time loop produced, via the runtime's fast path. *)
+let w_int b n = Buffer.add_int64_be b (Int64.of_int n)
 
 let w_bool b v = w_int b (if v then 1 else 0)
 
@@ -672,7 +698,12 @@ let write_counters b (c : Trace.Counters.t) =
   w_list (w_pair w_str w_int) b
     (Trace.Counters.fields (Trace.Counters.snapshot c))
 
-let write_machine b (m : Isa.Machine.t) =
+(* The machine section is written in three pieces so the incremental
+   delta codec can reuse the exact writers around a different memory
+   encoding: [pre] (configuration + live processor state), the sparse
+   memory image, and [post] (SDW tag population + injector).  A full
+   image is always pre ++ memory ++ post — [flatten] leans on that. *)
+let write_machine_pre b (m : Isa.Machine.t) =
   (* Immutable configuration, serialized so restore can shape-check
      that the respawned machine was built the same way. *)
   w_int b
@@ -703,9 +734,10 @@ let write_machine b (m : Isa.Machine.t) =
       w_addr b t.Isa.Machine.conditions_base)
     b m.Isa.Machine.trap_config;
   w_bool b m.Isa.Machine.degraded;
-  w_bool b m.Isa.Machine.io_fail_pending;
+  w_bool b m.Isa.Machine.io_fail_pending
+
+let write_memory b (mem : Hw.Memory.t) =
   (* Memory, sparsely: (address, word) pairs ascending. *)
-  let mem = m.Isa.Machine.mem in
   let size = Hw.Memory.size mem in
   w_int b size;
   let words = Buffer.create 65536 in
@@ -719,7 +751,9 @@ let write_machine b (m : Isa.Machine.t) =
     end
   done;
   w_int b !count;
-  Buffer.add_buffer b words;
+  Buffer.add_buffer b words
+
+let write_machine_post b (m : Isa.Machine.t) =
   (* The modeled SDW tag-store population — keys only: quiesce demoted
      every value to the absent sentinel before we got here, and the
      population is what drives modeled accounting. *)
@@ -729,6 +763,11 @@ let write_machine b (m : Isa.Machine.t) =
      address ranges themselves are re-registered by the respawn. *)
   w_opt w_inject_dump b
     (Option.map Hw.Inject.dump m.Isa.Machine.injector)
+
+let write_machine b (m : Isa.Machine.t) =
+  write_machine_pre b m;
+  write_memory b m.Isa.Machine.mem;
+  write_machine_post b m
 
 let write_trace b (m : Isa.Machine.t) =
   w_bool b (Trace.Event.enabled m.Isa.Machine.log);
@@ -740,6 +779,7 @@ let write_trace b (m : Isa.Machine.t) =
   w_int b d.Trace.Event.d_high_water;
   w_int b d.Trace.Event.d_sample_interval;
   w_int b d.Trace.Event.d_sample_seed;
+  w_int b d.Trace.Event.d_instr_interval;
   w_bool b (Trace.Span.enabled m.Isa.Machine.spans);
   let d = Trace.Span.dump m.Isa.Machine.spans in
   w_list w_open_span b d.Trace.Span.dump_stack;
@@ -835,12 +875,28 @@ let encode sys =
 
 (* The count is bumped {e before} serializing, so the image already
    carries its own capture: an uninterrupted checkpointing run and a
-   run resumed from any of its images agree on [snapshots_written]. *)
+   run resumed from any of its images agree on [snapshots_written].
+   If the capture then fails to produce an image, the bump is rolled
+   back — a failed capture must not inflate the counter. *)
+let with_capture_counted (c : Trace.Counters.t) f =
+  let before = Trace.Counters.snapshot c in
+  Trace.Counters.bump_snapshots_written c;
+  try f ()
+  with e ->
+    Trace.Counters.restore c before;
+    raise e
+
 let capture sys =
   let m = System.machine sys in
-  Trace.Counters.bump_snapshots_written m.Isa.Machine.counters;
-  Isa.Machine.quiesce m;
-  encode sys
+  with_capture_counted m.Isa.Machine.counters (fun () ->
+      Isa.Machine.quiesce m;
+      let image = encode sys in
+      (* Every public capture is a capture point: clearing the dirty
+         map moves its generation, so a delta chain straddling this
+         capture refuses its next [capture_delta] instead of emitting
+         a delta that silently misses these pages. *)
+      Hw.Memory.clear_dirty m.Isa.Machine.mem;
+      image)
 
 (* The restore self-check re-captures without bumping anything. *)
 let capture_silent sys =
@@ -943,6 +999,7 @@ let apply_trace r (m : Isa.Machine.t) =
   let d_high_water = r_int r in
   let d_sample_interval = r_int r in
   let d_sample_seed = r_int r in
+  let d_instr_interval = r_int r in
   (try
      Trace.Event.restore m.Isa.Machine.log
        {
@@ -953,6 +1010,7 @@ let apply_trace r (m : Isa.Machine.t) =
          d_high_water;
          d_sample_interval;
          d_sample_seed;
+         d_instr_interval;
        }
    with Invalid_argument msg -> corrupt msg);
   Trace.Span.set_enabled m.Isa.Machine.spans (r_bool r);
@@ -1161,3 +1219,294 @@ let restore sys image =
               m.Isa.Machine.counters;
             Error (Audit_rejected problems)
       end
+
+(* {1 Incremental capture}
+
+   A delta image records only the memory pages dirtied since its
+   predecessor (the dirty map in {!Hw.Memory} is cleared exactly at
+   chain capture points, so between captures it is a conservative
+   superset of the pages that changed) plus the complete non-memory
+   state, which is small.  Layout:
+
+     "RINGDELT" | version | payload length | checksum | payload
+     payload = base_sum            predecessor's payload checksum
+             | pre_len | pre       counters + machine-pre, same writers
+             | mem_size
+             | npages | (pageno | len | nnz | nnz (offset | word)
+               pairs, offsets ascending, words nonzero) ascending
+             | post                machine-post + trace + system
+
+   A dirty page is serialized sparsely — only its nonzero words — and
+   applied by zeroing the page before laying the pairs over it, so a
+   word that went to zero since the predecessor is still restored.
+   Sparseness keeps a delta proportional to live data, not to the page
+   size, which is what makes checkpointing every scheduler slice
+   affordable.
+
+   Because pre and post come from the very writers a full capture
+   uses, [flatten base deltas] — base memory with the delta pages laid
+   over it, re-encoded sparsely between the last delta's pre and post
+   bytes — is byte-for-byte the image [capture] would have produced at
+   that delta's capture point.  [base_sum] chains each image to its
+   predecessor by payload checksum, so a delta applied over the wrong
+   base ([Stale_base]) or a chain with a missing/reordered link
+   ([Broken_chain]) is refused before any state is touched. *)
+
+type chain = {
+  mutable tail_sum : int;  (* payload checksum of the newest image *)
+  mutable expected_gen : int;  (* memory dirty generation at that image *)
+  chain_mem_size : int;
+  mutable deltas_taken : int;
+}
+
+let payload_of image = String.sub image header_len (String.length image - header_len)
+
+let seal_image_sum ~magic:m ~sum payload =
+  let hdr = Buffer.create header_len in
+  Buffer.add_string hdr m;
+  w_int hdr version;
+  w_int hdr (String.length payload);
+  w_int hdr sum;
+  Buffer.contents hdr ^ payload
+
+let seal_image ~magic:m payload =
+  seal_image_sum ~magic:m ~sum:(checksum payload) payload
+
+let start_chain sys =
+  let m = System.machine sys in
+  let mem = m.Isa.Machine.mem in
+  let image = capture sys in
+  Hw.Memory.clear_dirty mem;
+  ( {
+      tail_sum = checksum (payload_of image);
+      expected_gen = Hw.Memory.dirty_generation mem;
+      chain_mem_size = Hw.Memory.size mem;
+      deltas_taken = 0;
+    },
+    image )
+
+let chain_length chain = chain.deltas_taken
+
+let capture_delta sys chain =
+  let m = System.machine sys in
+  let mem = m.Isa.Machine.mem in
+  with_capture_counted m.Isa.Machine.counters (fun () ->
+      (* Inside the counted region: a refused delta is a failed
+         capture and must leave [snapshots_written] unchanged. *)
+      if Hw.Memory.dirty_generation mem <> chain.expected_gen then
+        invalid_arg
+          "Snapshot.capture_delta: dirty map cleared outside this chain \
+           (another capture point intervened)";
+      if Hw.Memory.size mem <> chain.chain_mem_size then
+        invalid_arg "Snapshot.capture_delta: memory size changed";
+      Isa.Machine.quiesce m;
+      let b = Buffer.create 4096 in
+      w_int b chain.tail_sum;
+      let pre = Buffer.create 4096 in
+      write_counters pre m.Isa.Machine.counters;
+      write_machine_pre pre m;
+      w_str b (Buffer.contents pre);
+      let size = Hw.Memory.size mem in
+      w_int b size;
+      let pages = Hw.Memory.dirty_pages mem in
+      w_int b (List.length pages);
+      let pairs = Buffer.create 4096 in
+      List.iter
+        (fun p ->
+          let base_addr = p * Hw.Memory.page_words in
+          let len = min Hw.Memory.page_words (size - base_addr) in
+          w_int b p;
+          w_int b len;
+          Buffer.clear pairs;
+          let nnz = ref 0 in
+          for i = 0 to len - 1 do
+            let w = Hw.Memory.read_silent mem (base_addr + i) in
+            if w <> 0 then begin
+              incr nnz;
+              w_int pairs i;
+              w_int pairs w
+            end
+          done;
+          w_int b !nnz;
+          Buffer.add_buffer b pairs)
+        pages;
+      write_machine_post b m;
+      write_trace b m;
+      write_system b sys;
+      let payload = Buffer.contents b in
+      let sum = checksum payload in
+      let image = seal_image_sum ~magic:delta_magic ~sum payload in
+      Hw.Memory.clear_dirty mem;
+      chain.expected_gen <- Hw.Memory.dirty_generation mem;
+      chain.tail_sum <- sum;
+      chain.deltas_taken <- chain.deltas_taken + 1;
+      image)
+
+(* Skip readers: consume exactly the bytes the corresponding writers
+   produced, so [flatten] can locate the memory section inside a full
+   payload without a live system to apply it to. *)
+let skip_counters r = ignore (r_list (r_pair r_str r_int) r)
+
+let skip_machine_pre r =
+  ignore (r_int r);
+  ignore (r_int r);
+  ignore (r_bool r);
+  ignore (r_bool r);
+  ignore (r_regs r);
+  ignore (r_bool r);
+  ignore
+    (r_opt
+       (fun r ->
+         let (_ : Hw.Registers.t) = r_regs r in
+         let (_ : Rings.Fault.t) = r_fault r in
+         ())
+       r);
+  ignore (r_opt r_int r);
+  ignore (r_opt r_int r);
+  ignore (r_opt r_io_request r);
+  ignore (r_bool r);
+  ignore
+    (r_opt
+       (fun r ->
+         let (_ : Hw.Addr.t) = r_addr r in
+         let (_ : Hw.Addr.t) = r_addr r in
+         ())
+       r);
+  ignore (r_bool r);
+  ignore (r_bool r)
+
+(* Split a full payload into (pre bytes, memory words, post bytes). *)
+let split_full_payload payload =
+  let r = { data = payload; pos = 0 } in
+  skip_counters r;
+  skip_machine_pre r;
+  let pre_end = r.pos in
+  let size = r_int r in
+  if size < 0 then corrupt "negative memory size";
+  let count = r_int r in
+  if count < 0 then corrupt "negative memory pair count";
+  let words = Array.make size 0 in
+  let prev = ref (-1) in
+  for _ = 1 to count do
+    let a = r_int r in
+    let w = r_int r in
+    if a <= !prev || a >= size then corrupt "memory pairs not ascending";
+    words.(a) <- w;
+    prev := a
+  done;
+  let mem_end = r.pos in
+  ( String.sub payload 0 pre_end,
+    words,
+    String.sub payload mem_end (String.length payload - mem_end) )
+
+let parse_delta_header image =
+  if String.length image < String.length delta_magic then raise (Fail Truncated);
+  if
+    not
+      (String.equal (String.sub image 0 (String.length delta_magic)) delta_magic)
+  then raise (Fail Bad_magic);
+  if String.length image < header_len then raise (Fail Truncated);
+  let hr = { data = image; pos = String.length delta_magic } in
+  let v = r_int hr in
+  if v <> version then raise (Fail (Bad_version { expected = version; got = v }));
+  let len = r_int hr in
+  let sum = r_int hr in
+  if len < 0 then corrupt "negative payload length";
+  if String.length image - header_len < len then raise (Fail Truncated);
+  if String.length image - header_len > len then
+    corrupt "trailing bytes after payload";
+  if checksum (String.sub image header_len len) <> sum then
+    raise (Fail Checksum_mismatch);
+  { data = image; pos = header_len }
+
+let flatten ~base deltas =
+  try
+    (* Validate the base image (magic, version, checksum) and split it. *)
+    let (_ : reader) = parse_header base in
+    let words = ref [||] in
+    let pre = ref "" in
+    let post = ref "" in
+    let p, w, q = split_full_payload (payload_of base) in
+    pre := p;
+    words := w;
+    post := q;
+    let prev_sum = ref (checksum (payload_of base)) in
+    List.iteri
+      (fun i delta ->
+        let r = parse_delta_header delta in
+        let base_sum = r_int r in
+        if base_sum <> !prev_sum then
+          raise (Fail (if i = 0 then Stale_base else Broken_chain i));
+        let pre_bytes = r_str r in
+        let size = r_int r in
+        if size <> Array.length !words then
+          raise
+            (Fail
+               (Shape_mismatch
+                  (Printf.sprintf "delta %d memory size %d, base has %d" i size
+                     (Array.length !words))));
+        let npages = r_int r in
+        if npages < 0 then corrupt "negative page count";
+        let prev_page = ref (-1) in
+        for _ = 1 to npages do
+          let p = r_int r in
+          let len = r_int r in
+          let base_addr = p * Hw.Memory.page_words in
+          if p <= !prev_page then corrupt "delta pages not ascending";
+          if
+            base_addr < 0 || base_addr >= size
+            || len <> min Hw.Memory.page_words (size - base_addr)
+          then corrupt "delta page out of range";
+          (* Zero first: a sparse page is the page's whole contents,
+             so a word that dropped to zero must not survive from the
+             base. *)
+          Array.fill !words base_addr len 0;
+          let nnz = r_int r in
+          if nnz < 0 || nnz > len then corrupt "delta page pair count";
+          let prev_off = ref (-1) in
+          for _ = 1 to nnz do
+            let off = r_int r in
+            let w = r_int r in
+            if off <= !prev_off || off >= len then
+              corrupt "delta page pairs not ascending";
+            if w = 0 then corrupt "zero word in sparse delta page";
+            !words.(base_addr + off) <- w;
+            prev_off := off
+          done;
+          prev_page := p
+        done;
+        let post_bytes =
+          String.sub r.data r.pos (String.length r.data - r.pos)
+        in
+        pre := pre_bytes;
+        post := post_bytes;
+        prev_sum := checksum (payload_of delta))
+      deltas;
+    (* Re-encode: pre ++ sparse memory ++ post is exactly what a full
+       capture at the last delta's capture point serialized. *)
+    let b = Buffer.create (1 lsl 16) in
+    Buffer.add_string b !pre;
+    let size = Array.length !words in
+    w_int b size;
+    let pairs = Buffer.create 65536 in
+    let count = ref 0 in
+    for a = 0 to size - 1 do
+      let w = !words.(a) in
+      if w <> 0 then begin
+        incr count;
+        w_int pairs a;
+        w_int pairs w
+      end
+    done;
+    w_int b !count;
+    Buffer.add_buffer b pairs;
+    Buffer.add_string b !post;
+    Ok (seal_image ~magic (Buffer.contents b))
+  with
+  | Fail e -> Error e
+  | Invalid_argument msg -> Error (Corrupt msg)
+
+let restore_chain sys ~base deltas =
+  match flatten ~base deltas with
+  | Error e -> Error e
+  | Ok image -> restore sys image

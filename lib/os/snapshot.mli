@@ -41,6 +41,14 @@ type error =
   | Self_check_failed
       (** The restored state did not re-capture to the input bytes —
           a codec defect, never a user error. *)
+  | Stale_base
+      (** The first delta of a chain does not reference the base image
+          it was handed — the caller mixed images from different
+          capture chains, or the base was re-captured since. *)
+  | Broken_chain of int
+      (** Delta [i] (0-based) does not reference its predecessor in
+          the list: a link is missing, reordered, or from another
+          chain. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -52,7 +60,59 @@ val capture : System.t -> string
     [snapshots_written] counter {e before} serializing (so the image
     carries its own capture) and quiesces the machine's host caches —
     the live run continues from the same cold-cache state a restored
-    run starts in, which is what makes kill-and-resume byte-identical. *)
+    run starts in, which is what makes kill-and-resume byte-identical.
+    If serialization fails, the bump is rolled back before the
+    exception propagates: a failed capture never inflates the
+    counter. *)
+
+(** {1 Incremental capture}
+
+    A chain is a full base image followed by deltas that serialize
+    only the memory pages dirtied since the previous image (via
+    {!Hw.Memory.dirty_pages}) plus the complete — and small —
+    non-memory state.  Every image references its predecessor by
+    payload checksum, and {!flatten} folds a chain back into a full
+    image that is {e byte-identical} to what {!capture} would have
+    produced at the last delta's capture point, so restore semantics
+    are exactly full-capture semantics.  Every public capture — full
+    or delta — is a capture point that clears the dirty map and moves
+    its generation, so a chain straddling a full {!capture} (or
+    another chain's captures) notices at its next {!capture_delta}
+    and refuses with [Invalid_argument] rather than emit a delta that
+    silently misses pages. *)
+
+type chain
+(** Host-side chain state: the predecessor's payload checksum and the
+    dirty-map generation it was captured at.  Not serialized — a chain
+    lives and dies with the process that started it. *)
+
+val start_chain : System.t -> chain * string
+(** Capture a full base image ({!capture} semantics, including the
+    counter bump), clear the dirty map, and open a chain on it. *)
+
+val capture_delta : System.t -> chain -> string
+(** Capture a delta over the chain's newest image: only pages dirtied
+    since then are serialized.  Bumps [snapshots_written] like
+    {!capture} (rolled back if the capture fails), quiesces, clears
+    the dirty map and advances the chain.  Raises [Invalid_argument]
+    if the dirty map was cleared outside this chain — the delta would
+    silently miss pages. *)
+
+val chain_length : chain -> int
+(** Deltas captured on this chain so far. *)
+
+val flatten : base:string -> string list -> (string, error) result
+(** [flatten ~base deltas] folds a base image and its deltas (oldest
+    first) into one full image, byte-identical to a {!capture} at the
+    last delta's capture point.  [flatten ~base []] re-seals the base
+    unchanged.  Refuses a first delta that does not reference [base]
+    with [Stale_base], a later delta that does not reference its
+    predecessor with [Broken_chain], and anything damaged with the
+    same layered errors as {!restore}. *)
+
+val restore_chain : System.t -> base:string -> string list -> (unit, error) result
+(** [restore_chain sys ~base deltas] = {!flatten} then {!restore}:
+    full validation, self-check and audit included. *)
 
 val warm_boot : System.t -> string -> (unit, error) result
 (** Trusted fast restore for images captured by this same process —

@@ -288,11 +288,16 @@ let report_json ?(config = []) t =
        \    \"batches\": %d,\n\
        \    \"makespan_cycles\": %d,\n\
        \    \"quarantined_shards\": %d,\n\
+       \    \"migrated\": %d,\n\
+       \    \"restarts\": %d,\n\
+       \    \"peak_active\": %d,\n\
        \    \"requests_per_modeled_sec\": %.2f\n"
        t.dispatch.Dispatcher.completed t.dispatch.Dispatcher.shed
        t.dispatch.Dispatcher.redistributed t.dispatch.Dispatcher.routed_hash
        t.dispatch.Dispatcher.routed_balanced t.dispatch.Dispatcher.batches
        t.dispatch.Dispatcher.makespan t.dispatch.Dispatcher.quarantined
+       t.dispatch.Dispatcher.migrated t.dispatch.Dispatcher.restarts
+       t.dispatch.Dispatcher.peak_active
        (requests_per_modeled_sec t));
   add "  },\n";
   add "  \"shards\": [\n";
@@ -333,6 +338,13 @@ let pp ppf t =
     d.Dispatcher.routed_hash d.Dispatcher.routed_balanced
     d.Dispatcher.quarantined
     (if d.Dispatcher.quarantined = 1 then "" else "s");
+  if d.Dispatcher.migrated > 0 || d.Dispatcher.restarts > 0 then
+    Format.fprintf ppf
+      "elastic: %d request%s migrated, %d rolling restart%s@,"
+      d.Dispatcher.migrated
+      (if d.Dispatcher.migrated = 1 then "" else "s")
+      d.Dispatcher.restarts
+      (if d.Dispatcher.restarts = 1 then "" else "s");
   Format.fprintf ppf
     "latency (modeled cycles): p50 %d  p90 %d  p99 %d  max %d@,"
     (Trace.Histogram.percentile f.latency 50.0)

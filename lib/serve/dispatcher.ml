@@ -95,6 +95,9 @@ type config = {
   pool : int option;
   steal : bool;
   trace : Shard.trace_cfg option;
+  migrate : (int * int * int) option;
+  restart_every : int option;
+  autoscale : bool;
 }
 
 let default_config ~shards =
@@ -111,6 +114,9 @@ let default_config ~shards =
     pool = None;
     steal = true;
     trace = None;
+    migrate = None;
+    restart_every = None;
+    autoscale = false;
   }
 
 type stats = {
@@ -123,6 +129,9 @@ type stats = {
   batches : int;
   makespan : int;
   quarantined : int;
+  migrated : int;
+  restarts : int;
+  peak_active : int;
 }
 
 type shard_model = {
@@ -167,10 +176,17 @@ type fact = { f_latency : int; f_tripped : bool }
 
 type sim = {
   sim_assign : (int, int) Hashtbl.t;  (* request id -> serving shard *)
-  sim_order : Workload.request list array;  (* per shard, service order *)
+  sim_order : (int * Workload.request) list array;
+      (* per shard, service order, each request tagged with the window
+         ordinal it was served in (so the model can place restarts) *)
   sim_quarantined : bool array;
+  sim_restart_windows : int list array;
+      (* per shard, ascending window ordinals at which it restarted *)
   sim_shed : int;
   sim_redistributed : int;
+  sim_migrated : int;
+  sim_restarts : int;
+  sim_peak_active : int;
   sim_routed_hash : int;
   sim_routed_balanced : int;
   sim_batches : int;
@@ -187,10 +203,22 @@ type sim = {
    everything else is modeled state. *)
 let simulate cfg ring ~fact reqs =
   let quarantined = Array.make cfg.shards false in
+  (* Elastic-fleet state.  A migrated-away shard left the rotation for
+     good at its drain window; a restarting shard sits out exactly one
+     window; autoscale caps routing to the first [active] shard ids.
+     All of it is modeled state — facts never feed these, so sim0
+     already places with them and convergence is untouched. *)
+  let migrated_away = Array.make cfg.shards false in
+  let restarting = Array.make cfg.shards false in
+  let restart_windows = Array.make cfg.shards [] in
+  let active = ref (if cfg.autoscale then 1 else cfg.shards) in
+  let peak_active = ref !active in
   let assign = Hashtbl.create 256 in
   let order = Array.make cfg.shards [] in
   let shed = ref 0
   and redistributed = ref 0
+  and migrated = ref 0
+  and restarts = ref 0
   and routed_hash = ref 0
   and routed_balanced = ref 0
   and batches = ref 0
@@ -217,19 +245,63 @@ let simulate cfg ring ~fact reqs =
     pending := rest;
     let batch = !carry @ arrived in
     carry := [];
+    let win = !batches in
     incr batches;
+    (* Rolling restart: every [n] windows the next shard in id order
+       goes down for one window — rebooted, boot-image cache cold —
+       and the ring routes around it.  Nothing queues on a restarting
+       shard, so a restart can never drop a request. *)
+    Array.fill restarting 0 cfg.shards false;
+    (match cfg.restart_every with
+    | Some n when win > 0 && win mod n = 0 ->
+        let s = ((win / n) - 1) mod cfg.shards in
+        restarting.(s) <- true;
+        incr restarts;
+        restart_windows.(s) <- win :: restart_windows.(s)
+    | _ -> ());
     (* Route the window.  Queue depths only count this window's
        requests: the previous window fully drained before this one was
        routed. *)
+    (* Autoscale, growth half: size the active set to this window's
+       offered load before routing it, so a burst is absorbed rather
+       than shed.  Growth is capped at [shards]. *)
+    if cfg.autoscale then begin
+      let offered = List.length batch in
+      while
+        !active < cfg.shards && offered * 4 > 3 * !active * cfg.queue_cap
+      do
+        incr active
+      done;
+      if !active > !peak_active then peak_active := !active
+    end;
     let queues = Array.make cfg.shards [] in
     let qlen = Array.make cfg.shards 0 in
-    let alive s = not quarantined.(s) in
+    let alive s =
+      (not quarantined.(s))
+      && (not migrated_away.(s))
+      && (not restarting.(s))
+      && s < !active
+    in
+    let shed_before = !shed in
+    (* A class homed on the migrated-away shard aims at the migration
+       target (falling back to the plain ring walk when the target is
+       itself unroutable); every other class walks the ring over live
+       shards as always. *)
+    let pref_of k =
+      match cfg.migrate with
+      | Some (_, s_from, s_to) when migrated_away.(s_from) -> (
+          match
+            Route.owner_alive ring ~alive:(fun s -> alive s || s = s_from) k
+          with
+          | Some s when s = s_from ->
+              if alive s_to then Some s_to else Route.owner_alive ring ~alive k
+          | Some s -> Some s
+          | None -> None)
+      | _ -> Route.owner_alive ring ~alive k
+    in
     List.iter
       (fun (r : Workload.request) ->
-        match
-          Route.owner_alive ring ~alive
-            (r.Workload.program, r.Workload.iterations)
-        with
+        match pref_of (r.Workload.program, r.Workload.iterations) with
         | None -> incr shed
         | Some pref ->
             (* Least-loaded live shard, lowest id on ties.  [pref] is
@@ -256,6 +328,19 @@ let simulate cfg ring ~fact reqs =
               qlen.(target) <- qlen.(target) + 1;
               queues.(target) <- r :: queues.(target)))
       batch;
+    (* Live migration: at its drain window the source shard's routed
+       queue rides the carry to the next window in arrival order —
+       exactly the quarantine redistribution path — and the shard
+       leaves the rotation.  From the next window on, its classes aim
+       at the migration target (see [pref_of]). *)
+    (match cfg.migrate with
+    | Some (w0, s_from, _) when win >= w0 && not migrated_away.(s_from) ->
+        migrated := !migrated + qlen.(s_from);
+        carry := !carry @ List.rev queues.(s_from);
+        queues.(s_from) <- [];
+        qlen.(s_from) <- 0;
+        migrated_away.(s_from) <- true
+    | _ -> ());
     (* Serve the window: each shard works through its queue in order
        and stops at the first request that trips quarantine; the
        unserved remainder rides to the next window.  The window's
@@ -283,21 +368,39 @@ let simulate cfg ring ~fact reqs =
           (* [served_rev] is this window's served list most-recent
              first; keep [order] most-recent first globally and flip
              once at the end. *)
-          order.(s) <- served_rev @ order.(s);
+          order.(s) <-
+            List.map (fun r -> (win, r)) served_rev @ order.(s);
           if List.exists (fun r -> (fact r).f_tripped) served_rev then
             quarantined.(s) <- true;
           redistributed := !redistributed + List.length remainder;
           carry := !carry @ remainder
     done;
     carry := List.sort (fun a b -> compare (req_id a) (req_id b)) !carry;
-    makespan := !makespan + !window_max
+    makespan := !makespan + !window_max;
+    (* Autoscale, shrink half (plus a corrective grow if the window
+       shed despite the sizing — capacity was genuinely short): reads
+       modeled routing state only, so placement stays a function of
+       (workload, config). *)
+    if cfg.autoscale then begin
+      let routed = Array.fold_left ( + ) 0 qlen in
+      if !shed > shed_before && !active < cfg.shards then begin
+        incr active;
+        if !active > !peak_active then peak_active := !active
+      end
+      else if !active > 1 && routed * 4 < (!active - 1) * cfg.queue_cap then
+        decr active
+    end
   done;
   {
     sim_assign = assign;
     sim_order = Array.map List.rev order;
     sim_quarantined = quarantined;
+    sim_restart_windows = Array.map List.rev restart_windows;
     sim_shed = !shed;
     sim_redistributed = !redistributed;
+    sim_migrated = !migrated;
+    sim_restarts = !restarts;
+    sim_peak_active = !peak_active;
     sim_routed_hash = !routed_hash;
     sim_routed_balanced = !routed_balanced;
     sim_batches = !batches;
@@ -314,8 +417,21 @@ let model_of_sim cfg sim ~fact =
   Array.init cfg.shards (fun s ->
       let cache = Hw.Assoc.create ~capacity:cfg.image_cap () in
       let cold = ref 0 and warm = ref 0 and busy = ref 0 in
+      let pending_restarts = ref sim.sim_restart_windows.(s) in
       List.iter
-        (fun (r : Workload.request) ->
+        (fun ((w, r) : int * Workload.request) ->
+          (* A rolling restart between the previous request and this
+             one rebooted the shard: its boot-image cache comes back
+             empty, so the next request of every class boots cold. *)
+          let rec flush () =
+            match !pending_restarts with
+            | rw :: rest when rw <= w ->
+                Hw.Assoc.clear cache;
+                pending_restarts := rest;
+                flush ()
+            | _ -> ()
+          in
+          flush ();
           let k = (r.Workload.program, r.Workload.iterations) in
           (match Hw.Assoc.find cache k with
           | Some () -> incr warm
@@ -352,6 +468,21 @@ let run cfg reqs =
       invalid_arg "Dispatcher.run: trace sample < 1"
   | Some t when t.Shard.capacity < 1 ->
       invalid_arg "Dispatcher.run: trace capacity < 1"
+  | Some t when t.Shard.instr < 0 ->
+      invalid_arg "Dispatcher.run: trace instr < 0"
+  | _ -> ());
+  (match cfg.migrate with
+  | Some (w, s_from, s_to) ->
+      if w < 0 then invalid_arg "Dispatcher.run: migrate window < 0";
+      if s_from < 0 || s_from >= cfg.shards then
+        invalid_arg "Dispatcher.run: migrate source out of range";
+      if s_to < 0 || s_to >= cfg.shards then
+        invalid_arg "Dispatcher.run: migrate target out of range";
+      if s_from = s_to then
+        invalid_arg "Dispatcher.run: migrate source equals target"
+  | None -> ());
+  (match cfg.restart_every with
+  | Some n when n < 1 -> invalid_arg "Dispatcher.run: restart_every < 1"
   | _ -> ());
   let nworkers =
     match cfg.pool with
@@ -449,6 +580,22 @@ let run cfg reqs =
   let quarantined =
     Array.fold_left (fun a q -> if q then a + 1 else a) 0 sim.sim_quarantined
   in
+  (* Host-side half of a migration: once the campaign has drained, the
+     source worker's cached classes move to the target worker through
+     the incremental-snapshot handoff (chain, delta, flatten, checked
+     restore, re-seal).  Under the bulk-pool execution model the host
+     transfer happens at drain — the mid-campaign rerouting lives in
+     the simulation above — and runs after every outcome is recorded,
+     so it can never affect the report. *)
+  (match cfg.migrate with
+  | Some (_, s_from, s_to) ->
+      let src = workers.(s_from mod nworkers)
+      and dst = workers.(s_to mod nworkers) in
+      if src != dst then
+        List.iter
+          (fun (k, _) -> Shard.handoff src k dst)
+          (List.sort compare (Shard.images src))
+  | None -> ());
   {
     models = model_of_sim cfg sim ~fact;
     outcomes;
@@ -463,6 +610,9 @@ let run cfg reqs =
         batches = sim.sim_batches;
         makespan = sim.sim_makespan;
         quarantined;
+        migrated = sim.sim_migrated;
+        restarts = sim.sim_restarts;
+        peak_active = sim.sim_peak_active;
       };
     workers;
     host =

@@ -75,12 +75,37 @@ type config = {
           {!Shard.outcome.trace}.  Because the trace configuration is
           sealed into each class's boot image, the captured traces are
           placement-independent like every other outcome field. *)
+  migrate : (int * int * int) option;
+      (** [(window, from, to)]: at dispatch window [window] (0-based
+          ordinal) drain shard [from] — its routed queue rides the
+          carry to the next window in arrival order, like a quarantine
+          redistribution — and retire it from the rotation; from the
+          next window its classes route to shard [to].  After the
+          campaign drains, the source worker's cached boot images move
+          to the target worker through {!Shard.handoff}.  Because
+          outcomes are placement-independent and the drain only moves
+          (never drops) requests, a migration leaves the report's
+          fleet section byte-identical as long as nothing is shed. *)
+  restart_every : int option;
+      (** Rolling restarts: every [n] windows the next shard in id
+          order goes down for exactly one window — the ring routes
+          around it, nothing queues on it (zero dropped requests), and
+          it comes back with a cold boot-image cache. *)
+  autoscale : bool;
+      (** Queue-depth-driven shard autoscaling: routing starts on one
+          active shard; before each window the active set grows until
+          the window's offered load fits within 3/4 of its aggregate
+          queue capacity (so a burst is absorbed, not shed), and after
+          a quiet window it shrinks when routed depth falls below a
+          quarter of the next-smaller set's capacity.  [shards] is the
+          ceiling.  Purely modeled, so placement stays deterministic. *)
 }
 
 val default_config : shards:int -> config
 (** [queue_cap 64], [imbalance 4], [replicas 16], [batch_window 4096],
     [image_cap 8], no watchdog, no injection, no preload, pool sized
-    to the host, stealing on, no tracing. *)
+    to the host, stealing on, no tracing, no migration, no rolling
+    restarts, no autoscaling. *)
 
 type stats = {
   completed : int;  (** Requests served to an exit. *)
@@ -96,6 +121,13 @@ type stats = {
           shard's busy cycles in that window — what wall-clock would
           be if each shard were a real machine. *)
   quarantined : int;  (** Shards quarantined by the end of the run. *)
+  migrated : int;
+      (** Requests drained off the migrating shard at its drain window
+          (re-queued, never dropped). *)
+  restarts : int;  (** Rolling-restart cycles taken. *)
+  peak_active : int;
+      (** Autoscale high-water mark of the active shard set; equals
+          [shards] when autoscaling is off. *)
 }
 
 type shard_model = {
@@ -141,5 +173,6 @@ val run : config -> Workload.request list -> result
 (** Execute the whole workload.  Raises [Invalid_argument] on a bad
     config ([shards < 1], [queue_cap < 1], [batch_window < 1],
     [image_cap < 0], [imbalance < 0], [replicas < 1], [pool] some
-    value [< 1]) and [Failure] on a catalog/assembly defect (unknown
-    program, bad image). *)
+    value [< 1], a [migrate] triple out of range or with source equal
+    to target, [restart_every] below 1) and [Failure] on a
+    catalog/assembly defect (unknown program, bad image). *)

@@ -8,7 +8,7 @@
 
 type klass = string * int
 
-type trace_cfg = { sample : int; seed : int; capacity : int }
+type trace_cfg = { sample : int; seed : int; capacity : int; instr : int }
 
 let default_trace_capacity = 4096
 
@@ -198,6 +198,7 @@ let create ~id ?(image_cap = 8) ?inject ?watchdog ?trace ?(preload = []) () =
   | Some c when c.sample < 1 -> invalid_arg "Shard.create: trace sample < 1"
   | Some c when c.capacity < 1 ->
       invalid_arg "Shard.create: trace capacity < 1"
+  | Some c when c.instr < 0 -> invalid_arg "Shard.create: trace instr < 0"
   | _ -> ());
   {
     sid = id;
@@ -269,6 +270,8 @@ let build_system t prog ~iterations =
           Trace.Event.set_capacity m.Isa.Machine.log c.capacity;
           Trace.Event.set_sampling m.Isa.Machine.log ~interval:c.sample
             ~seed:c.seed;
+          if c.instr > 0 then
+            Trace.Event.set_instr_sampling m.Isa.Machine.log ~interval:c.instr;
           Trace.Event.set_enabled m.Isa.Machine.log true;
           Trace.Span.set_sampling m.Isa.Machine.spans ~interval:c.sample
             ~seed:c.seed;
@@ -327,6 +330,58 @@ let boot t k =
       | Error e ->
           fail "shard %d: warm boot failed: %s" t.sid
             (Format.asprintf "%a" Os.Snapshot.pp_error e))
+
+(* ------------------------------------------------------------------ *)
+(* Handoff *)
+
+(* Move a class's boot slot to another shard over the incremental
+   snapshot transfer.  The source opens a chain at its machine's
+   current (post-serving) state, drains by rewinding to the class's
+   sealed boot image — every page that rewind rewrites lands in the
+   dirty map — and captures the rewind as a delta.  Base plus delta
+   flatten into a full image describing exactly the class boot state,
+   which the destination restores with full validation (checksum,
+   shape, self-check, kernel-table audit: a cross-shard image is
+   untrusted by definition) onto a freshly built system of the same
+   class, then re-seals for its own warm boots.  The source forgets
+   the class. *)
+let handoff src k dst =
+  let program, iterations = k in
+  let prog =
+    match List.assoc_opt program catalog with
+    | Some p -> p
+    | None -> fail "shard %d: handoff: unknown program %s" src.sid program
+  in
+  match Hw.Assoc.find src.cache k with
+  | None ->
+      fail "shard %d: handoff: class %s/%d not cached" src.sid program
+        iterations
+  | Some slot ->
+      let chain, base = Os.Snapshot.start_chain slot.sys in
+      (match Os.Snapshot.warm_boot slot.sys slot.image with
+      | Ok () -> ()
+      | Error e ->
+          fail "shard %d: handoff: rewind of %s/%d failed: %s" src.sid
+            program iterations
+            (Format.asprintf "%a" Os.Snapshot.pp_error e));
+      let delta = Os.Snapshot.capture_delta slot.sys chain in
+      let image =
+        match Os.Snapshot.flatten ~base [ delta ] with
+        | Ok img -> img
+        | Error e ->
+            fail "shard %d: handoff: flatten of %s/%d failed: %s" src.sid
+              program iterations
+              (Format.asprintf "%a" Os.Snapshot.pp_error e)
+      in
+      let sys = build_system dst prog ~iterations in
+      (match Os.Snapshot.restore sys image with
+      | Ok () -> ()
+      | Error e ->
+          fail "shard %d: handoff of %s/%d to shard %d rejected: %s" src.sid
+            program iterations dst.sid
+            (Format.asprintf "%a" Os.Snapshot.pp_error e));
+      ignore (Hw.Assoc.remove src.cache k);
+      ignore (Hw.Assoc.insert dst.cache k (seal_slot sys))
 
 (* ------------------------------------------------------------------ *)
 (* Serving *)

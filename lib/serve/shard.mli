@@ -21,10 +21,12 @@
 type klass = string * int
 (** A service class: [(program, iterations)]. *)
 
-type trace_cfg = { sample : int; seed : int; capacity : int }
+type trace_cfg = { sample : int; seed : int; capacity : int; instr : int }
 (** Per-shard tracing: keep 1 in [sample] events and spans (seeded,
     deterministic — see {!Trace.Event.set_sampling}) in an event
-    arena of [capacity] cells.  The configuration is applied before a
+    arena of [capacity] cells.  [instr] samples the instruction
+    stream at its own 1-in-[instr] rate ({!Trace.Event.set_instr_sampling});
+    [0] means "follow [sample]".  The configuration is applied before a
     class's boot image is sealed, so it rewinds with every warm boot
     and a request's trace is placement-independent. *)
 
@@ -105,6 +107,18 @@ val image_stats : t -> Hw.Assoc.stats
 
 val images : t -> (klass * string) list
 (** Every boot image currently cached, for persistence ([--snapshot]). *)
+
+val handoff : t -> klass -> t -> unit
+(** [handoff src k dst] migrates class [k]'s boot slot from [src] to
+    [dst] over the incremental-snapshot transfer: open a chain at the
+    source machine's current state ({!Os.Snapshot.start_chain}), drain
+    by rewinding to the class's sealed boot image, capture the rewind's
+    dirty pages as a delta ({!Os.Snapshot.capture_delta}), flatten, and
+    restore the flattened image — full validation, since a cross-shard
+    image is untrusted — onto a freshly built same-class system on the
+    destination, which re-seals it for its own warm boots.  The source
+    drops the class.  Raises [Failure] on a catalog defect or a
+    rejected transfer. *)
 
 val programs : string list
 (** The program catalog's names, each a scenario in the style of

@@ -139,8 +139,10 @@ val degraded : t -> int
 
 (** {2 Checkpoint/restore and the dispatcher watchdog}
 
-    [snapshots_written] images captured (bumped before serializing, so
-    the count inside an image already includes it); [restores] images
+    [snapshots_written] images captured — full and delta alike
+    (bumped before serializing, so the count inside an image already
+    includes it; rolled back if serialization fails, so a failed
+    capture never inflates it); [restores] images
     applied; [restore_audit_rejections] images refused by the restore-
     time SDW audit; [journal_replays_skipped] device transfers found
     already journalled and not re-emitted; [watchdog_tripped] processes

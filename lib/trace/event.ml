@@ -94,6 +94,11 @@ type log = {
   mutable high_water : int;
   mutable sample_interval : int;
   mutable sample_seed : int;
+  (* Separate 1-in-N interval for the instruction stream; 0 means
+     "follow sample_interval".  The instruction firehose dwarfs the
+     control-flow events, so production configs thin it independently
+     while keeping every call/return/trap. *)
+  mutable instr_interval : int;
   mutable strings : string array;
   mutable nstrings : int;
   string_ids : (string, int) Hashtbl.t;
@@ -118,6 +123,7 @@ let create_log ?(capacity = default_capacity) () =
     high_water = 0;
     sample_interval = 1;
     sample_seed = 0;
+    instr_interval = 0;
     strings = [||];
     nstrings = 0;
     string_ids = Hashtbl.create 16;
@@ -138,6 +144,7 @@ let seen log = log.next_seq
 let recorded log = log.next_seq - log.sampled_out
 let sample_interval log = log.sample_interval
 let sample_seed log = log.sample_seed
+let instr_interval log = log.instr_interval
 
 (* Deterministic 1-in-N selection as a pure function of the candidate's
    sequence number: splitmix-style finalizer over (seq, seed), so the
@@ -158,6 +165,10 @@ let set_sampling log ~interval ~seed =
   if interval < 1 then invalid_arg "Event.set_sampling: interval < 1";
   log.sample_interval <- interval;
   log.sample_seed <- seed
+
+let set_instr_sampling log ~interval =
+  if interval < 0 then invalid_arg "Event.set_instr_sampling: interval < 0";
+  log.instr_interval <- interval
 
 let clear log =
   log.head <- 0;
@@ -195,6 +206,24 @@ let admit log =
   log.next_seq <- seq + 1;
   if sample_hit ~interval:log.sample_interval ~seed:log.sample_seed seq then
     seq
+  else begin
+    log.sampled_out <- log.sampled_out + 1;
+    Counters.bump_events_sampled_out log.stats;
+    -1
+  end
+
+(* Same, through the instruction-stream interval.  Sequence numbers
+   stay shared with the control-flow events — one monotonic stream —
+   so exported gaps remain interpretable whichever sampler dropped
+   the candidate. *)
+let admit_instr log =
+  let seq = log.next_seq in
+  log.next_seq <- seq + 1;
+  let interval =
+    if log.instr_interval = 0 then log.sample_interval
+    else log.instr_interval
+  in
+  if sample_hit ~interval ~seed:log.sample_seed seq then seq
   else begin
     log.sampled_out <- log.sampled_out + 1;
     Counters.bump_events_sampled_out log.stats;
@@ -240,7 +269,7 @@ let fill log base ~tag ~seq ~a ~b ~c ~d ~e =
    the disassembly is deferred (text_id = -1) until export. *)
 let record_instruction log ~ring ~segno ~wordno =
   if log.enabled then begin
-    let seq = admit log in
+    let seq = admit_instr log in
     if seq >= 0 then
       fill log (claim log) ~tag:tag_instruction ~seq ~a:ring ~b:segno
         ~c:wordno ~d:(-1) ~e:0
@@ -305,7 +334,7 @@ let record log e =
   if log.enabled then
     match e with
     | Instruction { ring; segno; wordno; text } ->
-        let seq = admit log in
+        let seq = admit_instr log in
         if seq >= 0 then begin
           let id = intern log text in
           fill log (claim log) ~tag:tag_instruction ~seq ~a:ring ~b:segno
@@ -399,6 +428,7 @@ type dump = {
   d_high_water : int;
   d_sample_interval : int;
   d_sample_seed : int;
+  d_instr_interval : int;
 }
 
 let dump log =
@@ -410,6 +440,7 @@ let dump log =
     d_high_water = log.high_water;
     d_sample_interval = log.sample_interval;
     d_sample_seed = log.sample_seed;
+    d_instr_interval = log.instr_interval;
   }
 
 let encode_at log slot s =
@@ -448,6 +479,8 @@ let restore log d =
   if n > log.capacity then invalid_arg "Event.restore: entries > capacity";
   if d.d_sample_interval < 1 then
     invalid_arg "Event.restore: sample_interval < 1";
+  if d.d_instr_interval < 0 then
+    invalid_arg "Event.restore: instr_interval < 0";
   clear log;
   if n > 0 && Array.length log.cells = 0 then
     log.cells <- Array.make (log.capacity * cell_width) 0;
@@ -459,7 +492,8 @@ let restore log d =
   log.sampled_out <- d.d_sampled_out;
   log.high_water <- d.d_high_water;
   log.sample_interval <- d.d_sample_interval;
-  log.sample_seed <- d.d_sample_seed
+  log.sample_seed <- d.d_sample_seed;
+  log.instr_interval <- d.d_instr_interval
 
 let crossing_to_string = function
   | Same_ring -> "same-ring"

@@ -111,9 +111,25 @@ val sample_hit : interval:int -> seed:int -> int -> bool
     itself, exposed so span sampling ({!Span.set_sampling}) and tests
     share the exact function. *)
 
+val set_instr_sampling : log -> interval:int -> unit
+(** Sample the {e instruction} stream at its own 1-in-[interval] rate,
+    independent of the control-flow events: [record_instruction]
+    candidates go through this interval while calls, returns, traps,
+    gatekeeper actions, descriptor switches and notes keep following
+    {!set_sampling}'s.  The selection predicate and seed are shared
+    ({!sample_hit} over the one monotonic sequence), so the split
+    changes which candidates are kept, never how they are chosen.
+    [interval = 0] (the default) means "follow the control-flow
+    interval" — the pre-split behaviour.  Raises [Invalid_argument] if
+    [interval < 0]. *)
+
 val sample_interval : log -> int
 
 val sample_seed : log -> int
+
+val instr_interval : log -> int
+(** The instruction-stream interval as set ([0] = following
+    {!sample_interval}). *)
 
 (** {1 Recording}
 
@@ -198,6 +214,7 @@ type dump = {
   d_high_water : int;
   d_sample_interval : int;
   d_sample_seed : int;
+  d_instr_interval : int;
 }
 
 val dump : log -> dump

@@ -277,10 +277,12 @@ let metrics_json ~counters ?events ?spans ?profile ?(segment_names = []) () =
         (Printf.sprintf
            ",\n  \"events\": {\"seen\": %d, \"recorded\": %d, \"dropped\": \
             %d, \"sampled_out\": %d,\n    \"capacity\": %d, \"high_water\": \
-            %d, \"sample_interval\": %d, \"sample_seed\": %d}"
+            %d, \"sample_interval\": %d, \"sample_seed\": %d, \
+            \"instr_interval\": %d}"
            (Event.seen log) (Event.recorded log) (Event.dropped log)
            (Event.sampled_out log) (Event.capacity log) (Event.high_water log)
-           (Event.sample_interval log) (Event.sample_seed log)));
+           (Event.sample_interval log) (Event.sample_seed log)
+           (Event.instr_interval log)));
   (match spans with
   | None -> ()
   | Some tr ->
@@ -368,7 +370,9 @@ let metrics_prometheus ~counters ?events ?spans ?profile ?(segment_names = [])
       line "# TYPE rings_events_high_water gauge";
       line "rings_events_high_water %d" (Event.high_water log);
       line "# TYPE rings_events_sample_interval gauge";
-      line "rings_events_sample_interval %d" (Event.sample_interval log));
+      line "rings_events_sample_interval %d" (Event.sample_interval log);
+      line "# TYPE rings_events_instr_interval gauge";
+      line "rings_events_instr_interval %d" (Event.instr_interval log));
   (match profile with
   | None -> ()
   | Some p ->

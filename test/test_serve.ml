@@ -470,7 +470,7 @@ let test_traced_fleet () =
   let reqs =
     Serve.Workload.(generate ~mix:standard_mix ~seed:7 ~requests:30)
   in
-  let trace = Some { Serve.Shard.sample = 2; seed = 7; capacity = 512 } in
+  let trace = Some { Serve.Shard.sample = 2; seed = 7; capacity = 512; instr = 0 } in
   let run shards =
     let cfg =
       {
@@ -540,22 +540,135 @@ let test_trace_config_validation () =
     (bad
        {
          base with
-         trace = Some { Serve.Shard.sample = 0; seed = 0; capacity = 16 };
+         trace = Some { Serve.Shard.sample = 0; seed = 0; capacity = 16; instr = 0 };
        });
   Alcotest.(check bool) "trace capacity 0 rejected" true
     (bad
        {
          base with
-         trace = Some { Serve.Shard.sample = 1; seed = 0; capacity = 0 };
+         trace = Some { Serve.Shard.sample = 1; seed = 0; capacity = 0; instr = 0 };
        });
   Alcotest.(check bool) "shard-level trace sample 0 rejected" true
     (try
        ignore
          (Serve.Shard.create ~id:0
-            ~trace:{ Serve.Shard.sample = 0; seed = 0; capacity = 16 }
+            ~trace:{ Serve.Shard.sample = 0; seed = 0; capacity = 16; instr = 0 }
             ());
        false
      with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Elastic fleet *)
+
+(* A migration, a rolling restart, or autoscaling must be invisible in
+   the fleet section: the drain moves (never drops) requests, restarts
+   only cost cache warmth, and the active-set size is routing detail —
+   outcomes are placement-independent either way. *)
+let test_elastic_fleet_invariant () =
+  (* One service class spread over many windows, with the least-loaded
+     override disabled, so the hash-preferred shard's queue is known
+     to be busy at the migration window. *)
+  let reqs =
+    List.init 40 (fun i ->
+        req ~id:i ~program:"crossing-hw" ~iterations:8 ~arrival:(1 + (i * 16)))
+  in
+  let ring = Serve.Dispatcher.Route.make ~shards:3 ~replicas:16 in
+  let from_shard = Serve.Dispatcher.Route.owner ring ("crossing-hw", 8) in
+  let to_shard = (from_shard + 1) mod 3 in
+  let base =
+    {
+      (Serve.Dispatcher.default_config ~shards:3) with
+      queue_cap = 256;
+      imbalance = 1000;
+      batch_window = 64;
+    }
+  in
+  let fleet_of cfg check_stats =
+    let r = Serve.Dispatcher.run cfg reqs in
+    let stats = r.Serve.Dispatcher.stats in
+    Alcotest.(check int) "nothing shed" 0 stats.Serve.Dispatcher.shed;
+    Alcotest.(check int) "every request served" 40
+      stats.Serve.Dispatcher.completed;
+    check_stats stats;
+    fleet_section
+      (Serve.Aggregate.report_json
+         (Serve.Aggregate.build r.Serve.Dispatcher.models
+            r.Serve.Dispatcher.outcomes stats))
+  in
+  let plain =
+    fleet_of base (fun s ->
+        Alcotest.(check int) "peak = shards when autoscale off" 3
+          s.Serve.Dispatcher.peak_active)
+  in
+  Alcotest.(check string) "migration invisible in the fleet section" plain
+    (fleet_of
+       { base with migrate = Some (2, from_shard, to_shard) }
+       (fun s ->
+         Alcotest.(check bool) "drain moved requests" true
+           (s.Serve.Dispatcher.migrated > 0)));
+  Alcotest.(check string) "rolling restarts invisible" plain
+    (fleet_of
+       { base with restart_every = Some 2 }
+       (fun s ->
+         Alcotest.(check bool) "restart cycles taken" true
+           (s.Serve.Dispatcher.restarts > 0)));
+  Alcotest.(check string) "autoscaling invisible" plain
+    (fleet_of { base with autoscale = true } (fun s ->
+         Alcotest.(check bool) "peak within the ceiling" true
+           (s.Serve.Dispatcher.peak_active >= 1
+           && s.Serve.Dispatcher.peak_active <= 3)))
+
+let test_elastic_config_validation () =
+  let bad cfg =
+    try
+      ignore (Serve.Dispatcher.run cfg []);
+      false
+    with Invalid_argument _ -> true
+  in
+  let base = Serve.Dispatcher.default_config ~shards:2 in
+  Alcotest.(check bool) "migrate target out of range rejected" true
+    (bad { base with migrate = Some (0, 0, 2) });
+  Alcotest.(check bool) "migrate source out of range rejected" true
+    (bad { base with migrate = Some (0, -1, 1) });
+  Alcotest.(check bool) "migrate source = target rejected" true
+    (bad { base with migrate = Some (0, 1, 1) });
+  Alcotest.(check bool) "negative migrate window rejected" true
+    (bad { base with migrate = Some (-1, 0, 1) });
+  Alcotest.(check bool) "restart_every 0 rejected" true
+    (bad { base with restart_every = Some 0 })
+
+let test_shard_handoff () =
+  let src = Serve.Shard.create ~id:0 () in
+  let dst = Serve.Shard.create ~id:1 () in
+  let k = ("crossing-hw", 6) in
+  let baseline =
+    Serve.Shard.exec src (req ~id:0 ~program:"crossing-hw" ~iterations:6 ~arrival:1)
+  in
+  Serve.Shard.handoff src k dst;
+  Alcotest.(check bool) "source dropped the class" true
+    (not (List.mem_assoc k (Serve.Shard.images src)));
+  Alcotest.(check bool) "destination holds the class" true
+    (List.mem_assoc k (Serve.Shard.images dst));
+  let o =
+    Serve.Shard.exec dst (req ~id:1 ~program:"crossing-hw" ~iterations:6 ~arrival:2)
+  in
+  Alcotest.(check int) "migrated image warm-boots" 1 (Serve.Shard.warm_boots dst);
+  Alcotest.(check int) "no cold boot on the destination" 0
+    (Serve.Shard.cold_boots dst);
+  Alcotest.(check string) "same exit after migration"
+    baseline.Serve.Shard.exit_label o.Serve.Shard.exit_label;
+  Alcotest.(check int) "same latency after migration"
+    baseline.Serve.Shard.latency o.Serve.Shard.latency;
+  Alcotest.(check bool) "same counter delta after migration" true
+    (baseline.Serve.Shard.delta = o.Serve.Shard.delta);
+  Alcotest.(check bool) "same ring attribution after migration" true
+    (baseline.Serve.Shard.ring_cycles = o.Serve.Shard.ring_cycles);
+  (* A class the source never booted cannot be handed off. *)
+  Alcotest.(check bool) "uncached class refused" true
+    (try
+       Serve.Shard.handoff src ("same-ring", 4) dst;
+       false
+     with Failure _ -> true)
 
 let suite =
   [
@@ -598,5 +711,10 @@ let suite =
           test_traced_fleet;
         Alcotest.test_case "trace: config validation" `Quick
           test_trace_config_validation;
+        Alcotest.test_case "elastic: migration/restart/autoscale invisible"
+          `Quick test_elastic_fleet_invariant;
+        Alcotest.test_case "elastic: config validation" `Quick
+          test_elastic_config_validation;
+        Alcotest.test_case "elastic: shard handoff" `Quick test_shard_handoff;
       ] );
   ]

@@ -152,7 +152,7 @@ let test_damaged_images_are_rejected () =
    (* Version is the second header word; the checksum covers only the
       payload, so this must surface as Bad_version, not checksum. *)
    Bytes.set b 15 '\x2a';
-   check_error "version bump" "snapshot format version 42, this build reads 2"
+   check_error "version bump" "snapshot format version 42, this build reads 3"
      (Bytes.to_string b));
   check_error "truncated header" "snapshot image is truncated"
     (String.sub image 0 20);
@@ -339,6 +339,240 @@ let test_warm_boot_rewinds_in_place () =
     "re-run delta identical to the first run's"
     (Trace.Counters.fields d1) (Trace.Counters.fields d2)
 
+(* {1 Incremental capture: dirty pages, delta chains, flatten} *)
+
+let machine_mem sys = (Os.System.machine sys).Isa.Machine.mem
+
+(* Attach the deterministic fault injector the way the serving fleet
+   does, so chain captures run under chaos: poison-table writes and
+   retried instructions exercise the dirty-page tracking on the same
+   write path ordinary stores use. *)
+let attach_injector sys =
+  let inj = Hw.Inject.create (Hw.Inject.default_plan ~seed:3) in
+  List.iter
+    (fun (e : Os.System.entry) ->
+      List.iter
+        (fun (base, len) -> Hw.Inject.register_descriptor_range inj ~base ~len)
+        (Os.Process.descriptor_ranges e.Os.System.process))
+    (Os.System.entries sys);
+  Isa.Machine.attach_injector (Os.System.machine sys) inj
+
+let test_dirty_pages_track_every_write_path () =
+  let sys = fresh_system () in
+  let mem = machine_mem sys in
+  Hw.Memory.clear_dirty mem;
+  Alcotest.(check (list int)) "clean after clear" [] (Hw.Memory.dirty_pages mem);
+  let gen = Hw.Memory.dirty_generation mem in
+  (* A plain store marks exactly its page. *)
+  let addr = 5 * Hw.Memory.page_words + 17 in
+  Hw.Memory.write_silent mem addr 42;
+  Alcotest.(check (list int)) "store marks its page" [ 5 ]
+    (Hw.Memory.dirty_pages mem);
+  (* Writing the same page again adds nothing; another page appends. *)
+  Hw.Memory.write_silent mem (addr + 1) 43;
+  Hw.Memory.blit_silent mem (9 * Hw.Memory.page_words) [| 1; 2; 3 |];
+  Alcotest.(check (list int)) "pages ascending, deduplicated" [ 5; 9 ]
+    (Hw.Memory.dirty_pages mem);
+  Alcotest.(check int) "generation moves only on clear" gen
+    (Hw.Memory.dirty_generation mem);
+  Hw.Memory.clear_dirty mem;
+  Alcotest.(check (list int)) "clear empties the map" []
+    (Hw.Memory.dirty_pages mem);
+  Alcotest.(check bool) "clear advances the generation" true
+    (Hw.Memory.dirty_generation mem > gen);
+  (* A descriptor rewrite (the kernel-table write path) lands in the
+     dirty map like any other store. *)
+  let e = List.hd (Os.System.entries sys) in
+  let p = e.Os.System.process in
+  let m = Os.System.machine sys in
+  let dbr = p.Os.Process.descsegs.(0) in
+  let segno =
+    match Os.Process.segno_of p "bump_a" with
+    | Some s -> s
+    | None -> Alcotest.fail "bump_a not loaded"
+  in
+  (match Hw.Descriptor.fetch_sdw_silent m.Isa.Machine.mem dbr ~segno with
+  | Ok sdw ->
+      Hw.Descriptor.store_sdw m.Isa.Machine.mem dbr ~segno
+        (Hw.Sdw.v ~paged:sdw.Hw.Sdw.paged ~base:sdw.Hw.Sdw.base
+           ~bound:sdw.Hw.Sdw.bound sdw.Hw.Sdw.access)
+  | Error _ -> Alcotest.fail "SDW unreadable");
+  Alcotest.(check bool) "descriptor rewrite marks its page" true
+    (Hw.Memory.dirty_pages mem <> []);
+  (* Restore rewrites memory through the same path: the pages it
+     changes surface in the dirty map (a conservative superset — a
+     chain stays correct across an in-place rewind). *)
+  let image = Os.Snapshot.capture sys in
+  let (_ : (string * Os.Kernel.exit) list) = Os.System.run sys in
+  Hw.Memory.clear_dirty mem;
+  (match Os.Snapshot.warm_boot sys image with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "warm_boot: %a" Os.Snapshot.pp_error e);
+  Alcotest.(check bool) "rewind marks the pages it rewrote" true
+    (Hw.Memory.dirty_pages mem <> [])
+
+(* The flatten invariant, end to end under chaos injection: run twin
+   systems with the same fault plan, one capturing a delta chain and
+   one capturing full images at the same slice boundaries.  Every
+   prefix of the chain must flatten to the bytes the full capture
+   wrote at that boundary — poison-table writes, journal traffic and
+   retried stores included, since any write the dirty map missed would
+   diverge the bytes. *)
+let test_chain_flatten_matches_full_captures () =
+  let a = fresh_system () and b = fresh_system () in
+  attach_injector a;
+  attach_injector b;
+  let chain, base = Os.Snapshot.start_chain a in
+  let full0 = Os.Snapshot.capture b in
+  Alcotest.(check bool) "base equals the full capture at the same point" true
+    (String.equal base full0);
+  let deltas = ref [] and fulls = ref [] in
+  let exits_a =
+    Os.System.run
+      ~on_slice:(fun () ->
+        deltas := Os.Snapshot.capture_delta a chain :: !deltas)
+      a
+  in
+  let exits_b =
+    Os.System.run ~on_slice:(fun () -> fulls := Os.Snapshot.capture b :: !fulls) b
+  in
+  Alcotest.(check (list exit_pair)) "twin runs exit identically" exits_a exits_b;
+  let deltas = List.rev !deltas and fulls = List.rev !fulls in
+  Alcotest.(check int) "one delta per full capture" (List.length fulls)
+    (List.length deltas);
+  Alcotest.(check bool) "several checkpoint boundaries" true
+    (List.length deltas >= 3);
+  List.iteri
+    (fun i full ->
+      let prefix = List.filteri (fun j _ -> j <= i) deltas in
+      match Os.Snapshot.flatten ~base prefix with
+      | Ok img ->
+          Alcotest.(check bool)
+            (Printf.sprintf "link %d flattens to the full capture's bytes" i)
+            true (String.equal img full)
+      | Error e ->
+          Alcotest.failf "flatten link %d: %a" i Os.Snapshot.pp_error e)
+    fulls;
+  (* Kill-and-resume through the chain: restore a mid-chain prefix
+     onto a fresh system (injector attached — the image carries its
+     state) and finish the run. *)
+  let k = List.length deltas / 2 in
+  let resumed = fresh_system () in
+  attach_injector resumed;
+  (match
+     Os.Snapshot.restore_chain resumed ~base
+       (List.filteri (fun j _ -> j < k) deltas)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "restore_chain: %a" Os.Snapshot.pp_error e);
+  let (_ : (string * Os.Kernel.exit) list) = Os.System.run resumed in
+  Alcotest.(check (list exit_pair))
+    "resumed-from-chain completion log identical"
+    (Os.System.finished_log a)
+    (Os.System.finished_log resumed);
+  Alcotest.(check (list (pair int int)))
+    "resumed-from-chain memory identical" (memory_words a)
+    (memory_words resumed)
+
+let test_chain_rejections () =
+  let sys = fresh_system () in
+  let chain, base = Os.Snapshot.start_chain sys in
+  let deltas = ref [] in
+  let (_ : (string * Os.Kernel.exit) list) =
+    Os.System.run
+      ~on_slice:(fun () ->
+        if List.length !deltas < 3 then
+          deltas := Os.Snapshot.capture_delta sys chain :: !deltas)
+      sys
+  in
+  let d1, d2, d3 =
+    match List.rev !deltas with
+    | [ x; y; z ] -> (x, y, z)
+    | l -> Alcotest.failf "expected 3 deltas, got %d" (List.length l)
+  in
+  let flatten_err what expected deltas =
+    match Os.Snapshot.flatten ~base deltas with
+    | Ok _ -> Alcotest.failf "%s: flatten accepted a broken chain" what
+    | Error e ->
+        Alcotest.(check string)
+          what expected
+          (Format.asprintf "%a" Os.Snapshot.pp_error e)
+  in
+  (* The empty chain re-seals the base byte-identically. *)
+  (match Os.Snapshot.flatten ~base [] with
+  | Ok img ->
+      Alcotest.(check bool) "flatten ~base [] re-seals the base" true
+        (String.equal img base)
+  | Error e -> Alcotest.failf "flatten []: %a" Os.Snapshot.pp_error e);
+  (* A later delta handed as the first: its reference is d1, not base. *)
+  (match Os.Snapshot.flatten ~base [ d2 ] with
+  | Error Os.Snapshot.Stale_base -> ()
+  | Error e -> Alcotest.failf "expected Stale_base, got %a" Os.Snapshot.pp_error e
+  | Ok _ -> Alcotest.fail "flatten accepted a delta over the wrong base");
+  (* A missing and a duplicated link are named by position. *)
+  (match Os.Snapshot.flatten ~base [ d1; d3 ] with
+  | Error (Os.Snapshot.Broken_chain 1) -> ()
+  | Error e ->
+      Alcotest.failf "expected Broken_chain 1, got %a" Os.Snapshot.pp_error e
+  | Ok _ -> Alcotest.fail "flatten accepted a chain with a missing link");
+  (match Os.Snapshot.flatten ~base [ d1; d1 ] with
+  | Error (Os.Snapshot.Broken_chain 1) -> ()
+  | Error e ->
+      Alcotest.failf "expected Broken_chain 1, got %a" Os.Snapshot.pp_error e
+  | Ok _ -> Alcotest.fail "flatten accepted a duplicated link");
+  (* Damage inside a delta surfaces as the same layered errors full
+     images get. *)
+  (let t = Bytes.of_string d2 in
+   Bytes.set t 100 (Char.chr (Char.code (Bytes.get t 100) lxor 1));
+   flatten_err "flipped delta byte" "snapshot payload fails its checksum"
+     [ d1; Bytes.to_string t; d3 ]);
+  flatten_err "truncated delta" "snapshot image is truncated"
+    [ String.sub d1 0 (String.length d1 - 1) ];
+  (* Image kinds are not interchangeable. *)
+  flatten_err "full image as a delta" "not a snapshot image (bad magic)"
+    [ base ];
+  match Os.Snapshot.flatten ~base:d1 [] with
+  | Error Os.Snapshot.Bad_magic -> ()
+  | Error e -> Alcotest.failf "expected Bad_magic, got %a" Os.Snapshot.pp_error e
+  | Ok _ -> Alcotest.fail "flatten accepted a delta as a base"
+
+(* Failed captures must not inflate [snapshots_written], and a full
+   capture mid-chain poisons the chain, not the system. *)
+let test_chain_interlopers_and_counter_rollback () =
+  let sys = fresh_system () in
+  let c = counters sys in
+  let chain, _base = Os.Snapshot.start_chain sys in
+  let d1 = Os.Snapshot.capture_delta sys chain in
+  Alcotest.(check int) "chain advanced" 1 (Os.Snapshot.chain_length chain);
+  ignore d1;
+  (* A full capture is a capture point: it clears the dirty map, so
+     the straddled chain must refuse its next delta instead of
+     emitting one that misses the pages dirtied before the capture. *)
+  let (_ : string) = Os.Snapshot.capture sys in
+  let before = Trace.Counters.snapshots_written c in
+  (match Os.Snapshot.capture_delta sys chain with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capture_delta survived an interloping capture");
+  Alcotest.(check int) "refused delta rolled back snapshots_written" before
+    (Trace.Counters.snapshots_written c);
+  Alcotest.(check int) "refused delta did not advance the chain" 1
+    (Os.Snapshot.chain_length chain);
+  (* A foreign clear_dirty is the same interloper. *)
+  let chain2, _base2 = Os.Snapshot.start_chain sys in
+  Hw.Memory.clear_dirty (machine_mem sys);
+  let before = Trace.Counters.snapshots_written c in
+  (match Os.Snapshot.capture_delta sys chain2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capture_delta survived a foreign clear_dirty");
+  Alcotest.(check int) "rollback after foreign clear too" before
+    (Trace.Counters.snapshots_written c);
+  (* A fresh chain recovers: the system itself is unharmed. *)
+  let chain3, base3 = Os.Snapshot.start_chain sys in
+  let d = Os.Snapshot.capture_delta sys chain3 in
+  match Os.Snapshot.flatten ~base:base3 [ d ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fresh chain flatten: %a" Os.Snapshot.pp_error e
+
 let test_journal_line_roundtrip () =
   let record = { Hw.Journal.seq = 7; codes = [ 114; 105; 110 ] } in
   let line = Hw.Journal.to_line ~pname:"printer" record in
@@ -377,5 +611,13 @@ let suite =
           test_journal_line_roundtrip;
         Alcotest.test_case "warm boot rewinds in place" `Quick
           test_warm_boot_rewinds_in_place;
+        Alcotest.test_case "dirty pages track every write path" `Quick
+          test_dirty_pages_track_every_write_path;
+        Alcotest.test_case "chain flatten matches full captures under chaos"
+          `Quick test_chain_flatten_matches_full_captures;
+        Alcotest.test_case "broken chains are rejected with typed errors"
+          `Quick test_chain_rejections;
+        Alcotest.test_case "interlopers poison the chain, not the counter"
+          `Quick test_chain_interlopers_and_counter_rollback;
       ] );
   ]

@@ -138,6 +138,78 @@ let test_event_wrap_sampling_accounting () =
   Alcotest.(check (list int)) "newest hits survive" newest
     (List.map (fun s -> s.Trace.Event.seq) retained)
 
+(* Splitting the instruction stream onto its own sampling rate changes
+   which candidates survive, never how they are chosen: both streams
+   share one monotonic sequence and one seed, so instruction retention
+   is [sample_hit ~interval:instr_interval] over the instruction seqs
+   while every other event still follows the control-flow interval. *)
+let test_event_instr_sampling_split () =
+  let run ~instr () =
+    let log = Trace.Event.create_log ~capacity:256 () in
+    Trace.Event.set_sampling log ~interval:4 ~seed:9;
+    if instr >= 0 then Trace.Event.set_instr_sampling log ~interval:instr;
+    Trace.Event.set_enabled log true;
+    (* Interleave the streams: even seqs are instructions, odd seqs
+       notes, so each stream's candidate set is known exactly. *)
+    for i = 0 to 99 do
+      if i mod 2 = 0 then
+        Trace.Event.record_instruction log ~ring:4 ~segno:1 ~wordno:i
+      else Trace.Event.record_note log (string_of_int i)
+    done;
+    log
+  in
+  let split = run ~instr:2 () in
+  Alcotest.(check int) "accessor reflects the split" 2
+    (Trace.Event.instr_interval split);
+  let seqs_of pred log =
+    List.filter_map
+      (fun s ->
+        match s.Trace.Event.event with
+        | Trace.Event.Instruction _ when pred -> Some s.Trace.Event.seq
+        | Trace.Event.Instruction _ -> None
+        | _ when not pred -> Some s.Trace.Event.seq
+        | _ -> None)
+      (Trace.Event.stamped_events log)
+  in
+  let instr_candidates = List.init 50 (fun i -> 2 * i) in
+  let note_candidates = List.init 50 (fun i -> (2 * i) + 1) in
+  Alcotest.(check (list int)) "instructions follow their own interval"
+    (List.filter (Trace.Event.sample_hit ~interval:2 ~seed:9) instr_candidates)
+    (seqs_of true split);
+  Alcotest.(check (list int)) "control flow untouched by the split"
+    (List.filter (Trace.Event.sample_hit ~interval:4 ~seed:9) note_candidates)
+    (seqs_of false split);
+  (* Interval 0 (the default) means "follow the control-flow interval":
+     an explicit 0 and never calling set_instr_sampling retain the
+     exact same events. *)
+  let follow = run ~instr:0 () and unset = run ~instr:(-1) () in
+  Alcotest.(check int) "interval 0 reads back as 0" 0
+    (Trace.Event.instr_interval follow);
+  let all_seqs log =
+    List.map (fun s -> s.Trace.Event.seq) (Trace.Event.stamped_events log)
+  in
+  Alcotest.(check (list int)) "interval 0 = unsplit behavior"
+    (all_seqs unset) (all_seqs follow);
+  Alcotest.(check (list int)) "unsplit = one predicate over both streams"
+    (List.filter (Trace.Event.sample_hit ~interval:4 ~seed:9)
+       (List.init 100 Fun.id))
+    (all_seqs unset);
+  (* Discard accounting still closes over the merged stream. *)
+  Alcotest.(check int) "seen counts both streams" 100 (Trace.Event.seen split);
+  Alcotest.(check int) "seen = recorded + sampled_out" 100
+    (Trace.Event.recorded split + Trace.Event.sampled_out split);
+  (* The split survives a dump/restore round-trip. *)
+  let fresh = Trace.Event.create_log ~capacity:256 () in
+  Trace.Event.restore fresh (Trace.Event.dump split);
+  Alcotest.(check int) "dump carries the instr interval" 2
+    (Trace.Event.instr_interval fresh);
+  Alcotest.(check (list int)) "restored log retains the same events"
+    (all_seqs split) (all_seqs fresh);
+  (* A negative interval is rejected up front. *)
+  match Trace.Event.set_instr_sampling follow ~interval:(-3) with
+  | () -> Alcotest.fail "negative instr interval accepted"
+  | exception Invalid_argument _ -> ()
+
 (* The binary arena stores the instruction's address, not its text:
    disassembly is reconstructed through the pluggable resolver when
    the log is read, so the record path never formats anything. *)
@@ -418,6 +490,8 @@ let suite =
           test_event_sampling_deterministic;
         Alcotest.test_case "event wrap+sampling accounting" `Quick
           test_event_wrap_sampling_accounting;
+        Alcotest.test_case "event instr sampling split" `Quick
+          test_event_instr_sampling_split;
         Alcotest.test_case "event lazy text resolution" `Quick
           test_event_lazy_text_resolution;
         Alcotest.test_case "counters fields complete" `Quick
