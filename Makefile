@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke serve-smoke serve-stress migrate-smoke examples doc clean
+.PHONY: all test bench bench-smoke trace-smoke chaos-smoke snapshot-smoke arena-smoke serve-smoke serve-stress migrate-smoke examples doc clean
 
 all:
 	dune build @all
@@ -13,6 +13,7 @@ test:
 	$(MAKE) trace-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) snapshot-smoke
+	$(MAKE) arena-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) serve-stress
 	$(MAKE) migrate-smoke
@@ -166,6 +167,85 @@ snapshot-smoke:
 	  && diff /tmp/snapshot_smoke/ibase.metrics.masked /tmp/snapshot_smoke/ires.metrics.masked \
 	  || { echo "snapshot-smoke: resume under injection DIFFERS"; exit 1; }
 	@echo "snapshot-smoke: kill-and-resume byte-identical at 3 kill points (+injection)"
+	@# Delta-chain GC: this cadence captures 12 deltas over the run, so
+	@# the fold-every-8 GC fires once: BASE is rewritten as the flatten
+	@# of the chain, the folded delta files deleted, and capture
+	@# continues on the rebased chain (d0001 restarts).  Fewer than 8
+	@# surviving delta files is therefore proof the fold happened.
+	@# Kill-and-resume through the folded chain must stay byte-identical.
+	@_build/default/bin/ringsim.exe examples/programs/journal.rng \
+	  --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/gc.snap \
+	  > /tmp/snapshot_smoke/gc.out
+	@ls /tmp/snapshot_smoke/gc.snap.d* > /dev/null 2>&1 \
+	  || { echo "snapshot-smoke: gc run left no delta files"; exit 1; }
+	@test $$(ls /tmp/snapshot_smoke/gc.snap.d* | wc -l) -lt 8 \
+	  || { echo "snapshot-smoke: gc never folded the chain"; exit 1; }
+	@rm -f /tmp/snapshot_smoke/gck.snap*
+	@_build/default/bin/ringsim.exe examples/programs/journal.rng \
+	  --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/gck.snap \
+	  --kill-after 420 > /tmp/snapshot_smoke/gcdead.out 2>/dev/null || exit 1
+	@_build/default/bin/ringsim.exe examples/programs/journal.rng \
+	  --restore /tmp/snapshot_smoke/gck.snap \
+	  --checkpoint-every 100 --checkpoint-to /tmp/snapshot_smoke/gck.snap \
+	  > /tmp/snapshot_smoke/gcres.out || exit 1
+	@diff /tmp/snapshot_smoke/gc.out /tmp/snapshot_smoke/gcres.out \
+	  || { echo "snapshot-smoke: resume through folded chain DIFFERS"; exit 1; }
+	@# Mixing delta files from another chain must be refused up front
+	@# (Stale_base/Broken_chain), exit 2, before any state is touched.
+	@cp /tmp/snapshot_smoke/k400.snap /tmp/snapshot_smoke/mix.snap
+	@cp /tmp/snapshot_smoke/ibase.snap.d0001 /tmp/snapshot_smoke/mix.snap.d0001
+	@_build/default/bin/ringsim.exe examples/programs/journal.rng \
+	  --restore /tmp/snapshot_smoke/mix.snap \
+	  > /dev/null 2>/tmp/snapshot_smoke/mix.err; \
+	  test $$? -eq 2 \
+	  || { echo "snapshot-smoke: mixed-chain restore did not exit 2"; exit 1; }
+	@grep -qE "stale base|chain" /tmp/snapshot_smoke/mix.err \
+	  || { echo "snapshot-smoke: mixed-chain restore error unhelpful"; \
+	       cat /tmp/snapshot_smoke/mix.err; exit 1; }
+	@echo "snapshot-smoke: delta chains fold, resume and refuse mixed links on disk"
+
+# Multi-tenant arena gate.  Two seeded campaigns, each run twice: the
+# billing report (stdout and JSON) must be byte-identical across
+# reruns and across shard counts, the JSON must be well-formed, and
+# the standard adversarial mix must quarantine at least one tenant
+# while still exiting 0 — quarantines are the arena working as
+# designed; only a cross-tenant auditor violation is a failure.  A
+# final sweep of 20 seeded campaigns is the standing zero-leak gate:
+# every one must keep violations at zero (exit 0) and quarantine at
+# least one adversary.
+arena-smoke:
+	dune build bin/ringsim.exe bin/jsoncheck.exe
+	@rm -rf /tmp/arena_smoke && mkdir -p /tmp/arena_smoke
+	@for seed in 5 42; do \
+	  for run in a b; do \
+	    _build/default/bin/ringsim.exe arena --tenants 96 --arena-seed $$seed \
+	      --report-json /tmp/arena_smoke/s$${seed}_$$run.json \
+	      > /tmp/arena_smoke/s$${seed}_$$run.out \
+	      || { echo "arena-smoke: seed $$seed reported violations"; exit 1; }; \
+	  done; \
+	  _build/default/bin/jsoncheck.exe /tmp/arena_smoke/s$${seed}_a.json || exit 1; \
+	  for f in json out; do \
+	    diff /tmp/arena_smoke/s$${seed}_a.$$f /tmp/arena_smoke/s$${seed}_b.$$f \
+	      || { echo "arena-smoke: seed $$seed output DIFFERS between runs"; exit 1; }; \
+	  done; \
+	  grep -Eq ", [1-9][0-9]* quarantined" /tmp/arena_smoke/s$${seed}_a.out \
+	    || { echo "arena-smoke: seed $$seed quarantined no tenant"; exit 1; }; \
+	done
+	@_build/default/bin/ringsim.exe arena --tenants 96 --arena-seed 42 --shards 4 \
+	  --report-json /tmp/arena_smoke/s42_sh4.json > /tmp/arena_smoke/s42_sh4.out \
+	  || { echo "arena-smoke: 4-shard campaign reported violations"; exit 1; }
+	@for f in json out; do \
+	  diff /tmp/arena_smoke/s42_a.$$f /tmp/arena_smoke/s42_sh4.$$f \
+	    || { echo "arena-smoke: report depends on the shard count"; exit 1; }; \
+	done
+	@for seed in $$(seq 1 20); do \
+	  _build/default/bin/ringsim.exe arena --tenants 48 --arena-seed $$seed \
+	    > /tmp/arena_smoke/gate$$seed.out \
+	    || { echo "arena-smoke: campaign seed $$seed reported violations"; exit 1; }; \
+	  grep -Eq ", [1-9][0-9]* quarantined" /tmp/arena_smoke/gate$$seed.out \
+	    || { echo "arena-smoke: campaign seed $$seed quarantined no tenant"; exit 1; }; \
+	done
+	@echo "arena-smoke: billing deterministic and shard-independent, adversaries quarantined, 22 campaigns leak-free"
 
 # Serving-fleet determinism, two ways.  First, the same 4-shard fleet
 # run twice must produce byte-identical stdout and JSON report — the

@@ -511,10 +511,74 @@ let run_serving_fleet ~shards =
     sv_host_seconds = dt;
   }
 
+(* The arena gate: non-quarantined tenants in the standard adversarial
+   mix must retire instructions at >= [arena_throughput_floor] times
+   the instructions-per-cycle of a cooperative-only arena on the same
+   seed.  Quarantine must contain the abusers' cost — the well-behaved
+   majority may not be taxed for sharing the machine with them. *)
+let arena_tenants = 256
+let arena_seed = 42
+let arena_throughput_floor = 0.9
+
+type arena_sample = {
+  ar_profile : string;
+  ar_completed : int;
+  ar_contained : int;
+  ar_quarantined : int;
+  ar_audits : int;
+  ar_violations : int;
+  ar_nq_instructions : int;  (* retired by non-quarantined tenants *)
+  ar_nq_cycles : int;  (* billed to non-quarantined tenants *)
+  ar_ipc : float;  (* nq_instructions / nq_cycles *)
+  ar_host_seconds : float;
+}
+
+let run_arena_profile ~profile =
+  let tenants =
+    Serve.Tenants.generate ~profile ~seed:arena_seed ~tenants:arena_tenants ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Serve.Tenants.run_sharded ~shards:1 ~seed:arena_seed tenants in
+  let dt = Unix.gettimeofday () -. t0 in
+  let quarantined (b : Os.Arena.bill) =
+    String.length b.Os.Arena.verdict >= 11
+    && String.sub b.Os.Arena.verdict 0 11 = "quarantined"
+  in
+  let nq = List.filter (fun b -> not (quarantined b)) r.Os.Arena.bills in
+  let instr =
+    List.fold_left
+      (fun a (b : Os.Arena.bill) ->
+        a + b.Os.Arena.usage.Trace.Counters.instructions)
+      0 nq
+  in
+  let cyc =
+    List.fold_left
+      (fun a (b : Os.Arena.bill) -> a + b.Os.Arena.usage.Trace.Counters.cycles)
+      0 nq
+  in
+  {
+    ar_profile = profile;
+    ar_completed = r.Os.Arena.completed;
+    ar_contained = r.Os.Arena.contained;
+    ar_quarantined = r.Os.Arena.quarantined;
+    ar_audits = r.Os.Arena.audits;
+    ar_violations = List.length r.Os.Arena.violations;
+    ar_nq_instructions = instr;
+    ar_nq_cycles = cyc;
+    ar_ipc = float_of_int instr /. float_of_int (max 1 cyc);
+    ar_host_seconds = dt;
+  }
+
 let json_of_samples samples span_samples ~traced ~untraced ~idle
-    ~(chaos : Os.Chaos.report) ~snap ~snap_inc ~serving =
+    ~(chaos : Os.Chaos.report) ~snap ~snap_inc ~serving ~arena =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"workloads\": [\n";
+  (* Host self-description up front: every section below — not just
+     serving — is a measurement on this core count and compiler. *)
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"cores\": %d,\n  \"ocaml_version\": %S,\n"
+       (Domain.recommended_domain_count ())
+       Sys.ocaml_version);
+  Buffer.add_string buf "  \"workloads\": [\n";
   List.iteri
     (fun i s ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -630,7 +694,31 @@ let json_of_samples samples span_samples ~traced ~untraced ~idle
            s.sv_host_seconds
            (base.sv_host_seconds /. s.sv_host_seconds)))
     serving;
-  Buffer.add_string buf "\n  ]}\n";
+  Buffer.add_string buf "\n  ]},\n";
+  let coop = List.find (fun a -> a.ar_profile = "cooperative") arena in
+  let std = List.find (fun a -> a.ar_profile = "standard") arena in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"arena\": {\"tenants\": %d, \"seed\": %d, \"samples\": [\n"
+       arena_tenants arena_seed);
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"profile\": %S, \"completed\": %d, \"contained\": %d, \
+            \"quarantined\": %d, \"audits\": %d, \"violations\": %d, \
+            \"nonquarantined_instructions\": %d, \"nonquarantined_cycles\": \
+            %d, \"instructions_per_cycle\": %.4f, \"host_seconds\": %.6f}"
+           a.ar_profile a.ar_completed a.ar_contained a.ar_quarantined
+           a.ar_audits a.ar_violations a.ar_nq_instructions a.ar_nq_cycles
+           a.ar_ipc a.ar_host_seconds))
+    arena;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ], \"throughput_ratio\": %.4f, \"throughput_floor\": %.1f}\n"
+       (std.ar_ipc /. coop.ar_ipc)
+       arena_throughput_floor);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -873,9 +961,68 @@ let throughput () =
          serving_requests serving_seed)
     t;
   print_newline ();
+  let arena =
+    List.map (fun profile -> run_arena_profile ~profile)
+      [ "cooperative"; "standard" ]
+  in
+  let coop = List.find (fun a -> a.ar_profile = "cooperative") arena in
+  let std = List.find (fun a -> a.ar_profile = "standard") arena in
+  List.iter
+    (fun a ->
+      if a.ar_violations > 0 then
+        failwith
+          (Printf.sprintf
+             "arena bench: %d cross-tenant violations under the %s profile"
+             a.ar_violations a.ar_profile))
+    arena;
+  if std.ar_quarantined = 0 then
+    failwith "arena bench: standard profile quarantined no tenant";
+  let arena_ratio = std.ar_ipc /. coop.ar_ipc in
+  let t =
+    Trace.Tablefmt.create
+      ~columns:
+        [
+          ("profile", Trace.Tablefmt.Left);
+          ("completed", Trace.Tablefmt.Right);
+          ("contained", Trace.Tablefmt.Right);
+          ("quarantined", Trace.Tablefmt.Right);
+          ("audits", Trace.Tablefmt.Right);
+          ("nq instr/cycle", Trace.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun a ->
+      Trace.Tablefmt.add_row t
+        [
+          a.ar_profile;
+          string_of_int a.ar_completed;
+          string_of_int a.ar_contained;
+          string_of_int a.ar_quarantined;
+          string_of_int a.ar_audits;
+          Printf.sprintf "%.4f" a.ar_ipc;
+        ])
+    arena;
+  Trace.Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "Arena - multi-tenant degradation (%d tenants, seed %d)"
+         arena_tenants arena_seed)
+    t;
+  Printf.printf
+    "arena - non-quarantined tenants retire %.4f instr/cycle under the \
+     standard adversarial mix vs %.4f cooperative-only (ratio %.2fx, floor \
+     %.1fx)\n"
+    std.ar_ipc coop.ar_ipc arena_ratio arena_throughput_floor;
+  if arena_ratio < arena_throughput_floor then
+    failwith
+      (Printf.sprintf
+         "arena throughput ratio %.3f below the %.1f floor: quarantine is \
+          taxing the well-behaved tenants"
+         arena_ratio arena_throughput_floor);
+  print_newline ();
   let oc = open_out "BENCH_throughput.json" in
   output_string oc
     (json_of_samples samples span_samples ~traced ~untraced ~idle ~chaos
-       ~snap ~snap_inc ~serving);
+       ~snap ~snap_inc ~serving ~arena);
   close_out oc;
   Printf.printf "wrote BENCH_throughput.json\n"

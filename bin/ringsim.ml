@@ -213,6 +213,21 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* The on-disk delta files of a checkpoint chain: BASE.d0001,
+   BASE.d0002, ... — lexicographic order is capture order. *)
+let delta_files base =
+  let dir = Filename.dirname base in
+  let prefix = Filename.basename base ^ ".d" in
+  (try Array.to_list (Sys.readdir dir) with Sys_error _ -> [])
+  |> List.filter (fun f ->
+         String.length f = String.length prefix + 4
+         && String.sub f 0 (String.length prefix) = prefix
+         && String.for_all
+              (fun c -> c >= '0' && c <= '9')
+              (String.sub f (String.length prefix) 4))
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
 let print_profile (m : Isa.Machine.t) ~segment_names =
   let profile = m.Isa.Machine.profile in
   let t =
@@ -469,7 +484,20 @@ let run_program file mode start ring trace listing dump show_map typed
               try read_file base
               with Sys_error e -> usage_error ("cannot read snapshot: " ^ e)
             in
-            match Os.Snapshot.restore t image with
+            (* A checkpointed run leaves BASE plus the delta files
+               captured since BASE was last folded; restore applies
+               the whole chain, oldest delta first.  Any mixed,
+               reordered or damaged link is refused before state is
+               touched. *)
+            let deltas =
+              List.map
+                (fun p ->
+                  try read_file p
+                  with Sys_error e ->
+                    usage_error ("cannot read snapshot delta: " ^ e))
+                (delta_files base)
+            in
+            match Os.Snapshot.restore_chain t ~base:image deltas with
             | Ok () -> ()
             | Error err ->
                 usage_error
@@ -539,10 +567,55 @@ let run_program file mode start ring trace listing dump show_map typed
         (match checkpoint_every with
         | Some n -> next_due := ((cycles () / n) + 1) * n
         | None -> ());
+        (* Checkpoints persist as an on-disk delta chain: the first
+           due point writes the full BASE and opens a chain; each
+           later one appends only the pages dirtied since
+           (BASE.d0001, BASE.d0002, ...).  Every [gc_every] deltas the
+           chain is folded: BASE is rewritten as the flatten of
+           itself plus its deltas — byte-identical to a full capture
+           at that point — the folded delta files are deleted, and
+           the live chain is re-anchored on the new BASE. *)
+        let gc_every = 8 in
+        let chain = ref None in
+        let checkpoint base =
+          match !chain with
+          | None ->
+              let c, image = Os.Snapshot.start_chain t in
+              write_file base image;
+              List.iter Sys.remove (delta_files base);
+              chain := Some c
+          | Some c ->
+              let delta = Os.Snapshot.capture_delta t c in
+              write_file
+                (Printf.sprintf "%s.d%04d" base (Os.Snapshot.chain_length c))
+                delta;
+              if Os.Snapshot.chain_length c >= gc_every then begin
+                let files = delta_files base in
+                match
+                  Os.Snapshot.flatten ~base:(read_file base)
+                    (List.map read_file files)
+                with
+                | Error err ->
+                    Printf.eprintf
+                      "ringsim: checkpoint gc: %s\n"
+                      (Format.asprintf "%a" Os.Snapshot.pp_error err);
+                    exit 2
+                | Ok folded -> (
+                    write_file base folded;
+                    List.iter Sys.remove files;
+                    match Os.Snapshot.rebase c ~base:folded with
+                    | Ok () -> ()
+                    | Error err ->
+                        Printf.eprintf
+                          "ringsim: checkpoint gc: %s\n"
+                          (Format.asprintf "%a" Os.Snapshot.pp_error err);
+                        exit 2)
+              end
+        in
         let on_slice () =
           (match (checkpoint_every, checkpoint_to) with
           | Some n, Some base when cycles () >= !next_due ->
-              write_file base (Os.Snapshot.capture t);
+              checkpoint base;
               next_due := ((cycles () / n) + 1) * n
           | _ -> ());
           match kill_after with
@@ -984,15 +1057,21 @@ let checkpoint_every =
 
 let checkpoint_to =
   Arg.(value & opt (some string) None & info [ "checkpoint-to" ] ~docv:"BASE"
-         ~doc:"Checkpoint image path (overwritten at each checkpoint); \
-               device output is journalled write-ahead to BASE.journal.")
+         ~doc:"Checkpoint chain path: the first due point writes the full \
+               image at BASE, later ones append dirty-page deltas as \
+               BASE.d0001, BASE.d0002, ...; every 8 deltas the chain is \
+               folded back into BASE and the delta files deleted.  Device \
+               output is journalled write-ahead to BASE.journal.")
 
 let restore_from =
   Arg.(value & opt (some string) None & info [ "restore" ] ~docv:"BASE"
-         ~doc:"Resume from the checkpoint image at BASE, preloading \
-               BASE.journal so already-emitted device output is verified \
-               and skipped rather than re-emitted.  Must be run with the \
-               same program file and flags that wrote the image.")
+         ~doc:"Resume from the checkpoint chain at BASE: the base image \
+               plus any BASE.dNNNN delta files are validated and applied \
+               oldest-first (mixed or damaged links are refused), and \
+               BASE.journal is preloaded so already-emitted device output \
+               is verified and skipped rather than re-emitted.  Must be \
+               run with the same program file and flags that wrote the \
+               chain.")
 
 let kill_after =
   Arg.(value & opt (some int) None & info [ "kill-after" ] ~docv:"CYCLES"
@@ -1181,6 +1260,133 @@ let serve_cmd =
       $ serve_trace_cap $ serve_migrate $ serve_rolling_restart
       $ serve_autoscale)
 
+(* {2 The arena subcommand} *)
+
+let run_arena tenants arena_seed profile quota_cycles quota_mem quota_faults
+    quota_io shards inject report_json =
+  (* Every flag validated up front: a nonsensical value is a usage
+     error (exit 2, message naming the flag), never a deep failure. *)
+  if tenants < 1 then usage_error "--tenants must be at least 1";
+  if arena_seed < 0 then usage_error "--arena-seed must be nonnegative";
+  if quota_cycles < 1 then usage_error "--quota-cycles must be positive";
+  if quota_mem < 1 then usage_error "--quota-mem must be positive";
+  if quota_faults < 0 then usage_error "--quota-faults must be nonnegative";
+  if quota_io < 0 then usage_error "--quota-io must be nonnegative";
+  if shards < 1 then usage_error "--shards must be at least 1";
+  (match Serve.Tenants.kinds_of_profile profile with
+  | Ok _ -> ()
+  | Error e -> usage_error ("--profile: " ^ e));
+  let plan = Option.map resolve_plan inject in
+  let quota =
+    {
+      Os.Arena.cycles = quota_cycles;
+      mem = quota_mem;
+      faults = quota_faults;
+      io = quota_io;
+    }
+  in
+  let population =
+    Serve.Tenants.generate ~profile ~seed:arena_seed ~tenants ()
+  in
+  let report =
+    Serve.Tenants.run_sharded ?inject:plan ~quota ~shards ~seed:arena_seed
+      population
+  in
+  Os.Arena.print_table report;
+  Format.printf "@.%a@." Os.Arena.pp_report report;
+  (match report_json with
+  | Some file -> write_file file (Os.Arena.report_json report)
+  | None -> ());
+  if report.Os.Arena.violations <> [] then exit 1
+
+let arena_tenants =
+  Arg.(value & opt int 64 & info [ "tenants" ] ~docv:"N"
+         ~doc:"Number of tenant programs in the campaign.")
+
+let arena_seed =
+  Arg.(value & opt int 1 & info [ "arena-seed" ] ~docv:"SEED"
+         ~doc:"Population seed: the tenant kinds, their parameters and \
+               therefore the whole billing report are a pure function \
+               of (profile, seed, tenants).")
+
+let arena_profile =
+  Arg.(value & opt string "standard" & info [ "profile" ] ~docv:"NAME"
+         ~doc:"Population profile: $(b,standard) (mostly honest, with \
+               gate squeezers, ring maximizers, stack-bracket forgers, \
+               cache probes, quota spinners and memory hogs) or \
+               $(b,cooperative) (honest kinds only).")
+
+let arena_quota_cycles =
+  Arg.(value & opt int Os.Arena.default_quota.Os.Arena.cycles
+       & info [ "quota-cycles" ] ~docv:"N"
+         ~doc:"Per-tenant modeled-cycle allowance; a tenant billed this \
+               many cycles is quarantined mid-slice, to the \
+               instruction.")
+
+let arena_quota_mem =
+  Arg.(value & opt int Os.Arena.default_quota.Os.Arena.mem
+       & info [ "quota-mem" ] ~docv:"WORDS"
+         ~doc:"Per-tenant virtual-memory allowance in words, checked at \
+               admission and after every slice.")
+
+let arena_quota_faults =
+  Arg.(value & opt int Os.Arena.default_quota.Os.Arena.faults
+       & info [ "quota-faults" ] ~docv:"N"
+         ~doc:"Per-tenant fault allowance (access violations, page \
+               faults, injected-fault recoveries).")
+
+let arena_quota_io =
+  Arg.(value & opt int Os.Arena.default_quota.Os.Arena.io
+       & info [ "quota-io" ] ~docv:"N"
+         ~doc:"Per-tenant channel-operation allowance (SIOC/SIOT \
+               connects).")
+
+let arena_shards =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"Domains to spread the campaign's waves over.  Affects \
+               host wall-clock only: the report is byte-identical for \
+               every shard count.")
+
+let arena_report_json =
+  Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
+         ~doc:"Write the campaign report as JSON: parameters, verdict \
+               counts, exit histogram, auditor findings and the full \
+               per-tenant billing array.  Byte-deterministic.")
+
+let arena_cmd =
+  let doc = "host untrusted tenant programs under quotas and audits" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates a seeded population of $(b,--tenants) guest \
+         programs — honest computations and ring-crossing services \
+         mixed with adversarial probes (gate squeezing, argument-chain \
+         ring maximization, stack-bracket forgery, self-modifying-code \
+         cache probes, quota-exhaustion spinners, admission-time \
+         memory hogs) — and runs them in outer rings of simulated \
+         machines, eight tenants per machine, optionally spread over \
+         $(b,--shards) domains.  Every cycle, fault and channel \
+         operation is billed to the tenant that caused it; a quota \
+         breach quarantines that tenant alone while its co-tenants \
+         run on.  After every quarantine and at every wave end the \
+         SDW auditor and the cross-tenant region auditor must find \
+         the protection state intact, and with $(b,--inject) the same \
+         audit runs after every fault-recovery decision.";
+      `S Manpage.s_exit_status;
+      `P
+        "$(tname) exits 0 when the campaign ran and the auditors \
+         found zero violations (quarantines are expected, not \
+         errors); 1 when any audit failed; and 2 on usage or \
+         injection-plan errors.";
+    ]
+  in
+  Cmd.v (Cmd.info "arena" ~doc ~man)
+    Term.(
+      const run_arena $ arena_tenants $ arena_seed $ arena_profile
+      $ arena_quota_cycles $ arena_quota_mem $ arena_quota_faults
+      $ arena_quota_io $ arena_shards $ inject $ arena_report_json)
+
 let run_term =
   Term.(
     const run_program $ file $ mode $ start $ ring $ trace $ listing
@@ -1214,7 +1420,7 @@ let ringsim_man =
 let group_cmd =
   Cmd.group ~default:run_term
     (Cmd.info "ringsim" ~doc:ringsim_doc ~man:ringsim_man)
-    [ serve_cmd ]
+    [ serve_cmd; arena_cmd ]
 
 let legacy_cmd =
   Cmd.v (Cmd.info "ringsim" ~doc:ringsim_doc ~man:ringsim_man) run_term
@@ -1234,7 +1440,7 @@ let () =
     Array.length Sys.argv <= 1
     ||
     match Sys.argv.(1) with
-    | "serve" | "--version" -> true
+    | "serve" | "arena" | "--version" -> true
     | s -> starts_with "--help" s
   in
   exit (Cmd.eval (if grouped then group_cmd else legacy_cmd))

@@ -34,6 +34,7 @@ type t =
   | Parity_error of { addr : int }
   | Io_error
   | Watchdog_timeout of { budget : int }
+  | Quota_exhausted of { resource : string; limit : int }
 
 let code = function
   | No_read_permission -> 0
@@ -62,11 +63,12 @@ let code = function
   | Parity_error _ -> 23
   | Io_error -> 24
   | Watchdog_timeout _ -> 25
+  | Quota_exhausted _ -> 26
 
 let is_access_violation = function
   | Upward_call _ | Downward_return _ | Missing_segment _ | Missing_page _
   | Cross_ring_transfer _ | Service_call _ | Timer_runout | Io_completion
-  | Parity_error _ | Io_error | Watchdog_timeout _ ->
+  | Parity_error _ | Io_error | Watchdog_timeout _ | Quota_exhausted _ ->
       false
   | No_read_permission | No_write_permission | No_execute_permission
   | Read_bracket_violation _ | Write_bracket_violation _
@@ -139,5 +141,7 @@ let pp ppf = function
   | Watchdog_timeout { budget } ->
       Format.fprintf ppf "watchdog timeout: no progress in %d instructions"
         budget
+  | Quota_exhausted { resource; limit } ->
+      Format.fprintf ppf "quota exhausted: %s limit %d reached" resource limit
 
 let to_string t = Format.asprintf "%a" pp t

@@ -93,6 +93,14 @@ type t =
           rings, or touching a channel.  Raised by {!Os.System.run}
           (not the processor) and delivered through the quarantine
           path, so the rest of the system keeps running. *)
+  | Quota_exhausted of { resource : string; limit : int }
+      (** A tenant spent its arena allowance of [resource] ("cycles",
+          "memory", "faults", "io"): the multi-tenant billing policy,
+          not the hardware, declares the reference stream over.
+          Delivered through the quarantine path like
+          {!Watchdog_timeout}, so co-tenants keep running.  Not an
+          access violation: the program's references were all legal —
+          it merely ran out of paid-for machine. *)
 
 val code : t -> int
 (** A stable small integer per constructor — the trap vector slot the

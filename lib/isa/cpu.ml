@@ -60,6 +60,21 @@ let step_unprofiled m =
             Machine.take_fault m ~at:regs.Hw.Registers.ipr fault;
             if m.Machine.trap_config = None then Faulted fault else Running
         | None -> (
+        (* The arena's billing ceiling is asynchronous in the same
+           sense: it derails the stream between instructions, so a
+           quarantined tenant's saved state sits at an instruction
+           boundary.  Detached ([None], the default) it costs one
+           option test per step. *)
+        match m.Machine.cycle_limit with
+        | Some limit
+          when Trace.Counters.cycles m.Machine.counters >= limit ->
+            m.Machine.cycle_limit <- None;
+            let fault =
+              Rings.Fault.Quota_exhausted { resource = "cycles"; limit }
+            in
+            Machine.take_fault m ~at:regs.Hw.Registers.ipr fault;
+            if m.Machine.trap_config = None then Faulted fault else Running
+        | _ -> (
         (* Channel I/O completes between instructions. *)
         (match m.Machine.io_countdown with
         | Some n when n > 1 -> m.Machine.io_countdown <- Some (n - 1)
@@ -102,7 +117,7 @@ let step_unprofiled m =
         | Some n ->
             m.Machine.timer <- Some (n - 1);
             Running
-        | None -> Running)))
+        | None -> Running))))
     | Ok Exec.Halt ->
         m.Machine.halted <- true;
         Halted

@@ -205,6 +205,7 @@ let perform m (instr : Instr.t) operand =
          trap.  What matters for the reproduction is that SIOC is
          ring-0-only and that completions are one of the trap
          sources. *)
+      Trace.Counters.bump_channel_ops m.Machine.counters;
       m.Machine.io_countdown <- Some 20;
       Ok Continue
   | Opcode.SIOT ->
@@ -220,6 +221,7 @@ let perform m (instr : Instr.t) operand =
         if Hw.Word.field ~pos:17 ~width:1 w1 = 0 then `Read else `Write
       in
       let count = Hw.Word.field ~pos:0 ~width:17 w1 in
+      Trace.Counters.bump_channel_ops m.Machine.counters;
       m.Machine.io_request <- Some { Machine.ccw = addr; buffer; direction; count };
       m.Machine.io_countdown <- Some (20 + (2 * count));
       Ok Continue

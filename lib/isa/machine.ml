@@ -151,6 +151,7 @@ type t = {
   mutable degraded : bool;
   mutable io_fail_pending : bool;
   mutable on_recovery : Rings.Fault.t -> unit;
+  mutable cycle_limit : int option;
 }
 
 let cache_capacity = 64
@@ -314,6 +315,7 @@ let create ?(mode = Ring_hardware)
       degraded = false;
       io_fail_pending = false;
       on_recovery = (fun _ -> ());
+      cycle_limit = None;
     }
   in
   Hw.Memory.set_write_observer t.mem (on_memory_write t);

@@ -194,6 +194,14 @@ type t = {
           decision (resume, retry or quarantine) with the fault it
           acted on.  The chaos harness hangs its invariant checker
           here; the default does nothing. *)
+  mutable cycle_limit : int option;
+      (** Arena billing ceiling on {!Trace.Counters.cycles}: checked
+          between instructions, raising
+          {!Rings.Fault.Quota_exhausted} (and clearing itself) once
+          the running cycle total reaches the limit.  Slice policy,
+          not machine state: the dispatcher arms it before a tenant's
+          slice and disarms it after, so it is always [None] at
+          checkpoint boundaries and is not serialized. *)
 }
 
 val create :

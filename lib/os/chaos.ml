@@ -148,6 +148,54 @@ let check_invariants ~campaign:_ sys =
     (System.entries sys);
   List.rev !faults
 
+(* Arena isolation: tenants share nothing, so every word a tenant's
+   address translation can reach — direct segments, descriptor
+   segments, page tables — must lie inside the memory region the
+   dispatcher assigned it at spawn.  A placement straying into a
+   co-tenant's region means that tenant's SDWs could read, write or
+   call another tenant's memory: exactly the leak the 1971 rings are
+   supposed to make impossible.  Only meaningful for systems whose
+   processes were spawned without [?shared] mappings (the arena);
+   the standard chaos workload shares segments deliberately and is
+   audited by [check_invariants] instead. *)
+let check_cross_tenant sys =
+  let faults = ref [] in
+  let note s = faults := s :: !faults in
+  let rw = System.region_words sys in
+  List.iteri
+    (fun i (e : System.entry) ->
+      let lo = i * rw and hi = (i + 1) * rw in
+      let p = e.System.process in
+      let check what base len =
+        if base < lo || base + len > hi then
+          note
+            (Printf.sprintf
+               "%s: %s at [%d,%d) escapes its region [%d,%d) — reachable \
+                from a co-tenant's ring context"
+               e.System.pname what base (base + len) lo hi)
+      in
+      let segnos =
+        Hashtbl.fold (fun segno pl acc -> (segno, pl) :: acc)
+          p.Process.placement []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (segno, pl) ->
+          match pl with
+          | Process.Direct { base; bound } ->
+              check (Printf.sprintf "segment %d" segno) base bound
+          | Process.Paged_at _ ->
+              (* The page table is covered by [descriptor_ranges]
+                 below; the pages live in the process's private
+                 backing store, unreachable by any SDW. *)
+              ())
+        segnos;
+      List.iter
+        (fun (base, len) -> check "descriptor/page-table range" base len)
+        (Process.descriptor_ranges p))
+    (System.entries sys);
+  List.rev !faults
+
 (* {1 The campaign workload} *)
 
 (* Three processes stress three recovery paths at once: a ring-4

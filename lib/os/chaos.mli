@@ -55,6 +55,14 @@ val check_invariants : campaign:int -> System.t -> string list
     returned string describes one invariant breach.  Empty means the
     protection state is intact. *)
 
+val check_cross_tenant : System.t -> string list
+(** Arena isolation audit: every word a process's address translation
+    can reach (direct segments, descriptor segments, page tables)
+    must lie inside the memory region it was assigned at spawn, so no
+    tenant's SDWs can name another tenant's memory.  Meaningful only
+    for systems spawned without [?shared] mappings — the arena; the
+    standard chaos workload shares segments deliberately. *)
+
 val run_campaigns :
   ?campaigns:int -> ?quantum:int -> Hw.Inject.plan -> report
 (** Run [campaigns] (default 10) independent campaigns under plans

@@ -179,6 +179,16 @@ let handle_fault_inner p fault : (unit, exit) result =
         m.Isa.Machine.on_recovery fault;
         Error (Quarantined Rings.Fault.Io_error)
       end
+  | Rings.Fault.Quota_exhausted _ ->
+      (* A billing limit, not a machine failure: the arena policy armed
+         the limit between instructions, so the interrupted stream ends
+         at an instruction boundary.  Quarantine the tenant — never the
+         machine — and let the dispatcher carry on with the rest. *)
+      let m = p.Process.machine in
+      Trace.Counters.bump_quarantined m.Isa.Machine.counters;
+      m.Isa.Machine.saved <- None;
+      m.Isa.Machine.on_recovery fault;
+      Error (Quarantined fault)
   | _ -> Error (Terminated fault)
 
 (* Cycles the gatekeeper charges while servicing a fault happen

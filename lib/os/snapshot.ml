@@ -299,6 +299,9 @@ let w_fault b (f : Rings.Fault.t) =
   | Service_call { code } -> w_int b code
   | Parity_error { addr } -> w_int b addr
   | Watchdog_timeout { budget } -> w_int b budget
+  | Quota_exhausted { resource; limit } ->
+      w_str b resource;
+      w_int b limit
 
 let r_fault r : Rings.Fault.t =
   match r_int r with
@@ -368,6 +371,10 @@ let r_fault r : Rings.Fault.t =
   | 23 -> Parity_error { addr = r_int r }
   | 24 -> Io_error
   | 25 -> Watchdog_timeout { budget = r_int r }
+  | 26 ->
+      let resource = r_str r in
+      let limit = r_int r in
+      Quota_exhausted { resource; limit }
   | n -> corrupt (Printf.sprintf "bad fault code %d" n)
 
 let w_exit b (e : Kernel.exit) =
@@ -1510,3 +1517,27 @@ let restore_chain sys ~base deltas =
   match flatten ~base deltas with
   | Error e -> Error e
   | Ok image -> restore sys image
+
+(* After a GC pass folds BASE ++ deltas into a new full BASE on disk,
+   the live chain must link its next delta to the flattened image, not
+   to the last delta it captured.  No capture happens here, so the
+   dirty-map generation is untouched — only the tail link and the
+   delta count move.  The base is validated (magic, version, checksum,
+   memory size) before the chain is touched, so a failed rebase leaves
+   the chain usable. *)
+let rebase chain ~base =
+  try
+    let (_ : reader) = parse_header base in
+    let _, words, _ = split_full_payload (payload_of base) in
+    if Array.length words <> chain.chain_mem_size then
+      raise
+        (Fail
+           (Shape_mismatch
+              (Printf.sprintf "rebase image memory size %d, chain has %d"
+                 (Array.length words) chain.chain_mem_size)));
+    chain.tail_sum <- checksum (payload_of base);
+    chain.deltas_taken <- 0;
+    Ok ()
+  with
+  | Fail e -> Error e
+  | Invalid_argument msg -> Error (Corrupt msg)

@@ -101,6 +101,17 @@ val capture_delta : System.t -> chain -> string
 val chain_length : chain -> int
 (** Deltas captured on this chain so far. *)
 
+val rebase : chain -> base:string -> (unit, error) result
+(** [rebase chain ~base] re-anchors the chain on a full image —
+    normally the {!flatten} of everything captured so far — after a
+    garbage-collection pass has replaced the on-disk base and deleted
+    the folded deltas.  The next {!capture_delta} then links to
+    [base]'s payload, and {!chain_length} restarts at 0.  No capture
+    happens and the dirty map is untouched, so the chain keeps
+    accumulating from exactly where it was.  The image is validated
+    (magic, version, checksum, memory size) before the chain is
+    touched; on [Error] the chain is unchanged. *)
+
 val flatten : base:string -> string list -> (string, error) result
 (** [flatten ~base deltas] folds a base image and its deltas (oldest
     first) into one full image, byte-identical to a {!capture} at the

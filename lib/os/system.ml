@@ -53,6 +53,7 @@ let create ?mode ?stack_rule ?(mem_size = 1 lsl 21) ~store () =
 
 let machine t = t.machine
 let entries t = t.entries
+let region_words t = t.region_words
 let slices t = t.slices
 let set_slices t n = t.slices <- n
 let finished_log t = t.finished_log
@@ -159,7 +160,23 @@ let share t ~segment ~owner ~into =
   in
   share_into t ~segment ~owner ~into_p:into_e.process
 
-let run ?(quantum = 50) ?(max_slices = 10_000) ?watchdog ?on_slice t =
+(* Kill one entry through the PR-3 quarantine path without touching
+   the rest of the system: the arena's quota policy (and any other
+   host-side supervisor) resolves a breach to this, never to a
+   whole-machine abort.  Idempotent on already-finished entries. *)
+let quarantine t e fault =
+  match e.status with
+  | Done _ -> ()
+  | Ready | Blocked ->
+      let exit = Kernel.Quarantined fault in
+      Trace.Counters.bump_quarantined t.machine.Isa.Machine.counters;
+      e.saved_regs <- Hw.Registers.copy t.machine.Isa.Machine.regs;
+      e.saved_io <- (None, None);
+      e.status <- Done exit;
+      t.finished_log <- t.finished_log @ [ (e.pname, exit) ]
+
+let run ?(quantum = 50) ?(max_slices = 10_000) ?watchdog ?before_slice
+    ?after_slice ?on_slice t =
   let finished = ref [] in
   let regs = t.machine.Isa.Machine.regs in
   let finish e exit =
@@ -248,6 +265,9 @@ let run ?(quantum = 50) ?(max_slices = 10_000) ?watchdog ?on_slice t =
           (* Arm the interval timer: preemption is a hardware trap,
              not a courtesy of the dispatched program. *)
           t.machine.Isa.Machine.timer <- Some quantum;
+          (* The quota hook arms per-tenant limits (e.g. the machine's
+             cycle ceiling) now that the entry owns the processor. *)
+          (match before_slice with Some f -> f e | None -> ());
           let before = Trace.Counters.instructions counters in
           let sig_before = progress_sig () in
           let result = Kernel.run ~max_instructions:(quantum * 4) e.process in
@@ -299,6 +319,20 @@ let run ?(quantum = 50) ?(max_slices = 10_000) ?watchdog ?on_slice t =
                 end
               end
           | _ -> ());
+          (* The quota hook disarms limits, bills the slice and may
+             quarantine the entry (via [quarantine]); a kill it
+             performs still lands in this call's return list. *)
+          (match after_slice with
+          | Some f ->
+              let was_done =
+                match e.status with Done _ -> true | _ -> false
+              in
+              f e result;
+              (match e.status with
+              | Done exit when not was_done ->
+                  finished := (e.pname, exit) :: !finished
+              | _ -> ())
+          | None -> ());
           age_blocked (Trace.Counters.instructions counters - before);
           (match on_slice with Some f -> f () | None -> ());
           loop ()

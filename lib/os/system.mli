@@ -49,6 +49,11 @@ val create :
 
 val machine : t -> Isa.Machine.t
 
+val region_words : t -> int
+(** Size of one process's memory region; the entry spawned [i]th owns
+    absolute words [[i * region_words, (i+1) * region_words)].  The
+    cross-tenant auditor checks every placement against this map. *)
+
 val entries : t -> entry list
 (** Every spawned entry, in spawn order — the traffic controller's
     process table.  The chaos harness walks it to audit each virtual
@@ -109,10 +114,20 @@ val rotation : t -> string list
 val set_rotation : t -> string list -> unit
 (** Restore path: re-seat the rotation from a checkpoint. *)
 
+val quarantine : t -> entry -> Rings.Fault.t -> unit
+(** Kill one entry through the PR-3 quarantine path — bump the
+    [quarantined] counter, capture its final register file, mark it
+    [Done (Quarantined fault)] and log the exit — without touching the
+    other entries.  The arena's quota policy resolves breaches to
+    this, never to a whole-machine abort.  No-op when the entry is
+    already finished. *)
+
 val run :
   ?quantum:int ->
   ?max_slices:int ->
   ?watchdog:int ->
+  ?before_slice:(entry -> unit) ->
+  ?after_slice:(entry -> Kernel.exit -> unit) ->
   ?on_slice:(unit -> unit) ->
   t ->
   (string * Kernel.exit) list
@@ -136,6 +151,13 @@ val run :
     rest of the system keeps running.  Off by default — a legitimate
     compute loop is indistinguishable from a hang, so the budget is
     the caller's policy.
+
+    [before_slice] is called with the entry about to run, after its
+    registers and channel state are seated and the timer armed — the
+    arena arms per-tenant machine limits here.  [after_slice] is
+    called with the entry and its slice result after the state is
+    stashed back; it may call {!quarantine} on the entry, and a kill
+    it performs still lands in this call's return list.
 
     [on_slice] is called after every completed slice, at a clean
     scheduling boundary (register file stashed, channel state saved) —

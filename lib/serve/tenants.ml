@@ -1,0 +1,262 @@
+(* Seeded tenant-program generation for the multi-tenant arena, plus
+   the domain-parallel campaign runner.
+
+   A tenant population is a pure function of (profile, seed, count):
+   the same xorshift64* stream that drives {!Workload} draws each
+   tenant's kind and parameters, so two hosts — or two shard counts —
+   build byte-identical populations.  The adversarial kinds are the
+   attacks the paper's hardware checks are supposed to stop cold:
+
+   - gate-squeeze:  downward call linked past the gate list;
+   - ring-max:      a ring-4 caller hands a ring-1 service a pointer
+                    to data only ring 1 may touch — the effective-ring
+                    computation must bill the access to the caller;
+   - stack-bracket: a store through a forged absolute ITS naming an
+                    inner ring's stack segment;
+   - cache-probe:   self-modifying code in a writable-executable
+                    segment, hunting decoded-instruction-cache
+                    desyncs;
+   - quota-spin:    a tight loop that can only end by billing;
+   - mem-hog:       a virtual memory larger than the memory quota,
+                    refused at admission.
+
+   Each succeeds only at getting itself contained or quarantined; the
+   arena's auditors check nothing leaked in the process. *)
+
+let mix_seed seed = (seed * 0x9e3779b9) lxor 0x2545f4914f6cdd1d lor 1
+
+let next st =
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  st := x;
+  x land max_int
+
+let acl_all access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+
+let proc ring = Rings.Access.procedure_segment ~execute_in:ring ~callable_from:ring ()
+
+let compute_source ~spins =
+  Printf.sprintf
+    "start:  lda =%d\n\
+     loop:   sba =1\n\
+    \        tnz loop\n\
+    \        mme =2\n"
+    spins
+
+let spinner_source = "start:  tra start\n"
+
+let stack_bracket_source =
+  "start:  lda =7\n\
+  \        sta fwd,*          ; forged ITS into the ring-1 stack\n\
+  \        mme =2\n\
+   fwd:    .its 0, 1, 0\n"
+
+let cache_probe_source ~rounds =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta cnt\n\
+     loop:   lda jmpw\n\
+    \        sta patch          ; write the next instruction...\n\
+     patch:  .word 0            ; ...then immediately execute it\n\
+     next:   lda cnt\n\
+    \        sba =1\n\
+    \        sta cnt\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     jmpw:   tra next\n\
+     cnt:    .word 0\n"
+    rounds
+
+let mem_hog_source ~words =
+  Printf.sprintf "start:  mme =2\nbig:    .zero %d\n" words
+
+let privileged_data_source = "word0:  .word 7\n"
+
+(* One segment-name prefix per tenant keeps every wave's store free of
+   collisions and makes billing lines self-identifying. *)
+let tenant ~id ~kind ~adversarial ~ring ~start segments =
+  {
+    Os.Arena.id;
+    name = Printf.sprintf "t%04d" id;
+    kind;
+    adversarial;
+    ring;
+    start;
+    segments;
+  }
+
+let make_tenant ~id ~kind st =
+  let p = Printf.sprintf "t%04d" id in
+  let main = p ^ "main" and svc = p ^ "svc" and dat = p ^ "dat" in
+  match kind with
+  | "compute" ->
+      let spins = 20 + (next st mod 100) in
+      tenant ~id ~kind ~adversarial:false ~ring:4 ~start:(main, "start")
+        [ (main, acl_all (proc 4), compute_source ~spins) ]
+  | "crossing" ->
+      let iterations = 2 + (next st mod 8) in
+      tenant ~id ~kind ~adversarial:false ~ring:4 ~start:(main, "start")
+        [
+          ( main,
+            acl_all (proc 4),
+            Os.Scenario.caller_source ~callee_link:(svc ^ "$entry")
+              ~iterations () );
+          ( svc,
+            acl_all
+              (Rings.Access.procedure_segment ~execute_in:1 ~callable_from:4
+                 ()),
+            Os.Scenario.callee_source () );
+        ]
+  | "gate-squeeze" ->
+      (* Link straight at the implementation, past the gate list: the
+         hardware must refuse the downward transfer. *)
+      tenant ~id ~kind ~adversarial:true ~ring:4 ~start:(main, "start")
+        [
+          ( main,
+            acl_all (proc 4),
+            Os.Scenario.caller_source ~callee_link:(svc ^ "$impl")
+              ~iterations:1 () );
+          ( svc,
+            acl_all
+              (Rings.Access.procedure_segment ~execute_in:1 ~callable_from:4
+                 ()),
+            Os.Scenario.callee_source () );
+        ]
+  | "ring-max" ->
+      (* The argument names data only ring 1 may read or write; the
+         ring-1 service touches it through the caller's ITS, so the
+         effective ring is the caller's and the access must fault. *)
+      tenant ~id ~kind ~adversarial:true ~ring:4 ~start:(main, "start")
+        [
+          ( main,
+            acl_all (proc 4),
+            Os.Scenario.caller_source ~arg_symbol:(dat ^ "$word0")
+              ~callee_link:(svc ^ "$entry") ~iterations:1 () );
+          ( svc,
+            acl_all
+              (Rings.Access.procedure_segment ~execute_in:1 ~callable_from:4
+                 ()),
+            Os.Scenario.callee_source ~touch_argument:true () );
+          ( dat,
+            acl_all
+              (Rings.Access.data_segment ~writable_to:1 ~readable_to:1 ()),
+            privileged_data_source );
+        ]
+  | "stack-bracket" ->
+      tenant ~id ~kind ~adversarial:true ~ring:4 ~start:(main, "start")
+        [ (main, acl_all (proc 4), stack_bracket_source) ]
+  | "cache-probe" ->
+      let rounds = 4 + (next st mod 12) in
+      tenant ~id ~kind ~adversarial:true ~ring:4 ~start:(main, "start")
+        [
+          ( main,
+            acl_all
+              (Rings.Access.v ~read:true ~write:true ~execute:true
+                 (Rings.Brackets.v ~r1:(Rings.Ring.v 4)
+                    ~r2:(Rings.Ring.v 4) ~r3:(Rings.Ring.v 4))),
+            cache_probe_source ~rounds );
+        ]
+  | "quota-spin" ->
+      tenant ~id ~kind ~adversarial:true ~ring:4 ~start:(main, "start")
+        [ (main, acl_all (proc 4), spinner_source) ]
+  | "mem-hog" ->
+      tenant ~id ~kind ~adversarial:true ~ring:4 ~start:(main, "start")
+        [ (main, acl_all (proc 4), mem_hog_source ~words:8192) ]
+  | k -> invalid_arg ("Tenants.make_tenant: unknown kind " ^ k)
+
+(* (kind, weight) — the standard population is mostly honest, with a
+   steady trickle of every attack. *)
+let standard_kinds =
+  [
+    ("compute", 30);
+    ("crossing", 25);
+    ("gate-squeeze", 9);
+    ("ring-max", 9);
+    ("stack-bracket", 9);
+    ("cache-probe", 6);
+    ("quota-spin", 9);
+    ("mem-hog", 3);
+  ]
+
+let cooperative_kinds = [ ("compute", 55); ("crossing", 45) ]
+let profiles = [ "standard"; "cooperative" ]
+
+let kinds_of_profile = function
+  | "standard" -> Ok standard_kinds
+  | "cooperative" -> Ok cooperative_kinds
+  | p ->
+      Error
+        (Printf.sprintf "unknown profile %s (expected %s)" p
+           (String.concat " or " profiles))
+
+let generate ?(profile = "standard") ~seed ~tenants () =
+  let kinds =
+    match kinds_of_profile profile with
+    | Ok k -> k
+    | Error e -> invalid_arg ("Tenants.generate: " ^ e)
+  in
+  if tenants <= 0 then invalid_arg "Tenants.generate: tenants must be > 0";
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 kinds in
+  let st = ref (mix_seed seed) in
+  let draw () =
+    let r = next st mod total in
+    let rec pick acc = function
+      | [ (k, _) ] -> k
+      | (k, w) :: rest -> if r < acc + w then k else pick (acc + w) rest
+      | [] -> assert false
+    in
+    pick 0 kinds
+  in
+  let population =
+    List.init tenants (fun id -> make_tenant ~id ~kind:(draw ()) st)
+  in
+  (* The acceptance gate wants at least one quarantine per standard
+     campaign; guarantee it deterministically by drafting the last
+     tenant as a spinner when the draw produced none. *)
+  if
+    profile = "standard"
+    && not
+         (List.exists
+            (fun (t : Os.Arena.tenant) -> t.Os.Arena.kind = "quota-spin")
+            population)
+  then
+    List.mapi
+      (fun i t ->
+        if i = tenants - 1 then
+          make_tenant ~id:t.Os.Arena.id ~kind:"quota-spin" st
+        else t)
+      population
+  else population
+
+(* {1 The arena over shards}
+
+   Waves are self-contained (own store, machine, injector), so the
+   fleet treatment is embarrassingly parallel: deal wave indices
+   round-robin to [shards] domains, run, and merge by wave index.
+   {!Os.Arena.assemble} sorts, so the report is byte-identical to the
+   sequential run — the same determinism contract the serving fleet
+   keeps (docs/SCALING.md). *)
+
+let run_sharded ?quantum ?inject ?(quota = Os.Arena.default_quota)
+    ~shards ~seed tenants =
+  if shards <= 0 then invalid_arg "Tenants.run_sharded: shards must be > 0";
+  let waves = Os.Arena.waves tenants in
+  let results =
+    if shards = 1 then
+      List.map
+        (fun (wave, ts) -> Os.Arena.run_wave ?quantum ?inject ~quota ~wave ts)
+        waves
+    else
+      List.init shards (fun d ->
+          Domain.spawn (fun () ->
+              List.filter_map
+                (fun (wave, ts) ->
+                  if wave mod shards = d then
+                    Some (Os.Arena.run_wave ?quantum ?inject ~quota ~wave ts)
+                  else None)
+                waves))
+      |> List.concat_map Domain.join
+  in
+  Os.Arena.assemble ~seed ~quota results

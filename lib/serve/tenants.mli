@@ -1,0 +1,45 @@
+(** Seeded tenant-program generation for the multi-tenant arena, and
+    the domain-parallel campaign runner.
+
+    A population is a pure function of [(profile, seed, tenants)]:
+    the same stream on any host, the first link in the arena's
+    byte-identical-report contract.  The [standard] profile is mostly
+    honest compute and ring-crossing programs with a steady trickle of
+    adversaries — gate squeezers (linked past the gate list),
+    argument-chain ring maximizers, stack-bracket forgers (absolute
+    ITS into an inner ring's stack), self-modifying cache probes,
+    quota spinners and admission-time memory hogs.  The [cooperative]
+    profile draws honest kinds only — the bench's degradation
+    baseline. *)
+
+val profiles : string list
+(** [["standard"; "cooperative"]]. *)
+
+val kinds_of_profile : string -> ((string * int) list, string) result
+(** The [(kind, weight)] table a profile draws from; the error names
+    the valid profiles. *)
+
+val generate :
+  ?profile:string ->
+  seed:int ->
+  tenants:int ->
+  unit ->
+  Os.Arena.tenant list
+(** Deterministic population with ids [0 .. tenants-1].  A [standard]
+    draw that happens to contain no quota spinner has its last tenant
+    drafted as one, so every standard campaign exercises the
+    quarantine path.  Raises [Invalid_argument] on an unknown profile
+    or a nonpositive count. *)
+
+val run_sharded :
+  ?quantum:int ->
+  ?inject:Hw.Inject.plan ->
+  ?quota:Os.Arena.quota ->
+  shards:int ->
+  seed:int ->
+  Os.Arena.tenant list ->
+  Os.Arena.report
+(** Run the campaign's waves round-robin across [shards] domains
+    ([shards = 1] stays on the calling domain) and assemble.  Waves
+    are self-contained, so the report is byte-identical to the
+    sequential run regardless of [shards]. *)

@@ -18,6 +18,7 @@ type t = {
   mutable ptw_fetches : int;
   mutable page_faults : int;
   mutable page_evictions : int;
+  mutable channel_ops : int;
   (* Host-side associative-memory effectiveness.  These describe the
      simulator's caches, not the modeled hardware: they move freely
      without affecting the cycle accounting above. *)
@@ -80,6 +81,7 @@ let create () =
     ptw_fetches = 0;
     page_faults = 0;
     page_evictions = 0;
+    channel_ops = 0;
     sdw_cache_hits = 0;
     sdw_cache_misses = 0;
     sdw_cache_evictions = 0;
@@ -124,6 +126,7 @@ let reset t =
   t.ptw_fetches <- 0;
   t.page_faults <- 0;
   t.page_evictions <- 0;
+  t.channel_ops <- 0;
   t.sdw_cache_hits <- 0;
   t.sdw_cache_misses <- 0;
   t.sdw_cache_evictions <- 0;
@@ -194,6 +197,8 @@ let bump_page_faults t = t.page_faults <- t.page_faults + 1
 let page_faults t = t.page_faults
 let bump_page_evictions t = t.page_evictions <- t.page_evictions + 1
 let page_evictions t = t.page_evictions
+let bump_channel_ops t = t.channel_ops <- t.channel_ops + 1
+let channel_ops t = t.channel_ops
 
 let bump_sdw_cache_hits t = t.sdw_cache_hits <- t.sdw_cache_hits + 1
 let sdw_cache_hits t = t.sdw_cache_hits
@@ -278,6 +283,7 @@ type snapshot = {
   ptw_fetches : int;
   page_faults : int;
   page_evictions : int;
+  channel_ops : int;
   sdw_cache_hits : int;
   sdw_cache_misses : int;
   sdw_cache_evictions : int;
@@ -323,6 +329,7 @@ let snapshot (t : t) : snapshot =
     ptw_fetches = t.ptw_fetches;
     page_faults = t.page_faults;
     page_evictions = t.page_evictions;
+    channel_ops = t.channel_ops;
     sdw_cache_hits = t.sdw_cache_hits;
     sdw_cache_misses = t.sdw_cache_misses;
     sdw_cache_evictions = t.sdw_cache_evictions;
@@ -367,6 +374,7 @@ let restore (t : t) (s : snapshot) =
   t.ptw_fetches <- s.ptw_fetches;
   t.page_faults <- s.page_faults;
   t.page_evictions <- s.page_evictions;
+  t.channel_ops <- s.channel_ops;
   t.sdw_cache_hits <- s.sdw_cache_hits;
   t.sdw_cache_misses <- s.sdw_cache_misses;
   t.sdw_cache_evictions <- s.sdw_cache_evictions;
@@ -412,6 +420,7 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     ptw_fetches = after.ptw_fetches - before.ptw_fetches;
     page_faults = after.page_faults - before.page_faults;
     page_evictions = after.page_evictions - before.page_evictions;
+    channel_ops = after.channel_ops - before.channel_ops;
     sdw_cache_hits = after.sdw_cache_hits - before.sdw_cache_hits;
     sdw_cache_misses = after.sdw_cache_misses - before.sdw_cache_misses;
     sdw_cache_evictions =
@@ -460,6 +469,7 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     ptw_fetches = a.ptw_fetches + b.ptw_fetches;
     page_faults = a.page_faults + b.page_faults;
     page_evictions = a.page_evictions + b.page_evictions;
+    channel_ops = a.channel_ops + b.channel_ops;
     sdw_cache_hits = a.sdw_cache_hits + b.sdw_cache_hits;
     sdw_cache_misses = a.sdw_cache_misses + b.sdw_cache_misses;
     sdw_cache_evictions = a.sdw_cache_evictions + b.sdw_cache_evictions;
@@ -511,6 +521,7 @@ let fields (s : snapshot) : (string * int) list =
     ("ptw_fetches", s.ptw_fetches);
     ("page_faults", s.page_faults);
     ("page_evictions", s.page_evictions);
+    ("channel_ops", s.channel_ops);
     ("sdw_cache_hits", s.sdw_cache_hits);
     ("sdw_cache_misses", s.sdw_cache_misses);
     ("sdw_cache_evictions", s.sdw_cache_evictions);
@@ -585,6 +596,7 @@ let of_fields (l : (string * int) list) : (snapshot, string) result =
         ptw_fetches = get "ptw_fetches";
         page_faults = get "page_faults";
         page_evictions = get "page_evictions";
+        channel_ops = get "channel_ops";
         sdw_cache_hits = get "sdw_cache_hits";
         sdw_cache_misses = get "sdw_cache_misses";
         sdw_cache_evictions = get "sdw_cache_evictions";
@@ -608,6 +620,12 @@ let of_fields (l : (string * int) list) : (snapshot, string) result =
         events_sampled_out = get "events_sampled_out";
         spans_sampled_out = get "spans_sampled_out";
       }
+
+(* Channel operations print only when the program actually started
+   one, so an I/O-free run's counter block is unchanged. *)
+let pp_channel ppf (s : snapshot) =
+  if s.channel_ops <> 0 then
+    Format.fprintf ppf "@,channel ops         %8d" s.channel_ops
 
 (* The robustness line appears only when injection was active, so an
    injector-off run prints exactly what it printed before the fault-
@@ -660,7 +678,7 @@ let pp_snapshot ppf (s : snapshot) =
      page evictions      %8d@,\
      SDW cache h/m/e     %8d %8d %8d@,\
      PTW TLB h/m/e       %8d %8d %8d@,\
-     icache h/m/e        %8d %8d %8d%a%a@]"
+     icache h/m/e        %8d %8d %8d%a%a%a@]"
     s.cycles s.instructions s.memory_reads s.memory_writes s.sdw_fetches
     s.indirections s.traps s.calls_same_ring s.calls_downward s.calls_upward
     s.returns_same_ring s.returns_upward s.returns_downward
@@ -668,4 +686,4 @@ let pp_snapshot ppf (s : snapshot) =
     s.ptw_fetches s.page_faults s.page_evictions s.sdw_cache_hits
     s.sdw_cache_misses s.sdw_cache_evictions s.ptw_tlb_hits s.ptw_tlb_misses
     s.ptw_tlb_evictions s.icache_hits s.icache_misses s.icache_evictions
-    pp_robustness s pp_trace_stats s
+    pp_channel s pp_robustness s pp_trace_stats s

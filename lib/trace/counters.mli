@@ -79,6 +79,13 @@ val page_faults : t -> int
 val bump_page_evictions : t -> unit
 val page_evictions : t -> int
 
+val bump_channel_ops : t -> unit
+(** One I/O channel operation started (SIOC/SIOT).  The arena bills
+    these against a tenant's I/O quota; outside the arena they are
+    plain observability. *)
+
+val channel_ops : t -> int
+
 (** {2 Host-side associative memories}
 
     Hit/miss/eviction rates of the simulator's caches (SDW cache, PTW
@@ -205,6 +212,7 @@ type snapshot = {
   ptw_fetches : int;
   page_faults : int;
   page_evictions : int;
+  channel_ops : int;
   sdw_cache_hits : int;
   sdw_cache_misses : int;
   sdw_cache_evictions : int;

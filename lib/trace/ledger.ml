@@ -1,0 +1,30 @@
+(* Per-tenant accounting: each tenant's slices land here as counter
+   snapshots and are folded with [Counters.add], so a bill is exactly
+   the pointwise sum of what the machine's counters moved while that
+   tenant held the processor.  Folding is in ascending tenant id, so a
+   report assembled from any slice order — one wave at a time or
+   several waves on different domains — reads back identically. *)
+
+type t = (int, Counters.snapshot) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let zero = Counters.snapshot (Counters.create ())
+
+let charge t ~tenant (s : Counters.snapshot) =
+  let prior =
+    match Hashtbl.find_opt t tenant with Some p -> p | None -> zero
+  in
+  Hashtbl.replace t tenant (Counters.add prior s)
+
+let bill t ~tenant =
+  match Hashtbl.find_opt t tenant with Some s -> s | None -> zero
+
+let tenants t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let fold t ~init ~f =
+  List.fold_left (fun acc k -> f acc k (bill t ~tenant:k)) init (tenants t)
+
+let total t =
+  fold t ~init:zero ~f:(fun acc _ s -> Counters.add acc s)

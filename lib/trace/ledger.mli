@@ -1,0 +1,32 @@
+(** Per-tenant counter attribution for the multi-tenant arena.
+
+    The machine has one {!Counters.t}; the arena multiplexes many
+    tenants over it.  The dispatcher snapshots the counters around
+    each tenant's slice and charges the difference here, so every
+    cycle, fault and channel operation the machine counted is
+    attributed to exactly one tenant.  Bills accumulate with
+    {!Counters.add} (commutative, associative), and {!fold} walks
+    tenants in ascending id — the billing report is therefore
+    independent of slice interleaving and of how waves were spread
+    over domains. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> tenant:int -> Counters.snapshot -> unit
+(** [charge t ~tenant d] adds the per-slice counter delta [d] to the
+    tenant's running bill. *)
+
+val bill : t -> tenant:int -> Counters.snapshot
+(** The tenant's accumulated bill; all-zero for a tenant never
+    charged. *)
+
+val tenants : t -> int list
+(** Every tenant ever charged, in ascending id. *)
+
+val fold : t -> init:'a -> f:('a -> int -> Counters.snapshot -> 'a) -> 'a
+(** Fold over [(tenant, bill)] in ascending tenant id. *)
+
+val total : t -> Counters.snapshot
+(** Sum of every bill — what the whole arena cost. *)

@@ -183,6 +183,29 @@ let prop_system_survives_arbitrary_plans =
       let r = Os.Chaos.run_campaigns ~campaigns:1 (random_plan seed) in
       r.Os.Chaos.violations = [])
 
+(* The arena's zero-leak gate, fuzzed: whatever population the tenant
+   generator draws — gate squeezers, ring maximizers, stack-bracket
+   forgers, cache probes, spinners — the SDW and cross-tenant auditors
+   must stay silent after every quarantine and at every wave end, and
+   every exit must be a sanctioned verdict. *)
+let prop_arena_never_leaks =
+  QCheck.Test.make
+    ~name:"no adversarial tenant population trips the cross-tenant auditor"
+    ~count:20 (QCheck.int_range 1 1_000_000) (fun seed ->
+      let tenants =
+        Serve.Tenants.generate ~seed ~tenants:(8 + (seed mod 9)) ()
+      in
+      let r = Os.Arena.run ~seed tenants in
+      r.Os.Arena.violations = [] && r.Os.Arena.audits > 0
+      && List.for_all
+           (fun (b : Os.Arena.bill) ->
+             match b.Os.Arena.verdict with
+             | "ok" | "contained" | "over budget" -> true
+             | v ->
+                 String.length v >= 11 && String.sub v 0 11 = "quarantined"
+           )
+           r.Os.Arena.bills)
+
 (* Kill-and-resume, fuzzed: whatever the workload sizes, the quantum
    and the checkpoint cycle, a run resumed from a mid-flight image must
    finish indistinguishable (counters, exits, memory) from the run that
@@ -234,6 +257,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_kernel_never_escapes_paged;
         QCheck_alcotest.to_alcotest prop_system_survives_default_plan_injection;
         QCheck_alcotest.to_alcotest prop_system_survives_arbitrary_plans;
+        QCheck_alcotest.to_alcotest prop_arena_never_leaks;
         QCheck_alcotest.to_alcotest prop_checkpoint_restore_is_transparent;
       ] );
   ]

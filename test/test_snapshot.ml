@@ -536,6 +536,60 @@ let test_chain_rejections () =
   | Error e -> Alcotest.failf "expected Bad_magic, got %a" Os.Snapshot.pp_error e
   | Ok _ -> Alcotest.fail "flatten accepted a delta as a base"
 
+(* Garbage collection of a live chain: fold the deltas captured so far
+   into a new base, delete them, re-anchor the chain on the fold, and
+   keep capturing.  The final state must restore from (folded base ++
+   post-rebase deltas) exactly as the uncollected chain would have. *)
+let test_rebase_continues_the_chain () =
+  let sys = fresh_system () in
+  let chain, base0 = Os.Snapshot.start_chain sys in
+  let base = ref base0 in
+  let deltas = ref [] in
+  let slice = ref 0 in
+  let (_ : (string * Os.Kernel.exit) list) =
+    Os.System.run
+      ~on_slice:(fun () ->
+        incr slice;
+        if !slice <= 2 || (!slice >= 4 && !slice <= 5) then
+          deltas := !deltas @ [ Os.Snapshot.capture_delta sys chain ]
+        else if !slice = 3 then begin
+          (* The GC pass: BASE := flatten(BASE ++ deltas). *)
+          match Os.Snapshot.flatten ~base:!base !deltas with
+          | Error e -> Alcotest.failf "flatten: %a" Os.Snapshot.pp_error e
+          | Ok folded -> (
+              match Os.Snapshot.rebase chain ~base:folded with
+              | Error e -> Alcotest.failf "rebase: %a" Os.Snapshot.pp_error e
+              | Ok () ->
+                  Alcotest.(check int) "rebase restarts the chain" 0
+                    (Os.Snapshot.chain_length chain);
+                  base := folded;
+                  deltas := [])
+        end)
+      sys
+  in
+  Alcotest.(check int) "post-rebase deltas captured" 2 (List.length !deltas);
+  let resumed = fresh_system () in
+  (match Os.Snapshot.restore_chain resumed ~base:!base !deltas with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "restore_chain: %a" Os.Snapshot.pp_error e);
+  let (_ : (string * Os.Kernel.exit) list) = Os.System.run resumed in
+  Alcotest.(check bool) "resumed-through-gc run converges" true
+    (comparable_fields sys = comparable_fields resumed
+    && memory_words sys = memory_words resumed);
+  (* A rebase on garbage refuses and leaves the chain usable. *)
+  let sys2 = fresh_system () in
+  let chain2, base2 = Os.Snapshot.start_chain sys2 in
+  (match Os.Snapshot.rebase chain2 ~base:"garbage" with
+  | Error Os.Snapshot.Truncated | Error Os.Snapshot.Bad_magic -> ()
+  | Error e -> Alcotest.failf "rebase garbage: %a" Os.Snapshot.pp_error e
+  | Ok () -> Alcotest.fail "rebase accepted garbage");
+  let d = Os.Snapshot.capture_delta sys2 chain2 in
+  match Os.Snapshot.flatten ~base:base2 [ d ] with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "chain unusable after failed rebase: %a"
+        Os.Snapshot.pp_error e
+
 (* Failed captures must not inflate [snapshots_written], and a full
    capture mid-chain poisons the chain, not the system. *)
 let test_chain_interlopers_and_counter_rollback () =
@@ -617,6 +671,8 @@ let suite =
           `Quick test_chain_flatten_matches_full_captures;
         Alcotest.test_case "broken chains are rejected with typed errors"
           `Quick test_chain_rejections;
+        Alcotest.test_case "rebase folds and continues the chain" `Quick
+          test_rebase_continues_the_chain;
         Alcotest.test_case "interlopers poison the chain, not the counter"
           `Quick test_chain_interlopers_and_counter_rollback;
       ] );
