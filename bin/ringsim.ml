@@ -358,6 +358,17 @@ let usage_error msg =
   Printf.eprintf "ringsim: %s\n" msg;
   exit 2
 
+(* --backend NAME: resolved through the one validator every subcommand
+   shares (Rings.Backend.of_string), before any file is read or store
+   built — an unknown backend is a usage error (exit 2) naming the
+   three valid spellings. *)
+let resolve_backend name =
+  match Rings.Backend.of_string name with
+  | Ok Rings.Backend.Hardware -> Isa.Machine.Ring_hardware
+  | Ok Rings.Backend.Software_645 -> Isa.Machine.Ring_software_645
+  | Ok Rings.Backend.Capability -> Isa.Machine.Ring_capability
+  | Error e -> usage_error e
+
 (* --inject SPEC: an integer seeds the built-in default plan; anything
    else names a plan file for Hw.Inject.parse_plan. *)
 let resolve_plan spec =
@@ -382,22 +393,25 @@ let inject_into_machine plan m processes =
     processes;
   Isa.Machine.attach_injector m inj
 
-let run_campaigns inject campaigns obs =
+let run_campaigns ~mode inject campaigns obs =
   let plan =
     match inject with
     | Some spec -> resolve_plan spec
     | None -> Hw.Inject.default_plan ~seed:0
   in
-  let r = Os.Chaos.run_campaigns ~campaigns plan in
+  let r = Os.Chaos.run_campaigns ~mode ~campaigns plan in
   Format.printf "%a" Os.Chaos.pp_report r;
   (match obs.metrics_out with
   | Some path -> write_file path (Os.Chaos.report_json r)
   | None -> ());
   exit (if r.Os.Chaos.violations = [] then 0 else 1)
 
-let run_program file mode start ring trace listing dump show_map typed
+let run_program file backend start ring trace listing dump show_map typed
     max_instructions inject campaigns checkpoint_every checkpoint_to
     restore_from kill_after watchdog obs =
+  (* The backend name is validated before anything is read or built:
+     an unknown one must exit 2 however the rest of the line looks. *)
+  let mode = resolve_backend backend in
   if obs.sample < 1 then usage_error "--sample must be positive";
   if obs.sample_instr < 0 then
     usage_error "--sample-instr must be nonnegative";
@@ -405,7 +419,7 @@ let run_program file mode start ring trace listing dump show_map typed
   | Some n when n < 1 -> usage_error "--trace-cap must be positive"
   | _ -> ());
   (match campaigns with
-  | Some n -> run_campaigns inject n obs
+  | Some n -> run_campaigns ~mode inject n obs
   | None -> ());
   (match checkpoint_every with
   | Some n when n <= 0 -> usage_error "--checkpoint-every must be positive"
@@ -432,7 +446,7 @@ let run_program file mode start ring trace listing dump show_map typed
         segments;
       if procs <> [] then begin
         (* Multi-process mode: spawn each declaration and multiplex. *)
-        let t = Os.System.create ~store () in
+        let t = Os.System.create ~mode ~store () in
         enable_obs obs (Os.System.machine t);
         let seg_names = List.map (fun (h, _) -> h.h_name) segments in
         let first = ref true in
@@ -674,12 +688,6 @@ let run_program file mode start ring trace listing dump show_map typed
                    the full assembly below will report real errors. *)
                 Printf.printf "--- %s (externals unresolved) ---\n" h.h_name)
           segments;
-      let mode =
-        match mode with
-        | "hw" -> Isa.Machine.Ring_hardware
-        | "645" | "sw" -> Isa.Machine.Ring_software_645
-        | m -> usage_error (Printf.sprintf "unknown mode %s (use hw or 645)" m)
-      in
       let p = Os.Process.create ~mode ~store ~user:"operator" () in
       (match
          Os.Process.add_segments p (List.map (fun (h, _) -> h.h_name) segments)
@@ -804,13 +812,14 @@ let parse_migrate spec =
       | _ -> usage_error "--migrate must be WINDOW:FROM:TO (three integers)")
   | _ -> usage_error "--migrate must be WINDOW:FROM:TO (three integers)"
 
-let run_serve shards requests seed mix_name queue_cap batch_window image_cap
-    replicas imbalance pool steal_name snapshot inject watchdog report_json
-    trace_out metrics_out sample sample_instr trace_cap migrate_spec
-    rolling_restart autoscale =
+let run_serve shards requests seed mix_name backend_name queue_cap
+    batch_window image_cap replicas imbalance pool steal_name snapshot inject
+    watchdog report_json trace_out metrics_out sample sample_instr trace_cap
+    migrate_spec rolling_restart autoscale =
   (* Every flag is validated up front: a nonsensical value is a usage
      error (exit 2 with a message naming the flag), never a deep
      runtime failure. *)
+  let backend = Option.map resolve_backend backend_name in
   if shards < 1 then usage_error "--shards must be at least 1";
   if requests < 0 then usage_error "--requests must be nonnegative";
   if queue_cap < 1 then usage_error "--queue-cap must be positive";
@@ -874,6 +883,7 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
       replicas;
       batch_window;
       image_cap;
+      backend;
       watchdog;
       inject = plan;
       preload;
@@ -919,6 +929,8 @@ let run_serve shards requests seed mix_name queue_cap batch_window image_cap
           ("requests", string_of_int requests);
           ("seed", string_of_int seed);
           ("mix", quote mix_name);
+          ( "backend",
+            match backend_name with None -> "null" | Some b -> quote b );
           ("queue_cap", string_of_int queue_cap);
           ("batch_window", string_of_int batch_window);
           ("image_cap", string_of_int image_cap);
@@ -955,9 +967,13 @@ open Cmdliner
 
 let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
 
-let mode =
-  Arg.(value & opt string "hw" & info [ "m"; "mode" ] ~docv:"MODE"
-         ~doc:"Ring implementation: hw (hardware) or 645 (software baseline).")
+let backend =
+  Arg.(value & opt string "hw" & info [ "b"; "backend"; "m"; "mode" ]
+         ~docv:"BACKEND"
+         ~doc:"Protection backend: $(b,hw) (hardware rings), $(b,645) \
+               (software rings, the GE-645 baseline) or $(b,cap) (the \
+               capability machine).  An unknown name is a usage error \
+               (exit 2).")
 
 let start =
   Arg.(value & opt string "main" & info [ "start" ] ~docv:"SEG[$ENTRY]"
@@ -1115,6 +1131,14 @@ let serve_mix =
   Arg.(value & opt string "standard" & info [ "mix" ] ~docv:"NAME"
          ~doc:"Request mix: standard, crossing or uniform.")
 
+let serve_backend =
+  Arg.(value & opt (some string) None
+       & info [ "b"; "backend" ] ~docv:"BACKEND"
+         ~doc:"Force every shard onto one protection backend — $(b,hw), \
+               $(b,645) or $(b,cap) — overriding each catalog class's \
+               own mode.  Unset, classes keep their modes.  An unknown \
+               name is a usage error (exit 2).")
+
 let serve_queue_cap =
   Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N"
          ~doc:"Per-shard queue bound per dispatch window; requests that \
@@ -1253,7 +1277,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run_serve $ serve_shards $ serve_requests $ serve_seed
-      $ serve_mix $ serve_queue_cap $ serve_batch_window $ serve_image_cap
+      $ serve_mix $ serve_backend $ serve_queue_cap $ serve_batch_window
+      $ serve_image_cap
       $ serve_replicas $ serve_imbalance $ serve_pool $ serve_steal
       $ serve_snapshot $ inject $ serve_watchdog $ serve_report_json
       $ serve_trace_out $ serve_metrics_out $ sample_arg $ sample_instr_arg
@@ -1262,10 +1287,11 @@ let serve_cmd =
 
 (* {2 The arena subcommand} *)
 
-let run_arena tenants arena_seed profile quota_cycles quota_mem quota_faults
-    quota_io shards inject report_json =
+let run_arena tenants arena_seed profile backend_name quota_cycles quota_mem
+    quota_faults quota_io shards inject report_json =
   (* Every flag validated up front: a nonsensical value is a usage
      error (exit 2, message naming the flag), never a deep failure. *)
+  let mode = Option.map resolve_backend backend_name in
   if tenants < 1 then usage_error "--tenants must be at least 1";
   if arena_seed < 0 then usage_error "--arena-seed must be nonnegative";
   if quota_cycles < 1 then usage_error "--quota-cycles must be positive";
@@ -1289,8 +1315,8 @@ let run_arena tenants arena_seed profile quota_cycles quota_mem quota_faults
     Serve.Tenants.generate ~profile ~seed:arena_seed ~tenants ()
   in
   let report =
-    Serve.Tenants.run_sharded ?inject:plan ~quota ~shards ~seed:arena_seed
-      population
+    Serve.Tenants.run_sharded ?mode ?inject:plan ~quota ~shards
+      ~seed:arena_seed population
   in
   Os.Arena.print_table report;
   Format.printf "@.%a@." Os.Arena.pp_report report;
@@ -1315,6 +1341,14 @@ let arena_profile =
                gate squeezers, ring maximizers, stack-bracket forgers, \
                cache probes, quota spinners and memory hogs) or \
                $(b,cooperative) (honest kinds only).")
+
+let arena_backend =
+  Arg.(value & opt (some string) None
+       & info [ "b"; "backend" ] ~docv:"BACKEND"
+         ~doc:"Protection backend hosting the tenants — $(b,hw), \
+               $(b,645) or $(b,cap).  Unset, the arena's default \
+               (hardware rings) applies.  An unknown name is a usage \
+               error (exit 2).")
 
 let arena_quota_cycles =
   Arg.(value & opt int Os.Arena.default_quota.Os.Arena.cycles
@@ -1384,12 +1418,13 @@ let arena_cmd =
   Cmd.v (Cmd.info "arena" ~doc ~man)
     Term.(
       const run_arena $ arena_tenants $ arena_seed $ arena_profile
-      $ arena_quota_cycles $ arena_quota_mem $ arena_quota_faults
-      $ arena_quota_io $ arena_shards $ inject $ arena_report_json)
+      $ arena_backend $ arena_quota_cycles $ arena_quota_mem
+      $ arena_quota_faults $ arena_quota_io $ arena_shards $ inject
+      $ arena_report_json)
 
 let run_term =
   Term.(
-    const run_program $ file $ mode $ start $ ring $ trace $ listing
+    const run_program $ file $ backend $ start $ ring $ trace $ listing
     $ dump $ show_map $ typed $ budget $ inject $ campaigns
     $ checkpoint_every $ checkpoint_to $ restore_from $ kill_after
     $ watchdog $ obs)

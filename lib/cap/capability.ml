@@ -1,0 +1,129 @@
+(* The tagged-capability reading of the Fig. 3 segment descriptor.
+
+   A capability is a bounded region plus a permission mask, optionally
+   sealed under an object type.  In the capability backend every SDW
+   the kernel installs *is* a capability at rest: its two words carry
+   validity tags in the tag store ({!Hw.Memory}), and translation
+   derives from it, per access, the capability the effective domain
+   actually holds — the permission mask below, which is the bracket
+   predicate of the ring machine evaluated at that domain.  That
+   construction makes attenuation monotonic by the same argument that
+   makes brackets nested: a higher (less privileged) domain's mask is
+   always a subset of a lower one's ({!monotone}). *)
+
+type perms = { load : bool; store : bool; exec : bool }
+
+let no_perms = { load = false; store = false; exec = false }
+
+type t = {
+  base : int;  (** absolute word of the region's first word *)
+  bound : int;  (** region length in words *)
+  perms : perms;
+  entries : int;  (** sealed entry capabilities packed from word 0 *)
+  sealed : bool;
+  otype : int;  (** meaningful only when [sealed] *)
+}
+
+let v ?(perms = no_perms) ?(entries = 0) ~base ~bound () =
+  if bound < 0 then invalid_arg "Capability.v: negative bound";
+  if entries < 0 then invalid_arg "Capability.v: negative entries";
+  { base; bound; perms; entries; sealed = false; otype = 0 }
+
+(* The capability a domain holds on a segment, derived from the SDW
+   access field: each permission is the corresponding flag AND the
+   bracket predicate at [ring].  [Policy.permitted] is the ring
+   machine's own reading of the same question, so the derived mask
+   agrees with the hardware verdict by construction. *)
+let of_access (a : Rings.Access.t) ~ring ~base ~bound =
+  {
+    base;
+    bound;
+    perms =
+      {
+        load = Rings.Policy.permitted a ~ring Rings.Policy.Read;
+        store = Rings.Policy.permitted a ~ring Rings.Policy.Write;
+        exec = Rings.Policy.permitted a ~ring Rings.Policy.Execute;
+      };
+    entries = a.Rings.Access.gates;
+    sealed = false;
+    otype = 0;
+  }
+
+let in_bounds t ~wordno = wordno >= 0 && wordno < t.bound
+
+(* Sealing renders a capability unusable for load/store/exec until
+   unsealed with the matching object type — the transfer-of-control
+   token of the capability machine.  Sealing twice, or unsealing with
+   the wrong type (or an unsealed capability at all), is refused. *)
+let seal t ~otype =
+  if t.sealed then None else Some { t with sealed = true; otype }
+
+let unseal t ~otype =
+  if t.sealed && t.otype = otype then Some { t with sealed = false; otype = 0 }
+  else None
+
+(* Monotonic attenuation: deriving may only clear permission bits and
+   shrink the region, never widen either. *)
+let attenuate t ~perms =
+  {
+    t with
+    perms =
+      {
+        load = t.perms.load && perms.load;
+        store = t.perms.store && perms.store;
+        exec = t.perms.exec && perms.exec;
+      };
+  }
+
+let perms_subset a b =
+  (not a.load || b.load) && (not a.store || b.store)
+  && (not a.exec || b.exec)
+
+let is_attenuation_of child parent =
+  child.base >= parent.base
+  && child.base + child.bound <= parent.base + parent.bound
+  && perms_subset child.perms parent.perms
+
+(* The nesting property the backend's verdict parity rests on: for any
+   access field, the capability derived at a less privileged ring
+   never holds a permission the more privileged ring's lacks. *)
+let monotone (a : Rings.Access.t) ~base ~bound =
+  let rec go r =
+    if r >= Rings.Ring.count - 1 then true
+    else
+      let lo = of_access a ~ring:(Rings.Ring.v r) ~base ~bound in
+      let hi = of_access a ~ring:(Rings.Ring.v (r + 1)) ~base ~bound in
+      perms_subset hi.perms lo.perms && go (r + 1)
+  in
+  go 0
+
+(* {1 Sealed return capabilities}
+
+   What a cross-domain CALL pushes and the matching RETURN pops: the
+   caller's continuation (segno|wordno), sealed under the caller's
+   domain so only a return *to* that domain can unseal it.  This is
+   the capability machine's replacement for the ring machine's
+   crossing-stack discipline. *)
+
+type sealed_return = { sr_otype : int; sr_segno : int; sr_wordno : int }
+
+let seal_return ~otype ~segno ~wordno =
+  { sr_otype = otype; sr_segno = segno; sr_wordno = wordno }
+
+let unseal_return sr ~otype =
+  if sr.sr_otype = otype then Some (sr.sr_segno, sr.sr_wordno) else None
+
+let pp_perms ppf p =
+  Format.fprintf ppf "%c%c%c"
+    (if p.load then 'r' else '-')
+    (if p.store then 'w' else '-')
+    (if p.exec then 'x' else '-')
+
+let pp ppf t =
+  Format.fprintf ppf "cap[%d+%d %a%s%s]" t.base t.bound pp_perms t.perms
+    (if t.entries > 0 then Printf.sprintf " entries=%d" t.entries else "")
+    (if t.sealed then Printf.sprintf " sealed:%d" t.otype else "")
+
+let pp_sealed_return ppf sr =
+  Format.fprintf ppf "retcap[%d|%06o sealed:%d]" sr.sr_segno sr.sr_wordno
+    sr.sr_otype

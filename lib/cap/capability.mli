@@ -1,0 +1,69 @@
+(** Bounded, permission-masked, sealable capabilities — the data model
+    behind {!Isa.Machine.Ring_capability}.
+
+    Pure values: deriving, sealing, unsealing and attenuating allocate
+    fresh capabilities and never mutate.  The machine keeps the live
+    state (tag bits in {!Hw.Memory}, the sealed-return stack in
+    {!Isa.Machine}); this module only answers what a capability
+    permits.  See docs/CAPABILITIES.md for how the pieces map onto the
+    1971 ring architecture. *)
+
+type perms = { load : bool; store : bool; exec : bool }
+
+val no_perms : perms
+
+type t = {
+  base : int;  (** absolute word of the region's first word *)
+  bound : int;  (** region length in words *)
+  perms : perms;
+  entries : int;  (** sealed entry capabilities packed from word 0 *)
+  sealed : bool;
+  otype : int;  (** meaningful only when [sealed] *)
+}
+
+val v : ?perms:perms -> ?entries:int -> base:int -> bound:int -> unit -> t
+(** An unsealed capability; raises [Invalid_argument] on a negative
+    bound or entry count. *)
+
+val of_access :
+  Rings.Access.t -> ring:Rings.Ring.t -> base:int -> bound:int -> t
+(** The capability a domain holds on a segment: each permission bit is
+    the SDW flag AND the bracket predicate at [ring]
+    ({!Rings.Policy.permitted}), so the derived mask agrees with the
+    ring hardware's verdict by construction, and {!monotone} holds. *)
+
+val in_bounds : t -> wordno:int -> bool
+
+val seal : t -> otype:int -> t option
+(** [None] when already sealed — sealing is not idempotent. *)
+
+val unseal : t -> otype:int -> t option
+(** [None] unless sealed under exactly [otype]. *)
+
+val attenuate : t -> perms:perms -> t
+(** Intersects permission masks: derived capabilities only narrow. *)
+
+val perms_subset : perms -> perms -> bool
+(** [perms_subset a b]: every permission in [a] is in [b]. *)
+
+val is_attenuation_of : t -> t -> bool
+(** Region contained and permissions a subset: the monotonicity
+    relation the unit tests assert over seal/unseal/attenuate. *)
+
+val monotone : Rings.Access.t -> base:int -> bound:int -> bool
+(** For every adjacent ring pair, the capability derived at the less
+    privileged ring holds a subset of the other's permissions. *)
+
+type sealed_return = { sr_otype : int; sr_segno : int; sr_wordno : int }
+(** The caller's continuation, sealed under the caller's domain: what
+    a cross-domain CALL pushes on the machine's capability stack and
+    the matching RETURN unseals.  Replaces the ring machine's
+    crossing-stack discipline. *)
+
+val seal_return : otype:int -> segno:int -> wordno:int -> sealed_return
+val unseal_return : sealed_return -> otype:int -> (int * int) option
+(** [Some (segno, wordno)] when [otype] matches the sealing domain. *)
+
+val pp_perms : Format.formatter -> perms -> unit
+val pp : Format.formatter -> t -> unit
+val pp_sealed_return : Format.formatter -> sealed_return -> unit

@@ -1,0 +1,107 @@
+(* The per-access protection decision, factored out of the machine so
+   the three protection implementations are one dispatch away from
+   each other.
+
+   [Hardware] and [Software_645] reproduce, verbatim, the logic the
+   machine used to inline: the hardware checks brackets and flags
+   through {!Policy}; the 645 baseline checks only the flags of the
+   per-ring descriptor segment the kernel built (the brackets were
+   already applied when that descriptor segment was filtered).
+
+   [Capability] accepts and refuses exactly the references the
+   hardware does — the per-segment capability is derived from the same
+   SDW access field, its permission mask at a given domain is the
+   bracket predicate — but reports refusals in capability vocabulary
+   via {!cap_fault_of}.  That alignment is what makes the three-way
+   verdict-parity suite (test_equivalence.ml) and the crossing-latency
+   comparison meaningful: the backends differ in mechanism and cost,
+   never in which programs they admit. *)
+
+type t = Hardware | Software_645 | Capability
+
+let to_string = function
+  | Hardware -> "hw"
+  | Software_645 -> "645"
+  | Capability -> "cap"
+
+let of_string = function
+  | "hw" -> Ok Hardware
+  | "645" | "sw" -> Ok Software_645
+  | "cap" -> Ok Capability
+  | s -> Error (Printf.sprintf "unknown backend %s (use hw, 645 or cap)" s)
+
+let all = [ Hardware; Software_645; Capability ]
+
+(* The documented hardware-fault -> capability-fault mapping.  Total
+   and idempotent: faults with no capability reading (upward calls,
+   missing segments, bounds) pass through, and cap faults map to
+   themselves. *)
+let cap_fault_of = function
+  | Fault.No_read_permission ->
+      Fault.Cap_load_violation { effective = Ring.r0 }
+  | Fault.Read_bracket_violation { effective; _ } ->
+      Fault.Cap_load_violation { effective }
+  | Fault.No_write_permission ->
+      Fault.Cap_store_violation { effective = Ring.r0 }
+  | Fault.Write_bracket_violation { effective; _ } ->
+      Fault.Cap_store_violation { effective }
+  | Fault.No_execute_permission -> Fault.Cap_exec_violation { ring = Ring.r0 }
+  | Fault.Execute_bracket_violation { ring; _ } ->
+      Fault.Cap_exec_violation { ring }
+  | Fault.Gate_violation { wordno; gates } ->
+      Fault.Cap_seal_violation { wordno; gates }
+  | Fault.Outside_gate_extension { effective; top } ->
+      Fault.Cap_attenuation_violation { effective; limit = top }
+  | Fault.Effective_ring_raised { exec; effective } ->
+      Fault.Cap_attenuation_violation { effective; limit = exec }
+  | Fault.Transfer_ring_change { exec; effective } ->
+      Fault.Cap_attenuation_violation { effective; limit = exec }
+  | f -> f
+
+let map_cap = function Ok () -> Ok () | Error f -> Error (cap_fault_of f)
+
+let[@inline] validate_fetch t (a : Access.t) ~ring =
+  match t with
+  | Hardware -> Policy.validate_fetch a ~ring
+  | Software_645 ->
+      if a.execute then Ok () else Error Fault.No_execute_permission
+  | Capability -> (
+      match Policy.validate_fetch a ~ring with
+      | Ok () -> Ok ()
+      | Error _ -> Error (Fault.Cap_exec_violation { ring }))
+
+let[@inline] validate_read t (a : Access.t) ~effective =
+  match t with
+  | Hardware -> Policy.validate_read a ~effective
+  | Software_645 ->
+      if a.read then Ok () else Error Fault.No_read_permission
+  | Capability -> (
+      match Policy.validate_read a ~effective with
+      | Ok () -> Ok ()
+      | Error _ ->
+          Error
+            (Fault.Cap_load_violation
+               { effective = Effective_ring.ring effective }))
+
+let[@inline] validate_write t (a : Access.t) ~effective =
+  match t with
+  | Hardware -> Policy.validate_write a ~effective
+  | Software_645 ->
+      if a.write then Ok () else Error Fault.No_write_permission
+  | Capability -> (
+      match Policy.validate_write a ~effective with
+      | Ok () -> Ok ()
+      | Error _ ->
+          Error
+            (Fault.Cap_store_violation
+               { effective = Effective_ring.ring effective }))
+
+(* Ordinary transfers.  The 645 arm is what {!Isa.Exec} used to
+   inline: flags only, the gatekeeper sees ring changes later as
+   {!Fault.Cross_ring_transfer} (raised by the caller, not here). *)
+let[@inline] validate_transfer t (a : Access.t) ~exec ~effective =
+  match t with
+  | Hardware -> Policy.validate_transfer a ~exec ~effective
+  | Software_645 ->
+      if a.execute then Ok () else Error Fault.No_execute_permission
+  | Capability -> map_cap (Policy.validate_transfer a ~exec ~effective)

@@ -1,0 +1,48 @@
+(** The protection backend: one per-access decision procedure per ring
+    implementation.
+
+    The machine ({!Isa.Machine}) routes every fetch/read/write/transfer
+    validation through this dispatch instead of matching on its mode
+    inline.  [Hardware] and [Software_645] are the decision procedures
+    the machine always had, moved verbatim — their verdicts, faults and
+    modeled costs are byte-identical to the pre-refactor machine.
+    [Capability] is the tagged-capability reading of the same layout:
+    it admits exactly the references the hardware admits (the
+    permission mask a domain holds on a segment is, by construction,
+    the bracket predicate at that ring) but refuses in capability
+    vocabulary — {!Fault.Cap_load_violation} instead of a read-bracket
+    breach, {!Fault.Cap_seal_violation} instead of a gate violation,
+    {!Fault.Cap_attenuation_violation} instead of a raised effective
+    ring.  See docs/CAPABILITIES.md for the model. *)
+
+type t = Hardware | Software_645 | Capability
+
+val to_string : t -> string
+(** ["hw"], ["645"], ["cap"] — the CLI / bench / report vocabulary. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["hw"], ["645"] (alias ["sw"]) and ["cap"]; anything else
+    is an error naming the accepted values. *)
+
+val all : t list
+(** The three backends, in comparison-table order: hw, 645, cap. *)
+
+val cap_fault_of : Fault.t -> Fault.t
+(** The documented mapping from a hardware-vocabulary refusal to its
+    capability-vocabulary equivalent: permission/bracket faults become
+    load/store/exec capability violations, gate faults become sealed-
+    entry violations, raised-effective-ring and ring-changing-transfer
+    faults become attenuation violations.  Total and idempotent;
+    faults with no capability reading (upward call, missing segment,
+    bound violation, ...) pass through unchanged.  The verdict-parity
+    suite uses this to predict the capability backend's fault from the
+    hardware's. *)
+
+val validate_fetch : t -> Access.t -> ring:Ring.t -> (unit, Fault.t) result
+val validate_read :
+  t -> Access.t -> effective:Effective_ring.t -> (unit, Fault.t) result
+val validate_write :
+  t -> Access.t -> effective:Effective_ring.t -> (unit, Fault.t) result
+val validate_transfer :
+  t -> Access.t -> exec:Ring.t -> effective:Effective_ring.t ->
+  (unit, Fault.t) result

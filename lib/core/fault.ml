@@ -35,6 +35,12 @@ type t =
   | Io_error
   | Watchdog_timeout of { budget : int }
   | Quota_exhausted of { resource : string; limit : int }
+  | Cap_load_violation of { effective : Ring.t }
+  | Cap_store_violation of { effective : Ring.t }
+  | Cap_exec_violation of { ring : Ring.t }
+  | Cap_seal_violation of { wordno : int; gates : int }
+  | Cap_attenuation_violation of { effective : Ring.t; limit : Ring.t }
+  | Cap_tag_violation of { addr : int; segno : int }
 
 let code = function
   | No_read_permission -> 0
@@ -64,18 +70,27 @@ let code = function
   | Io_error -> 24
   | Watchdog_timeout _ -> 25
   | Quota_exhausted _ -> 26
+  | Cap_load_violation _ -> 27
+  | Cap_store_violation _ -> 28
+  | Cap_exec_violation _ -> 29
+  | Cap_seal_violation _ -> 30
+  | Cap_attenuation_violation _ -> 31
+  | Cap_tag_violation _ -> 32
 
 let is_access_violation = function
   | Upward_call _ | Downward_return _ | Missing_segment _ | Missing_page _
   | Cross_ring_transfer _ | Service_call _ | Timer_runout | Io_completion
-  | Parity_error _ | Io_error | Watchdog_timeout _ | Quota_exhausted _ ->
+  | Parity_error _ | Io_error | Watchdog_timeout _ | Quota_exhausted _
+  | Cap_tag_violation _ ->
       false
   | No_read_permission | No_write_permission | No_execute_permission
   | Read_bracket_violation _ | Write_bracket_violation _
   | Execute_bracket_violation _ | Gate_violation _
   | Outside_gate_extension _ | Effective_ring_raised _
   | Transfer_ring_change _ | Privileged_instruction _ | Bound_violation _
-  | Illegal_opcode _ | Halt_in_slave_ring _ | Divide_by_zero ->
+  | Illegal_opcode _ | Halt_in_slave_ring _ | Divide_by_zero
+  | Cap_load_violation _ | Cap_store_violation _ | Cap_exec_violation _
+  | Cap_seal_violation _ | Cap_attenuation_violation _ ->
       true
 
 let equal (a : t) (b : t) = a = b
@@ -143,5 +158,26 @@ let pp ppf = function
         budget
   | Quota_exhausted { resource; limit } ->
       Format.fprintf ppf "quota exhausted: %s limit %d reached" resource limit
+  | Cap_load_violation { effective } ->
+      Format.fprintf ppf "capability load violation at effective %a" Ring.pp
+        effective
+  | Cap_store_violation { effective } ->
+      Format.fprintf ppf "capability store violation at effective %a" Ring.pp
+        effective
+  | Cap_exec_violation { ring } ->
+      Format.fprintf ppf "capability execute violation in %a" Ring.pp ring
+  | Cap_seal_violation { wordno; gates } ->
+      Format.fprintf ppf
+        "sealed-entry violation: word %d not among %d entry capabilities"
+        wordno gates
+  | Cap_attenuation_violation { effective; limit } ->
+      Format.fprintf ppf
+        "capability attenuation violation: effective %a exceeds limit %a"
+        Ring.pp effective Ring.pp limit
+  | Cap_tag_violation { addr; segno } ->
+      Format.fprintf ppf
+        "capability tag violation: untagged word at absolute %08o (segment \
+         %d descriptor)"
+        addr segno
 
 let to_string t = Format.asprintf "%a" pp t

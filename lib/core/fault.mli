@@ -101,6 +101,37 @@ type t =
           {!Watchdog_timeout}, so co-tenants keep running.  Not an
           access violation: the program's references were all legal —
           it merely ran out of paid-for machine. *)
+  (* Capability-backend conditions ({!Isa.Machine.Ring_capability}).
+     The capability machine refuses exactly the references the ring
+     hardware refuses — the verdicts are aligned by construction (see
+     {!Backend.cap_fault_of}) — but reports them in capability terms:
+     bounds + permission masks instead of brackets, sealed entry
+     capabilities instead of gates, monotonic attenuation instead of
+     the bracket rules. *)
+  | Cap_load_violation of { effective : Ring.t }
+      (** The load capability derived for the effective domain carries
+          no read permission (covers both the missing read flag and a
+          read-bracket breach). *)
+  | Cap_store_violation of { effective : Ring.t }
+      (** The store capability carries no write permission. *)
+  | Cap_exec_violation of { ring : Ring.t }
+      (** The code capability carries no execute permission for the
+          fetching domain. *)
+  | Cap_seal_violation of { wordno : int; gates : int }
+      (** Cross-domain CALL target is not one of the segment's [gates]
+          sealed entry capabilities (the capability reading of a gate
+          violation). *)
+  | Cap_attenuation_violation of { effective : Ring.t; limit : Ring.t }
+      (** A derived capability would be less attenuated than its
+          parent: the effective domain exceeds what the holding
+          domain may delegate (covers raised effective rings,
+          out-of-extension calls and ring-changing transfers). *)
+  | Cap_tag_violation of { addr : int; segno : int }
+      (** A descriptor word consulted during translation has a clear
+          validity tag: something overwrote an in-memory capability
+          through a data store.  Like {!Parity_error} this is machine
+          damage, not a program error — the supervisor scrubs and
+          re-tags or quarantines. *)
 
 val code : t -> int
 (** A stable small integer per constructor — the trap vector slot the

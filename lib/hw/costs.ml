@@ -4,3 +4,5 @@ let instruction_overhead = 1
 let ring_check = 0
 let trap_entry = 10
 let trap_restore = 10
+let cap_seal = 2
+let cap_unseal = 3

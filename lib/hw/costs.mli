@@ -31,3 +31,16 @@ val trap_entry : int
 
 val trap_restore : int
 (** The privileged instruction restoring saved processor state: 10. *)
+
+val cap_seal : int
+(** Sealing a capability (minting the caller's sealed return
+    capability at a cross-domain CALL): 2.  Charged only by the
+    capability backend; hardware and 645 cycle accounting never sees
+    it. *)
+
+val cap_unseal : int
+(** Unsealing a capability (checking the sealed entry at CALL, or the
+    sealed return at RETURN): 3.  A capability crossing therefore
+    costs [cap_unseal + cap_seal] extra on the way down and
+    [cap_unseal] on the way back — an order of magnitude below the 645
+    trap round trip. *)

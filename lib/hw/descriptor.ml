@@ -29,8 +29,17 @@ let store_sdw mem (dbr : Registers.dbr) ~segno sdw =
       (Printf.sprintf "Descriptor.store_sdw: segno %d outside DBR bound %d"
          segno dbr.bound);
   let w0, w1 = Sdw.encode sdw in
-  Memory.write_silent mem (dbr.base + (words_per_sdw * segno)) w0;
-  Memory.write_silent mem (dbr.base + (words_per_sdw * segno) + 1) w1
+  let a0 = dbr.base + (words_per_sdw * segno) in
+  Memory.write_silent mem a0 w0;
+  Memory.write_silent mem (a0 + 1) w1;
+  (* In the capability backend every installed SDW is a capability at
+     rest: mint its validity tags.  [store_sdw] is the kernel's only
+     descriptor-install path, so tags exist exactly on words the
+     kernel wrote — any other store clears them. *)
+  if Memory.tags_enabled mem then begin
+    Memory.set_tag mem a0;
+    Memory.set_tag mem (a0 + 1)
+  end
 
 let translate (sdw : Sdw.t) ~segno ~wordno =
   if Sdw.contains sdw ~wordno then Ok (sdw.base + wordno)

@@ -8,6 +8,13 @@ type t = {
      path — one array store, no branch on the hot path. *)
   dirty : bool array;
   mutable dirty_generation : int;
+  (* Validity tags, one byte per word — the capability backend's tag
+     store.  Zero-length (and therefore branch-free to test) unless
+     [enable_tags] ran: the hardware and 645 machines never allocate
+     it, so their write path is untouched.  When enabled, every store
+     clears the written word's tag; only {!set_tag} (the kernel
+     installing a capability) sets one. *)
+  mutable tags : Bytes.t;
 }
 
 let default_size = 1 lsl 21
@@ -25,6 +32,7 @@ let create ?(size = default_size) counters =
     on_write = ignore_write;
     dirty = Array.make ((size + page_words - 1) lsr page_shift) false;
     dirty_generation = 0;
+    tags = Bytes.empty;
   }
 
 let size t = Array.length t.words
@@ -43,6 +51,7 @@ let write_silent t addr w =
   check t addr;
   t.words.(addr) <- Word.of_int w;
   t.dirty.(addr lsr page_shift) <- true;
+  if Bytes.length t.tags <> 0 then Bytes.unsafe_set t.tags addr '\000';
   t.on_write addr
 
 let read t addr =
@@ -70,3 +79,36 @@ let clear_dirty t =
   t.dirty_generation <- t.dirty_generation + 1
 
 let dirty_generation t = t.dirty_generation
+
+(* {1 Validity tags} *)
+
+let enable_tags t =
+  if Bytes.length t.tags = 0 then
+    t.tags <- Bytes.make (Array.length t.words) '\000'
+
+let tags_enabled t = Bytes.length t.tags <> 0
+
+let set_tag t addr =
+  check t addr;
+  if Bytes.length t.tags = 0 then
+    invalid_arg "Memory.set_tag: tag store not enabled";
+  Bytes.unsafe_set t.tags addr '\001'
+
+let clear_tag t addr =
+  check t addr;
+  if Bytes.length t.tags <> 0 then Bytes.unsafe_set t.tags addr '\000'
+
+let tagged t addr =
+  check t addr;
+  Bytes.length t.tags <> 0 && Bytes.unsafe_get t.tags addr = '\001'
+
+let tagged_addrs t =
+  let acc = ref [] in
+  for a = Bytes.length t.tags - 1 downto 0 do
+    if Bytes.unsafe_get t.tags a = '\001' then acc := a :: !acc
+  done;
+  !acc
+
+let clear_tags t =
+  if Bytes.length t.tags <> 0 then
+    Bytes.fill t.tags 0 (Bytes.length t.tags) '\000'

@@ -64,3 +64,36 @@ val clear_dirty : t -> unit
 val dirty_generation : t -> int
 (** Number of {!clear_dirty} calls so far — stamps which capture epoch
     a dirty set belongs to. *)
+
+(** {1 Validity tags}
+
+    One tag bit per word — the capability backend's tag store.  The
+    store is lazily allocated: until {!enable_tags} runs, every
+    operation below is a single length test and the write path carries
+    no extra work, so the hardware and 645 machines are untouched.
+    When enabled, {b every} store clears the written word's tag (a
+    forged descriptor is just data); only {!set_tag} — the kernel
+    installing a capability — sets one. *)
+
+val enable_tags : t -> unit
+(** Allocate the tag store (all words untagged).  Idempotent. *)
+
+val tags_enabled : t -> bool
+
+val set_tag : t -> int -> unit
+(** Mark a word as holding a valid capability.  Raises
+    [Invalid_argument] when the tag store is not enabled: only the
+    capability machine may mint tags. *)
+
+val clear_tag : t -> int -> unit
+(** Explicitly untag a word.  No-op when tags are disabled. *)
+
+val tagged : t -> int -> bool
+(** [false] whenever tags are disabled. *)
+
+val tagged_addrs : t -> int list
+(** Absolute addresses of all tagged words, ascending — what the
+    snapshot codec serializes. *)
+
+val clear_tags : t -> unit
+(** Untag every word (snapshot restore resets then re-applies). *)

@@ -27,7 +27,7 @@ let rec indirect m ~depth ~effective (addr : Hw.Addr.t) =
           let effective =
             match m.Machine.mode with
             | Machine.Ring_software_645 -> effective
-            | Machine.Ring_hardware ->
+            | Machine.Ring_hardware | Machine.Ring_capability ->
                 let container_write_top =
                   if m.Machine.use_r1_in_indirection then
                     Rings.Brackets.write_bracket_top
@@ -62,7 +62,7 @@ let compute m (instr : Instr.t) =
                 let effective =
                   match m.Machine.mode with
                   | Machine.Ring_software_645 -> effective
-                  | Machine.Ring_hardware ->
+                  | Machine.Ring_hardware | Machine.Ring_capability ->
                       Rings.Effective_ring.via_pointer_register effective
                         ~pr_ring:p.Hw.Registers.ring
                 in

@@ -46,12 +46,7 @@ let transfer m instr operand =
   let regs = m.Machine.regs in
   let exec = regs.Hw.Registers.ipr.Hw.Registers.ring in
   let* sdw, _abs = Machine.resolve m addr in
-  let* () =
-    match m.Machine.mode with
-    | Machine.Ring_hardware ->
-        Rings.Policy.validate_transfer sdw.Hw.Sdw.access ~exec ~effective
-    | Machine.Ring_software_645 -> Machine.validate_fetch m sdw ~ring:exec
-  in
+  let* () = Machine.validate_transfer m sdw ~exec ~effective in
   regs.Hw.Registers.ipr <- { Hw.Registers.ring = exec; addr };
   Ok Continue
 

@@ -1,4 +1,13 @@
-type mode = Ring_hardware | Ring_software_645
+type mode = Ring_hardware | Ring_software_645 | Ring_capability
+
+(* Which per-access decision procedure a mode runs.  The machine keeps
+   [mode] (the capability backend also changes CALL/RETURN mechanics
+   and enables the tag store); the backend is what the per-reference
+   validations dispatch on. *)
+let backend_of_mode = function
+  | Ring_hardware -> Rings.Backend.Hardware
+  | Ring_software_645 -> Rings.Backend.Software_645
+  | Ring_capability -> Rings.Backend.Capability
 
 type saved_state = { regs : Hw.Registers.t; fault : Rings.Fault.t }
 
@@ -122,6 +131,9 @@ type t = {
   spans : Trace.Span.tracker;
   profile : Trace.Profile.t;
   mode : mode;
+  backend : Rings.Backend.t;
+      (* [backend_of_mode mode], cached: the validate_* calls sit on
+         the per-reference hot path and must not re-match the mode. *)
   stack_rule : Rings.Stack_rule.t;
   gate_on_same_ring : bool;
   use_r1_in_indirection : bool;
@@ -152,6 +164,7 @@ type t = {
   mutable io_fail_pending : bool;
   mutable on_recovery : Rings.Fault.t -> unit;
   mutable cycle_limit : int option;
+  mutable cap_stack : Cap.Capability.sealed_return list;
 }
 
 let cache_capacity = 64
@@ -286,6 +299,7 @@ let create ?(mode = Ring_hardware)
       spans = Trace.Span.create ();
       profile = Trace.Profile.create ~rings:Rings.Ring.count ();
       mode;
+      backend = backend_of_mode mode;
       stack_rule;
       gate_on_same_ring;
       use_r1_in_indirection;
@@ -316,8 +330,15 @@ let create ?(mode = Ring_hardware)
       io_fail_pending = false;
       on_recovery = (fun _ -> ());
       cycle_limit = None;
+      cap_stack = [];
     }
   in
+  (* The capability machine carries validity tags on memory words;
+     allocating the tag store only here keeps the other two backends'
+     write path untouched. *)
+  if mode = Ring_capability then Hw.Memory.enable_tags mem;
+  Trace.Span.set_backend t.spans
+    (Rings.Backend.to_string (backend_of_mode mode));
   Hw.Memory.set_write_observer t.mem (on_memory_write t);
   (* Instruction events defer their disassembly to export time; the
      log resolves it by silently re-decoding the segment image.  Both
@@ -382,6 +403,28 @@ let sync_dbr_base t base =
   end;
   t.sdw_cache_base <- base
 
+(* Capability backend only: an SDW read from core is trusted only if
+   both of its words still carry validity tags.  [store_sdw] — the
+   kernel's descriptor-install path — mints the tags; any other store
+   (including injected corruption, which writes through the
+   coherence-preserving silent path) clears them, so a forged or
+   damaged descriptor refuses with {!Rings.Fault.Cap_tag_violation}
+   instead of being decoded and obeyed.  Runs only after a successful
+   walk, so [segno] is within the DBR bound and the addresses are in
+   range.  Modeled-hit paths skip the check by design: a store over
+   the words always demotes the modeled tag first (the write
+   observer), forcing the checked refill. *)
+let check_sdw_tags t (dbr : Hw.Registers.dbr) ~segno =
+  if t.mode <> Ring_capability then Ok ()
+  else begin
+    let a0 = dbr.Hw.Registers.base + (Hw.Descriptor.words_per_sdw * segno) in
+    if not (Hw.Memory.tagged t.mem a0) then
+      Error (Rings.Fault.Cap_tag_violation { addr = a0; segno })
+    else if not (Hw.Memory.tagged t.mem (a0 + 1)) then
+      Error (Rings.Fault.Cap_tag_violation { addr = a0 + 1; segno })
+    else Ok ()
+  end
+
 (* Modeled hit whose host-side decode was invalidated by a write:
    refetch silently and heal the tag.  The modeled activity is the hit
    already bumped by the caller — nothing further is charged. *)
@@ -389,10 +432,13 @@ let refill_tag t dbr ~base ~segno key =
   Trace.Counters.bump_sdw_cache_misses t.counters;
   match Hw.Descriptor.fetch_sdw_silent t.mem dbr ~segno with
   | Error _ as e -> e
-  | Ok sdw ->
-      Hashtbl.replace t.sdw_tags key sdw;
-      host_insert_sdw t ~base ~segno key sdw;
-      Ok sdw
+  | Ok sdw -> (
+      match check_sdw_tags t dbr ~segno with
+      | Error _ as e -> e
+      | Ok () ->
+          Hashtbl.replace t.sdw_tags key sdw;
+          host_insert_sdw t ~base ~segno key sdw;
+          Ok sdw)
 
 (* Modeled miss: the two SDW words are read from core — charged as
    memory traffic exactly as before the host cache split.  The host
@@ -417,11 +463,14 @@ let fetch_sdw_miss t dbr ~base ~segno key =
       Trace.Counters.bump_sdw_cache_misses t.counters;
       match Hw.Descriptor.fetch_sdw t.mem dbr ~segno with
       | Error _ as e -> e
-      | Ok sdw ->
+      | Ok sdw -> (
           Trace.Counters.charge t.counters (2 * Hw.Costs.memory_access);
-          tag_insert t key sdw;
-          host_insert_sdw t ~base ~segno key sdw;
-          Ok sdw)
+          match check_sdw_tags t dbr ~segno with
+          | Error _ as e -> e
+          | Ok () ->
+              tag_insert t key sdw;
+              host_insert_sdw t ~base ~segno key sdw;
+              Ok sdw))
 
 let fetch_sdw t ~segno =
   let dbr = t.regs.Hw.Registers.dbr in
@@ -584,11 +633,7 @@ let fetch_decoded t abs =
           Ok instr)
 
 let validate_fetch t (sdw : Hw.Sdw.t) ~ring =
-  match t.mode with
-  | Ring_hardware -> Rings.Policy.validate_fetch sdw.access ~ring
-  | Ring_software_645 ->
-      if sdw.access.Rings.Access.execute then Ok ()
-      else Error Rings.Fault.No_execute_permission
+  Rings.Backend.validate_fetch t.backend sdw.access ~ring
 
 (* Whole-fetch memoization: translation, execute validation, word
    read and decode collapsed into one lookup.  An entry is filled
@@ -667,18 +712,13 @@ let fetch_instr t =
   else fetch_instr_slow t ipr key
 
 let validate_read t (sdw : Hw.Sdw.t) ~effective =
-  match t.mode with
-  | Ring_hardware -> Rings.Policy.validate_read sdw.access ~effective
-  | Ring_software_645 ->
-      if sdw.access.Rings.Access.read then Ok ()
-      else Error Rings.Fault.No_read_permission
+  Rings.Backend.validate_read t.backend sdw.access ~effective
 
 let validate_write t (sdw : Hw.Sdw.t) ~effective =
-  match t.mode with
-  | Ring_hardware -> Rings.Policy.validate_write sdw.access ~effective
-  | Ring_software_645 ->
-      if sdw.access.Rings.Access.write then Ok ()
-      else Error Rings.Fault.No_write_permission
+  Rings.Backend.validate_write t.backend sdw.access ~effective
+
+let validate_transfer t (sdw : Hw.Sdw.t) ~exec ~effective =
+  Rings.Backend.validate_transfer t.backend sdw.access ~exec ~effective
 
 let take_fault t ~at fault =
   Trace.Counters.bump_traps t.counters;

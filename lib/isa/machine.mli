@@ -1,6 +1,6 @@
 (** A simulated processor plus its memory: the unit the CPU steps.
 
-    A machine runs in one of two ring modes:
+    A machine runs in one of three protection modes:
 
     - {!Ring_hardware}: the paper's proposal.  The bracket and gate
       fields of each SDW are honoured on every reference, the
@@ -16,10 +16,25 @@
       RETURN never switch rings, and any cross-ring transfer surfaces
       as a fault for the software gatekeeper.
 
-    The two ablation switches exist only for the benches and tests
-    that demonstrate why the corresponding rule is in the paper. *)
+    - {!Ring_capability}: the capability-machine reading of the same
+      layout.  Memory words carry validity tags ({!Hw.Memory} tag
+      store) and every installed SDW is a capability at rest: the
+      permission mask a domain holds on a segment is derived from the
+      SDW access field and, by construction, agrees with the bracket
+      predicate — so the backend admits exactly the references the
+      hardware admits, refusing in capability vocabulary.  Gate words
+      become sealed entry capabilities, the crossing stack discipline
+      becomes sealed return capabilities ([cap_stack]), and bracket
+      nesting becomes monotonic attenuation.  See docs/CAPABILITIES.md.
 
-type mode = Ring_hardware | Ring_software_645
+    The per-access decision procedure behind each mode lives in
+    {!Rings.Backend}; the two ablation switches exist only for the
+    benches and tests that demonstrate why the corresponding rule is
+    in the paper. *)
+
+type mode = Ring_hardware | Ring_software_645 | Ring_capability
+
+val backend_of_mode : mode -> Rings.Backend.t
 
 type saved_state = {
   regs : Hw.Registers.t;  (** Deep copy; IPR at the faulting instruction. *)
@@ -79,6 +94,9 @@ type t = {
       (** Per-ring / per-segment cycle and instruction attribution,
           filled by {!Cpu.step} when enabled. *)
   mode : mode;
+  backend : Rings.Backend.t;
+      (** [backend_of_mode mode], cached off the per-reference hot
+          path. *)
   stack_rule : Rings.Stack_rule.t;
   gate_on_same_ring : bool;
       (** Ablation: when false, same-ring CALLs skip the gate check. *)
@@ -202,6 +220,15 @@ type t = {
           not machine state: the dispatcher arms it before a tenant's
           slice and disarms it after, so it is always [None] at
           checkpoint boundaries and is not serialized. *)
+  mutable cap_stack : Cap.Capability.sealed_return list;
+      (** Capability mode's crossing stack: each cross-domain CALL
+          pushes the caller's continuation sealed under the caller's
+          domain, and the matching RETURN unseals and pops it.  Pops
+          are lenient — the outward-return trampoline executes an
+          upward RETN with no matching hardware CALL, so a top entry
+          sealed under a different domain is simply left in place.
+          Always [[]] in the other two modes; serialized in
+          snapshots. *)
 }
 
 val create :
@@ -243,9 +270,12 @@ val disassemble_at : t -> segno:int -> wordno:int -> string option
 
 (** {1 Mode-dependent validation}
 
-    In hardware mode these apply the {!Rings.Policy} bracket rules; in
-    645 mode only the flags are consulted (the per-ring descriptor
-    segment is what makes the flags ring-specific). *)
+    Each of these dispatches through {!Rings.Backend.t} for the
+    machine's mode: the hardware applies the {!Rings.Policy} bracket
+    rules, the 645 consults only the flags (the per-ring descriptor
+    segment is what makes the flags ring-specific), and the capability
+    backend runs the derived-capability check, which refuses exactly
+    where the hardware refuses but in capability vocabulary. *)
 
 val validate_fetch :
   t -> Hw.Sdw.t -> ring:Rings.Ring.t -> (unit, Rings.Fault.t) result
@@ -261,6 +291,15 @@ val validate_write :
   Hw.Sdw.t ->
   effective:Rings.Effective_ring.t ->
   (unit, Rings.Fault.t) result
+
+val validate_transfer :
+  t ->
+  Hw.Sdw.t ->
+  exec:Rings.Ring.t ->
+  effective:Rings.Effective_ring.t ->
+  (unit, Rings.Fault.t) result
+(** Ordinary (non-CALL/RETURN) transfer validation — what {!Exec}
+    applies to TRA-family targets. *)
 
 val invalidate_sdw : t -> segno:int -> unit
 (** Drop any associative-memory entries for [segno] (under every

@@ -27,6 +27,7 @@ type tenant = {
   kind : string;
   adversarial : bool;
   ring : int;
+  paged : bool;
   start : string * string;
   segments : (string * Acl.entry list * string) list;
 }
@@ -89,7 +90,7 @@ let verdict_of_exit (e : Kernel.exit) =
   | Kernel.Out_of_budget -> "over budget"
   | Kernel.Preempted | Kernel.Blocked | Kernel.Gatekeeper_error _ -> "stuck"
 
-let run_wave ?(quantum = 50) ?inject ~quota ~wave tenants =
+let run_wave ?mode ?(quantum = 50) ?inject ~quota ~wave tenants =
   let tenants = List.sort (fun a b -> compare a.id b.id) tenants in
   if List.length tenants > wave_capacity then
     invalid_arg "Arena.run_wave: more tenants than machine regions";
@@ -100,7 +101,7 @@ let run_wave ?(quantum = 50) ?inject ~quota ~wave tenants =
         (fun (name, acl, src) -> Store.add_source store ~name ~acl src)
         t.segments)
     tenants;
-  let sys = System.create ~store () in
+  let sys = System.create ?mode ~store () in
   let m = System.machine sys in
   let counters = m.Isa.Machine.counters in
   let violations = ref [] in
@@ -124,7 +125,7 @@ let run_wave ?(quantum = 50) ?inject ~quota ~wave tenants =
     List.map
       (fun (t : tenant) ->
         match
-          System.spawn sys ~pname:t.name ~user:t.name
+          System.spawn sys ~paged:t.paged ~pname:t.name ~user:t.name
             ~segments:(List.map (fun (n, _, _) -> n) t.segments)
             ~start:t.start ~ring:t.ring
         with
@@ -314,10 +315,10 @@ let assemble ~seed ~quota results =
       List.concat_map (fun (r : wave_result) -> r.violations) results;
   }
 
-let run ?quantum ?inject ?(quota = default_quota) ~seed tenants =
+let run ?mode ?quantum ?inject ?(quota = default_quota) ~seed tenants =
   let results =
     List.map
-      (fun (wave, ts) -> run_wave ?quantum ?inject ~quota ~wave ts)
+      (fun (wave, ts) -> run_wave ?mode ?quantum ?inject ~quota ~wave ts)
       (waves tenants)
   in
   assemble ~seed ~quota results

@@ -48,6 +48,7 @@ type tenant = {
   kind : string;  (** Generator label, e.g. ["gate-squeeze"]. *)
   adversarial : bool;
   ring : int;  (** Ring of execution — outer rings for guests. *)
+  paged : bool;  (** Demand-page the tenant's own segments. *)
   start : string * string;  (** [(segment, entry symbol)]. *)
   segments : (string * Acl.entry list * string) list;
       (** [(name, acl, source)] — added to the wave's store, then to
@@ -89,6 +90,7 @@ type wave_result = {
 }
 
 val run_wave :
+  ?mode:Isa.Machine.mode ->
   ?quantum:int ->
   ?inject:Hw.Inject.plan ->
   quota:quota ->
@@ -96,7 +98,10 @@ val run_wave :
   tenant list ->
   wave_result
 (** Run one wave (at most {!wave_capacity} tenants) on a fresh store
-    and machine.  Admission checks the memory quota before the first
+    and machine under protection backend [mode] (default
+    {!Isa.Machine.Ring_hardware}; under {!Isa.Machine.Ring_capability}
+    the cross-tenant auditor additionally re-checks isolation in
+    capability terms).  Admission checks the memory quota before the first
     slice; {!System.run}'s [before_slice] hook arms the machine's
     cycle ceiling at the tenant's remaining allowance and
     [after_slice] bills the slice and resolves breaches.  With
@@ -124,6 +129,7 @@ val assemble : seed:int -> quota:quota -> wave_result list -> report
     e.g. from racing domains — cannot perturb the report). *)
 
 val run :
+  ?mode:Isa.Machine.mode ->
   ?quantum:int ->
   ?inject:Hw.Inject.plan ->
   ?quota:quota ->

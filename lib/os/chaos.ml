@@ -30,7 +30,11 @@ type report = {
 let expected_sdw (p : Process.t) dbr_index ~paged ~base ~bound
     (access : Rings.Access.t) =
   match p.Process.machine.Isa.Machine.mode with
-  | Isa.Machine.Ring_hardware -> Hw.Sdw.v ~paged ~base ~bound access
+  | Isa.Machine.Ring_hardware | Isa.Machine.Ring_capability ->
+      (* The capability backend derives its authority from the same
+         full-fidelity SDW words; only the validity tags differ, and
+         those are audited separately. *)
+      Hw.Sdw.v ~paged ~base ~bound access
   | Isa.Machine.Ring_software_645 ->
       let b = access.Rings.Access.brackets in
       let ring = Rings.Ring.v dbr_index in
@@ -192,7 +196,45 @@ let check_cross_tenant sys =
         segnos;
       List.iter
         (fun (base, len) -> check "descriptor/page-table range" base len)
-        (Process.descriptor_ranges p))
+        (Process.descriptor_ranges p);
+      (* Capability reading of the same isolation claim.  Under the
+         capability backend a descriptor word only conveys authority
+         while its validity tag stands (an untagged word faults on
+         use, which is safe), so the audit walks every *tagged* SDW in
+         the tenant's descriptor segment, re-derives the capability it
+         would decode into, and demands its region stay inside the
+         tenant's own: no live capability may span a co-tenant. *)
+      let mem = p.Process.machine.Isa.Machine.mem in
+      if Hw.Memory.tags_enabled mem then
+        Array.iter
+          (fun (dbr : Hw.Registers.dbr) ->
+            for segno = 0 to dbr.Hw.Registers.bound - 1 do
+              let a0 = dbr.Hw.Registers.base + (2 * segno) in
+              if Hw.Memory.tagged mem a0 && Hw.Memory.tagged mem (a0 + 1)
+              then
+                match Hw.Descriptor.fetch_sdw_silent mem dbr ~segno with
+                | Error _ -> ()
+                | Ok sdw ->
+                    if not sdw.Hw.Sdw.paged then
+                      let c =
+                        Cap.Capability.of_access sdw.Hw.Sdw.access
+                          ~ring:Rings.Ring.r0 ~base:sdw.Hw.Sdw.base
+                          ~bound:sdw.Hw.Sdw.bound
+                      in
+                      if
+                        c.Cap.Capability.base < lo
+                        || c.Cap.Capability.base + c.Cap.Capability.bound
+                           > hi
+                      then
+                        note
+                          (Printf.sprintf
+                             "%s: tagged capability for segment %d grants \
+                              [%d,%d) outside its region [%d,%d)"
+                             e.System.pname segno c.Cap.Capability.base
+                             (c.Cap.Capability.base + c.Cap.Capability.bound)
+                             lo hi)
+            done)
+          p.Process.descsegs)
     (System.entries sys);
   List.rev !faults
 
@@ -293,9 +335,10 @@ let documented = function
 
 (* {1 The campaign runner} *)
 
-let run_one ~campaign plan ~quantum ~exits ~violations ~recovery_latency =
+let run_one ?mode ~campaign plan ~quantum ~exits ~violations
+    ~recovery_latency =
   let store = build_store () in
-  let sys = System.create ~store () in
+  let sys = System.create ?mode ~store () in
   let m = System.machine sys in
   Trace.Span.set_enabled m.Isa.Machine.spans true;
   let spawn ~pname ~user ~segments ~start ~ring =
@@ -394,7 +437,7 @@ let run_one ~campaign plan ~quantum ~exits ~violations ~recovery_latency =
         Trace.Counters.degraded c )
   | _ -> (0, 0, 0, 0, 0)
 
-let run_campaigns ?(campaigns = 10) ?(quantum = 40) plan =
+let run_campaigns ?mode ?(campaigns = 10) ?(quantum = 40) plan =
   let exits = ref [] in
   let violations = ref [] in
   let recovery_latency = Trace.Histogram.create () in
@@ -408,7 +451,7 @@ let run_campaigns ?(campaigns = 10) ?(quantum = 40) plan =
       { plan with Hw.Inject.seed = plan.Hw.Inject.seed + (campaign * 7919) }
     in
     let i, rt, rc, q, d =
-      run_one ~campaign derived ~quantum ~exits ~violations
+      run_one ?mode ~campaign derived ~quantum ~exits ~violations
         ~recovery_latency
     in
     injected := !injected + i;

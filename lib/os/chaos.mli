@@ -59,16 +59,28 @@ val check_cross_tenant : System.t -> string list
 (** Arena isolation audit: every word a process's address translation
     can reach (direct segments, descriptor segments, page tables)
     must lie inside the memory region it was assigned at spawn, so no
-    tenant's SDWs can name another tenant's memory.  Meaningful only
-    for systems spawned without [?shared] mappings — the arena; the
-    standard chaos workload shares segments deliberately. *)
+    tenant's SDWs can name another tenant's memory.  Under the
+    capability backend the same claim is re-checked in capability
+    terms: every {e tagged} (still-live) descriptor word is re-derived
+    into the capability it decodes to, whose [base, base+bound) region
+    must stay inside the tenant's own.  Meaningful only for systems
+    spawned without [?shared] mappings — the arena; the standard chaos
+    workload shares segments deliberately. *)
 
 val run_campaigns :
-  ?campaigns:int -> ?quantum:int -> Hw.Inject.plan -> report
+  ?mode:Isa.Machine.mode ->
+  ?campaigns:int ->
+  ?quantum:int ->
+  Hw.Inject.plan ->
+  report
 (** Run [campaigns] (default 10) independent campaigns under plans
     derived from the given base plan (campaign [i] uses seed
     [seed + i * 7919]); [quantum] (default 40) is the dispatcher's
-    time slice. *)
+    time slice.  [mode] selects the protection backend of the systems
+    built (default {!Isa.Machine.Ring_hardware}) — under
+    {!Isa.Machine.Ring_capability}, descriptor damage surfaces as
+    {!Rings.Fault.Cap_tag_violation} and recovery runs the kernel's
+    re-tag path, so per-backend recovery latencies are comparable. *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -53,3 +53,9 @@ val parity_scrub : int
 val io_retry_setup : int
 (** Re-arming a channel program after a reported transfer error: 20.
     Charged per retry, in addition to the re-armed channel latency. *)
+
+val cap_retag : int
+(** Supervisor reinstallation of a descriptor whose validity tags were
+    refused by the capability backend — re-deriving the SDW from the
+    kernel's own segment tables and re-minting its tags: 35.  Charged
+    only on the capability tag-violation recovery path. *)

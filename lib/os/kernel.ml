@@ -29,7 +29,10 @@ let handle_fault_inner p fault : (unit, exit) result =
   match fault with
   | Rings.Fault.Upward_call _ -> (
       match p.Process.machine.Isa.Machine.mode with
-      | Isa.Machine.Ring_hardware ->
+      | Isa.Machine.Ring_hardware | Isa.Machine.Ring_capability ->
+          (* The capability backend passes the upward-call refusal
+             through in hardware vocabulary precisely so this
+             emulation engages unchanged. *)
           gatekeeper (Outward.handle_upward_call p fault)
       | Isa.Machine.Ring_software_645 ->
           Error
@@ -178,6 +181,51 @@ let handle_fault_inner p fault : (unit, exit) result =
         m.Isa.Machine.saved <- None;
         m.Isa.Machine.on_recovery fault;
         Error (Quarantined Rings.Fault.Io_error)
+      end
+  | Rings.Fault.Cap_tag_violation { addr; segno } ->
+      (* The capability backend refused a descriptor whose validity
+         tags are gone — some store (in practice, an injected parity
+         hit followed by the scrub, both of which clear tags) rewrote
+         its words.  The kernel is the authority on what it installed:
+         re-derive the SDW from its own segment tables and store it
+         through the install path, which re-mints the tags.  Billed
+         against the same per-process fault budget as parity damage,
+         so a tenant whose descriptors keep getting hit still
+         quarantines. *)
+      let m = p.Process.machine in
+      let counters = m.Isa.Machine.counters in
+      let repaired = Process.reinstall_sdw p ~segno in
+      Trace.Counters.charge counters Costs.cap_retag;
+      p.Process.fault_count <- p.Process.fault_count + 1;
+      let budget =
+        match m.Isa.Machine.injector with
+        | Some i -> (Hw.Inject.plan i).Hw.Inject.fault_budget
+        | None -> max_int
+      in
+      if Trace.Event.enabled m.Isa.Machine.log then
+        Trace.Event.record_gatekeeper m.Isa.Machine.log
+          ~action:
+            (Printf.sprintf "capability tag violation at %08o seg %d %s" addr
+               segno
+               (if repaired then "descriptor reinstalled, tags re-minted"
+                else "segment unknown"));
+      close_recovery m;
+      if not repaired then begin
+        m.Isa.Machine.saved <- None;
+        m.Isa.Machine.on_recovery fault;
+        Error (Terminated fault)
+      end
+      else if p.Process.fault_count > budget then begin
+        Trace.Counters.bump_quarantined counters;
+        m.Isa.Machine.saved <- None;
+        m.Isa.Machine.on_recovery fault;
+        Error (Quarantined fault)
+      end
+      else begin
+        Trace.Counters.bump_recovered counters;
+        Isa.Machine.restore_saved m;
+        m.Isa.Machine.on_recovery fault;
+        Ok ()
       end
   | Rings.Fault.Quota_exhausted _ ->
       (* A billing limit, not a machine failure: the arena policy armed

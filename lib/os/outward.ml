@@ -123,7 +123,7 @@ let enter_upward p ~caller_state ~to_ring ~target =
     };
   Hw.Registers.restore regs ~from:caller_state;
   (match m.Isa.Machine.mode with
-  | Isa.Machine.Ring_hardware -> ()
+  | Isa.Machine.Ring_hardware | Isa.Machine.Ring_capability -> ()
   | Isa.Machine.Ring_software_645 ->
       (* The descriptor-switch cost was charged by the 645 gatekeeper;
          the restore above reinstated the caller's DBR, so just point

@@ -66,7 +66,10 @@ let install_sdw ?(paged = false) t ~segno ~base ~bound
     (if paged then Paged_at { pt_base = base; bound }
      else Direct { base; bound });
   match t.machine.Isa.Machine.mode with
-  | Isa.Machine.Ring_hardware ->
+  | Isa.Machine.Ring_hardware | Isa.Machine.Ring_capability ->
+      (* In capability mode [store_sdw] also mints the SDW words'
+         validity tags: the install path is what makes a descriptor a
+         capability at rest. *)
       Hw.Descriptor.store_sdw t.machine.Isa.Machine.mem t.descsegs.(0)
         ~segno
         (Hw.Sdw.v ~paged ~base ~bound access)
@@ -91,6 +94,23 @@ let install_sdw ?(paged = false) t ~segno ~base ~bound
           Hw.Descriptor.store_sdw t.machine.Isa.Machine.mem dbr ~segno
             (Hw.Sdw.v ~paged ~base ~bound flags))
         t.descsegs
+
+(* Recovery path for the capability backend's tag check: the kernel is
+   the authority on what it installed, so an SDW whose validity tags
+   were refused is re-derived from the kernel's own tables and stored
+   afresh — which also re-mints the tags.  [false] when the segment
+   was never installed: nothing to restore, the refusal stands. *)
+let reinstall_sdw t ~segno =
+  match
+    (Hashtbl.find_opt t.ring_data segno, Hashtbl.find_opt t.placement segno)
+  with
+  | Some access, Some (Direct { base; bound }) ->
+      install_sdw t ~segno ~base ~bound access;
+      true
+  | Some access, Some (Paged_at { pt_base; bound }) ->
+      install_sdw t ~paged:true ~segno ~base:pt_base ~bound access;
+      true
+  | _ -> false
 
 let alloc t words =
   let bound = Hw.Sdw.round_bound (max words 16) in
@@ -121,7 +141,7 @@ let create ?(mode = Isa.Machine.Ring_hardware)
   let mode = machine.Isa.Machine.mode in
   let ndesc =
     match mode with
-    | Isa.Machine.Ring_hardware -> 1
+    | Isa.Machine.Ring_hardware | Isa.Machine.Ring_capability -> 1
     | Isa.Machine.Ring_software_645 -> Rings.Ring.count
   in
   let descsegs =
@@ -388,7 +408,7 @@ let map_segment t ~name ~base ~bound ~access ~symbols =
 
 let switch_descriptor_segment t ring =
   match t.machine.Isa.Machine.mode with
-  | Isa.Machine.Ring_hardware -> ()
+  | Isa.Machine.Ring_hardware | Isa.Machine.Ring_capability -> ()
   | Isa.Machine.Ring_software_645 ->
       let regs = t.machine.Isa.Machine.regs in
       let target = t.descsegs.(Rings.Ring.to_int ring) in
@@ -503,7 +523,7 @@ let start t ~segment ~entry ~ring =
   (* Select the ring's descriptor segment directly: process startup is
      not a ring crossing and must not be charged as one. *)
   (match t.machine.Isa.Machine.mode with
-  | Isa.Machine.Ring_hardware -> ()
+  | Isa.Machine.Ring_hardware | Isa.Machine.Ring_capability -> ()
   | Isa.Machine.Ring_software_645 ->
       regs.Hw.Registers.dbr <- t.descsegs.(Rings.Ring.to_int r));
   regs.Hw.Registers.ipr <- { Hw.Registers.ring = r; addr };

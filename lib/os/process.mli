@@ -182,6 +182,13 @@ val set_access :
     invalidated).  The gate count is preserved from the loaded
     segment. *)
 
+val reinstall_sdw : t -> segno:int -> bool
+(** Re-derive and store the SDW for [segno] from the process's own
+    segment tables — the capability backend's recovery action after a
+    {!Rings.Fault.Cap_tag_violation}: storing through the install path
+    re-mints the descriptor words' validity tags.  [false] when the
+    segment was never installed (the refusal stands). *)
+
 val pp_layout : Format.formatter -> t -> unit
 (** The virtual memory map: one line per segment number with name,
     placement (direct base or page table), bound and access fields —

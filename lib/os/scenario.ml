@@ -20,6 +20,9 @@ let default_config =
 let software_config =
   { default_config with mode = Isa.Machine.Ring_software_645 }
 
+let capability_config =
+  { default_config with mode = Isa.Machine.Ring_capability }
+
 (* Frame slots used by the generated caller (0 and 1 are fixed by the
    convention): 2 = argument count, 3 = argument ITS, 5 = loop
    counter. *)

@@ -22,6 +22,9 @@ val default_config : config
 val software_config : config
 (** The 645 baseline. *)
 
+val capability_config : config
+(** The capability-machine backend ({!Isa.Machine.Ring_capability}). *)
+
 val caller_source :
   ?arg_symbol:string ->
   callee_link:string ->

@@ -70,7 +70,7 @@ let delta_magic = "RINGDELT"
    span sampler fields (events moved to the binary arena encoding).
    v3: trace section gained the independent instruction-stream sampling
    interval. *)
-let version = 3
+let version = 4
 let header_len = 8 + 8 + 8 + 8
 
 (* FNV-1a 64, truncated to OCaml's 63-bit int (writer and reader
@@ -302,6 +302,18 @@ let w_fault b (f : Rings.Fault.t) =
   | Quota_exhausted { resource; limit } ->
       w_str b resource;
       w_int b limit
+  | Cap_load_violation { effective } | Cap_store_violation { effective } ->
+      w_ring b effective
+  | Cap_exec_violation { ring } -> w_ring b ring
+  | Cap_seal_violation { wordno; gates } ->
+      w_int b wordno;
+      w_int b gates
+  | Cap_attenuation_violation { effective; limit } ->
+      w_ring b effective;
+      w_ring b limit
+  | Cap_tag_violation { addr; segno } ->
+      w_int b addr;
+      w_int b segno
 
 let r_fault r : Rings.Fault.t =
   match r_int r with
@@ -375,6 +387,21 @@ let r_fault r : Rings.Fault.t =
       let resource = r_str r in
       let limit = r_int r in
       Quota_exhausted { resource; limit }
+  | 27 -> Cap_load_violation { effective = r_ring r }
+  | 28 -> Cap_store_violation { effective = r_ring r }
+  | 29 -> Cap_exec_violation { ring = r_ring r }
+  | 30 ->
+      let wordno = r_int r in
+      let gates = r_int r in
+      Cap_seal_violation { wordno; gates }
+  | 31 ->
+      let effective = r_ring r in
+      let limit = r_ring r in
+      Cap_attenuation_violation { effective; limit }
+  | 32 ->
+      let addr = r_int r in
+      let segno = r_int r in
+      Cap_tag_violation { addr; segno }
   | n -> corrupt (Printf.sprintf "bad fault code %d" n)
 
 let w_exit b (e : Kernel.exit) =
@@ -716,7 +743,8 @@ let write_machine_pre b (m : Isa.Machine.t) =
   w_int b
     (match m.Isa.Machine.mode with
     | Isa.Machine.Ring_hardware -> 0
-    | Isa.Machine.Ring_software_645 -> 1);
+    | Isa.Machine.Ring_software_645 -> 1
+    | Isa.Machine.Ring_capability -> 2);
   w_int b
     (match m.Isa.Machine.stack_rule with
     | Rings.Stack_rule.Segno_equals_ring -> 0
@@ -769,7 +797,19 @@ let write_machine_post b (m : Isa.Machine.t) =
   (* Fault injector: RNG, armed-rule positions, poison table.  The
      address ranges themselves are re-registered by the respawn. *)
   w_opt w_inject_dump b
-    (Option.map Hw.Inject.dump m.Isa.Machine.injector)
+    (Option.map Hw.Inject.dump m.Isa.Machine.injector);
+  (* Capability-backend state: the validity-tag population (addresses
+     only — a tag is one bit) and the sealed-return stack.  Both are
+     empty in the other modes, so their cost there is two zero
+     counts. *)
+  w_bool b (Hw.Memory.tags_enabled m.Isa.Machine.mem);
+  w_list w_int b (Hw.Memory.tagged_addrs m.Isa.Machine.mem);
+  w_list
+    (fun b (sr : Cap.Capability.sealed_return) ->
+      w_int b sr.Cap.Capability.sr_otype;
+      w_int b sr.Cap.Capability.sr_segno;
+      w_int b sr.Cap.Capability.sr_wordno)
+    b m.Isa.Machine.cap_stack
 
 let write_machine b (m : Isa.Machine.t) =
   write_machine_pre b m;
@@ -923,6 +963,7 @@ let apply_machine r (m : Isa.Machine.t) =
     match m.Isa.Machine.mode with
     | Isa.Machine.Ring_hardware -> 0
     | Isa.Machine.Ring_software_645 -> 1
+    | Isa.Machine.Ring_capability -> 2
   in
   if r_int r <> mode_tag then shape "machine mode differs";
   let rule_tag =
@@ -989,13 +1030,36 @@ let apply_machine r (m : Isa.Machine.t) =
   List.iter
     (fun k -> Hashtbl.replace m.Isa.Machine.sdw_tags k Hw.Sdw.absent)
     keys;
-  match (r_opt r_inject_dump r, m.Isa.Machine.injector) with
+  (match (r_opt r_inject_dump r, m.Isa.Machine.injector) with
   | None, None -> ()
   | Some d, Some i -> (
       try Hw.Inject.restore i d
       with Invalid_argument msg -> shape msg)
   | Some _, None -> shape "image has a fault injector, this run does not"
-  | None, Some _ -> shape "this run has a fault injector, the image does not"
+  | None, Some _ -> shape "this run has a fault injector, the image does not");
+  (* Capability state.  The tag re-application must come after the
+     memory loop above: restoring a word goes through [write_silent],
+     which clears its tag, so tags written earlier would be erased. *)
+  if r_bool r <> Hw.Memory.tags_enabled mem then
+    shape "capability tag store presence differs";
+  let tagged = r_list r_int r in
+  if Hw.Memory.tags_enabled mem then begin
+    Hw.Memory.clear_tags mem;
+    List.iter
+      (fun a ->
+        if a < 0 || a >= size then corrupt "tag address out of range";
+        Hw.Memory.set_tag mem a)
+      tagged
+  end
+  else if tagged <> [] then corrupt "tagged words without a tag store";
+  m.Isa.Machine.cap_stack <-
+    r_list
+      (fun r ->
+        let sr_otype = r_int r in
+        let sr_segno = r_int r in
+        let sr_wordno = r_int r in
+        { Cap.Capability.sr_otype; sr_segno; sr_wordno })
+      r
 
 let apply_trace r (m : Isa.Machine.t) =
   Trace.Event.set_enabled m.Isa.Machine.log (r_bool r);

@@ -89,6 +89,7 @@ type config = {
   replicas : int;
   batch_window : int;
   image_cap : int;
+  backend : Isa.Machine.mode option;
   watchdog : int option;
   inject : Hw.Inject.plan option;
   preload : (Shard.klass * string) list;
@@ -108,6 +109,7 @@ let default_config ~shards =
     replicas = 16;
     batch_window = 4096;
     image_cap = 8;
+    backend = None;
     watchdog = None;
     inject = None;
     preload = [];
@@ -492,8 +494,9 @@ let run cfg reqs =
   let ring = Route.make ~shards:cfg.shards ~replicas:cfg.replicas in
   let workers =
     Array.init nworkers (fun i ->
-        Shard.create ~id:i ~image_cap:cfg.image_cap ?inject:cfg.inject
-          ?watchdog:cfg.watchdog ?trace:cfg.trace ~preload:cfg.preload ())
+        Shard.create ~id:i ~image_cap:cfg.image_cap ?backend:cfg.backend
+          ?inject:cfg.inject ?watchdog:cfg.watchdog ?trace:cfg.trace
+          ~preload:cfg.preload ())
   in
   (* Outcome facts discovered so far.  A request not yet executed is
      assumed not to trip — the optimistic placement; a wrong guess is

@@ -59,6 +59,10 @@ type config = {
   replicas : int;  (** Virtual ring points per shard. *)
   batch_window : int;  (** Virtual cycles per dispatch window. *)
   image_cap : int;  (** Boot-image cache capacity per shard. *)
+  backend : Isa.Machine.mode option;
+      (** Protection-backend override applied to every shard
+          ({!Shard.create}): the whole fleet serves under hardware
+          rings, 645 software rings or the capability machine. *)
   watchdog : int option;  (** Per-run watchdog budget for every shard. *)
   inject : Hw.Inject.plan option;  (** Fault plan attached to every shard. *)
   preload : (Shard.klass * string) list;

@@ -182,6 +182,7 @@ type slot = {
 type t = {
   sid : int;
   cache : (klass, slot) Hw.Assoc.t;
+  backend : Isa.Machine.mode option;
   inject : Hw.Inject.plan option;
   watchdog : int option;
   trace_cfg : trace_cfg option;
@@ -193,7 +194,8 @@ type t = {
   mutable warm : int;
 }
 
-let create ~id ?(image_cap = 8) ?inject ?watchdog ?trace ?(preload = []) () =
+let create ~id ?(image_cap = 8) ?backend ?inject ?watchdog ?trace
+    ?(preload = []) () =
   (match trace with
   | Some c when c.sample < 1 -> invalid_arg "Shard.create: trace sample < 1"
   | Some c when c.capacity < 1 ->
@@ -203,6 +205,7 @@ let create ~id ?(image_cap = 8) ?inject ?watchdog ?trace ?(preload = []) () =
   {
     sid = id;
     cache = Hw.Assoc.create ~capacity:image_cap ();
+    backend;
     inject;
     watchdog;
     trace_cfg = trace;
@@ -240,7 +243,11 @@ let build_system t prog ~iterations =
   List.iter
     (fun (name, acl, src) -> Os.Store.add_source store ~name ~acl src)
     sources;
-  let sys = Os.System.create ~mode:prog.p_mode ~mem_size:shard_mem ~store () in
+  (* A shard-wide backend override forces every class onto one
+     protection implementation — the three-way bench serves the same
+     catalog under hw, 645 and cap shards and compares. *)
+  let mode = Option.value t.backend ~default:prog.p_mode in
+  let sys = Os.System.create ~mode ~mem_size:shard_mem ~store () in
   match
     Os.System.spawn sys ~paged:prog.p_paged ~pname:"req" ~user:"alice"
       ~segments:(List.map (fun (n, _, _) -> n) sources)

@@ -70,6 +70,7 @@ type t
 val create :
   id:int ->
   ?image_cap:int ->
+  ?backend:Isa.Machine.mode ->
   ?inject:Hw.Inject.plan ->
   ?watchdog:int ->
   ?trace:trace_cfg ->
@@ -77,7 +78,9 @@ val create :
   unit ->
   t
 (** A fresh shard.  [image_cap] bounds the boot-image cache (default
-    8; 0 disables caching).  [inject] attaches the deterministic fault
+    8; 0 disables caching).  [backend] overrides every catalog class's
+    own protection mode, so a whole fleet serves under one backend —
+    the three-way comparison bench.  [inject] attaches the deterministic fault
     injector to every machine the shard boots, before its image is
     captured, so injection state rewinds with the machine.  [watchdog]
     is passed to {!Os.System.run} for every request.  [trace] enables

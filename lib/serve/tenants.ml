@@ -72,17 +72,69 @@ let cache_probe_source ~rounds =
 let mem_hog_source ~words =
   Printf.sprintf "start:  mme =2\nbig:    .zero %d\n" words
 
+(* Channel rounds: post a transfer, poll the status word for the done
+   flag the completion sets, repeat — the chaos reader's shape, sized
+   per tenant.  Runs in ring 0 because SIOT is privileged. *)
+let io_heavy_source ~buf ~rounds =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5          ; transfer rounds\n\
+     round:  lda =0\n\
+    \        sta st,*           ; clear the status word\n\
+    \        siot ccw,*\n\
+     wait:   lda st,*\n\
+    \        tmi got            ; done flag set by the channel\n\
+    \        tra wait\n\
+     got:    lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz round\n\
+    \        mme =2\n\
+     ccw:    .its 0, %s$rdccw\n\
+     st:     .its 0, %s$rdst\n"
+    rounds buf buf
+
+let io_buf_source = "rdccw:  .its 0, data\nrdst:   .word 8\ndata:   .zero 8\n"
+
+(* A data segment spanning three pages; each labeled word sits on its
+   own page, so one sweep under demand paging takes three page
+   faults (plus the code page's). *)
+let paging_data_source =
+  "p0:     .word 1\n\
+  \        .zero 1023\n\
+   p1:     .word 2\n\
+  \        .zero 1023\n\
+   p2:     .word 3\n"
+
+let paging_heavy_source ~dat ~rounds =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5          ; sweep rounds\n\
+     loop:   lda w0,*\n\
+    \        ada w1,*\n\
+    \        ada w2,*\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     w0:     .its 0, %s$p0\n\
+     w1:     .its 0, %s$p1\n\
+     w2:     .its 0, %s$p2\n"
+    rounds dat dat dat
+
 let privileged_data_source = "word0:  .word 7\n"
 
 (* One segment-name prefix per tenant keeps every wave's store free of
    collisions and makes billing lines self-identifying. *)
-let tenant ~id ~kind ~adversarial ~ring ~start segments =
+let tenant ?(paged = false) ~id ~kind ~adversarial ~ring ~start segments =
   {
     Os.Arena.id;
     name = Printf.sprintf "t%04d" id;
     kind;
     adversarial;
     ring;
+    paged;
     start;
     segments;
   }
@@ -164,14 +216,43 @@ let make_tenant ~id ~kind st =
   | "mem-hog" ->
       tenant ~id ~kind ~adversarial:true ~ring:4 ~start:(main, "start")
         [ (main, acl_all (proc 4), mem_hog_source ~words:8192) ]
+  | "io-heavy" ->
+      (* Honest channel traffic: keeps a transfer in flight most of
+         the time, so injected channel errors and stalls land on this
+         tenant's completions rather than only on the chaos reader. *)
+      let rounds = 4 + (next st mod 8) in
+      tenant ~id ~kind ~adversarial:false ~ring:0 ~start:(main, "start")
+        [
+          (main, acl_all (proc 0), io_heavy_source ~buf:dat ~rounds);
+          ( dat,
+            acl_all
+              (Rings.Access.data_segment ~writable_to:0 ~readable_to:4 ()),
+            io_buf_source );
+        ]
+  | "paging-heavy" ->
+      (* Honest but memory-sprawling: demand-paged, sweeping a
+         three-page data segment so its slices are dominated by page
+         faults and frame traffic. *)
+      let rounds = 2 + (next st mod 6) in
+      tenant ~paged:true ~id ~kind ~adversarial:false ~ring:4
+        ~start:(main, "start")
+        [
+          (main, acl_all (proc 4), paging_heavy_source ~dat ~rounds);
+          ( dat,
+            acl_all
+              (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()),
+            paging_data_source );
+        ]
   | k -> invalid_arg ("Tenants.make_tenant: unknown kind " ^ k)
 
 (* (kind, weight) — the standard population is mostly honest, with a
    steady trickle of every attack. *)
 let standard_kinds =
   [
-    ("compute", 30);
-    ("crossing", 25);
+    ("compute", 24);
+    ("crossing", 19);
+    ("io-heavy", 6);
+    ("paging-heavy", 6);
     ("gate-squeeze", 9);
     ("ring-max", 9);
     ("stack-bracket", 9);
@@ -239,14 +320,15 @@ let generate ?(profile = "standard") ~seed ~tenants () =
    sequential run — the same determinism contract the serving fleet
    keeps (docs/SCALING.md). *)
 
-let run_sharded ?quantum ?inject ?(quota = Os.Arena.default_quota)
+let run_sharded ?mode ?quantum ?inject ?(quota = Os.Arena.default_quota)
     ~shards ~seed tenants =
   if shards <= 0 then invalid_arg "Tenants.run_sharded: shards must be > 0";
   let waves = Os.Arena.waves tenants in
   let results =
     if shards = 1 then
       List.map
-        (fun (wave, ts) -> Os.Arena.run_wave ?quantum ?inject ~quota ~wave ts)
+        (fun (wave, ts) ->
+          Os.Arena.run_wave ?mode ?quantum ?inject ~quota ~wave ts)
         waves
     else
       List.init shards (fun d ->
@@ -254,7 +336,9 @@ let run_sharded ?quantum ?inject ?(quota = Os.Arena.default_quota)
               List.filter_map
                 (fun (wave, ts) ->
                   if wave mod shards = d then
-                    Some (Os.Arena.run_wave ?quantum ?inject ~quota ~wave ts)
+                    Some
+                      (Os.Arena.run_wave ?mode ?quantum ?inject ~quota ~wave
+                         ts)
                   else None)
                 waves))
       |> List.concat_map Domain.join

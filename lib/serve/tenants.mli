@@ -8,9 +8,11 @@
     adversaries — gate squeezers (linked past the gate list),
     argument-chain ring maximizers, stack-bracket forgers (absolute
     ITS into an inner ring's stack), self-modifying cache probes,
-    quota spinners and admission-time memory hogs.  The [cooperative]
-    profile draws honest kinds only — the bench's degradation
-    baseline. *)
+    quota spinners and admission-time memory hogs — plus two honest
+    stressors: [io-heavy] (ring-0 channel traffic keeping a transfer
+    in flight) and [paging-heavy] (demand-paged sweeps of a
+    three-page data segment).  The [cooperative] profile draws honest
+    kinds only — the bench's degradation baseline. *)
 
 val profiles : string list
 (** [["standard"; "cooperative"]]. *)
@@ -32,6 +34,7 @@ val generate :
     or a nonpositive count. *)
 
 val run_sharded :
+  ?mode:Isa.Machine.mode ->
   ?quantum:int ->
   ?inject:Hw.Inject.plan ->
   ?quota:Os.Arena.quota ->
@@ -42,4 +45,5 @@ val run_sharded :
 (** Run the campaign's waves round-robin across [shards] domains
     ([shards = 1] stays on the calling domain) and assemble.  Waves
     are self-contained, so the report is byte-identical to the
-    sequential run regardless of [shards]. *)
+    sequential run regardless of [shards].  [mode] selects each
+    wave's protection backend ({!Os.Arena.run_wave}). *)

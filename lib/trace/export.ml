@@ -45,17 +45,25 @@ let kernel_tid = 99
 
 (* {1 Chrome trace} *)
 
-let span_event buf ~pid (s : Span.completed) =
+let span_event ?backend buf ~pid (s : Span.completed) =
+  (* The backend label rides in args so merged multi-backend traces
+     stay distinguishable; omitted (not defaulted) when the caller
+     has no label, keeping single-backend documents byte-stable. *)
+  let backend_arg =
+    match backend with
+    | None -> ""
+    | Some b -> Printf.sprintf "\"backend\":\"%s\"," b
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "{\"name\":\"%s call r%d->r%d seg %d\",\"cat\":\"%s\",\"ph\":\"X\",\
-        \"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":{\"from_ring\":%d,\
+        \"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":{%s\"from_ring\":%d,\
         \"to_ring\":%d,\"segno\":%d,\"wordno\":%d,\"depth\":%d,\"seq\":%d,\
         \"forced\":%b}}"
        (kind_id s.Span.kind) s.Span.from_ring s.Span.to_ring s.Span.segno
        (kind_id s.Span.kind) pid s.Span.to_ring s.Span.start_cycles
        (s.Span.end_cycles - s.Span.start_cycles)
-       s.Span.from_ring s.Span.to_ring s.Span.segno s.Span.wordno
+       backend_arg s.Span.from_ring s.Span.to_ring s.Span.segno s.Span.wordno
        s.Span.depth s.Span.seq s.Span.forced)
 
 let instant_event buf ~pid ~tid ~cycles ~seq ~name ~cat =
@@ -103,7 +111,7 @@ module Int_set = Set.Make (Int)
 (* One Chrome "process": its name metadata, per-ring thread names, then
    spans and events.  [chrome_trace] emits a single process with pid 0;
    the fleet exporter emits one process per request. *)
-let add_process buf ~sep ~pid ~pname ~events ~spans =
+let add_process ?backend buf ~sep ~pid ~pname ~events ~spans =
   (* Name the per-ring "threads" so Perfetto's track labels read as
      rings, not tids. *)
   let tids =
@@ -146,7 +154,7 @@ let add_process buf ~sep ~pid ~pname ~events ~spans =
   List.iter
     (fun s ->
       sep ();
-      span_event buf ~pid s)
+      span_event ?backend buf ~pid s)
     spans;
   List.iter
     (fun e ->
@@ -154,15 +162,15 @@ let add_process buf ~sep ~pid ~pname ~events ~spans =
       stamped_event buf ~pid e)
     events
 
-let chrome_trace ?(events = []) ?(spans = []) () =
+let chrome_trace ?backend ?(events = []) ?(spans = []) () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n";
   let first = ref true in
   let sep () =
     if !first then first := false else Buffer.add_string buf ",\n"
   in
-  add_process buf ~sep ~pid:0 ~pname:"ringsim (1us = 1 modeled cycle)" ~events
-    ~spans;
+  add_process ?backend buf ~sep ~pid:0
+    ~pname:"ringsim (1us = 1 modeled cycle)" ~events ~spans;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
@@ -288,10 +296,10 @@ let metrics_json ~counters ?events ?spans ?profile ?(segment_names = []) () =
   | Some tr ->
       Buffer.add_string buf
         (Printf.sprintf
-           ",\n  \"spans\": {\n    \"dropped\": %d, \"unmatched_returns\": \
-            %d, \"open\": %d, \"sampled_out\": %d, \"sample_interval\": \
-            %d,\n    \"latency_cycles\": {"
-           (Span.dropped tr)
+           ",\n  \"spans\": {\n    \"backend\": \"%s\", \"dropped\": %d, \
+            \"unmatched_returns\": %d, \"open\": %d, \"sampled_out\": %d, \
+            \"sample_interval\": %d,\n    \"latency_cycles\": {"
+           (Span.backend tr) (Span.dropped tr)
            (Span.unmatched_returns tr)
            (Span.open_depth tr) (Span.sampled_out tr) (Span.sample_interval tr));
       List.iteri

@@ -12,8 +12,16 @@
     1 µs of trace time = 1 modeled cycle. *)
 
 val chrome_trace :
-  ?events:Event.stamped list -> ?spans:Span.completed list -> unit -> string
-(** A complete Chrome trace-event document ([{"traceEvents": [...]}]). *)
+  ?backend:string ->
+  ?events:Event.stamped list ->
+  ?spans:Span.completed list ->
+  unit ->
+  string
+(** A complete Chrome trace-event document ([{"traceEvents": [...]}]).
+    [backend] (["hw"], ["645"], ["cap"]) labels every span's args so
+    crossing spans from different protection backends remain
+    distinguishable when documents are merged; omitted, the args are
+    unchanged. *)
 
 val chrome_trace_fleet :
   (int * string * Event.stamped list * Span.completed list) list -> string

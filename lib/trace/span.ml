@@ -52,6 +52,11 @@ type tracker = {
   mutable sample_interval : int;
   mutable sample_seed : int;
   mutable stats : Counters.t;
+  (* Which protection backend produced these spans ("hw", "645",
+     "cap") — a label only: set once by the machine at creation,
+     surfaced by the exporters so crossing spans from different
+     backends are distinguishable in one merged trace. *)
+  mutable backend : string;
   hist_same : Histogram.t;
   hist_down : Histogram.t;
   hist_up : Histogram.t;
@@ -88,6 +93,7 @@ let create ?(capacity = default_capacity) () =
     sample_interval = 1;
     sample_seed = 0;
     stats = Counters.create ();
+    backend = "hw";
     hist_same = Histogram.create ();
     hist_down = Histogram.create ();
     hist_up = Histogram.create ();
@@ -97,6 +103,8 @@ let create ?(capacity = default_capacity) () =
 let enabled t = t.enabled
 let set_enabled t b = t.enabled <- b
 let set_stats t c = t.stats <- c
+let backend t = t.backend
+let set_backend t b = t.backend <- b
 let dropped t = t.dropped
 let unmatched_returns t = t.unmatched_returns
 let sampled_out t = t.sampled_out

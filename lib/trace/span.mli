@@ -56,6 +56,14 @@ val set_stats : tracker -> Counters.t -> unit
 (** Mirror sampled-out span counts into a {!Counters.t} — the machine
     points this at its own counters. *)
 
+val backend : tracker -> string
+(** Protection-backend label for this tracker's spans — ["hw"] (the
+    default), ["645"] or ["cap"].  A label only: the machine sets it
+    at creation and the exporters surface it, so crossing spans from
+    different backends are distinguishable in one merged trace. *)
+
+val set_backend : tracker -> string -> unit
+
 val set_sampling : tracker -> interval:int -> seed:int -> unit
 (** Keep (statistically) 1 in [interval] completed spans, selected by
     {!Event.sample_hit} over the span's open-order sequence number —

@@ -13,6 +13,7 @@ let one_tenant ?(ring = 4) ?(access = proc4) ~kind source =
       kind;
       adversarial = true;
       ring;
+      paged = false;
       start = ("t0000main", "start");
       segments = [ ("t0000main", wildcard access, source) ];
     };

@@ -1,0 +1,327 @@
+(* The capability backend's own laws: seal/unseal and monotonic
+   attenuation on the pure data model, bounds-check edge words, the
+   hardware-fault -> capability-fault vocabulary mapping, verdict
+   parity of the Backend dispatch, validity-tag preservation across
+   snapshot round-trips, and the sealed-return stack after outward
+   calls. *)
+
+module C = Cap.Capability
+
+let rw = { C.load = true; store = true; exec = false }
+let rx = { C.load = true; store = false; exec = true }
+
+let test_seal_unseal () =
+  let c = C.v ~perms:rw ~base:100 ~bound:4 () in
+  let s =
+    match C.seal c ~otype:3 with
+    | Some s -> s
+    | None -> Alcotest.fail "sealing an unsealed capability refused"
+  in
+  Alcotest.(check bool) "sealed" true s.C.sealed;
+  Alcotest.(check int) "otype recorded" 3 s.C.otype;
+  Alcotest.(check bool) "sealing is not idempotent" true
+    (C.seal s ~otype:5 = None);
+  Alcotest.(check bool) "unseal refuses a wrong otype" true
+    (C.unseal s ~otype:2 = None);
+  (match C.unseal s ~otype:3 with
+  | Some u ->
+      Alcotest.(check bool) "unseal restores the original" true (u = c)
+  | None -> Alcotest.fail "unseal under the sealing otype refused");
+  Alcotest.(check bool) "unsealing an unsealed capability refuses" true
+    (C.unseal c ~otype:3 = None)
+
+let test_attenuation_monotone () =
+  let c = C.v ~perms:rw ~base:100 ~bound:8 () in
+  let a = C.attenuate c ~perms:rx in
+  (* Intersection: load survives, store and exec are each missing on
+     one side. *)
+  Alcotest.(check bool) "attenuate intersects masks" true
+    (a.C.perms = { C.load = true; store = false; exec = false });
+  Alcotest.(check bool) "attenuation narrows" true (C.is_attenuation_of a c);
+  Alcotest.(check bool) "narrowing is strict here" false
+    (C.is_attenuation_of c a);
+  Alcotest.(check bool) "perms_subset reflexive" true (C.perms_subset rw rw);
+  Alcotest.(check bool) "perms_subset detects escalation" false
+    (C.perms_subset rw { C.no_perms with load = true });
+  (* The capability derived for a less privileged ring never holds a
+     permission the more privileged ring's capability lacks — for
+     every downward-closed bracket shape. *)
+  List.iter
+    (fun access ->
+      Alcotest.(check bool) "of_access is ring-monotone" true
+        (C.monotone access ~base:2048 ~bound:64))
+    [
+      Rings.Access.data_segment ~writable_to:2 ~readable_to:5 ();
+      Rings.Access.data_segment ~writable_to:0 ~readable_to:7 ();
+      Rings.Access.procedure_segment ~execute_in:0 ~callable_from:6 ~gates:2
+        ();
+      Rings.Access.procedure_segment ~execute_in:0 ~callable_from:0 ();
+    ];
+  (* An execute bracket whose bottom is above ring 0 is an interval,
+     not an upward-closed set: the capability reading preserves that,
+     so such a segment is not exec-monotone. *)
+  Alcotest.(check bool) "mid-bracket execute is an interval" false
+    (C.monotone
+       (Rings.Access.procedure_segment ~execute_in:3 ~callable_from:6 ())
+       ~base:2048 ~bound:64)
+
+let test_bounds_edge_words () =
+  let c = C.v ~perms:rw ~base:100 ~bound:4 () in
+  Alcotest.(check bool) "first word in bounds" true (C.in_bounds c ~wordno:0);
+  Alcotest.(check bool) "last word in bounds" true (C.in_bounds c ~wordno:3);
+  Alcotest.(check bool) "one past the bound out" false
+    (C.in_bounds c ~wordno:4);
+  Alcotest.(check bool) "negative word out" false
+    (C.in_bounds c ~wordno:(-1));
+  let empty = C.v ~base:100 ~bound:0 () in
+  Alcotest.(check bool) "zero-bound capability grants nothing" false
+    (C.in_bounds empty ~wordno:0)
+
+let fault = Fixtures.fault_testable
+
+let test_fault_mapping () =
+  let check name expected got =
+    Alcotest.check fault name expected (Rings.Backend.cap_fault_of got)
+  in
+  let r1 = Rings.Ring.v 1 and r3 = Rings.Ring.v 3 and r5 = Rings.Ring.v 5 in
+  check "read bracket -> load violation"
+    (Rings.Fault.Cap_load_violation { effective = r5 })
+    (Rings.Fault.Read_bracket_violation { effective = r5; top = r3 });
+  check "write bracket -> store violation"
+    (Rings.Fault.Cap_store_violation { effective = r5 })
+    (Rings.Fault.Write_bracket_violation { effective = r5; top = r1 });
+  check "execute bracket -> exec violation"
+    (Rings.Fault.Cap_exec_violation { ring = r5 })
+    (Rings.Fault.Execute_bracket_violation
+       { ring = r5; bottom = r1; top = r3 });
+  check "gate violation -> seal violation"
+    (Rings.Fault.Cap_seal_violation { wordno = 9; gates = 2 })
+    (Rings.Fault.Gate_violation { wordno = 9; gates = 2 });
+  check "gate extension -> attenuation violation"
+    (Rings.Fault.Cap_attenuation_violation { effective = r5; limit = r3 })
+    (Rings.Fault.Outside_gate_extension { effective = r5; top = r3 });
+  check "ring-changing transfer -> attenuation violation"
+    (Rings.Fault.Cap_attenuation_violation { effective = r5; limit = r1 })
+    (Rings.Fault.Transfer_ring_change { exec = r1; effective = r5 });
+  (* No capability reading: passes through unchanged. *)
+  check "upward call passes through"
+    (Rings.Fault.Upward_call
+       { from_ring = r1; to_ring = r3; segno = 4; wordno = 0 })
+    (Rings.Fault.Upward_call
+       { from_ring = r1; to_ring = r3; segno = 4; wordno = 0 });
+  check "bound violation passes through"
+    (Rings.Fault.Bound_violation { segno = 2; wordno = 64; bound = 64 })
+    (Rings.Fault.Bound_violation { segno = 2; wordno = 64; bound = 64 });
+  (* Idempotent: a capability fault maps to itself. *)
+  check "idempotent"
+    (Rings.Fault.Cap_seal_violation { wordno = 9; gates = 2 })
+    (Rings.Fault.Cap_seal_violation { wordno = 9; gates = 2 })
+
+let test_backend_names () =
+  Alcotest.(check bool) "hw" true
+    (Rings.Backend.of_string "hw" = Ok Rings.Backend.Hardware);
+  Alcotest.(check bool) "645" true
+    (Rings.Backend.of_string "645" = Ok Rings.Backend.Software_645);
+  Alcotest.(check bool) "sw alias" true
+    (Rings.Backend.of_string "sw" = Ok Rings.Backend.Software_645);
+  Alcotest.(check bool) "cap" true
+    (Rings.Backend.of_string "cap" = Ok Rings.Backend.Capability);
+  (match Rings.Backend.of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown backend accepted");
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "to_string/of_string round-trip" true
+        (Rings.Backend.of_string (Rings.Backend.to_string b) = Ok b))
+    Rings.Backend.all
+
+(* Verdict parity at the dispatch itself: over a grid of access shapes
+   and domains, the capability backend admits exactly what the
+   hardware admits, and each refusal is the hardware's fault put
+   through {!Rings.Backend.cap_fault_of}. *)
+let test_verdict_parity_grid () =
+  let accesses =
+    [
+      Rings.Access.data_segment ~writable_to:2 ~readable_to:5 ();
+      Rings.Access.data_segment ~writable_to:0 ~readable_to:0 ();
+      Rings.Access.procedure_segment ~execute_in:3 ~callable_from:6 ~gates:1
+        ();
+      Rings.Access.procedure_segment ~execute_in:1 ~callable_from:1 ();
+    ]
+  in
+  let parity name hw cap =
+    match (hw, cap) with
+    | Ok (), Ok () -> ()
+    | Error hf, Error cf ->
+        (* The constructor must be the one {!cap_fault_of} predicts;
+           payloads may be richer (the dispatch reports the actual
+           domain where a flag-off hardware fault carries none). *)
+        Alcotest.(check int)
+          (name ^ " fault class")
+          (Rings.Fault.code (Rings.Backend.cap_fault_of hf))
+          (Rings.Fault.code cf)
+    | Ok (), Error f ->
+        Alcotest.failf "%s: cap refused (%a) where hw admitted" name
+          Rings.Fault.pp f
+    | Error f, Ok () ->
+        Alcotest.failf "%s: cap admitted where hw refused (%a)" name
+          Rings.Fault.pp f
+  in
+  List.iter
+    (fun a ->
+      for r = 0 to 7 do
+        let ring = Rings.Ring.v r in
+        let effective = Rings.Effective_ring.start ring in
+        parity "fetch"
+          (Rings.Backend.validate_fetch Rings.Backend.Hardware a ~ring)
+          (Rings.Backend.validate_fetch Rings.Backend.Capability a ~ring);
+        parity "read"
+          (Rings.Backend.validate_read Rings.Backend.Hardware a ~effective)
+          (Rings.Backend.validate_read Rings.Backend.Capability a ~effective);
+        parity "write"
+          (Rings.Backend.validate_write Rings.Backend.Hardware a ~effective)
+          (Rings.Backend.validate_write Rings.Backend.Capability a ~effective);
+        for x = 0 to 7 do
+          let exec = Rings.Ring.v x in
+          parity "transfer"
+            (Rings.Backend.validate_transfer Rings.Backend.Hardware a ~exec
+               ~effective)
+            (Rings.Backend.validate_transfer Rings.Backend.Capability a ~exec
+               ~effective)
+        done
+      done)
+    accesses
+
+(* --- machine-level: tags and the sealed-return stack --- *)
+
+let wildcard access = [ { Os.Acl.user = Os.Acl.wildcard; access } ]
+let proc4 = Rings.Access.procedure_segment ~execute_in:4 ~callable_from:4 ()
+
+let bump_source ~n =
+  Printf.sprintf
+    "start:  lda =%d\n\
+    \        sta pr6|5\n\
+     loop:   aos cell,*\n\
+    \        lda pr6|5\n\
+    \        sba =1\n\
+    \        sta pr6|5\n\
+    \        tnz loop\n\
+    \        mme =2\n\
+     cell:   .its 0, counter$value\n"
+    n
+
+let cap_system () =
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"bump" ~acl:(wildcard proc4)
+    (bump_source ~n:20);
+  Os.Store.add_source store ~name:"counter"
+    ~acl:
+      (wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "value:  .word 0\n";
+  let sys =
+    Os.System.create ~mode:Isa.Machine.Ring_capability ~store ()
+  in
+  (match
+     Os.System.spawn sys ~pname:"p" ~user:"alice"
+       ~segments:[ "bump"; "counter" ]
+       ~start:("bump", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn: %s" e);
+  sys
+
+let tags sys =
+  Hw.Memory.tagged_addrs (Os.System.machine sys).Isa.Machine.mem
+
+let test_tag_snapshot_roundtrip () =
+  let src = cap_system () in
+  let before = tags src in
+  Alcotest.(check bool) "a cap-mode system has tagged descriptors" true
+    (before <> []);
+  let image = Os.Snapshot.capture src in
+  let dst = cap_system () in
+  (match Os.Snapshot.restore dst image with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "restore: %a" Os.Snapshot.pp_error e);
+  Alcotest.(check (list int)) "tag addresses survive the round-trip" before
+    (tags dst);
+  (* Both systems run on to the same end state, tags included. *)
+  let exits_src = Os.System.run src and exits_dst = Os.System.run dst in
+  Alcotest.(check int) "both finish" (List.length exits_src)
+    (List.length exits_dst);
+  Alcotest.(check (list int)) "final tags agree" (tags src) (tags dst)
+
+let test_hw_image_has_no_tags () =
+  (* The codec refuses to smuggle tags into a backend that has no tag
+     store: a hardware-mode image restored onto a cap-mode system (and
+     vice versa) is a shape mismatch, like restoring across modes
+     always was. *)
+  let src = cap_system () in
+  let image = Os.Snapshot.capture src in
+  let store = Os.Store.create () in
+  Os.Store.add_source store ~name:"bump" ~acl:(wildcard proc4)
+    (bump_source ~n:20);
+  Os.Store.add_source store ~name:"counter"
+    ~acl:
+      (wildcard (Rings.Access.data_segment ~writable_to:4 ~readable_to:4 ()))
+    "value:  .word 0\n";
+  let hw_sys = Os.System.create ~store () in
+  (match
+     Os.System.spawn hw_sys ~pname:"p" ~user:"alice"
+       ~segments:[ "bump"; "counter" ]
+       ~start:("bump", "start") ~ring:4
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn: %s" e);
+  match Os.Snapshot.restore hw_sys image with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cap image restored onto a hardware machine"
+
+let run_crossing config ~caller_ring ~callee_ring =
+  match
+    Os.Scenario.crossing ~config ~caller_ring ~callee_ring ~iterations:3 ()
+  with
+  | Error e -> Alcotest.failf "build: %s" e
+  | Ok p ->
+      (match Os.Kernel.run ~max_instructions:200_000 p with
+      | Os.Kernel.Exited -> ()
+      | e -> Alcotest.failf "run: %a" Os.Kernel.pp_exit e);
+      p.Os.Process.machine
+
+let test_sealed_return_stack_drains () =
+  (* Every CALL pushes a sealed return, every RETURN unseals it: after
+     a clean exit nothing may be left on the stack — downward, outward
+     and same-ring alike. *)
+  List.iter
+    (fun (caller_ring, callee_ring) ->
+      let m =
+        run_crossing Os.Scenario.capability_config ~caller_ring ~callee_ring
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "r%d -> r%d leaves an empty cap stack" caller_ring
+           callee_ring)
+        0
+        (List.length m.Isa.Machine.cap_stack))
+    [ (4, 1); (4, 4); (1, 3); (2, 5) ]
+
+let suite =
+  [
+    ( "capability",
+      [
+        Alcotest.test_case "seal/unseal" `Quick test_seal_unseal;
+        Alcotest.test_case "monotonic attenuation" `Quick
+          test_attenuation_monotone;
+        Alcotest.test_case "bounds edge words" `Quick test_bounds_edge_words;
+        Alcotest.test_case "fault vocabulary mapping" `Quick
+          test_fault_mapping;
+        Alcotest.test_case "backend names" `Quick test_backend_names;
+        Alcotest.test_case "verdict-parity grid" `Quick
+          test_verdict_parity_grid;
+        Alcotest.test_case "tags survive snapshot round-trip" `Quick
+          test_tag_snapshot_roundtrip;
+        Alcotest.test_case "cross-mode restore refused" `Quick
+          test_hw_image_has_no_tags;
+        Alcotest.test_case "sealed-return stack drains" `Quick
+          test_sealed_return_stack_drains;
+      ] );
+  ]

@@ -1,9 +1,10 @@
-(* Equivalence of the two ring implementations: for every legal
-   crossing workload the hardware machine and the 645 baseline compute
-   the same result and classify the crossing identically — the 645
-   just pays supervisor traps for it.  This is the property that makes
-   the C1/C2 cost comparison meaningful ("the same object code
-   sequences perform all calls and returns"). *)
+(* Equivalence of the three protection backends: for every legal
+   crossing workload the hardware machine, the 645 baseline and the
+   capability machine compute the same result and classify the
+   crossing identically — the 645 pays supervisor traps for it, the
+   capability machine pays seal/unseal.  This is the property that
+   makes the cost comparisons (C1/C2 and the backends bench) meaningful
+   ("the same object code sequences perform all calls and returns"). *)
 
 let run config ~caller_ring ~callee_ring ~with_argument =
   match
@@ -46,16 +47,23 @@ let check_pair ~caller_ring ~callee_ring ~with_argument =
   let sw =
     run Os.Scenario.software_config ~caller_ring ~callee_ring ~with_argument
   in
-  let (hw_exit, hw_a, hw_arg, hw_cross) = hw
-  and (sw_exit, sw_a, sw_arg, sw_cross) = sw in
-  Alcotest.check
-    (Alcotest.testable Os.Kernel.pp_exit ( = ))
-    (name ^ " exit agrees") hw_exit sw_exit;
-  Alcotest.(check int) (name ^ " A agrees") hw_a sw_a;
-  Alcotest.(check int) (name ^ " argument effect agrees") hw_arg sw_arg;
-  Alcotest.(check bool)
-    (name ^ " crossing classification agrees")
-    true (hw_cross = sw_cross)
+  let cap =
+    run Os.Scenario.capability_config ~caller_ring ~callee_ring
+      ~with_argument
+  in
+  let (hw_exit, hw_a, hw_arg, hw_cross) = hw in
+  List.iter
+    (fun (backend, (exit, a, arg, cross)) ->
+      let name = Printf.sprintf "%s (%s)" name backend in
+      Alcotest.check
+        (Alcotest.testable Os.Kernel.pp_exit ( = ))
+        (name ^ " exit agrees") hw_exit exit;
+      Alcotest.(check int) (name ^ " A agrees") hw_a a;
+      Alcotest.(check int) (name ^ " argument effect agrees") hw_arg arg;
+      Alcotest.(check bool)
+        (name ^ " crossing classification agrees")
+        true (hw_cross = cross))
+    [ ("645", sw); ("cap", cap) ]
 
 (* Sweep caller/callee ring pairs, without and with a by-reference
    argument.  Caller rings are kept within the gate extension

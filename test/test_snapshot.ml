@@ -152,7 +152,7 @@ let test_damaged_images_are_rejected () =
    (* Version is the second header word; the checksum covers only the
       payload, so this must surface as Bad_version, not checksum. *)
    Bytes.set b 15 '\x2a';
-   check_error "version bump" "snapshot format version 42, this build reads 3"
+   check_error "version bump" "snapshot format version 42, this build reads 4"
      (Bytes.to_string b));
   check_error "truncated header" "snapshot image is truncated"
     (String.sub image 0 20);
